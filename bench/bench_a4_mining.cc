@@ -1,0 +1,222 @@
+// Experiment A4: data analytics on OLAP-isolated cube subsets (paper
+// §IV Data Analytics). Classifier comparison for diabetes (naive
+// Bayes, decision tree, AWSum, multivariate logistic regression
+// baseline) plus association rules recovering the reflex/glucose
+// interaction of the paper's ref [9].
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <memory>
+
+#include "bench/bench_util.h"
+#include "mining/apriori.h"
+#include "mining/awsum.h"
+#include "mining/dataset.h"
+#include "mining/decision_tree.h"
+#include "mining/eval.h"
+#include "mining/feature_selection.h"
+#include "mining/logistic.h"
+#include "mining/naive_bayes.h"
+#include "mining/random_forest.h"
+
+namespace {
+
+using ddgms::Rng;
+using ddgms::bench::MustOk;
+using ddgms::bench::SharedDgms;
+namespace mining = ddgms::mining;
+
+const std::vector<std::string>& CategoricalFeatures() {
+  static const std::vector<std::string> kFeatures = {
+      "FBGBand",       "HbA1cBand",  "AnkleReflexes",
+      "KneeReflexes",  "BMIBand",    "AgeBand",
+      "FamilyHistoryDiabetes", "ExerciseRoutine"};
+  return kFeatures;
+}
+
+mining::CategoricalDataset LoadCategorical() {
+  auto& dgms = SharedDgms();
+  std::vector<std::string> attrs = CategoricalFeatures();
+  attrs.push_back("DiabetesStatus");
+  auto view = MustOk(dgms.IsolateSubset(attrs), "subset");
+  return MustOk(mining::CategoricalDataset::FromTable(
+                    view, CategoricalFeatures(), "DiabetesStatus"),
+                "dataset");
+}
+
+void PrintReport() {
+  std::printf(
+      "=== A4: mining on OLAP-isolated subsets (diabetes) ===\n\n");
+  mining::CategoricalDataset data = LoadCategorical();
+  Rng rng(4242);
+  auto split = MustOk(data.Split(0.3, &rng), "split");
+  double baseline = MustOk(
+      mining::MajorityBaselineAccuracy(split.first, split.second),
+      "baseline");
+  std::printf("train=%zu test=%zu majority-baseline=%.4f\n\n",
+              split.first.size(), split.second.size(), baseline);
+
+  std::vector<std::unique_ptr<mining::Classifier>> models;
+  models.push_back(std::make_unique<mining::NaiveBayesClassifier>());
+  models.push_back(std::make_unique<mining::DecisionTreeClassifier>());
+  models.push_back(std::make_unique<mining::AwsumClassifier>());
+  models.push_back(std::make_unique<mining::RandomForestClassifier>());
+  for (auto& model : models) {
+    if (!model->Train(split.first).ok()) continue;
+    auto report = MustOk(mining::Evaluate(*model, split.second), "eval");
+    std::printf("%-14s accuracy=%.4f\n", model->name().c_str(),
+                report.accuracy);
+  }
+
+  // Logistic regression on the continuous measures — the a-priori
+  // multivariate-regression baseline of the paper's motivation.
+  {
+    auto view = MustOk(SharedDgms().IsolateSubset({"DiabetesStatus"}),
+                       "numeric subset");
+    auto numeric = MustOk(
+        mining::NumericDataset::FromTable(
+            view, {"FBG", "HbA1c", "BMI", "Age", "LyingSBPAverage"},
+            "DiabetesStatus"),
+        "numeric dataset");
+    Rng rng2(99);
+    auto nsplit = MustOk(numeric.Split(0.3, &rng2), "nsplit");
+    mining::LogisticRegression::Options opt;
+    opt.max_iterations = 800;
+    mining::LogisticRegression logistic(opt);
+    if (logistic.Train(nsplit.first, "Type2").ok()) {
+      size_t correct = 0;
+      for (size_t i = 0; i < nsplit.second.size(); ++i) {
+        auto pred = logistic.Predict(nsplit.second.rows[i]);
+        if (pred.ok() && *pred == nsplit.second.labels[i]) ++correct;
+      }
+      std::printf("%-14s accuracy=%.4f (continuous features)\n",
+                  "logistic", static_cast<double>(correct) /
+                                  static_cast<double>(
+                                      nsplit.second.size()));
+    }
+  }
+
+  // AWSum interactions and Apriori rules.
+  mining::AwsumClassifier awsum;
+  if (awsum.Train(data).ok()) {
+    auto interactions = awsum.Interactions(/*min_support=*/25);
+    if (interactions.ok() && !interactions->empty()) {
+      std::printf("\ntop AWSum interactions (joint influence lift):\n");
+      size_t shown = 0;
+      for (const auto& inter : *interactions) {
+        if (inter.toward_class != "Type2") continue;
+        std::printf("  %s=%s & %s=%s -> %s (joint %.3f vs single %.3f, "
+                    "n=%zu)\n",
+                    inter.feature_a.c_str(), inter.value_a.c_str(),
+                    inter.feature_b.c_str(), inter.value_b.c_str(),
+                    inter.toward_class.c_str(), inter.joint_influence,
+                    inter.max_single_influence, inter.support);
+        if (++shown == 5) break;
+      }
+    }
+  }
+  // Wrapper-filter feature selection (ref [21]): which attributes does
+  // the hybrid keep for the Ewing/CAN screen?
+  {
+    std::vector<std::string> can_features = {
+        "AnkleReflexes", "KneeReflexes",  "Monofilament",
+        "LyingDBPBand",  "HeartRateBand", "QTcBand",
+        "AgeBand",       "ExerciseRoutine"};
+    std::vector<std::string> attrs = can_features;
+    attrs.push_back("EwingCategory");
+    auto can_view = MustOk(SharedDgms().IsolateSubset(attrs), "can view");
+    auto can_data = MustOk(
+        mining::CategoricalDataset::FromTable(can_view, can_features,
+                                              "EwingCategory"),
+        "can dataset");
+    auto selection = mining::WrapperFilterSelect(can_data, [] {
+      return std::make_unique<mining::NaiveBayesClassifier>();
+    });
+    if (selection.ok()) {
+      std::printf("\nwrapper-filter feature selection (CAN screen, "
+                  "cv acc %.4f):",
+                  selection->cv_accuracy);
+      for (const std::string& f : selection->selected) {
+        std::printf(" %s", f.c_str());
+      }
+      std::printf("\nfilter ranking (info gain):");
+      for (size_t i = 0; i < 4 && i < selection->filter_ranking.size();
+           ++i) {
+        std::printf(" %s=%.3f",
+                    selection->filter_ranking[i].feature.c_str(),
+                    selection->filter_ranking[i].info_gain);
+      }
+      std::printf("\n");
+    }
+  }
+
+  mining::AprioriOptions aopt;
+  aopt.min_support = 0.05;
+  aopt.min_confidence = 0.75;
+  mining::Apriori apriori(aopt);
+  auto rules = apriori.MineRules(data, "Diabetes");
+  if (rules.ok()) {
+    std::printf("\ntop association rules (by lift):\n");
+    size_t shown = 0;
+    for (const auto& rule : *rules) {
+      if (rule.rhs[0].feature != "Diabetes") continue;
+      std::printf("  %s (sup %.3f, conf %.3f, lift %.2f)\n",
+                  rule.ToString().c_str(), rule.support, rule.confidence,
+                  rule.lift);
+      if (++shown == 6) break;
+    }
+  }
+  std::printf("\n");
+}
+
+void BM_NaiveBayesTrain(benchmark::State& state) {
+  mining::CategoricalDataset data = LoadCategorical();
+  for (auto _ : state) {
+    mining::NaiveBayesClassifier nb;
+    auto st = nb.Train(data);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_NaiveBayesTrain)->Unit(benchmark::kMillisecond);
+
+void BM_DecisionTreeTrain(benchmark::State& state) {
+  mining::CategoricalDataset data = LoadCategorical();
+  for (auto _ : state) {
+    mining::DecisionTreeClassifier tree;
+    auto st = tree.Train(data);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_DecisionTreeTrain)->Unit(benchmark::kMillisecond);
+
+void BM_AwsumTrain(benchmark::State& state) {
+  mining::CategoricalDataset data = LoadCategorical();
+  for (auto _ : state) {
+    mining::AwsumClassifier awsum;
+    auto st = awsum.Train(data);
+    benchmark::DoNotOptimize(st);
+  }
+}
+BENCHMARK(BM_AwsumTrain)->Unit(benchmark::kMillisecond);
+
+void BM_AprioriMine(benchmark::State& state) {
+  mining::CategoricalDataset data = LoadCategorical();
+  mining::AprioriOptions opt;
+  opt.min_support = 0.10;
+  mining::Apriori apriori(opt);
+  for (auto _ : state) {
+    auto rules = apriori.MineRules(data, "Diabetes");
+    benchmark::DoNotOptimize(rules);
+  }
+}
+BENCHMARK(BM_AprioriMine)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintReport();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,127 @@
+// Experiment A5: decision optimisation (paper §IV). Aggregate-stability
+// analysis under dimension add/remove, and constrained treatment-
+// regimen search (exact DP vs greedy baseline).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "optimize/regimen.h"
+#include "optimize/stability.h"
+
+namespace {
+
+using ddgms::AggFn;
+using ddgms::AggSpec;
+using ddgms::Value;
+using ddgms::bench::MustOk;
+using ddgms::bench::SharedDgms;
+namespace optimize = ddgms::optimize;
+
+std::vector<std::pair<std::string, std::string>> Candidates() {
+  return {{"PersonalInformation", "Gender"},
+          {"PersonalInformation", "AgeBand"},
+          {"ExerciseRoutine", "ExerciseRoutine"},
+          {"FastingBloods", "CholesterolBand"},
+          {"BloodPressure", "LyingDBPBand"},
+          {"Cardinality", "VisitNumber"}};
+}
+
+void PrintStability() {
+  auto& dgms = SharedDgms();
+  std::printf("=== A5a: aggregate stability under dimension changes "
+              "===\n\n");
+  std::printf("target: avg(FBG) among diabetic attendances; candidates "
+              "are context\ndimensions added one at a time (paper: "
+              "\"optimal aggregates would be\nconsistent regardless of "
+              "the changes to dimensions\").\n\n");
+  optimize::StabilityAnalyzer analyzer(&dgms.warehouse());
+  auto report = analyzer.Analyze(
+      AggSpec{AggFn::kAvg, "FBG", "mean_fbg"},
+      {{"MedicalCondition", "DiabetesStatus", {Value::Str("Type2")}}},
+      {{"PersonalInformation", "Gender"},
+       {"PersonalInformation", "AgeBand"},
+       {"ExerciseRoutine", "ExerciseRoutine"},
+       {"BloodPressure", "LyingDBPBand"},
+       {"Cardinality", "VisitNumber"}});
+  if (report.ok()) {
+    std::printf("%s\n\n", report->ToString().c_str());
+  } else {
+    std::printf("stability failed: %s\n\n",
+                report.status().ToString().c_str());
+  }
+}
+
+std::vector<optimize::TreatmentOption> RegimenOptions() {
+  // Costs in program units; benefits estimated HbA1c-style reductions.
+  return {
+      {"annual_screening", 6.0, 0.55},
+      {"dietitian_program", 5.0, 0.40},
+      {"exercise_program", 5.0, 0.42},
+      {"medication_review", 3.0, 0.25},
+      {"podiatry_checks", 2.5, 0.15},
+      {"education_course", 4.0, 0.30},
+      {"telehealth_monitoring", 7.0, 0.52},
+      {"smoking_cessation", 3.5, 0.28},
+  };
+}
+
+void PrintRegimen() {
+  std::printf("=== A5b: regimen optimisation under budget ===\n\n");
+  auto options = RegimenOptions();
+  for (double budget : {8.0, 12.0, 18.0, 25.0}) {
+    auto dp = optimize::OptimizeRegimen(options, budget);
+    auto greedy = optimize::GreedyRegimen(options, budget);
+    if (!dp.ok() || !greedy.ok()) continue;
+    std::printf("budget %5.1f: DP benefit %.3f (cost %.1f) | greedy "
+                "benefit %.3f (cost %.1f)%s\n",
+                budget, dp->total_benefit, dp->total_cost,
+                greedy->total_benefit, greedy->total_cost,
+                dp->total_benefit > greedy->total_benefit + 1e-9
+                    ? "  <- DP wins"
+                    : "");
+  }
+  std::printf("\n");
+}
+
+void BM_StabilityAnalysis(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  optimize::StabilityAnalyzer analyzer(&dgms.warehouse());
+  for (auto _ : state) {
+    auto report = analyzer.Analyze(
+        AggSpec{AggFn::kAvg, "FBG", "mean_fbg"},
+        {{"MedicalCondition", "DiabetesStatus", {Value::Str("Type2")}}},
+        Candidates());
+    benchmark::DoNotOptimize(report);
+  }
+}
+BENCHMARK(BM_StabilityAnalysis)->Unit(benchmark::kMillisecond);
+
+void BM_RegimenDp(benchmark::State& state) {
+  auto options = RegimenOptions();
+  for (auto _ : state) {
+    auto plan = optimize::OptimizeRegimen(options, 15.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_RegimenDp)->Unit(benchmark::kMicrosecond);
+
+void BM_RegimenGreedy(benchmark::State& state) {
+  auto options = RegimenOptions();
+  for (auto _ : state) {
+    auto plan = optimize::GreedyRegimen(options, 15.0);
+    benchmark::DoNotOptimize(plan);
+  }
+}
+BENCHMARK(BM_RegimenGreedy);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStability();
+  PrintRegimen();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Experiment Fig 3: the dimensional model. Prints the star schema as
+// built from the transformed cohort — fact row count, per-dimension
+// member counts and attributes, hierarchy and key integrity — then
+// times warehouse construction as the extract grows.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+using ddgms::Table;
+using ddgms::bench::MustOk;
+using ddgms::bench::SharedDgms;
+
+void PrintStarSchema() {
+  const auto& wh = SharedDgms().warehouse();
+  std::printf("=== Fig 3: dimensional model (star schema) ===\n\n");
+  std::printf("fact %s: %zu rows, measures:", wh.def().fact_name.c_str(),
+              wh.num_fact_rows());
+  for (const auto& m : wh.def().measures) {
+    std::printf(" %s", m.name.c_str());
+  }
+  std::printf("\n\n%-22s %8s  attributes\n", "dimension", "members");
+  for (const auto& dim : wh.dimensions()) {
+    std::string attrs;
+    for (const auto& a : dim.def().attributes) {
+      if (!attrs.empty()) attrs += ", ";
+      attrs += a;
+    }
+    std::printf("%-22s %8zu  %s\n", dim.name().c_str(),
+                dim.num_members(), attrs.c_str());
+  }
+  auto integrity = wh.CheckIntegrity();
+  std::printf("\n%s\n\n", integrity.ToString().c_str());
+}
+
+void BM_StarSchemaBuild(benchmark::State& state) {
+  ddgms::discri::CohortOptions opt;
+  opt.num_patients = static_cast<size_t>(state.range(0));
+  auto raw = MustOk(ddgms::discri::GenerateCohort(opt), "cohort");
+  auto pipeline = ddgms::discri::MakeDiscriPipeline();
+  Table transformed = raw;
+  MustOk(pipeline.Run(&transformed), "pipeline");
+  ddgms::warehouse::StarSchemaBuilder builder(
+      ddgms::discri::MakeDiscriSchemaDef());
+  for (auto _ : state) {
+    auto wh = builder.Build(transformed);
+    benchmark::DoNotOptimize(wh);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(transformed.num_rows()));
+  state.counters["fact_rows"] =
+      static_cast<double>(transformed.num_rows());
+}
+BENCHMARK(BM_StarSchemaBuild)->Arg(100)->Arg(300)->Arg(900)->Arg(2700)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TransformPipeline(benchmark::State& state) {
+  ddgms::discri::CohortOptions opt;
+  opt.num_patients = static_cast<size_t>(state.range(0));
+  auto raw = MustOk(ddgms::discri::GenerateCohort(opt), "cohort");
+  auto pipeline = ddgms::discri::MakeDiscriPipeline();
+  for (auto _ : state) {
+    Table copy = raw;
+    auto report = pipeline.Run(&copy);
+    benchmark::DoNotOptimize(report);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(raw.num_rows()));
+}
+BENCHMARK(BM_TransformPipeline)->Arg(300)->Arg(900)
+    ->Unit(benchmark::kMillisecond);
+
+// Data acquisition ablation: appending a new screening season
+// incrementally (reusing member dictionaries) vs rebuilding the whole
+// star schema.
+ddgms::Table TransformedBatch(size_t patients, uint64_t seed) {
+  ddgms::discri::CohortOptions opt;
+  opt.num_patients = patients;
+  opt.seed = seed;
+  auto raw = MustOk(ddgms::discri::GenerateCohort(opt), "cohort");
+  auto pipeline = ddgms::discri::MakeDiscriPipeline();
+  MustOk(pipeline.Run(&raw), "pipeline");
+  return raw;
+}
+
+void BM_IncrementalAppend(benchmark::State& state) {
+  Table base = TransformedBatch(900, 1);
+  Table batch = TransformedBatch(100, 2);
+  ddgms::warehouse::StarSchemaBuilder builder(
+      ddgms::discri::MakeDiscriSchemaDef());
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto wh = MustOk(builder.Build(base), "build");
+    state.ResumeTiming();
+    auto st = wh.AppendRows(batch);
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.num_rows()));
+}
+BENCHMARK(BM_IncrementalAppend)->Unit(benchmark::kMillisecond);
+
+void BM_FullRebuildForAppend(benchmark::State& state) {
+  Table base = TransformedBatch(900, 1);
+  Table batch = TransformedBatch(100, 2);
+  Table combined = base;
+  if (!combined.Concat(batch).ok()) std::abort();
+  ddgms::warehouse::StarSchemaBuilder builder(
+      ddgms::discri::MakeDiscriSchemaDef());
+  for (auto _ : state) {
+    auto wh = builder.Build(combined);
+    benchmark::DoNotOptimize(wh);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch.num_rows()));
+}
+BENCHMARK(BM_FullRebuildForAppend)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintStarSchema();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Experiment Fig 4: the drag-and-drop query — family history of
+// diabetes by age group and gender. Reproduces the cross-tab through
+// both the programmatic CubeQuery builder and MDX, prints the grid,
+// then times the query paths.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "mdx/executor.h"
+#include "mdx/parser.h"
+#include "report/render.h"
+
+namespace {
+
+using ddgms::AggFn;
+using ddgms::AggSpec;
+using ddgms::Value;
+using ddgms::bench::MustOk;
+using ddgms::bench::SharedDgms;
+
+const char* kMdxQuery =
+    "SELECT { [PersonalInformation].[Gender].Members } ON COLUMNS, "
+    "CROSSJOIN( { [PersonalInformation].[AgeBand].Members }, "
+    "{ [PersonalInformation].[FamilyHistoryDiabetes].Members } ) "
+    "ON ROWS FROM [MedicalMeasures]";
+
+void PrintFig4() {
+  auto& dgms = SharedDgms();
+  std::printf(
+      "=== Fig 4: family history of diabetes by age group x gender "
+      "===\n\n");
+  // Programmatic path: age band x family history x gender counts,
+  // rendered as one pivot per family-history value.
+  for (const char* fam : {"Yes", "No"}) {
+    ddgms::olap::CubeQuery q;
+    q.axes = {{"PersonalInformation", "AgeBand", {}},
+              {"PersonalInformation", "Gender", {}}};
+    q.slicers = {{"PersonalInformation", "FamilyHistoryDiabetes",
+                  {Value::Str(fam)}}};
+    q.measures = {AggSpec{AggFn::kCount, "", "attendances"}};
+    auto cube = MustOk(dgms.Query(q), "fig4 query");
+    auto grid = MustOk(cube.Pivot(0, 1), "fig4 pivot");
+    auto text = MustOk(
+        ddgms::report::RenderPivot(
+            grid, {.title = std::string("FamilyHistoryDiabetes = ") +
+                            fam}),
+        "fig4 render");
+    std::printf("%s\n", text.c_str());
+  }
+  std::printf("MDX equivalent:\n  %s\n\n", kMdxQuery);
+}
+
+void BM_Fig4CubeQuery(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  ddgms::olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "AgeBand", {}},
+            {"PersonalInformation", "FamilyHistoryDiabetes", {}},
+            {"PersonalInformation", "Gender", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  for (auto _ : state) {
+    auto cube = dgms.Query(q);
+    benchmark::DoNotOptimize(cube);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
+}
+BENCHMARK(BM_Fig4CubeQuery)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig4Mdx(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  for (auto _ : state) {
+    auto result = dgms.QueryMdx(kMdxQuery);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_Fig4Mdx)->Unit(benchmark::kMicrosecond);
+
+void BM_Fig4MdxParseOnly(benchmark::State& state) {
+  for (auto _ : state) {
+    auto parsed = ddgms::mdx::Parse(kMdxQuery);
+    benchmark::DoNotOptimize(parsed);
+  }
+}
+BENCHMARK(BM_Fig4MdxParseOnly);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintFig4();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,79 @@
+// Experiment Table I: the paper's clinical discretisation schemes
+// applied to the screening cohort. Prints each scheme with its band
+// boundaries/labels and the resulting band populations, then times
+// scheme application.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "discri/schemes.h"
+#include "etl/discretize.h"
+
+namespace {
+
+using ddgms::Table;
+using ddgms::bench::MustOk;
+using ddgms::bench::SharedDgms;
+
+void PrintTableOne() {
+  const Table& flat = SharedDgms().transformed();
+  std::printf("=== Table I: clinical discretisation schemes ===\n");
+  for (const auto& entry : ddgms::discri::TableOneSchemes()) {
+    std::printf("\n%s — %s\n  %s\n", entry.attribute.c_str(),
+                entry.description.c_str(),
+                entry.scheme.ToString().c_str());
+    auto col = flat.ColumnByName(entry.attribute);
+    if (!col.ok()) continue;
+    std::vector<size_t> counts(entry.scheme.num_bins(), 0);
+    size_t nulls = 0;
+    for (size_t i = 0; i < (*col)->size(); ++i) {
+      if ((*col)->IsNull(i)) {
+        ++nulls;
+        continue;
+      }
+      auto v = (*col)->NumericAt(i);
+      if (v.ok()) counts[entry.scheme.BinIndex(*v)]++;
+    }
+    std::printf("  bands:");
+    for (size_t b = 0; b < counts.size(); ++b) {
+      std::printf(" %s=%zu", entry.scheme.labels()[b].c_str(), counts[b]);
+    }
+    std::printf(" (null=%zu)\n", nulls);
+  }
+  std::printf("\n");
+}
+
+void BM_ApplyClinicalScheme(benchmark::State& state) {
+  const Table& flat = SharedDgms().transformed();
+  auto scheme = ddgms::discri::FbgScheme();
+  for (auto _ : state) {
+    Table copy = flat;
+    auto st = ddgms::etl::ApplyScheme(&copy, "FBG", scheme, "Band_bm");
+    benchmark::DoNotOptimize(st);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(flat.num_rows()));
+}
+BENCHMARK(BM_ApplyClinicalScheme);
+
+void BM_BinIndexLookup(benchmark::State& state) {
+  auto scheme = ddgms::discri::FbgScheme();
+  double v = 4.0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.BinIndex(v));
+    v += 0.37;
+    if (v > 12.0) v = 4.0;
+  }
+}
+BENCHMARK(BM_BinIndexLookup);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  PrintTableOne();
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

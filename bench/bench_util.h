@@ -1,0 +1,54 @@
+#ifndef DDGMS_BENCH_BENCH_UTIL_H_
+#define DDGMS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+
+namespace ddgms::bench {
+
+/// Builds (once per process) a DD-DGMS over a synthetic cohort of the
+/// given size. Benchmarks share this to avoid regenerating per
+/// iteration. Aborts on failure — benches have no error channel.
+inline core::DdDgms& SharedDgms(size_t num_patients = 900,
+                                uint64_t seed = 20130408) {
+  static std::unique_ptr<core::DdDgms> dgms = [num_patients, seed] {
+    discri::CohortOptions opt;
+    opt.num_patients = num_patients;
+    opt.seed = seed;
+    auto raw = discri::GenerateCohort(opt);
+    if (!raw.ok()) {
+      std::fprintf(stderr, "cohort: %s\n", raw.status().ToString().c_str());
+      std::abort();
+    }
+    auto built = core::DdDgms::Build(std::move(raw).value(),
+                                     discri::MakeDiscriPipeline(),
+                                     discri::MakeDiscriSchemaDef());
+    if (!built.ok()) {
+      std::fprintf(stderr, "dgms: %s\n",
+                   built.status().ToString().c_str());
+      std::abort();
+    }
+    return std::make_unique<core::DdDgms>(std::move(built).value());
+  }();
+  return *dgms;
+}
+
+/// Unwraps a Result or aborts with its status (bench-only).
+template <typename T>
+T MustOk(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what,
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+}  // namespace ddgms::bench
+
+#endif  // DDGMS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,158 @@
+// Interactive shell over the DD-DGMS: load a CSV extract (or generate a
+// synthetic cohort), then issue SQL / MDX queries and platform commands
+// line by line. Reads stdin, so it scripts cleanly:
+//
+//   echo 'sql SELECT Gender, count(*) FROM extract GROUP BY Gender' \
+//     | ./ddgms_shell --patients 100
+//
+// Commands:
+//   sql <SELECT ...>     OLTP query (tables: extract, fact, dimensions)
+//   mdx <SELECT ...>     OLAP query rendered as a grid
+//   dims                 list dimensions and member counts
+//   report               transformation report
+//   kb                   knowledge-base contents
+//   save <dir>           persist the warehouse
+//   help / quit
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "common/strings.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "table/describe.h"
+#include "warehouse/persist.h"
+
+namespace {
+
+using namespace ddgms;  // NOLINT: example brevity
+
+void PrintHelp() {
+  std::printf(
+      "commands:\n"
+      "  sql <SELECT ...>   query extract/fact/dimension tables\n"
+      "  mdx <SELECT ...>   OLAP query (cube: MedicalMeasures)\n"
+      "  dims               list dimensions\n"
+      "  report             transformation report\n"
+      "  describe           per-column profile of the extract\n"
+      "  kb                 knowledge base contents\n"
+      "  save <dir>         persist warehouse to a directory\n"
+      "  help | quit\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string csv_path;
+  size_t patients = 300;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
+      csv_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--patients") == 0 && i + 1 < argc) {
+      auto n = ParseInt64(argv[++i]);
+      if (n.ok() && *n > 0) patients = static_cast<size_t>(*n);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--csv extract.csv | --patients N]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  Result<Table> raw = Status::NotFound("unset");
+  if (!csv_path.empty()) {
+    raw = Table::FromCsvFile(csv_path);
+  } else {
+    discri::CohortOptions opt;
+    opt.num_patients = patients;
+    raw = discri::GenerateCohort(opt);
+  }
+  if (!raw.ok()) {
+    std::fprintf(stderr, "load: %s\n", raw.status().ToString().c_str());
+    return 1;
+  }
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  if (!dgms.ok()) {
+    std::fprintf(stderr, "build: %s\n",
+                 dgms.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("ddgms shell — %zu fact rows, %zu dimensions. Type "
+              "'help' for commands.\n",
+              dgms->warehouse().num_fact_rows(),
+              dgms->warehouse().dimensions().size());
+
+  std::string line;
+  while (std::printf("> "), std::fflush(stdout),
+         std::getline(std::cin, line)) {
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    if (trimmed == "quit" || trimmed == "exit") break;
+    if (trimmed == "help") {
+      PrintHelp();
+      continue;
+    }
+    if (trimmed == "dims") {
+      for (const auto& dim : dgms->warehouse().dimensions()) {
+        std::printf("  %-24s %6zu members\n", dim.name().c_str(),
+                    dim.num_members());
+      }
+      continue;
+    }
+    if (trimmed == "report") {
+      std::printf("%s\n", dgms->transform_report().ToString().c_str());
+      continue;
+    }
+    if (trimmed == "describe") {
+      auto profile = Describe(dgms->transformed());
+      if (profile.ok()) {
+        std::printf("%s", profile->ToPrettyString(80).c_str());
+      }
+      continue;
+    }
+    if (trimmed == "kb") {
+      auto table = dgms->knowledge_base().ToTable();
+      if (table.ok()) {
+        std::printf("%s", table->ToPrettyString(50).c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "save ")) {
+      std::string dir(Trim(trimmed.substr(5)));
+      Status st = warehouse::SaveWarehouse(dgms->warehouse(), dir);
+      std::printf("%s\n", st.ok() ? ("saved to " + dir).c_str()
+                                  : st.ToString().c_str());
+      continue;
+    }
+    if (StartsWith(trimmed, "sql ")) {
+      auto result = dgms->QuerySql(trimmed.substr(4));
+      if (result.ok()) {
+        std::printf("%s", result->ToPrettyString(40).c_str());
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "mdx ")) {
+      auto result = dgms->QueryMdx(trimmed.substr(4));
+      if (result.ok()) {
+        auto grid = result->ToGrid();
+        if (grid.ok()) {
+          std::printf("%s", grid->ToPrettyString(40).c_str());
+        } else {
+          std::printf("error: %s\n", grid.status().ToString().c_str());
+        }
+      } else {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+      }
+      continue;
+    }
+    std::printf("unknown command (try 'help')\n");
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// The paper's §V trial end to end on the synthetic DiScRi cohort:
+// transformation (Table I schemes), the Fig 3 warehouse, the Fig 4/5/6
+// OLAP analyses with rendered output, analytics on an isolated subset,
+// and knowledge-base capture of what was found.
+
+#include <cstdio>
+#include <string>
+
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "discri/schemes.h"
+#include "mining/awsum.h"
+#include "mining/dataset.h"
+#include "mining/eval.h"
+#include "mining/naive_bayes.h"
+#include "report/render.h"
+
+namespace {
+
+using namespace ddgms;  // NOLINT: example brevity
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+std::vector<Value> Members(const etl::DiscretisationScheme& scheme) {
+  std::vector<Value> out;
+  for (const std::string& l : scheme.labels()) out.push_back(Value::Str(l));
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  // --- data acquisition + transformation --------------------------------
+  auto raw = discri::GenerateCohort({});
+  if (!raw.ok()) return Fail(raw.status());
+  std::printf("DiScRi extract: %zu attendances, %zu attributes\n\n",
+              raw->num_rows(), raw->num_columns());
+
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  if (!dgms.ok()) return Fail(dgms.status());
+  std::printf("%s\n\n", dgms->transform_report().ToString().c_str());
+
+  // --- Fig 3: the dimensional model --------------------------------------
+  std::printf("star schema '%s':\n", dgms->warehouse().def().fact_name.c_str());
+  for (const auto& dim : dgms->warehouse().dimensions()) {
+    std::printf("  %-22s %5zu members\n", dim.name().c_str(),
+                dim.num_members());
+  }
+  std::printf("\n");
+
+  // --- Fig 5: diabetic age/gender distribution with drill-down -----------
+  olap::CubeQuery fig5;
+  fig5.axes = {{"PersonalInformation", "AgeBand10",
+                Members(discri::AgeBand10Scheme())},
+               {"PersonalInformation", "Gender", {}}};
+  fig5.slicers = {{"MedicalCondition", "DiabetesStatus",
+                   {Value::Str("Type2")}}};
+  fig5.measures = {{AggFn::kCount, "", "patients"}};
+  auto coarse = dgms->Query(fig5);
+  if (!coarse.ok()) return Fail(coarse.status());
+  auto grid = coarse->Pivot(0, 1);
+  if (!grid.ok()) return Fail(grid.status());
+  auto text = report::RenderPivot(
+      *grid, {.title = "Fig 5 — diabetic attendances (10-year bands)"});
+  std::printf("%s\n", text->c_str());
+
+  auto drilled = coarse->DrillDown(0);
+  if (!drilled.ok()) return Fail(drilled.status());
+  auto fine = drilled->Dice("PersonalInformation", "AgeBand5",
+                            Members(discri::AgeBand5Scheme()));
+  if (!fine.ok()) return Fail(fine.status());
+  auto fine_grid = fine->Pivot(0, 1);
+  auto fine_text = report::RenderPivot(
+      *fine_grid, {.title = "Fig 5 drill-down — 5-year bands"});
+  std::printf("%s\n", fine_text->c_str());
+
+  // --- Fig 6: hypertension duration by age -------------------------------
+  olap::CubeQuery fig6;
+  fig6.axes = {{"PersonalInformation", "AgeBand5",
+                Members(discri::AgeBand5Scheme())},
+               {"MedicalCondition", "DiagnosticHTYearsBand",
+                Members(discri::DiagnosticHtYearsScheme())}};
+  fig6.slicers = {{"MedicalCondition", "HypertensionStatus",
+                   {Value::Str("Yes")}}};
+  fig6.measures = {{AggFn::kCount, "", "cases"}};
+  auto ht = dgms->Query(fig6);
+  if (!ht.ok()) return Fail(ht.status());
+  auto ht_grid = ht->Pivot(0, 1);
+  auto ht_text = report::RenderPivot(
+      *ht_grid,
+      {.title = "Fig 6 — years since hypertension diagnosis by age"});
+  std::printf("%s\n", ht_text->c_str());
+
+  // --- analytics on an isolated cube subset ------------------------------
+  auto view = dgms->IsolateSubset({"FBGBand", "AnkleReflexes",
+                                   "KneeReflexes", "BMIBand", "AgeBand",
+                                   "FamilyHistoryDiabetes",
+                                   "DiabetesStatus"});
+  if (!view.ok()) return Fail(view.status());
+  auto data = mining::CategoricalDataset::FromTable(
+      *view,
+      {"FBGBand", "AnkleReflexes", "KneeReflexes", "BMIBand", "AgeBand",
+       "FamilyHistoryDiabetes"},
+      "DiabetesStatus");
+  if (!data.ok()) return Fail(data.status());
+  Rng rng(7);
+  auto split = data->Split(0.3, &rng);
+  mining::NaiveBayesClassifier nb;
+  if (auto st = nb.Train(split->first); !st.ok()) return Fail(st);
+  auto eval = mining::Evaluate(nb, split->second);
+  if (!eval.ok()) return Fail(eval.status());
+  std::printf("analytics: naive Bayes diabetes screen\n%s\n\n",
+              eval->ToString().c_str());
+
+  mining::AwsumClassifier awsum;
+  if (auto st = awsum.Train(*data); !st.ok()) return Fail(st);
+  auto interactions = awsum.Interactions(25);
+  if (interactions.ok() && !interactions->empty()) {
+    std::printf("AWSum knowledge acquisition (top interaction): "
+                "%s=%s & %s=%s -> %s\n\n",
+                (*interactions)[0].feature_a.c_str(),
+                (*interactions)[0].value_a.c_str(),
+                (*interactions)[0].feature_b.c_str(),
+                (*interactions)[0].value_b.c_str(),
+                (*interactions)[0].toward_class.c_str());
+  }
+
+  // --- knowledge base ----------------------------------------------------
+  auto& kb = dgms->knowledge_base();
+  kb.RecordEvidence("males dominate diabetic counts in 70-75; females in "
+                    "75-80",
+                    "olap", 0.8, {"diabetes", "age", "gender"});
+  kb.RecordEvidence("5-10y hypertension durations dip in the 70-80 band",
+                    "olap", 0.75, {"hypertension", "age"});
+  kb.RecordEvidence("absent reflexes with mid-range glucose raise "
+                    "diabetes risk",
+                    "analytics", 0.7, {"diabetes", "reflex", "glucose"});
+  auto kb_table = kb.ToTable();
+  if (!kb_table.ok()) return Fail(kb_table.status());
+  std::printf("knowledge base:\n%s\n", kb_table->ToPrettyString().c_str());
+  return 0;
+}

@@ -1,0 +1,146 @@
+#include "common/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace ddgms {
+
+namespace {
+
+// Shared CSV state machine. `allow_newlines` distinguishes the whole-
+// document parser from the single-record parser.
+Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
+    const std::string& text, char delim, bool allow_newlines) {
+  std::vector<std::vector<std::string>> rows;
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  bool row_started = false;
+
+  size_t i = 0;
+  const size_t n = text.size();
+  while (i < n) {
+    char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < n && text[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+        continue;
+      }
+      if ((c == '\n' || c == '\r') && !allow_newlines) {
+        return Status::ParseError("newline inside quoted field");
+      }
+      field.push_back(c);
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_quotes = true;
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+      row_started = true;
+      ++i;
+      continue;
+    }
+    if (c == '\r') {
+      ++i;  // Tolerate CRLF by skipping CR.
+      continue;
+    }
+    if (c == '\n') {
+      if (row_started || !field.empty()) {
+        fields.push_back(std::move(field));
+        field.clear();
+        rows.push_back(std::move(fields));
+        fields.clear();
+        row_started = false;
+      }
+      ++i;
+      continue;
+    }
+    field.push_back(c);
+    row_started = true;
+    ++i;
+  }
+  if (in_quotes) {
+    return Status::ParseError("unterminated quoted field");
+  }
+  if (row_started || !field.empty() || !fields.empty()) {
+    fields.push_back(std::move(field));
+    rows.push_back(std::move(fields));
+  }
+  return rows;
+}
+
+}  // namespace
+
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delim) {
+  auto rows = ParseCsvImpl(line, delim, /*allow_newlines=*/false);
+  if (!rows.ok()) return rows.status();
+  if (rows->empty()) return std::vector<std::string>{std::string()};
+  if (rows->size() > 1) {
+    return Status::ParseError("multiple records in single CSV line");
+  }
+  return std::move((*rows)[0]);
+}
+
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char delim) {
+  return ParseCsvImpl(text, delim, /*allow_newlines=*/true);
+}
+
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delim) {
+  std::string out;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) out.push_back(delim);
+    const std::string& f = fields[i];
+    bool needs_quote = f.find_first_of("\"\r\n") != std::string::npos ||
+                       f.find(delim) != std::string::npos;
+    if (!needs_quote) {
+      out += f;
+      continue;
+    }
+    out.push_back('"');
+    for (char c : f) {
+      if (c == '"') out.push_back('"');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  return out;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return Status::NotFound("cannot open file: " + path);
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+Status WriteFile(const std::string& path, const std::string& contents) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) {
+    return Status::Internal("cannot open file for writing: " + path);
+  }
+  out << contents;
+  if (!out) {
+    return Status::DataLoss("short write to file: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace ddgms

@@ -1,0 +1,36 @@
+#ifndef DDGMS_COMMON_CSV_H_
+#define DDGMS_COMMON_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ddgms {
+
+/// RFC-4180 style CSV support: fields containing the delimiter, quotes or
+/// newlines are quoted with `"` and embedded quotes doubled.
+
+/// Parses one CSV record (no embedded newlines) into fields.
+Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
+                                              char delim = ',');
+
+/// Parses a full CSV document (handles quoted embedded newlines).
+/// Returns rows of fields; ragged rows are permitted here and validated by
+/// higher layers.
+Result<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text, char delim = ',');
+
+/// Serializes fields into one CSV record (no trailing newline).
+std::string FormatCsvLine(const std::vector<std::string>& fields,
+                          char delim = ',');
+
+/// Reads an entire file into a string.
+Result<std::string> ReadFile(const std::string& path);
+
+/// Writes `contents` to `path`, replacing any existing file.
+Status WriteFile(const std::string& path, const std::string& contents);
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_CSV_H_

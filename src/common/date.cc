@@ -1,0 +1,97 @@
+#include "common/date.h"
+
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace ddgms {
+
+namespace {
+
+// Howard Hinnant's civil-from-days / days-from-civil algorithms.
+int64_t DaysFromCivil(int y, int m, int d) {
+  y -= m <= 2;
+  const int64_t era = (y >= 0 ? y : y - 399) / 400;
+  const unsigned yoe = static_cast<unsigned>(y - era * 400);
+  const unsigned doy =
+      (153 * (static_cast<unsigned>(m) + (m > 2 ? -3 : 9)) + 2) / 5 +
+      static_cast<unsigned>(d) - 1;
+  const unsigned doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+  return era * 146097 + static_cast<int64_t>(doe) - 719468;
+}
+
+void CivilFromDays(int64_t z, int* y, int* m, int* d) {
+  z += 719468;
+  const int64_t era = (z >= 0 ? z : z - 146096) / 146097;
+  const unsigned doe = static_cast<unsigned>(z - era * 146097);
+  const unsigned yoe = (doe - doe / 1460 + doe / 36524 - doe / 146096) / 365;
+  const int64_t yy = static_cast<int64_t>(yoe) + era * 400;
+  const unsigned doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+  const unsigned mp = (5 * doy + 2) / 153;
+  const unsigned dd = doy - (153 * mp + 2) / 5 + 1;
+  const unsigned mm = mp + (mp < 10 ? 3 : -9);
+  *y = static_cast<int>(yy + (mm <= 2));
+  *m = static_cast<int>(mm);
+  *d = static_cast<int>(dd);
+}
+
+bool IsLeapYear(int year) {
+  return (year % 4 == 0 && year % 100 != 0) || year % 400 == 0;
+}
+
+int DaysInMonth(int year, int month) {
+  static const int kDays[] = {31, 28, 31, 30, 31, 30, 31, 31, 30, 31, 30, 31};
+  if (month == 2 && IsLeapYear(year)) return 29;
+  return kDays[month - 1];
+}
+
+}  // namespace
+
+Result<Date> Date::FromYmd(int year, int month, int day) {
+  if (month < 1 || month > 12) {
+    return Status::InvalidArgument(
+        StrFormat("month out of range: %d", month));
+  }
+  if (day < 1 || day > DaysInMonth(year, month)) {
+    return Status::InvalidArgument(
+        StrFormat("day out of range for %d-%02d: %d", year, month, day));
+  }
+  return Date(static_cast<int32_t>(DaysFromCivil(year, month, day)));
+}
+
+Result<Date> Date::FromString(const std::string& text) {
+  int y = 0, m = 0, d = 0;
+  char tail = '\0';
+  int matched =
+      std::sscanf(text.c_str(), "%d-%d-%d%c", &y, &m, &d, &tail);
+  if (matched != 3) {
+    return Status::ParseError("not a date (want YYYY-MM-DD): '" + text + "'");
+  }
+  return FromYmd(y, m, d);
+}
+
+int Date::year() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return y;
+}
+
+int Date::month() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return m;
+}
+
+int Date::day() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return d;
+}
+
+std::string Date::ToString() const {
+  int y, m, d;
+  CivilFromDays(days_, &y, &m, &d);
+  return StrFormat("%04d-%02d-%02d", y, m, d);
+}
+
+}  // namespace ddgms

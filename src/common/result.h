@@ -1,0 +1,90 @@
+#ifndef DDGMS_COMMON_RESULT_H_
+#define DDGMS_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace ddgms {
+
+/// Holds either a value of type T or a non-OK Status explaining why the
+/// value is absent. Analogous to arrow::Result / absl::StatusOr.
+///
+/// Usage:
+///   Result<Table> r = LoadCsv(path);
+///   if (!r.ok()) return r.status();
+///   Table t = std::move(r).value();
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit so functions can `return value;`).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Constructs from a non-OK status (implicit so functions can
+  /// `return Status::...;`). Constructing from an OK status is a bug and
+  /// is converted to an Internal error.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  Result(const Result&) = default;
+  Result& operator=(const Result&) = default;
+  Result(Result&&) = default;
+  Result& operator=(Result&&) = default;
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status; Status::OK() if a value is present.
+  const Status& status() const { return status_; }
+
+  /// The contained value. Must not be called unless ok().
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` when this holds an error.
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;  // OK iff value_ present.
+  std::optional<T> value_;
+};
+
+/// Evaluates `rexpr` (a Result<T>), propagating its Status on failure,
+/// otherwise assigning the value to `lhs`. Enclosing function must return
+/// Status or Result<U>.
+#define DDGMS_ASSIGN_OR_RETURN(lhs, rexpr)              \
+  DDGMS_ASSIGN_OR_RETURN_IMPL(                          \
+      DDGMS_RESULT_CONCAT(_result_, __LINE__), lhs, rexpr)
+
+#define DDGMS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                \
+  if (!tmp.ok()) return tmp.status();                \
+  lhs = std::move(tmp).value()
+
+#define DDGMS_RESULT_CONCAT_INNER(a, b) a##b
+#define DDGMS_RESULT_CONCAT(a, b) DDGMS_RESULT_CONCAT_INNER(a, b)
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_RESULT_H_

@@ -1,0 +1,123 @@
+#ifndef DDGMS_COMMON_RNG_H_
+#define DDGMS_COMMON_RNG_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+namespace ddgms {
+
+/// Deterministic pseudo-random generator (splitmix64 seeded xoshiro256++).
+/// Implemented by hand (not std::*_distribution) so that sequences are
+/// identical across standard libraries and platforms: the synthetic DiScRi
+/// cohort, tests, and benches all depend on reproducible streams.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) { Reseed(seed); }
+
+  /// Re-initializes the state from a seed via splitmix64.
+  void Reseed(uint64_t seed) {
+    uint64_t x = seed;
+    for (int i = 0; i < 4; ++i) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      state_[i] = z ^ (z >> 31);
+    }
+  }
+
+  /// Uniform 64-bit value.
+  uint64_t NextUint64() {
+    uint64_t result = Rotl(state_[0] + state_[3], 23) + state_[0];
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    assert(lo <= hi);
+    uint64_t range = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(NextUint64() % range);
+  }
+
+  /// True with probability p (clamped to [0,1]).
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Standard normal via Box-Muller (deterministic, platform-independent).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1 = 0.0;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    double u2 = NextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Normal with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev) {
+    return mean + stddev * NextGaussian();
+  }
+
+  /// Samples an index in [0, weights.size()) proportionally to weights.
+  /// Weights must be non-negative with a positive sum.
+  size_t Categorical(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    assert(total > 0.0);
+    double r = NextDouble() * total;
+    double acc = 0.0;
+    for (size_t i = 0; i < weights.size(); ++i) {
+      acc += weights[i];
+      if (r < acc) return i;
+    }
+    return weights.size() - 1;
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      size_t j = static_cast<size_t>(UniformInt(0, static_cast<int64_t>(i)));
+      std::swap((*items)[i], (*items)[j]);
+    }
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  uint64_t state_[4] = {};
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_RNG_H_

@@ -1,0 +1,54 @@
+#ifndef DDGMS_COMMON_STRINGS_H_
+#define DDGMS_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ddgms {
+
+/// Splits `input` on `delim`. Adjacent delimiters yield empty fields;
+/// an empty input yields a single empty field.
+std::vector<std::string> Split(std::string_view input, char delim);
+
+/// Splits on `delim`, trimming ASCII whitespace from each field.
+std::vector<std::string> SplitAndTrim(std::string_view input, char delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view input);
+
+/// Joins `parts` with `sep` between elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+/// ASCII lower/upper casing (locale-independent).
+std::string ToLower(std::string_view input);
+std::string ToUpper(std::string_view input);
+
+/// True if `text` starts with / ends with the given affix.
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Case-insensitive ASCII equality.
+bool EqualsIgnoreCase(std::string_view a, std::string_view b);
+
+/// Strict numeric parsing: the entire string (after trimming) must be a
+/// valid number; otherwise a ParseError is returned.
+Result<double> ParseDouble(std::string_view text);
+Result<int64_t> ParseInt64(std::string_view text);
+Result<bool> ParseBool(std::string_view text);
+
+/// Formats a double compactly: integral values print without a fractional
+/// part; otherwise up to `precision` significant decimals, trailing zeros
+/// trimmed.
+std::string FormatDouble(double value, int precision = 6);
+
+/// printf-style formatting into a std::string.
+std::string StrFormat(const char* fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_STRINGS_H_

@@ -1,0 +1,39 @@
+#ifndef DDGMS_CORE_BASELINE_H_
+#define DDGMS_CORE_BASELINE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube.h"
+#include "table/table.h"
+
+namespace ddgms::core {
+
+/// The comparator architecture for bench A1: a DGMS *without* the data
+/// warehouse intermediation — multivariate queries run directly against
+/// the flat transformed extract (DG-SQL style), recomputing group-by
+/// tuples over full-width values on every query. It answers the same
+/// CubeQuery shapes as the warehouse path so results can be compared
+/// cell-for-cell; what it lacks is the dimensional structure (integer
+/// surrogate keys, member dictionaries, hierarchies, feedback
+/// dimensions).
+class BaselineDgms {
+ public:
+  /// The flat extract must outlive the baseline.
+  explicit BaselineDgms(const Table* flat) : flat_(flat) {}
+
+  /// Executes a CubeQuery by translation to a flat group-by: axis
+  /// attributes become group-by columns, slicers become IN predicates,
+  /// measures become aggregates. Axis member restrictions apply as
+  /// predicates too. Returns the flattened cell table (axis columns then
+  /// measure columns) sorted by axis values.
+  Result<Table> Execute(const olap::CubeQuery& query) const;
+
+ private:
+  const Table* flat_;
+};
+
+}  // namespace ddgms::core
+
+#endif  // DDGMS_CORE_BASELINE_H_

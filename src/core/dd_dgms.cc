@@ -1,0 +1,70 @@
+#include "core/dd_dgms.h"
+
+#include "table/sql.h"
+
+namespace ddgms::core {
+
+Result<DdDgms> DdDgms::Build(Table raw,
+                             const etl::TransformPipeline& pipeline,
+                             warehouse::StarSchemaDef schema_def) {
+  DdDgms dgms(std::move(raw), pipeline, std::move(schema_def));
+  DDGMS_RETURN_IF_ERROR(dgms.Rebuild());
+  return dgms;
+}
+
+Status DdDgms::Rebuild() {
+  Table working = raw_;
+  DDGMS_ASSIGN_OR_RETURN(report_, pipeline_.Run(&working));
+  transformed_ = std::move(working);
+  warehouse::StarSchemaBuilder builder(schema_def_);
+  DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh,
+                         builder.Build(transformed_));
+  if (warehouse_ == nullptr) {
+    warehouse_ = std::make_unique<warehouse::Warehouse>(std::move(wh));
+  } else {
+    // Assign in place so engine/cache pointers into the facade stay
+    // valid across AcquireData rebuilds.
+    *warehouse_ = std::move(wh);
+  }
+  return Status::OK();
+}
+
+Result<olap::Cube> DdDgms::Query(const olap::CubeQuery& query) const {
+  olap::CubeEngine engine(warehouse_.get());
+  return engine.Execute(query);
+}
+
+Result<mdx::MdxResult> DdDgms::QueryMdx(const std::string& mdx_text) const {
+  mdx::MdxExecutor executor(warehouse_.get());
+  return executor.Execute(mdx_text);
+}
+
+Result<Table> DdDgms::QuerySql(const std::string& sql) const {
+  SqlEngine engine;
+  engine.RegisterTable("extract", &transformed_);
+  engine.RegisterTable("fact", &warehouse_->fact());
+  for (const warehouse::Dimension& dim : warehouse_->dimensions()) {
+    engine.RegisterTable(dim.name(), &dim.table());
+  }
+  return engine.Execute(sql);
+}
+
+Result<Table> DdDgms::IsolateSubset(
+    const std::vector<std::string>& attributes) const {
+  return warehouse_->JoinedView(attributes);
+}
+
+Status DdDgms::AddFeedbackDimension(
+    const std::string& dimension_name, const std::string& attribute,
+    const std::function<Value(const warehouse::Warehouse&, size_t)>&
+        labeler) {
+  return warehouse_->AddFeedbackDimension(dimension_name, attribute,
+                                          labeler);
+}
+
+Status DdDgms::AcquireData(const Table& new_raw_rows) {
+  DDGMS_RETURN_IF_ERROR(raw_.Concat(new_raw_rows));
+  return Rebuild();
+}
+
+}  // namespace ddgms::core

@@ -1,0 +1,97 @@
+#ifndef DDGMS_CORE_DD_DGMS_H_
+#define DDGMS_CORE_DD_DGMS_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etl/pipeline.h"
+#include "kb/knowledge_base.h"
+#include "mdx/executor.h"
+#include "olap/cube.h"
+#include "table/table.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::core {
+
+/// The integrated Data-Driven Decision Guidance Management System
+/// (paper Fig 2): raw clinical extracts flow through the transformation
+/// pipeline into a star-schema warehouse; reporting (OLTP/OLAP/MDX),
+/// prediction, analytics and optimisation all read from the warehouse;
+/// derived findings accumulate in the knowledge base, and accepted
+/// findings can be folded back into the warehouse as feedback
+/// dimensions — closing the loop.
+class DdDgms {
+ public:
+  /// Builds the platform: runs `pipeline` over a copy of `raw`, then
+  /// populates the warehouse per `schema_def`.
+  static Result<DdDgms> Build(Table raw,
+                              const etl::TransformPipeline& pipeline,
+                              warehouse::StarSchemaDef schema_def);
+
+  DdDgms(DdDgms&&) = default;
+  DdDgms& operator=(DdDgms&&) = default;
+  DdDgms(const DdDgms&) = delete;
+  DdDgms& operator=(const DdDgms&) = delete;
+
+  /// The transformed flat extract (post-pipeline).
+  const Table& transformed() const { return transformed_; }
+  const etl::TransformReport& transform_report() const { return report_; }
+
+  const warehouse::Warehouse& warehouse() const { return *warehouse_; }
+  warehouse::Warehouse* mutable_warehouse() { return warehouse_.get(); }
+
+  /// OLAP entry point.
+  Result<olap::Cube> Query(const olap::CubeQuery& query) const;
+
+  /// MDX entry point.
+  Result<mdx::MdxResult> QueryMdx(const std::string& mdx_text) const;
+
+  /// SQL entry point over the OLTP layer: the transformed extract is
+  /// registered as `extract`, the fact table as `fact`, and each
+  /// dimension table under its (lower-cased) dimension name.
+  Result<Table> QuerySql(const std::string& sql) const;
+
+  /// Materializes a joined fact+attribute view for the analytics layer.
+  Result<Table> IsolateSubset(
+      const std::vector<std::string>& attributes) const;
+
+  /// Knowledge base (shared across features).
+  kb::KnowledgeBase& knowledge_base() { return kb_; }
+  const kb::KnowledgeBase& knowledge_base() const { return kb_; }
+
+  /// Feedback loop (paper §IV Data Warehouse: "further dimensions are
+  /// introduced to capture user feedback"): labels every fact row and
+  /// registers the labels as a new dimension for future analyses.
+  Status AddFeedbackDimension(
+      const std::string& dimension_name, const std::string& attribute,
+      const std::function<Value(const warehouse::Warehouse&, size_t)>&
+          labeler);
+
+  /// Closed-loop data acquisition: appends newly collected raw rows,
+  /// re-runs the pipeline and rebuilds the warehouse (the knowledge base
+  /// is preserved).
+  Status AcquireData(const Table& new_raw_rows);
+
+ private:
+  DdDgms(Table raw, etl::TransformPipeline pipeline,
+         warehouse::StarSchemaDef schema_def)
+      : raw_(std::move(raw)),
+        pipeline_(std::move(pipeline)),
+        schema_def_(std::move(schema_def)) {}
+
+  Status Rebuild();
+
+  Table raw_;  // untouched accumulated extract
+  etl::TransformPipeline pipeline_;
+  warehouse::StarSchemaDef schema_def_;
+  Table transformed_;
+  etl::TransformReport report_;
+  std::unique_ptr<warehouse::Warehouse> warehouse_;
+  kb::KnowledgeBase kb_;
+};
+
+}  // namespace ddgms::core
+
+#endif  // DDGMS_CORE_DD_DGMS_H_

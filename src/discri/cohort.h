@@ -1,0 +1,64 @@
+#ifndef DDGMS_DISCRI_COHORT_H_
+#define DDGMS_DISCRI_COHORT_H_
+
+#include <cstdint>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::discri {
+
+/// Synthetic stand-in for the DiScRi screening dataset (Jelinek et al.
+/// 2006): the real data (~900 patients, ~2500 attendances, 273
+/// attributes) is proprietary, so this generator emits an attendance
+/// extract with the published structure and the aggregate patterns the
+/// paper's evaluation reports:
+///
+///  * diabetes prevalence rising with age, with the Fig 5 gender
+///    crossover — males dominate the 70-75 band, females the 75-80
+///    band, and the proportion of female diabetics drops sharply past
+///    ~78;
+///  * the Fig 6 dip of 5-10-year hypertension durations in the 70-75
+///    and 75-80 age bands;
+///  * family-history / age / gender mix for the Fig 4 cross-tab;
+///  * repeat attendances (cardinality), measure drift across visits
+///    (temporal abstraction), Ewing-battery results with age-dependent
+///    missing handgrip tests, and reflex/glucose interactions in the
+///    spirit of the AWSum finding the paper recounts;
+///  * MCAR missingness and implausible entry errors for the cleaning
+///    stage.
+///
+/// One row per attendance; ~50 clinical attributes (the load-bearing
+/// subset of the 273 — see DESIGN.md).
+struct CohortOptions {
+  size_t num_patients = 900;
+  uint64_t seed = 20130408;  // ICDEW'13 workshop date
+  int first_visit_year_min = 2002;
+  int first_visit_year_max = 2008;
+  /// Per-cell missingness for biomarker columns / core columns.
+  double biomarker_missing_rate = 0.10;
+  double core_missing_rate = 0.03;
+  /// Probability of an implausible entry error on a measurement cell.
+  double error_rate = 0.004;
+};
+
+/// Generates the attendance extract. Columns include PatientId,
+/// VisitDate, demographics, condition status, fasting bloods, limb
+/// health, blood pressure, Ewing battery, ECG, medication flags and
+/// inflammatory/oxidative-stress biomarkers.
+Result<Table> GenerateCohort(const CohortOptions& options = {});
+
+/// The diabetes prevalence used by the generator for a given age and
+/// gender ("M"/"F") — exposed so tests and benches can verify the
+/// published Fig 5 shape against first principles.
+double DiabetesPrevalence(int age, const std::string& gender);
+
+/// The hypertension-duration band weights used for a given age band
+/// (5-year band label from AgeBand5Scheme). Order matches
+/// DiagnosticHtYearsScheme labels (<2, 2-5, 5-10, 10-20, >20).
+std::vector<double> HtDurationWeights(int age);
+
+}  // namespace ddgms::discri
+
+#endif  // DDGMS_DISCRI_COHORT_H_

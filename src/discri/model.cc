@@ -1,0 +1,139 @@
+#include "discri/model.h"
+
+#include "discri/schemes.h"
+#include "etl/cleaner.h"
+#include "etl/pipeline.h"
+
+namespace ddgms::discri {
+
+using etl::DiscretisationStep;
+using etl::ErrorAction;
+using etl::RangeRule;
+using warehouse::DimensionDef;
+using warehouse::Hierarchy;
+using warehouse::MeasureDef;
+using warehouse::StarSchemaDef;
+
+etl::TransformPipeline MakeDiscriPipeline() {
+  etl::Cleaner cleaner;
+  cleaner.set_dedupe_keys({"PatientId", "VisitDate"});
+  cleaner
+      .AddRangeRule(RangeRule{"FBG", 1.0, 35.0, ErrorAction::kSetNull})
+      .AddRangeRule(
+          RangeRule{"HbA1c", 3.0, 20.0, ErrorAction::kSetNull})
+      .AddRangeRule(
+          RangeRule{"LyingSBPAverage", 60.0, 260.0, ErrorAction::kSetNull})
+      .AddRangeRule(
+          RangeRule{"LyingDBPAverage", 30.0, 140.0, ErrorAction::kSetNull})
+      .AddRangeRule(RangeRule{"BMI", 10.0, 70.0, ErrorAction::kSetNull})
+      .AddRangeRule(
+          RangeRule{"eGFR", 1.0, 160.0, ErrorAction::kSetNull})
+      .AddRangeRule(
+          RangeRule{"TotalCholesterol", 1.0, 15.0, ErrorAction::kSetNull});
+
+  etl::TransformPipeline pipeline;
+  pipeline.set_cleaner(std::move(cleaner));
+  pipeline
+      .AddDiscretisation(DiscretisationStep{"Age", AgeScheme(), "AgeBand"})
+      .AddDiscretisation(
+          DiscretisationStep{"Age", AgeBand10Scheme(), "AgeBand10"})
+      .AddDiscretisation(
+          DiscretisationStep{"Age", AgeBand5Scheme(), "AgeBand5"})
+      .AddDiscretisation(DiscretisationStep{
+          "DiagnosticHTYears", DiagnosticHtYearsScheme(),
+          "DiagnosticHTYearsBand"})
+      .AddDiscretisation(DiscretisationStep{"FBG", FbgScheme(), "FBGBand"})
+      .AddDiscretisation(DiscretisationStep{
+          "LyingDBPAverage", LyingDbpScheme(), "LyingDBPBand"})
+      .AddDiscretisation(DiscretisationStep{
+          "LyingSBPAverage", SystolicBpScheme(), "LyingSBPBand"})
+      .AddDiscretisation(DiscretisationStep{"BMI", BmiScheme(), "BMIBand"})
+      .AddDiscretisation(
+          DiscretisationStep{"eGFR", EgfrScheme(), "eGFRBand"})
+      .AddDiscretisation(DiscretisationStep{
+          "TotalCholesterol", CholesterolScheme(), "CholesterolBand"})
+      .AddDiscretisation(
+          DiscretisationStep{"HbA1c", Hba1cScheme(), "HbA1cBand"})
+      .AddDiscretisation(DiscretisationStep{
+          "ECGHeartRate", HeartRateScheme(), "HeartRateBand"})
+      .AddDiscretisation(DiscretisationStep{"QTc", QtcScheme(), "QTcBand"});
+  pipeline.set_cardinality("PatientId", "VisitDate");
+  pipeline.AddCustomStep(etl::DeriveYearStep("VisitDate", "VisitYear"));
+  return pipeline;
+}
+
+StarSchemaDef MakeDiscriSchemaDef() {
+  StarSchemaDef def;
+  def.fact_name = "MedicalMeasures";
+  def.degenerate_key = "RecordId";
+  def.measures = {
+      MeasureDef{"FBG", "FBG"},
+      MeasureDef{"HbA1c", "HbA1c"},
+      MeasureDef{"BMI", "BMI"},
+      MeasureDef{"LyingSBPAverage", "LyingSBPAverage"},
+      MeasureDef{"LyingDBPAverage", "LyingDBPAverage"},
+      MeasureDef{"eGFR", "eGFR"},
+      MeasureDef{"TotalCholesterol", "TotalCholesterol"},
+      MeasureDef{"EwingDeepBreathing", "EwingDeepBreathing"},
+      MeasureDef{"QTc", "QTc"},
+      MeasureDef{"Age", "Age"},
+  };
+
+  DimensionDef personal;
+  personal.name = "PersonalInformation";
+  personal.attributes = {"Gender",
+                         "Education",
+                         "FamilyHistoryDiabetes",
+                         "FamilyHistoryHeartDisease",
+                         "Smoker",
+                         "BMIBand",
+                         "AgeBand",
+                         "AgeBand10",
+                         "AgeBand5"};
+  personal.hierarchies = {Hierarchy{"AgeBands", {"AgeBand10", "AgeBand5"}}};
+
+  DimensionDef condition;
+  condition.name = "MedicalCondition";
+  condition.attributes = {"DiabetesStatus", "HypertensionStatus",
+                          "DiagnosticHTYearsBand", "EwingCategory"};
+
+  DimensionDef bloods;
+  bloods.name = "FastingBloods";
+  bloods.attributes = {"FBGBand", "HbA1cBand", "CholesterolBand",
+                       "eGFRBand"};
+
+  DimensionDef limb;
+  limb.name = "LimbHealth";
+  limb.attributes = {"KneeReflexes", "AnkleReflexes", "Monofilament"};
+
+  DimensionDef exercise;
+  exercise.name = "ExerciseRoutine";
+  exercise.attributes = {"ExerciseRoutine"};
+
+  DimensionDef bp;
+  bp.name = "BloodPressure";
+  bp.attributes = {"LyingDBPBand", "LyingSBPBand"};
+
+  DimensionDef ecg;
+  ecg.name = "ECG";
+  ecg.attributes = {"HeartRateBand", "QTcBand"};
+
+  DimensionDef cardinality;
+  cardinality.name = "Cardinality";
+  cardinality.attributes = {"VisitNumber", "VisitCount", "VisitYear"};
+
+  def.dimensions = {personal, condition, bloods, limb,
+                    exercise, bp,       ecg,    cardinality};
+  return def;
+}
+
+Result<warehouse::Warehouse> BuildDiscriWarehouse(
+    Table* raw, etl::TransformReport* report) {
+  etl::TransformPipeline pipeline = MakeDiscriPipeline();
+  DDGMS_ASSIGN_OR_RETURN(etl::TransformReport r, pipeline.Run(raw));
+  if (report != nullptr) *report = r;
+  warehouse::StarSchemaBuilder builder(MakeDiscriSchemaDef());
+  return builder.Build(*raw);
+}
+
+}  // namespace ddgms::discri

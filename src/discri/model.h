@@ -1,0 +1,31 @@
+#ifndef DDGMS_DISCRI_MODEL_H_
+#define DDGMS_DISCRI_MODEL_H_
+
+#include "common/result.h"
+#include "etl/pipeline.h"
+#include "table/table.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::discri {
+
+/// The standard DiScRi transformation pipeline (paper §V.A): plausibility
+/// cleaning of measurement columns, the Table I clinical discretisation
+/// schemes plus the auxiliary schemes the dimensional model needs, and
+/// per-patient cardinality assignment.
+etl::TransformPipeline MakeDiscriPipeline();
+
+/// The paper's Fig 3 dimensional model: fact MedicalMeasures with eight
+/// dimensions — PersonalInformation, MedicalCondition, FastingBloods,
+/// LimbHealth, ExerciseRoutine, BloodPressure, ECG and Cardinality —
+/// with the age-band hierarchy used by the Fig 5 drill-down.
+warehouse::StarSchemaDef MakeDiscriSchemaDef();
+
+/// Runs the pipeline on a raw extract in place, then builds the Fig 3
+/// warehouse from it. `report` (optional) receives the transform
+/// accounting.
+Result<warehouse::Warehouse> BuildDiscriWarehouse(
+    Table* raw, etl::TransformReport* report = nullptr);
+
+}  // namespace ddgms::discri
+
+#endif  // DDGMS_DISCRI_MODEL_H_

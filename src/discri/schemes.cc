@@ -1,0 +1,100 @@
+#include "discri/schemes.h"
+
+#include <cassert>
+
+namespace ddgms::discri {
+
+namespace {
+
+etl::DiscretisationScheme MustMake(std::string name,
+                                   std::vector<double> cuts,
+                                   std::vector<std::string> labels) {
+  auto scheme = etl::DiscretisationScheme::Make(
+      std::move(name), std::move(cuts), std::move(labels));
+  assert(scheme.ok());
+  return std::move(scheme).value();
+}
+
+}  // namespace
+
+etl::DiscretisationScheme AgeScheme() {
+  return MustMake("Age", {40, 60, 80}, {"<40", "40-60", "60-80", ">80"});
+}
+
+etl::DiscretisationScheme AgeBand10Scheme() {
+  return MustMake("AgeBand10", {40, 50, 60, 70, 80, 90},
+                  {"<40", "40-50", "50-60", "60-70", "70-80", "80-90",
+                   ">=90"});
+}
+
+etl::DiscretisationScheme AgeBand5Scheme() {
+  return MustMake(
+      "AgeBand5",
+      {40, 45, 50, 55, 60, 65, 70, 75, 80, 85, 90},
+      {"<40", "40-45", "45-50", "50-55", "55-60", "60-65", "65-70",
+       "70-75", "75-80", "80-85", "85-90", ">=90"});
+}
+
+etl::DiscretisationScheme DiagnosticHtYearsScheme() {
+  return MustMake("DiagnosticHTYears", {2, 5, 10, 20},
+                  {"<2", "2-5", "5-10", "10-20", ">20"});
+}
+
+etl::DiscretisationScheme FbgScheme() {
+  return MustMake("FBG", {5.5, 6.1, 7.0},
+                  {"very good", "high", "preDiabetic", "Diabetic"});
+}
+
+etl::DiscretisationScheme LyingDbpScheme() {
+  return MustMake("LyingDBPAverage", {60, 80, 90},
+                  {"low", "normal", "high normal", "hypertension"});
+}
+
+etl::DiscretisationScheme SystolicBpScheme() {
+  return MustMake("LyingSBPAverage", {120, 140, 160},
+                  {"normal", "elevated", "stage1", "stage2"});
+}
+
+etl::DiscretisationScheme BmiScheme() {
+  return MustMake("BMI", {18.5, 25, 30},
+                  {"underweight", "normal", "overweight", "obese"});
+}
+
+etl::DiscretisationScheme EgfrScheme() {
+  return MustMake("eGFR", {30, 60, 90},
+                  {"severe", "moderate", "mild", "normal"});
+}
+
+etl::DiscretisationScheme CholesterolScheme() {
+  return MustMake("TotalCholesterol", {4, 5.5, 6.5},
+                  {"optimal", "normal", "high", "very high"});
+}
+
+etl::DiscretisationScheme Hba1cScheme() {
+  return MustMake("HbA1c", {5.7, 6.5},
+                  {"normal", "preDiabetic", "Diabetic"});
+}
+
+etl::DiscretisationScheme HeartRateScheme() {
+  return MustMake("ECGHeartRate", {60, 80, 100},
+                  {"bradycardic", "normal", "elevated", "tachycardic"});
+}
+
+etl::DiscretisationScheme QtcScheme() {
+  return MustMake("QTc", {430, 450}, {"normal", "borderline", "prolonged"});
+}
+
+std::vector<TableOneEntry> TableOneSchemes() {
+  return {
+      TableOneEntry{"Age", "Participant's age on test date", AgeScheme()},
+      TableOneEntry{"DiagnosticHTYears",
+                    "Number of years since diagnosis of hypertension",
+                    DiagnosticHtYearsScheme()},
+      TableOneEntry{"FBG", "Fasting blood glucose level", FbgScheme()},
+      TableOneEntry{"LyingDBPAverage",
+                    "Diastolic blood pressure when lying down",
+                    LyingDbpScheme()},
+  };
+}
+
+}  // namespace ddgms::discri

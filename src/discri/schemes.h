@@ -1,0 +1,77 @@
+#ifndef DDGMS_DISCRI_SCHEMES_H_
+#define DDGMS_DISCRI_SCHEMES_H_
+
+#include <string>
+#include <vector>
+
+#include "etl/discretize.h"
+
+namespace ddgms::discri {
+
+/// The clinical discretisation schemes of the paper's Table I, plus the
+/// additional schemes the DiScRi dimensional model needs (BMI, systolic
+/// BP, kidney function, age hierarchies for the Fig 5 drill-down).
+/// All factory functions return schemes whose labels follow the paper's
+/// spelling where given.
+
+/// Age: <40, 40-60, 60-80, >80 (paper Table I).
+etl::DiscretisationScheme AgeScheme();
+
+/// 10-year age bands for OLAP axes: <40, 40-50, ..., 80-90, >=90.
+etl::DiscretisationScheme AgeBand10Scheme();
+
+/// 5-year age bands (drill-down target of Fig 5): <40, 40-45, ..., >=90.
+etl::DiscretisationScheme AgeBand5Scheme();
+
+/// Years since hypertension diagnosis: <2, 2-5, 5-10, 10-20, >20
+/// (paper Table I).
+etl::DiscretisationScheme DiagnosticHtYearsScheme();
+
+/// Fasting blood glucose (mmol/L): <5.5 very good, 5.5-6.1 high,
+/// 6.1-7 preDiabetic, >=7 Diabetic (paper Table I).
+etl::DiscretisationScheme FbgScheme();
+
+/// Lying diastolic BP (mmHg): <60 low, 60-80 normal, 80-90 high normal,
+/// >90 hypertension (paper Table I).
+etl::DiscretisationScheme LyingDbpScheme();
+
+/// Systolic BP (mmHg): <120 normal, 120-140 elevated, 140-160 stage1,
+/// >=160 stage2.
+etl::DiscretisationScheme SystolicBpScheme();
+
+/// BMI (kg/m2): <18.5 underweight, 18.5-25 normal, 25-30 overweight,
+/// >=30 obese.
+etl::DiscretisationScheme BmiScheme();
+
+/// eGFR (mL/min/1.73m2): <30 severe, 30-60 moderate, 60-90 mild,
+/// >=90 normal.
+etl::DiscretisationScheme EgfrScheme();
+
+/// Total cholesterol (mmol/L): <4 optimal, 4-5.5 normal, 5.5-6.5 high,
+/// >=6.5 very high.
+etl::DiscretisationScheme CholesterolScheme();
+
+/// HbA1c (%): <5.7 normal, 5.7-6.5 preDiabetic, >=6.5 Diabetic.
+etl::DiscretisationScheme Hba1cScheme();
+
+/// Resting heart rate (bpm): <60 bradycardic, 60-80 normal,
+/// 80-100 elevated, >=100 tachycardic.
+etl::DiscretisationScheme HeartRateScheme();
+
+/// QTc interval (ms): <430 normal, 430-450 borderline, >=450 prolonged.
+etl::DiscretisationScheme QtcScheme();
+
+/// One Table I row: attribute, description and its clinical scheme.
+struct TableOneEntry {
+  std::string attribute;
+  std::string description;
+  etl::DiscretisationScheme scheme;
+};
+
+/// The four schemes the paper's Table I lists, in paper order
+/// (Age, Diagnostic HT Years, FBG, Lying DBP Average).
+std::vector<TableOneEntry> TableOneSchemes();
+
+}  // namespace ddgms::discri
+
+#endif  // DDGMS_DISCRI_SCHEMES_H_

@@ -1,0 +1,95 @@
+#include "etl/cardinality.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace ddgms::etl {
+
+Result<CardinalityReport> AssignCardinality(
+    Table* table, const std::string& entity_column,
+    const std::string& date_column, const CardinalityOptions& options) {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* entity,
+                         table->ColumnByName(entity_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* date,
+                         table->ColumnByName(date_column));
+  if (date->type() != DataType::kDate) {
+    return Status::InvalidArgument("column '" + date_column +
+                                   "' is not a date column");
+  }
+
+  CardinalityReport report;
+
+  // entity -> list of (date days or sentinel, original row).
+  struct VisitRef {
+    int64_t date_key;  // days since epoch, or INT64_MAX when date null
+    size_t row;
+  };
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  std::map<Value, std::vector<VisitRef>, ValueLess> by_entity;
+  const size_t n = table->num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (entity->IsNull(i)) continue;
+    int64_t key;
+    if (date->IsNull(i)) {
+      key = INT64_MAX;
+      ++report.rows_missing_date;
+    } else {
+      key = date->DateAt(i).days_since_epoch();
+    }
+    by_entity[entity->GetValue(i)].push_back(VisitRef{key, i});
+  }
+  report.num_entities = by_entity.size();
+
+  std::vector<int64_t> visit_number(n, -1);
+  std::vector<int64_t> visit_count(n, -1);
+  for (auto& [ent, visits] : by_entity) {
+    std::stable_sort(visits.begin(), visits.end(),
+                     [](const VisitRef& a, const VisitRef& b) {
+                       return a.date_key < b.date_key;
+                     });
+    std::set<int64_t> seen_dates;
+    for (size_t k = 0; k < visits.size(); ++k) {
+      visit_number[visits[k].row] = static_cast<int64_t>(k + 1);
+      visit_count[visits[k].row] = static_cast<int64_t>(visits.size());
+      if (visits[k].date_key != INT64_MAX &&
+          !seen_dates.insert(visits[k].date_key).second) {
+        ++report.duplicate_visits;
+      }
+    }
+    report.max_visits = std::max(report.max_visits, visits.size());
+  }
+
+  ColumnVector number_col(options.visit_number_column, DataType::kInt64);
+  for (size_t i = 0; i < n; ++i) {
+    if (visit_number[i] < 0) {
+      number_col.AppendNull();
+    } else {
+      number_col.AppendInt(visit_number[i]);
+    }
+  }
+  DDGMS_RETURN_IF_ERROR(table->AddColumn(std::move(number_col)));
+
+  if (!options.visit_count_column.empty()) {
+    ColumnVector count_col(options.visit_count_column, DataType::kInt64);
+    for (size_t i = 0; i < n; ++i) {
+      if (visit_count[i] < 0) {
+        count_col.AppendNull();
+      } else {
+        count_col.AppendInt(visit_count[i]);
+      }
+    }
+    DDGMS_RETURN_IF_ERROR(table->AddColumn(std::move(count_col)));
+  }
+  return report;
+}
+
+}  // namespace ddgms::etl

@@ -1,0 +1,45 @@
+#ifndef DDGMS_ETL_CARDINALITY_H_
+#define DDGMS_ETL_CARDINALITY_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+
+/// Cardinality assignment (paper §IV.3): patients attend the screening
+/// clinic repeatedly, so each attendance record needs a per-patient visit
+/// ordinal. The warehouse later promotes this ordinal into a dedicated
+/// Cardinality dimension — "while the fact table would distinguish
+/// between records, the cardinality dimension was necessary to
+/// distinguish between patients".
+struct CardinalityOptions {
+  /// Output column for the 1-based visit ordinal per entity.
+  std::string visit_number_column = "VisitNumber";
+  /// Output column for the entity's total visit count (same value on all
+  /// of its rows). Empty string disables.
+  std::string visit_count_column = "VisitCount";
+};
+
+struct CardinalityReport {
+  size_t num_entities = 0;
+  size_t max_visits = 0;
+  /// Rows whose entity id or date was null (ordinal assigned by original
+  /// row order at the end of the entity's sequence).
+  size_t rows_missing_date = 0;
+  /// Entity/date pairs occurring more than once (duplicate same-day
+  /// attendances; kept, numbered in row order).
+  size_t duplicate_visits = 0;
+};
+
+/// Adds visit-ordinal (and optionally visit-count) columns to `table`,
+/// ordering each entity's rows by `date_column`. Rows with null entity
+/// ids are left null.
+Result<CardinalityReport> AssignCardinality(
+    Table* table, const std::string& entity_column,
+    const std::string& date_column, const CardinalityOptions& options = {});
+
+}  // namespace ddgms::etl
+
+#endif  // DDGMS_ETL_CARDINALITY_H_

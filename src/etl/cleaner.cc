@@ -1,0 +1,205 @@
+#include "etl/cleaner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace ddgms::etl {
+
+std::string CleaningReport::ToString() const {
+  std::string out = StrFormat(
+      "cleaning: %zu nulled, %zu clamped, %zu rows dropped, %zu "
+      "duplicates, %zu imputed",
+      cells_nulled, cells_clamped, rows_dropped, duplicates_dropped,
+      cells_imputed);
+  for (const auto& [col, n] : errors_by_column) {
+    out += StrFormat("\n  errors[%s] = %zu", col.c_str(), n);
+  }
+  for (const auto& [col, n] : imputed_by_column) {
+    out += StrFormat("\n  imputed[%s] = %zu", col.c_str(), n);
+  }
+  return out;
+}
+
+namespace {
+
+Result<Value> ComputeImputeValue(const ColumnVector& col,
+                                 const ImputeRule& rule) {
+  switch (rule.method) {
+    case ImputeMethod::kNone:
+      return Value::Null();
+    case ImputeMethod::kConstant:
+      return rule.constant;
+    case ImputeMethod::kMean: {
+      double sum = 0.0;
+      size_t n = 0;
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col.IsNull(i)) continue;
+        DDGMS_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
+        sum += v;
+        ++n;
+      }
+      if (n == 0) return Value::Null();
+      double mean = sum / static_cast<double>(n);
+      if (col.type() == DataType::kInt64) {
+        return Value::Int(static_cast<int64_t>(std::llround(mean)));
+      }
+      return Value::Real(mean);
+    }
+    case ImputeMethod::kMedian: {
+      std::vector<double> vals;
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col.IsNull(i)) continue;
+        DDGMS_ASSIGN_OR_RETURN(double v, col.NumericAt(i));
+        vals.push_back(v);
+      }
+      if (vals.empty()) return Value::Null();
+      size_t mid = vals.size() / 2;
+      std::nth_element(vals.begin(), vals.begin() + mid, vals.end());
+      double median = vals[mid];
+      if (vals.size() % 2 == 0) {
+        double lower = *std::max_element(vals.begin(), vals.begin() + mid);
+        median = (median + lower) / 2.0;
+      }
+      if (col.type() == DataType::kInt64) {
+        return Value::Int(static_cast<int64_t>(std::llround(median)));
+      }
+      return Value::Real(median);
+    }
+    case ImputeMethod::kMode: {
+      std::unordered_map<Value, size_t, ValueHash, ValueEq> counts;
+      for (size_t i = 0; i < col.size(); ++i) {
+        if (col.IsNull(i)) continue;
+        counts[col.GetValue(i)]++;
+      }
+      Value best = Value::Null();
+      size_t best_n = 0;
+      for (const auto& [v, n] : counts) {
+        if (n > best_n) {
+          best_n = n;
+          best = v;
+        }
+      }
+      return best;
+    }
+  }
+  return Status::Internal("bad impute method");
+}
+
+}  // namespace
+
+Result<CleaningReport> Cleaner::Run(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  CleaningReport report;
+
+  // Phase 0: duplicate-record removal by key columns (first wins).
+  if (!dedupe_keys_.empty()) {
+    std::vector<const ColumnVector*> key_cols;
+    key_cols.reserve(dedupe_keys_.size());
+    for (const std::string& k : dedupe_keys_) {
+      DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                             table->ColumnByName(k));
+      key_cols.push_back(col);
+    }
+    std::unordered_set<std::vector<Value>, ValueVectorHash, ValueVectorEq>
+        seen;
+    std::vector<size_t> keep;
+    keep.reserve(table->num_rows());
+    for (size_t i = 0; i < table->num_rows(); ++i) {
+      std::vector<Value> key;
+      key.reserve(key_cols.size());
+      bool has_null = false;
+      for (const ColumnVector* col : key_cols) {
+        if (col->IsNull(i)) {
+          has_null = true;
+          break;
+        }
+        key.push_back(col->GetValue(i));
+      }
+      if (has_null || seen.insert(std::move(key)).second) {
+        keep.push_back(i);
+      } else {
+        ++report.duplicates_dropped;
+      }
+    }
+    if (report.duplicates_dropped > 0) {
+      *table = table->Take(keep);
+    }
+  }
+
+  // Phase 1: plausibility rules. Collect rows to drop, then drop once.
+  std::vector<bool> drop(table->num_rows(), false);
+  for (const RangeRule& rule : range_rules_) {
+    if (rule.min_value > rule.max_value) {
+      return Status::InvalidArgument(
+          StrFormat("range rule for '%s' has min > max",
+                    rule.column.c_str()));
+    }
+    DDGMS_ASSIGN_OR_RETURN(ColumnVector * col,
+                           table->MutableColumnByName(rule.column));
+    if (!IsNumeric(col->type())) {
+      return Status::InvalidArgument(
+          StrFormat("range rule column '%s' is not numeric",
+                    rule.column.c_str()));
+    }
+    for (size_t i = 0; i < col->size(); ++i) {
+      if (col->IsNull(i)) continue;
+      DDGMS_ASSIGN_OR_RETURN(double v, col->NumericAt(i));
+      if (v >= rule.min_value && v <= rule.max_value) continue;
+      report.errors_by_column[rule.column]++;
+      switch (rule.action) {
+        case ErrorAction::kSetNull:
+          DDGMS_RETURN_IF_ERROR(col->SetValue(i, Value::Null()));
+          ++report.cells_nulled;
+          break;
+        case ErrorAction::kClamp: {
+          double clamped = std::clamp(v, rule.min_value, rule.max_value);
+          Value nv = col->type() == DataType::kInt64
+                         ? Value::Int(static_cast<int64_t>(
+                               std::llround(clamped)))
+                         : Value::Real(clamped);
+          DDGMS_RETURN_IF_ERROR(col->SetValue(i, nv));
+          ++report.cells_clamped;
+          break;
+        }
+        case ErrorAction::kDropRow:
+          if (!drop[i]) {
+            drop[i] = true;
+            ++report.rows_dropped;
+          }
+          break;
+      }
+    }
+  }
+  if (report.rows_dropped > 0) {
+    std::vector<size_t> keep;
+    keep.reserve(table->num_rows() - report.rows_dropped);
+    for (size_t i = 0; i < drop.size(); ++i) {
+      if (!drop[i]) keep.push_back(i);
+    }
+    *table = table->Take(keep);
+  }
+
+  // Phase 2: imputation (computed on post-drop data).
+  for (const ImputeRule& rule : impute_rules_) {
+    if (rule.method == ImputeMethod::kNone) continue;
+    DDGMS_ASSIGN_OR_RETURN(ColumnVector * col,
+                           table->MutableColumnByName(rule.column));
+    DDGMS_ASSIGN_OR_RETURN(Value fill, ComputeImputeValue(*col, rule));
+    if (fill.is_null()) continue;  // nothing to impute from
+    for (size_t i = 0; i < col->size(); ++i) {
+      if (!col->IsNull(i)) continue;
+      DDGMS_RETURN_IF_ERROR(col->SetValue(i, fill));
+      ++report.cells_imputed;
+      report.imputed_by_column[rule.column]++;
+    }
+  }
+  return report;
+}
+
+}  // namespace ddgms::etl

@@ -1,0 +1,97 @@
+#ifndef DDGMS_ETL_CLEANER_H_
+#define DDGMS_ETL_CLEANER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+
+/// What to do with a cell that violates a plausibility rule.
+enum class ErrorAction {
+  kSetNull,   // blank the cell (default: treat as missing)
+  kClamp,     // clamp into [min, max]
+  kDropRow,   // remove the whole record
+};
+
+/// Plausible-range rule for one numeric column (e.g. systolic BP must lie
+/// in [50, 300]); values outside are erroneous, per the paper's
+/// "replacement of missing values, erroneous values and records".
+struct RangeRule {
+  std::string column;
+  double min_value = 0.0;
+  double max_value = 0.0;
+  ErrorAction action = ErrorAction::kSetNull;
+};
+
+/// How to fill remaining nulls in a column.
+enum class ImputeMethod {
+  kNone,      // leave nulls in place
+  kMean,      // numeric columns
+  kMedian,    // numeric columns
+  kMode,      // any type (most frequent non-null value)
+  kConstant,  // a caller-provided value
+};
+
+struct ImputeRule {
+  std::string column;
+  ImputeMethod method = ImputeMethod::kNone;
+  Value constant;  // used by kConstant
+};
+
+/// Per-run accounting of what the cleaner changed.
+struct CleaningReport {
+  size_t cells_nulled = 0;
+  size_t cells_clamped = 0;
+  size_t rows_dropped = 0;
+  size_t duplicates_dropped = 0;
+  size_t cells_imputed = 0;
+  /// Per-column breakdown of erroneous cells found.
+  std::map<std::string, size_t> errors_by_column;
+  /// Per-column breakdown of imputed cells.
+  std::map<std::string, size_t> imputed_by_column;
+
+  std::string ToString() const;
+};
+
+/// Applies plausibility rules then imputation to a table, in place.
+/// Rules referencing unknown or non-numeric columns fail fast.
+class Cleaner {
+ public:
+  Cleaner() = default;
+
+  Cleaner& AddRangeRule(RangeRule rule) {
+    range_rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  Cleaner& AddImputeRule(ImputeRule rule) {
+    impute_rules_.push_back(std::move(rule));
+    return *this;
+  }
+
+  /// Enables duplicate-record removal: rows whose values in
+  /// `key_columns` repeat an earlier row are dropped (first wins).
+  /// Runs before range rules. Rows with a null in any key column are
+  /// never treated as duplicates.
+  Cleaner& set_dedupe_keys(std::vector<std::string> key_columns) {
+    dedupe_keys_ = std::move(key_columns);
+    return *this;
+  }
+
+  /// Runs all rules. On success returns the report; the table has been
+  /// modified. On failure the table may be partially cleaned.
+  Result<CleaningReport> Run(Table* table) const;
+
+ private:
+  std::vector<RangeRule> range_rules_;
+  std::vector<ImputeRule> impute_rules_;
+  std::vector<std::string> dedupe_keys_;
+};
+
+}  // namespace ddgms::etl
+
+#endif  // DDGMS_ETL_CLEANER_H_

@@ -1,0 +1,117 @@
+#ifndef DDGMS_ETL_DISCRETIZE_H_
+#define DDGMS_ETL_DISCRETIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+
+/// A discretisation scheme maps a continuous clinical measure to ordered
+/// named bands. Bin i covers [cut[i-1], cut[i]) — the first bin is
+/// (-inf, cut[0]) and the last [cut[n-1], +inf) — matching the paper's
+/// Table I conventions (e.g. FBG >= 7 is "Diabetic").
+class DiscretisationScheme {
+ public:
+  DiscretisationScheme() = default;
+
+  /// Builds a scheme from strictly increasing interior cut points and
+  /// exactly cuts.size()+1 band labels.
+  static Result<DiscretisationScheme> Make(std::string name,
+                                           std::vector<double> cuts,
+                                           std::vector<std::string> labels);
+
+  /// Builds a scheme with generated labels "<c0", "c0-c1", ..., ">=cN".
+  static Result<DiscretisationScheme> MakeAutoLabeled(
+      std::string name, std::vector<double> cuts);
+
+  const std::string& name() const { return name_; }
+  const std::vector<double>& cuts() const { return cuts_; }
+  const std::vector<std::string>& labels() const { return labels_; }
+  size_t num_bins() const { return labels_.size(); }
+
+  /// Band index for a value (0-based, always valid).
+  size_t BinIndex(double value) const;
+
+  /// Band label for a value.
+  const std::string& LabelFor(double value) const {
+    return labels_[BinIndex(value)];
+  }
+
+  /// "name: <c0 'l0' | [c0,c1) 'l1' | ... | >=cN 'lN'".
+  std::string ToString() const;
+
+ private:
+  std::string name_;
+  std::vector<double> cuts_;
+  std::vector<std::string> labels_;
+};
+
+/// Supervised/unsupervised algorithms for deriving cut points when no
+/// clinical scheme is available (paper §IV.1 and ref [17]).
+struct DiscretizeOptions {
+  /// Number of bins for equal-width / equal-frequency.
+  size_t num_bins = 4;
+  /// Maximum bins for ChiMerge.
+  size_t max_bins = 6;
+  /// Chi-square merge threshold (95th percentile, 1 dof, for 2 classes).
+  double chi_threshold = 3.841;
+  /// Recursion depth cap for entropy-MDL.
+  size_t max_depth = 16;
+};
+
+/// Unsupervised: k equal-width intervals over [min, max].
+Result<DiscretisationScheme> EqualWidthScheme(const std::string& name,
+                                              const std::vector<double>& data,
+                                              size_t num_bins);
+
+/// Unsupervised: k intervals with (approximately) equal populations.
+Result<DiscretisationScheme> EqualFrequencyScheme(
+    const std::string& name, const std::vector<double>& data,
+    size_t num_bins);
+
+/// Supervised top-down: Fayyad-Irani entropy minimisation with the MDL
+/// stopping criterion. `labels[i]` is the class of `data[i]`.
+Result<DiscretisationScheme> EntropyMdlScheme(
+    const std::string& name, const std::vector<double>& data,
+    const std::vector<std::string>& labels,
+    const DiscretizeOptions& options = {});
+
+/// Supervised bottom-up: ChiMerge (Kerber 1992). Merges adjacent intervals
+/// whose class distributions are indistinguishable by chi-square until the
+/// threshold or max_bins is reached.
+Result<DiscretisationScheme> ChiMergeScheme(
+    const std::string& name, const std::vector<double>& data,
+    const std::vector<std::string>& labels,
+    const DiscretizeOptions& options = {});
+
+/// Applies a scheme to a numeric column, appending a string band column
+/// named `output_column` (nulls propagate). The source column is kept —
+/// the paper duplicates attributes, retaining the continuous original.
+Status ApplyScheme(Table* table, const std::string& source_column,
+                   const DiscretisationScheme& scheme,
+                   const std::string& output_column);
+
+/// Quality metrics used by the discretisation ablation (bench A2).
+///
+/// Information quality: entropy of the class label conditioned on the
+/// band (lower = bands more predictive). Statistical quality: number of
+/// bins and minimum band population share (higher = more robust).
+struct DiscretisationQuality {
+  double conditional_entropy = 0.0;  // H(class | band), bits
+  double class_entropy = 0.0;        // H(class), bits
+  double information_gain = 0.0;     // H(class) - H(class | band)
+  size_t num_bins = 0;
+  double min_bin_fraction = 0.0;     // population share of smallest band
+};
+
+/// Evaluates a scheme against labeled data.
+Result<DiscretisationQuality> EvaluateScheme(
+    const DiscretisationScheme& scheme, const std::vector<double>& data,
+    const std::vector<std::string>& labels);
+
+}  // namespace ddgms::etl
+
+#endif  // DDGMS_ETL_DISCRETIZE_H_

@@ -1,0 +1,73 @@
+#include "etl/pipeline.h"
+
+#include "common/strings.h"
+
+namespace ddgms::etl {
+
+std::string TransformReport::ToString() const {
+  std::string out =
+      StrFormat("transform: %zu -> %zu rows\n", input_rows, output_rows);
+  out += cleaning.ToString();
+  out += StrFormat("\ncardinality: %zu entities, max %zu visits",
+                   cardinality.num_entities, cardinality.max_visits);
+  if (!discretised_columns.empty()) {
+    out += "\ndiscretised:";
+    for (const std::string& c : discretised_columns) {
+      out += " " + c;
+    }
+  }
+  return out;
+}
+
+Result<TransformReport> TransformPipeline::Run(Table* table) const {
+  if (table == nullptr) {
+    return Status::InvalidArgument("null table");
+  }
+  TransformReport report;
+  report.input_rows = table->num_rows();
+
+  if (has_cleaner_) {
+    DDGMS_ASSIGN_OR_RETURN(report.cleaning, cleaner_.Run(table));
+  }
+  for (const DiscretisationStep& step : discretisations_) {
+    DDGMS_RETURN_IF_ERROR(ApplyScheme(table, step.source_column,
+                                      step.scheme,
+                                      step.EffectiveOutput()));
+    report.discretised_columns.push_back(step.EffectiveOutput());
+  }
+  if (has_cardinality_) {
+    DDGMS_ASSIGN_OR_RETURN(
+        report.cardinality,
+        AssignCardinality(table, entity_column_, date_column_,
+                          cardinality_options_));
+  }
+  for (const auto& step : custom_steps_) {
+    DDGMS_RETURN_IF_ERROR(step(table));
+  }
+  report.output_rows = table->num_rows();
+  return report;
+}
+
+std::function<Status(Table*)> DeriveYearStep(std::string date_column,
+                                             std::string output_column) {
+  return [date_column = std::move(date_column),
+          output_column = std::move(output_column)](Table* table) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* date,
+                           table->ColumnByName(date_column));
+    if (date->type() != DataType::kDate) {
+      return Status::InvalidArgument("column '" + date_column +
+                                     "' is not a date column");
+    }
+    ColumnVector year(output_column, DataType::kInt64);
+    for (size_t i = 0; i < date->size(); ++i) {
+      if (date->IsNull(i)) {
+        year.AppendNull();
+      } else {
+        year.AppendInt(date->DateAt(i).year());
+      }
+    }
+    return table->AddColumn(std::move(year));
+  };
+}
+
+}  // namespace ddgms::etl

@@ -1,0 +1,98 @@
+#ifndef DDGMS_ETL_PIPELINE_H_
+#define DDGMS_ETL_PIPELINE_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etl/cardinality.h"
+#include "etl/cleaner.h"
+#include "etl/discretize.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+
+/// One discretisation to perform during transformation: source column,
+/// scheme, and output band column name (defaults to "<source>Band").
+struct DiscretisationStep {
+  std::string source_column;
+  DiscretisationScheme scheme;
+  std::string output_column;
+
+  std::string EffectiveOutput() const {
+    return output_column.empty() ? source_column + "Band" : output_column;
+  }
+};
+
+/// Aggregated accounting for a pipeline run.
+struct TransformReport {
+  CleaningReport cleaning;
+  CardinalityReport cardinality;
+  std::vector<std::string> discretised_columns;
+  size_t input_rows = 0;
+  size_t output_rows = 0;
+
+  std::string ToString() const;
+};
+
+/// The paper's Data Transformation stage as a declarative pipeline:
+/// cleaning rules, clinical/algorithmic discretisation steps, and
+/// cardinality assignment, run in that order against a raw extract.
+/// The transformed table feeds warehouse::StarSchemaBuilder.
+class TransformPipeline {
+ public:
+  TransformPipeline() = default;
+
+  TransformPipeline& set_cleaner(Cleaner cleaner) {
+    cleaner_ = std::move(cleaner);
+    has_cleaner_ = true;
+    return *this;
+  }
+
+  TransformPipeline& AddDiscretisation(DiscretisationStep step) {
+    discretisations_.push_back(std::move(step));
+    return *this;
+  }
+
+  /// Enables cardinality assignment keyed on entity/date columns.
+  TransformPipeline& set_cardinality(std::string entity_column,
+                                     std::string date_column,
+                                     CardinalityOptions options = {}) {
+    entity_column_ = std::move(entity_column);
+    date_column_ = std::move(date_column);
+    cardinality_options_ = std::move(options);
+    has_cardinality_ = true;
+    return *this;
+  }
+
+  /// Appends an arbitrary transformation step (derived columns, ad-hoc
+  /// fixes). Custom steps run after cleaning/discretisation/cardinality.
+  TransformPipeline& AddCustomStep(
+      std::function<Status(Table*)> step) {
+    custom_steps_.push_back(std::move(step));
+    return *this;
+  }
+
+  /// Runs the pipeline in place, returning the report.
+  Result<TransformReport> Run(Table* table) const;
+
+ private:
+  Cleaner cleaner_;
+  bool has_cleaner_ = false;
+  std::vector<DiscretisationStep> discretisations_;
+  std::string entity_column_;
+  std::string date_column_;
+  CardinalityOptions cardinality_options_;
+  bool has_cardinality_ = false;
+  std::vector<std::function<Status(Table*)>> custom_steps_;
+};
+
+/// Ready-made custom step: derives an int64 calendar-year column from a
+/// date column (supports time-axis OLAP, e.g. attendances per year).
+std::function<Status(Table*)> DeriveYearStep(std::string date_column,
+                                             std::string output_column);
+
+}  // namespace ddgms::etl
+
+#endif  // DDGMS_ETL_PIPELINE_H_

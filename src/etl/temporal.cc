@@ -1,0 +1,190 @@
+#include "etl/temporal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace ddgms::etl {
+
+namespace {
+
+struct Reading {
+  Date date;
+  double value;
+};
+
+// Groups (entity -> date-ordered readings). Value keys order by
+// Value::Compare via std::map.
+struct ValueLess {
+  bool operator()(const Value& a, const Value& b) const {
+    return a.Compare(b) < 0;
+  }
+};
+
+Result<std::map<Value, std::vector<Reading>, ValueLess>> CollectSeries(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column) {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* entity,
+                         table.ColumnByName(entity_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* date,
+                         table.ColumnByName(date_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* value,
+                         table.ColumnByName(value_column));
+  if (date->type() != DataType::kDate) {
+    return Status::InvalidArgument("column '" + date_column +
+                                   "' is not a date column");
+  }
+  if (!IsNumeric(value->type())) {
+    return Status::InvalidArgument("column '" + value_column +
+                                   "' is not numeric");
+  }
+  std::map<Value, std::vector<Reading>, ValueLess> series;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (entity->IsNull(i) || date->IsNull(i) || value->IsNull(i)) continue;
+    DDGMS_ASSIGN_OR_RETURN(double v, value->NumericAt(i));
+    series[entity->GetValue(i)].push_back(Reading{date->DateAt(i), v});
+  }
+  for (auto& [ent, readings] : series) {
+    std::stable_sort(readings.begin(), readings.end(),
+                     [](const Reading& a, const Reading& b) {
+                       return a.date < b.date;
+                     });
+  }
+  return series;
+}
+
+}  // namespace
+
+Result<std::vector<Episode>> StateAbstraction(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column,
+    const DiscretisationScheme& scheme) {
+  DDGMS_ASSIGN_OR_RETURN(
+      auto series,
+      CollectSeries(table, entity_column, date_column, value_column));
+  std::vector<Episode> episodes;
+  for (const auto& [entity, readings] : series) {
+    size_t i = 0;
+    while (i < readings.size()) {
+      const std::string& band = scheme.LabelFor(readings[i].value);
+      Episode ep;
+      ep.entity = entity;
+      ep.variable = value_column;
+      ep.abstraction = band;
+      ep.start = readings[i].date;
+      ep.end = readings[i].date;
+      ep.num_readings = 0;
+      double sum = 0.0;
+      while (i < readings.size() &&
+             scheme.LabelFor(readings[i].value) == band) {
+        ep.end = readings[i].date;
+        sum += readings[i].value;
+        ++ep.num_readings;
+        ++i;
+      }
+      ep.mean_value = sum / static_cast<double>(ep.num_readings);
+      episodes.push_back(std::move(ep));
+    }
+  }
+  return episodes;
+}
+
+Result<std::vector<Episode>> TrendAbstraction(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column,
+    const TemporalOptions& options) {
+  DDGMS_ASSIGN_OR_RETURN(
+      auto series,
+      CollectSeries(table, entity_column, date_column, value_column));
+  std::vector<Episode> episodes;
+  for (const auto& [entity, readings] : series) {
+    if (readings.size() < 2) continue;
+    // Classify each consecutive pair, then merge runs of equal labels.
+    auto classify = [&](const Reading& a, const Reading& b) {
+      double years = b.date.YearsSince(a.date);
+      if (years <= 0.0) years = 1.0 / 365.25;  // same-day readings
+      double base = std::fabs(a.value) > 1e-9 ? std::fabs(a.value) : 1.0;
+      double slope = (b.value - a.value) / base / years;
+      if (slope > options.steady_slope_per_year) {
+        return options.increasing_label;
+      }
+      if (slope < -options.steady_slope_per_year) {
+        return options.decreasing_label;
+      }
+      return options.steady_label;
+    };
+    size_t i = 0;
+    while (i + 1 < readings.size()) {
+      std::string label = classify(readings[i], readings[i + 1]);
+      Episode ep;
+      ep.entity = entity;
+      ep.variable = value_column;
+      ep.abstraction = label;
+      ep.start = readings[i].date;
+      ep.end = readings[i + 1].date;
+      double sum = readings[i].value;
+      ep.num_readings = 1;
+      while (i + 1 < readings.size() &&
+             classify(readings[i], readings[i + 1]) == label) {
+        ep.end = readings[i + 1].date;
+        sum += readings[i + 1].value;
+        ++ep.num_readings;
+        ++i;
+      }
+      ep.mean_value = sum / static_cast<double>(ep.num_readings);
+      episodes.push_back(std::move(ep));
+    }
+  }
+  return episodes;
+}
+
+Result<Table> EpisodesToTable(const std::vector<Episode>& episodes) {
+  DDGMS_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Field{"Entity", DataType::kString},
+                    Field{"Variable", DataType::kString},
+                    Field{"Abstraction", DataType::kString},
+                    Field{"Start", DataType::kDate},
+                    Field{"End", DataType::kDate},
+                    Field{"Readings", DataType::kInt64},
+                    Field{"MeanValue", DataType::kDouble}}));
+  Table out(std::move(schema));
+  for (const Episode& ep : episodes) {
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(
+        {Value::Str(ep.entity.ToString()), Value::Str(ep.variable),
+         Value::Str(ep.abstraction), Value::FromDate(ep.start),
+         Value::FromDate(ep.end),
+         Value::Int(static_cast<int64_t>(ep.num_readings)),
+         Value::Real(ep.mean_value)}));
+  }
+  return out;
+}
+
+std::vector<std::string> FindConflicts(
+    const std::vector<Episode>& episodes) {
+  std::vector<std::string> conflicts;
+  for (size_t i = 0; i < episodes.size(); ++i) {
+    for (size_t j = i + 1; j < episodes.size(); ++j) {
+      const Episode& a = episodes[i];
+      const Episode& b = episodes[j];
+      if (!a.entity.Equals(b.entity) || a.variable != b.variable) continue;
+      if (a.abstraction == b.abstraction) continue;
+      // Strict interior overlap; shared endpoints are legitimate
+      // transitions between consecutive episodes.
+      bool overlap = a.start < b.end && b.start < a.end;
+      if (overlap) {
+        conflicts.push_back(StrFormat(
+            "entity %s variable %s: '%s' [%s..%s] overlaps '%s' [%s..%s]",
+            a.entity.ToString().c_str(), a.variable.c_str(),
+            a.abstraction.c_str(), a.start.ToString().c_str(),
+            a.end.ToString().c_str(), b.abstraction.c_str(),
+            b.start.ToString().c_str(), b.end.ToString().c_str()));
+      }
+    }
+  }
+  return conflicts;
+}
+
+}  // namespace ddgms::etl

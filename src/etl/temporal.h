@@ -1,0 +1,72 @@
+#ifndef DDGMS_ETL_TEMPORAL_H_
+#define DDGMS_ETL_TEMPORAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "etl/discretize.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+
+/// Temporal abstraction (paper §IV.2): derives high-level qualitative
+/// descriptions from low-level time-stamped measures — per patient,
+/// ordered by visit date.
+///
+/// Two abstraction families are provided:
+///  * state abstraction — map each reading into a named band via a
+///    DiscretisationScheme, then merge consecutive same-band readings
+///    into episodes ("FBG Diabetic from 2009-03-02 to 2011-08-14");
+///  * trend abstraction — classify the change between consecutive
+///    readings as increasing / steady / decreasing using a relative
+///    slope threshold per year.
+
+/// One qualitative episode of a variable for one entity.
+struct Episode {
+  Value entity;           // patient id
+  std::string variable;   // source column name
+  std::string abstraction;  // band or trend label
+  Date start;
+  Date end;
+  size_t num_readings = 0;
+  double mean_value = 0.0;
+};
+
+struct TemporalOptions {
+  /// Relative change per year below which a trend is "steady".
+  double steady_slope_per_year = 0.03;
+  /// Labels for the three trend classes.
+  std::string increasing_label = "increasing";
+  std::string steady_label = "steady";
+  std::string decreasing_label = "decreasing";
+};
+
+/// Extracts state episodes for `value_column`, using `scheme` to band
+/// readings. Input table must have entity, date and numeric value
+/// columns; readings with null date/value are skipped.
+Result<std::vector<Episode>> StateAbstraction(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column,
+    const DiscretisationScheme& scheme);
+
+/// Extracts trend episodes (increasing/steady/decreasing runs) for
+/// `value_column`.
+Result<std::vector<Episode>> TrendAbstraction(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column,
+    const TemporalOptions& options = {});
+
+/// Materializes episodes as a table with columns:
+///   Entity, Variable, Abstraction, Start, End, Readings, MeanValue.
+Result<Table> EpisodesToTable(const std::vector<Episode>& episodes);
+
+/// Checks a set of abstractions for conflicts: two episodes of the same
+/// entity+variable that overlap in time but carry different labels (the
+/// paper: "it is important to ensure temporal abstractions do not
+/// conflict with each other"). Returns descriptions of conflicts found.
+std::vector<std::string> FindConflicts(const std::vector<Episode>& episodes);
+
+}  // namespace ddgms::etl
+
+#endif  // DDGMS_ETL_TEMPORAL_H_

@@ -1,0 +1,169 @@
+#include "kb/knowledge_base.h"
+
+#include <algorithm>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ddgms::kb {
+
+const char* FindingStatusName(FindingStatus status) {
+  switch (status) {
+    case FindingStatus::kCandidate: return "candidate";
+    case FindingStatus::kAccepted: return "accepted";
+    case FindingStatus::kRetired: return "retired";
+  }
+  return "unknown";
+}
+
+namespace {
+
+Result<FindingStatus> FindingStatusFromName(const std::string& name) {
+  if (name == "candidate") return FindingStatus::kCandidate;
+  if (name == "accepted") return FindingStatus::kAccepted;
+  if (name == "retired") return FindingStatus::kRetired;
+  return Status::ParseError("unknown finding status '" + name + "'");
+}
+
+}  // namespace
+
+int64_t KnowledgeBase::RecordEvidence(const std::string& statement,
+                                      const std::string& source,
+                                      double confidence,
+                                      std::vector<std::string> tags) {
+  for (Finding& f : findings_) {
+    if (f.statement == statement) {
+      ++f.evidence_count;
+      f.confidence = std::max(f.confidence, confidence);
+      for (const std::string& tag : tags) {
+        if (std::find(f.tags.begin(), f.tags.end(), tag) == f.tags.end()) {
+          f.tags.push_back(tag);
+        }
+      }
+      MaybePromote(&f);
+      return f.id;
+    }
+  }
+  Finding f;
+  f.id = next_id_++;
+  f.statement = statement;
+  f.source = source;
+  f.tags = std::move(tags);
+  f.evidence_count = 1;
+  f.confidence = confidence;
+  f.status = FindingStatus::kCandidate;
+  MaybePromote(&f);
+  findings_.push_back(std::move(f));
+  return findings_.back().id;
+}
+
+void KnowledgeBase::MaybePromote(Finding* finding) {
+  if (finding->status == FindingStatus::kCandidate &&
+      finding->evidence_count >= options_.promotion_threshold &&
+      finding->confidence >= options_.promotion_confidence) {
+    finding->status = FindingStatus::kAccepted;
+  }
+}
+
+Status KnowledgeBase::Retire(int64_t id) {
+  for (Finding& f : findings_) {
+    if (f.id == id) {
+      f.status = FindingStatus::kRetired;
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(StrFormat("no finding with id %lld",
+                                    static_cast<long long>(id)));
+}
+
+Result<Finding> KnowledgeBase::Get(int64_t id) const {
+  for (const Finding& f : findings_) {
+    if (f.id == id) return f;
+  }
+  return Status::NotFound(StrFormat("no finding with id %lld",
+                                    static_cast<long long>(id)));
+}
+
+std::vector<Finding> KnowledgeBase::WithStatus(FindingStatus status) const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (f.status == status) out.push_back(f);
+  }
+  return out;
+}
+
+std::vector<Finding> KnowledgeBase::WithTag(const std::string& tag) const {
+  std::vector<Finding> out;
+  for (const Finding& f : findings_) {
+    if (std::find(f.tags.begin(), f.tags.end(), tag) != f.tags.end()) {
+      out.push_back(f);
+    }
+  }
+  return out;
+}
+
+Result<Table> KnowledgeBase::ToTable() const {
+  DDGMS_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Field{"Id", DataType::kInt64},
+                    Field{"Statement", DataType::kString},
+                    Field{"Source", DataType::kString},
+                    Field{"Tags", DataType::kString},
+                    Field{"Evidence", DataType::kInt64},
+                    Field{"Confidence", DataType::kDouble},
+                    Field{"Status", DataType::kString}}));
+  Table out(std::move(schema));
+  for (const Finding& f : findings_) {
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(
+        {Value::Int(f.id), Value::Str(f.statement), Value::Str(f.source),
+         Value::Str(Join(f.tags, ";")),
+         Value::Int(static_cast<int64_t>(f.evidence_count)),
+         Value::Real(f.confidence),
+         Value::Str(FindingStatusName(f.status))}));
+  }
+  return out;
+}
+
+std::string KnowledgeBase::ToCsv() const {
+  std::string out = "id,statement,source,tags,evidence,confidence,status\n";
+  for (const Finding& f : findings_) {
+    out += FormatCsvLine(
+        {std::to_string(f.id), f.statement, f.source, Join(f.tags, ";"),
+         std::to_string(f.evidence_count), FormatDouble(f.confidence),
+         FindingStatusName(f.status)});
+    out += "\n";
+  }
+  return out;
+}
+
+Result<KnowledgeBase> KnowledgeBase::FromCsv(
+    const std::string& text, KnowledgeBaseOptions options) {
+  DDGMS_ASSIGN_OR_RETURN(auto rows, ParseCsv(text));
+  if (rows.empty()) {
+    return Status::InvalidArgument("empty knowledge base CSV");
+  }
+  KnowledgeBase kb(options);
+  for (size_t i = 1; i < rows.size(); ++i) {
+    if (rows[i].size() != 7) {
+      return Status::ParseError(
+          StrFormat("knowledge base row %zu has %zu fields; want 7", i,
+                    rows[i].size()));
+    }
+    Finding f;
+    DDGMS_ASSIGN_OR_RETURN(f.id, ParseInt64(rows[i][0]));
+    f.statement = rows[i][1];
+    f.source = rows[i][2];
+    if (!rows[i][3].empty()) {
+      f.tags = Split(rows[i][3], ';');
+    }
+    DDGMS_ASSIGN_OR_RETURN(int64_t evidence, ParseInt64(rows[i][4]));
+    f.evidence_count = static_cast<size_t>(evidence);
+    DDGMS_ASSIGN_OR_RETURN(f.confidence, ParseDouble(rows[i][5]));
+    DDGMS_ASSIGN_OR_RETURN(f.status, FindingStatusFromName(rows[i][6]));
+    kb.next_id_ = std::max(kb.next_id_, f.id + 1);
+    kb.findings_.push_back(std::move(f));
+  }
+  return kb;
+}
+
+}  // namespace ddgms::kb

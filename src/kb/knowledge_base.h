@@ -1,0 +1,93 @@
+#ifndef DDGMS_KB_KNOWLEDGE_BASE_H_
+#define DDGMS_KB_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::kb {
+
+/// Lifecycle of a finding: candidate until enough evidence accumulates,
+/// then accepted; findings contradicted by later analyses are retired.
+enum class FindingStatus {
+  kCandidate,
+  kAccepted,
+  kRetired,
+};
+
+const char* FindingStatusName(FindingStatus status);
+
+/// One unit of derived clinical knowledge (paper §IV Knowledge Base:
+/// "outcomes ... are initially maintained within the warehouse and
+/// transferred into a knowledge base when sufficient data-based evidence
+/// is accumulated").
+struct Finding {
+  int64_t id = 0;
+  std::string statement;           // human-readable insight
+  std::string source;              // which feature produced it (olap,
+                                   // analytics, prediction, optimisation)
+  std::vector<std::string> tags;   // e.g. {"diabetes", "age", "gender"}
+  size_t evidence_count = 0;       // independent supporting analyses
+  double confidence = 0.0;         // caller-supplied score in [0,1]
+  FindingStatus status = FindingStatus::kCandidate;
+};
+
+struct KnowledgeBaseOptions {
+  /// Evidence count at which a candidate auto-promotes to accepted.
+  size_t promotion_threshold = 3;
+  /// Minimum confidence required for promotion.
+  double promotion_confidence = 0.5;
+};
+
+/// In-memory knowledge base with evidence-driven promotion. Findings are
+/// deduplicated by statement: recording an existing statement adds
+/// evidence (and keeps the max confidence) instead of duplicating.
+class KnowledgeBase {
+ public:
+  KnowledgeBase() : options_(KnowledgeBaseOptions()) {}
+  explicit KnowledgeBase(KnowledgeBaseOptions options)
+      : options_(options) {}
+
+  /// Records one supporting analysis for a statement. Returns the
+  /// finding id. New statements enter as candidates with evidence 1.
+  int64_t RecordEvidence(const std::string& statement,
+                         const std::string& source, double confidence,
+                         std::vector<std::string> tags = {});
+
+  /// Marks a finding retired (e.g. contradicted by later analysis).
+  Status Retire(int64_t id);
+
+  Result<Finding> Get(int64_t id) const;
+
+  size_t size() const { return findings_.size(); }
+
+  /// All findings, optionally filtered by status.
+  std::vector<Finding> All() const { return findings_; }
+  std::vector<Finding> WithStatus(FindingStatus status) const;
+
+  /// Findings carrying a tag.
+  std::vector<Finding> WithTag(const std::string& tag) const;
+
+  /// Serializes to a table (Id, Statement, Source, Tags, Evidence,
+  /// Confidence, Status) for reporting / warehouse feedback.
+  Result<Table> ToTable() const;
+
+  /// CSV round-trip for persistence.
+  std::string ToCsv() const;
+  static Result<KnowledgeBase> FromCsv(const std::string& text,
+                                       KnowledgeBaseOptions options = {});
+
+ private:
+  void MaybePromote(Finding* finding);
+
+  KnowledgeBaseOptions options_;
+  std::vector<Finding> findings_;
+  int64_t next_id_ = 1;
+};
+
+}  // namespace ddgms::kb
+
+#endif  // DDGMS_KB_KNOWLEDGE_BASE_H_

@@ -1,0 +1,57 @@
+#ifndef DDGMS_MDX_AST_H_
+#define DDGMS_MDX_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace ddgms::mdx {
+
+/// A member path such as [MedicalCondition].[Diabetes].[Yes], possibly
+/// with a .Members / .Children suffix. Two-segment paths denote an
+/// attribute level ([PersonalInformation].[Gender]); three-segment paths
+/// denote one member of that level.
+struct MemberRef {
+  enum class Suffix { kNone, kMembers, kChildren };
+
+  std::vector<std::string> path;
+  Suffix suffix = Suffix::kNone;
+
+  std::string ToString() const;
+};
+
+/// A set expression: a brace list of member refs, or CROSSJOIN of two
+/// sets.
+struct SetExpr {
+  bool is_crossjoin = false;
+  std::vector<MemberRef> members;        // when !is_crossjoin
+  std::unique_ptr<SetExpr> cross_left;   // when is_crossjoin
+  std::unique_ptr<SetExpr> cross_right;
+
+  std::string ToString() const;
+};
+
+/// One SELECT axis (ON COLUMNS / ON ROWS), optionally NON EMPTY.
+struct AxisClause {
+  enum class Target { kColumns, kRows };
+
+  Target target = Target::kColumns;
+  bool non_empty = false;
+  SetExpr set;
+};
+
+/// A parsed MDX query:
+///   SELECT <set> ON COLUMNS [, <set> ON ROWS]
+///   FROM [cube]
+///   [WHERE ( member, ... )]
+struct MdxQuery {
+  std::vector<AxisClause> axes;
+  std::string cube_name;
+  std::vector<MemberRef> where;
+
+  std::string ToString() const;
+};
+
+}  // namespace ddgms::mdx
+
+#endif  // DDGMS_MDX_AST_H_

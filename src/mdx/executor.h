@@ -1,0 +1,60 @@
+#ifndef DDGMS_MDX_EXECUTOR_H_
+#define DDGMS_MDX_EXECUTOR_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mdx/ast.h"
+#include "olap/cube.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::mdx {
+
+/// Result of executing an MDX query: the underlying cube plus the
+/// mapping of cube axes onto the MDX COLUMNS / ROWS display axes.
+struct MdxResult {
+  olap::Cube cube;
+  std::vector<size_t> column_axes;  // indices into cube.query().axes
+  std::vector<size_t> row_axes;
+
+  /// Renders the result: with exactly one ROWS axis and one COLUMNS
+  /// axis and a single measure, a 2D cross-tab (rows x columns);
+  /// otherwise the flattened cell table.
+  Result<Table> ToGrid() const;
+};
+
+/// Executes MDX against a Warehouse.
+///
+/// Member semantics:
+///  * [Dim].[Attr].Members            — axis over all members
+///  * [Dim].[Attr]                    — same (shorthand)
+///  * [Dim].[Attr].[member]           — axis restricted to listed members
+///                                      (several refs to the same level
+///                                      merge, preserving order)
+///  * [Dim].[Attr].[member].Children  — axis at the next-finer hierarchy
+///                                      level, restricted to members
+///                                      under `member`
+///  * [Measures].[Count]              — count measure
+///  * [Measures].[Sum(FBG)] etc.      — aggregate of a warehouse measure
+///  * [Measures].[FBG]                — shorthand for Avg(FBG)
+///
+/// WHERE tuple members become slicers; measures may also appear there.
+/// When no measure is named anywhere, Count is used.
+class MdxExecutor {
+ public:
+  explicit MdxExecutor(const warehouse::Warehouse* wh) : warehouse_(wh) {}
+
+  /// Parses and executes.
+  Result<MdxResult> Execute(const std::string& query_text) const;
+
+  /// Executes an already parsed query.
+  Result<MdxResult> Execute(const MdxQuery& query) const;
+
+ private:
+  const warehouse::Warehouse* warehouse_;
+};
+
+}  // namespace ddgms::mdx
+
+#endif  // DDGMS_MDX_EXECUTOR_H_

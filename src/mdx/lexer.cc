@@ -1,0 +1,123 @@
+#include "mdx/lexer.h"
+
+#include <cctype>
+
+#include "common/strings.h"
+
+namespace ddgms::mdx {
+
+std::string Token::ToString() const {
+  switch (type) {
+    case TokenType::kIdent: return "ident(" + text + ")";
+    case TokenType::kBracketed: return "[" + text + "]";
+    case TokenType::kNumber: return "number(" + text + ")";
+    case TokenType::kLParen: return "(";
+    case TokenType::kRParen: return ")";
+    case TokenType::kLBrace: return "{";
+    case TokenType::kRBrace: return "}";
+    case TokenType::kComma: return ",";
+    case TokenType::kDot: return ".";
+    case TokenType::kEof: return "<eof>";
+  }
+  return "?";
+}
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    size_t start = i;
+    if (c == '[') {
+      std::string name;
+      ++i;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == ']') {
+          if (i + 1 < n && input[i + 1] == ']') {
+            name.push_back(']');
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        name.push_back(input[i]);
+        ++i;
+      }
+      if (!closed) {
+        return Status::ParseError(
+            StrFormat("unterminated '[' at offset %zu", start));
+      }
+      tokens.push_back(Token{TokenType::kBracketed, std::move(name), start});
+      continue;
+    }
+    if (c == '(') {
+      tokens.push_back(Token{TokenType::kLParen, "(", start});
+      ++i;
+      continue;
+    }
+    if (c == ')') {
+      tokens.push_back(Token{TokenType::kRParen, ")", start});
+      ++i;
+      continue;
+    }
+    if (c == '{') {
+      tokens.push_back(Token{TokenType::kLBrace, "{", start});
+      ++i;
+      continue;
+    }
+    if (c == '}') {
+      tokens.push_back(Token{TokenType::kRBrace, "}", start});
+      ++i;
+      continue;
+    }
+    if (c == ',') {
+      tokens.push_back(Token{TokenType::kComma, ",", start});
+      ++i;
+      continue;
+    }
+    if (c == '.') {
+      tokens.push_back(Token{TokenType::kDot, ".", start});
+      ++i;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '-' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(input[i + 1])))) {
+      std::string num;
+      num.push_back(c);
+      ++i;
+      while (i < n && (std::isdigit(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '.')) {
+        num.push_back(input[i]);
+        ++i;
+      }
+      tokens.push_back(Token{TokenType::kNumber, std::move(num), start});
+      continue;
+    }
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      std::string ident;
+      while (i < n &&
+             (std::isalnum(static_cast<unsigned char>(input[i])) ||
+              input[i] == '_')) {
+        ident.push_back(input[i]);
+        ++i;
+      }
+      tokens.push_back(Token{TokenType::kIdent, std::move(ident), start});
+      continue;
+    }
+    return Status::ParseError(
+        StrFormat("unexpected character '%c' at offset %zu", c, start));
+  }
+  tokens.push_back(Token{TokenType::kEof, "", n});
+  return tokens;
+}
+
+}  // namespace ddgms::mdx

@@ -1,0 +1,38 @@
+#ifndef DDGMS_MDX_LEXER_H_
+#define DDGMS_MDX_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ddgms::mdx {
+
+enum class TokenType {
+  kIdent,      // bare word (keywords resolved by the parser)
+  kBracketed,  // [name] — contents with ]] unescaped
+  kNumber,
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kComma,
+  kDot,
+  kEof,
+};
+
+struct Token {
+  TokenType type = TokenType::kEof;
+  std::string text;  // ident spelling / bracketed contents / number
+  size_t offset = 0;  // byte offset in the query (for error messages)
+
+  std::string ToString() const;
+};
+
+/// Tokenizes an MDX query string. Bracketed names may contain any
+/// character except an unescaped ']' (']]' escapes a literal ']').
+Result<std::vector<Token>> Tokenize(const std::string& input);
+
+}  // namespace ddgms::mdx
+
+#endif  // DDGMS_MDX_LEXER_H_

@@ -1,0 +1,243 @@
+#include "mdx/parser.h"
+
+#include <utility>
+
+#include "common/strings.h"
+#include "mdx/lexer.h"
+
+namespace ddgms::mdx {
+
+std::string MemberRef::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < path.size(); ++i) {
+    if (i > 0) out += ".";
+    out += "[" + path[i] + "]";
+  }
+  if (suffix == Suffix::kMembers) out += ".Members";
+  if (suffix == Suffix::kChildren) out += ".Children";
+  return out;
+}
+
+std::string SetExpr::ToString() const {
+  if (is_crossjoin) {
+    return "CROSSJOIN(" + cross_left->ToString() + ", " +
+           cross_right->ToString() + ")";
+  }
+  std::string out = "{";
+  for (size_t i = 0; i < members.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += members[i].ToString();
+  }
+  return out + "}";
+}
+
+std::string MdxQuery::ToString() const {
+  std::string out = "SELECT ";
+  for (size_t i = 0; i < axes.size(); ++i) {
+    if (i > 0) out += ", ";
+    if (axes[i].non_empty) out += "NON EMPTY ";
+    out += axes[i].set.ToString();
+    out += axes[i].target == AxisClause::Target::kColumns ? " ON COLUMNS"
+                                                          : " ON ROWS";
+  }
+  out += " FROM [" + cube_name + "]";
+  if (!where.empty()) {
+    out += " WHERE (";
+    for (size_t i = 0; i < where.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += where[i].ToString();
+    }
+    out += ")";
+  }
+  return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the token stream.
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens)
+      : tokens_(std::move(tokens)) {}
+
+  Result<MdxQuery> ParseQuery() {
+    MdxQuery query;
+    DDGMS_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    while (true) {
+      DDGMS_ASSIGN_OR_RETURN(AxisClause axis, ParseAxis());
+      query.axes.push_back(std::move(axis));
+      if (!ConsumeIf(TokenType::kComma)) break;
+    }
+    DDGMS_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    if (Peek().type != TokenType::kBracketed) {
+      return Error("expected [cube name] after FROM");
+    }
+    query.cube_name = Next().text;
+    if (IsKeyword(Peek(), "WHERE")) {
+      Next();
+      DDGMS_ASSIGN_OR_RETURN(query.where, ParseTuple());
+    }
+    if (Peek().type != TokenType::kEof) {
+      return Error("unexpected trailing tokens");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+
+  const Token& Next() { return tokens_[pos_++]; }
+
+  bool ConsumeIf(TokenType type) {
+    if (Peek().type == type) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  static bool IsKeyword(const Token& tok, const char* kw) {
+    return tok.type == TokenType::kIdent && EqualsIgnoreCase(tok.text, kw);
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (!IsKeyword(Peek(), kw)) {
+      return Status::ParseError(
+          StrFormat("expected %s at offset %zu, found %s", kw,
+                    Peek().offset, Peek().ToString().c_str()));
+    }
+    ++pos_;
+    return Status::OK();
+  }
+
+  Status Error(const std::string& what) const {
+    return Status::ParseError(StrFormat("%s at offset %zu (near %s)",
+                                        what.c_str(), Peek().offset,
+                                        Peek().ToString().c_str()));
+  }
+
+  Result<AxisClause> ParseAxis() {
+    AxisClause axis;
+    if (IsKeyword(Peek(), "NON")) {
+      Next();
+      DDGMS_RETURN_IF_ERROR(ExpectKeyword("EMPTY"));
+      axis.non_empty = true;
+    }
+    DDGMS_ASSIGN_OR_RETURN(axis.set, ParseSet());
+    DDGMS_RETURN_IF_ERROR(ExpectKeyword("ON"));
+    if (IsKeyword(Peek(), "COLUMNS")) {
+      Next();
+      axis.target = AxisClause::Target::kColumns;
+    } else if (IsKeyword(Peek(), "ROWS")) {
+      Next();
+      axis.target = AxisClause::Target::kRows;
+    } else {
+      return Error("expected COLUMNS or ROWS");
+    }
+    return axis;
+  }
+
+  Result<SetExpr> ParseSet() {
+    if (IsKeyword(Peek(), "CROSSJOIN")) {
+      Next();
+      if (!ConsumeIf(TokenType::kLParen)) {
+        return Error("expected ( after CROSSJOIN");
+      }
+      SetExpr set;
+      set.is_crossjoin = true;
+      DDGMS_ASSIGN_OR_RETURN(SetExpr left, ParseSet());
+      set.cross_left = std::make_unique<SetExpr>(std::move(left));
+      if (!ConsumeIf(TokenType::kComma)) {
+        return Error("expected , between CROSSJOIN arguments");
+      }
+      DDGMS_ASSIGN_OR_RETURN(SetExpr right, ParseSet());
+      set.cross_right = std::make_unique<SetExpr>(std::move(right));
+      if (!ConsumeIf(TokenType::kRParen)) {
+        return Error("expected ) closing CROSSJOIN");
+      }
+      return set;
+    }
+    SetExpr set;
+    if (ConsumeIf(TokenType::kLBrace)) {
+      while (true) {
+        DDGMS_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef());
+        set.members.push_back(std::move(ref));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+      if (!ConsumeIf(TokenType::kRBrace)) {
+        return Error("expected } closing set");
+      }
+      return set;
+    }
+    DDGMS_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef());
+    set.members.push_back(std::move(ref));
+    return set;
+  }
+
+  Result<MemberRef> ParseMemberRef() {
+    if (Peek().type != TokenType::kBracketed) {
+      return Error("expected [name]");
+    }
+    MemberRef ref;
+    ref.path.push_back(Next().text);
+    while (Peek().type == TokenType::kDot) {
+      // Lookahead past the dot: bracketed segment or suffix keyword.
+      const Token& after = Peek(1);
+      if (after.type == TokenType::kBracketed) {
+        Next();  // dot
+        ref.path.push_back(Next().text);
+        continue;
+      }
+      if (after.type == TokenType::kIdent) {
+        if (EqualsIgnoreCase(after.text, "MEMBERS")) {
+          Next();
+          Next();
+          ref.suffix = MemberRef::Suffix::kMembers;
+          break;
+        }
+        if (EqualsIgnoreCase(after.text, "CHILDREN")) {
+          Next();
+          Next();
+          ref.suffix = MemberRef::Suffix::kChildren;
+          break;
+        }
+      }
+      return Error("expected [name], MEMBERS or CHILDREN after '.'");
+    }
+    return ref;
+  }
+
+  Result<std::vector<MemberRef>> ParseTuple() {
+    std::vector<MemberRef> refs;
+    if (ConsumeIf(TokenType::kLParen)) {
+      while (true) {
+        DDGMS_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef());
+        refs.push_back(std::move(ref));
+        if (!ConsumeIf(TokenType::kComma)) break;
+      }
+      if (!ConsumeIf(TokenType::kRParen)) {
+        return Error("expected ) closing WHERE tuple");
+      }
+      return refs;
+    }
+    DDGMS_ASSIGN_OR_RETURN(MemberRef ref, ParseMemberRef());
+    refs.push_back(std::move(ref));
+    return refs;
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<MdxQuery> Parse(const std::string& input) {
+  DDGMS_ASSIGN_OR_RETURN(std::vector<Token> tokens, Tokenize(input));
+  Parser parser(std::move(tokens));
+  return parser.ParseQuery();
+}
+
+}  // namespace ddgms::mdx

@@ -1,0 +1,23 @@
+#ifndef DDGMS_MDX_PARSER_H_
+#define DDGMS_MDX_PARSER_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "mdx/ast.h"
+
+namespace ddgms::mdx {
+
+/// Parses an MDX query. Supported grammar (case-insensitive keywords):
+///
+///   query   := SELECT axis (',' axis)* FROM '[' name ']' [WHERE tuple]
+///   axis    := [NON EMPTY] set ON (COLUMNS | ROWS)
+///   set     := '{' ref (',' ref)* '}' | CROSSJOIN '(' set ',' set ')'
+///            | ref
+///   ref     := '[' name ']' ('.' '[' name ']')* ('.' (MEMBERS|CHILDREN))?
+///   tuple   := '(' ref (',' ref)* ')' | ref
+Result<MdxQuery> Parse(const std::string& input);
+
+}  // namespace ddgms::mdx
+
+#endif  // DDGMS_MDX_PARSER_H_

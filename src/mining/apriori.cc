@@ -1,0 +1,202 @@
+#include "mining/apriori.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+namespace ddgms::mining {
+
+namespace {
+
+using Transaction = std::vector<Item>;  // sorted items
+
+std::vector<Transaction> BuildTransactions(
+    const CategoricalDataset& data, const std::string& include_label) {
+  std::vector<Transaction> txns;
+  txns.reserve(data.rows.size());
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    Transaction txn;
+    for (size_t f = 0; f < data.feature_names.size(); ++f) {
+      const std::string& v = data.rows[i][f];
+      if (v == CategoricalDataset::kMissing) continue;
+      txn.push_back(Item{data.feature_names[f], v});
+    }
+    if (!include_label.empty()) {
+      txn.push_back(Item{include_label, data.labels[i]});
+    }
+    std::sort(txn.begin(), txn.end());
+    txns.push_back(std::move(txn));
+  }
+  return txns;
+}
+
+bool ContainsAll(const Transaction& txn, const std::vector<Item>& items) {
+  // Both sorted: linear merge check.
+  size_t ti = 0;
+  for (const Item& item : items) {
+    while (ti < txn.size() && txn[ti] < item) ++ti;
+    if (ti == txn.size() || !(txn[ti] == item)) return false;
+    ++ti;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::string FrequentItemset::ToString() const {
+  std::string out = "{";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += items[i].ToString();
+  }
+  out += "}";
+  return out;
+}
+
+std::string AssociationRule::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += lhs[i].ToString();
+  }
+  out += " => ";
+  for (size_t i = 0; i < rhs.size(); ++i) {
+    if (i > 0) out += " & ";
+    out += rhs[i].ToString();
+  }
+  return out;
+}
+
+Result<std::vector<FrequentItemset>> Apriori::MineItemsets(
+    const CategoricalDataset& data,
+    const std::string& include_label) const {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (options_.min_support <= 0.0 || options_.min_support > 1.0) {
+    return Status::InvalidArgument("min_support must be in (0,1]");
+  }
+  std::vector<Transaction> txns = BuildTransactions(data, include_label);
+  const double n = static_cast<double>(txns.size());
+  const size_t min_count = static_cast<size_t>(
+      std::ceil(options_.min_support * n));
+
+  std::vector<FrequentItemset> all_frequent;
+
+  // L1: frequent single items.
+  std::map<Item, size_t> item_counts;
+  for (const Transaction& txn : txns) {
+    for (const Item& item : txn) item_counts[item]++;
+  }
+  std::vector<std::vector<Item>> current;  // frequent (k)-itemsets
+  for (const auto& [item, count] : item_counts) {
+    if (count < min_count) continue;
+    current.push_back({item});
+    all_frequent.push_back(FrequentItemset{
+        {item}, count, static_cast<double>(count) / n});
+  }
+
+  // Lk: candidate generation by prefix join + prune + count.
+  for (size_t k = 2;
+       k <= options_.max_itemset_size && current.size() >= 2; ++k) {
+    std::set<std::vector<Item>> frequent_prev(current.begin(),
+                                              current.end());
+    std::vector<std::vector<Item>> candidates;
+    for (size_t a = 0; a < current.size(); ++a) {
+      for (size_t b = a + 1; b < current.size(); ++b) {
+        // Join when first k-2 items agree.
+        bool joinable = true;
+        for (size_t i = 0; i + 1 < current[a].size(); ++i) {
+          if (!(current[a][i] == current[b][i])) {
+            joinable = false;
+            break;
+          }
+        }
+        if (!joinable) continue;
+        std::vector<Item> cand = current[a];
+        cand.push_back(current[b].back());
+        std::sort(cand.begin(), cand.end());
+        // Skip candidates combining two values of one feature.
+        std::set<std::string> features;
+        bool ok = true;
+        for (const Item& item : cand) {
+          if (!features.insert(item.feature).second) {
+            ok = false;
+            break;
+          }
+        }
+        if (!ok) continue;
+        // Apriori prune: all (k-1)-subsets must be frequent.
+        for (size_t drop = 0; drop < cand.size() && ok; ++drop) {
+          std::vector<Item> sub;
+          for (size_t i = 0; i < cand.size(); ++i) {
+            if (i != drop) sub.push_back(cand[i]);
+          }
+          if (frequent_prev.find(sub) == frequent_prev.end()) ok = false;
+        }
+        if (ok) candidates.push_back(std::move(cand));
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+
+    std::vector<std::vector<Item>> next;
+    for (const std::vector<Item>& cand : candidates) {
+      size_t count = 0;
+      for (const Transaction& txn : txns) {
+        if (ContainsAll(txn, cand)) ++count;
+      }
+      if (count < min_count) continue;
+      next.push_back(cand);
+      all_frequent.push_back(FrequentItemset{
+          cand, count, static_cast<double>(count) / n});
+    }
+    current = std::move(next);
+  }
+  return all_frequent;
+}
+
+Result<std::vector<AssociationRule>> Apriori::MineRules(
+    const CategoricalDataset& data,
+    const std::string& include_label) const {
+  DDGMS_ASSIGN_OR_RETURN(std::vector<FrequentItemset> itemsets,
+                         MineItemsets(data, include_label));
+  // Index supports for confidence/lift computation.
+  std::map<std::vector<Item>, double> support;
+  for (const FrequentItemset& fi : itemsets) {
+    support[fi.items] = fi.support;
+  }
+  std::vector<AssociationRule> rules;
+  for (const FrequentItemset& fi : itemsets) {
+    if (fi.items.size() < 2) continue;
+    // Single-item consequents.
+    for (size_t r = 0; r < fi.items.size(); ++r) {
+      std::vector<Item> lhs;
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != r) lhs.push_back(fi.items[i]);
+      }
+      std::vector<Item> rhs = {fi.items[r]};
+      auto lhs_it = support.find(lhs);
+      auto rhs_it = support.find(rhs);
+      if (lhs_it == support.end() || rhs_it == support.end()) continue;
+      double confidence = fi.support / lhs_it->second;
+      if (confidence < options_.min_confidence) continue;
+      AssociationRule rule;
+      rule.lhs = std::move(lhs);
+      rule.rhs = std::move(rhs);
+      rule.support = fi.support;
+      rule.confidence = confidence;
+      rule.lift = confidence / rhs_it->second;
+      rules.push_back(std::move(rule));
+    }
+  }
+  std::sort(rules.begin(), rules.end(),
+            [](const AssociationRule& a, const AssociationRule& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.confidence > b.confidence;
+            });
+  return rules;
+}
+
+}  // namespace ddgms::mining

@@ -1,0 +1,78 @@
+#ifndef DDGMS_MINING_APRIORI_H_
+#define DDGMS_MINING_APRIORI_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/dataset.h"
+
+namespace ddgms::mining {
+
+/// One item: a feature=value pair.
+struct Item {
+  std::string feature;
+  std::string value;
+
+  std::string ToString() const { return feature + "=" + value; }
+
+  friend bool operator==(const Item& a, const Item& b) {
+    return a.feature == b.feature && a.value == b.value;
+  }
+  friend bool operator<(const Item& a, const Item& b) {
+    if (a.feature != b.feature) return a.feature < b.feature;
+    return a.value < b.value;
+  }
+};
+
+/// A frequent itemset with its support count.
+struct FrequentItemset {
+  std::vector<Item> items;  // sorted
+  size_t support_count = 0;
+  double support = 0.0;     // fraction of transactions
+
+  std::string ToString() const;
+};
+
+/// An association rule lhs => rhs.
+struct AssociationRule {
+  std::vector<Item> lhs;
+  std::vector<Item> rhs;
+  double support = 0.0;
+  double confidence = 0.0;
+  double lift = 0.0;
+
+  std::string ToString() const;
+};
+
+struct AprioriOptions {
+  double min_support = 0.05;
+  double min_confidence = 0.6;
+  size_t max_itemset_size = 3;
+};
+
+/// Classic Apriori over a categorical dataset: each row (plus its label,
+/// when `include_label` names a virtual feature) is a transaction of
+/// feature=value items; missing values are skipped.
+class Apriori {
+ public:
+  explicit Apriori(AprioriOptions options = {}) : options_(options) {}
+
+  /// Mines frequent itemsets (sizes 1..max_itemset_size).
+  Result<std::vector<FrequentItemset>> MineItemsets(
+      const CategoricalDataset& data,
+      const std::string& include_label = "") const;
+
+  /// Mines rules from the frequent itemsets; rules with a single-item
+  /// consequent only (standard for clinical readability).
+  Result<std::vector<AssociationRule>> MineRules(
+      const CategoricalDataset& data,
+      const std::string& include_label = "") const;
+
+ private:
+  AprioriOptions options_;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_APRIORI_H_

@@ -1,0 +1,187 @@
+#include "mining/awsum.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace ddgms::mining {
+
+Status AwsumClassifier::Train(const CategoricalDataset& data) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  feature_names_ = data.feature_names;
+  classes_ = data.DistinctLabels();
+  std::unordered_map<std::string, size_t> class_index;
+  for (size_t c = 0; c < classes_.size(); ++c) {
+    class_index[classes_[c]] = c;
+  }
+  value_counts_.assign(feature_names_.size(), {});
+  train_rows_ = data.rows;
+  train_label_ids_.resize(data.labels.size());
+  for (size_t i = 0; i < data.rows.size(); ++i) {
+    size_t c = class_index.at(data.labels[i]);
+    train_label_ids_[i] = c;
+    for (size_t f = 0; f < feature_names_.size(); ++f) {
+      const std::string& v = data.rows[i][f];
+      if (v == CategoricalDataset::kMissing) continue;
+      auto& counts = value_counts_[f][v];
+      if (counts.empty()) counts.assign(classes_.size(), 0);
+      counts[c]++;
+    }
+  }
+  class_priors_.assign(classes_.size(), 0.0);
+  for (size_t c : train_label_ids_) class_priors_[c] += 1.0;
+  for (double& p : class_priors_) {
+    p /= static_cast<double>(train_label_ids_.size());
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<std::string> AwsumClassifier::Predict(
+    const std::vector<std::string>& row) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  if (row.size() != feature_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu features; model expects %zu", row.size(),
+                  feature_names_.size()));
+  }
+  std::vector<double> scores(classes_.size(), 0.0);
+  for (size_t f = 0; f < feature_names_.size(); ++f) {
+    const std::string& v = row[f];
+    if (v == CategoricalDataset::kMissing) continue;
+    auto it = value_counts_[f].find(v);
+    if (it == value_counts_[f].end()) continue;  // unseen value
+    double total = 0.0;
+    for (size_t n : it->second) total += static_cast<double>(n);
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      double p = (static_cast<double>(it->second[c]) + alpha_) /
+                 (total + alpha_ * static_cast<double>(classes_.size()));
+      // Prior-normalized influence (lift): under class imbalance, raw
+      // posterior sums degenerate to the majority class.
+      scores[c] += p / class_priors_[c];
+    }
+  }
+  size_t best = 0;
+  for (size_t c = 1; c < classes_.size(); ++c) {
+    if (scores[c] > scores[best]) best = c;
+  }
+  return classes_[best];
+}
+
+Result<std::vector<AwsumClassifier::Influence>>
+AwsumClassifier::Influences() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  std::vector<Influence> out;
+  for (size_t f = 0; f < feature_names_.size(); ++f) {
+    for (const auto& [value, counts] : value_counts_[f]) {
+      double total = 0.0;
+      for (size_t n : counts) total += static_cast<double>(n);
+      for (size_t c = 0; c < classes_.size(); ++c) {
+        Influence inf;
+        inf.feature = feature_names_[f];
+        inf.value = value;
+        inf.toward_class = classes_[c];
+        inf.influence =
+            (static_cast<double>(counts[c]) + alpha_) /
+            (total + alpha_ * static_cast<double>(classes_.size()));
+        inf.support = static_cast<size_t>(total);
+        out.push_back(std::move(inf));
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Influence& a, const Influence& b) {
+              if (a.influence != b.influence) {
+                return a.influence > b.influence;
+              }
+              return a.support > b.support;
+            });
+  return out;
+}
+
+Result<std::vector<AwsumClassifier::Interaction>>
+AwsumClassifier::Interactions(size_t min_support) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  // Single-value posteriors for the lift baseline.
+  auto single_influence = [&](size_t f, const std::string& v,
+                              size_t c) -> double {
+    auto it = value_counts_[f].find(v);
+    if (it == value_counts_[f].end()) return 0.0;
+    double total = 0.0;
+    for (size_t n : it->second) total += static_cast<double>(n);
+    return (static_cast<double>(it->second[c]) + alpha_) /
+           (total + alpha_ * static_cast<double>(classes_.size()));
+  };
+
+  // Joint counts over feature pairs.
+  struct PairKey {
+    size_t fa;
+    std::string va;
+    size_t fb;
+    std::string vb;
+    bool operator<(const PairKey& o) const {
+      if (fa != o.fa) return fa < o.fa;
+      if (va != o.va) return va < o.va;
+      if (fb != o.fb) return fb < o.fb;
+      return vb < o.vb;
+    }
+  };
+  std::map<PairKey, std::vector<size_t>> joint;
+  for (size_t i = 0; i < train_rows_.size(); ++i) {
+    const auto& row = train_rows_[i];
+    for (size_t fa = 0; fa < row.size(); ++fa) {
+      if (row[fa] == CategoricalDataset::kMissing) continue;
+      for (size_t fb = fa + 1; fb < row.size(); ++fb) {
+        if (row[fb] == CategoricalDataset::kMissing) continue;
+        auto& counts = joint[PairKey{fa, row[fa], fb, row[fb]}];
+        if (counts.empty()) counts.assign(classes_.size(), 0);
+        counts[train_label_ids_[i]]++;
+      }
+    }
+  }
+
+  std::vector<Interaction> out;
+  for (const auto& [key, counts] : joint) {
+    double total = 0.0;
+    for (size_t n : counts) total += static_cast<double>(n);
+    if (static_cast<size_t>(total) < min_support) continue;
+    for (size_t c = 0; c < classes_.size(); ++c) {
+      double joint_p =
+          (static_cast<double>(counts[c]) + alpha_) /
+          (total + alpha_ * static_cast<double>(classes_.size()));
+      double single_a = single_influence(key.fa, key.va, c);
+      double single_b = single_influence(key.fb, key.vb, c);
+      double max_single = std::max(single_a, single_b);
+      double lift = joint_p - max_single;
+      if (lift <= 0.0) continue;
+      Interaction inter;
+      inter.feature_a = feature_names_[key.fa];
+      inter.value_a = key.va;
+      inter.feature_b = feature_names_[key.fb];
+      inter.value_b = key.vb;
+      inter.toward_class = classes_[c];
+      inter.joint_influence = joint_p;
+      inter.max_single_influence = max_single;
+      inter.lift = lift;
+      inter.support = static_cast<size_t>(total);
+      out.push_back(std::move(inter));
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const Interaction& a, const Interaction& b) {
+              if (a.lift != b.lift) return a.lift > b.lift;
+              return a.support > b.support;
+            });
+  return out;
+}
+
+}  // namespace ddgms::mining

@@ -1,0 +1,32 @@
+#ifndef DDGMS_MINING_CLASSIFIER_H_
+#define DDGMS_MINING_CLASSIFIER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/dataset.h"
+
+namespace ddgms::mining {
+
+/// Interface shared by the categorical classifiers (naive Bayes, decision
+/// tree, AWSum). Train then Predict; Predict before Train is an error.
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+
+  /// Learns from the dataset. Re-training replaces the previous model.
+  virtual Status Train(const CategoricalDataset& data) = 0;
+
+  /// Predicts the label of one feature row (same order as
+  /// feature_names at training time).
+  virtual Result<std::string> Predict(
+      const std::vector<std::string>& row) const = 0;
+
+  /// Algorithm name for reports.
+  virtual std::string name() const = 0;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_CLASSIFIER_H_

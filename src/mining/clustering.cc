@@ -1,0 +1,245 @@
+#include "mining/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+namespace ddgms::mining {
+
+namespace {
+
+double SquaredDistance(const std::vector<double>& a,
+                       const std::vector<double>& b) {
+  double d = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double diff = a[i] - b[i];
+    d += diff * diff;
+  }
+  return d;
+}
+
+}  // namespace
+
+Result<ClusteringResult> KMeans(const NumericDataset& data,
+                                const KMeansOptions& options) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (options.k == 0 || options.k > data.rows.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  const size_t n = data.rows.size();
+  const size_t dims = data.feature_names.size();
+
+  // Optional standardization.
+  std::vector<std::vector<double>> points = data.rows;
+  if (options.standardize && dims > 0) {
+    for (size_t d = 0; d < dims; ++d) {
+      double sum = 0.0, sum_sq = 0.0;
+      for (size_t i = 0; i < n; ++i) {
+        sum += points[i][d];
+        sum_sq += points[i][d] * points[i][d];
+      }
+      double mean = sum / static_cast<double>(n);
+      double var = sum_sq / static_cast<double>(n) - mean * mean;
+      double sd = var > 1e-12 ? std::sqrt(var) : 1.0;
+      for (size_t i = 0; i < n; ++i) {
+        points[i][d] = (points[i][d] - mean) / sd;
+      }
+    }
+  }
+
+  // k-means++ seeding.
+  Rng rng(options.seed);
+  std::vector<std::vector<double>> centroids;
+  centroids.reserve(options.k);
+  centroids.push_back(
+      points[static_cast<size_t>(rng.UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  std::vector<double> min_dist(n, 0.0);
+  while (centroids.size() < options.k) {
+    double total = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      for (const auto& c : centroids) {
+        best = std::min(best, SquaredDistance(points[i], c));
+      }
+      min_dist[i] = best;
+      total += best;
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with centroids; duplicate one.
+      centroids.push_back(centroids.back());
+      continue;
+    }
+    double r = rng.NextDouble() * total;
+    double acc = 0.0;
+    size_t chosen = n - 1;
+    for (size_t i = 0; i < n; ++i) {
+      acc += min_dist[i];
+      if (r < acc) {
+        chosen = i;
+        break;
+      }
+    }
+    centroids.push_back(points[chosen]);
+  }
+
+  ClusteringResult result;
+  result.num_clusters = options.k;
+  result.assignments.assign(n, 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      double best = std::numeric_limits<double>::max();
+      size_t best_c = 0;
+      for (size_t c = 0; c < options.k; ++c) {
+        double d = SquaredDistance(points[i], centroids[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Recompute centroids.
+    std::vector<std::vector<double>> sums(
+        options.k, std::vector<double>(dims, 0.0));
+    std::vector<size_t> counts(options.k, 0);
+    for (size_t i = 0; i < n; ++i) {
+      size_t c = result.assignments[i];
+      ++counts[c];
+      for (size_t d = 0; d < dims; ++d) sums[c][d] += points[i][d];
+    }
+    for (size_t c = 0; c < options.k; ++c) {
+      if (counts[c] == 0) continue;  // keep old centroid for empty cluster
+      for (size_t d = 0; d < dims; ++d) {
+        centroids[c][d] = sums[c][d] / static_cast<double>(counts[c]);
+      }
+    }
+  }
+  result.inertia = 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    result.inertia +=
+        SquaredDistance(points[i], centroids[result.assignments[i]]);
+  }
+  return result;
+}
+
+Result<ClusteringResult> KModes(const CategoricalDataset& data,
+                                const KModesOptions& options) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  if (options.k == 0 || options.k > data.rows.size()) {
+    return Status::InvalidArgument("k must be in [1, n]");
+  }
+  const size_t n = data.rows.size();
+  const size_t dims = data.feature_names.size();
+
+  auto distance = [&](const std::vector<std::string>& a,
+                      const std::vector<std::string>& b) {
+    size_t d = 0;
+    for (size_t i = 0; i < dims; ++i) {
+      bool missing = a[i] == CategoricalDataset::kMissing ||
+                     b[i] == CategoricalDataset::kMissing;
+      if (missing || a[i] != b[i]) ++d;
+    }
+    return d;
+  };
+
+  // Seed with k distinct random rows.
+  Rng rng(options.seed);
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng.Shuffle(&order);
+  std::vector<std::vector<std::string>> modes;
+  modes.reserve(options.k);
+  for (size_t i = 0; i < n && modes.size() < options.k; ++i) {
+    const auto& candidate = data.rows[order[i]];
+    bool duplicate = false;
+    for (const auto& m : modes) {
+      if (m == candidate) {
+        duplicate = true;
+        break;
+      }
+    }
+    if (!duplicate) modes.push_back(candidate);
+  }
+  while (modes.size() < options.k) {
+    modes.push_back(data.rows[static_cast<size_t>(
+        rng.UniformInt(0, static_cast<int64_t>(n) - 1))]);
+  }
+
+  ClusteringResult result;
+  result.num_clusters = options.k;
+  result.assignments.assign(n, 0);
+  for (size_t iter = 0; iter < options.max_iterations; ++iter) {
+    bool changed = false;
+    for (size_t i = 0; i < n; ++i) {
+      size_t best = SIZE_MAX;
+      size_t best_c = 0;
+      for (size_t c = 0; c < options.k; ++c) {
+        size_t d = distance(data.rows[i], modes[c]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      if (result.assignments[i] != best_c) {
+        result.assignments[i] = best_c;
+        changed = true;
+      }
+    }
+    result.iterations = iter + 1;
+    if (!changed && iter > 0) break;
+    // Recompute per-cluster modes.
+    for (size_t c = 0; c < options.k; ++c) {
+      for (size_t d = 0; d < dims; ++d) {
+        std::unordered_map<std::string, size_t> counts;
+        for (size_t i = 0; i < n; ++i) {
+          if (result.assignments[i] != c) continue;
+          const std::string& v = data.rows[i][d];
+          if (v == CategoricalDataset::kMissing) continue;
+          counts[v]++;
+        }
+        size_t best_n = 0;
+        for (const auto& [v, cnt] : counts) {
+          if (cnt > best_n || (cnt == best_n && v < modes[c][d])) {
+            best_n = cnt;
+            modes[c][d] = v;
+          }
+        }
+      }
+    }
+  }
+  return result;
+}
+
+Result<double> ClusterPurity(const ClusteringResult& clustering,
+                             const std::vector<std::string>& labels) {
+  if (clustering.assignments.size() != labels.size() || labels.empty()) {
+    return Status::InvalidArgument(
+        "assignment/label size mismatch or empty");
+  }
+  std::vector<std::unordered_map<std::string, size_t>> counts(
+      clustering.num_clusters);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    counts[clustering.assignments[i]][labels[i]]++;
+  }
+  size_t correct = 0;
+  for (const auto& cluster : counts) {
+    size_t best = 0;
+    for (const auto& [label, n] : cluster) best = std::max(best, n);
+    correct += best;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(labels.size());
+}
+
+}  // namespace ddgms::mining

@@ -1,0 +1,52 @@
+#ifndef DDGMS_MINING_CLUSTERING_H_
+#define DDGMS_MINING_CLUSTERING_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "mining/dataset.h"
+
+namespace ddgms::mining {
+
+/// Result of a clustering run.
+struct ClusteringResult {
+  std::vector<size_t> assignments;  // cluster id per row
+  size_t num_clusters = 0;
+  size_t iterations = 0;
+  double inertia = 0.0;  // k-means: sum of squared distances to centroid
+};
+
+struct KMeansOptions {
+  size_t k = 3;
+  size_t max_iterations = 100;
+  uint64_t seed = 42;
+  /// When true, features are z-standardized before clustering.
+  bool standardize = true;
+};
+
+/// Lloyd's k-means with k-means++ seeding on a numeric dataset.
+Result<ClusteringResult> KMeans(const NumericDataset& data,
+                                const KMeansOptions& options = {});
+
+struct KModesOptions {
+  size_t k = 3;
+  size_t max_iterations = 100;
+  uint64_t seed = 42;
+};
+
+/// k-modes (Huang 1998): k-means analogue for categorical data with
+/// Hamming distance and per-cluster modes. Missing values never match.
+Result<ClusteringResult> KModes(const CategoricalDataset& data,
+                                const KModesOptions& options = {});
+
+/// Purity of a clustering against known labels: fraction of rows whose
+/// cluster's majority label matches their own. 1.0 = clusters align
+/// perfectly with classes.
+Result<double> ClusterPurity(const ClusteringResult& clustering,
+                             const std::vector<std::string>& labels);
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_CLUSTERING_H_

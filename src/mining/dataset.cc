@@ -1,0 +1,133 @@
+#include "mining/dataset.h"
+
+#include <unordered_set>
+
+namespace ddgms::mining {
+
+Result<CategoricalDataset> CategoricalDataset::FromTable(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column) {
+  CategoricalDataset ds;
+  ds.feature_names = feature_columns;
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(feature_columns.size());
+  for (const std::string& name : feature_columns) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           table.ColumnByName(name));
+    cols.push_back(col);
+  }
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* label_col,
+                         table.ColumnByName(label_column));
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (label_col->IsNull(i)) continue;
+    std::vector<std::string> row;
+    row.reserve(cols.size());
+    for (const ColumnVector* col : cols) {
+      row.push_back(col->IsNull(i) ? std::string(kMissing)
+                                   : col->GetValue(i).ToString());
+    }
+    ds.rows.push_back(std::move(row));
+    ds.labels.push_back(label_col->GetValue(i).ToString());
+  }
+  return ds;
+}
+
+std::vector<std::string> CategoricalDataset::DistinctLabels() const {
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const std::string& l : labels) {
+    if (seen.insert(l).second) out.push_back(l);
+  }
+  return out;
+}
+
+Result<std::pair<CategoricalDataset, CategoricalDataset>>
+CategoricalDataset::Split(double test_fraction, Rng* rng) const {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0,1)");
+  }
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t test_n = static_cast<size_t>(
+      static_cast<double>(rows.size()) * test_fraction);
+  CategoricalDataset train;
+  CategoricalDataset test;
+  train.feature_names = feature_names;
+  test.feature_names = feature_names;
+  for (size_t k = 0; k < order.size(); ++k) {
+    CategoricalDataset& dst = k < test_n ? test : train;
+    dst.rows.push_back(rows[order[k]]);
+    dst.labels.push_back(labels[order[k]]);
+  }
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+Result<NumericDataset> NumericDataset::FromTable(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column) {
+  NumericDataset ds;
+  ds.feature_names = feature_columns;
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(feature_columns.size());
+  for (const std::string& name : feature_columns) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           table.ColumnByName(name));
+    if (!IsNumeric(col->type()) && col->type() != DataType::kBool) {
+      return Status::InvalidArgument("feature column '" + name +
+                                     "' is not numeric");
+    }
+    cols.push_back(col);
+  }
+  const ColumnVector* label_col = nullptr;
+  if (!label_column.empty()) {
+    DDGMS_ASSIGN_OR_RETURN(label_col, table.ColumnByName(label_column));
+  }
+  const size_t n = table.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (label_col != nullptr && label_col->IsNull(i)) continue;
+    bool complete = true;
+    std::vector<double> row;
+    row.reserve(cols.size());
+    for (const ColumnVector* col : cols) {
+      if (col->IsNull(i)) {
+        complete = false;
+        break;
+      }
+      Result<double> v = col->NumericAt(i);
+      if (!v.ok()) return v.status();
+      row.push_back(*v);
+    }
+    if (!complete) continue;
+    ds.rows.push_back(std::move(row));
+    if (label_col != nullptr) {
+      ds.labels.push_back(label_col->GetValue(i).ToString());
+    }
+  }
+  return ds;
+}
+
+Result<std::pair<NumericDataset, NumericDataset>> NumericDataset::Split(
+    double test_fraction, Rng* rng) const {
+  if (test_fraction <= 0.0 || test_fraction >= 1.0) {
+    return Status::InvalidArgument("test_fraction must be in (0,1)");
+  }
+  std::vector<size_t> order(rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  rng->Shuffle(&order);
+  size_t test_n = static_cast<size_t>(
+      static_cast<double>(rows.size()) * test_fraction);
+  NumericDataset train;
+  NumericDataset test;
+  train.feature_names = feature_names;
+  test.feature_names = feature_names;
+  for (size_t k = 0; k < order.size(); ++k) {
+    NumericDataset& dst = k < test_n ? test : train;
+    dst.rows.push_back(rows[order[k]]);
+    if (!labels.empty()) dst.labels.push_back(labels[order[k]]);
+  }
+  return std::make_pair(std::move(train), std::move(test));
+}
+
+}  // namespace ddgms::mining

@@ -1,0 +1,59 @@
+#ifndef DDGMS_MINING_DATASET_H_
+#define DDGMS_MINING_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "table/table.h"
+
+namespace ddgms::mining {
+
+/// Categorical learning dataset extracted from a table (typically a
+/// warehouse JoinedView, i.e. an OLAP-isolated cube subset — the paper's
+/// Data Analytics path). Feature values are stringified; missing cells
+/// become the sentinel kMissing.
+struct CategoricalDataset {
+  static constexpr const char* kMissing = "?";
+
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<std::string>> rows;  // [row][feature]
+  std::vector<std::string> labels;             // parallel to rows
+
+  size_t size() const { return rows.size(); }
+
+  /// Extracts features + label from a table. Rows with a null label are
+  /// skipped; null features become kMissing.
+  static Result<CategoricalDataset> FromTable(
+      const Table& table, const std::vector<std::string>& feature_columns,
+      const std::string& label_column);
+
+  /// Distinct labels in first-appearance order.
+  std::vector<std::string> DistinctLabels() const;
+
+  /// Deterministic shuffled split; test_fraction in (0, 1).
+  Result<std::pair<CategoricalDataset, CategoricalDataset>> Split(
+      double test_fraction, Rng* rng) const;
+};
+
+/// Numeric learning dataset (logistic regression, k-means). Rows
+/// containing nulls in any selected feature are skipped.
+struct NumericDataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> rows;
+  std::vector<std::string> labels;  // empty for unsupervised use
+
+  size_t size() const { return rows.size(); }
+
+  static Result<NumericDataset> FromTable(
+      const Table& table, const std::vector<std::string>& feature_columns,
+      const std::string& label_column /* "" = unsupervised */);
+
+  Result<std::pair<NumericDataset, NumericDataset>> Split(
+      double test_fraction, Rng* rng) const;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_DATASET_H_

@@ -1,0 +1,162 @@
+#include "mining/decision_tree.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ddgms::mining {
+
+namespace {
+
+double Log2(double x) { return std::log(x) / std::log(2.0); }
+
+double LabelEntropy(const CategoricalDataset& data,
+                    const std::vector<size_t>& rows) {
+  std::unordered_map<std::string, size_t> counts;
+  for (size_t r : rows) counts[data.labels[r]]++;
+  double h = 0.0;
+  for (const auto& [label, n] : counts) {
+    double p = static_cast<double>(n) / static_cast<double>(rows.size());
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+std::string MajorityLabel(const CategoricalDataset& data,
+                          const std::vector<size_t>& rows) {
+  std::unordered_map<std::string, size_t> counts;
+  for (size_t r : rows) counts[data.labels[r]]++;
+  std::string best;
+  size_t best_n = 0;
+  for (const auto& [label, n] : counts) {
+    if (n > best_n || (n == best_n && label < best)) {
+      best_n = n;
+      best = label;
+    }
+  }
+  return best;
+}
+
+}  // namespace
+
+Status DecisionTreeClassifier::Train(const CategoricalDataset& data) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  feature_names_ = data.feature_names;
+  std::vector<size_t> rows(data.rows.size());
+  for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  root_ = BuildNode(data, rows,
+                    std::vector<bool>(data.feature_names.size(), false), 0);
+  return Status::OK();
+}
+
+std::unique_ptr<DecisionTreeClassifier::Node>
+DecisionTreeClassifier::BuildNode(const CategoricalDataset& data,
+                                  const std::vector<size_t>& rows,
+                                  std::vector<bool> used_features,
+                                  size_t depth) const {
+  auto node = std::make_unique<Node>();
+  node->majority_class = MajorityLabel(data, rows);
+
+  double parent_entropy = LabelEntropy(data, rows);
+  if (parent_entropy == 0.0 || depth >= options_.max_depth ||
+      rows.size() < options_.min_samples_split) {
+    return node;
+  }
+
+  // Pick the unused feature with the highest information gain; missing
+  // values form their own branch.
+  double best_gain = 0.0;
+  size_t best_feature = SIZE_MAX;
+  for (size_t f = 0; f < feature_names_.size(); ++f) {
+    if (used_features[f]) continue;
+    std::unordered_map<std::string, std::vector<size_t>> partitions;
+    for (size_t r : rows) partitions[data.rows[r][f]].push_back(r);
+    if (partitions.size() < 2) continue;
+    double child_entropy = 0.0;
+    for (const auto& [value, part] : partitions) {
+      double w = static_cast<double>(part.size()) /
+                 static_cast<double>(rows.size());
+      child_entropy += w * LabelEntropy(data, part);
+    }
+    double gain = parent_entropy - child_entropy;
+    if (gain > best_gain) {
+      best_gain = gain;
+      best_feature = f;
+    }
+  }
+  if (best_feature == SIZE_MAX || best_gain < options_.min_gain) {
+    return node;
+  }
+
+  node->is_leaf = false;
+  node->split_feature = best_feature;
+  used_features[best_feature] = true;
+  std::unordered_map<std::string, std::vector<size_t>> partitions;
+  for (size_t r : rows) {
+    partitions[data.rows[r][best_feature]].push_back(r);
+  }
+  for (const auto& [value, part] : partitions) {
+    node->children[value] =
+        BuildNode(data, part, used_features, depth + 1);
+  }
+  return node;
+}
+
+Result<std::string> DecisionTreeClassifier::Predict(
+    const std::vector<std::string>& row) const {
+  if (root_ == nullptr) {
+    return Status::FailedPrecondition("classifier not trained");
+  }
+  if (row.size() != feature_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu features; model expects %zu", row.size(),
+                  feature_names_.size()));
+  }
+  const Node* node = root_.get();
+  while (!node->is_leaf) {
+    auto it = node->children.find(row[node->split_feature]);
+    if (it == node->children.end()) {
+      return node->majority_class;  // unseen value: back off
+    }
+    node = it->second.get();
+  }
+  return node->majority_class;
+}
+
+size_t DecisionTreeClassifier::CountNodes(const Node* node) {
+  if (node == nullptr) return 0;
+  size_t n = 1;
+  for (const auto& [value, child] : node->children) {
+    n += CountNodes(child.get());
+  }
+  return n;
+}
+
+size_t DecisionTreeClassifier::num_nodes() const {
+  return CountNodes(root_.get());
+}
+
+void DecisionTreeClassifier::Render(const Node* node,
+                                    const std::string& indent,
+                                    std::string* out) const {
+  if (node->is_leaf) {
+    *out += indent + "-> " + node->majority_class + "\n";
+    return;
+  }
+  for (const auto& [value, child] : node->children) {
+    *out += indent + feature_names_[node->split_feature] + " = " + value +
+            "\n";
+    Render(child.get(), indent + "  ", out);
+  }
+}
+
+std::string DecisionTreeClassifier::ToString() const {
+  if (root_ == nullptr) return "(untrained)";
+  std::string out;
+  Render(root_.get(), "", &out);
+  return out;
+}
+
+}  // namespace ddgms::mining

@@ -1,0 +1,63 @@
+#ifndef DDGMS_MINING_DECISION_TREE_H_
+#define DDGMS_MINING_DECISION_TREE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/classifier.h"
+
+namespace ddgms::mining {
+
+struct DecisionTreeOptions {
+  size_t max_depth = 8;
+  size_t min_samples_split = 4;
+  /// Minimum information gain to accept a split.
+  double min_gain = 1e-4;
+};
+
+/// ID3-style decision tree on categorical features (multiway splits,
+/// information gain). Unseen/missing values at prediction time fall back
+/// to the node's majority class.
+class DecisionTreeClassifier final : public Classifier {
+ public:
+  explicit DecisionTreeClassifier(DecisionTreeOptions options = {})
+      : options_(options) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  Result<std::string> Predict(
+      const std::vector<std::string>& row) const override;
+  std::string name() const override { return "decision_tree"; }
+
+  /// Number of nodes in the trained tree (diagnostics).
+  size_t num_nodes() const;
+
+  /// Renders the tree as indented "feature=value -> ..." rules.
+  std::string ToString() const;
+
+ private:
+  struct Node {
+    bool is_leaf = true;
+    std::string majority_class;
+    size_t split_feature = 0;  // when !is_leaf
+    std::unordered_map<std::string, std::unique_ptr<Node>> children;
+  };
+
+  std::unique_ptr<Node> BuildNode(const CategoricalDataset& data,
+                                  const std::vector<size_t>& rows,
+                                  std::vector<bool> used_features,
+                                  size_t depth) const;
+  static size_t CountNodes(const Node* node);
+  void Render(const Node* node, const std::string& indent,
+              std::string* out) const;
+
+  DecisionTreeOptions options_;
+  std::vector<std::string> feature_names_;
+  std::unique_ptr<Node> root_;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_DECISION_TREE_H_

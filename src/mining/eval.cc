@@ -1,0 +1,133 @@
+#include "mining/eval.h"
+
+#include <memory>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ddgms::mining {
+
+std::string EvalReport::ToString() const {
+  std::string out = StrFormat("accuracy %.4f (%zu/%zu)", accuracy, correct,
+                              total);
+  for (const auto& [cls, m] : per_class) {
+    out += StrFormat("\n  %-16s precision %.3f recall %.3f f1 %.3f (n=%zu)",
+                     cls.c_str(), m.precision, m.recall, m.f1, m.support);
+  }
+  return out;
+}
+
+Result<EvalReport> EvaluateLabels(
+    const std::vector<std::string>& actual,
+    const std::vector<std::string>& predicted) {
+  if (actual.size() != predicted.size() || actual.empty()) {
+    return Status::InvalidArgument(
+        "actual/predicted size mismatch or empty");
+  }
+  EvalReport report;
+  report.total = actual.size();
+  for (size_t i = 0; i < actual.size(); ++i) {
+    report.confusion[actual[i]][predicted[i]]++;
+    if (actual[i] == predicted[i]) ++report.correct;
+  }
+  report.accuracy =
+      static_cast<double>(report.correct) / static_cast<double>(report.total);
+
+  // Per-class metrics.
+  std::map<std::string, size_t> tp, fp, fn;
+  for (const auto& [act, row] : report.confusion) {
+    for (const auto& [pred, n] : row) {
+      if (act == pred) {
+        tp[act] += n;
+      } else {
+        fn[act] += n;
+        fp[pred] += n;
+      }
+    }
+  }
+  for (const auto& [act, row] : report.confusion) {
+    EvalReport::ClassMetrics m;
+    size_t t = tp[act];
+    size_t p_denom = t + fp[act];
+    size_t r_denom = t + fn[act];
+    m.precision = p_denom > 0 ? static_cast<double>(t) /
+                                    static_cast<double>(p_denom)
+                              : 0.0;
+    m.recall = r_denom > 0 ? static_cast<double>(t) /
+                                 static_cast<double>(r_denom)
+                           : 0.0;
+    m.f1 = m.precision + m.recall > 0.0
+               ? 2.0 * m.precision * m.recall / (m.precision + m.recall)
+               : 0.0;
+    m.support = r_denom;
+    report.per_class[act] = m;
+  }
+  return report;
+}
+
+Result<EvalReport> Evaluate(const Classifier& model,
+                            const CategoricalDataset& test) {
+  std::vector<std::string> predicted;
+  predicted.reserve(test.rows.size());
+  for (const auto& row : test.rows) {
+    DDGMS_ASSIGN_OR_RETURN(std::string p, model.Predict(row));
+    predicted.push_back(std::move(p));
+  }
+  return EvaluateLabels(test.labels, predicted);
+}
+
+Result<std::vector<double>> CrossValidate(
+    const CategoricalDataset& data, size_t folds, uint64_t seed,
+    const std::function<std::unique_ptr<Classifier>()>& make_model) {
+  if (folds < 2 || folds > data.rows.size()) {
+    return Status::InvalidArgument("folds must be in [2, n]");
+  }
+  std::vector<size_t> order(data.rows.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  Rng rng(seed);
+  rng.Shuffle(&order);
+
+  std::vector<double> accuracies;
+  accuracies.reserve(folds);
+  for (size_t f = 0; f < folds; ++f) {
+    CategoricalDataset train;
+    CategoricalDataset test;
+    train.feature_names = data.feature_names;
+    test.feature_names = data.feature_names;
+    for (size_t k = 0; k < order.size(); ++k) {
+      CategoricalDataset& dst = (k % folds == f) ? test : train;
+      dst.rows.push_back(data.rows[order[k]]);
+      dst.labels.push_back(data.labels[order[k]]);
+    }
+    std::unique_ptr<Classifier> model = make_model();
+    DDGMS_RETURN_IF_ERROR(model->Train(train));
+    DDGMS_ASSIGN_OR_RETURN(EvalReport report, Evaluate(*model, test));
+    accuracies.push_back(report.accuracy);
+  }
+  return accuracies;
+}
+
+Result<double> MajorityBaselineAccuracy(const CategoricalDataset& train,
+                                        const CategoricalDataset& test) {
+  if (train.labels.empty() || test.labels.empty()) {
+    return Status::InvalidArgument("empty train or test set");
+  }
+  std::unordered_map<std::string, size_t> counts;
+  for (const std::string& l : train.labels) counts[l]++;
+  std::string majority;
+  size_t best = 0;
+  for (const auto& [l, n] : counts) {
+    if (n > best || (n == best && l < majority)) {
+      best = n;
+      majority = l;
+    }
+  }
+  size_t correct = 0;
+  for (const std::string& l : test.labels) {
+    if (l == majority) ++correct;
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(test.labels.size());
+}
+
+}  // namespace ddgms::mining

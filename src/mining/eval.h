@@ -1,0 +1,57 @@
+#ifndef DDGMS_MINING_EVAL_H_
+#define DDGMS_MINING_EVAL_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "mining/classifier.h"
+#include "mining/dataset.h"
+
+namespace ddgms::mining {
+
+/// Confusion matrix + derived metrics for a classification run.
+struct EvalReport {
+  size_t total = 0;
+  size_t correct = 0;
+  double accuracy = 0.0;
+  /// confusion[actual][predicted] = count
+  std::map<std::string, std::map<std::string, size_t>> confusion;
+  /// Per-class precision/recall/F1.
+  struct ClassMetrics {
+    double precision = 0.0;
+    double recall = 0.0;
+    double f1 = 0.0;
+    size_t support = 0;
+  };
+  std::map<std::string, ClassMetrics> per_class;
+
+  std::string ToString() const;
+};
+
+/// Evaluates a trained classifier on a test set.
+Result<EvalReport> Evaluate(const Classifier& model,
+                            const CategoricalDataset& test);
+
+/// Builds the report from parallel actual/predicted label vectors (used
+/// for the numeric models too).
+Result<EvalReport> EvaluateLabels(const std::vector<std::string>& actual,
+                                  const std::vector<std::string>& predicted);
+
+/// k-fold cross-validated accuracy of a classifier factory.
+/// `make_model` is invoked per fold and must return a fresh classifier.
+Result<std::vector<double>> CrossValidate(
+    const CategoricalDataset& data, size_t folds, uint64_t seed,
+    const std::function<std::unique_ptr<Classifier>()>& make_model);
+
+/// Majority-class baseline accuracy (the floor any model must beat).
+Result<double> MajorityBaselineAccuracy(const CategoricalDataset& train,
+                                        const CategoricalDataset& test);
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_EVAL_H_

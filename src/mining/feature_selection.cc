@@ -1,0 +1,165 @@
+#include "mining/feature_selection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "mining/eval.h"
+
+namespace ddgms::mining {
+
+namespace {
+
+double Log2(double x) { return std::log(x) / std::log(2.0); }
+
+double Entropy(const std::unordered_map<std::string, size_t>& counts,
+               size_t total) {
+  double h = 0.0;
+  for (const auto& [value, n] : counts) {
+    if (n == 0) continue;
+    double p = static_cast<double>(n) / static_cast<double>(total);
+    h -= p * Log2(p);
+  }
+  return h;
+}
+
+double MeanAccuracy(const std::vector<double>& accs) {
+  double sum = 0.0;
+  for (double a : accs) sum += a;
+  return accs.empty() ? 0.0 : sum / static_cast<double>(accs.size());
+}
+
+}  // namespace
+
+Result<std::vector<FeatureScore>> RankByInformationGain(
+    const CategoricalDataset& data) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty dataset");
+  }
+  std::unordered_map<std::string, size_t> label_counts;
+  for (const std::string& l : data.labels) label_counts[l]++;
+  double h_y = Entropy(label_counts, data.labels.size());
+
+  std::vector<FeatureScore> scores;
+  scores.reserve(data.feature_names.size());
+  for (size_t f = 0; f < data.feature_names.size(); ++f) {
+    // Partition labels by feature value (missing = its own value).
+    std::unordered_map<std::string,
+                       std::unordered_map<std::string, size_t>>
+        partitions;
+    std::unordered_map<std::string, size_t> partition_sizes;
+    for (size_t i = 0; i < data.rows.size(); ++i) {
+      const std::string& v = data.rows[i][f];
+      partitions[v][data.labels[i]]++;
+      partition_sizes[v]++;
+    }
+    double h_cond = 0.0;
+    for (const auto& [value, counts] : partitions) {
+      double w = static_cast<double>(partition_sizes[value]) /
+                 static_cast<double>(data.rows.size());
+      h_cond += w * Entropy(counts, partition_sizes[value]);
+    }
+    scores.push_back(
+        FeatureScore{data.feature_names[f], h_y - h_cond});
+  }
+  std::sort(scores.begin(), scores.end(),
+            [](const FeatureScore& a, const FeatureScore& b) {
+              if (a.info_gain != b.info_gain) {
+                return a.info_gain > b.info_gain;
+              }
+              return a.feature < b.feature;
+            });
+  return scores;
+}
+
+Result<CategoricalDataset> ProjectFeatures(
+    const CategoricalDataset& data,
+    const std::vector<std::string>& features) {
+  std::vector<size_t> indices;
+  indices.reserve(features.size());
+  for (const std::string& name : features) {
+    bool found = false;
+    for (size_t f = 0; f < data.feature_names.size(); ++f) {
+      if (data.feature_names[f] == name) {
+        indices.push_back(f);
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return Status::NotFound("no feature named '" + name + "'");
+    }
+  }
+  CategoricalDataset out;
+  out.feature_names = features;
+  out.labels = data.labels;
+  out.rows.reserve(data.rows.size());
+  for (const auto& row : data.rows) {
+    std::vector<std::string> projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+    out.rows.push_back(std::move(projected));
+  }
+  return out;
+}
+
+Result<FeatureSelectionResult> WrapperFilterSelect(
+    const CategoricalDataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    const FeatureSelectionOptions& options) {
+  if (options.folds < 2) {
+    return Status::InvalidArgument("folds must be >= 2");
+  }
+  FeatureSelectionResult result;
+  DDGMS_ASSIGN_OR_RETURN(result.filter_ranking,
+                         RankByInformationGain(data));
+
+  // Filter stage.
+  std::vector<std::string> pool;
+  for (const FeatureScore& fs : result.filter_ranking) {
+    if (pool.size() >= options.filter_top_k) break;
+    pool.push_back(fs.feature);
+  }
+
+  // Wrapper stage: greedy forward selection by CV accuracy.
+  auto subset_score =
+      [&](const std::vector<std::string>& subset) -> Result<double> {
+    DDGMS_ASSIGN_OR_RETURN(CategoricalDataset projected,
+                           ProjectFeatures(data, subset));
+    DDGMS_ASSIGN_OR_RETURN(
+        std::vector<double> accs,
+        CrossValidate(projected, options.folds, options.seed,
+                      make_model));
+    return MeanAccuracy(accs);
+  };
+
+  double best_score = 0.0;
+  while (result.selected.size() < options.max_features) {
+    std::string best_candidate;
+    double best_candidate_score = -1.0;
+    for (const std::string& candidate : pool) {
+      if (std::find(result.selected.begin(), result.selected.end(),
+                    candidate) != result.selected.end()) {
+        continue;
+      }
+      std::vector<std::string> trial = result.selected;
+      trial.push_back(candidate);
+      DDGMS_ASSIGN_OR_RETURN(double score, subset_score(trial));
+      if (score > best_candidate_score) {
+        best_candidate_score = score;
+        best_candidate = candidate;
+      }
+    }
+    if (best_candidate.empty()) break;
+    if (!result.selected.empty() &&
+        best_candidate_score < best_score + options.min_improvement) {
+      break;
+    }
+    result.selected.push_back(best_candidate);
+    best_score = best_candidate_score;
+  }
+  result.cv_accuracy = best_score;
+  return result;
+}
+
+}  // namespace ddgms::mining

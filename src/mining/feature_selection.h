@@ -1,0 +1,68 @@
+#ifndef DDGMS_MINING_FEATURE_SELECTION_H_
+#define DDGMS_MINING_FEATURE_SELECTION_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/classifier.h"
+#include "mining/dataset.h"
+
+namespace ddgms::mining {
+
+/// Hybrid wrapper-filter feature selection in the spirit of the paper's
+/// ref [21] (Huda, Jelinek et al.: "Exploring novel features and
+/// decision rules to identify cardiovascular autonomic neuropathy using
+/// a Hybrid of Wrapper-Filter based feature selection"):
+///
+///  1. *filter*: rank features by information gain against the label
+///     and keep the top-k;
+///  2. *wrapper*: greedy forward selection over the filtered set,
+///     scoring candidate subsets by cross-validated accuracy of the
+///     caller's classifier.
+
+struct FeatureScore {
+  std::string feature;
+  double info_gain = 0.0;  // bits
+};
+
+/// Information gain of every feature (missing values form their own
+/// category), sorted descending.
+Result<std::vector<FeatureScore>> RankByInformationGain(
+    const CategoricalDataset& data);
+
+/// Restricts a dataset to the named features (order preserved).
+Result<CategoricalDataset> ProjectFeatures(
+    const CategoricalDataset& data,
+    const std::vector<std::string>& features);
+
+struct FeatureSelectionOptions {
+  /// Features surviving the filter stage.
+  size_t filter_top_k = 12;
+  /// Hard cap on the selected subset size.
+  size_t max_features = 8;
+  /// Cross-validation folds for the wrapper score.
+  size_t folds = 3;
+  uint64_t seed = 17;
+  /// Stop when the best candidate improves CV accuracy by less.
+  double min_improvement = 0.002;
+};
+
+struct FeatureSelectionResult {
+  std::vector<std::string> selected;       // wrapper output, in pick order
+  double cv_accuracy = 0.0;                // of the selected subset
+  std::vector<FeatureScore> filter_ranking;  // full filter stage output
+};
+
+/// Runs the hybrid selection. `make_model` must return a fresh
+/// classifier per call (it is trained many times).
+Result<FeatureSelectionResult> WrapperFilterSelect(
+    const CategoricalDataset& data,
+    const std::function<std::unique_ptr<Classifier>()>& make_model,
+    const FeatureSelectionOptions& options = {});
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_FEATURE_SELECTION_H_

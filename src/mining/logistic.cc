@@ -1,0 +1,148 @@
+#include "mining/logistic.h"
+
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ddgms::mining {
+
+namespace {
+
+double Sigmoid(double z) {
+  if (z >= 0.0) {
+    double e = std::exp(-z);
+    return 1.0 / (1.0 + e);
+  }
+  double e = std::exp(z);
+  return e / (1.0 + e);
+}
+
+}  // namespace
+
+Status LogisticRegression::Train(const NumericDataset& data,
+                                 const std::string& positive_label) {
+  if (data.rows.empty()) {
+    return Status::InvalidArgument("empty training set");
+  }
+  if (data.labels.size() != data.rows.size()) {
+    return Status::InvalidArgument("dataset has no labels");
+  }
+  const size_t n = data.rows.size();
+  const size_t dims = data.feature_names.size();
+  feature_names_ = data.feature_names;
+  positive_label_ = positive_label;
+
+  std::vector<double> y(n, 0.0);
+  bool saw_positive = false;
+  negative_label_.clear();
+  for (size_t i = 0; i < n; ++i) {
+    if (data.labels[i] == positive_label) {
+      y[i] = 1.0;
+      saw_positive = true;
+    } else if (negative_label_.empty()) {
+      negative_label_ = data.labels[i];
+    }
+  }
+  if (!saw_positive) {
+    return Status::InvalidArgument("positive label '" + positive_label +
+                                   "' absent from training data");
+  }
+  if (negative_label_.empty()) negative_label_ = "not_" + positive_label;
+
+  // Standardize.
+  means_.assign(dims, 0.0);
+  stds_.assign(dims, 1.0);
+  for (size_t d = 0; d < dims; ++d) {
+    double sum = 0.0, sum_sq = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      sum += data.rows[i][d];
+      sum_sq += data.rows[i][d] * data.rows[i][d];
+    }
+    means_[d] = sum / static_cast<double>(n);
+    double var = sum_sq / static_cast<double>(n) - means_[d] * means_[d];
+    stds_[d] = var > 1e-12 ? std::sqrt(var) : 1.0;
+  }
+  std::vector<std::vector<double>> x(n, std::vector<double>(dims));
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t d = 0; d < dims; ++d) {
+      x[i][d] = (data.rows[i][d] - means_[d]) / stds_[d];
+    }
+  }
+
+  weights_.assign(dims, 0.0);
+  intercept_ = 0.0;
+  double prev_loss = 1e300;
+  for (size_t iter = 0; iter < options_.max_iterations; ++iter) {
+    std::vector<double> grad(dims, 0.0);
+    double grad_b = 0.0;
+    double loss = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      double z = intercept_;
+      for (size_t d = 0; d < dims; ++d) z += weights_[d] * x[i][d];
+      double p = Sigmoid(z);
+      double err = p - y[i];
+      for (size_t d = 0; d < dims; ++d) grad[d] += err * x[i][d];
+      grad_b += err;
+      double p_clamped = std::min(std::max(p, 1e-12), 1.0 - 1e-12);
+      loss -= y[i] * std::log(p_clamped) +
+              (1.0 - y[i]) * std::log(1.0 - p_clamped);
+    }
+    double inv_n = 1.0 / static_cast<double>(n);
+    for (size_t d = 0; d < dims; ++d) {
+      grad[d] = grad[d] * inv_n + options_.l2 * weights_[d];
+      weights_[d] -= options_.learning_rate * grad[d];
+      loss += 0.5 * options_.l2 * weights_[d] * weights_[d];
+    }
+    intercept_ -= options_.learning_rate * grad_b * inv_n;
+    loss *= inv_n;
+    if (std::fabs(prev_loss - loss) < options_.tolerance) break;
+    prev_loss = loss;
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<double> LogisticRegression::PredictProbability(
+    const std::vector<double>& row) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  if (row.size() != weights_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu features; model expects %zu", row.size(),
+                  weights_.size()));
+  }
+  double z = intercept_;
+  for (size_t d = 0; d < row.size(); ++d) {
+    z += weights_[d] * (row[d] - means_[d]) / stds_[d];
+  }
+  return Sigmoid(z);
+}
+
+Result<std::string> LogisticRegression::Predict(
+    const std::vector<double>& row, double threshold) const {
+  DDGMS_ASSIGN_OR_RETURN(double p, PredictProbability(row));
+  return p >= threshold ? positive_label_ : negative_label_;
+}
+
+Result<std::vector<LogisticRegression::Coefficient>>
+LogisticRegression::Coefficients() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  std::vector<Coefficient> out;
+  out.reserve(weights_.size());
+  for (size_t d = 0; d < weights_.size(); ++d) {
+    out.push_back(Coefficient{feature_names_[d], weights_[d]});
+  }
+  return out;
+}
+
+Result<double> LogisticRegression::Intercept() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  return intercept_;
+}
+
+}  // namespace ddgms::mining

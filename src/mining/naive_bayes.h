@@ -1,0 +1,65 @@
+#ifndef DDGMS_MINING_NAIVE_BAYES_H_
+#define DDGMS_MINING_NAIVE_BAYES_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/classifier.h"
+
+namespace ddgms::mining {
+
+/// Multinomial naive Bayes over categorical features with Laplace
+/// smoothing. Missing feature values (CategoricalDataset::kMissing) are
+/// ignored at both training and prediction time.
+class NaiveBayesClassifier final : public Classifier {
+ public:
+  explicit NaiveBayesClassifier(double laplace_alpha = 1.0)
+      : alpha_(laplace_alpha) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  Result<std::string> Predict(
+      const std::vector<std::string>& row) const override;
+  std::string name() const override { return "naive_bayes"; }
+
+  /// Log-posterior (unnormalized) per class for one row; useful for
+  /// ranking and calibration inspection.
+  Result<std::vector<std::pair<std::string, double>>> Scores(
+      const std::vector<std::string>& row) const;
+
+  /// Normalized class posterior P(class | observed features).
+  Result<std::vector<std::pair<std::string, double>>> Posterior(
+      const std::vector<std::string>& row) const;
+
+  /// Value of information for data acquisition (the DGMS phase-4 loop:
+  /// "data acquisition queries are used as feedback to reduce ambiguity
+  /// of decisions"). For each feature currently missing in `row`,
+  /// returns the expected reduction in posterior class entropy from
+  /// observing it — i.e. which test to order next. Features already
+  /// observed score 0. Sorted descending.
+  struct AcquisitionValue {
+    std::string feature;
+    double expected_entropy_reduction = 0.0;  // bits
+  };
+  Result<std::vector<AcquisitionValue>> ValueOfInformation(
+      const std::vector<std::string>& row) const;
+
+ private:
+  double alpha_;
+  size_t num_features_ = 0;
+  std::vector<std::string> feature_names_;
+  std::vector<std::string> classes_;
+  std::vector<double> class_log_prior_;
+  // conditional_[feature][class_index][value] = count
+  std::vector<std::vector<std::unordered_map<std::string, size_t>>>
+      counts_;
+  std::vector<size_t> class_totals_;  // rows per class
+  // distinct values per feature (for smoothing denominators)
+  std::vector<size_t> feature_arity_;
+  bool trained_ = false;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_NAIVE_BAYES_H_

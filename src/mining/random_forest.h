@@ -1,0 +1,49 @@
+#ifndef DDGMS_MINING_RANDOM_FOREST_H_
+#define DDGMS_MINING_RANDOM_FOREST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "mining/classifier.h"
+#include "mining/decision_tree.h"
+
+namespace ddgms::mining {
+
+/// Bagged ensemble of ID3 trees: each tree trains on a bootstrap sample
+/// with a random subset of the features hidden (the remaining values are
+/// replaced by the missing sentinel, which the trees already route to
+/// their majority branches). Prediction is majority vote.
+class RandomForestClassifier final : public Classifier {
+ public:
+  struct Options {
+    size_t num_trees = 25;
+    /// Fraction of features visible to each tree (at least one).
+    double feature_fraction = 0.7;
+    uint64_t seed = 1234;
+    DecisionTreeOptions tree;
+  };
+
+  RandomForestClassifier() : options_(Options()) {}
+  explicit RandomForestClassifier(Options options)
+      : options_(std::move(options)) {}
+
+  Status Train(const CategoricalDataset& data) override;
+  Result<std::string> Predict(
+      const std::vector<std::string>& row) const override;
+  std::string name() const override { return "random_forest"; }
+
+  size_t num_trees() const { return trees_.size(); }
+
+ private:
+  Options options_;
+  std::vector<std::unique_ptr<DecisionTreeClassifier>> trees_;
+  /// Per-tree feature visibility masks (true = visible).
+  std::vector<std::vector<bool>> masks_;
+  size_t num_features_ = 0;
+};
+
+}  // namespace ddgms::mining
+
+#endif  // DDGMS_MINING_RANDOM_FOREST_H_

@@ -1,0 +1,41 @@
+#include "olap/cache.h"
+
+namespace ddgms::olap {
+
+Result<std::shared_ptr<const Cube>> CachingCubeEngine::Execute(
+    const CubeQuery& query) {
+  if (warehouse_ == nullptr) {
+    return Status::InvalidArgument("engine has no warehouse");
+  }
+  // Gross-drift guard: a changed fact count means the warehouse was
+  // rebuilt or extended under us.
+  if (warehouse_->num_fact_rows() != cached_fact_rows_) {
+    Invalidate();
+    cached_fact_rows_ = warehouse_->num_fact_rows();
+  }
+  std::string key = query.ToString();
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->cube;
+  }
+  ++misses_;
+  CubeEngine engine(warehouse_);
+  DDGMS_ASSIGN_OR_RETURN(Cube cube, engine.Execute(query));
+  auto shared = std::make_shared<const Cube>(std::move(cube));
+  lru_.push_front(Entry{key, shared});
+  entries_[key] = lru_.begin();
+  while (entries_.size() > capacity_) {
+    entries_.erase(lru_.back().key);
+    lru_.pop_back();
+  }
+  return shared;
+}
+
+void CachingCubeEngine::Invalidate() {
+  lru_.clear();
+  entries_.clear();
+}
+
+}  // namespace ddgms::olap

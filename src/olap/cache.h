@@ -1,0 +1,58 @@
+#ifndef DDGMS_OLAP_CACHE_H_
+#define DDGMS_OLAP_CACHE_H_
+
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "olap/cube.h"
+
+namespace ddgms::olap {
+
+/// CubeEngine with an LRU cache of materialized cubes, keyed by the
+/// canonical query string. Clinical analysis sessions re-issue the same
+/// multivariate queries (drill-down and back, re-rendering); caching
+/// turns those into dictionary hits.
+///
+/// The cache assumes the warehouse is read-only while cached results
+/// are in use; call Invalidate() after structural changes (feedback
+/// dimensions, data acquisition). A cheap fact-row-count check catches
+/// gross drift automatically.
+class CachingCubeEngine {
+ public:
+  explicit CachingCubeEngine(const warehouse::Warehouse* wh,
+                             size_t capacity = 64)
+      : warehouse_(wh), capacity_(capacity) {}
+
+  /// Executes (or returns a cached) cube. The returned pointer stays
+  /// valid as long as the caller holds it (shared ownership), even if
+  /// the entry is evicted.
+  Result<std::shared_ptr<const Cube>> Execute(const CubeQuery& query);
+
+  /// Drops all cached cubes.
+  void Invalidate();
+
+  size_t hits() const { return hits_; }
+  size_t misses() const { return misses_; }
+  size_t size() const { return entries_.size(); }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::shared_ptr<const Cube> cube;
+  };
+
+  const warehouse::Warehouse* warehouse_;
+  size_t capacity_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
+  size_t cached_fact_rows_ = 0;
+  size_t hits_ = 0;
+  size_t misses_ = 0;
+};
+
+}  // namespace ddgms::olap
+
+#endif  // DDGMS_OLAP_CACHE_H_

@@ -1,0 +1,605 @@
+#include "olap/cube.h"
+
+#include <algorithm>
+#include <thread>
+
+#include "common/strings.h"
+
+namespace ddgms::olap {
+
+using warehouse::Dimension;
+using warehouse::Warehouse;
+
+std::string AxisSpec::ToString() const {
+  std::string out = "[" + dimension + "].[" + attribute + "]";
+  if (!members.empty()) {
+    out += "{";
+    for (size_t i = 0; i < members.size(); ++i) {
+      if (i > 0) out += ",";
+      out += members[i].ToString();
+    }
+    out += "}";
+  }
+  return out;
+}
+
+std::string SlicerSpec::ToString() const {
+  std::string out = "[" + dimension + "].[" + attribute + "] IN (";
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out += ",";
+    out += values[i].ToString();
+  }
+  return out + ")";
+}
+
+std::string CubeQuery::ToString() const {
+  std::string out = "axes:";
+  for (const AxisSpec& a : axes) out += " " + a.ToString();
+  if (!slicers.empty()) {
+    out += " where:";
+    for (const SlicerSpec& s : slicers) out += " " + s.ToString();
+  }
+  out += " measures:";
+  for (const AggSpec& m : measures) {
+    out += " ";
+    out += AggFnName(m.fn);
+    out += "(";
+    out += m.column.empty() ? "*" : m.column;
+    out += ")";
+  }
+  if (!non_empty) out += " include-empty";
+  return out;
+}
+
+Value Cube::CellValue(const std::vector<Value>& coords,
+                      size_t measure_index) const {
+  auto it = cells_.find(coords);
+  if (it == cells_.end() || measure_index >= it->second.measure_values.size()) {
+    return Value::Null();
+  }
+  return it->second.measure_values[measure_index];
+}
+
+size_t Cube::CellCount(const std::vector<Value>& coords) const {
+  auto it = cells_.find(coords);
+  return it == cells_.end() ? 0 : it->second.fact_count;
+}
+
+Result<Cube> Cube::RollUp(size_t axis) const {
+  if (axis >= query_.axes.size()) {
+    return Status::OutOfRange(StrFormat("axis %zu out of range", axis));
+  }
+  CubeQuery q = query_;
+  q.axes.erase(q.axes.begin() + static_cast<ptrdiff_t>(axis));
+  return CubeEngine(warehouse_).Execute(q);
+}
+
+Result<Cube> Cube::RollUpToCoarser(size_t axis) const {
+  if (axis >= query_.axes.size()) {
+    return Status::OutOfRange(StrFormat("axis %zu out of range", axis));
+  }
+  const AxisSpec& spec = query_.axes[axis];
+  DDGMS_ASSIGN_OR_RETURN(const Dimension* dim,
+                         warehouse_->dimension(spec.dimension));
+  DDGMS_ASSIGN_OR_RETURN(std::string coarser,
+                         dim->CoarserLevel(spec.attribute));
+  CubeQuery q = query_;
+  q.axes[axis].attribute = coarser;
+  q.axes[axis].members.clear();  // member names change across levels
+  return CubeEngine(warehouse_).Execute(q);
+}
+
+Result<Cube> Cube::DrillDown(size_t axis) const {
+  if (axis >= query_.axes.size()) {
+    return Status::OutOfRange(StrFormat("axis %zu out of range", axis));
+  }
+  const AxisSpec& spec = query_.axes[axis];
+  DDGMS_ASSIGN_OR_RETURN(const Dimension* dim,
+                         warehouse_->dimension(spec.dimension));
+  DDGMS_ASSIGN_OR_RETURN(std::string finer,
+                         dim->FinerLevel(spec.attribute));
+  CubeQuery q = query_;
+  // Keep the coarse level as a slicer-free outer axis? The paper's
+  // drill-down replaces the level while retaining any member
+  // restriction semantics at the coarse level, which we express by
+  // keeping the old axis restriction as a slicer.
+  if (!spec.members.empty()) {
+    q.slicers.push_back(
+        SlicerSpec{spec.dimension, spec.attribute, spec.members});
+  }
+  q.axes[axis].attribute = finer;
+  q.axes[axis].members.clear();
+  return CubeEngine(warehouse_).Execute(q);
+}
+
+Result<Cube> Cube::Slice(const std::string& dimension,
+                         const std::string& attribute, Value value) const {
+  CubeQuery q = query_;
+  // If the sliced attribute is an axis, remove the axis.
+  for (size_t i = 0; i < q.axes.size(); ++i) {
+    if (q.axes[i].dimension == dimension &&
+        q.axes[i].attribute == attribute) {
+      q.axes.erase(q.axes.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+  }
+  q.slicers.push_back(SlicerSpec{dimension, attribute, {std::move(value)}});
+  return CubeEngine(warehouse_).Execute(q);
+}
+
+Result<Cube> Cube::Dice(const std::string& dimension,
+                        const std::string& attribute,
+                        std::vector<Value> values) const {
+  CubeQuery q = query_;
+  bool applied = false;
+  for (AxisSpec& a : q.axes) {
+    if (a.dimension == dimension && a.attribute == attribute) {
+      a.members = values;
+      applied = true;
+      break;
+    }
+  }
+  if (!applied) {
+    q.slicers.push_back(
+        SlicerSpec{dimension, attribute, std::move(values)});
+  }
+  return CubeEngine(warehouse_).Execute(q);
+}
+
+Result<Table> Cube::ToTable() const {
+  std::vector<Field> fields;
+  for (const AxisSpec& a : query_.axes) {
+    // Axis output column named after the attribute; type from members.
+    DataType t = DataType::kString;
+    for (size_t ax = 0; ax < axis_members_.size(); ++ax) {
+      if (&query_.axes[ax] == &a && !axis_members_[ax].empty()) {
+        t = axis_members_[ax].front().type();
+      }
+    }
+    if (t == DataType::kNull) t = DataType::kString;
+    fields.push_back(Field{a.attribute, t});
+  }
+  for (const AggSpec& m : query_.measures) {
+    DataType t;
+    switch (m.fn) {
+      case AggFn::kCount:
+      case AggFn::kCountValid:
+      case AggFn::kCountDistinct:
+        t = DataType::kInt64;
+        break;
+      default:
+        t = DataType::kDouble;
+        break;
+    }
+    fields.push_back(Field{m.OutputName(), t});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+
+  // Enumerate cells in sorted coordinate order for deterministic output.
+  std::vector<const std::vector<Value>*> coords;
+  coords.reserve(cells_.size());
+  for (const auto& [c, cell] : cells_) coords.push_back(&c);
+  std::sort(coords.begin(), coords.end(),
+            [](const std::vector<Value>* a, const std::vector<Value>* b) {
+              for (size_t i = 0; i < a->size() && i < b->size(); ++i) {
+                int c = (*a)[i].Compare((*b)[i]);
+                if (c != 0) return c < 0;
+              }
+              return a->size() < b->size();
+            });
+  for (const std::vector<Value>* c : coords) {
+    const Cell& cell = cells_.at(*c);
+    if (query_.non_empty && cell.fact_count == 0) continue;
+    Row row = *c;
+    for (const Value& mv : cell.measure_values) row.push_back(mv);
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> Cube::Pivot(size_t row_axis, size_t col_axis,
+                          size_t measure_index) const {
+  if (query_.axes.size() != 2) {
+    return Status::FailedPrecondition(
+        StrFormat("Pivot needs exactly 2 axes; cube has %zu",
+                  query_.axes.size()));
+  }
+  if (row_axis >= 2 || col_axis >= 2 || row_axis == col_axis) {
+    return Status::InvalidArgument("bad pivot axis indices");
+  }
+  if (measure_index >= query_.measures.size()) {
+    return Status::OutOfRange("measure index out of range");
+  }
+  const std::vector<Value>& rows = axis_members_[row_axis];
+  const std::vector<Value>& cols = axis_members_[col_axis];
+
+  DataType measure_type;
+  switch (query_.measures[measure_index].fn) {
+    case AggFn::kCount:
+    case AggFn::kCountValid:
+    case AggFn::kCountDistinct:
+      measure_type = DataType::kInt64;
+      break;
+    default:
+      measure_type = DataType::kDouble;
+      break;
+  }
+  std::vector<Field> fields;
+  fields.push_back(Field{query_.axes[row_axis].attribute,
+                         rows.empty() ? DataType::kString
+                                      : rows.front().type()});
+  for (const Value& c : cols) {
+    fields.push_back(Field{c.ToString(), measure_type});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  for (const Value& r : rows) {
+    Row row;
+    row.push_back(r);
+    for (const Value& c : cols) {
+      std::vector<Value> coord(2);
+      coord[row_axis] = r;
+      coord[col_axis] = c;
+      row.push_back(CellValue(coord, measure_index));
+    }
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<Table> Cube::PivotShare(size_t row_axis, size_t col_axis,
+                               ShareBasis basis,
+                               size_t measure_index) const {
+  DDGMS_ASSIGN_OR_RETURN(Table counts,
+                         Pivot(row_axis, col_axis, measure_index));
+  const size_t rows = counts.num_rows();
+  const size_t cols = counts.num_columns();  // label + data columns
+  // Collect numeric cells.
+  std::vector<std::vector<double>> cell(rows,
+                                        std::vector<double>(cols - 1, 0.0));
+  std::vector<std::vector<bool>> valid(rows,
+                                       std::vector<bool>(cols - 1, false));
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 1; c < cols; ++c) {
+      Value v = counts.column(c).GetValue(r);
+      Result<double> d = v.AsDouble();
+      if (d.ok()) {
+        cell[r][c - 1] = *d;
+        valid[r][c - 1] = true;
+      }
+    }
+  }
+  auto denominator = [&](size_t r, size_t c) {
+    double total = 0.0;
+    switch (basis) {
+      case ShareBasis::kRow:
+        for (size_t j = 0; j + 1 < cols; ++j) {
+          if (valid[r][j]) total += cell[r][j];
+        }
+        break;
+      case ShareBasis::kColumn:
+        for (size_t i = 0; i < rows; ++i) {
+          if (valid[i][c]) total += cell[i][c];
+        }
+        break;
+      case ShareBasis::kGrand:
+        for (size_t i = 0; i < rows; ++i) {
+          for (size_t j = 0; j + 1 < cols; ++j) {
+            if (valid[i][j]) total += cell[i][j];
+          }
+        }
+        break;
+    }
+    return total;
+  };
+  std::vector<Field> fields;
+  fields.push_back(counts.schema().field(0));
+  for (size_t c = 1; c < cols; ++c) {
+    fields.push_back(
+        Field{counts.schema().field(c).name, DataType::kDouble});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  for (size_t r = 0; r < rows; ++r) {
+    Row row;
+    row.push_back(counts.column(0).GetValue(r));
+    for (size_t c = 0; c + 1 < cols; ++c) {
+      double denom = denominator(r, c);
+      if (!valid[r][c] || denom <= 0.0) {
+        row.push_back(Value::Null());
+      } else {
+        row.push_back(Value::Real(cell[r][c] / denom));
+      }
+    }
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Result<std::vector<Cube::RankedCell>> Cube::TopCells(
+    size_t k, size_t measure_index, bool largest) const {
+  if (measure_index >= query_.measures.size()) {
+    return Status::OutOfRange("measure index out of range");
+  }
+  std::vector<RankedCell> ranked;
+  ranked.reserve(cells_.size());
+  for (const auto& [coord, cell] : cells_) {
+    if (measure_index >= cell.measure_values.size()) continue;
+    Result<double> v = cell.measure_values[measure_index].AsDouble();
+    if (!v.ok()) continue;
+    ranked.push_back(RankedCell{coord, *v, cell.fact_count});
+  }
+  auto better = [largest](const RankedCell& a, const RankedCell& b) {
+    if (a.value != b.value) {
+      return largest ? a.value > b.value : a.value < b.value;
+    }
+    // Deterministic tie-break on coordinates.
+    for (size_t i = 0; i < a.coordinates.size(); ++i) {
+      int c = a.coordinates[i].Compare(b.coordinates[i]);
+      if (c != 0) return c < 0;
+    }
+    return false;
+  };
+  std::sort(ranked.begin(), ranked.end(), better);
+  if (ranked.size() > k) ranked.resize(k);
+  return ranked;
+}
+
+Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
+  if (warehouse_ == nullptr) {
+    return Status::InvalidArgument("CubeEngine has no warehouse");
+  }
+  if (query.measures.empty()) {
+    return Status::InvalidArgument("cube query needs >= 1 measure");
+  }
+
+  const Table& fact = warehouse_->fact();
+
+  // Resolve axes. For speed, the scan works on small integer member
+  // indices: each dimension surrogate key is pre-mapped to the index of
+  // its attribute value among the axis's distinct members (-1 =
+  // excluded by a member restriction), so the per-fact-row work is an
+  // array lookup and an integer-tuple hash instead of Value hashing.
+  struct ResolvedAxis {
+    const ColumnVector* key_col;
+    std::vector<int32_t> key_to_member;  // by surrogate key
+    std::vector<Value> members;          // by member index
+  };
+  std::vector<ResolvedAxis> axes;
+  axes.reserve(query.axes.size());
+  for (const AxisSpec& spec : query.axes) {
+    DDGMS_ASSIGN_OR_RETURN(const Dimension* dim,
+                           warehouse_->dimension(spec.dimension));
+    if (!dim->HasAttribute(spec.attribute)) {
+      return Status::NotFound("dimension '" + spec.dimension +
+                              "' has no attribute '" + spec.attribute +
+                              "'");
+    }
+    DDGMS_ASSIGN_OR_RETURN(
+        const ColumnVector* key_col,
+        fact.ColumnByName(Warehouse::KeyColumnName(spec.dimension)));
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* attr_col,
+                           dim->table().ColumnByName(spec.attribute));
+    ResolvedAxis axis;
+    axis.key_col = key_col;
+    axis.key_to_member.assign(dim->num_members(), -1);
+    std::unordered_map<Value, int32_t, ValueHash, ValueEq> member_index;
+    if (!spec.members.empty()) {
+      for (const Value& m : spec.members) {
+        if (member_index.emplace(m, static_cast<int32_t>(
+                                        axis.members.size()))
+                .second) {
+          axis.members.push_back(m);
+        }
+      }
+    }
+    for (size_t key = 0; key < dim->num_members(); ++key) {
+      Value v = attr_col->GetValue(key);
+      auto it = member_index.find(v);
+      if (it != member_index.end()) {
+        axis.key_to_member[key] = it->second;
+      } else if (spec.members.empty()) {
+        int32_t idx = static_cast<int32_t>(axis.members.size());
+        member_index.emplace(v, idx);
+        axis.members.push_back(std::move(v));
+        axis.key_to_member[key] = idx;
+      }
+    }
+    axes.push_back(std::move(axis));
+  }
+
+  // Resolve slicers into per-dimension-member admission bitsets.
+  struct ResolvedSlicer {
+    const ColumnVector* key_col;
+    std::vector<uint8_t> admit;  // by surrogate key
+  };
+  std::vector<ResolvedSlicer> slicers;
+  slicers.reserve(query.slicers.size());
+  for (const SlicerSpec& spec : query.slicers) {
+    DDGMS_ASSIGN_OR_RETURN(const Dimension* dim,
+                           warehouse_->dimension(spec.dimension));
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* attr_col,
+                           dim->table().ColumnByName(spec.attribute));
+    DDGMS_ASSIGN_OR_RETURN(
+        const ColumnVector* key_col,
+        fact.ColumnByName(Warehouse::KeyColumnName(spec.dimension)));
+    ResolvedSlicer rs;
+    rs.key_col = key_col;
+    rs.admit.assign(dim->num_members(), 0);
+    for (size_t k = 0; k < dim->num_members(); ++k) {
+      Value v = attr_col->GetValue(k);
+      for (const Value& want : spec.values) {
+        if (v.Equals(want)) {
+          rs.admit[k] = 1;
+          break;
+        }
+      }
+    }
+    slicers.push_back(std::move(rs));
+  }
+
+  // Resolve measures.
+  std::vector<const ColumnVector*> measure_cols(query.measures.size(),
+                                                nullptr);
+  for (size_t m = 0; m < query.measures.size(); ++m) {
+    const AggSpec& spec = query.measures[m];
+    if (spec.column.empty()) {
+      if (spec.fn != AggFn::kCount) {
+        return Status::InvalidArgument(
+            StrFormat("measure %s needs a column", AggFnName(spec.fn)));
+      }
+      continue;
+    }
+    DDGMS_ASSIGN_OR_RETURN(measure_cols[m],
+                           fact.ColumnByName(spec.column));
+  }
+
+  // Single scan of the fact table, grouping on integer member tuples.
+  Cube cube;
+  cube.warehouse_ = warehouse_;
+  cube.query_ = query;
+
+  struct IdVectorHash {
+    size_t operator()(const std::vector<int32_t>& ids) const {
+      size_t h = 0xcbf29ce484222325ULL;
+      for (int32_t id : ids) {
+        h ^= static_cast<size_t>(id) + 0x9e3779b9;
+        h *= 0x100000001b3ULL;
+      }
+      return h;
+    }
+  };
+  using AccMap = std::unordered_map<std::vector<int32_t>,
+                                    std::vector<Accumulator>,
+                                    IdVectorHash>;
+  const size_t n = fact.num_rows();
+
+  // Scans rows [begin, end) into a local map; returns admitted count.
+  auto scan_range = [&](size_t begin, size_t end, AccMap* local) {
+    size_t admitted_count = 0;
+    std::vector<int32_t> coord_ids(query.axes.size());
+    for (size_t i = begin; i < end; ++i) {
+      bool admitted = true;
+      for (const ResolvedSlicer& s : slicers) {
+        int64_t key = s.key_col->IntAt(i);
+        if (s.admit[static_cast<size_t>(key)] == 0) {
+          admitted = false;
+          break;
+        }
+      }
+      if (!admitted) continue;
+
+      bool on_axes = true;
+      for (size_t a = 0; a < axes.size(); ++a) {
+        int64_t key = axes[a].key_col->IntAt(i);
+        int32_t member =
+            axes[a].key_to_member[static_cast<size_t>(key)];
+        if (member < 0) {
+          on_axes = false;
+          break;
+        }
+        coord_ids[a] = member;
+      }
+      if (!on_axes) continue;
+
+      auto it = local->find(coord_ids);
+      if (it == local->end()) {
+        std::vector<Accumulator> cell_accs;
+        cell_accs.reserve(query.measures.size());
+        for (const AggSpec& spec : query.measures) {
+          cell_accs.emplace_back(spec.fn);
+        }
+        it = local->emplace(coord_ids, std::move(cell_accs)).first;
+      }
+      for (size_t m = 0; m < query.measures.size(); ++m) {
+        it->second[m].Add(measure_cols[m] == nullptr
+                              ? Value::Int(1)
+                              : measure_cols[m]->GetValue(i));
+      }
+      ++admitted_count;
+    }
+    return admitted_count;
+  };
+
+  AccMap accs;
+  size_t threads = options_.num_threads;
+  if (threads <= 1 || n < options_.parallel_threshold) {
+    cube.facts_aggregated_ = scan_range(0, n, &accs);
+  } else {
+    threads = std::min(threads, n);
+    std::vector<AccMap> partials(threads);
+    std::vector<size_t> counts(threads, 0);
+    std::vector<std::thread> workers;
+    workers.reserve(threads);
+    size_t chunk = (n + threads - 1) / threads;
+    for (size_t t = 0; t < threads; ++t) {
+      size_t begin = t * chunk;
+      size_t end = std::min(n, begin + chunk);
+      workers.emplace_back([&, t, begin, end] {
+        counts[t] = scan_range(begin, end, &partials[t]);
+      });
+    }
+    for (std::thread& w : workers) w.join();
+    for (size_t t = 0; t < threads; ++t) {
+      cube.facts_aggregated_ += counts[t];
+      for (auto& [ids, cell_accs] : partials[t]) {
+        auto it = accs.find(ids);
+        if (it == accs.end()) {
+          accs.emplace(ids, std::move(cell_accs));
+          continue;
+        }
+        for (size_t m = 0; m < cell_accs.size(); ++m) {
+          it->second[m].Merge(cell_accs[m]);
+        }
+      }
+    }
+  }
+
+  // Materialize cells (converting id tuples to value coordinates) and
+  // axis member lists.
+  std::vector<std::vector<bool>> seen(query.axes.size());
+  for (size_t a = 0; a < axes.size(); ++a) {
+    seen[a].assign(axes[a].members.size(), false);
+  }
+  for (auto& [ids, cell_accs] : accs) {
+    Cube::Cell cell;
+    cell.fact_count = cell_accs.empty() ? 0 : cell_accs[0].rows();
+    cell.measure_values.reserve(cell_accs.size());
+    for (const Accumulator& acc : cell_accs) {
+      cell.measure_values.push_back(acc.Finish());
+    }
+    std::vector<Value> coord;
+    coord.reserve(ids.size());
+    for (size_t a = 0; a < ids.size(); ++a) {
+      coord.push_back(axes[a].members[static_cast<size_t>(ids[a])]);
+      seen[a][static_cast<size_t>(ids[a])] = true;
+    }
+    cube.cells_.emplace(std::move(coord), std::move(cell));
+  }
+  cube.axis_members_.resize(query.axes.size());
+  for (size_t a = 0; a < query.axes.size(); ++a) {
+    if (!query.axes[a].members.empty()) {
+      // An explicit member list fixes the axis order (clinical band
+      // labels such as "<40" do not sort lexicographically).
+      for (size_t m = 0; m < axes[a].members.size(); ++m) {
+        if (seen[a][m] || !query.non_empty) {
+          cube.axis_members_[a].push_back(axes[a].members[m]);
+        }
+      }
+      continue;
+    }
+    for (size_t m = 0; m < axes[a].members.size(); ++m) {
+      if (seen[a][m]) {
+        cube.axis_members_[a].push_back(axes[a].members[m]);
+      }
+    }
+    std::sort(cube.axis_members_[a].begin(), cube.axis_members_[a].end(),
+              [](const Value& x, const Value& y) {
+                return x.Compare(y) < 0;
+              });
+  }
+  return cube;
+}
+
+}  // namespace ddgms::olap

@@ -1,0 +1,175 @@
+#ifndef DDGMS_OLAP_CUBE_H_
+#define DDGMS_OLAP_CUBE_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/aggregate.h"
+#include "table/table.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::olap {
+
+/// One cube axis: group facts by this dimension attribute. An optional
+/// member restriction limits the axis to the listed values (the "dice"
+/// of the drag-and-drop interface in paper Fig 4).
+struct AxisSpec {
+  std::string dimension;
+  std::string attribute;
+  std::vector<Value> members;  // empty = all members
+
+  std::string ToString() const;
+};
+
+/// One slicer: keep only facts whose dimension attribute is in `values`
+/// (the WHERE clause of an MDX query; e.g. MedicalCondition.Diabetes =
+/// "Yes" in paper Fig 5).
+struct SlicerSpec {
+  std::string dimension;
+  std::string attribute;
+  std::vector<Value> values;
+
+  std::string ToString() const;
+};
+
+/// A multidimensional query: axes x slicers x measures. Measures use
+/// AggSpec with `column` naming a warehouse measure ("" for count).
+struct CubeQuery {
+  std::vector<AxisSpec> axes;
+  std::vector<SlicerSpec> slicers;
+  std::vector<AggSpec> measures;
+  /// Drop cells with zero contributing facts from ToTable()/Pivot().
+  bool non_empty = true;
+
+  std::string ToString() const;
+};
+
+/// Materialized result of a CubeQuery: a sparse map from axis coordinates
+/// to aggregated measure values, retaining enough context (warehouse +
+/// query) to support OLAP navigation:
+///
+///  * RollUp(axis)            — drop an axis, re-aggregating.
+///  * RollUpToCoarser(axis)   — move the axis up its hierarchy.
+///  * DrillDown(axis)         — move the axis down its hierarchy
+///                              (paper Fig 5: AgeBand10 -> AgeBand5).
+///  * Slice(dim, attr, v)     — fix one member and remove that axis.
+///  * Dice(dim, attr, values) — restrict to a member subset.
+///
+/// Navigation re-executes against the warehouse (ROLAP style), so a Cube
+/// must not outlive its Warehouse.
+class Cube {
+ public:
+  const CubeQuery& query() const { return query_; }
+  size_t num_axes() const { return query_.axes.size(); }
+  size_t num_measures() const { return query_.measures.size(); }
+  size_t num_cells() const { return cells_.size(); }
+  /// Total facts that passed the slicers.
+  size_t facts_aggregated() const { return facts_aggregated_; }
+
+  /// Distinct coordinate values seen on axis `axis`, sorted.
+  const std::vector<Value>& AxisMembers(size_t axis) const {
+    return axis_members_[axis];
+  }
+
+  /// Aggregated value for a full coordinate tuple; Null for empty cells.
+  Value CellValue(const std::vector<Value>& coords,
+                  size_t measure_index = 0) const;
+
+  /// Number of facts aggregated into a cell.
+  size_t CellCount(const std::vector<Value>& coords) const;
+
+  /// OLAP operations (see class comment).
+  Result<Cube> RollUp(size_t axis) const;
+  Result<Cube> RollUpToCoarser(size_t axis) const;
+  Result<Cube> DrillDown(size_t axis) const;
+  Result<Cube> Slice(const std::string& dimension,
+                     const std::string& attribute, Value value) const;
+  Result<Cube> Dice(const std::string& dimension,
+                    const std::string& attribute,
+                    std::vector<Value> values) const;
+
+  /// Flattens to a table: one row per (non-empty) cell; axis columns
+  /// then measure columns.
+  Result<Table> ToTable() const;
+
+  /// 2D cross-tab of one measure: rows = members of `row_axis`, columns
+  /// = members of `col_axis` (requires exactly those two axes).
+  Result<Table> Pivot(size_t row_axis, size_t col_axis,
+                      size_t measure_index = 0) const;
+
+  /// How PivotShare normalizes cells.
+  enum class ShareBasis {
+    kRow,    // cell / row total
+    kColumn, // cell / column total
+    kGrand,  // cell / grand total
+  };
+
+  /// Like Pivot but each cell is the measure's share of its row /
+  /// column / grand total (the "proportion of females with diabetes"
+  /// reading of paper Fig 5). Requires a numeric measure; empty
+  /// denominators yield null cells.
+  Result<Table> PivotShare(size_t row_axis, size_t col_axis,
+                           ShareBasis basis,
+                           size_t measure_index = 0) const;
+
+  /// The k cells with the largest (or smallest) value of a numeric
+  /// measure — "groups of patients at the edges of overlapping
+  /// dimensions". Null-valued cells are skipped.
+  struct RankedCell {
+    std::vector<Value> coordinates;
+    double value = 0.0;
+    size_t fact_count = 0;
+  };
+  Result<std::vector<RankedCell>> TopCells(size_t k,
+                                           size_t measure_index = 0,
+                                           bool largest = true) const;
+
+ private:
+  friend class CubeEngine;
+
+  struct Cell {
+    std::vector<Value> measure_values;
+    size_t fact_count = 0;
+  };
+
+  const warehouse::Warehouse* warehouse_ = nullptr;
+  CubeQuery query_;
+  std::unordered_map<std::vector<Value>, Cell, ValueVectorHash,
+                     ValueVectorEq>
+      cells_;
+  std::vector<std::vector<Value>> axis_members_;
+  size_t facts_aggregated_ = 0;
+};
+
+/// Engine tuning knobs.
+struct CubeEngineOptions {
+  /// Worker threads for the fact scan. 1 = serial. Parallel scans
+  /// partition the fact table and merge per-thread accumulators;
+  /// results are identical up to floating-point addition order.
+  size_t num_threads = 1;
+  /// Below this many fact rows the scan stays serial regardless.
+  size_t parallel_threshold = 16384;
+};
+
+/// Executes CubeQueries against a Warehouse. Stateless aside from the
+/// warehouse pointer; the warehouse must outlive the engine and all
+/// cubes it produces.
+class CubeEngine {
+ public:
+  explicit CubeEngine(const warehouse::Warehouse* wh) : warehouse_(wh) {}
+  CubeEngine(const warehouse::Warehouse* wh, CubeEngineOptions options)
+      : warehouse_(wh), options_(options) {}
+
+  /// Validates the query, scans the fact table once and aggregates.
+  Result<Cube> Execute(const CubeQuery& query) const;
+
+ private:
+  const warehouse::Warehouse* warehouse_;
+  CubeEngineOptions options_;
+};
+
+}  // namespace ddgms::olap
+
+#endif  // DDGMS_OLAP_CUBE_H_

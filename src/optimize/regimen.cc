@@ -1,0 +1,142 @@
+#include "optimize/regimen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ddgms::optimize {
+
+std::string RegimenPlan::ToString() const {
+  std::string out = StrFormat("regimen (cost %.2f, benefit %.4f):",
+                              total_cost, total_benefit);
+  for (const std::string& s : selected) {
+    out += " " + s;
+  }
+  return out;
+}
+
+Result<RegimenPlan> OptimizeRegimen(
+    const std::vector<TreatmentOption>& options, double budget,
+    double cost_scale) {
+  if (budget < 0.0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  if (cost_scale <= 0.0) {
+    return Status::InvalidArgument("cost_scale must be positive");
+  }
+  for (const TreatmentOption& opt : options) {
+    if (opt.cost < 0.0) {
+      return Status::InvalidArgument("treatment '" + opt.name +
+                                     "' has negative cost");
+    }
+  }
+  const size_t n = options.size();
+  const size_t cap =
+      static_cast<size_t>(std::floor(budget * cost_scale)) + 1;
+  if (n == 0 || cap == 0) {
+    return RegimenPlan{};
+  }
+  // Guard against degenerate DP sizes.
+  if (cap > 50'000'000 / std::max<size_t>(n, 1)) {
+    return Status::InvalidArgument(
+        "budget x cost_scale too large for exact DP; lower cost_scale");
+  }
+
+  std::vector<size_t> costs(n);
+  for (size_t i = 0; i < n; ++i) {
+    costs[i] = static_cast<size_t>(std::llround(options[i].cost *
+                                                cost_scale));
+  }
+  // dp[w] = best benefit at capacity w; choice bitset for reconstruction.
+  std::vector<double> dp(cap, 0.0);
+  std::vector<std::vector<uint8_t>> taken(
+      n, std::vector<uint8_t>(cap, 0));
+  for (size_t i = 0; i < n; ++i) {
+    if (options[i].benefit <= 0.0) continue;  // never worth selecting
+    for (size_t w = cap; w-- > 0;) {
+      if (costs[i] > w) break;
+      double candidate = dp[w - costs[i]] + options[i].benefit;
+      if (candidate > dp[w]) {
+        dp[w] = candidate;
+        taken[i][w] = 1;
+      }
+    }
+  }
+  RegimenPlan plan;
+  size_t w = cap - 1;
+  for (size_t i = n; i-- > 0;) {
+    if (taken[i][w] != 0) {
+      plan.selected.push_back(options[i].name);
+      plan.total_cost += options[i].cost;
+      plan.total_benefit += options[i].benefit;
+      w -= costs[i];
+    }
+  }
+  std::reverse(plan.selected.begin(), plan.selected.end());
+  return plan;
+}
+
+Result<RegimenPlan> GreedyRegimen(
+    const std::vector<TreatmentOption>& options, double budget) {
+  if (budget < 0.0) {
+    return Status::InvalidArgument("budget must be non-negative");
+  }
+  std::vector<size_t> order(options.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+    double ra = options[a].cost > 0.0
+                    ? options[a].benefit / options[a].cost
+                    : options[a].benefit * 1e9;
+    double rb = options[b].cost > 0.0
+                    ? options[b].benefit / options[b].cost
+                    : options[b].benefit * 1e9;
+    if (ra != rb) return ra > rb;
+    return options[a].name < options[b].name;
+  });
+  RegimenPlan plan;
+  double remaining = budget;
+  for (size_t i : order) {
+    if (options[i].benefit <= 0.0) continue;
+    if (options[i].cost > remaining) continue;
+    plan.selected.push_back(options[i].name);
+    plan.total_cost += options[i].cost;
+    plan.total_benefit += options[i].benefit;
+    remaining -= options[i].cost;
+  }
+  return plan;
+}
+
+Result<double> EstimateBenefitFromCohort(const Table& cohort,
+                                         const std::string& flag_column,
+                                         const std::string& outcome_column,
+                                         bool lower_is_better) {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* flag,
+                         cohort.ColumnByName(flag_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* outcome,
+                         cohort.ColumnByName(outcome_column));
+  double sum_on = 0.0, sum_off = 0.0;
+  size_t n_on = 0, n_off = 0;
+  for (size_t i = 0; i < cohort.num_rows(); ++i) {
+    if (flag->IsNull(i) || outcome->IsNull(i)) continue;
+    DDGMS_ASSIGN_OR_RETURN(double f, flag->NumericAt(i));
+    DDGMS_ASSIGN_OR_RETURN(double y, outcome->NumericAt(i));
+    if (f != 0.0) {
+      sum_on += y;
+      ++n_on;
+    } else {
+      sum_off += y;
+      ++n_off;
+    }
+  }
+  if (n_on == 0 || n_off == 0) {
+    return Status::FailedPrecondition(
+        "need exposed and unexposed rows to estimate a benefit");
+  }
+  double mean_on = sum_on / static_cast<double>(n_on);
+  double mean_off = sum_off / static_cast<double>(n_off);
+  double effect = mean_on - mean_off;
+  return lower_is_better ? -effect : effect;
+}
+
+}  // namespace ddgms::optimize

@@ -1,0 +1,57 @@
+#ifndef DDGMS_OPTIMIZE_REGIMEN_H_
+#define DDGMS_OPTIMIZE_REGIMEN_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::optimize {
+
+/// Strategic-level decision optimisation (paper §IV: users "seek
+/// information relevant for optimising treatment regimen that have the
+/// best individual outcomes ... within the economic constraints of the
+/// current health care system").
+///
+/// A regimen is a subset of interventions, each with a cost and a
+/// cohort-estimated benefit; the optimizer maximises total benefit under
+/// a budget (0/1 knapsack, exact DP) with a greedy benefit/cost baseline
+/// for comparison.
+struct TreatmentOption {
+  std::string name;
+  double cost = 0.0;     // per-patient program cost (arbitrary units)
+  double benefit = 0.0;  // expected outcome improvement
+};
+
+struct RegimenPlan {
+  std::vector<std::string> selected;
+  double total_cost = 0.0;
+  double total_benefit = 0.0;
+
+  std::string ToString() const;
+};
+
+/// Exact 0/1 knapsack over integer-scaled costs. `cost_scale` controls
+/// rounding granularity (costs are multiplied and rounded; finer scale =
+/// slower, more precise).
+Result<RegimenPlan> OptimizeRegimen(
+    const std::vector<TreatmentOption>& options, double budget,
+    double cost_scale = 100.0);
+
+/// Greedy benefit/cost-ratio heuristic (baseline for bench A5).
+Result<RegimenPlan> GreedyRegimen(
+    const std::vector<TreatmentOption>& options, double budget);
+
+/// Estimates a treatment's benefit from cohort data as the difference in
+/// the mean of `outcome_column` (lower = better when `lower_is_better`)
+/// between rows with flag true and flag false. The flag column may be
+/// bool or 0/1 numeric.
+Result<double> EstimateBenefitFromCohort(const Table& cohort,
+                                         const std::string& flag_column,
+                                         const std::string& outcome_column,
+                                         bool lower_is_better = true);
+
+}  // namespace ddgms::optimize
+
+#endif  // DDGMS_OPTIMIZE_REGIMEN_H_

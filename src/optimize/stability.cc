@@ -1,0 +1,115 @@
+#include "optimize/stability.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/strings.h"
+
+namespace ddgms::optimize {
+
+std::string DimensionStability::ToString() const {
+  return StrFormat(
+      "%s.%s: overall %.4f range [%.4f, %.4f] spread %.3f cv %.3f "
+      "(%zu subgroups) -> %s",
+      dimension.c_str(), attribute.c_str(), overall_value, min_value,
+      max_value, relative_spread, weighted_cv,
+      subgroups, stable ? "stable" : "UNSTABLE");
+}
+
+std::string StabilityReport::ToString() const {
+  std::string out =
+      StrFormat("base aggregate %.4f; %s", base_value,
+                all_stable ? "all candidates stable"
+                           : "instability detected");
+  for (const DimensionStability& c : candidates) {
+    out += "\n  " + c.ToString();
+  }
+  return out;
+}
+
+Result<StabilityReport> StabilityAnalyzer::Analyze(
+    const AggSpec& measure,
+    const std::vector<olap::SlicerSpec>& slicers,
+    const std::vector<std::pair<std::string, std::string>>& candidates)
+    const {
+  if (warehouse_ == nullptr) {
+    return Status::InvalidArgument("analyzer has no warehouse");
+  }
+  olap::CubeEngine engine(warehouse_);
+
+  // Base value: no axes, just slicers + measure.
+  olap::CubeQuery base;
+  base.slicers = slicers;
+  base.measures = {measure};
+  DDGMS_ASSIGN_OR_RETURN(olap::Cube base_cube, engine.Execute(base));
+  StabilityReport report;
+  {
+    Value v = base_cube.CellValue({}, 0);
+    if (v.is_null()) {
+      return Status::FailedPrecondition(
+          "base aggregate is empty under the given slicers");
+    }
+    DDGMS_ASSIGN_OR_RETURN(report.base_value, v.AsDouble());
+  }
+  const double total_facts =
+      static_cast<double>(base_cube.facts_aggregated());
+
+  for (const auto& [dim, attr] : candidates) {
+    olap::CubeQuery q;
+    q.slicers = slicers;
+    q.measures = {measure, AggSpec{AggFn::kCount, "", "n"}};
+    q.axes = {olap::AxisSpec{dim, attr, {}}};
+    DDGMS_ASSIGN_OR_RETURN(olap::Cube cube, engine.Execute(q));
+
+    DimensionStability ds;
+    ds.dimension = dim;
+    ds.attribute = attr;
+    ds.overall_value = report.base_value;
+
+    double sum_w = 0.0;
+    double sum_wx = 0.0;
+    double sum_wx2 = 0.0;
+    bool first = true;
+    for (const Value& member : cube.AxisMembers(0)) {
+      std::vector<Value> coord = {member};
+      size_t count = cube.CellCount(coord);
+      double frac = total_facts > 0.0
+                        ? static_cast<double>(count) / total_facts
+                        : 0.0;
+      if (frac < options_.min_subgroup_fraction) continue;
+      Value v = cube.CellValue(coord, 0);
+      if (v.is_null()) continue;
+      DDGMS_ASSIGN_OR_RETURN(double x, v.AsDouble());
+      if (first) {
+        ds.min_value = ds.max_value = x;
+        first = false;
+      } else {
+        ds.min_value = std::min(ds.min_value, x);
+        ds.max_value = std::max(ds.max_value, x);
+      }
+      double w = static_cast<double>(count);
+      sum_w += w;
+      sum_wx += w * x;
+      sum_wx2 += w * x * x;
+      ++ds.subgroups;
+    }
+    if (ds.subgroups >= 2 && sum_w > 0.0) {
+      double mean = sum_wx / sum_w;
+      double var = sum_wx2 / sum_w - mean * mean;
+      if (var < 0.0) var = 0.0;
+      ds.weighted_cv =
+          std::fabs(mean) > 1e-12 ? std::sqrt(var) / std::fabs(mean) : 0.0;
+      ds.relative_spread =
+          std::fabs(report.base_value) > 1e-12
+              ? (ds.max_value - ds.min_value) /
+                    std::fabs(report.base_value)
+              : 0.0;
+      ds.stable = ds.relative_spread <= options_.instability_threshold;
+    }
+    report.all_stable = report.all_stable && ds.stable;
+    report.candidates.push_back(std::move(ds));
+  }
+  return report;
+}
+
+}  // namespace ddgms::optimize

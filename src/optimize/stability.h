@@ -1,0 +1,74 @@
+#ifndef DDGMS_OPTIMIZE_STABILITY_H_
+#define DDGMS_OPTIMIZE_STABILITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "olap/cube.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::optimize {
+
+/// Decision-optimisation support (paper §IV): "outcomes can be reviewed
+/// by removing existing or adding further dimensions. Optimal aggregates
+/// would be consistent regardless of the changes to dimensions."
+///
+/// Given a base aggregate (measures + slicers), StabilityAnalyzer
+/// re-evaluates it conditioned on each candidate context dimension
+/// attribute: if the aggregate barely moves across the members of a
+/// candidate attribute, the outcome is robust to that dimension; a large
+/// spread flags a confounder that should become part of the decision.
+struct StabilityOptions {
+  /// Relative spread above which a candidate is flagged unstable.
+  double instability_threshold = 0.25;
+  /// Subgroups smaller than this fraction of facts are ignored when
+  /// computing spread (tiny strata are noise).
+  double min_subgroup_fraction = 0.02;
+};
+
+/// Per-candidate-dimension outcome.
+struct DimensionStability {
+  std::string dimension;
+  std::string attribute;
+  double overall_value = 0.0;   // base aggregate
+  double min_value = 0.0;       // across admissible subgroups
+  double max_value = 0.0;
+  double weighted_cv = 0.0;     // fact-weighted coefficient of variation
+  double relative_spread = 0.0; // (max-min)/|overall|
+  size_t subgroups = 0;
+  bool stable = true;
+
+  std::string ToString() const;
+};
+
+struct StabilityReport {
+  double base_value = 0.0;
+  std::vector<DimensionStability> candidates;
+  bool all_stable = true;
+
+  std::string ToString() const;
+};
+
+class StabilityAnalyzer {
+ public:
+  explicit StabilityAnalyzer(const warehouse::Warehouse* wh,
+                             StabilityOptions options = {})
+      : warehouse_(wh), options_(options) {}
+
+  /// `measure` is evaluated under `slicers`; each (dimension, attribute)
+  /// candidate is tested in turn.
+  Result<StabilityReport> Analyze(
+      const AggSpec& measure,
+      const std::vector<olap::SlicerSpec>& slicers,
+      const std::vector<std::pair<std::string, std::string>>& candidates)
+      const;
+
+ private:
+  const warehouse::Warehouse* warehouse_;
+  StabilityOptions options_;
+};
+
+}  // namespace ddgms::optimize
+
+#endif  // DDGMS_OPTIMIZE_STABILITY_H_

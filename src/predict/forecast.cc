@@ -1,0 +1,135 @@
+#include "predict/forecast.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ddgms::predict {
+
+namespace {
+
+struct Reading {
+  int32_t days;
+  double value;
+};
+
+Result<std::map<std::string, std::vector<Reading>>> CollectSeries(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column) {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* entity,
+                         table.ColumnByName(entity_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* date,
+                         table.ColumnByName(date_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* value,
+                         table.ColumnByName(value_column));
+  if (date->type() != DataType::kDate) {
+    return Status::InvalidArgument("column '" + date_column +
+                                   "' is not a date column");
+  }
+  std::map<std::string, std::vector<Reading>> series;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (entity->IsNull(i) || date->IsNull(i) || value->IsNull(i)) continue;
+    DDGMS_ASSIGN_OR_RETURN(double v, value->NumericAt(i));
+    series[entity->GetValue(i).ToString()].push_back(
+        Reading{date->DateAt(i).days_since_epoch(), v});
+  }
+  for (auto& [ent, readings] : series) {
+    std::stable_sort(readings.begin(), readings.end(),
+                     [](const Reading& a, const Reading& b) {
+                       return a.days < b.days;
+                     });
+  }
+  return series;
+}
+
+/// Least-squares line through the readings (flat for n == 1 or zero
+/// date spread).
+std::pair<double, double> FitLine(const std::vector<Reading>& readings) {
+  const double n = static_cast<double>(readings.size());
+  double sum_x = 0.0, sum_y = 0.0, sum_xx = 0.0, sum_xy = 0.0;
+  for (const Reading& r : readings) {
+    double x = static_cast<double>(r.days);
+    sum_x += x;
+    sum_y += r.value;
+    sum_xx += x * x;
+    sum_xy += x * r.value;
+  }
+  double denom = n * sum_xx - sum_x * sum_x;
+  if (std::fabs(denom) < 1e-9) {
+    return {sum_y / n, 0.0};  // flat line at the mean
+  }
+  double slope = (n * sum_xy - sum_x * sum_y) / denom;
+  double intercept = (sum_y - slope * sum_x) / n;
+  return {intercept, slope};
+}
+
+}  // namespace
+
+Status TrendForecaster::Fit(const Table& table,
+                            const std::string& entity_column,
+                            const std::string& date_column,
+                            const std::string& value_column) {
+  DDGMS_ASSIGN_OR_RETURN(
+      auto series,
+      CollectSeries(table, entity_column, date_column, value_column));
+  models_.clear();
+  for (const auto& [ent, readings] : series) {
+    auto [intercept, slope] = FitLine(readings);
+    models_[ent] = Line{intercept, slope, readings.size()};
+  }
+  if (models_.empty()) {
+    return Status::InvalidArgument("no usable readings to fit");
+  }
+  return Status::OK();
+}
+
+Result<double> TrendForecaster::Predict(const Value& entity,
+                                        const Date& when) const {
+  auto it = models_.find(entity.ToString());
+  if (it == models_.end()) {
+    return Status::NotFound("no model for entity '" + entity.ToString() +
+                            "'");
+  }
+  return it->second.intercept +
+         it->second.slope_per_day *
+             static_cast<double>(when.days_since_epoch());
+}
+
+Result<double> TrendForecaster::SlopePerYear(const Value& entity) const {
+  auto it = models_.find(entity.ToString());
+  if (it == models_.end()) {
+    return Status::NotFound("no model for entity '" + entity.ToString() +
+                            "'");
+  }
+  return it->second.slope_per_day * 365.25;
+}
+
+Result<ForecastEvalReport> EvaluateForecaster(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column) {
+  DDGMS_ASSIGN_OR_RETURN(
+      auto series,
+      CollectSeries(table, entity_column, date_column, value_column));
+  ForecastEvalReport report;
+  double model_err = 0.0;
+  double baseline_err = 0.0;
+  for (const auto& [ent, readings] : series) {
+    if (readings.size() < 3) continue;
+    std::vector<Reading> train(readings.begin(), readings.end() - 1);
+    const Reading& target = readings.back();
+    auto [intercept, slope] = FitLine(train);
+    double predicted =
+        intercept + slope * static_cast<double>(target.days);
+    model_err += std::fabs(predicted - target.value);
+    baseline_err += std::fabs(train.back().value - target.value);
+    ++report.evaluated;
+  }
+  if (report.evaluated > 0) {
+    report.model_mae = model_err / static_cast<double>(report.evaluated);
+    report.baseline_mae =
+        baseline_err / static_cast<double>(report.evaluated);
+  }
+  return report;
+}
+
+}  // namespace ddgms::predict

@@ -1,0 +1,62 @@
+#ifndef DDGMS_PREDICT_FORECAST_H_
+#define DDGMS_PREDICT_FORECAST_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::predict {
+
+/// Numeric trajectory forecasting: a per-patient least-squares line over
+/// (visit date, measure) pairs, predicting the measure at a future date.
+/// Complements the qualitative Markov model — "even well known disease
+/// trajectories can be validated with the DD-DGMS approach".
+class TrendForecaster {
+ public:
+  TrendForecaster() = default;
+
+  /// Fits per-entity lines from a visits table. Entities with a single
+  /// reading get a flat line at that value.
+  Status Fit(const Table& table, const std::string& entity_column,
+             const std::string& date_column,
+             const std::string& value_column);
+
+  /// Predicted value for an entity at `when`. NotFound for entities
+  /// absent from training.
+  Result<double> Predict(const Value& entity, const Date& when) const;
+
+  /// Per-entity slope in units/year (NotFound if unseen).
+  Result<double> SlopePerYear(const Value& entity) const;
+
+  size_t num_entities() const { return models_.size(); }
+
+ private:
+  struct Line {
+    double intercept = 0.0;  // value at epoch_days = 0
+    double slope_per_day = 0.0;
+    size_t readings = 0;
+  };
+
+  std::unordered_map<std::string, Line> models_;  // key: entity string
+};
+
+/// Forecast-quality report: mean absolute error of the forecaster vs a
+/// carry-last-value-forward baseline, over held-out final visits.
+struct ForecastEvalReport {
+  size_t evaluated = 0;
+  double model_mae = 0.0;
+  double baseline_mae = 0.0;
+};
+
+/// For each entity with >= 3 readings: fit on all but the final reading
+/// and predict the final one; the baseline predicts the previous value.
+Result<ForecastEvalReport> EvaluateForecaster(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& value_column);
+
+}  // namespace ddgms::predict
+
+#endif  // DDGMS_PREDICT_FORECAST_H_

@@ -1,0 +1,278 @@
+#include "predict/markov.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/strings.h"
+
+namespace ddgms::predict {
+
+Result<std::vector<std::vector<std::string>>> ExtractSequences(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& state_column) {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* entity,
+                         table.ColumnByName(entity_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* date,
+                         table.ColumnByName(date_column));
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* state,
+                         table.ColumnByName(state_column));
+  if (date->type() != DataType::kDate) {
+    return Status::InvalidArgument("column '" + date_column +
+                                   "' is not a date column");
+  }
+  struct ValueLess {
+    bool operator()(const Value& a, const Value& b) const {
+      return a.Compare(b) < 0;
+    }
+  };
+  struct Visit {
+    int32_t date_key;
+    std::string state;
+  };
+  std::map<Value, std::vector<Visit>, ValueLess> by_entity;
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (entity->IsNull(i) || date->IsNull(i) || state->IsNull(i)) continue;
+    by_entity[entity->GetValue(i)].push_back(
+        Visit{date->DateAt(i).days_since_epoch(),
+              state->GetValue(i).ToString()});
+  }
+  std::vector<std::vector<std::string>> sequences;
+  sequences.reserve(by_entity.size());
+  for (auto& [ent, visits] : by_entity) {
+    std::stable_sort(visits.begin(), visits.end(),
+                     [](const Visit& a, const Visit& b) {
+                       return a.date_key < b.date_key;
+                     });
+    std::vector<std::string> seq;
+    seq.reserve(visits.size());
+    for (Visit& v : visits) seq.push_back(std::move(v.state));
+    sequences.push_back(std::move(seq));
+  }
+  return sequences;
+}
+
+Status MarkovTrajectoryModel::Train(const Table& table,
+                                    const std::string& entity_column,
+                                    const std::string& date_column,
+                                    const std::string& state_column) {
+  DDGMS_ASSIGN_OR_RETURN(
+      auto sequences,
+      ExtractSequences(table, entity_column, date_column, state_column));
+  return TrainFromSequences(sequences);
+}
+
+Status MarkovTrajectoryModel::TrainFromSequences(
+    const std::vector<std::vector<std::string>>& sequences) {
+  states_.clear();
+  state_index_.clear();
+  for (const auto& seq : sequences) {
+    for (const std::string& s : seq) {
+      if (state_index_.emplace(s, states_.size()).second) {
+        states_.push_back(s);
+      }
+    }
+  }
+  if (states_.empty()) {
+    return Status::InvalidArgument("no states in training sequences");
+  }
+  const size_t k = states_.size();
+  transition_counts_.assign(k, std::vector<size_t>(k, 0));
+  state_counts_.assign(k, 0);
+  context_counts_.clear();
+  for (const auto& seq : sequences) {
+    for (size_t i = 0; i < seq.size(); ++i) {
+      size_t cur = state_index_.at(seq[i]);
+      ++state_counts_[cur];
+      if (i + 1 < seq.size()) {
+        size_t nxt = state_index_.at(seq[i + 1]);
+        ++transition_counts_[cur][nxt];
+        // Higher-order contexts ending at position i, lengths 2..order.
+        for (size_t len = 2; len <= order_ && len <= i + 1; ++len) {
+          std::string context;
+          for (size_t j = i + 1 - len; j <= i; ++j) {
+            context += seq[j];
+            context += '\x1f';  // unit separator: unambiguous join
+          }
+          auto& counts = context_counts_[context];
+          if (counts.empty()) counts.assign(k, 0);
+          ++counts[nxt];
+        }
+      }
+    }
+  }
+  trained_ = true;
+  return Status::OK();
+}
+
+Result<std::string> MarkovTrajectoryModel::PredictNextFromHistory(
+    const std::vector<std::string>& history) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  if (history.empty()) {
+    return Status::InvalidArgument("empty history");
+  }
+  // Longest observed context wins; back off toward order 1.
+  size_t max_len = std::min(order_, history.size());
+  for (size_t len = max_len; len >= 2; --len) {
+    std::string context;
+    for (size_t j = history.size() - len; j < history.size(); ++j) {
+      context += history[j];
+      context += '\x1f';
+    }
+    auto it = context_counts_.find(context);
+    if (it == context_counts_.end()) continue;
+    size_t best = 0;
+    for (size_t s = 1; s < it->second.size(); ++s) {
+      if (it->second[s] > it->second[best]) best = s;
+    }
+    // Require at least one observation (all-zero cannot happen since
+    // contexts are created on first observation).
+    return states_[best];
+  }
+  return PredictNext(history.back());
+}
+
+Result<size_t> MarkovTrajectoryModel::StateIndex(
+    const std::string& state) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  auto it = state_index_.find(state);
+  if (it == state_index_.end()) {
+    return Status::NotFound("unknown state '" + state + "'");
+  }
+  return it->second;
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+MarkovTrajectoryModel::TransitionDistribution(
+    const std::string& current) const {
+  DDGMS_ASSIGN_OR_RETURN(size_t cur, StateIndex(current));
+  const size_t k = states_.size();
+  double total = 0.0;
+  for (size_t n : transition_counts_[cur]) {
+    total += static_cast<double>(n);
+  }
+  std::vector<std::pair<std::string, double>> dist;
+  dist.reserve(k);
+  for (size_t j = 0; j < k; ++j) {
+    double p =
+        (static_cast<double>(transition_counts_[cur][j]) + alpha_) /
+        (total + alpha_ * static_cast<double>(k));
+    dist.emplace_back(states_[j], p);
+  }
+  return dist;
+}
+
+Result<std::string> MarkovTrajectoryModel::PredictNext(
+    const std::string& current) const {
+  DDGMS_ASSIGN_OR_RETURN(auto dist, TransitionDistribution(current));
+  size_t best = 0;
+  for (size_t j = 1; j < dist.size(); ++j) {
+    if (dist[j].second > dist[best].second) best = j;
+  }
+  return dist[best].first;
+}
+
+Result<std::vector<std::pair<std::string, double>>>
+MarkovTrajectoryModel::PredictAfter(const std::string& current,
+                                    size_t steps) const {
+  DDGMS_ASSIGN_OR_RETURN(size_t cur, StateIndex(current));
+  const size_t k = states_.size();
+  std::vector<double> probs(k, 0.0);
+  probs[cur] = 1.0;
+  for (size_t step = 0; step < steps; ++step) {
+    std::vector<double> next(k, 0.0);
+    for (size_t i = 0; i < k; ++i) {
+      if (probs[i] == 0.0) continue;
+      DDGMS_ASSIGN_OR_RETURN(auto dist,
+                             TransitionDistribution(states_[i]));
+      for (size_t j = 0; j < k; ++j) {
+        next[j] += probs[i] * dist[j].second;
+      }
+    }
+    probs = std::move(next);
+  }
+  std::vector<std::pair<std::string, double>> out;
+  out.reserve(k);
+  for (size_t j = 0; j < k; ++j) out.emplace_back(states_[j], probs[j]);
+  return out;
+}
+
+Result<double> MarkovTrajectoryModel::SequenceLogLikelihood(
+    const std::vector<std::string>& sequence) const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  if (sequence.empty()) {
+    return Status::InvalidArgument("empty sequence");
+  }
+  double total_states = 0.0;
+  for (size_t n : state_counts_) total_states += static_cast<double>(n);
+  double ll = 0.0;
+  // Prior of the first state.
+  DDGMS_ASSIGN_OR_RETURN(size_t first, StateIndex(sequence[0]));
+  double k = static_cast<double>(states_.size());
+  ll += std::log((static_cast<double>(state_counts_[first]) + alpha_) /
+                 (total_states + alpha_ * k));
+  for (size_t i = 0; i + 1 < sequence.size(); ++i) {
+    DDGMS_ASSIGN_OR_RETURN(auto dist,
+                           TransitionDistribution(sequence[i]));
+    DDGMS_ASSIGN_OR_RETURN(size_t nxt, StateIndex(sequence[i + 1]));
+    ll += std::log(dist[nxt].second);
+  }
+  return ll;
+}
+
+Result<std::string> MarkovTrajectoryModel::MajorityState() const {
+  if (!trained_) {
+    return Status::FailedPrecondition("model not trained");
+  }
+  size_t best = 0;
+  for (size_t j = 1; j < states_.size(); ++j) {
+    if (state_counts_[j] > state_counts_[best]) best = j;
+  }
+  return states_[best];
+}
+
+std::string MarkovTrajectoryModel::ToString() const {
+  if (!trained_) return "(untrained)";
+  std::string out = "transition matrix (rows=from):\n";
+  for (size_t i = 0; i < states_.size(); ++i) {
+    out += StrFormat("  %-14s", states_[i].c_str());
+    auto dist = TransitionDistribution(states_[i]);
+    for (const auto& [state, p] : *dist) {
+      out += StrFormat(" %s:%.3f", state.c_str(), p);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<TrajectoryEvalReport> EvaluateTrajectories(
+    const MarkovTrajectoryModel& model,
+    const std::vector<std::vector<std::string>>& test_sequences) {
+  TrajectoryEvalReport report;
+  DDGMS_ASSIGN_OR_RETURN(std::string majority, model.MajorityState());
+  for (const auto& seq : test_sequences) {
+    for (size_t i = 0; i + 1 < seq.size(); ++i) {
+      Result<std::string> predicted = model.PredictNext(seq[i]);
+      if (!predicted.ok()) continue;  // unseen state in test data
+      ++report.transitions;
+      if (*predicted == seq[i + 1]) ++report.model_correct;
+      if (majority == seq[i + 1]) ++report.baseline_correct;
+    }
+  }
+  if (report.transitions > 0) {
+    report.model_accuracy = static_cast<double>(report.model_correct) /
+                            static_cast<double>(report.transitions);
+    report.baseline_accuracy =
+        static_cast<double>(report.baseline_correct) /
+        static_cast<double>(report.transitions);
+  }
+  return report;
+}
+
+}  // namespace ddgms::predict

@@ -1,0 +1,113 @@
+#ifndef DDGMS_PREDICT_MARKOV_H_
+#define DDGMS_PREDICT_MARKOV_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::predict {
+
+/// First-order Markov model over qualitative disease states — the
+/// paper's Prediction feature: "use the warehouse to predict the
+/// subsequent phase of a patient affected by a medical condition based
+/// on past records of other patients in similar circumstances".
+///
+/// States are discretised bands (e.g. FBG "very good" / "high" /
+/// "preDiabetic" / "Diabetic"); training extracts each patient's
+/// date-ordered state sequence and counts transitions.
+class MarkovTrajectoryModel {
+ public:
+  explicit MarkovTrajectoryModel(double laplace_alpha = 1.0)
+      : alpha_(laplace_alpha) {}
+
+  /// Higher-order variant: condition on the last `order` states
+  /// (composite contexts), backing off to shorter contexts (ultimately
+  /// order 1) when a context was never observed. order must be >= 1.
+  MarkovTrajectoryModel(size_t order, double laplace_alpha)
+      : alpha_(laplace_alpha), order_(order == 0 ? 1 : order) {}
+
+  size_t order() const { return order_; }
+
+  /// Most likely next state given the last up-to-`order` states of a
+  /// patient's history (pass the most recent state last). Unseen
+  /// contexts back off; an unseen final state is an error.
+  Result<std::string> PredictNextFromHistory(
+      const std::vector<std::string>& history) const;
+
+  /// Trains from a table of visits: entity id, visit date and state
+  /// columns. Rows with nulls in any of the three are skipped; entities
+  /// with fewer than two visits contribute priors only.
+  Status Train(const Table& table, const std::string& entity_column,
+               const std::string& date_column,
+               const std::string& state_column);
+
+  /// Trains directly from per-entity ordered state sequences.
+  Status TrainFromSequences(
+      const std::vector<std::vector<std::string>>& sequences);
+
+  /// All states seen at training time.
+  const std::vector<std::string>& states() const { return states_; }
+
+  /// P(next | current) over all states, Laplace-smoothed.
+  Result<std::vector<std::pair<std::string, double>>>
+  TransitionDistribution(const std::string& current) const;
+
+  /// Most likely next state.
+  Result<std::string> PredictNext(const std::string& current) const;
+
+  /// Distribution after `steps` transitions from `current`.
+  Result<std::vector<std::pair<std::string, double>>> PredictAfter(
+      const std::string& current, size_t steps) const;
+
+  /// Log-likelihood of a state sequence under the model (first state via
+  /// the stationary/empirical prior).
+  Result<double> SequenceLogLikelihood(
+      const std::vector<std::string>& sequence) const;
+
+  /// The overall most frequent next-state (majority baseline for
+  /// evaluation).
+  Result<std::string> MajorityState() const;
+
+  /// Pretty transition matrix for reports.
+  std::string ToString() const;
+
+ private:
+  Result<size_t> StateIndex(const std::string& state) const;
+
+  double alpha_;
+  size_t order_ = 1;
+  std::vector<std::string> states_;
+  std::unordered_map<std::string, size_t> state_index_;
+  std::vector<std::vector<size_t>> transition_counts_;
+  std::vector<size_t> state_counts_;  // occurrences (prior)
+  /// Higher-order context counts: joined context -> next-state counts.
+  std::unordered_map<std::string, std::vector<size_t>> context_counts_;
+  bool trained_ = false;
+};
+
+/// Next-state prediction accuracy over held-out sequences, reported for
+/// the model and the majority baseline (bench A3).
+struct TrajectoryEvalReport {
+  size_t transitions = 0;
+  size_t model_correct = 0;
+  size_t baseline_correct = 0;
+  double model_accuracy = 0.0;
+  double baseline_accuracy = 0.0;
+};
+
+Result<TrajectoryEvalReport> EvaluateTrajectories(
+    const MarkovTrajectoryModel& model,
+    const std::vector<std::vector<std::string>>& test_sequences);
+
+/// Extracts per-entity date-ordered state sequences from a visits table
+/// (shared by Train and evaluation splits).
+Result<std::vector<std::vector<std::string>>> ExtractSequences(
+    const Table& table, const std::string& entity_column,
+    const std::string& date_column, const std::string& state_column);
+
+}  // namespace ddgms::predict
+
+#endif  // DDGMS_PREDICT_MARKOV_H_

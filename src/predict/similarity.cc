@@ -1,0 +1,139 @@
+#include "predict/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ddgms::predict {
+
+Status PatientSimilarityPredictor::Fit(
+    const Table& table, const std::vector<std::string>& feature_columns,
+    const std::string& label_column) {
+  feature_names_ = feature_columns;
+  feature_types_.clear();
+  ranges_.clear();
+  reference_.clear();
+  labels_.clear();
+
+  std::vector<const ColumnVector*> cols;
+  cols.reserve(feature_columns.size());
+  for (const std::string& name : feature_columns) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           table.ColumnByName(name));
+    cols.push_back(col);
+    feature_types_.push_back(col->type());
+    if (IsNumeric(col->type())) {
+      Value min = col->Min();
+      Value max = col->Max();
+      double range = 0.0;
+      if (!min.is_null() && !max.is_null()) {
+        range = max.AsDouble().value_or(0.0) - min.AsDouble().value_or(0.0);
+      }
+      ranges_.push_back(range > 0.0 ? range : 1.0);
+    } else {
+      ranges_.push_back(0.0);
+    }
+  }
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* label_col,
+                         table.ColumnByName(label_column));
+  for (size_t i = 0; i < table.num_rows(); ++i) {
+    if (label_col->IsNull(i)) continue;
+    std::vector<Value> row;
+    row.reserve(cols.size());
+    for (const ColumnVector* col : cols) {
+      row.push_back(col->GetValue(i));
+    }
+    reference_.push_back(std::move(row));
+    labels_.push_back(label_col->GetValue(i).ToString());
+  }
+  if (reference_.empty()) {
+    return Status::InvalidArgument("no labeled reference rows");
+  }
+  fitted_ = true;
+  return Status::OK();
+}
+
+Result<double> PatientSimilarityPredictor::Distance(
+    const std::vector<Value>& query, size_t row) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("predictor not fitted");
+  }
+  if (row >= reference_.size()) {
+    return Status::OutOfRange("reference row out of range");
+  }
+  if (query.size() != feature_names_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("query has %zu features; predictor expects %zu",
+                  query.size(), feature_names_.size()));
+  }
+  double total = 0.0;
+  size_t used = 0;
+  const std::vector<Value>& ref = reference_[row];
+  for (size_t f = 0; f < query.size(); ++f) {
+    if (query[f].is_null() || ref[f].is_null()) continue;
+    ++used;
+    if (IsNumeric(feature_types_[f])) {
+      double a = query[f].AsDouble().value_or(0.0);
+      double b = ref[f].AsDouble().value_or(0.0);
+      double d = std::fabs(a - b) / ranges_[f];
+      total += std::min(d, 1.0);
+    } else {
+      total += query[f].Equals(ref[f]) ? 0.0 : 1.0;
+    }
+  }
+  if (used == 0) return 1.0;  // nothing comparable: maximally distant
+  return total / static_cast<double>(used);
+}
+
+Result<std::vector<PatientSimilarityPredictor::Neighbour>>
+PatientSimilarityPredictor::NearestNeighbours(
+    const std::vector<Value>& query, size_t k) const {
+  if (!fitted_) {
+    return Status::FailedPrecondition("predictor not fitted");
+  }
+  std::vector<Neighbour> all;
+  all.reserve(reference_.size());
+  for (size_t i = 0; i < reference_.size(); ++i) {
+    DDGMS_ASSIGN_OR_RETURN(double d, Distance(query, i));
+    all.push_back(Neighbour{i, d, labels_[i]});
+  }
+  size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + static_cast<ptrdiff_t>(take),
+                    all.end(),
+                    [](const Neighbour& a, const Neighbour& b) {
+                      if (a.distance != b.distance) {
+                        return a.distance < b.distance;
+                      }
+                      return a.row < b.row;
+                    });
+  all.resize(take);
+  return all;
+}
+
+Result<std::string> PatientSimilarityPredictor::Predict(
+    const std::vector<Value>& query) const {
+  DDGMS_ASSIGN_OR_RETURN(auto neighbours,
+                         NearestNeighbours(query, options_.k));
+  if (neighbours.empty()) {
+    return Status::FailedPrecondition("no neighbours available");
+  }
+  std::unordered_map<std::string, double> votes;
+  for (const Neighbour& n : neighbours) {
+    double w =
+        options_.distance_weighted ? 1.0 / (n.distance + 1e-6) : 1.0;
+    votes[n.label] += w;
+  }
+  std::string best;
+  double best_w = -1.0;
+  for (const auto& [label, w] : votes) {
+    if (w > best_w || (w == best_w && label < best)) {
+      best_w = w;
+      best = label;
+    }
+  }
+  return best;
+}
+
+}  // namespace ddgms::predict

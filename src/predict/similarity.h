@@ -1,0 +1,67 @@
+#ifndef DDGMS_PREDICT_SIMILARITY_H_
+#define DDGMS_PREDICT_SIMILARITY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::predict {
+
+/// k-nearest-neighbour prediction over mixed clinical attributes using
+/// Gower distance — "past records of other patients in similar
+/// circumstances". Numeric attributes contribute |a-b|/range; categorical
+/// and boolean attributes contribute 0/1; pairs where either side is
+/// null are skipped and the distance renormalized.
+class PatientSimilarityPredictor {
+ public:
+  struct Options {
+    size_t k = 5;
+    /// Weight votes by 1/(distance + epsilon) instead of uniformly.
+    bool distance_weighted = true;
+  };
+
+  PatientSimilarityPredictor() : options_(Options()) {}
+  explicit PatientSimilarityPredictor(Options options)
+      : options_(options) {}
+
+  /// Indexes the reference cohort. `feature_columns` may mix numeric,
+  /// string, bool and date columns; `label_column` is the outcome to
+  /// predict. The table is copied.
+  Status Fit(const Table& table,
+             const std::vector<std::string>& feature_columns,
+             const std::string& label_column);
+
+  /// Predicts the outcome for a query row (values in feature-column
+  /// order; nulls allowed).
+  Result<std::string> Predict(const std::vector<Value>& query) const;
+
+  /// The k nearest reference rows with distances (for explanation —
+  /// "patients like this one").
+  struct Neighbour {
+    size_t row = 0;
+    double distance = 0.0;
+    std::string label;
+  };
+  Result<std::vector<Neighbour>> NearestNeighbours(
+      const std::vector<Value>& query, size_t k) const;
+
+  /// Gower distance between a query and one reference row (exposed for
+  /// testing).
+  Result<double> Distance(const std::vector<Value>& query,
+                          size_t row) const;
+
+ private:
+  Options options_;
+  std::vector<std::string> feature_names_;
+  std::vector<DataType> feature_types_;
+  std::vector<double> ranges_;  // per numeric feature; 0 for categorical
+  std::vector<std::vector<Value>> reference_;  // [row][feature]
+  std::vector<std::string> labels_;
+  bool fitted_ = false;
+};
+
+}  // namespace ddgms::predict
+
+#endif  // DDGMS_PREDICT_SIMILARITY_H_

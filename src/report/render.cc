@@ -1,0 +1,250 @@
+#include "report/render.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "common/strings.h"
+
+namespace ddgms::report {
+
+Result<std::string> RenderPivot(const Table& grid,
+                                const PivotRenderOptions& options) {
+  if (grid.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "pivot grid needs a label column and >= 1 data column");
+  }
+  const size_t rows = grid.num_rows();
+  const size_t data_cols = grid.num_columns() - 1;
+
+  // Assemble a string matrix, tracking numeric totals.
+  std::vector<std::vector<std::string>> cells;
+  std::vector<double> col_totals(data_cols, 0.0);
+  double grand_total = 0.0;
+
+  std::vector<std::string> header;
+  header.push_back(grid.schema().field(0).name);
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    header.push_back(grid.schema().field(c).name);
+  }
+  if (options.row_totals) header.push_back("Total");
+  cells.push_back(std::move(header));
+
+  for (size_t r = 0; r < rows; ++r) {
+    std::vector<std::string> line;
+    line.push_back(grid.column(0).GetValue(r).ToString());
+    double row_total = 0.0;
+    for (size_t c = 1; c < grid.num_columns(); ++c) {
+      Value v = grid.column(c).GetValue(r);
+      if (v.is_null()) {
+        line.push_back(options.null_cell);
+        continue;
+      }
+      line.push_back(v.ToString());
+      Result<double> d = v.AsDouble();
+      if (d.ok()) {
+        row_total += *d;
+        col_totals[c - 1] += *d;
+        grand_total += *d;
+      }
+    }
+    if (options.row_totals) line.push_back(FormatDouble(row_total));
+    cells.push_back(std::move(line));
+  }
+  if (options.column_totals) {
+    std::vector<std::string> line;
+    line.push_back("Total");
+    for (size_t c = 0; c < data_cols; ++c) {
+      line.push_back(FormatDouble(col_totals[c]));
+    }
+    if (options.row_totals) line.push_back(FormatDouble(grand_total));
+    cells.push_back(std::move(line));
+  }
+
+  // Column widths and layout.
+  size_t ncols = cells[0].size();
+  std::vector<size_t> widths(ncols, 0);
+  for (const auto& line : cells) {
+    for (size_t c = 0; c < line.size(); ++c) {
+      widths[c] = std::max(widths[c], line[c].size());
+    }
+  }
+  std::ostringstream os;
+  if (!options.title.empty()) {
+    os << options.title << "\n";
+  }
+  for (size_t r = 0; r < cells.size(); ++r) {
+    for (size_t c = 0; c < cells[r].size(); ++c) {
+      const std::string& s = cells[r][c];
+      if (c == 0) {
+        os << s << std::string(widths[c] - s.size(), ' ');
+      } else {
+        os << "  " << std::string(widths[c] - s.size(), ' ') << s;
+      }
+    }
+    os << "\n";
+    bool separator_after =
+        r == 0 ||
+        (options.column_totals && r + 2 == cells.size());
+    if (separator_after) {
+      size_t total = widths[0];
+      for (size_t c = 1; c < ncols; ++c) total += widths[c] + 2;
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  return os.str();
+}
+
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values,
+                           const BarChartOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  size_t n = std::min(labels.size(), values.size());
+  double max_v = 0.0;
+  size_t label_w = 0;
+  for (size_t i = 0; i < n; ++i) {
+    max_v = std::max(max_v, values[i]);
+    label_w = std::max(label_w, labels[i].size());
+  }
+  for (size_t i = 0; i < n; ++i) {
+    size_t len =
+        max_v > 0.0
+            ? static_cast<size_t>(std::lround(
+                  values[i] / max_v * static_cast<double>(options.max_width)))
+            : 0;
+    os << labels[i] << std::string(label_w - labels[i].size(), ' ')
+       << " | " << std::string(len, options.bar_char);
+    if (options.show_values) {
+      os << " " << FormatDouble(values[i]);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string RenderGroupedBarChart(
+    const std::vector<std::string>& categories,
+    const std::vector<std::string>& series_names,
+    const std::vector<std::vector<double>>& values,
+    const GroupedBarChartOptions& options) {
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  double max_v = 0.0;
+  size_t label_w = 0;
+  for (const std::string& c : categories) {
+    label_w = std::max(label_w, c.size());
+  }
+  size_t series_w = 0;
+  for (const std::string& s : series_names) {
+    series_w = std::max(series_w, s.size());
+  }
+  for (const auto& series : values) {
+    for (double v : series) max_v = std::max(max_v, v);
+  }
+  os << "legend:";
+  for (size_t s = 0; s < series_names.size(); ++s) {
+    char ch = options.series_chars[s % options.series_chars.size()];
+    os << " " << ch << "=" << series_names[s];
+  }
+  os << "\n";
+  for (size_t c = 0; c < categories.size(); ++c) {
+    for (size_t s = 0; s < series_names.size(); ++s) {
+      double v = s < values.size() && c < values[s].size() ? values[s][c]
+                                                           : 0.0;
+      size_t len =
+          max_v > 0.0
+              ? static_cast<size_t>(std::lround(
+                    v / max_v * static_cast<double>(options.max_width)))
+              : 0;
+      char ch = options.series_chars[s % options.series_chars.size()];
+      os << (s == 0 ? categories[c]
+                    : std::string(categories[c].size(), ' '))
+         << std::string(label_w - categories[c].size(), ' ') << " | "
+         << std::string(len, ch) << " " << FormatDouble(v) << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<std::string> RenderPivotAsChart(
+    const Table& grid, const GroupedBarChartOptions& options) {
+  if (grid.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "pivot grid needs a label column and >= 1 data column");
+  }
+  std::vector<std::string> categories;
+  categories.reserve(grid.num_rows());
+  for (size_t r = 0; r < grid.num_rows(); ++r) {
+    categories.push_back(grid.column(0).GetValue(r).ToString());
+  }
+  std::vector<std::string> series_names;
+  std::vector<std::vector<double>> values;
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    series_names.push_back(grid.schema().field(c).name);
+    std::vector<double> series;
+    series.reserve(grid.num_rows());
+    for (size_t r = 0; r < grid.num_rows(); ++r) {
+      Value v = grid.column(c).GetValue(r);
+      Result<double> d = v.AsDouble();
+      series.push_back(d.ok() ? *d : 0.0);
+    }
+    values.push_back(std::move(series));
+  }
+  return RenderGroupedBarChart(categories, series_names, values, options);
+}
+
+Result<std::string> RenderHeatmap(const Table& grid,
+                                  const HeatmapOptions& options) {
+  if (grid.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "heatmap grid needs a label column and >= 1 data column");
+  }
+  if (options.ramp.empty()) {
+    return Status::InvalidArgument("heatmap ramp must not be empty");
+  }
+  // Find the maximum for normalization.
+  double max_v = 0.0;
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    for (size_t r = 0; r < grid.num_rows(); ++r) {
+      Value v = grid.column(c).GetValue(r);
+      Result<double> d = v.AsDouble();
+      if (d.ok()) max_v = std::max(max_v, *d);
+    }
+  }
+  size_t label_w = grid.schema().field(0).name.size();
+  for (size_t r = 0; r < grid.num_rows(); ++r) {
+    label_w = std::max(label_w,
+                       grid.column(0).GetValue(r).ToString().size());
+  }
+  std::ostringstream os;
+  if (!options.title.empty()) os << options.title << "\n";
+  // Column header: first character of each series name per cell slot.
+  os << std::string(label_w, ' ') << " ";
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    std::string name = grid.schema().field(c).name;
+    name.resize(options.cell_width, ' ');
+    os << name;
+  }
+  os << "\n";
+  for (size_t r = 0; r < grid.num_rows(); ++r) {
+    std::string label = grid.column(0).GetValue(r).ToString();
+    os << label << std::string(label_w - label.size(), ' ') << " ";
+    for (size_t c = 1; c < grid.num_columns(); ++c) {
+      Value v = grid.column(c).GetValue(r);
+      Result<double> d = v.AsDouble();
+      char shade = options.ramp.front();
+      if (d.ok() && max_v > 0.0) {
+        double norm = std::min(std::max(*d / max_v, 0.0), 1.0);
+        size_t idx = static_cast<size_t>(
+            norm * static_cast<double>(options.ramp.size() - 1) + 0.5);
+        shade = options.ramp[idx];
+      }
+      os << std::string(options.cell_width, shade);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ddgms::report

@@ -1,0 +1,75 @@
+#ifndef DDGMS_REPORT_RENDER_H_
+#define DDGMS_REPORT_RENDER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::report {
+
+/// Text rendering of query results — the prototype's stand-in for the
+/// paper's Microsoft BI Studio front end (Figs 4-6 are a cross-tab, a
+/// grouped column chart and a stacked distribution).
+
+/// Pretty-prints a pivot grid (first column = row labels, remaining
+/// columns = numeric cells) with optional row/column totals.
+struct PivotRenderOptions {
+  bool row_totals = true;
+  bool column_totals = true;
+  std::string null_cell = ".";
+  std::string title;
+};
+
+Result<std::string> RenderPivot(const Table& grid,
+                                const PivotRenderOptions& options = {});
+
+/// Horizontal bar chart: one labeled bar per (label, value).
+struct BarChartOptions {
+  size_t max_width = 50;   // bar length of the max value
+  char bar_char = '#';
+  std::string title;
+  bool show_values = true;
+};
+
+std::string RenderBarChart(const std::vector<std::string>& labels,
+                           const std::vector<double>& values,
+                           const BarChartOptions& options = {});
+
+/// Grouped horizontal bar chart: for each category, one bar per series
+/// (paper Fig 5: age band x {female, male}).
+struct GroupedBarChartOptions {
+  size_t max_width = 40;
+  std::vector<char> series_chars = {'#', '=', '*', '+'};
+  std::string title;
+};
+
+std::string RenderGroupedBarChart(
+    const std::vector<std::string>& categories,
+    const std::vector<std::string>& series_names,
+    const std::vector<std::vector<double>>& values,  // [series][category]
+    const GroupedBarChartOptions& options = {});
+
+/// Renders a pivot table (row labels + one column per series) as a
+/// grouped bar chart. Non-numeric / null cells plot as zero.
+Result<std::string> RenderPivotAsChart(
+    const Table& grid, const GroupedBarChartOptions& options = {});
+
+/// Density heatmap of a pivot grid: each cell is shaded by its value
+/// relative to the grid maximum, using the ramp " .:-=+*#%@". The
+/// paper's Visualisation feature — "groups of patients at the edges of
+/// overlapping dimensions are easily identified visually".
+struct HeatmapOptions {
+  std::string title;
+  /// Characters from cold to hot; null cells render as the first.
+  std::string ramp = " .:-=+*#%@";
+  size_t cell_width = 3;
+};
+
+Result<std::string> RenderHeatmap(const Table& grid,
+                                  const HeatmapOptions& options = {});
+
+}  // namespace ddgms::report
+
+#endif  // DDGMS_REPORT_RENDER_H_

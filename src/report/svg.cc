@@ -1,0 +1,139 @@
+#include "report/svg.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ddgms::report {
+
+namespace {
+
+std::string EscapeXml(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<std::string> RenderSvgColumnChart(const Table& grid,
+                                         const SvgChartOptions& options) {
+  if (grid.num_columns() < 2) {
+    return Status::InvalidArgument(
+        "chart grid needs a label column and >= 1 data column");
+  }
+  if (grid.num_rows() == 0) {
+    return Status::InvalidArgument("chart grid has no rows");
+  }
+  const size_t groups = grid.num_rows();
+  const size_t series = grid.num_columns() - 1;
+
+  double max_v = 0.0;
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    for (size_t r = 0; r < groups; ++r) {
+      auto d = grid.column(c).GetValue(r).AsDouble();
+      if (d.ok()) max_v = std::max(max_v, *d);
+    }
+  }
+  if (max_v <= 0.0) max_v = 1.0;
+
+  const double w = static_cast<double>(options.width);
+  const double h = static_cast<double>(options.height);
+  const double margin_left = 48, margin_right = 16, margin_top = 36,
+               margin_bottom = 64;
+  const double plot_w = w - margin_left - margin_right;
+  const double plot_h = h - margin_top - margin_bottom;
+  const double group_w = plot_w / static_cast<double>(groups);
+  const double bar_w =
+      group_w * 0.8 / static_cast<double>(series);
+
+  std::ostringstream os;
+  os << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"" << options.width
+     << "\" height=\"" << options.height << "\" viewBox=\"0 0 "
+     << options.width << " " << options.height << "\">\n";
+  os << "<rect width=\"100%\" height=\"100%\" fill=\"white\"/>\n";
+  if (!options.title.empty()) {
+    os << "<text x=\"" << w / 2
+       << "\" y=\"20\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+          "font-size=\"14\">"
+       << EscapeXml(options.title) << "</text>\n";
+  }
+  // Axes.
+  os << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top
+     << "\" x2=\"" << margin_left << "\" y2=\"" << margin_top + plot_h
+     << "\" stroke=\"#333\"/>\n";
+  os << "<line x1=\"" << margin_left << "\" y1=\"" << margin_top + plot_h
+     << "\" x2=\"" << margin_left + plot_w << "\" y2=\""
+     << margin_top + plot_h << "\" stroke=\"#333\"/>\n";
+  // Max-value gridline + label.
+  os << "<text x=\"" << margin_left - 6 << "\" y=\"" << margin_top + 4
+     << "\" text-anchor=\"end\" font-family=\"sans-serif\" "
+        "font-size=\"10\">"
+     << FormatDouble(max_v, 2) << "</text>\n";
+
+  // Bars.
+  for (size_t r = 0; r < groups; ++r) {
+    double gx = margin_left + group_w * static_cast<double>(r) +
+                group_w * 0.1;
+    for (size_t c = 1; c < grid.num_columns(); ++c) {
+      auto d = grid.column(c).GetValue(r).AsDouble();
+      double v = d.ok() ? std::max(0.0, *d) : 0.0;
+      double bar_h = plot_h * v / max_v;
+      double x = gx + bar_w * static_cast<double>(c - 1);
+      double y = margin_top + plot_h - bar_h;
+      const std::string& color =
+          options.palette[(c - 1) % options.palette.size()];
+      os << "<rect x=\"" << x << "\" y=\"" << y << "\" width=\""
+         << bar_w * 0.92 << "\" height=\"" << bar_h << "\" fill=\""
+         << color << "\"/>\n";
+    }
+    // Group label (rotated if crowded).
+    std::string label =
+        EscapeXml(grid.column(0).GetValue(r).ToString());
+    double lx = gx + group_w * 0.4;
+    double ly = margin_top + plot_h + 14;
+    os << "<text x=\"" << lx << "\" y=\"" << ly
+       << "\" text-anchor=\"middle\" font-family=\"sans-serif\" "
+          "font-size=\"10\""
+       << (groups > 8 ? StrFormat(" transform=\"rotate(45 %.1f %.1f)\"",
+                                  lx, ly)
+                      : std::string())
+       << ">" << label << "</text>\n";
+  }
+  // Legend.
+  double lx = margin_left;
+  double ly = h - 14;
+  for (size_t c = 1; c < grid.num_columns(); ++c) {
+    const std::string& color =
+        options.palette[(c - 1) % options.palette.size()];
+    os << "<rect x=\"" << lx << "\" y=\"" << ly - 9
+       << "\" width=\"10\" height=\"10\" fill=\"" << color << "\"/>\n";
+    std::string name = EscapeXml(grid.schema().field(c).name);
+    os << "<text x=\"" << lx + 14 << "\" y=\"" << ly
+       << "\" font-family=\"sans-serif\" font-size=\"11\">" << name
+       << "</text>\n";
+    lx += 14.0 + 7.0 * static_cast<double>(name.size()) + 16.0;
+  }
+  os << "</svg>\n";
+  return os.str();
+}
+
+Status WriteSvgColumnChart(const Table& grid, const std::string& path,
+                           const SvgChartOptions& options) {
+  DDGMS_ASSIGN_OR_RETURN(std::string svg,
+                         RenderSvgColumnChart(grid, options));
+  return WriteFile(path, svg);
+}
+
+}  // namespace ddgms::report

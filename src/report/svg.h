@@ -1,0 +1,36 @@
+#ifndef DDGMS_REPORT_SVG_H_
+#define DDGMS_REPORT_SVG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::report {
+
+/// Standalone SVG rendering of query results — file-based counterparts
+/// of the text charts, for embedding figure reproductions in reports.
+
+struct SvgChartOptions {
+  std::string title;
+  size_t width = 640;
+  size_t height = 400;
+  /// Series fill colors, cycled.
+  std::vector<std::string> palette = {"#4878a8", "#e8913d", "#6aa84f",
+                                      "#a64d79"};
+};
+
+/// Grouped vertical column chart from a pivot grid (first column = row
+/// labels, remaining numeric columns = one series each). Null /
+/// non-numeric cells plot as zero-height columns.
+Result<std::string> RenderSvgColumnChart(const Table& grid,
+                                         const SvgChartOptions& options = {});
+
+/// Convenience: renders and writes to `path`.
+Status WriteSvgColumnChart(const Table& grid, const std::string& path,
+                           const SvgChartOptions& options = {});
+
+}  // namespace ddgms::report
+
+#endif  // DDGMS_REPORT_SVG_H_

@@ -1,0 +1,81 @@
+#ifndef DDGMS_TABLE_AGGREGATE_H_
+#define DDGMS_TABLE_AGGREGATE_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace ddgms {
+
+/// Aggregate functions shared by the OLTP group-by engine and the OLAP
+/// cube engine.
+enum class AggFn {
+  kCount,          // number of rows (nulls included)
+  kCountValid,     // number of non-null values
+  kCountDistinct,  // number of distinct non-null values
+  kSum,
+  kAvg,
+  kMin,
+  kMax,
+  kVariance,       // population variance
+  kStdDev,         // population standard deviation
+};
+
+/// Canonical name ("count", "sum", ...).
+const char* AggFnName(AggFn fn);
+
+/// Parses an aggregate name (case-insensitive); accepts both "stddev" and
+/// "stdev".
+Result<AggFn> AggFnFromName(const std::string& name);
+
+/// One requested aggregate: fn applied to `column`, reported as `alias`
+/// (defaults to "fn(column)" when empty). kCount may leave column empty.
+struct AggSpec {
+  AggFn fn = AggFn::kCount;
+  std::string column;
+  std::string alias;
+
+  /// Effective output name.
+  std::string OutputName() const;
+};
+
+/// Streaming accumulator for one aggregate over one group/cell.
+/// Numeric aggregates (sum/avg/min/max/var/stddev) require numeric input
+/// values; min/max also accept any ordered type.
+class Accumulator {
+ public:
+  explicit Accumulator(AggFn fn) : fn_(fn) {}
+
+  /// Feeds one cell. Nulls count toward kCount only.
+  void Add(const Value& v);
+
+  /// Folds another accumulator of the same function into this one
+  /// (partitioned/parallel aggregation). Merging accumulators of
+  /// different functions is a programming error.
+  void Merge(const Accumulator& other);
+
+  /// Number of rows fed (including nulls).
+  size_t rows() const { return rows_; }
+
+  /// Final aggregate value; Value::Null() when undefined (e.g. avg of an
+  /// empty group).
+  Value Finish() const;
+
+ private:
+  AggFn fn_;
+  size_t rows_ = 0;
+  size_t valid_ = 0;
+  double sum_ = 0.0;
+  double sum_sq_ = 0.0;
+  bool numeric_ok_ = true;
+  Value min_ = Value::Null();
+  Value max_ = Value::Null();
+  std::unordered_set<Value, ValueHash, ValueEq> distinct_;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_AGGREGATE_H_

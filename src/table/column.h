@@ -1,0 +1,106 @@
+#ifndef DDGMS_TABLE_COLUMN_H_
+#define DDGMS_TABLE_COLUMN_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace ddgms {
+
+/// Typed columnar storage with a validity (non-null) bitmap. Bool columns
+/// store uint8_t; date columns store days-since-epoch as int32_t. Values
+/// in invalid slots are zero-initialized and must not be interpreted.
+class ColumnVector {
+ public:
+  /// Creates an empty column of the given type. `type` must not be kNull.
+  ColumnVector(std::string name, DataType type);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+  DataType type() const { return type_; }
+
+  size_t size() const { return validity_.size(); }
+  bool empty() const { return validity_.empty(); }
+
+  /// Number of null entries.
+  size_t null_count() const { return null_count_; }
+
+  bool IsNull(size_t row) const { return validity_[row] == 0; }
+
+  /// Appends a value; the value must be null or match the column type
+  /// (int64 literals are accepted into double columns).
+  Status Append(const Value& value);
+
+  /// Appends a null.
+  void AppendNull();
+
+  /// Typed fast-path appends (no validity/type checking beyond asserts).
+  void AppendBool(bool v);
+  void AppendInt(int64_t v);
+  void AppendDouble(double v);
+  void AppendString(std::string v);
+  void AppendDate(Date v);
+
+  /// Reads a cell as a dynamically typed Value (null if invalid).
+  Value GetValue(size_t row) const;
+
+  /// Overwrites a cell. Same typing rules as Append.
+  Status SetValue(size_t row, const Value& value);
+
+  /// Typed accessors; undefined if the row is null or type mismatches.
+  bool BoolAt(size_t row) const { return Bools()[row] != 0; }
+  int64_t IntAt(size_t row) const { return Ints()[row]; }
+  double DoubleAt(size_t row) const { return Doubles()[row]; }
+  const std::string& StringAt(size_t row) const { return Strings()[row]; }
+  Date DateAt(size_t row) const { return Date(Dates()[row]); }
+
+  /// Numeric view of a cell: int64/double/bool coerce to double.
+  /// Error if null or non-numeric type.
+  Result<double> NumericAt(size_t row) const;
+
+  /// New column containing rows at `indices`, in order.
+  ColumnVector Take(const std::vector<size_t>& indices) const;
+
+  /// Distinct non-null values, in first-appearance order.
+  std::vector<Value> DistinctValues() const;
+
+  /// Min / max over non-null entries; null Value if the column is all-null.
+  Value Min() const;
+  Value Max() const;
+
+ private:
+  const std::vector<uint8_t>& Bools() const {
+    return std::get<std::vector<uint8_t>>(data_);
+  }
+  const std::vector<int64_t>& Ints() const {
+    return std::get<std::vector<int64_t>>(data_);
+  }
+  const std::vector<double>& Doubles() const {
+    return std::get<std::vector<double>>(data_);
+  }
+  const std::vector<std::string>& Strings() const {
+    return std::get<std::vector<std::string>>(data_);
+  }
+  const std::vector<int32_t>& Dates() const {
+    return std::get<std::vector<int32_t>>(data_);
+  }
+
+  std::string name_;
+  DataType type_;
+  std::variant<std::vector<uint8_t>,   // bool
+               std::vector<int64_t>,   // int64
+               std::vector<double>,    // double
+               std::vector<std::string>,  // string
+               std::vector<int32_t>>   // date (days since epoch)
+      data_;
+  std::vector<uint8_t> validity_;  // 1 = valid, 0 = null
+  size_t null_count_ = 0;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_COLUMN_H_

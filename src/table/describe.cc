@@ -1,0 +1,58 @@
+#include "table/describe.h"
+
+#include <cmath>
+#include <unordered_set>
+
+namespace ddgms {
+
+Result<Table> Describe(const Table& table) {
+  DDGMS_ASSIGN_OR_RETURN(
+      Schema schema,
+      Schema::Make({Field{"Column", DataType::kString},
+                    Field{"Type", DataType::kString},
+                    Field{"Count", DataType::kInt64},
+                    Field{"Nulls", DataType::kInt64},
+                    Field{"Distinct", DataType::kInt64},
+                    Field{"Min", DataType::kString},
+                    Field{"Max", DataType::kString},
+                    Field{"Mean", DataType::kDouble},
+                    Field{"StdDev", DataType::kDouble}}));
+  Table out(std::move(schema));
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    const ColumnVector& col = table.column(c);
+    std::unordered_set<Value, ValueHash, ValueEq> distinct;
+    double sum = 0.0, sum_sq = 0.0;
+    size_t numeric_n = 0;
+    bool numeric = IsNumeric(col.type());
+    for (size_t i = 0; i < col.size(); ++i) {
+      if (col.IsNull(i)) continue;
+      distinct.insert(col.GetValue(i));
+      if (numeric) {
+        Result<double> v = col.NumericAt(i);
+        if (v.ok()) {
+          sum += *v;
+          sum_sq += (*v) * (*v);
+          ++numeric_n;
+        }
+      }
+    }
+    Value mean = Value::Null();
+    Value stddev = Value::Null();
+    if (numeric && numeric_n > 0) {
+      double m = sum / static_cast<double>(numeric_n);
+      double var = sum_sq / static_cast<double>(numeric_n) - m * m;
+      mean = Value::Real(m);
+      stddev = Value::Real(std::sqrt(std::max(0.0, var)));
+    }
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(
+        {Value::Str(col.name()), Value::Str(DataTypeName(col.type())),
+         Value::Int(static_cast<int64_t>(col.size())),
+         Value::Int(static_cast<int64_t>(col.null_count())),
+         Value::Int(static_cast<int64_t>(distinct.size())),
+         Value::Str(col.Min().ToString()),
+         Value::Str(col.Max().ToString()), mean, stddev}));
+  }
+  return out;
+}
+
+}  // namespace ddgms

@@ -1,0 +1,18 @@
+#ifndef DDGMS_TABLE_DESCRIBE_H_
+#define DDGMS_TABLE_DESCRIBE_H_
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms {
+
+/// Column-profile summary of a table: one row per column with
+///   Column, Type, Count, Nulls, Distinct, Min, Max, Mean, StdDev
+/// (Mean/StdDev null for non-numeric columns; Min/Max use Value
+/// ordering, so they work for strings and dates too). The first thing
+/// an analyst runs against an unfamiliar extract.
+Result<Table> Describe(const Table& table);
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_DESCRIBE_H_

@@ -1,0 +1,66 @@
+#ifndef DDGMS_TABLE_PREDICATE_H_
+#define DDGMS_TABLE_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "table/value.h"
+
+namespace ddgms {
+
+/// Immutable row-predicate tree evaluated against a Table. Built with the
+/// factory functions below and shared via shared_ptr so composite queries
+/// stay cheap to copy.
+///
+///   PredicatePtr p = And(Eq("Gender", Value::Str("F")),
+///                        Ge("Age", Value::Int(60)));
+class Predicate;
+using PredicatePtr = std::shared_ptr<const Predicate>;
+
+class Predicate {
+ public:
+  virtual ~Predicate() = default;
+
+  /// True if the row satisfies the predicate. Rows with a null in a
+  /// referenced column fail comparison predicates (SQL-like semantics)
+  /// except IsNull.
+  virtual bool Matches(const Table& table, size_t row) const = 0;
+
+  /// Verifies all referenced columns exist in the table.
+  virtual Status Validate(const Table& table) const = 0;
+
+  /// Human-readable rendering for logs/tests.
+  virtual std::string ToString() const = 0;
+};
+
+/// column == literal
+PredicatePtr Eq(std::string column, Value literal);
+/// column != literal (null cells never match)
+PredicatePtr Ne(std::string column, Value literal);
+PredicatePtr Lt(std::string column, Value literal);
+PredicatePtr Le(std::string column, Value literal);
+PredicatePtr Gt(std::string column, Value literal);
+PredicatePtr Ge(std::string column, Value literal);
+/// column value is one of `options`
+PredicatePtr In(std::string column, std::vector<Value> options);
+/// lo <= column <= hi
+PredicatePtr Between(std::string column, Value lo, Value hi);
+/// column is null
+PredicatePtr IsNull(std::string column);
+/// column is not null
+PredicatePtr NotNull(std::string column);
+/// Conjunction / disjunction / negation.
+PredicatePtr And(PredicatePtr a, PredicatePtr b);
+PredicatePtr Or(PredicatePtr a, PredicatePtr b);
+PredicatePtr Not(PredicatePtr inner);
+/// Conjunction over a list (empty list matches everything).
+PredicatePtr AllOf(std::vector<PredicatePtr> preds);
+/// Matches every row.
+PredicatePtr TruePredicate();
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_PREDICATE_H_

@@ -1,0 +1,149 @@
+#include "table/query.h"
+
+#include <unordered_map>
+
+#include "common/strings.h"
+
+namespace ddgms {
+
+Result<Table> TableQuery::Run() const {
+  if (table_ == nullptr) {
+    return Status::InvalidArgument("TableQuery has no source table");
+  }
+  if (where_ != nullptr) {
+    DDGMS_RETURN_IF_ERROR(where_->Validate(*table_));
+  }
+  std::vector<size_t> rows;
+  if (where_ == nullptr) {
+    rows.resize(table_->num_rows());
+    for (size_t i = 0; i < rows.size(); ++i) rows[i] = i;
+  } else {
+    rows = table_->MatchingRows([this](const Table& t, size_t i) {
+      return where_->Matches(t, i);
+    });
+  }
+
+  Table result;
+  if (!group_by_.empty() || !aggregates_.empty()) {
+    if (!select_.empty()) {
+      return Status::InvalidArgument(
+          "Select() cannot be combined with GroupBy()/Aggregate(); "
+          "aggregate output columns are implied");
+    }
+    DDGMS_ASSIGN_OR_RETURN(result, RunAggregation(rows));
+    if (!order_by_.empty()) {
+      DDGMS_ASSIGN_OR_RETURN(
+          result, result.SortBy({order_by_}, order_ascending_));
+    }
+  } else {
+    // SQL semantics: ORDER BY may reference columns that the projection
+    // drops, so sort before projecting.
+    result = table_->Take(rows);
+    if (!order_by_.empty()) {
+      DDGMS_ASSIGN_OR_RETURN(
+          result, result.SortBy({order_by_}, order_ascending_));
+    }
+    if (!select_.empty()) {
+      DDGMS_ASSIGN_OR_RETURN(result, result.Project(select_));
+    }
+  }
+  if (has_limit_ && result.num_rows() > limit_) {
+    std::vector<size_t> head(limit_);
+    for (size_t i = 0; i < limit_; ++i) head[i] = i;
+    result = result.Take(head);
+  }
+  return result;
+}
+
+Result<Table> TableQuery::RunAggregation(
+    const std::vector<size_t>& rows) const {
+  std::vector<AggSpec> aggs = aggregates_;
+  if (aggs.empty()) {
+    aggs.push_back(AggSpec{AggFn::kCount, "", "count"});
+  }
+
+  // Resolve key and aggregate input columns up front.
+  std::vector<const ColumnVector*> key_cols;
+  key_cols.reserve(group_by_.size());
+  for (const std::string& k : group_by_) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           table_->ColumnByName(k));
+    key_cols.push_back(col);
+  }
+  std::vector<const ColumnVector*> agg_cols(aggs.size(), nullptr);
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    if (aggs[a].column.empty()) {
+      if (aggs[a].fn != AggFn::kCount) {
+        return Status::InvalidArgument(
+            StrFormat("aggregate %s requires a column",
+                      AggFnName(aggs[a].fn)));
+      }
+      continue;
+    }
+    DDGMS_ASSIGN_OR_RETURN(agg_cols[a],
+                           table_->ColumnByName(aggs[a].column));
+  }
+
+  // Group rows by key tuple, preserving first-appearance order.
+  std::unordered_map<std::vector<Value>, size_t, ValueVectorHash,
+                     ValueVectorEq>
+      group_index;
+  std::vector<std::vector<Value>> group_keys;
+  std::vector<std::vector<Accumulator>> group_accs;
+  for (size_t row : rows) {
+    std::vector<Value> key;
+    key.reserve(key_cols.size());
+    for (const ColumnVector* col : key_cols) {
+      key.push_back(col->GetValue(row));
+    }
+    auto [it, inserted] = group_index.emplace(key, group_keys.size());
+    if (inserted) {
+      group_keys.push_back(std::move(key));
+      std::vector<Accumulator> accs;
+      accs.reserve(aggs.size());
+      for (const AggSpec& spec : aggs) accs.emplace_back(spec.fn);
+      group_accs.push_back(std::move(accs));
+    }
+    std::vector<Accumulator>& accs = group_accs[it->second];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      accs[a].Add(agg_cols[a] == nullptr ? Value::Int(1)
+                                         : agg_cols[a]->GetValue(row));
+    }
+  }
+
+  // Output schema: group keys (original types) then aggregate columns.
+  std::vector<Field> fields;
+  for (size_t k = 0; k < group_by_.size(); ++k) {
+    fields.push_back(Field{group_by_[k], key_cols[k]->type()});
+  }
+  for (size_t a = 0; a < aggs.size(); ++a) {
+    DataType out_type;
+    switch (aggs[a].fn) {
+      case AggFn::kCount:
+      case AggFn::kCountValid:
+      case AggFn::kCountDistinct:
+        out_type = DataType::kInt64;
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax:
+        out_type = agg_cols[a]->type();
+        break;
+      default:
+        out_type = DataType::kDouble;
+        break;
+    }
+    fields.push_back(Field{aggs[a].OutputName(), out_type});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  for (size_t g = 0; g < group_keys.size(); ++g) {
+    Row row = group_keys[g];
+    for (size_t a = 0; a < aggs.size(); ++a) {
+      row.push_back(group_accs[g][a].Finish());
+    }
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+}  // namespace ddgms

@@ -1,0 +1,90 @@
+#ifndef DDGMS_TABLE_QUERY_H_
+#define DDGMS_TABLE_QUERY_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "table/aggregate.h"
+#include "table/predicate.h"
+#include "table/table.h"
+
+namespace ddgms {
+
+/// Fluent OLTP query over a Table: WHERE / GROUP BY / aggregates /
+/// SELECT / ORDER BY / LIMIT. This is the "Reporting — OLTP" feature of
+/// the DD-DGMS, and the execution engine behind the no-warehouse baseline
+/// DGMS comparator.
+///
+///   auto result = TableQuery(&visits)
+///                     .Where(Eq("Diabetes", Value::Str("Yes")))
+///                     .GroupBy({"AgeBand", "Gender"})
+///                     .Aggregate({{AggFn::kCount, "", "n"}})
+///                     .OrderBy("AgeBand")
+///                     .Run();
+///
+/// The referenced Table must outlive the query.
+class TableQuery {
+ public:
+  explicit TableQuery(const Table* table) : table_(table) {}
+
+  /// Sets the row filter (replaces any earlier Where).
+  TableQuery& Where(PredicatePtr pred) {
+    where_ = std::move(pred);
+    return *this;
+  }
+
+  /// Sets group-by keys. With no Aggregate(), groups are returned with a
+  /// default count(*) column.
+  TableQuery& GroupBy(std::vector<std::string> keys) {
+    group_by_ = std::move(keys);
+    return *this;
+  }
+
+  /// Sets the aggregates computed per group (or over the whole input when
+  /// no GroupBy was given).
+  TableQuery& Aggregate(std::vector<AggSpec> specs) {
+    aggregates_ = std::move(specs);
+    return *this;
+  }
+
+  /// Restricts output columns (non-aggregate queries only).
+  TableQuery& Select(std::vector<std::string> columns) {
+    select_ = std::move(columns);
+    return *this;
+  }
+
+  /// Orders output rows by a column of the *result* table.
+  TableQuery& OrderBy(std::string column, bool ascending = true) {
+    order_by_ = std::move(column);
+    order_ascending_ = ascending;
+    return *this;
+  }
+
+  /// Caps output row count (applied last).
+  TableQuery& Limit(size_t n) {
+    limit_ = n;
+    has_limit_ = true;
+    return *this;
+  }
+
+  /// Executes the query and materializes the result table.
+  Result<Table> Run() const;
+
+ private:
+  Result<Table> RunAggregation(const std::vector<size_t>& rows) const;
+
+  const Table* table_;
+  PredicatePtr where_;
+  std::vector<std::string> group_by_;
+  std::vector<AggSpec> aggregates_;
+  std::vector<std::string> select_;
+  std::string order_by_;
+  bool order_ascending_ = true;
+  size_t limit_ = 0;
+  bool has_limit_ = false;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_QUERY_H_

@@ -1,0 +1,46 @@
+#include "table/schema.h"
+
+namespace ddgms {
+
+Result<Schema> Schema::Make(std::vector<Field> fields) {
+  Schema schema;
+  for (Field& f : fields) {
+    DDGMS_RETURN_IF_ERROR(schema.AddField(std::move(f)));
+  }
+  return schema;
+}
+
+Result<size_t> Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  if (it == index_.end()) {
+    return Status::NotFound("no field named '" + name + "'");
+  }
+  return it->second;
+}
+
+Status Schema::AddField(Field field) {
+  if (field.type == DataType::kNull) {
+    return Status::InvalidArgument("field '" + field.name +
+                                   "' cannot have type null");
+  }
+  auto [it, inserted] = index_.emplace(field.name, fields_.size());
+  if (!inserted) {
+    return Status::AlreadyExists("duplicate field name '" + field.name +
+                                 "'");
+  }
+  fields_.push_back(std::move(field));
+  return Status::OK();
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ":";
+    out += DataTypeName(fields_[i].type);
+  }
+  return out;
+}
+
+}  // namespace ddgms

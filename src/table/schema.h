@@ -1,0 +1,59 @@
+#ifndef DDGMS_TABLE_SCHEMA_H_
+#define DDGMS_TABLE_SCHEMA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/value.h"
+
+namespace ddgms {
+
+/// Name + type of one column.
+struct Field {
+  std::string name;
+  DataType type = DataType::kString;
+
+  friend bool operator==(const Field& a, const Field& b) {
+    return a.name == b.name && a.type == b.type;
+  }
+};
+
+/// Ordered list of uniquely named fields.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds a schema; duplicate names are an error.
+  static Result<Schema> Make(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const std::vector<Field>& fields() const { return fields_; }
+  const Field& field(size_t i) const { return fields_[i]; }
+
+  /// Index of a field by name, or NotFound.
+  Result<size_t> FieldIndex(const std::string& name) const;
+
+  bool HasField(const std::string& name) const {
+    return index_.count(name) > 0;
+  }
+
+  /// Appends a field; duplicate names are an error.
+  Status AddField(Field field);
+
+  /// "name:type, name:type, ..." rendering for diagnostics.
+  std::string ToString() const;
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.fields_ == b.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, size_t> index_;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_SCHEMA_H_

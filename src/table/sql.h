@@ -1,0 +1,54 @@
+#ifndef DDGMS_TABLE_SQL_H_
+#define DDGMS_TABLE_SQL_H_
+
+#include <string>
+#include <unordered_map>
+
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms {
+
+/// A small SQL SELECT dialect over registered tables — the textual face
+/// of the OLTP reporting path (the role DG-SQL plays in the original
+/// DGMS). Supported grammar (keywords case-insensitive):
+///
+///   SELECT * | item [, item ...]
+///   FROM table
+///   [WHERE predicate]
+///   [GROUP BY col [, col ...]]
+///   [ORDER BY col [ASC|DESC]]
+///   [LIMIT n]
+///
+///   item      := col | fn( col | * ) [AS alias]
+///   fn        := COUNT | SUM | AVG | MIN | MAX | STDDEV | VARIANCE
+///               | COUNT_DISTINCT
+///   predicate := disjunctions/conjunctions of comparisons with
+///                parentheses; NOT; col IS [NOT] NULL;
+///                col BETWEEN lit AND lit; col IN (lit, ...)
+///   literal   := 123 | 4.5 | 'text' | TRUE | FALSE | DATE '2013-04-08'
+///
+/// Comparisons against a column of a different type never match
+/// (SQL-like: no implicit string/number coercion).
+class SqlEngine {
+ public:
+  SqlEngine() = default;
+
+  /// Registers a table under a name; the table must outlive the engine.
+  /// Re-registering a name replaces it.
+  void RegisterTable(const std::string& name, const Table* table) {
+    tables_[ToLowerName(name)] = table;
+  }
+
+  /// Parses and executes one SELECT statement.
+  Result<Table> Execute(const std::string& sql) const;
+
+ private:
+  static std::string ToLowerName(const std::string& name);
+
+  std::unordered_map<std::string, const Table*> tables_;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_SQL_H_

@@ -1,0 +1,402 @@
+#include "table/table.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <sstream>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ddgms {
+
+namespace {
+
+bool IsNullToken(const std::string& field,
+                 const std::vector<std::string>& null_tokens) {
+  for (const std::string& tok : null_tokens) {
+    if (field == tok) return true;
+  }
+  return false;
+}
+
+// Type inference lattice for CSV import: a column starts as the most
+// specific type its first non-null field supports and widens as needed.
+DataType InferFieldType(const std::string& field) {
+  if (ParseInt64(field).ok()) return DataType::kInt64;
+  if (ParseDouble(field).ok()) return DataType::kDouble;
+  if (Date::FromString(field).ok()) return DataType::kDate;
+  std::string lower = ToLower(field);
+  if (lower == "true" || lower == "false") return DataType::kBool;
+  return DataType::kString;
+}
+
+// Widening rule: int64 -> double -> string; everything else -> string on
+// conflict.
+DataType WidenType(DataType a, DataType b) {
+  if (a == b) return a;
+  if ((a == DataType::kInt64 && b == DataType::kDouble) ||
+      (a == DataType::kDouble && b == DataType::kInt64)) {
+    return DataType::kDouble;
+  }
+  return DataType::kString;
+}
+
+Result<Value> ParseTypedField(const std::string& field, DataType type) {
+  switch (type) {
+    case DataType::kBool: {
+      DDGMS_ASSIGN_OR_RETURN(bool b, ParseBool(field));
+      return Value::Bool(b);
+    }
+    case DataType::kInt64: {
+      DDGMS_ASSIGN_OR_RETURN(int64_t i, ParseInt64(field));
+      return Value::Int(i);
+    }
+    case DataType::kDouble: {
+      DDGMS_ASSIGN_OR_RETURN(double d, ParseDouble(field));
+      return Value::Real(d);
+    }
+    case DataType::kDate: {
+      DDGMS_ASSIGN_OR_RETURN(Date d, Date::FromString(field));
+      return Value::FromDate(d);
+    }
+    case DataType::kString:
+      return Value::Str(field);
+    case DataType::kNull:
+      break;
+  }
+  return Status::Internal("bad field type");
+}
+
+}  // namespace
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const Field& f : schema_.fields()) {
+    columns_.emplace_back(f.name, f.type);
+  }
+}
+
+Result<Table> Table::FromRows(Schema schema, const std::vector<Row>& rows) {
+  Table table(std::move(schema));
+  for (const Row& row : rows) {
+    DDGMS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> Table::FromCsv(const std::string& text,
+                             const CsvReadOptions& options) {
+  DDGMS_ASSIGN_OR_RETURN(auto records, ParseCsv(text, options.delimiter));
+  if (records.empty()) {
+    return Status::InvalidArgument("CSV input is empty");
+  }
+  std::vector<std::string> names;
+  size_t first_data_row = 0;
+  if (options.has_header) {
+    names = records[0];
+    first_data_row = 1;
+  } else {
+    names.reserve(records[0].size());
+    for (size_t i = 0; i < records[0].size(); ++i) {
+      names.push_back(StrFormat("col%zu", i));
+    }
+  }
+  const size_t num_cols = names.size();
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    if (records[r].size() != num_cols) {
+      return Status::ParseError(
+          StrFormat("row %zu has %zu fields; expected %zu", r,
+                    records[r].size(), num_cols));
+    }
+  }
+
+  // Infer column types over all non-null fields (unless fixed).
+  std::vector<DataType> types(num_cols, DataType::kString);
+  if (!options.column_types.empty()) {
+    if (options.column_types.size() != num_cols) {
+      return Status::InvalidArgument(
+          StrFormat("column_types has %zu entries; CSV has %zu columns",
+                    options.column_types.size(), num_cols));
+    }
+    types = options.column_types;
+  } else if (options.infer_types) {
+    std::vector<bool> seen(num_cols, false);
+    for (size_t r = first_data_row; r < records.size(); ++r) {
+      for (size_t c = 0; c < num_cols; ++c) {
+        const std::string& field = records[r][c];
+        if (IsNullToken(field, options.null_tokens)) continue;
+        DataType t = InferFieldType(field);
+        types[c] = seen[c] ? WidenType(types[c], t) : t;
+        seen[c] = true;
+      }
+    }
+  }
+
+  std::vector<Field> fields;
+  fields.reserve(num_cols);
+  for (size_t c = 0; c < num_cols; ++c) {
+    fields.push_back(Field{names[c], types[c]});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table table(std::move(schema));
+  for (size_t r = first_data_row; r < records.size(); ++r) {
+    Row row;
+    row.reserve(num_cols);
+    for (size_t c = 0; c < num_cols; ++c) {
+      const std::string& field = records[r][c];
+      if (IsNullToken(field, options.null_tokens)) {
+        row.push_back(Value::Null());
+        continue;
+      }
+      DDGMS_ASSIGN_OR_RETURN(Value v, ParseTypedField(field, types[c]));
+      row.push_back(std::move(v));
+    }
+    DDGMS_RETURN_IF_ERROR(table.AppendRow(row));
+  }
+  return table;
+}
+
+Result<Table> Table::FromCsvFile(const std::string& path,
+                                 const CsvReadOptions& options) {
+  DDGMS_ASSIGN_OR_RETURN(std::string text, ReadFile(path));
+  return FromCsv(text, options);
+}
+
+Result<const ColumnVector*> Table::ColumnByName(
+    const std::string& name) const {
+  DDGMS_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Result<ColumnVector*> Table::MutableColumnByName(const std::string& name) {
+  DDGMS_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  return &columns_[idx];
+}
+
+Status Table::AppendRow(const Row& row) {
+  if (row.size() != columns_.size()) {
+    return Status::InvalidArgument(
+        StrFormat("row has %zu values; table has %zu columns", row.size(),
+                  columns_.size()));
+  }
+  // Validate all cells before mutating any column so a failed append
+  // leaves the table unchanged.
+  for (size_t c = 0; c < row.size(); ++c) {
+    const Value& v = row[c];
+    if (v.is_null()) continue;
+    DataType ct = columns_[c].type();
+    DataType vt = v.type();
+    bool compatible =
+        vt == ct || (ct == DataType::kDouble && vt == DataType::kInt64);
+    if (!compatible) {
+      return Status::InvalidArgument(
+          StrFormat("cannot append %s value to %s column '%s'",
+                    DataTypeName(vt), DataTypeName(ct),
+                    columns_[c].name().c_str()));
+    }
+  }
+  for (size_t c = 0; c < row.size(); ++c) {
+    Status st = columns_[c].Append(row[c]);
+    assert(st.ok());
+    (void)st;
+  }
+  return Status::OK();
+}
+
+Row Table::GetRow(size_t i) const {
+  Row row;
+  row.reserve(columns_.size());
+  for (const ColumnVector& col : columns_) {
+    row.push_back(col.GetValue(i));
+  }
+  return row;
+}
+
+Result<Value> Table::GetCell(size_t row, const std::string& column) const {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col, ColumnByName(column));
+  if (row >= col->size()) {
+    return Status::OutOfRange(
+        StrFormat("row %zu out of range (size %zu)", row, col->size()));
+  }
+  return col->GetValue(row);
+}
+
+Status Table::SetCell(size_t row, const std::string& column,
+                      const Value& value) {
+  DDGMS_ASSIGN_OR_RETURN(ColumnVector* col, MutableColumnByName(column));
+  return col->SetValue(row, value);
+}
+
+Status Table::AddColumn(ColumnVector column) {
+  if (!columns_.empty() && column.size() != num_rows()) {
+    return Status::InvalidArgument(
+        StrFormat("column '%s' has %zu rows; table has %zu",
+                  column.name().c_str(), column.size(), num_rows()));
+  }
+  DDGMS_RETURN_IF_ERROR(
+      schema_.AddField(Field{column.name(), column.type()}));
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+Status Table::DropColumn(const std::string& name) {
+  DDGMS_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+  columns_.erase(columns_.begin() + static_cast<ptrdiff_t>(idx));
+  std::vector<Field> fields = schema_.fields();
+  fields.erase(fields.begin() + static_cast<ptrdiff_t>(idx));
+  DDGMS_ASSIGN_OR_RETURN(schema_, Schema::Make(std::move(fields)));
+  return Status::OK();
+}
+
+Status Table::RenameColumn(const std::string& from, const std::string& to) {
+  if (schema_.HasField(to)) {
+    return Status::AlreadyExists("column '" + to + "' already exists");
+  }
+  DDGMS_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(from));
+  std::vector<Field> fields = schema_.fields();
+  fields[idx].name = to;
+  DDGMS_ASSIGN_OR_RETURN(schema_, Schema::Make(std::move(fields)));
+  columns_[idx].set_name(to);
+  return Status::OK();
+}
+
+Result<Table> Table::Project(
+    const std::vector<std::string>& columns) const {
+  std::vector<Field> fields;
+  fields.reserve(columns.size());
+  std::vector<size_t> indices;
+  indices.reserve(columns.size());
+  for (const std::string& name : columns) {
+    DDGMS_ASSIGN_OR_RETURN(size_t idx, schema_.FieldIndex(name));
+    indices.push_back(idx);
+    fields.push_back(schema_.field(idx));
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  out.columns_.clear();
+  for (size_t idx : indices) {
+    out.columns_.push_back(columns_[idx]);
+  }
+  return out;
+}
+
+Table Table::Take(const std::vector<size_t>& indices) const {
+  Table out(schema_);
+  out.columns_.clear();
+  for (const ColumnVector& col : columns_) {
+    out.columns_.push_back(col.Take(indices));
+  }
+  return out;
+}
+
+std::vector<size_t> Table::MatchingRows(
+    const std::function<bool(const Table&, size_t)>& pred) const {
+  std::vector<size_t> out;
+  const size_t n = num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    if (pred(*this, i)) out.push_back(i);
+  }
+  return out;
+}
+
+Table Table::Filter(
+    const std::function<bool(const Table&, size_t)>& pred) const {
+  return Take(MatchingRows(pred));
+}
+
+Result<Table> Table::SortBy(const std::vector<std::string>& keys,
+                            bool ascending) const {
+  std::vector<const ColumnVector*> key_cols;
+  key_cols.reserve(keys.size());
+  for (const std::string& k : keys) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col, ColumnByName(k));
+    key_cols.push_back(col);
+  }
+  std::vector<size_t> order(num_rows());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(),
+                   [&](size_t a, size_t b) {
+                     for (const ColumnVector* col : key_cols) {
+                       int c = col->GetValue(a).Compare(col->GetValue(b));
+                       if (c != 0) return ascending ? c < 0 : c > 0;
+                     }
+                     return false;
+                   });
+  return Take(order);
+}
+
+Status Table::Concat(const Table& other) {
+  if (!(schema_ == other.schema_)) {
+    return Status::InvalidArgument(
+        "cannot concat tables with different schemas: [" +
+        schema_.ToString() + "] vs [" + other.schema_.ToString() + "]");
+  }
+  const size_t n = other.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    DDGMS_RETURN_IF_ERROR(AppendRow(other.GetRow(i)));
+  }
+  return Status::OK();
+}
+
+std::string Table::ToCsv(char delimiter) const {
+  std::string out;
+  std::vector<std::string> header;
+  header.reserve(columns_.size());
+  for (const Field& f : schema_.fields()) header.push_back(f.name);
+  out += FormatCsvLine(header, delimiter);
+  out += "\n";
+  const size_t n = num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> fields;
+    fields.reserve(columns_.size());
+    for (const ColumnVector& col : columns_) {
+      fields.push_back(col.GetValue(i).ToString());
+    }
+    out += FormatCsvLine(fields, delimiter);
+    out += "\n";
+  }
+  return out;
+}
+
+std::string Table::ToPrettyString(size_t max_rows) const {
+  const size_t n = std::min(num_rows(), max_rows);
+  std::vector<std::vector<std::string>> grid;
+  std::vector<std::string> header;
+  for (const Field& f : schema_.fields()) header.push_back(f.name);
+  grid.push_back(header);
+  for (size_t i = 0; i < n; ++i) {
+    std::vector<std::string> cells;
+    for (const ColumnVector& col : columns_) {
+      std::string s = col.GetValue(i).ToString();
+      if (col.IsNull(i)) s = "(null)";
+      cells.push_back(std::move(s));
+    }
+    grid.push_back(std::move(cells));
+  }
+  std::vector<size_t> widths(columns_.size(), 0);
+  for (const auto& row : grid) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (size_t r = 0; r < grid.size(); ++r) {
+    for (size_t c = 0; c < grid[r].size(); ++c) {
+      os << grid[r][c]
+         << std::string(widths[c] - grid[r][c].size() + 2, ' ');
+    }
+    os << "\n";
+    if (r == 0) {
+      size_t total = 0;
+      for (size_t w : widths) total += w + 2;
+      os << std::string(total, '-') << "\n";
+    }
+  }
+  if (num_rows() > max_rows) {
+    os << "... (" << num_rows() - max_rows << " more rows)\n";
+  }
+  return os.str();
+}
+
+}  // namespace ddgms

@@ -1,0 +1,120 @@
+#include "table/value.h"
+
+#include <functional>
+
+#include "common/strings.h"
+
+namespace ddgms {
+
+const char* DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull: return "null";
+    case DataType::kBool: return "bool";
+    case DataType::kInt64: return "int64";
+    case DataType::kDouble: return "double";
+    case DataType::kString: return "string";
+    case DataType::kDate: return "date";
+  }
+  return "unknown";
+}
+
+bool IsNumeric(DataType type) {
+  return type == DataType::kInt64 || type == DataType::kDouble;
+}
+
+Result<double> Value::AsDouble() const {
+  switch (type()) {
+    case DataType::kBool:
+      return bool_value() ? 1.0 : 0.0;
+    case DataType::kInt64:
+      return static_cast<double>(int_value());
+    case DataType::kDouble:
+      return double_value();
+    case DataType::kNull:
+      return Status::InvalidArgument("null has no numeric value");
+    case DataType::kString:
+      return Status::InvalidArgument("string '" + string_value() +
+                                     "' is not numeric");
+    case DataType::kDate:
+      return Status::InvalidArgument("date is not numeric");
+  }
+  return Status::Internal("corrupt value");
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull: return "";
+    case DataType::kBool: return bool_value() ? "true" : "false";
+    case DataType::kInt64: return std::to_string(int_value());
+    case DataType::kDouble: return FormatDouble(double_value());
+    case DataType::kString: return string_value();
+    case DataType::kDate: return date_value().ToString();
+  }
+  return "";
+}
+
+int Value::Compare(const Value& other) const {
+  DataType ta = type();
+  DataType tb = other.type();
+  // Nulls sort before everything else.
+  if (ta == DataType::kNull || tb == DataType::kNull) {
+    if (ta == tb) return 0;
+    return ta == DataType::kNull ? -1 : 1;
+  }
+  // Cross-numeric comparison.
+  if (IsNumeric(ta) && IsNumeric(tb)) {
+    double a = ta == DataType::kInt64 ? static_cast<double>(int_value())
+                                      : double_value();
+    double b = tb == DataType::kInt64
+                   ? static_cast<double>(other.int_value())
+                   : other.double_value();
+    if (a < b) return -1;
+    if (a > b) return 1;
+    return 0;
+  }
+  if (ta != tb) {
+    return static_cast<int>(ta) < static_cast<int>(tb) ? -1 : 1;
+  }
+  switch (ta) {
+    case DataType::kBool: {
+      int a = bool_value() ? 1 : 0;
+      int b = other.bool_value() ? 1 : 0;
+      return a - b;
+    }
+    case DataType::kString: {
+      int c = string_value().compare(other.string_value());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+    case DataType::kDate: {
+      int32_t a = date_value().days_since_epoch();
+      int32_t b = other.date_value().days_since_epoch();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default:
+      return 0;  // Unreachable: numeric and null handled above.
+  }
+}
+
+size_t Value::Hash() const {
+  switch (type()) {
+    case DataType::kNull:
+      return 0x9e3779b97f4a7c15ULL;
+    case DataType::kBool:
+      return bool_value() ? 0x2545f4914f6cdd1dULL : 0x6a09e667f3bcc909ULL;
+    case DataType::kInt64: {
+      // Hash ints through double so 5 and 5.0 collide (they compare equal).
+      double d = static_cast<double>(int_value());
+      return std::hash<double>{}(d);
+    }
+    case DataType::kDouble:
+      return std::hash<double>{}(double_value());
+    case DataType::kString:
+      return std::hash<std::string>{}(string_value());
+    case DataType::kDate:
+      return std::hash<int64_t>{}(date_value().days_since_epoch()) ^
+             0x94d049bb133111ebULL;
+  }
+  return 0;
+}
+
+}  // namespace ddgms

@@ -1,0 +1,149 @@
+#include "warehouse/persist.h"
+
+#include <vector>
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ddgms::warehouse {
+
+namespace {
+
+Result<DataType> DataTypeFromName(const std::string& name) {
+  if (name == "bool") return DataType::kBool;
+  if (name == "int64") return DataType::kInt64;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  if (name == "date") return DataType::kDate;
+  return Status::ParseError("unknown data type '" + name + "'");
+}
+
+Status WriteTableWithMeta(const Table& table, const std::string& base) {
+  DDGMS_RETURN_IF_ERROR(WriteFile(base + ".csv", table.ToCsv()));
+  std::string meta;
+  for (const Field& f : table.schema().fields()) {
+    meta += f.name;
+    meta += ":";
+    meta += DataTypeName(f.type);
+    meta += "\n";
+  }
+  return WriteFile(base + ".meta", meta);
+}
+
+Result<Table> ReadTableWithMeta(const std::string& base) {
+  DDGMS_ASSIGN_OR_RETURN(std::string meta, ReadFile(base + ".meta"));
+  CsvReadOptions options;
+  for (const std::string& line : Split(meta, '\n')) {
+    std::string trimmed(Trim(line));
+    if (trimmed.empty()) continue;
+    size_t colon = trimmed.rfind(':');
+    if (colon == std::string::npos) {
+      return Status::ParseError("bad meta line '" + trimmed + "' in " +
+                                base + ".meta");
+    }
+    DDGMS_ASSIGN_OR_RETURN(DataType type,
+                           DataTypeFromName(trimmed.substr(colon + 1)));
+    options.column_types.push_back(type);
+  }
+  return Table::FromCsvFile(base + ".csv", options);
+}
+
+std::string SerializeSchemaDef(const StarSchemaDef& def) {
+  std::string out;
+  out += "fact " + def.fact_name + "\n";
+  if (!def.degenerate_key.empty()) {
+    out += "degenerate " + def.degenerate_key + "\n";
+  }
+  for (const MeasureDef& m : def.measures) {
+    out += "measure " + m.name + " " + m.source_column + "\n";
+  }
+  for (const DimensionDef& dim : def.dimensions) {
+    out += "dimension " + dim.name + "\n";
+    for (const std::string& attr : dim.attributes) {
+      out += "attr " + attr + "\n";
+    }
+    for (const Hierarchy& h : dim.hierarchies) {
+      out += "hierarchy " + h.name;
+      for (const std::string& level : h.levels) {
+        out += " " + level;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<StarSchemaDef> ParseSchemaDef(const std::string& text) {
+  StarSchemaDef def;
+  DimensionDef* current = nullptr;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line(Trim(raw_line));
+    if (line.empty()) continue;
+    std::vector<std::string> parts = Split(line, ' ');
+    const std::string& kind = parts[0];
+    if (kind == "fact" && parts.size() == 2) {
+      def.fact_name = parts[1];
+    } else if (kind == "degenerate" && parts.size() == 2) {
+      def.degenerate_key = parts[1];
+    } else if (kind == "measure" && parts.size() == 3) {
+      def.measures.push_back(MeasureDef{parts[1], parts[2]});
+    } else if (kind == "dimension" && parts.size() == 2) {
+      def.dimensions.push_back(DimensionDef{parts[1], {}, {}});
+      current = &def.dimensions.back();
+    } else if (kind == "attr" && parts.size() == 2) {
+      if (current == nullptr) {
+        return Status::ParseError("attr before dimension in schema.txt");
+      }
+      current->attributes.push_back(parts[1]);
+    } else if (kind == "hierarchy" && parts.size() >= 4) {
+      if (current == nullptr) {
+        return Status::ParseError(
+            "hierarchy before dimension in schema.txt");
+      }
+      Hierarchy h;
+      h.name = parts[1];
+      h.levels.assign(parts.begin() + 2, parts.end());
+      current->hierarchies.push_back(std::move(h));
+    } else {
+      return Status::ParseError("bad schema.txt line: '" + line + "'");
+    }
+  }
+  DDGMS_RETURN_IF_ERROR(def.Validate());
+  return def;
+}
+
+}  // namespace
+
+Status SaveWarehouse(const Warehouse& wh, const std::string& dir) {
+  DDGMS_RETURN_IF_ERROR(
+      WriteFile(dir + "/schema.txt", SerializeSchemaDef(wh.def())));
+  DDGMS_RETURN_IF_ERROR(WriteTableWithMeta(wh.fact(), dir + "/fact"));
+  for (const Dimension& dim : wh.dimensions()) {
+    DDGMS_RETURN_IF_ERROR(
+        WriteTableWithMeta(dim.table(), dir + "/dim_" + dim.name()));
+  }
+  return Status::OK();
+}
+
+Result<Warehouse> LoadWarehouse(const std::string& dir) {
+  DDGMS_ASSIGN_OR_RETURN(std::string schema_text,
+                         ReadFile(dir + "/schema.txt"));
+  DDGMS_ASSIGN_OR_RETURN(StarSchemaDef def, ParseSchemaDef(schema_text));
+  DDGMS_ASSIGN_OR_RETURN(Table fact, ReadTableWithMeta(dir + "/fact"));
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(def.dimensions.size());
+  for (const DimensionDef& dim_def : def.dimensions) {
+    DDGMS_ASSIGN_OR_RETURN(Table dim_table,
+                           ReadTableWithMeta(dir + "/dim_" + dim_def.name));
+    dimensions.emplace_back(dim_def, std::move(dim_table));
+  }
+  Warehouse wh(std::move(def), std::move(fact), std::move(dimensions));
+  IntegrityReport report = wh.CheckIntegrity();
+  if (!report.ok) {
+    return Status::DataLoss("loaded warehouse failed integrity check:\n" +
+                            report.ToString());
+  }
+  return wh;
+}
+
+}  // namespace ddgms::warehouse

@@ -1,0 +1,31 @@
+#ifndef DDGMS_WAREHOUSE_PERSIST_H_
+#define DDGMS_WAREHOUSE_PERSIST_H_
+
+#include <string>
+
+#include "common/result.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::warehouse {
+
+/// Durable storage for a populated warehouse as a directory of CSV
+/// files plus sidecar metadata:
+///
+///   <dir>/schema.txt         — star-schema declaration
+///   <dir>/fact.csv + .meta   — fact table (meta pins column types)
+///   <dir>/dim_<Name>.csv + .meta
+///
+/// Known caveat of the CSV encoding: empty strings round-trip as
+/// nulls. Clinical band labels are never empty, so this does not
+/// affect DD-DGMS data.
+
+/// Writes the warehouse under `dir` (which must exist).
+Status SaveWarehouse(const Warehouse& wh, const std::string& dir);
+
+/// Loads a warehouse previously written by SaveWarehouse and
+/// re-verifies integrity.
+Result<Warehouse> LoadWarehouse(const std::string& dir);
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_PERSIST_H_

@@ -1,0 +1,68 @@
+#include "warehouse/schema_def.h"
+
+#include <set>
+#include <unordered_set>
+
+namespace ddgms::warehouse {
+
+Status StarSchemaDef::Validate() const {
+  if (fact_name.empty()) {
+    return Status::InvalidArgument("fact table must be named");
+  }
+  if (dimensions.empty()) {
+    return Status::InvalidArgument("star schema needs >= 1 dimension");
+  }
+  std::set<std::string> dim_names;
+  for (const DimensionDef& dim : dimensions) {
+    if (dim.name.empty()) {
+      return Status::InvalidArgument("dimension must be named");
+    }
+    if (!dim_names.insert(dim.name).second) {
+      return Status::AlreadyExists("duplicate dimension '" + dim.name +
+                                   "'");
+    }
+    if (dim.attributes.empty()) {
+      return Status::InvalidArgument("dimension '" + dim.name +
+                                     "' has no attributes");
+    }
+    std::unordered_set<std::string> attrs(dim.attributes.begin(),
+                                          dim.attributes.end());
+    if (attrs.size() != dim.attributes.size()) {
+      return Status::AlreadyExists("dimension '" + dim.name +
+                                   "' has duplicate attributes");
+    }
+    for (const Hierarchy& h : dim.hierarchies) {
+      if (h.levels.size() < 2) {
+        return Status::InvalidArgument(
+            "hierarchy '" + h.name + "' in dimension '" + dim.name +
+            "' needs >= 2 levels");
+      }
+      for (const std::string& level : h.levels) {
+        if (attrs.find(level) == attrs.end()) {
+          return Status::NotFound("hierarchy '" + h.name + "' level '" +
+                                  level + "' is not an attribute of '" +
+                                  dim.name + "'");
+        }
+      }
+    }
+  }
+  std::set<std::string> measure_names;
+  for (const MeasureDef& m : measures) {
+    if (m.name.empty() || m.source_column.empty()) {
+      return Status::InvalidArgument("measure must have name and source");
+    }
+    if (!measure_names.insert(m.name).second) {
+      return Status::AlreadyExists("duplicate measure '" + m.name + "'");
+    }
+  }
+  return Status::OK();
+}
+
+Result<size_t> StarSchemaDef::DimensionIndex(const std::string& name) const {
+  for (size_t i = 0; i < dimensions.size(); ++i) {
+    if (dimensions[i].name == name) return i;
+  }
+  return Status::NotFound("no dimension named '" + name + "'");
+}
+
+}  // namespace ddgms::warehouse

@@ -1,0 +1,56 @@
+#ifndef DDGMS_WAREHOUSE_SCHEMA_DEF_H_
+#define DDGMS_WAREHOUSE_SCHEMA_DEF_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace ddgms::warehouse {
+
+/// An attribute hierarchy inside a dimension, ordered coarse -> fine
+/// (e.g. {"AgeBand10", "AgeBand5", "Age"}). Drill-down walks toward the
+/// fine end; roll-up toward the coarse end. Every level must be an
+/// attribute of the owning dimension, and each fine value must determine
+/// its coarse value (validated at build time).
+struct Hierarchy {
+  std::string name;
+  std::vector<std::string> levels;
+};
+
+/// One dimension of the star schema: a named group of source columns
+/// (e.g. the paper's FastingBloods dimension holding FBG bands, HbA1c
+/// bands, cholesterol bands).
+struct DimensionDef {
+  std::string name;
+  std::vector<std::string> attributes;  // source column names
+  std::vector<Hierarchy> hierarchies;
+};
+
+/// One numeric measure stored in the fact table.
+struct MeasureDef {
+  std::string name;           // measure name in the warehouse
+  std::string source_column;  // numeric column in the source extract
+};
+
+/// Full star-schema declaration: fact table name, measures, dimensions
+/// (paper Fig 3: fact MedicalMeasures + 8 dimensions).
+struct StarSchemaDef {
+  std::string fact_name;
+  std::vector<MeasureDef> measures;
+  std::vector<DimensionDef> dimensions;
+  /// Optional degenerate key: a source column (e.g. RecordId) carried in
+  /// the fact table verbatim for traceability.
+  std::string degenerate_key;
+
+  /// Structural validation: non-empty names, unique dimension names,
+  /// hierarchy levels subset of attributes.
+  Status Validate() const;
+
+  /// Index of a dimension by name.
+  Result<size_t> DimensionIndex(const std::string& name) const;
+};
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_SCHEMA_DEF_H_

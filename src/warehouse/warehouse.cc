@@ -1,0 +1,472 @@
+#include "warehouse/warehouse.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/strings.h"
+
+namespace ddgms::warehouse {
+
+Result<Value> Dimension::AttributeValue(int64_t key,
+                                        const std::string& attribute) const {
+  if (key < 0 || static_cast<size_t>(key) >= table_.num_rows()) {
+    return Status::OutOfRange(
+        StrFormat("key %lld out of range for dimension '%s' (%zu members)",
+                  static_cast<long long>(key), name().c_str(),
+                  table_.num_rows()));
+  }
+  return table_.GetCell(static_cast<size_t>(key), attribute);
+}
+
+bool Dimension::HasAttribute(const std::string& attribute) const {
+  return table_.schema().HasField(attribute);
+}
+
+const Hierarchy* Dimension::HierarchyOf(const std::string& attribute) const {
+  for (const Hierarchy& h : def_.hierarchies) {
+    for (const std::string& level : h.levels) {
+      if (level == attribute) return &h;
+    }
+  }
+  return nullptr;
+}
+
+Result<std::string> Dimension::FinerLevel(
+    const std::string& attribute) const {
+  const Hierarchy* h = HierarchyOf(attribute);
+  if (h == nullptr) {
+    return Status::NotFound("attribute '" + attribute +
+                            "' is not in a hierarchy of dimension '" +
+                            name() + "'");
+  }
+  for (size_t i = 0; i + 1 < h->levels.size(); ++i) {
+    if (h->levels[i] == attribute) return h->levels[i + 1];
+  }
+  return Status::NotFound("attribute '" + attribute +
+                          "' is the finest level of hierarchy '" + h->name +
+                          "'");
+}
+
+Result<std::string> Dimension::CoarserLevel(
+    const std::string& attribute) const {
+  const Hierarchy* h = HierarchyOf(attribute);
+  if (h == nullptr) {
+    return Status::NotFound("attribute '" + attribute +
+                            "' is not in a hierarchy of dimension '" +
+                            name() + "'");
+  }
+  for (size_t i = 1; i < h->levels.size(); ++i) {
+    if (h->levels[i] == attribute) return h->levels[i - 1];
+  }
+  return Status::NotFound("attribute '" + attribute +
+                          "' is the coarsest level of hierarchy '" +
+                          h->name + "'");
+}
+
+Status Dimension::AddDerivedAttribute(
+    const std::string& attribute, DataType type,
+    const std::function<Value(const Dimension&, int64_t key)>& fn) {
+  if (HasAttribute(attribute)) {
+    return Status::AlreadyExists("dimension '" + name() +
+                                 "' already has attribute '" + attribute +
+                                 "'");
+  }
+  ColumnVector col(attribute, type);
+  for (size_t key = 0; key < table_.num_rows(); ++key) {
+    DDGMS_RETURN_IF_ERROR(
+        col.Append(fn(*this, static_cast<int64_t>(key))));
+  }
+  DDGMS_RETURN_IF_ERROR(table_.AddColumn(std::move(col)));
+  def_.attributes.push_back(attribute);
+  return Status::OK();
+}
+
+std::string IntegrityReport::ToString() const {
+  std::string out = StrFormat("integrity: %s (%zu fact rows)",
+                              ok ? "OK" : "VIOLATIONS", fact_rows);
+  for (const std::string& v : violations) {
+    out += "\n  " + v;
+  }
+  return out;
+}
+
+Result<const Dimension*> Warehouse::dimension(
+    const std::string& name) const {
+  for (const Dimension& d : dimensions_) {
+    if (d.name() == name) return &d;
+  }
+  return Status::NotFound("no dimension named '" + name + "'");
+}
+
+Result<Dimension*> Warehouse::mutable_dimension(const std::string& name) {
+  for (Dimension& d : dimensions_) {
+    if (d.name() == name) return &d;
+  }
+  return Status::NotFound("no dimension named '" + name + "'");
+}
+
+Result<int64_t> Warehouse::FactKey(size_t fact_row,
+                                   const std::string& dimension_name) const {
+  DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                         fact_.ColumnByName(KeyColumnName(dimension_name)));
+  if (fact_row >= col->size()) {
+    return Status::OutOfRange(StrFormat("fact row %zu out of range",
+                                        fact_row));
+  }
+  return col->IntAt(fact_row);
+}
+
+Result<const Dimension*> Warehouse::DimensionOfAttribute(
+    const std::string& attribute) const {
+  for (const Dimension& d : dimensions_) {
+    if (d.HasAttribute(attribute)) return &d;
+  }
+  return Status::NotFound("no dimension declares attribute '" + attribute +
+                          "'");
+}
+
+Result<Table> Warehouse::JoinedView(
+    const std::vector<std::string>& attributes) const {
+  // Resolve each attribute to (dimension, key column).
+  struct Source {
+    const Dimension* dim;
+    const ColumnVector* key_col;
+    const ColumnVector* attr_col;
+  };
+  std::vector<Source> sources;
+  sources.reserve(attributes.size());
+  std::vector<Field> fields;
+  for (const std::string& attr : attributes) {
+    DDGMS_ASSIGN_OR_RETURN(const Dimension* dim,
+                           DimensionOfAttribute(attr));
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* key_col,
+                           fact_.ColumnByName(KeyColumnName(dim->name())));
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* attr_col,
+                           dim->table().ColumnByName(attr));
+    sources.push_back(Source{dim, key_col, attr_col});
+    fields.push_back(Field{attr, attr_col->type()});
+  }
+  std::vector<const ColumnVector*> measure_cols;
+  for (const MeasureDef& m : def_.measures) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           fact_.ColumnByName(m.name));
+    measure_cols.push_back(col);
+    fields.push_back(Field{m.name, col->type()});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+  Table out(std::move(schema));
+  const size_t n = fact_.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    Row row;
+    row.reserve(sources.size() + measure_cols.size());
+    for (const Source& src : sources) {
+      int64_t key = src.key_col->IntAt(i);
+      row.push_back(src.attr_col->GetValue(static_cast<size_t>(key)));
+    }
+    for (const ColumnVector* col : measure_cols) {
+      row.push_back(col->GetValue(i));
+    }
+    DDGMS_RETURN_IF_ERROR(out.AppendRow(row));
+  }
+  return out;
+}
+
+Status Warehouse::AddFeedbackDimension(
+    const std::string& dimension_name, const std::string& attribute,
+    const std::function<Value(const Warehouse&, size_t fact_row)>&
+        labeler) {
+  if (dimension(dimension_name).ok()) {
+    return Status::AlreadyExists("dimension '" + dimension_name +
+                                 "' already exists");
+  }
+  // Label every fact row, deduplicating labels into members.
+  std::unordered_map<Value, int64_t, ValueHash, ValueEq> member_keys;
+  std::vector<Value> members;
+  ColumnVector key_col(KeyColumnName(dimension_name), DataType::kInt64);
+  const size_t n = fact_.num_rows();
+  DataType label_type = DataType::kString;
+  for (size_t i = 0; i < n; ++i) {
+    Value label = labeler(*this, i);
+    if (!label.is_null()) label_type = label.type();
+    auto [it, inserted] =
+        member_keys.emplace(label, static_cast<int64_t>(members.size()));
+    if (inserted) members.push_back(label);
+    key_col.AppendInt(it->second);
+  }
+
+  DDGMS_ASSIGN_OR_RETURN(Schema dim_schema,
+                         Schema::Make({Field{attribute, label_type}}));
+  Table dim_table(std::move(dim_schema));
+  for (const Value& m : members) {
+    DDGMS_RETURN_IF_ERROR(dim_table.AppendRow({m}));
+  }
+  DimensionDef dim_def;
+  dim_def.name = dimension_name;
+  dim_def.attributes = {attribute};
+  DDGMS_RETURN_IF_ERROR(fact_.AddColumn(std::move(key_col)));
+  dimensions_.emplace_back(std::move(dim_def), std::move(dim_table));
+  def_.dimensions.push_back(dimensions_.back().def());
+  return Status::OK();
+}
+
+Status Warehouse::AppendRows(const Table& source) {
+  // Resolve source columns for every dimension attribute and measure.
+  struct DimSource {
+    Dimension* dim;
+    std::vector<const ColumnVector*> attr_cols;
+    std::unordered_map<std::vector<Value>, int64_t, ValueVectorHash,
+                       ValueVectorEq>
+        keys;
+  };
+  std::vector<DimSource> dim_sources;
+  dim_sources.reserve(dimensions_.size());
+  for (Dimension& dim : dimensions_) {
+    DimSource src;
+    src.dim = &dim;
+    for (const std::string& attr : dim.def().attributes) {
+      DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                             source.ColumnByName(attr));
+      src.attr_cols.push_back(col);
+    }
+    // Rebuild the member dictionary from the existing dimension table.
+    const Table& dim_table = dim.table();
+    for (size_t key = 0; key < dim_table.num_rows(); ++key) {
+      std::vector<Value> tuple;
+      tuple.reserve(dim.def().attributes.size());
+      for (const std::string& attr : dim.def().attributes) {
+        DDGMS_ASSIGN_OR_RETURN(Value v, dim_table.GetCell(key, attr));
+        tuple.push_back(std::move(v));
+      }
+      src.keys.emplace(std::move(tuple), static_cast<int64_t>(key));
+    }
+    dim_sources.push_back(std::move(src));
+  }
+  std::vector<const ColumnVector*> measure_cols;
+  for (const MeasureDef& m : def_.measures) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           source.ColumnByName(m.source_column));
+    measure_cols.push_back(col);
+  }
+  const ColumnVector* degenerate_col = nullptr;
+  if (!def_.degenerate_key.empty()) {
+    DDGMS_ASSIGN_OR_RETURN(degenerate_col,
+                           source.ColumnByName(def_.degenerate_key));
+  }
+
+  const size_t n = source.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    Row fact_row;
+    fact_row.reserve(dimensions_.size() + def_.measures.size() + 1);
+    for (DimSource& src : dim_sources) {
+      std::vector<Value> tuple;
+      tuple.reserve(src.attr_cols.size());
+      for (const ColumnVector* col : src.attr_cols) {
+        tuple.push_back(col->GetValue(i));
+      }
+      auto [it, inserted] = src.keys.emplace(
+          tuple, static_cast<int64_t>(src.dim->num_members()));
+      if (inserted) {
+        DDGMS_RETURN_IF_ERROR(src.dim->table_.AppendRow(tuple));
+      }
+      fact_row.push_back(Value::Int(it->second));
+    }
+    if (degenerate_col != nullptr) {
+      fact_row.push_back(degenerate_col->GetValue(i));
+    }
+    for (const ColumnVector* col : measure_cols) {
+      Value v = col->GetValue(i);
+      if (!v.is_null() && v.type() == DataType::kBool) {
+        v = Value::Int(v.bool_value() ? 1 : 0);
+      }
+      fact_row.push_back(std::move(v));
+    }
+    DDGMS_RETURN_IF_ERROR(fact_.AppendRow(fact_row));
+  }
+  return Status::OK();
+}
+
+IntegrityReport Warehouse::CheckIntegrity() const {
+  IntegrityReport report;
+  report.fact_rows = fact_.num_rows();
+
+  // Foreign keys must exist and be in range.
+  for (const Dimension& dim : dimensions_) {
+    auto col = fact_.ColumnByName(KeyColumnName(dim.name()));
+    if (!col.ok()) {
+      report.ok = false;
+      report.violations.push_back("fact table missing key column for '" +
+                                  dim.name() + "'");
+      continue;
+    }
+    for (size_t i = 0; i < (*col)->size(); ++i) {
+      if ((*col)->IsNull(i)) {
+        report.ok = false;
+        report.violations.push_back(
+            StrFormat("null key for dimension '%s' at fact row %zu",
+                      dim.name().c_str(), i));
+        break;
+      }
+      int64_t key = (*col)->IntAt(i);
+      if (key < 0 || static_cast<size_t>(key) >= dim.num_members()) {
+        report.ok = false;
+        report.violations.push_back(StrFormat(
+            "dangling key %lld for dimension '%s' at fact row %zu",
+            static_cast<long long>(key), dim.name().c_str(), i));
+        break;
+      }
+    }
+  }
+
+  // Hierarchies must be functional: fine value -> unique coarse value.
+  for (const Dimension& dim : dimensions_) {
+    for (const Hierarchy& h : dim.def().hierarchies) {
+      for (size_t lvl = 0; lvl + 1 < h.levels.size(); ++lvl) {
+        const std::string& coarse = h.levels[lvl];
+        const std::string& fine = h.levels[lvl + 1];
+        auto coarse_col = dim.table().ColumnByName(coarse);
+        auto fine_col = dim.table().ColumnByName(fine);
+        if (!coarse_col.ok() || !fine_col.ok()) {
+          report.ok = false;
+          report.violations.push_back("hierarchy '" + h.name +
+                                      "' references missing attribute");
+          continue;
+        }
+        std::unordered_map<Value, Value, ValueHash, ValueEq> mapping;
+        for (size_t i = 0; i < dim.num_members(); ++i) {
+          Value f = (*fine_col)->GetValue(i);
+          Value c = (*coarse_col)->GetValue(i);
+          auto [it, inserted] = mapping.emplace(f, c);
+          if (!inserted && !it->second.Equals(c)) {
+            report.ok = false;
+            report.violations.push_back(StrFormat(
+                "hierarchy '%s': fine member '%s' maps to both '%s' and "
+                "'%s'",
+                h.name.c_str(), f.ToString().c_str(),
+                it->second.ToString().c_str(), c.ToString().c_str()));
+          }
+        }
+      }
+    }
+  }
+  return report;
+}
+
+Result<Warehouse> StarSchemaBuilder::Build(const Table& source) const {
+  DDGMS_RETURN_IF_ERROR(def_.Validate());
+
+  // Resolve all source columns up front.
+  struct DimSource {
+    std::vector<const ColumnVector*> attr_cols;
+  };
+  std::vector<DimSource> dim_sources;
+  dim_sources.reserve(def_.dimensions.size());
+  for (const DimensionDef& dim : def_.dimensions) {
+    DimSource src;
+    for (const std::string& attr : dim.attributes) {
+      DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                             source.ColumnByName(attr));
+      src.attr_cols.push_back(col);
+    }
+    dim_sources.push_back(std::move(src));
+  }
+  std::vector<const ColumnVector*> measure_cols;
+  for (const MeasureDef& m : def_.measures) {
+    DDGMS_ASSIGN_OR_RETURN(const ColumnVector* col,
+                           source.ColumnByName(m.source_column));
+    if (!IsNumeric(col->type()) && col->type() != DataType::kBool) {
+      return Status::InvalidArgument(
+          StrFormat("measure '%s' source column '%s' is not numeric",
+                    m.name.c_str(), m.source_column.c_str()));
+    }
+    measure_cols.push_back(col);
+  }
+  const ColumnVector* degenerate_col = nullptr;
+  if (!def_.degenerate_key.empty()) {
+    DDGMS_ASSIGN_OR_RETURN(degenerate_col,
+                           source.ColumnByName(def_.degenerate_key));
+  }
+
+  // Dimension member dictionaries.
+  struct DimBuild {
+    std::unordered_map<std::vector<Value>, int64_t, ValueVectorHash,
+                       ValueVectorEq>
+        keys;
+    std::vector<std::vector<Value>> members;
+  };
+  std::vector<DimBuild> builds(def_.dimensions.size());
+
+  // Fact schema: keys, degenerate key, measures.
+  std::vector<Field> fact_fields;
+  for (const DimensionDef& dim : def_.dimensions) {
+    fact_fields.push_back(
+        Field{Warehouse::KeyColumnName(dim.name), DataType::kInt64});
+  }
+  if (degenerate_col != nullptr) {
+    fact_fields.push_back(
+        Field{def_.degenerate_key, degenerate_col->type()});
+  }
+  for (size_t m = 0; m < def_.measures.size(); ++m) {
+    DataType t = measure_cols[m]->type();
+    if (t == DataType::kBool) t = DataType::kInt64;
+    fact_fields.push_back(Field{def_.measures[m].name, t});
+  }
+  DDGMS_ASSIGN_OR_RETURN(Schema fact_schema,
+                         Schema::Make(std::move(fact_fields)));
+  Table fact(std::move(fact_schema));
+
+  const size_t n = source.num_rows();
+  for (size_t i = 0; i < n; ++i) {
+    Row fact_row;
+    fact_row.reserve(def_.dimensions.size() + def_.measures.size() + 1);
+    for (size_t d = 0; d < def_.dimensions.size(); ++d) {
+      std::vector<Value> tuple;
+      tuple.reserve(dim_sources[d].attr_cols.size());
+      for (const ColumnVector* col : dim_sources[d].attr_cols) {
+        tuple.push_back(col->GetValue(i));
+      }
+      auto [it, inserted] = builds[d].keys.emplace(
+          tuple, static_cast<int64_t>(builds[d].members.size()));
+      if (inserted) builds[d].members.push_back(std::move(tuple));
+      fact_row.push_back(Value::Int(it->second));
+    }
+    if (degenerate_col != nullptr) {
+      fact_row.push_back(degenerate_col->GetValue(i));
+    }
+    for (size_t m = 0; m < measure_cols.size(); ++m) {
+      Value v = measure_cols[m]->GetValue(i);
+      if (!v.is_null() && v.type() == DataType::kBool) {
+        v = Value::Int(v.bool_value() ? 1 : 0);
+      }
+      fact_row.push_back(std::move(v));
+    }
+    DDGMS_RETURN_IF_ERROR(fact.AppendRow(fact_row));
+  }
+
+  // Materialize dimension tables.
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(def_.dimensions.size());
+  for (size_t d = 0; d < def_.dimensions.size(); ++d) {
+    const DimensionDef& dim_def = def_.dimensions[d];
+    std::vector<Field> fields;
+    for (size_t a = 0; a < dim_def.attributes.size(); ++a) {
+      fields.push_back(Field{dim_def.attributes[a],
+                             dim_sources[d].attr_cols[a]->type()});
+    }
+    DDGMS_ASSIGN_OR_RETURN(Schema schema, Schema::Make(std::move(fields)));
+    Table dim_table(std::move(schema));
+    for (const std::vector<Value>& member : builds[d].members) {
+      DDGMS_RETURN_IF_ERROR(dim_table.AppendRow(member));
+    }
+    dimensions.emplace_back(dim_def, std::move(dim_table));
+  }
+
+  Warehouse wh(def_, std::move(fact), std::move(dimensions));
+  IntegrityReport report = wh.CheckIntegrity();
+  if (!report.ok) {
+    return Status::DataLoss("built warehouse failed integrity check:\n" +
+                            report.ToString());
+  }
+  return wh;
+}
+
+}  // namespace ddgms::warehouse

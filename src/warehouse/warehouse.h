@@ -1,0 +1,149 @@
+#ifndef DDGMS_WAREHOUSE_WAREHOUSE_H_
+#define DDGMS_WAREHOUSE_WAREHOUSE_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "warehouse/schema_def.h"
+
+namespace ddgms::warehouse {
+
+/// A populated dimension table: surrogate keys 0..n-1 (the row index)
+/// plus one column per attribute. Member rows are unique attribute
+/// tuples.
+class Dimension {
+ public:
+  Dimension(DimensionDef def, Table table)
+      : def_(std::move(def)), table_(std::move(table)) {}
+
+  const DimensionDef& def() const { return def_; }
+  const std::string& name() const { return def_.name; }
+  const Table& table() const { return table_; }
+  size_t num_members() const { return table_.num_rows(); }
+
+  /// Value of `attribute` for surrogate key `key`.
+  Result<Value> AttributeValue(int64_t key,
+                               const std::string& attribute) const;
+
+  /// True if `attribute` exists in this dimension.
+  bool HasAttribute(const std::string& attribute) const;
+
+  /// The hierarchy containing `attribute`, if any (first match).
+  const Hierarchy* HierarchyOf(const std::string& attribute) const;
+
+  /// The next-finer / next-coarser level relative to `attribute` inside
+  /// its hierarchy; NotFound when at the end or not in a hierarchy.
+  Result<std::string> FinerLevel(const std::string& attribute) const;
+  Result<std::string> CoarserLevel(const std::string& attribute) const;
+
+  /// Appends a derived attribute computed from existing member
+  /// attributes (used for knowledge-base feedback attributes).
+  Status AddDerivedAttribute(
+      const std::string& attribute, DataType type,
+      const std::function<Value(const Dimension&, int64_t key)>& fn);
+
+ private:
+  friend class StarSchemaBuilder;
+  friend class Warehouse;  // incremental AppendRows extends members
+
+  DimensionDef def_;
+  Table table_;
+};
+
+/// Key-integrity summary produced by CheckIntegrity().
+struct IntegrityReport {
+  bool ok = true;
+  size_t fact_rows = 0;
+  std::vector<std::string> violations;
+
+  std::string ToString() const;
+};
+
+/// A populated star schema: the fact table (one foreign-key column
+/// "<Dimension>_key" per dimension, plus measures and the optional
+/// degenerate key) and its dimension tables. This is the intermediary
+/// layer of the DD-DGMS — every downstream feature (OLAP, prediction,
+/// analytics, optimisation) reads from here.
+class Warehouse {
+ public:
+  Warehouse(StarSchemaDef def, Table fact, std::vector<Dimension> dims)
+      : def_(std::move(def)),
+        fact_(std::move(fact)),
+        dimensions_(std::move(dims)) {}
+
+  const StarSchemaDef& def() const { return def_; }
+  const Table& fact() const { return fact_; }
+  size_t num_fact_rows() const { return fact_.num_rows(); }
+  const std::vector<Dimension>& dimensions() const { return dimensions_; }
+
+  /// Dimension lookup by name.
+  Result<const Dimension*> dimension(const std::string& name) const;
+  Result<Dimension*> mutable_dimension(const std::string& name);
+
+  /// Name of the fact foreign-key column for a dimension.
+  static std::string KeyColumnName(const std::string& dimension_name) {
+    return dimension_name + "_key";
+  }
+
+  /// Surrogate key of `dimension_name` for fact row `fact_row`.
+  Result<int64_t> FactKey(size_t fact_row,
+                          const std::string& dimension_name) const;
+
+  /// Finds which dimension owns `attribute`; error if none or ambiguous
+  /// hits are resolved to the first declaring dimension.
+  Result<const Dimension*> DimensionOfAttribute(
+      const std::string& attribute) const;
+
+  /// Materializes fact rows joined with the given dimension attributes
+  /// (plus all measures). Used to hand cube subsets to the mining layer.
+  Result<Table> JoinedView(const std::vector<std::string>& attributes) const;
+
+  /// Registers a feedback dimension (paper: "further dimensions are
+  /// introduced to capture user feedback"): `labeler` assigns each fact
+  /// row a label; distinct labels become dimension members and the fact
+  /// table gains the corresponding key column.
+  Status AddFeedbackDimension(
+      const std::string& dimension_name, const std::string& attribute,
+      const std::function<Value(const Warehouse&, size_t fact_row)>&
+          labeler);
+
+  /// Incremental load: appends transformed source rows to the fact
+  /// table, reusing existing dimension members and appending new ones
+  /// (avoids the full rebuild of StarSchemaBuilder on data
+  /// acquisition). The source must carry every column the schema
+  /// definition references. Derived/feedback attributes added after the
+  /// original build are not supported here (AlreadyExists-style schema
+  /// drift surfaces as an error from the tuple lookup).
+  Status AppendRows(const Table& source);
+
+  /// Verifies foreign keys are in range and hierarchies are functional
+  /// (each fine member maps to exactly one coarse member).
+  IntegrityReport CheckIntegrity() const;
+
+ private:
+  StarSchemaDef def_;
+  Table fact_;
+  std::vector<Dimension> dimensions_;
+};
+
+/// Populates a Warehouse from a transformed source extract. Each source
+/// row becomes one fact row; each dimension's attribute tuple is
+/// deduplicated into the dimension table.
+class StarSchemaBuilder {
+ public:
+  explicit StarSchemaBuilder(StarSchemaDef def) : def_(std::move(def)) {}
+
+  /// Builds and integrity-checks the warehouse.
+  Result<Warehouse> Build(const Table& source) const;
+
+ private:
+  StarSchemaDef def_;
+};
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_WAREHOUSE_H_

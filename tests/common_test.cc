@@ -1,0 +1,354 @@
+// Unit tests for src/common: Status, Result, strings, CSV, Date, Rng.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/csv.h"
+#include "common/date.h"
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "common/strings.h"
+
+namespace ddgms {
+namespace {
+
+// ---------------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad");
+  EXPECT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsInvalidArgument());
+  EXPECT_EQ(s.message(), "bad");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad");
+
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::OutOfRange("x").IsOutOfRange());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+  EXPECT_TRUE(Status::ParseError("x").IsParseError());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::Unimplemented("x").IsUnimplemented());
+  EXPECT_TRUE(Status::Internal("x").IsInternal());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+Status HelperReturnIfError(bool fail) {
+  DDGMS_RETURN_IF_ERROR(fail ? Status::Internal("inner") : Status::OK());
+  return Status::OK();
+}
+
+TEST(StatusTest, ReturnIfErrorMacroPropagates) {
+  EXPECT_TRUE(HelperReturnIfError(false).ok());
+  EXPECT_TRUE(HelperReturnIfError(true).IsInternal());
+}
+
+// ---------------------------------------------------------------- Result
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(-1), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsNotFound());
+  EXPECT_EQ(r.value_or(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesInternalError) {
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_TRUE(r.status().IsInternal());
+}
+
+Result<int> HelperAssignOrReturn(Result<int> input) {
+  DDGMS_ASSIGN_OR_RETURN(int v, input);
+  return v + 1;
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  EXPECT_EQ(*HelperAssignOrReturn(1), 2);
+  EXPECT_TRUE(HelperAssignOrReturn(Status::ParseError("x"))
+                  .status()
+                  .IsParseError());
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("hello");
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// --------------------------------------------------------------- strings
+
+TEST(StringsTest, SplitBasic) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(StringsTest, SplitAndTrim) {
+  EXPECT_EQ(SplitAndTrim(" a ;  b;c ", ';'),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringsTest, Trim) {
+  EXPECT_EQ(Trim("  x  "), "x");
+  EXPECT_EQ(Trim("\t\nx\r "), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+}
+
+TEST(StringsTest, Join) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, CaseConversion) {
+  EXPECT_EQ(ToLower("AbC"), "abc");
+  EXPECT_EQ(ToUpper("AbC"), "ABC");
+  EXPECT_TRUE(EqualsIgnoreCase("Select", "SELECT"));
+  EXPECT_FALSE(EqualsIgnoreCase("Select", "Selects"));
+}
+
+TEST(StringsTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("warehouse", "ware"));
+  EXPECT_FALSE(StartsWith("ware", "warehouse"));
+  EXPECT_TRUE(EndsWith("warehouse", "house"));
+  EXPECT_FALSE(EndsWith("house", "warehouse"));
+}
+
+TEST(StringsTest, ParseDoubleStrict) {
+  EXPECT_DOUBLE_EQ(*ParseDouble("3.25"), 3.25);
+  EXPECT_DOUBLE_EQ(*ParseDouble(" -4e2 "), -400.0);
+  EXPECT_TRUE(ParseDouble("3.25x").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("").status().IsParseError());
+  EXPECT_TRUE(ParseDouble("nanx").status().IsParseError());
+}
+
+TEST(StringsTest, ParseInt64Strict) {
+  EXPECT_EQ(*ParseInt64("123"), 123);
+  EXPECT_EQ(*ParseInt64("-5"), -5);
+  EXPECT_TRUE(ParseInt64("12.5").status().IsParseError());
+  EXPECT_TRUE(ParseInt64("99999999999999999999").status().IsParseError());
+}
+
+TEST(StringsTest, ParseBool) {
+  EXPECT_TRUE(*ParseBool("true"));
+  EXPECT_TRUE(*ParseBool("YES"));
+  EXPECT_FALSE(*ParseBool("0"));
+  EXPECT_TRUE(ParseBool("maybe").status().IsParseError());
+}
+
+TEST(StringsTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(2.0), "2");
+  EXPECT_EQ(FormatDouble(2.5), "2.5");
+  EXPECT_EQ(FormatDouble(2.50000001, 4), "2.5");
+  EXPECT_EQ(FormatDouble(-0.25), "-0.25");
+}
+
+TEST(StringsTest, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s", 3, "x"), "3-x");
+  EXPECT_EQ(StrFormat("%.2f", 1.2345), "1.23");
+}
+
+// ------------------------------------------------------------------- CSV
+
+TEST(CsvTest, ParseSimpleLine) {
+  auto fields = ParseCsvLine("a,b,c");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvTest, ParseQuotedFields) {
+  auto fields = ParseCsvLine(R"("a,b",c,"say ""hi""")");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields,
+            (std::vector<std::string>{"a,b", "c", "say \"hi\""}));
+}
+
+TEST(CsvTest, UnterminatedQuoteIsError) {
+  EXPECT_TRUE(ParseCsvLine("\"abc").status().IsParseError());
+}
+
+TEST(CsvTest, ParseDocumentWithCrlfAndEmbeddedNewline) {
+  auto rows = ParseCsv("a,b\r\n\"x\ny\",z\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1][0], "x\ny");
+}
+
+TEST(CsvTest, FormatRoundTrip) {
+  std::vector<std::string> fields = {"plain", "with,comma", "with\"quote",
+                                     "multi\nline"};
+  std::string line = FormatCsvLine(fields);
+  auto rows = ParseCsv(line);
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0], fields);
+}
+
+TEST(CsvTest, ReadMissingFileIsNotFound) {
+  EXPECT_TRUE(ReadFile("/nonexistent/zzz.csv").status().IsNotFound());
+}
+
+TEST(CsvTest, WriteAndReadFile) {
+  std::string path = testing::TempDir() + "/ddgms_csv_test.csv";
+  ASSERT_TRUE(WriteFile(path, "x,y\n1,2\n").ok());
+  auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_EQ(*text, "x,y\n1,2\n");
+}
+
+// ------------------------------------------------------------------ Date
+
+TEST(DateTest, EpochIsZero) {
+  Date d = Date::FromYmd(1970, 1, 1).value();
+  EXPECT_EQ(d.days_since_epoch(), 0);
+}
+
+TEST(DateTest, RoundTripYmd) {
+  Date d = Date::FromYmd(2013, 4, 8).value();
+  EXPECT_EQ(d.year(), 2013);
+  EXPECT_EQ(d.month(), 4);
+  EXPECT_EQ(d.day(), 8);
+  EXPECT_EQ(d.ToString(), "2013-04-08");
+}
+
+TEST(DateTest, ValidatesMonthAndDay) {
+  EXPECT_TRUE(Date::FromYmd(2013, 13, 1).status().IsInvalidArgument());
+  EXPECT_TRUE(Date::FromYmd(2013, 2, 29).status().IsInvalidArgument());
+  EXPECT_TRUE(Date::FromYmd(2012, 2, 29).ok());  // leap year
+}
+
+TEST(DateTest, ParseString) {
+  auto d = Date::FromString("1999-12-31");
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->year(), 1999);
+  EXPECT_TRUE(Date::FromString("31/12/1999").status().IsParseError());
+  EXPECT_TRUE(Date::FromString("1999-12-31x").status().IsParseError());
+}
+
+TEST(DateTest, ArithmeticAndComparison) {
+  Date a = Date::FromYmd(2010, 1, 1).value();
+  Date b = a.AddDays(365);
+  EXPECT_EQ(b.ToString(), "2011-01-01");
+  EXPECT_EQ(b.DaysSince(a), 365);
+  EXPECT_NEAR(b.YearsSince(a), 1.0, 0.01);
+  EXPECT_LT(a, b);
+  EXPECT_GE(b, a);
+}
+
+// ------------------------------------------------------------------- Rng
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRangeInclusive) {
+  Rng rng(11);
+  std::set<int64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(3, 7);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 7);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    double v = rng.NextGaussian();
+    sum += v;
+    sum_sq += v * v;
+  }
+  double mean = sum / n;
+  double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(RngTest, BernoulliRate) {
+  Rng rng(17);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {1.0, 3.0};
+  int ones = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.Categorical(weights) == 1) ++ones;
+  }
+  EXPECT_NEAR(static_cast<double>(ones) / n, 0.75, 0.01);
+}
+
+TEST(RngTest, ShufflePermutes) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::multiset<int> a(v.begin(), v.end());
+  std::multiset<int> b(orig.begin(), orig.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace ddgms

@@ -1,0 +1,192 @@
+// Tests for the DD-DGMS facade and the no-warehouse baseline, including
+// cell-for-cell equivalence of the two execution paths.
+
+#include <gtest/gtest.h>
+
+#include "core/baseline.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+
+namespace ddgms::core {
+namespace {
+
+class DdDgmsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    discri::CohortOptions opt;
+    opt.num_patients = 200;
+    opt.seed = 99;
+    auto raw = discri::GenerateCohort(opt);
+    ASSERT_TRUE(raw.ok());
+    auto dgms = DdDgms::Build(std::move(raw).value(),
+                              discri::MakeDiscriPipeline(),
+                              discri::MakeDiscriSchemaDef());
+    ASSERT_TRUE(dgms.ok()) << dgms.status().ToString();
+    dgms_ = new DdDgms(std::move(dgms).value());
+  }
+  static void TearDownTestSuite() {
+    delete dgms_;
+    dgms_ = nullptr;
+  }
+  static DdDgms* dgms_;
+};
+
+DdDgms* DdDgmsTest::dgms_ = nullptr;
+
+TEST_F(DdDgmsTest, BuildPopulatesEverything) {
+  EXPECT_GT(dgms_->transformed().num_rows(), 0u);
+  EXPECT_TRUE(dgms_->transformed().schema().HasField("FBGBand"));
+  EXPECT_EQ(dgms_->warehouse().dimensions().size(), 8u);
+  EXPECT_EQ(dgms_->transform_report().cardinality.num_entities, 200u);
+}
+
+TEST_F(DdDgmsTest, QueryAndMdxAgree) {
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "Gender", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+  auto mdx = dgms_->QueryMdx(
+      "SELECT [PersonalInformation].[Gender].Members ON ROWS "
+      "FROM [MedicalMeasures]");
+  ASSERT_TRUE(mdx.ok());
+  for (const Value& member : cube->AxisMembers(0)) {
+    EXPECT_EQ(cube->CellValue({member}),
+              mdx->cube.CellValue({member}));
+  }
+}
+
+TEST_F(DdDgmsTest, IsolateSubsetForMining) {
+  auto view = dgms_->IsolateSubset({"FBGBand", "DiabetesStatus"});
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->num_rows(), dgms_->warehouse().num_fact_rows());
+  EXPECT_TRUE(view->schema().HasField("FBGBand"));
+  EXPECT_TRUE(view->schema().HasField("FBG"));  // measures included
+}
+
+TEST_F(DdDgmsTest, KnowledgeBaseRoundTrip) {
+  int64_t id =
+      dgms_->knowledge_base().RecordEvidence("test finding", "olap", 0.5);
+  EXPECT_TRUE(dgms_->knowledge_base().Get(id).ok());
+}
+
+TEST(DdDgmsLifecycleTest, FeedbackDimensionQueryable) {
+  discri::CohortOptions opt;
+  opt.num_patients = 80;
+  opt.seed = 5;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  auto dgms = DdDgms::Build(std::move(raw).value(),
+                            discri::MakeDiscriPipeline(),
+                            discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+  // Accepted finding becomes a feedback dimension: high-FBG flag.
+  ASSERT_TRUE(dgms->AddFeedbackDimension(
+                      "GlucoseRisk", "Flag",
+                      [](const warehouse::Warehouse& wh, size_t row) {
+                        auto v = wh.fact().GetCell(row, "FBG");
+                        double fbg = v.ok() && !(*v).is_null()
+                                         ? (*v).AsDouble().value_or(0)
+                                         : 0.0;
+                        return Value::Str(fbg >= 7.0 ? "high" : "normal");
+                      })
+                  .ok());
+  olap::CubeQuery q;
+  q.axes = {{"GlucoseRisk", "Flag", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms->Query(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->num_cells(), 2u);
+}
+
+TEST(DdDgmsLifecycleTest, AcquireDataGrowsWarehouse) {
+  discri::CohortOptions opt;
+  opt.num_patients = 60;
+  opt.seed = 6;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  size_t first_batch = raw->num_rows();
+  auto dgms = DdDgms::Build(std::move(raw).value(),
+                            discri::MakeDiscriPipeline(),
+                            discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+  EXPECT_EQ(dgms->warehouse().num_fact_rows(), first_batch);
+
+  discri::CohortOptions opt2;
+  opt2.num_patients = 40;
+  opt2.seed = 7;
+  auto more = discri::GenerateCohort(opt2);
+  ASSERT_TRUE(more.ok());
+  size_t second_batch = more->num_rows();
+  ASSERT_TRUE(dgms->AcquireData(*more).ok());
+  EXPECT_EQ(dgms->warehouse().num_fact_rows(),
+            first_batch + second_batch);
+}
+
+// ----------------------------------------------------- baseline parity
+
+TEST_F(DdDgmsTest, BaselineMatchesWarehouseCellForCell) {
+  // The same multivariate query through both architectures must produce
+  // identical aggregates (bench A1 compares their latency; this test
+  // pins their semantics together).
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "AgeBand", {}},
+            {"PersonalInformation", "Gender", {}}};
+  q.slicers = {{"MedicalCondition", "DiabetesStatus",
+                {Value::Str("Type2")}}};
+  q.measures = {{AggFn::kCount, "", "n"}, {AggFn::kAvg, "FBG", "avg_fbg"}};
+
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+  BaselineDgms baseline(&dgms_->transformed());
+  auto flat = baseline.Execute(q);
+  ASSERT_TRUE(flat.ok()) << flat.status().ToString();
+
+  size_t non_empty_cells = 0;
+  for (size_t i = 0; i < flat->num_rows(); ++i) {
+    Value band = *flat->GetCell(i, "AgeBand");
+    Value gender = *flat->GetCell(i, "Gender");
+    Value n = *flat->GetCell(i, "n");
+    Value avg = *flat->GetCell(i, "avg_fbg");
+    Value cube_n = cube->CellValue({band, gender}, 0);
+    Value cube_avg = cube->CellValue({band, gender}, 1);
+    EXPECT_EQ(n, cube_n) << band.ToString() << "/" << gender.ToString();
+    if (!avg.is_null() && !cube_avg.is_null()) {
+      EXPECT_NEAR(avg.double_value(), cube_avg.double_value(), 1e-9);
+    } else {
+      EXPECT_EQ(avg.is_null(), cube_avg.is_null());
+    }
+    ++non_empty_cells;
+  }
+  EXPECT_EQ(non_empty_cells, cube->num_cells());
+}
+
+TEST_F(DdDgmsTest, BaselineHandlesAxisRestrictions) {
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation",
+             "AgeBand5",
+             {Value::Str("70-75"), Value::Str("75-80")}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+  BaselineDgms baseline(&dgms_->transformed());
+  auto flat = baseline.Execute(q);
+  ASSERT_TRUE(flat.ok());
+  int64_t flat_total = 0;
+  for (size_t i = 0; i < flat->num_rows(); ++i) {
+    flat_total += (*flat->GetCell(i, "n")).int_value();
+  }
+  EXPECT_EQ(flat_total,
+            static_cast<int64_t>(cube->facts_aggregated()));
+}
+
+TEST(BaselineTest, Validation) {
+  BaselineDgms baseline(nullptr);
+  olap::CubeQuery q;
+  q.measures = {{AggFn::kCount, "", "n"}};
+  EXPECT_TRUE(baseline.Execute(q).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ddgms::core

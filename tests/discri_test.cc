@@ -1,0 +1,331 @@
+// Tests for the DiScRi substitution layer: clinical schemes (paper
+// Table I), the synthetic cohort generator's published statistical
+// shapes, and the Fig 3 dimensional model.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "discri/schemes.h"
+
+namespace ddgms::discri {
+namespace {
+
+// ----------------------------------------------------- clinical schemes
+
+TEST(SchemesTest, TableOneMatchesPaper) {
+  auto entries = TableOneSchemes();
+  ASSERT_EQ(entries.size(), 4u);
+  EXPECT_EQ(entries[0].attribute, "Age");
+  EXPECT_EQ(entries[1].attribute, "DiagnosticHTYears");
+  EXPECT_EQ(entries[2].attribute, "FBG");
+  EXPECT_EQ(entries[3].attribute, "LyingDBPAverage");
+
+  // Age: <40, 40-60, 60-80, >80.
+  EXPECT_EQ(entries[0].scheme.LabelFor(39), "<40");
+  EXPECT_EQ(entries[0].scheme.LabelFor(40), "40-60");
+  EXPECT_EQ(entries[0].scheme.LabelFor(79.9), "60-80");
+  EXPECT_EQ(entries[0].scheme.LabelFor(81), ">80");
+
+  // Diagnostic HT years: <2, 2-5, 5-10, 10-20, >20.
+  EXPECT_EQ(entries[1].scheme.num_bins(), 5u);
+  EXPECT_EQ(entries[1].scheme.LabelFor(1.0), "<2");
+  EXPECT_EQ(entries[1].scheme.LabelFor(7.0), "5-10");
+  EXPECT_EQ(entries[1].scheme.LabelFor(25.0), ">20");
+
+  // FBG: <5.5 very good, 5.5-6.1 high, 6.1-7 preDiabetic, >=7 Diabetic.
+  EXPECT_EQ(entries[2].scheme.LabelFor(5.4), "very good");
+  EXPECT_EQ(entries[2].scheme.LabelFor(5.8), "high");
+  EXPECT_EQ(entries[2].scheme.LabelFor(6.5), "preDiabetic");
+  EXPECT_EQ(entries[2].scheme.LabelFor(7.0), "Diabetic");
+
+  // Lying DBP: <60 low, 60-80 normal, 80-90 high normal, >90 HT.
+  EXPECT_EQ(entries[3].scheme.LabelFor(55), "low");
+  EXPECT_EQ(entries[3].scheme.LabelFor(75), "normal");
+  EXPECT_EQ(entries[3].scheme.LabelFor(85), "high normal");
+  EXPECT_EQ(entries[3].scheme.LabelFor(95), "hypertension");
+}
+
+TEST(SchemesTest, AgeBandHierarchyNests) {
+  // Every 5-year band must map into exactly one 10-year band.
+  auto b5 = AgeBand5Scheme();
+  auto b10 = AgeBand10Scheme();
+  std::map<std::string, std::set<std::string>> mapping;
+  for (int age = 30; age <= 100; ++age) {
+    mapping[b5.LabelFor(age)].insert(b10.LabelFor(age));
+  }
+  for (const auto& [fine, coarse_set] : mapping) {
+    EXPECT_EQ(coarse_set.size(), 1u) << "band " << fine;
+  }
+}
+
+TEST(SchemesTest, AuxiliarySchemesCoverClinicalRanges) {
+  EXPECT_EQ(BmiScheme().LabelFor(31), "obese");
+  EXPECT_EQ(SystolicBpScheme().LabelFor(118), "normal");
+  EXPECT_EQ(EgfrScheme().LabelFor(95), "normal");
+  EXPECT_EQ(CholesterolScheme().LabelFor(7.0), "very high");
+  EXPECT_EQ(Hba1cScheme().LabelFor(7.0), "Diabetic");
+  EXPECT_EQ(HeartRateScheme().LabelFor(72), "normal");
+  EXPECT_EQ(QtcScheme().LabelFor(460), "prolonged");
+}
+
+// ----------------------------------------------------- prevalence model
+
+TEST(PrevalenceTest, RisesWithAge) {
+  EXPECT_LT(DiabetesPrevalence(40, "M"), DiabetesPrevalence(60, "M"));
+  EXPECT_LT(DiabetesPrevalence(60, "M"), DiabetesPrevalence(72, "M"));
+}
+
+TEST(PrevalenceTest, Fig5GenderCrossover) {
+  // Males dominate 70-75.
+  EXPECT_GT(DiabetesPrevalence(72, "M"), DiabetesPrevalence(72, "F"));
+  // Females peak in 75-78.
+  EXPECT_GT(DiabetesPrevalence(76, "F"), DiabetesPrevalence(76, "M"));
+  // Female prevalence drops substantially past 78.
+  EXPECT_GT(DiabetesPrevalence(77, "F"),
+            DiabetesPrevalence(83, "F") + 0.1);
+}
+
+TEST(PrevalenceTest, Fig6DurationDipAt70s) {
+  // Weight of the 5-10y bucket dips for 70-80 year olds.
+  std::vector<double> w60 = HtDurationWeights(65);
+  std::vector<double> w70 = HtDurationWeights(74);
+  std::vector<double> w80 = HtDurationWeights(82);
+  ASSERT_EQ(w70.size(), 5u);
+  EXPECT_LT(w70[2], w60[2] / 2.0);
+  EXPECT_LT(w70[2], w80[2] / 2.0);
+}
+
+// -------------------------------------------------------- cohort shapes
+
+class CohortTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    CohortOptions opt;
+    opt.num_patients = 900;
+    auto table = GenerateCohort(opt);
+    ASSERT_TRUE(table.ok());
+    cohort_ = new Table(std::move(table).value());
+  }
+  static void TearDownTestSuite() {
+    delete cohort_;
+    cohort_ = nullptr;
+  }
+  static Table* cohort_;
+};
+
+Table* CohortTest::cohort_ = nullptr;
+
+TEST_F(CohortTest, ScaleMatchesPaper) {
+  // ~900 patients, ~2500 attendances (paper: "over 2500 attendances of
+  // nearly 900 patients").
+  const ColumnVector* patient = *cohort_->ColumnByName("PatientId");
+  EXPECT_EQ(patient->DistinctValues().size(), 900u);
+  EXPECT_GT(cohort_->num_rows(), 2100u);
+  EXPECT_LT(cohort_->num_rows(), 3100u);
+  EXPECT_GE(cohort_->num_columns(), 50u);
+}
+
+TEST_F(CohortTest, DeterministicForSeed) {
+  CohortOptions opt;
+  opt.num_patients = 30;
+  auto a = GenerateCohort(opt);
+  auto b = GenerateCohort(opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->ToCsv(), b->ToCsv());
+  opt.seed = 999;
+  auto c = GenerateCohort(opt);
+  EXPECT_NE(a->ToCsv(), c->ToCsv());
+}
+
+TEST_F(CohortTest, DiabetesConsistentWithFbg) {
+  // Diabetic attendances should mostly carry diabetic-range FBG.
+  const ColumnVector* status = *cohort_->ColumnByName("DiabetesStatus");
+  const ColumnVector* fbg = *cohort_->ColumnByName("FBG");
+  size_t diabetic = 0, diabetic_high_fbg = 0;
+  for (size_t i = 0; i < cohort_->num_rows(); ++i) {
+    if (status->StringAt(i) != "Type2" || fbg->IsNull(i)) continue;
+    double v = fbg->DoubleAt(i);
+    if (v > 40) continue;  // injected entry error
+    ++diabetic;
+    if (v >= 7.0) ++diabetic_high_fbg;
+  }
+  ASSERT_GT(diabetic, 100u);
+  EXPECT_GT(static_cast<double>(diabetic_high_fbg) /
+                static_cast<double>(diabetic),
+            0.75);
+}
+
+TEST_F(CohortTest, Fig5ShapeInRawCounts) {
+  // Count first-visit diabetics by gender in the 70-75 and 75-80 bands.
+  const ColumnVector* status = *cohort_->ColumnByName("DiabetesStatus");
+  const ColumnVector* gender = *cohort_->ColumnByName("Gender");
+  const ColumnVector* age = *cohort_->ColumnByName("Age");
+  std::map<std::pair<std::string, std::string>, size_t> counts;
+  for (size_t i = 0; i < cohort_->num_rows(); ++i) {
+    if (status->StringAt(i) != "Type2") continue;
+    int a = static_cast<int>(age->IntAt(i));
+    std::string band = a >= 70 && a < 75   ? "70-75"
+                       : a >= 75 && a < 80 ? "75-80"
+                       : a >= 80           ? "80+"
+                                           : "other";
+    counts[{band, gender->StringAt(i)}]++;
+  }
+  // Males dominate 70-75; females dominate 75-80 (paper Fig 5).
+  size_t m_70_75 = counts[{"70-75", "M"}];
+  size_t f_70_75 = counts[{"70-75", "F"}];
+  size_t m_75_80 = counts[{"75-80", "M"}];
+  size_t f_75_80 = counts[{"75-80", "F"}];
+  size_t f_80_plus = counts[{"80+", "F"}];
+  EXPECT_GT(m_70_75, f_70_75);
+  EXPECT_GT(f_75_80, m_75_80);
+  // Female diabetic counts collapse past 80 relative to their 75-80
+  // peak.
+  EXPECT_LT(f_80_plus, f_75_80);
+}
+
+TEST_F(CohortTest, Fig6DipVisibleInData) {
+  const ColumnVector* ht = *cohort_->ColumnByName("HypertensionStatus");
+  const ColumnVector* years = *cohort_->ColumnByName("DiagnosticHTYears");
+  const ColumnVector* age = *cohort_->ColumnByName("Age");
+  auto scheme = DiagnosticHtYearsScheme();
+  std::map<std::string, size_t> bands_70s;
+  size_t total_70s = 0;
+  for (size_t i = 0; i < cohort_->num_rows(); ++i) {
+    if (ht->StringAt(i) != "Yes" || years->IsNull(i)) continue;
+    int a = static_cast<int>(age->IntAt(i));
+    if (a < 70 || a >= 80) continue;
+    bands_70s[scheme.LabelFor(years->DoubleAt(i))]++;
+    ++total_70s;
+  }
+  ASSERT_GT(total_70s, 50u);
+  double frac_5_10 = static_cast<double>(bands_70s["5-10"]) /
+                     static_cast<double>(total_70s);
+  // The generator's target weight is 0.07 against ~0.25 elsewhere.
+  EXPECT_LT(frac_5_10, 0.15);
+}
+
+TEST_F(CohortTest, HandgripMissingnessGrowsWithAge) {
+  const ColumnVector* handgrip = *cohort_->ColumnByName("EwingHandGrip");
+  const ColumnVector* age = *cohort_->ColumnByName("Age");
+  size_t young = 0, young_missing = 0, old = 0, old_missing = 0;
+  for (size_t i = 0; i < cohort_->num_rows(); ++i) {
+    int a = static_cast<int>(age->IntAt(i));
+    if (a < 60) {
+      ++young;
+      if (handgrip->IsNull(i)) ++young_missing;
+    } else if (a >= 75) {
+      ++old;
+      if (handgrip->IsNull(i)) ++old_missing;
+    }
+  }
+  ASSERT_GT(young, 50u);
+  ASSERT_GT(old, 50u);
+  double young_rate = static_cast<double>(young_missing) / young;
+  double old_rate = static_cast<double>(old_missing) / old;
+  EXPECT_GT(old_rate, young_rate + 0.15);
+}
+
+TEST_F(CohortTest, InjectedErrorsPresent) {
+  // A few implausible SBP entries (999) must exist for the cleaner.
+  const ColumnVector* sbp = *cohort_->ColumnByName("LyingSBPAverage");
+  size_t errors = 0;
+  for (size_t i = 0; i < sbp->size(); ++i) {
+    if (!sbp->IsNull(i) && sbp->DoubleAt(i) > 500) ++errors;
+  }
+  EXPECT_GT(errors, 0u);
+  EXPECT_LT(errors, cohort_->num_rows() / 50);
+}
+
+TEST_F(CohortTest, BiomarkersHaveMissingness) {
+  const ColumnVector* crp = *cohort_->ColumnByName("CRP");
+  double rate = static_cast<double>(crp->null_count()) /
+                static_cast<double>(crp->size());
+  EXPECT_GT(rate, 0.05);
+  EXPECT_LT(rate, 0.2);
+}
+
+TEST_F(CohortTest, RepeatVisitsOrderedDates) {
+  // Visit dates strictly increase within a patient.
+  const ColumnVector* patient = *cohort_->ColumnByName("PatientId");
+  const ColumnVector* date = *cohort_->ColumnByName("VisitDate");
+  std::map<std::string, int32_t> last;
+  size_t repeat_rows = 0;
+  for (size_t i = 0; i < cohort_->num_rows(); ++i) {
+    const std::string& p = patient->StringAt(i);
+    int32_t d = date->DateAt(i).days_since_epoch();
+    auto it = last.find(p);
+    if (it != last.end()) {
+      ++repeat_rows;
+      EXPECT_GT(d, it->second) << "patient " << p;
+      it->second = d;
+    } else {
+      last[p] = d;
+    }
+  }
+  EXPECT_GT(repeat_rows, 800u);  // plenty of longitudinal structure
+}
+
+TEST(CohortOptionsTest, ZeroPatientsRejected) {
+  CohortOptions opt;
+  opt.num_patients = 0;
+  EXPECT_FALSE(GenerateCohort(opt).ok());
+}
+
+TEST(SampleDataTest, CommittedSampleLoadsAndBuilds) {
+  // data/discri_sample.csv is the checked-in miniature extract used by
+  // documentation; it must stay loadable end to end.
+  Result<Table> raw = Status::NotFound("unset");
+  for (const char* path :
+       {"data/discri_sample.csv", "../data/discri_sample.csv",
+        "../../data/discri_sample.csv", "/root/repo/data/discri_sample.csv"}) {
+    raw = Table::FromCsvFile(path);
+    if (raw.ok()) break;
+  }
+  if (!raw.ok()) {
+    GTEST_SKIP() << "sample data not found relative to test cwd";
+  }
+  EXPECT_GT(raw->num_rows(), 100u);
+  EXPECT_EQ(raw->num_columns(), 51u);
+  auto wh = BuildDiscriWarehouse(&*raw);
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  EXPECT_TRUE(wh->CheckIntegrity().ok);
+}
+
+// -------------------------------------------------------- Fig 3 model
+
+TEST(DiscriModelTest, BuildsFig3Warehouse) {
+  CohortOptions opt;
+  opt.num_patients = 150;
+  auto raw = GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  etl::TransformReport report;
+  auto wh = BuildDiscriWarehouse(&*raw, &report);
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+
+  // Fig 3: eight dimensions around the MedicalMeasures fact.
+  EXPECT_EQ(wh->def().fact_name, "MedicalMeasures");
+  ASSERT_EQ(wh->dimensions().size(), 8u);
+  const char* expected[] = {"PersonalInformation", "MedicalCondition",
+                            "FastingBloods",       "LimbHealth",
+                            "ExerciseRoutine",     "BloodPressure",
+                            "ECG",                 "Cardinality"};
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(wh->dimensions()[i].name(), expected[i]);
+  }
+  EXPECT_EQ(wh->num_fact_rows(), raw->num_rows());
+  EXPECT_TRUE(wh->CheckIntegrity().ok);
+  EXPECT_GT(report.cleaning.cells_nulled, 0u);
+  EXPECT_EQ(report.cardinality.num_entities, 150u);
+
+  // The age-band hierarchy is navigable.
+  const auto* person = *wh->dimension("PersonalInformation");
+  EXPECT_EQ(*person->FinerLevel("AgeBand10"), "AgeBand5");
+}
+
+}  // namespace
+}  // namespace ddgms::discri

@@ -1,0 +1,565 @@
+// Unit + property tests for the ETL layer: discretisation, cleaning,
+// temporal abstraction, cardinality, pipeline.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "etl/cardinality.h"
+#include "etl/cleaner.h"
+#include "etl/discretize.h"
+#include "etl/pipeline.h"
+#include "etl/temporal.h"
+#include "table/table.h"
+
+namespace ddgms::etl {
+namespace {
+
+// ---------------------------------------------------- DiscretisationScheme
+
+TEST(SchemeTest, PaperFbgSchemeSemantics) {
+  auto scheme = DiscretisationScheme::Make(
+      "FBG", {5.5, 6.1, 7.0},
+      {"very good", "high", "preDiabetic", "Diabetic"});
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->num_bins(), 4u);
+  EXPECT_EQ(scheme->LabelFor(4.9), "very good");
+  EXPECT_EQ(scheme->LabelFor(5.5), "high");       // boundary inclusive right
+  EXPECT_EQ(scheme->LabelFor(6.0999), "high");
+  EXPECT_EQ(scheme->LabelFor(6.1), "preDiabetic");
+  EXPECT_EQ(scheme->LabelFor(6.99), "preDiabetic");
+  EXPECT_EQ(scheme->LabelFor(7.0), "Diabetic");   // ">=7 Diabetic"
+  EXPECT_EQ(scheme->LabelFor(15.0), "Diabetic");
+}
+
+TEST(SchemeTest, RejectsBadInput) {
+  EXPECT_TRUE(DiscretisationScheme::Make("x", {2, 2}, {"a", "b", "c"})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(DiscretisationScheme::Make("x", {1, 2}, {"a", "b"})
+                  .status()
+                  .IsInvalidArgument());
+}
+
+TEST(SchemeTest, AutoLabels) {
+  auto scheme = DiscretisationScheme::MakeAutoLabeled("x", {10, 20});
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_EQ(scheme->labels(),
+            (std::vector<std::string>{"<10", "10-20", ">=20"}));
+  auto no_cuts = DiscretisationScheme::MakeAutoLabeled("x", {});
+  ASSERT_TRUE(no_cuts.ok());
+  EXPECT_EQ(no_cuts->num_bins(), 1u);
+  EXPECT_EQ(no_cuts->LabelFor(123.0), "all");
+}
+
+// Property: BinIndex is monotone and hits every bin.
+TEST(SchemeTest, BinIndexMonotone) {
+  auto scheme =
+      DiscretisationScheme::MakeAutoLabeled("x", {1, 2, 3, 5, 8, 13});
+  ASSERT_TRUE(scheme.ok());
+  size_t prev = 0;
+  for (double v = -2.0; v < 16.0; v += 0.01) {
+    size_t b = scheme->BinIndex(v);
+    EXPECT_GE(b, prev);
+    prev = b;
+  }
+  EXPECT_EQ(prev, scheme->num_bins() - 1);
+}
+
+// ------------------------------------------------- algorithmic schemes
+
+std::vector<double> LinearData(size_t n, double lo, double hi) {
+  std::vector<double> out(n);
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = lo + (hi - lo) * static_cast<double>(i) /
+                      static_cast<double>(n - 1);
+  }
+  return out;
+}
+
+TEST(EqualWidthTest, CutsEquallySpaced) {
+  auto scheme = EqualWidthScheme("x", LinearData(101, 0, 100), 4);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_EQ(scheme->cuts().size(), 3u);
+  EXPECT_NEAR(scheme->cuts()[0], 25.0, 1e-9);
+  EXPECT_NEAR(scheme->cuts()[1], 50.0, 1e-9);
+  EXPECT_NEAR(scheme->cuts()[2], 75.0, 1e-9);
+}
+
+TEST(EqualWidthTest, Errors) {
+  EXPECT_FALSE(EqualWidthScheme("x", {}, 4).ok());
+  EXPECT_FALSE(EqualWidthScheme("x", {1, 1, 1}, 4).ok());
+  EXPECT_FALSE(EqualWidthScheme("x", {1, 2}, 1).ok());
+}
+
+TEST(EqualFrequencyTest, BalancedPopulations) {
+  // Heavily skewed data: equal-frequency adapts, equal-width does not.
+  std::vector<double> data;
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    data.push_back(std::exp(rng.Gaussian(0, 1)));
+  }
+  auto scheme = EqualFrequencyScheme("x", data, 4);
+  ASSERT_TRUE(scheme.ok());
+  auto quality = EvaluateScheme(
+      *scheme, data, std::vector<std::string>(data.size(), "c"));
+  ASSERT_TRUE(quality.ok());
+  EXPECT_GT(quality->min_bin_fraction, 0.2);  // near 0.25 ideal
+}
+
+TEST(EqualFrequencyTest, DegenerateDataFails) {
+  EXPECT_FALSE(EqualFrequencyScheme("x", {3, 3, 3, 3}, 2).ok());
+}
+
+std::pair<std::vector<double>, std::vector<std::string>>
+SeparableLabeledData(size_t n, double boundary) {
+  // Values below `boundary` are class "neg", above are "pos", with a
+  // little noise-free separation: ideal for supervised discretisers.
+  std::vector<double> data;
+  std::vector<std::string> labels;
+  Rng rng(11);
+  for (size_t i = 0; i < n; ++i) {
+    bool pos = rng.Bernoulli(0.5);
+    double v = pos ? rng.Uniform(boundary + 0.1, boundary + 5.0)
+                   : rng.Uniform(boundary - 5.0, boundary - 0.1);
+    data.push_back(v);
+    labels.push_back(pos ? "pos" : "neg");
+  }
+  return {data, labels};
+}
+
+TEST(EntropyMdlTest, FindsSeparatingBoundary) {
+  auto [data, labels] = SeparableLabeledData(400, 7.0);
+  auto scheme = EntropyMdlScheme("fbg", data, labels);
+  ASSERT_TRUE(scheme.ok());
+  ASSERT_GE(scheme->cuts().size(), 1u);
+  // Some cut must sit near the true boundary.
+  double best = 1e9;
+  for (double c : scheme->cuts()) {
+    best = std::min(best, std::fabs(c - 7.0));
+  }
+  EXPECT_LT(best, 0.5);
+  // And the resulting bands should be highly informative.
+  auto q = EvaluateScheme(*scheme, data, labels);
+  ASSERT_TRUE(q.ok());
+  EXPECT_GT(q->information_gain, 0.9);  // ~1 bit for a clean split
+}
+
+TEST(EntropyMdlTest, PureDataYieldsNoCuts) {
+  std::vector<double> data = LinearData(100, 0, 10);
+  std::vector<std::string> labels(100, "same");
+  auto scheme = EntropyMdlScheme("x", data, labels);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_TRUE(scheme->cuts().empty());
+}
+
+TEST(EntropyMdlTest, SizeMismatchIsError) {
+  EXPECT_FALSE(EntropyMdlScheme("x", {1, 2}, {"a"}).ok());
+}
+
+TEST(ChiMergeTest, FindsSeparatingBoundary) {
+  auto [data, labels] = SeparableLabeledData(400, 3.0);
+  DiscretizeOptions opt;
+  opt.max_bins = 4;
+  auto scheme = ChiMergeScheme("x", data, labels, opt);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_LE(scheme->num_bins(), 4u);
+  double best = 1e9;
+  for (double c : scheme->cuts()) {
+    best = std::min(best, std::fabs(c - 3.0));
+  }
+  EXPECT_LT(best, 0.5);
+}
+
+TEST(ChiMergeTest, RespectsMaxBins) {
+  Rng rng(3);
+  std::vector<double> data;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 500; ++i) {
+    data.push_back(rng.Uniform(0, 100));
+    labels.push_back(rng.Bernoulli(0.5) ? "a" : "b");  // no signal
+  }
+  DiscretizeOptions opt;
+  opt.max_bins = 3;
+  auto scheme = ChiMergeScheme("x", data, labels, opt);
+  ASSERT_TRUE(scheme.ok());
+  EXPECT_LE(scheme->num_bins(), 3u);
+}
+
+// Property sweep over bin counts: every algorithm produces valid,
+// monotone schemes whose bins cover all data.
+class BinCountSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BinCountSweepTest, AllAlgorithmsProduceValidSchemes) {
+  size_t bins = GetParam();
+  Rng rng(bins);
+  std::vector<double> data;
+  std::vector<std::string> labels;
+  for (int i = 0; i < 300; ++i) {
+    double v = rng.Gaussian(50, 15);
+    data.push_back(v);
+    labels.push_back(v > 55 ? "hi" : "lo");
+  }
+  DiscretizeOptions opt;
+  opt.num_bins = bins;
+  opt.max_bins = bins;
+
+  auto ew = EqualWidthScheme("x", data, bins);
+  auto ef = EqualFrequencyScheme("x", data, bins);
+  auto cm = ChiMergeScheme("x", data, labels, opt);
+  for (const auto& scheme : {ew, ef, cm}) {
+    ASSERT_TRUE(scheme.ok());
+    // Cuts strictly increasing.
+    for (size_t i = 1; i < scheme->cuts().size(); ++i) {
+      EXPECT_LT(scheme->cuts()[i - 1], scheme->cuts()[i]);
+    }
+    // Every point lands in a valid bin.
+    for (double v : data) {
+      EXPECT_LT(scheme->BinIndex(v), scheme->num_bins());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bins, BinCountSweepTest,
+                         ::testing::Values(2, 3, 4, 6, 8));
+
+TEST(ApplySchemeTest, AppendsBandColumnAndPropagatesNulls) {
+  Table t(Schema::Make({{"FBG", DataType::kDouble}}).value());
+  ASSERT_TRUE(t.AppendRow({Value::Real(5.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Real(8.0)}).ok());
+  auto scheme = DiscretisationScheme::Make(
+      "FBG", {5.5, 6.1, 7.0},
+      {"very good", "high", "preDiabetic", "Diabetic"});
+  ASSERT_TRUE(ApplyScheme(&t, "FBG", *scheme, "FBGBand").ok());
+  EXPECT_EQ(*t.GetCell(0, "FBGBand"), Value::Str("very good"));
+  EXPECT_TRUE((*t.GetCell(1, "FBGBand")).is_null());
+  EXPECT_EQ(*t.GetCell(2, "FBGBand"), Value::Str("Diabetic"));
+  // Original column retained (paper duplicates attributes).
+  EXPECT_TRUE(t.schema().HasField("FBG"));
+}
+
+TEST(ApplySchemeTest, NonNumericColumnRejected) {
+  Table t(Schema::Make({{"Name", DataType::kString}}).value());
+  ASSERT_TRUE(t.AppendRow({Value::Str("x")}).ok());
+  auto scheme = DiscretisationScheme::MakeAutoLabeled("n", {1});
+  EXPECT_TRUE(ApplyScheme(&t, "Name", *scheme, "Band")
+                  .IsInvalidArgument());
+}
+
+// ----------------------------------------------------------------- Cleaner
+
+Table MakeDirtyTable() {
+  Table t(Schema::Make({{"SBP", DataType::kDouble},
+                        {"Age", DataType::kInt64}})
+              .value());
+  EXPECT_TRUE(t.AppendRow({Value::Real(120), Value::Int(50)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Real(999), Value::Int(60)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Real(-80), Value::Int(250)}).ok());
+  EXPECT_TRUE(t.AppendRow({Value::Null(), Value::Int(70)}).ok());
+  return t;
+}
+
+TEST(CleanerTest, SetNullAction) {
+  Table t = MakeDirtyTable();
+  Cleaner cleaner;
+  cleaner.AddRangeRule({"SBP", 60, 260, ErrorAction::kSetNull});
+  auto report = cleaner.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cells_nulled, 2u);
+  EXPECT_EQ(report->errors_by_column.at("SBP"), 2u);
+  EXPECT_TRUE((*t.GetCell(1, "SBP")).is_null());
+  EXPECT_TRUE((*t.GetCell(2, "SBP")).is_null());
+  EXPECT_EQ(t.num_rows(), 4u);
+}
+
+TEST(CleanerTest, ClampAction) {
+  Table t = MakeDirtyTable();
+  Cleaner cleaner;
+  cleaner.AddRangeRule({"SBP", 60, 260, ErrorAction::kClamp});
+  auto report = cleaner.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cells_clamped, 2u);
+  EXPECT_EQ(*t.GetCell(1, "SBP"), Value::Real(260));
+  EXPECT_EQ(*t.GetCell(2, "SBP"), Value::Real(60));
+}
+
+TEST(CleanerTest, DropRowAction) {
+  Table t = MakeDirtyTable();
+  Cleaner cleaner;
+  cleaner.AddRangeRule({"Age", 0, 120, ErrorAction::kDropRow});
+  auto report = cleaner.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_dropped, 1u);
+  EXPECT_EQ(t.num_rows(), 3u);
+}
+
+TEST(CleanerTest, ImputeMeanMedianModeConstant) {
+  Table t(Schema::Make({{"x", DataType::kDouble},
+                        {"c", DataType::kString}})
+              .value());
+  ASSERT_TRUE(t.AppendRow({Value::Real(1), Value::Str("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Real(3), Value::Str("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Null()}).ok());
+  Cleaner cleaner;
+  cleaner.AddImputeRule({"x", ImputeMethod::kMean, Value()});
+  cleaner.AddImputeRule({"c", ImputeMethod::kMode, Value()});
+  auto report = cleaner.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->cells_imputed, 2u);
+  EXPECT_EQ(*t.GetCell(2, "x"), Value::Real(2.0));
+  EXPECT_EQ(*t.GetCell(2, "c"), Value::Str("a"));
+}
+
+TEST(CleanerTest, ImputeMedianEvenCount) {
+  Table t(Schema::Make({{"x", DataType::kDouble}}).value());
+  for (double v : {1.0, 2.0, 10.0, 20.0}) {
+    ASSERT_TRUE(t.AppendRow({Value::Real(v)}).ok());
+  }
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Cleaner cleaner;
+  cleaner.AddImputeRule({"x", ImputeMethod::kMedian, Value()});
+  ASSERT_TRUE(cleaner.Run(&t).ok());
+  EXPECT_EQ(*t.GetCell(4, "x"), Value::Real(6.0));
+}
+
+TEST(CleanerTest, ImputeConstant) {
+  Table t(Schema::Make({{"x", DataType::kInt64}}).value());
+  ASSERT_TRUE(t.AppendRow({Value::Null()}).ok());
+  Cleaner cleaner;
+  cleaner.AddImputeRule({"x", ImputeMethod::kConstant, Value::Int(-1)});
+  ASSERT_TRUE(cleaner.Run(&t).ok());
+  EXPECT_EQ(*t.GetCell(0, "x"), Value::Int(-1));
+}
+
+TEST(CleanerTest, DedupeByKeyColumnsKeepsFirst) {
+  Table t(Schema::Make({{"P", DataType::kString},
+                        {"D", DataType::kInt64},
+                        {"V", DataType::kDouble}})
+              .value());
+  ASSERT_TRUE(t.AppendRow({Value::Str("a"), Value::Int(1),
+                           Value::Real(1.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Str("a"), Value::Int(1),
+                           Value::Real(2.0)}).ok());  // dup key
+  ASSERT_TRUE(t.AppendRow({Value::Str("a"), Value::Int(2),
+                           Value::Real(3.0)}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Int(1),
+                           Value::Real(4.0)}).ok());  // null key: keep
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Int(1),
+                           Value::Real(5.0)}).ok());  // null key: keep
+  Cleaner cleaner;
+  cleaner.set_dedupe_keys({"P", "D"});
+  auto report = cleaner.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->duplicates_dropped, 1u);
+  EXPECT_EQ(t.num_rows(), 4u);
+  // First record for (a,1) kept.
+  EXPECT_EQ(*t.GetCell(0, "V"), Value::Real(1.0));
+  EXPECT_TRUE(
+      Cleaner().set_dedupe_keys({"Nope"}).Run(&t).status().IsNotFound());
+}
+
+TEST(CleanerTest, RuleValidation) {
+  Table t = MakeDirtyTable();
+  Cleaner bad_range;
+  bad_range.AddRangeRule({"SBP", 100, 50, ErrorAction::kSetNull});
+  EXPECT_TRUE(bad_range.Run(&t).status().IsInvalidArgument());
+
+  Cleaner unknown;
+  unknown.AddRangeRule({"Nope", 0, 1, ErrorAction::kSetNull});
+  EXPECT_TRUE(unknown.Run(&t).status().IsNotFound());
+}
+
+// ------------------------------------------------------------ Cardinality
+
+Table MakeVisitsTable() {
+  Table t(Schema::Make({{"Patient", DataType::kString},
+                        {"Date", DataType::kDate},
+                        {"FBG", DataType::kDouble}})
+              .value());
+  auto add = [&](const char* p, const char* date, double fbg) {
+    ASSERT_TRUE(t.AppendRow({Value::Str(p),
+                             Value::FromDate(
+                                 Date::FromString(date).value()),
+                             Value::Real(fbg)})
+                    .ok());
+  };
+  add("P2", "2010-05-01", 5.0);
+  add("P1", "2011-02-01", 6.3);
+  add("P1", "2009-01-01", 5.2);
+  add("P1", "2013-03-01", 7.4);
+  add("P2", "2010-05-01", 5.1);  // duplicate same-day visit
+  return t;
+}
+
+TEST(CardinalityTest, AssignsVisitNumbersByDate) {
+  Table t = MakeVisitsTable();
+  auto report = AssignCardinality(&t, "Patient", "Date");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->num_entities, 2u);
+  EXPECT_EQ(report->max_visits, 3u);
+  EXPECT_EQ(report->duplicate_visits, 1u);
+  // P1's 2009 visit is #1, 2011 #2, 2013 #3.
+  EXPECT_EQ(*t.GetCell(2, "VisitNumber"), Value::Int(1));
+  EXPECT_EQ(*t.GetCell(1, "VisitNumber"), Value::Int(2));
+  EXPECT_EQ(*t.GetCell(3, "VisitNumber"), Value::Int(3));
+  EXPECT_EQ(*t.GetCell(1, "VisitCount"), Value::Int(3));
+  EXPECT_EQ(*t.GetCell(0, "VisitCount"), Value::Int(2));
+}
+
+TEST(CardinalityTest, NullDatesSortLast) {
+  Table t(Schema::Make({{"Patient", DataType::kString},
+                        {"Date", DataType::kDate}})
+              .value());
+  ASSERT_TRUE(t.AppendRow({Value::Str("P1"), Value::Null()}).ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Str("P1"),
+                   Value::FromDate(Date::FromYmd(2010, 1, 1).value())})
+          .ok());
+  auto report = AssignCardinality(&t, "Patient", "Date");
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->rows_missing_date, 1u);
+  EXPECT_EQ(*t.GetCell(0, "VisitNumber"), Value::Int(2));
+  EXPECT_EQ(*t.GetCell(1, "VisitNumber"), Value::Int(1));
+}
+
+TEST(CardinalityTest, RequiresDateColumn) {
+  Table t(Schema::Make({{"Patient", DataType::kString},
+                        {"Date", DataType::kString}})
+              .value());
+  ASSERT_TRUE(t.AppendRow({Value::Str("P1"), Value::Str("x")}).ok());
+  EXPECT_TRUE(AssignCardinality(&t, "Patient", "Date")
+                  .status()
+                  .IsInvalidArgument());
+}
+
+// -------------------------------------------------------------- Temporal
+
+TEST(TemporalTest, StateAbstractionMergesEpisodes) {
+  Table t = MakeVisitsTable();
+  auto scheme = DiscretisationScheme::Make(
+      "FBG", {5.5, 6.1, 7.0},
+      {"very good", "high", "preDiabetic", "Diabetic"});
+  auto episodes =
+      StateAbstraction(t, "Patient", "Date", "FBG", *scheme);
+  ASSERT_TRUE(episodes.ok());
+  // P1: 5.2 (very good), 6.3 (preDiabetic), 7.4 (Diabetic) -> 3 episodes
+  // P2: 5.0, 5.1 both very good -> 1 episode of 2 readings.
+  ASSERT_EQ(episodes->size(), 4u);
+  const Episode* p2 = nullptr;
+  for (const Episode& ep : *episodes) {
+    if (ep.entity.ToString() == "P2") p2 = &ep;
+  }
+  ASSERT_NE(p2, nullptr);
+  EXPECT_EQ(p2->abstraction, "very good");
+  EXPECT_EQ(p2->num_readings, 2u);
+  EXPECT_NEAR(p2->mean_value, 5.05, 1e-9);
+}
+
+TEST(TemporalTest, TrendAbstraction) {
+  Table t(Schema::Make({{"Patient", DataType::kString},
+                        {"Date", DataType::kDate},
+                        {"W", DataType::kDouble}})
+              .value());
+  auto add = [&](const char* date, double w) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Str("P1"),
+                     Value::FromDate(Date::FromString(date).value()),
+                     Value::Real(w)})
+            .ok());
+  };
+  add("2010-01-01", 100);
+  add("2011-01-01", 110);  // +10%/yr -> increasing
+  add("2012-01-01", 121);  // increasing
+  add("2013-01-01", 121.5);  // ~0.4%/yr -> steady
+  add("2014-01-01", 100);  // decreasing
+  auto episodes = TrendAbstraction(t, "Patient", "Date", "W");
+  ASSERT_TRUE(episodes.ok());
+  ASSERT_EQ(episodes->size(), 3u);
+  EXPECT_EQ((*episodes)[0].abstraction, "increasing");
+  EXPECT_EQ((*episodes)[1].abstraction, "steady");
+  EXPECT_EQ((*episodes)[2].abstraction, "decreasing");
+}
+
+TEST(TemporalTest, SingleVisitPatientsProduceNoTrends) {
+  Table t = MakeVisitsTable();
+  Table single = t.Take({0});
+  auto episodes = TrendAbstraction(single, "Patient", "Date", "FBG");
+  ASSERT_TRUE(episodes.ok());
+  EXPECT_TRUE(episodes->empty());
+}
+
+TEST(TemporalTest, EpisodesToTable) {
+  Table t = MakeVisitsTable();
+  auto scheme = DiscretisationScheme::MakeAutoLabeled("FBG", {6.0});
+  auto episodes =
+      StateAbstraction(t, "Patient", "Date", "FBG", *scheme);
+  ASSERT_TRUE(episodes.ok());
+  auto table = EpisodesToTable(*episodes);
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), episodes->size());
+  EXPECT_TRUE(table->schema().HasField("Abstraction"));
+}
+
+TEST(TemporalTest, FindConflictsDetectsOverlap) {
+  Episode a;
+  a.entity = Value::Str("P1");
+  a.variable = "FBG";
+  a.abstraction = "high";
+  a.start = Date::FromYmd(2010, 1, 1).value();
+  a.end = Date::FromYmd(2011, 1, 1).value();
+  Episode b = a;
+  b.abstraction = "low";
+  b.start = Date::FromYmd(2010, 6, 1).value();
+  b.end = Date::FromYmd(2012, 1, 1).value();
+  EXPECT_EQ(FindConflicts({a, b}).size(), 1u);
+
+  // Touching endpoints are legitimate transitions, not conflicts.
+  b.start = a.end;
+  EXPECT_TRUE(FindConflicts({a, b}).empty());
+
+  // Abstractions from state abstraction never conflict by construction.
+  Table t = MakeVisitsTable();
+  auto scheme = DiscretisationScheme::MakeAutoLabeled("FBG", {6.0});
+  auto episodes = StateAbstraction(t, "Patient", "Date", "FBG", *scheme);
+  EXPECT_TRUE(FindConflicts(*episodes).empty());
+}
+
+// -------------------------------------------------------------- Pipeline
+
+TEST(PipelineTest, RunsAllStages) {
+  Table t = MakeVisitsTable();
+  Cleaner cleaner;
+  cleaner.AddRangeRule({"FBG", 1, 35, ErrorAction::kSetNull});
+  TransformPipeline pipeline;
+  pipeline.set_cleaner(std::move(cleaner));
+  pipeline.AddDiscretisation(DiscretisationStep{
+      "FBG",
+      DiscretisationScheme::MakeAutoLabeled("FBG", {6.0}).value(),
+      ""});
+  pipeline.set_cardinality("Patient", "Date");
+  auto report = pipeline.Run(&t);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->input_rows, 5u);
+  EXPECT_EQ(report->output_rows, 5u);
+  EXPECT_EQ(report->discretised_columns,
+            std::vector<std::string>{"FBGBand"});
+  EXPECT_TRUE(t.schema().HasField("FBGBand"));
+  EXPECT_TRUE(t.schema().HasField("VisitNumber"));
+  EXPECT_TRUE(t.schema().HasField("VisitCount"));
+  EXPECT_EQ(report->cardinality.num_entities, 2u);
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST(PipelineTest, FailsOnUnknownColumn) {
+  Table t = MakeVisitsTable();
+  TransformPipeline pipeline;
+  pipeline.AddDiscretisation(DiscretisationStep{
+      "Nope",
+      DiscretisationScheme::MakeAutoLabeled("x", {1}).value(), ""});
+  EXPECT_TRUE(pipeline.Run(&t).status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ddgms::etl

@@ -1,0 +1,550 @@
+// Tests for the extension features: MDX .Children, the caching cube
+// engine, warehouse persistence, and wrapper-filter feature selection.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "etl/pipeline.h"
+#include "mdx/executor.h"
+#include "table/sql.h"
+#include "mining/feature_selection.h"
+#include "mining/naive_bayes.h"
+#include "olap/cache.h"
+#include "report/render.h"
+#include "warehouse/persist.h"
+
+namespace ddgms {
+namespace {
+
+class ExtensionsTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    discri::CohortOptions opt;
+    opt.num_patients = 250;
+    opt.seed = 31;
+    auto raw = discri::GenerateCohort(opt);
+    ASSERT_TRUE(raw.ok());
+    auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                    discri::MakeDiscriPipeline(),
+                                    discri::MakeDiscriSchemaDef());
+    ASSERT_TRUE(dgms.ok()) << dgms.status().ToString();
+    dgms_ = new core::DdDgms(std::move(dgms).value());
+  }
+  static void TearDownTestSuite() {
+    delete dgms_;
+    dgms_ = nullptr;
+  }
+  static core::DdDgms* dgms_;
+};
+
+core::DdDgms* ExtensionsTest::dgms_ = nullptr;
+
+// ------------------------------------------------------- MDX .Children
+
+TEST_F(ExtensionsTest, MdxChildrenDrillsIntoHierarchy) {
+  auto result = dgms_->QueryMdx(
+      "SELECT { [PersonalInformation].[AgeBand10].[70-80].Children } "
+      "ON ROWS FROM [MedicalMeasures]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->cube.num_axes(), 1u);
+  EXPECT_EQ(result->cube.query().axes[0].attribute, "AgeBand5");
+  // Children of 70-80 are exactly 70-75 and 75-80.
+  const auto& members = result->cube.query().axes[0].members;
+  ASSERT_EQ(members.size(), 2u);
+  EXPECT_EQ(members[0], Value::Str("70-75"));
+  EXPECT_EQ(members[1], Value::Str("75-80"));
+
+  // Children counts sum to the parent's count.
+  auto parent = dgms_->QueryMdx(
+      "SELECT { [PersonalInformation].[AgeBand10].[70-80] } ON ROWS "
+      "FROM [MedicalMeasures]");
+  ASSERT_TRUE(parent.ok());
+  int64_t parent_count =
+      parent->cube.CellValue({Value::Str("70-80")}).int_value();
+  int64_t child_sum = 0;
+  for (const Value& m : result->cube.AxisMembers(0)) {
+    child_sum += result->cube.CellValue({m}).int_value();
+  }
+  EXPECT_EQ(child_sum, parent_count);
+}
+
+TEST_F(ExtensionsTest, MdxChildrenErrors) {
+  // Attribute without a finer level.
+  EXPECT_FALSE(dgms_
+                   ->QueryMdx("SELECT { [PersonalInformation].[AgeBand5]."
+                              "[70-75].Children } ON ROWS "
+                              "FROM [MedicalMeasures]")
+                   .ok());
+  // Unknown parent member.
+  EXPECT_TRUE(dgms_
+                  ->QueryMdx("SELECT { [PersonalInformation].[AgeBand10]."
+                             "[999-1000].Children } ON ROWS "
+                             "FROM [MedicalMeasures]")
+                  .status()
+                  .IsNotFound());
+  // Level .Children behaves like .Members.
+  auto level = dgms_->QueryMdx(
+      "SELECT { [PersonalInformation].[Gender].Children } ON ROWS "
+      "FROM [MedicalMeasures]");
+  ASSERT_TRUE(level.ok());
+  EXPECT_EQ(level->cube.AxisMembers(0).size(), 2u);
+}
+
+// --------------------------------------------------- CachingCubeEngine
+
+olap::CubeQuery CountByGenderQuery() {
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "Gender", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  return q;
+}
+
+TEST_F(ExtensionsTest, CacheHitsOnRepeatedQuery) {
+  olap::CachingCubeEngine engine(&dgms_->warehouse());
+  auto first = engine.Execute(CountByGenderQuery());
+  ASSERT_TRUE(first.ok());
+  auto second = engine.Execute(CountByGenderQuery());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(engine.misses(), 1u);
+  EXPECT_EQ(engine.hits(), 1u);
+  EXPECT_EQ(first->get(), second->get());  // same materialized cube
+  EXPECT_EQ((*first)->CellValue({Value::Str("F")}),
+            (*second)->CellValue({Value::Str("F")}));
+}
+
+TEST_F(ExtensionsTest, CacheDistinguishesQueries) {
+  olap::CachingCubeEngine engine(&dgms_->warehouse());
+  ASSERT_TRUE(engine.Execute(CountByGenderQuery()).ok());
+  auto q2 = CountByGenderQuery();
+  q2.slicers = {{"MedicalCondition", "DiabetesStatus",
+                 {Value::Str("Type2")}}};
+  ASSERT_TRUE(engine.Execute(q2).ok());
+  EXPECT_EQ(engine.misses(), 2u);
+  EXPECT_EQ(engine.size(), 2u);
+  // non_empty is part of the key.
+  auto q3 = CountByGenderQuery();
+  q3.non_empty = false;
+  ASSERT_TRUE(engine.Execute(q3).ok());
+  EXPECT_EQ(engine.misses(), 3u);
+}
+
+TEST_F(ExtensionsTest, CacheEvictsAtCapacity) {
+  olap::CachingCubeEngine engine(&dgms_->warehouse(), /*capacity=*/2);
+  for (const char* attr : {"Gender", "AgeBand", "Education"}) {
+    olap::CubeQuery q;
+    q.axes = {{"PersonalInformation", attr, {}}};
+    q.measures = {{AggFn::kCount, "", "n"}};
+    ASSERT_TRUE(engine.Execute(q).ok());
+  }
+  EXPECT_EQ(engine.size(), 2u);
+  // Oldest (Gender) was evicted: querying it again misses.
+  size_t misses_before = engine.misses();
+  ASSERT_TRUE(engine.Execute(CountByGenderQuery()).ok());
+  EXPECT_EQ(engine.misses(), misses_before + 1);
+}
+
+TEST(CacheLifecycleTest, InvalidatesOnFactCountChange) {
+  discri::CohortOptions opt;
+  opt.num_patients = 60;
+  opt.seed = 32;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+  olap::CachingCubeEngine engine(&dgms->warehouse());
+  ASSERT_TRUE(engine.Execute(CountByGenderQuery()).ok());
+  EXPECT_EQ(engine.size(), 1u);
+
+  discri::CohortOptions more;
+  more.num_patients = 20;
+  more.seed = 33;
+  auto extra = discri::GenerateCohort(more);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(dgms->AcquireData(*extra).ok());
+  // Next execute detects the fact-count change and recomputes.
+  auto after = engine.Execute(CountByGenderQuery());
+  ASSERT_TRUE(after.ok());
+  int64_t total = (*after)->CellValue({Value::Str("F")}).int_value() +
+                  (*after)->CellValue({Value::Str("M")}).int_value();
+  EXPECT_EQ(total,
+            static_cast<int64_t>(dgms->warehouse().num_fact_rows()));
+}
+
+// ------------------------------------------------- warehouse persistence
+
+TEST_F(ExtensionsTest, SaveLoadRoundTrip) {
+  std::string dir = testing::TempDir() + "/ddgms_wh";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(
+      warehouse::SaveWarehouse(dgms_->warehouse(), dir).ok());
+  auto loaded = warehouse::LoadWarehouse(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const auto& original = dgms_->warehouse();
+  EXPECT_EQ(loaded->def().fact_name, original.def().fact_name);
+  EXPECT_EQ(loaded->num_fact_rows(), original.num_fact_rows());
+  ASSERT_EQ(loaded->dimensions().size(), original.dimensions().size());
+  for (size_t d = 0; d < original.dimensions().size(); ++d) {
+    EXPECT_EQ(loaded->dimensions()[d].name(),
+              original.dimensions()[d].name());
+    EXPECT_EQ(loaded->dimensions()[d].num_members(),
+              original.dimensions()[d].num_members());
+  }
+  // Same OLAP answers.
+  olap::CubeEngine orig_engine(&original);
+  olap::CubeEngine loaded_engine(&*loaded);
+  auto q = CountByGenderQuery();
+  auto a = orig_engine.Execute(q);
+  auto b = loaded_engine.Execute(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (const Value& m : a->AxisMembers(0)) {
+    EXPECT_EQ(a->CellValue({m}), b->CellValue({m}));
+  }
+  // Hierarchies survive (drill-down works on the loaded warehouse).
+  olap::CubeQuery hq;
+  hq.axes = {{"PersonalInformation", "AgeBand10", {}}};
+  hq.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = loaded_engine.Execute(hq);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_TRUE(cube->DrillDown(0).ok());
+}
+
+TEST(PersistTest, LoadMissingDirectoryFails) {
+  EXPECT_TRUE(warehouse::LoadWarehouse("/nonexistent/zzz")
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(PersistTest, CorruptSchemaRejected) {
+  std::string dir = testing::TempDir() + "/ddgms_bad_wh";
+  std::filesystem::create_directories(dir);
+  ASSERT_TRUE(WriteFile(dir + "/schema.txt", "nonsense line here\n").ok());
+  EXPECT_TRUE(
+      warehouse::LoadWarehouse(dir).status().IsParseError());
+}
+
+// -------------------------------------------------------- PivotShare
+
+TEST_F(ExtensionsTest, PivotShareColumnBasis) {
+  // Share of female diabetics per age band within the F column — the
+  // paper's "proportion of females with diabetes" reading of Fig 5.
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "AgeBand", {}},
+            {"PersonalInformation", "Gender", {}}};
+  q.slicers = {{"MedicalCondition", "DiabetesStatus",
+                {Value::Str("Type2")}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+  auto shares =
+      cube->PivotShare(0, 1, olap::Cube::ShareBasis::kColumn);
+  ASSERT_TRUE(shares.ok()) << shares.status().ToString();
+  // Each gender column sums to ~1.
+  for (size_t c = 1; c < shares->num_columns(); ++c) {
+    double total = 0.0;
+    for (size_t r = 0; r < shares->num_rows(); ++r) {
+      Value v = shares->column(c).GetValue(r);
+      if (!v.is_null()) total += v.double_value();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST_F(ExtensionsTest, PivotShareRowAndGrandBases) {
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "AgeBand", {}},
+            {"PersonalInformation", "Gender", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+
+  auto row_share = cube->PivotShare(0, 1, olap::Cube::ShareBasis::kRow);
+  ASSERT_TRUE(row_share.ok());
+  for (size_t r = 0; r < row_share->num_rows(); ++r) {
+    double total = 0.0;
+    for (size_t c = 1; c < row_share->num_columns(); ++c) {
+      Value v = row_share->column(c).GetValue(r);
+      if (!v.is_null()) total += v.double_value();
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+
+  auto grand = cube->PivotShare(0, 1, olap::Cube::ShareBasis::kGrand);
+  ASSERT_TRUE(grand.ok());
+  double total = 0.0;
+  for (size_t r = 0; r < grand->num_rows(); ++r) {
+    for (size_t c = 1; c < grand->num_columns(); ++c) {
+      Value v = grand->column(c).GetValue(r);
+      if (!v.is_null()) total += v.double_value();
+    }
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+// ------------------------------------------------ derived year column
+
+TEST_F(ExtensionsTest, VisitYearDimensionQueryable) {
+  // The DeriveYearStep added VisitYear to the Cardinality dimension:
+  // attendances per calendar year.
+  olap::CubeQuery q;
+  q.axes = {{"Cardinality", "VisitYear", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  int64_t total = 0;
+  for (const Value& year : cube->AxisMembers(0)) {
+    ASSERT_EQ(year.type(), DataType::kInt64);
+    EXPECT_GE(year.int_value(), 2002);
+    EXPECT_LE(year.int_value(), 2016);
+    total += cube->CellValue({year}).int_value();
+  }
+  EXPECT_EQ(total,
+            static_cast<int64_t>(dgms_->warehouse().num_fact_rows()));
+}
+
+TEST(DeriveYearStepTest, Validation) {
+  Table t(Schema::Make({{"D", DataType::kString}}).value());
+  ASSERT_TRUE(t.AppendRow({Value::Str("x")}).ok());
+  auto step = etl::DeriveYearStep("D", "Y");
+  EXPECT_TRUE(step(&t).IsInvalidArgument());
+  auto missing = etl::DeriveYearStep("Nope", "Y");
+  EXPECT_TRUE(missing(&t).IsNotFound());
+}
+
+// ----------------------------------------------------- MDX robustness
+
+TEST_F(ExtensionsTest, MdxFuzzNeverCrashes) {
+  // Random token soup must produce Status errors, never crashes.
+  Rng rng(2024);
+  const char* fragments[] = {
+      "SELECT", "FROM", "WHERE", "ON", "COLUMNS", "ROWS", "NON",
+      "EMPTY", "CROSSJOIN", "(", ")", "{", "}", ",", ".",
+      "[PersonalInformation]", "[Gender]", "[MedicalMeasures]",
+      "[Measures]", "[Count]", "Members", "Children", "[70-80]", "42"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string query;
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 14));
+    for (size_t i = 0; i < len; ++i) {
+      query += fragments[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(fragments)) - 1)];
+      query += " ";
+    }
+    auto result = dgms_->QueryMdx(query);
+    // ok or a clean error; either way nothing blows up.
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+TEST_F(ExtensionsTest, SqlFuzzNeverCrashes) {
+  Rng rng(2025);
+  SqlEngine engine;
+  engine.RegisterTable("t", &dgms_->transformed());
+  const char* fragments[] = {
+      "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "LIMIT", "*",
+      "(", ")", ",", "t", "Age", "Gender", "count", "avg", "'F'", "42",
+      "=", ">=", "AND", "OR", "NOT", "BETWEEN", "IN", "IS", "NULL"};
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string query;
+    size_t len = static_cast<size_t>(rng.UniformInt(1, 12));
+    for (size_t i = 0; i < len; ++i) {
+      query += fragments[rng.UniformInt(
+          0, static_cast<int64_t>(std::size(fragments)) - 1)];
+      query += " ";
+    }
+    auto result = engine.Execute(query);
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+// ------------------------------------------------ incremental append
+
+TEST(AppendRowsTest, MatchesFullRebuild) {
+  discri::CohortOptions opt;
+  opt.num_patients = 80;
+  opt.seed = 61;
+  auto batch1 = discri::GenerateCohort(opt);
+  ASSERT_TRUE(batch1.ok());
+  opt.num_patients = 40;
+  opt.seed = 62;
+  auto batch2 = discri::GenerateCohort(opt);
+  ASSERT_TRUE(batch2.ok());
+
+  auto pipeline = discri::MakeDiscriPipeline();
+  Table t1 = *batch1;
+  Table t2 = *batch2;
+  ASSERT_TRUE(pipeline.Run(&t1).ok());
+  ASSERT_TRUE(pipeline.Run(&t2).ok());
+
+  // Path A: build on batch1, append batch2 incrementally.
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  auto incremental = builder.Build(t1);
+  ASSERT_TRUE(incremental.ok());
+  size_t members_before =
+      (*incremental->dimension("PersonalInformation"))->num_members();
+  ASSERT_TRUE(incremental->AppendRows(t2).ok());
+  EXPECT_TRUE(incremental->CheckIntegrity().ok);
+  EXPECT_EQ(incremental->num_fact_rows(),
+            t1.num_rows() + t2.num_rows());
+  EXPECT_GE(
+      (*incremental->dimension("PersonalInformation"))->num_members(),
+      members_before);
+
+  // Path B: full rebuild over the concatenation.
+  Table combined = t1;
+  ASSERT_TRUE(combined.Concat(t2).ok());
+  auto rebuilt = builder.Build(combined);
+  ASSERT_TRUE(rebuilt.ok());
+
+  // Identical OLAP answers on a multi-dimension query.
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "Gender", {}},
+            {"MedicalCondition", "DiabetesStatus", {}},
+            {"FastingBloods", "FBGBand", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}, {AggFn::kAvg, "FBG", "avg"}};
+  auto a = olap::CubeEngine(&*incremental).Execute(q);
+  auto b = olap::CubeEngine(&*rebuilt).Execute(q);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_cells(), b->num_cells());
+  auto table_a = a->ToTable();
+  auto table_b = b->ToTable();
+  ASSERT_TRUE(table_a.ok());
+  ASSERT_TRUE(table_b.ok());
+  EXPECT_EQ(table_a->ToCsv(), table_b->ToCsv());
+}
+
+TEST(AppendRowsTest, MissingColumnFails) {
+  discri::CohortOptions opt;
+  opt.num_patients = 20;
+  opt.seed = 63;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  auto pipeline = discri::MakeDiscriPipeline();
+  ASSERT_TRUE(pipeline.Run(&*raw).ok());
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  auto wh = builder.Build(*raw);
+  ASSERT_TRUE(wh.ok());
+  Table bad(Schema::Make({{"X", DataType::kInt64}}).value());
+  EXPECT_TRUE(wh->AppendRows(bad).IsNotFound());
+}
+
+// ------------------------------------------------------------ heatmap
+
+TEST(HeatmapTest, ShadesByMagnitude) {
+  Table grid(Schema::Make({{"Band", DataType::kString},
+                           {"F", DataType::kInt64},
+                           {"M", DataType::kInt64}})
+                 .value());
+  ASSERT_TRUE(
+      grid.AppendRow({Value::Str("60-70"), Value::Int(100), Value::Int(0)})
+          .ok());
+  ASSERT_TRUE(
+      grid.AppendRow({Value::Str("70-80"), Value::Int(50), Value::Null()})
+          .ok());
+  report::HeatmapOptions opt;
+  opt.cell_width = 1;
+  auto out = report::RenderHeatmap(grid, opt);
+  ASSERT_TRUE(out.ok());
+  // Max cell uses the hottest ramp char; zero/null the coldest.
+  EXPECT_NE(out->find('@'), std::string::npos);
+  // Row for 70-80: mid shade then cold (null).
+  EXPECT_NE(out->find("60-70"), std::string::npos);
+  auto empty = report::RenderHeatmap(
+      Table(Schema::Make({{"L", DataType::kString}}).value()), opt);
+  EXPECT_TRUE(empty.status().IsInvalidArgument());
+}
+
+// ----------------------------------------------- feature selection
+
+mining::CategoricalDataset MakeSelectionData(size_t n) {
+  // y determined by f_good; f_weak correlates weakly; f_noise_i are
+  // pure noise.
+  mining::CategoricalDataset ds;
+  ds.feature_names = {"f_noise1", "f_good", "f_noise2", "f_weak",
+                      "f_noise3"};
+  Rng rng(55);
+  for (size_t i = 0; i < n; ++i) {
+    bool y = rng.Bernoulli(0.5);
+    std::string good = y ? "a" : "b";
+    if (rng.Bernoulli(0.05)) good = y ? "b" : "a";  // slight noise
+    std::string weak = (y == rng.Bernoulli(0.7)) ? "x" : "y";
+    auto noise = [&] { return rng.Bernoulli(0.5) ? "p" : "q"; };
+    ds.rows.push_back({noise(), good, noise(), weak, noise()});
+    ds.labels.push_back(y ? "pos" : "neg");
+  }
+  return ds;
+}
+
+TEST(FeatureSelectionTest, FilterRanksInformativeFirst) {
+  auto data = MakeSelectionData(600);
+  auto ranking = mining::RankByInformationGain(data);
+  ASSERT_TRUE(ranking.ok());
+  ASSERT_EQ(ranking->size(), 5u);
+  EXPECT_EQ((*ranking)[0].feature, "f_good");
+  EXPECT_GT((*ranking)[0].info_gain, 0.5);
+  // Noise features at the bottom with ~zero gain.
+  EXPECT_LT(ranking->back().info_gain, 0.02);
+}
+
+TEST(FeatureSelectionTest, WrapperPicksGoodDropsNoise) {
+  auto data = MakeSelectionData(600);
+  mining::FeatureSelectionOptions opt;
+  opt.max_features = 3;
+  opt.min_improvement = 0.005;
+  auto result = mining::WrapperFilterSelect(
+      data,
+      [] { return std::make_unique<mining::NaiveBayesClassifier>(); },
+      opt);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_FALSE(result->selected.empty());
+  EXPECT_EQ(result->selected[0], "f_good");
+  EXPECT_GT(result->cv_accuracy, 0.9);
+  // No noise feature should make the cut.
+  for (const std::string& f : result->selected) {
+    EXPECT_TRUE(f == "f_good" || f == "f_weak") << f;
+  }
+}
+
+TEST(FeatureSelectionTest, ProjectFeaturesValidation) {
+  auto data = MakeSelectionData(50);
+  auto projected = mining::ProjectFeatures(data, {"f_weak", "f_good"});
+  ASSERT_TRUE(projected.ok());
+  EXPECT_EQ(projected->feature_names,
+            (std::vector<std::string>{"f_weak", "f_good"}));
+  EXPECT_EQ(projected->rows[0].size(), 2u);
+  EXPECT_TRUE(
+      mining::ProjectFeatures(data, {"nope"}).status().IsNotFound());
+}
+
+TEST(FeatureSelectionTest, OptionsValidation) {
+  auto data = MakeSelectionData(50);
+  mining::FeatureSelectionOptions opt;
+  opt.folds = 1;
+  EXPECT_TRUE(mining::WrapperFilterSelect(
+                  data,
+                  [] {
+                    return std::make_unique<
+                        mining::NaiveBayesClassifier>();
+                  },
+                  opt)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ddgms

@@ -1,0 +1,202 @@
+// Tests for the second extension batch: DdDgms::QuerySql, the random
+// forest, and SVG chart rendering.
+
+#include <gtest/gtest.h>
+
+#include "common/csv.h"
+#include "common/rng.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "mining/eval.h"
+#include "mining/random_forest.h"
+#include "report/svg.h"
+
+namespace ddgms {
+namespace {
+
+class ExtrasTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    discri::CohortOptions opt;
+    opt.num_patients = 180;
+    opt.seed = 71;
+    auto raw = discri::GenerateCohort(opt);
+    ASSERT_TRUE(raw.ok());
+    auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                    discri::MakeDiscriPipeline(),
+                                    discri::MakeDiscriSchemaDef());
+    ASSERT_TRUE(dgms.ok()) << dgms.status().ToString();
+    dgms_ = new core::DdDgms(std::move(dgms).value());
+  }
+  static void TearDownTestSuite() {
+    delete dgms_;
+    dgms_ = nullptr;
+  }
+  static core::DdDgms* dgms_;
+};
+
+core::DdDgms* ExtrasTest::dgms_ = nullptr;
+
+// ---------------------------------------------------------- QuerySql
+
+TEST_F(ExtrasTest, SqlOverExtractMatchesOlap) {
+  auto sql = dgms_->QuerySql(
+      "SELECT Gender, count(*) AS n FROM extract "
+      "WHERE DiabetesStatus = 'Type2' GROUP BY Gender ORDER BY Gender");
+  ASSERT_TRUE(sql.ok()) << sql.status().ToString();
+
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "Gender", {}}};
+  q.slicers = {{"MedicalCondition", "DiabetesStatus",
+                {Value::Str("Type2")}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  auto cube = dgms_->Query(q);
+  ASSERT_TRUE(cube.ok());
+
+  for (size_t r = 0; r < sql->num_rows(); ++r) {
+    Value gender = *sql->GetCell(r, "Gender");
+    EXPECT_EQ(*sql->GetCell(r, "n"), cube->CellValue({gender}));
+  }
+}
+
+TEST_F(ExtrasTest, SqlOverDimensionTable) {
+  auto result = dgms_->QuerySql(
+      "SELECT count(*) AS members FROM PersonalInformation");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  auto dim = dgms_->warehouse().dimension("PersonalInformation");
+  ASSERT_TRUE(dim.ok());
+  EXPECT_EQ(*result->GetCell(0, "members"),
+            Value::Int(static_cast<int64_t>((*dim)->num_members())));
+}
+
+TEST_F(ExtrasTest, SqlOverFactTable) {
+  auto result = dgms_->QuerySql(
+      "SELECT avg(FBG) AS m FROM fact WHERE FBG IS NOT NULL");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_FALSE((*result->GetCell(0, "m")).is_null());
+  EXPECT_TRUE(dgms_->QuerySql("SELECT * FROM nosuch")
+                  .status()
+                  .IsNotFound());
+}
+
+// ------------------------------------------------------ random forest
+
+mining::CategoricalDataset MakeForestData(size_t n, uint64_t seed) {
+  // y = (a XOR b) — a concept single shallow trees struggle with when
+  // noise features abound, but bagging handles robustly.
+  mining::CategoricalDataset ds;
+  ds.feature_names = {"a", "b", "n1", "n2", "n3"};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    bool a = rng.Bernoulli(0.5);
+    bool b = rng.Bernoulli(0.5);
+    bool y = a != b;
+    if (rng.Bernoulli(0.05)) y = !y;
+    auto noise = [&] { return rng.Bernoulli(0.5) ? "u" : "v"; };
+    ds.rows.push_back({a ? "t" : "f", b ? "t" : "f", noise(), noise(),
+                       noise()});
+    ds.labels.push_back(y ? "pos" : "neg");
+  }
+  return ds;
+}
+
+TEST(RandomForestTest, LearnsXorConcept) {
+  auto data = MakeForestData(600, 81);
+  Rng rng(82);
+  auto split = data.Split(0.3, &rng);
+  mining::RandomForestClassifier::Options opt;
+  opt.num_trees = 31;
+  opt.feature_fraction = 0.8;
+  mining::RandomForestClassifier forest(opt);
+  ASSERT_TRUE(forest.Train(split->first).ok());
+  EXPECT_EQ(forest.num_trees(), 31u);
+  auto report = mining::Evaluate(forest, split->second);
+  ASSERT_TRUE(report.ok());
+  EXPECT_GT(report->accuracy, 0.85);
+}
+
+TEST(RandomForestTest, Validation) {
+  mining::RandomForestClassifier forest;
+  EXPECT_TRUE(
+      forest.Predict({"x"}).status().IsFailedPrecondition());
+  auto data = MakeForestData(40, 83);
+  ASSERT_TRUE(forest.Train(data).ok());
+  EXPECT_TRUE(forest.Predict({"t"}).status().IsInvalidArgument());
+  mining::RandomForestClassifier::Options opt;
+  opt.num_trees = 0;
+  mining::RandomForestClassifier bad(opt);
+  EXPECT_TRUE(bad.Train(data).IsInvalidArgument());
+}
+
+TEST(RandomForestTest, DeterministicForSeed) {
+  auto data = MakeForestData(150, 84);
+  mining::RandomForestClassifier a;
+  mining::RandomForestClassifier b;
+  ASSERT_TRUE(a.Train(data).ok());
+  ASSERT_TRUE(b.Train(data).ok());
+  for (size_t i = 0; i < 20; ++i) {
+    EXPECT_EQ(*a.Predict(data.rows[i]), *b.Predict(data.rows[i]));
+  }
+}
+
+// --------------------------------------------------------------- SVG
+
+Table MakeGrid() {
+  Table grid(Schema::Make({{"Band", DataType::kString},
+                           {"F", DataType::kInt64},
+                           {"M", DataType::kInt64}})
+                 .value());
+  EXPECT_TRUE(grid.AppendRow({Value::Str("60-70"), Value::Int(12),
+                              Value::Int(7)})
+                  .ok());
+  EXPECT_TRUE(grid.AppendRow({Value::Str("70-80 <y>"), Value::Int(9),
+                              Value::Null()})
+                  .ok());
+  return grid;
+}
+
+TEST(SvgTest, RendersWellFormedChart) {
+  auto svg = report::RenderSvgColumnChart(
+      MakeGrid(), {.title = "Diabetics & co"});
+  ASSERT_TRUE(svg.ok());
+  EXPECT_NE(svg->find("<svg"), std::string::npos);
+  EXPECT_NE(svg->find("</svg>"), std::string::npos);
+  // Title and labels XML-escaped.
+  EXPECT_NE(svg->find("Diabetics &amp; co"), std::string::npos);
+  EXPECT_NE(svg->find("70-80 &lt;y&gt;"), std::string::npos);
+  // One legend entry per series.
+  EXPECT_NE(svg->find(">F<"), std::string::npos);
+  EXPECT_NE(svg->find(">M<"), std::string::npos);
+  // 2 groups x 2 series bars + 2 legend swatches + background.
+  size_t rects = 0;
+  for (size_t pos = 0;
+       (pos = svg->find("<rect", pos)) != std::string::npos; ++pos) {
+    ++rects;
+  }
+  EXPECT_EQ(rects, 7u);
+}
+
+TEST(SvgTest, WriteToFile) {
+  std::string path = testing::TempDir() + "/ddgms_chart.svg";
+  ASSERT_TRUE(report::WriteSvgColumnChart(MakeGrid(), path).ok());
+  auto text = ReadFile(path);
+  ASSERT_TRUE(text.ok());
+  EXPECT_NE(text->find("<svg"), std::string::npos);
+}
+
+TEST(SvgTest, Validation) {
+  Table empty(Schema::Make({{"L", DataType::kString}}).value());
+  EXPECT_TRUE(report::RenderSvgColumnChart(empty)
+                  .status()
+                  .IsInvalidArgument());
+  Table no_rows(Schema::Make({{"L", DataType::kString},
+                              {"V", DataType::kInt64}})
+                    .value());
+  EXPECT_TRUE(report::RenderSvgColumnChart(no_rows)
+                  .status()
+                  .IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace ddgms

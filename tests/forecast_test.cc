@@ -1,0 +1,132 @@
+// Tests for numeric trend forecasting and higher-order Markov
+// prediction.
+
+#include <gtest/gtest.h>
+
+#include "predict/forecast.h"
+#include "predict/markov.h"
+
+namespace ddgms::predict {
+namespace {
+
+Table MakeLinearVisits() {
+  Table t(Schema::Make({{"P", DataType::kString},
+                        {"D", DataType::kDate},
+                        {"V", DataType::kDouble}})
+              .value());
+  auto add = [&](const char* p, const char* date, double v) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Str(p),
+                     Value::FromDate(Date::FromString(date).value()),
+                     Value::Real(v)})
+            .ok());
+  };
+  // P1: rises exactly 1.0/year from 5.0.
+  add("P1", "2010-01-01", 5.0);
+  add("P1", "2011-01-01", 6.0);
+  add("P1", "2012-01-01", 7.0);
+  add("P1", "2013-01-01", 8.0);
+  // P2: flat at 4.2.
+  add("P2", "2010-06-01", 4.2);
+  add("P2", "2012-06-01", 4.2);
+  // P3: single reading.
+  add("P3", "2011-03-01", 9.9);
+  return t;
+}
+
+TEST(TrendForecasterTest, FitsPerEntityLines) {
+  Table t = MakeLinearVisits();
+  TrendForecaster forecaster;
+  ASSERT_TRUE(forecaster.Fit(t, "P", "D", "V").ok());
+  EXPECT_EQ(forecaster.num_entities(), 3u);
+
+  // P1 extrapolates the 1/year trend.
+  Date future = Date::FromString("2014-01-01").value();
+  auto p1 = forecaster.Predict(Value::Str("P1"), future);
+  ASSERT_TRUE(p1.ok());
+  EXPECT_NEAR(*p1, 9.0, 0.05);
+  auto slope = forecaster.SlopePerYear(Value::Str("P1"));
+  ASSERT_TRUE(slope.ok());
+  EXPECT_NEAR(*slope, 1.0, 0.01);
+
+  // P2 flat.
+  auto p2 = forecaster.Predict(Value::Str("P2"), future);
+  EXPECT_NEAR(*p2, 4.2, 1e-9);
+  EXPECT_NEAR(*forecaster.SlopePerYear(Value::Str("P2")), 0.0, 1e-9);
+
+  // P3 single reading -> flat at the value.
+  auto p3 = forecaster.Predict(Value::Str("P3"), future);
+  EXPECT_NEAR(*p3, 9.9, 1e-9);
+
+  // Unknown entity.
+  EXPECT_TRUE(forecaster.Predict(Value::Str("P9"), future)
+                  .status()
+                  .IsNotFound());
+}
+
+TEST(TrendForecasterTest, Validation) {
+  Table t(Schema::Make({{"P", DataType::kString},
+                        {"D", DataType::kString},
+                        {"V", DataType::kDouble}})
+              .value());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Str("x"), Value::Str("nodate"), Value::Real(1)})
+          .ok());
+  TrendForecaster forecaster;
+  EXPECT_TRUE(
+      forecaster.Fit(t, "P", "D", "V").IsInvalidArgument());
+}
+
+TEST(TrendForecasterTest, EvaluationBeatsBaselineOnLinearData) {
+  Table t = MakeLinearVisits();
+  auto report = EvaluateForecaster(t, "P", "D", "V");
+  ASSERT_TRUE(report.ok());
+  // Only P1 has >= 3 readings. Model predicts 8.0 exactly; baseline
+  // carries 7.0 forward (error 1.0).
+  EXPECT_EQ(report->evaluated, 1u);
+  EXPECT_LT(report->model_mae, 0.05);
+  EXPECT_NEAR(report->baseline_mae, 1.0, 1e-9);
+}
+
+// ---------------------------------------------------- higher-order Markov
+
+TEST(HigherOrderMarkovTest, ContextBeatsOrderOne) {
+  // Alternating process: next state depends on the previous TWO states
+  // (a,b -> a; b,a -> b = strict alternation), which order-1 cannot
+  // capture when marginals are symmetric.
+  std::vector<std::vector<std::string>> sequences;
+  for (int i = 0; i < 10; ++i) {
+    sequences.push_back({"a", "b", "a", "b", "a", "b", "a"});
+    sequences.push_back({"b", "a", "b", "a", "b", "a", "b"});
+  }
+  MarkovTrajectoryModel order2(/*order=*/2, /*laplace_alpha=*/0.5);
+  ASSERT_TRUE(order2.TrainFromSequences(sequences).ok());
+  EXPECT_EQ(order2.order(), 2u);
+  EXPECT_EQ(*order2.PredictNextFromHistory({"a", "b"}), "a");
+  EXPECT_EQ(*order2.PredictNextFromHistory({"b", "a"}), "b");
+}
+
+TEST(HigherOrderMarkovTest, BacksOffToOrderOne) {
+  std::vector<std::vector<std::string>> sequences = {
+      {"x", "y", "z"}, {"x", "y", "z"}, {"y", "z", "z"}};
+  MarkovTrajectoryModel model(/*order=*/3, /*laplace_alpha=*/1.0);
+  ASSERT_TRUE(model.TrainFromSequences(sequences).ok());
+  // Unseen 2-context ("z","x") backs off to P(next|x) -> y.
+  EXPECT_EQ(*model.PredictNextFromHistory({"z", "x"}), "y");
+  // History shorter than order works too.
+  EXPECT_EQ(*model.PredictNextFromHistory({"x"}), "y");
+  // Unknown final state errors.
+  EXPECT_TRUE(model.PredictNextFromHistory({"nope"})
+                  .status()
+                  .IsNotFound());
+  EXPECT_TRUE(
+      model.PredictNextFromHistory({}).status().IsInvalidArgument());
+}
+
+TEST(HigherOrderMarkovTest, OrderZeroClampsToOne) {
+  MarkovTrajectoryModel model(/*order=*/0, /*laplace_alpha=*/1.0);
+  EXPECT_EQ(model.order(), 1u);
+}
+
+}  // namespace
+}  // namespace ddgms::predict

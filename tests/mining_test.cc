@@ -1,0 +1,559 @@
+// Unit tests for the data-analytics layer: datasets, classifiers
+// (naive Bayes, decision tree, AWSum), Apriori, clustering, logistic
+// regression, evaluation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+
+#include "common/rng.h"
+#include "mining/apriori.h"
+#include "mining/awsum.h"
+#include "mining/clustering.h"
+#include "mining/dataset.h"
+#include "mining/decision_tree.h"
+#include "mining/eval.h"
+#include "mining/logistic.h"
+#include "mining/naive_bayes.h"
+
+namespace ddgms::mining {
+namespace {
+
+// A clean separable categorical dataset: label == "sick" iff
+// (glucose == high) or (reflex == absent && glucose == mid).
+CategoricalDataset MakeReflexGlucoseData(size_t n, uint64_t seed) {
+  CategoricalDataset ds;
+  ds.feature_names = {"glucose", "reflex", "noise"};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    std::string glucose =
+        std::vector<std::string>{"low", "mid", "high"}[rng.Categorical(
+            {0.4, 0.35, 0.25})];
+    std::string reflex = rng.Bernoulli(0.25) ? "absent" : "normal";
+    std::string noise = rng.Bernoulli(0.5) ? "a" : "b";
+    bool sick =
+        glucose == "high" || (reflex == "absent" && glucose == "mid");
+    ds.rows.push_back({glucose, reflex, noise});
+    ds.labels.push_back(sick ? "sick" : "well");
+  }
+  return ds;
+}
+
+// ---------------------------------------------------------------- dataset
+
+TEST(DatasetTest, FromTableStringifiesAndSkipsNullLabels) {
+  Table t(Schema::Make({{"A", DataType::kInt64},
+                        {"B", DataType::kString},
+                        {"Y", DataType::kString}})
+              .value());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(1), Value::Str("x"), Value::Str("pos")})
+          .ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Null(), Value::Str("y"), Value::Str("neg")})
+          .ok());
+  ASSERT_TRUE(
+      t.AppendRow({Value::Int(3), Value::Str("z"), Value::Null()}).ok());
+  auto ds = CategoricalDataset::FromTable(t, {"A", "B"}, "Y");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 2u);  // null-label row skipped
+  EXPECT_EQ(ds->rows[0][0], "1");
+  EXPECT_EQ(ds->rows[1][0], CategoricalDataset::kMissing);
+  EXPECT_EQ(ds->DistinctLabels(),
+            (std::vector<std::string>{"pos", "neg"}));
+}
+
+TEST(DatasetTest, SplitPartitions) {
+  CategoricalDataset ds = MakeReflexGlucoseData(100, 1);
+  Rng rng(2);
+  auto split = ds.Split(0.3, &rng);
+  ASSERT_TRUE(split.ok());
+  EXPECT_EQ(split->first.size() + split->second.size(), 100u);
+  EXPECT_EQ(split->second.size(), 30u);
+  EXPECT_FALSE(ds.Split(0.0, &rng).ok());
+  EXPECT_FALSE(ds.Split(1.0, &rng).ok());
+}
+
+TEST(DatasetTest, NumericFromTableSkipsIncompleteRows) {
+  Table t(Schema::Make({{"X", DataType::kDouble},
+                        {"Y", DataType::kString}})
+              .value());
+  ASSERT_TRUE(t.AppendRow({Value::Real(1.0), Value::Str("a")}).ok());
+  ASSERT_TRUE(t.AppendRow({Value::Null(), Value::Str("a")}).ok());
+  auto ds = NumericDataset::FromTable(t, {"X"}, "Y");
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->size(), 1u);
+  // Non-numeric feature rejected.
+  EXPECT_FALSE(NumericDataset::FromTable(t, {"Y"}, "Y").ok());
+}
+
+// ------------------------------------------------------------ classifiers
+
+template <typename Model>
+double TrainedAccuracy(Model* model) {
+  CategoricalDataset data = MakeReflexGlucoseData(600, 42);
+  Rng rng(7);
+  auto split = data.Split(0.25, &rng);
+  EXPECT_TRUE(model->Train(split->first).ok());
+  auto report = Evaluate(*model, split->second);
+  EXPECT_TRUE(report.ok());
+  return report->accuracy;
+}
+
+TEST(NaiveBayesTest, LearnsSeparableConcept) {
+  NaiveBayesClassifier nb;
+  // NB cannot express the interaction perfectly but must beat majority.
+  double acc = TrainedAccuracy(&nb);
+  EXPECT_GT(acc, 0.80);
+}
+
+TEST(NaiveBayesTest, PredictBeforeTrainFails) {
+  NaiveBayesClassifier nb;
+  EXPECT_TRUE(nb.Predict({"a"}).status().IsFailedPrecondition());
+}
+
+TEST(NaiveBayesTest, WrongArityFails) {
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(50, 3);
+  ASSERT_TRUE(nb.Train(data).ok());
+  EXPECT_TRUE(nb.Predict({"high"}).status().IsInvalidArgument());
+}
+
+TEST(NaiveBayesTest, MissingFeaturesIgnored) {
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(200, 4);
+  ASSERT_TRUE(nb.Train(data).ok());
+  auto pred = nb.Predict({"high", CategoricalDataset::kMissing,
+                          CategoricalDataset::kMissing});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, "sick");
+}
+
+TEST(NaiveBayesTest, ScoresCoverAllClasses) {
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(200, 5);
+  ASSERT_TRUE(nb.Train(data).ok());
+  auto scores = nb.Scores({"low", "normal", "a"});
+  ASSERT_TRUE(scores.ok());
+  EXPECT_EQ(scores->size(), 2u);
+}
+
+TEST(NaiveBayesTest, PosteriorSumsToOne) {
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(200, 6);
+  ASSERT_TRUE(nb.Train(data).ok());
+  auto posterior = nb.Posterior({"high", "normal", "a"});
+  ASSERT_TRUE(posterior.ok());
+  double total = 0.0;
+  for (const auto& [cls, p] : *posterior) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(NaiveBayesTest, ValueOfInformationRanksInformativeTest) {
+  // glucose determines the label far more than the pure-noise feature;
+  // for a patient missing both, acquiring glucose must score higher.
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(800, 7);
+  ASSERT_TRUE(nb.Train(data).ok());
+  auto voi = nb.ValueOfInformation(
+      {CategoricalDataset::kMissing, "normal",
+       CategoricalDataset::kMissing});
+  ASSERT_TRUE(voi.ok());
+  ASSERT_EQ(voi->size(), 2u);  // only the missing features
+  EXPECT_EQ((*voi)[0].feature, "glucose");
+  EXPECT_GT((*voi)[0].expected_entropy_reduction,
+            (*voi)[1].expected_entropy_reduction + 0.05);
+  EXPECT_GE((*voi)[1].expected_entropy_reduction, 0.0);
+}
+
+TEST(NaiveBayesTest, ValueOfInformationEmptyWhenComplete) {
+  NaiveBayesClassifier nb;
+  CategoricalDataset data = MakeReflexGlucoseData(100, 8);
+  ASSERT_TRUE(nb.Train(data).ok());
+  auto voi = nb.ValueOfInformation({"high", "normal", "a"});
+  ASSERT_TRUE(voi.ok());
+  EXPECT_TRUE(voi->empty());
+}
+
+TEST(DecisionTreeTest, LearnsInteractionExactly) {
+  DecisionTreeClassifier tree;
+  double acc = TrainedAccuracy(&tree);
+  // The tree can represent the glucose x reflex interaction.
+  EXPECT_GT(acc, 0.97);
+}
+
+TEST(DecisionTreeTest, DepthLimitProducesSmallerTree) {
+  CategoricalDataset data = MakeReflexGlucoseData(400, 9);
+  DecisionTreeClassifier deep;
+  ASSERT_TRUE(deep.Train(data).ok());
+  DecisionTreeOptions opt;
+  opt.max_depth = 1;
+  DecisionTreeClassifier shallow(opt);
+  ASSERT_TRUE(shallow.Train(data).ok());
+  EXPECT_LT(shallow.num_nodes(), deep.num_nodes());
+  EXPECT_FALSE(shallow.ToString().empty());
+}
+
+TEST(DecisionTreeTest, UnseenValueFallsBackToMajority) {
+  CategoricalDataset data = MakeReflexGlucoseData(200, 10);
+  DecisionTreeClassifier tree;
+  ASSERT_TRUE(tree.Train(data).ok());
+  auto pred = tree.Predict({"martian", "normal", "a"});
+  ASSERT_TRUE(pred.ok());  // backs off, never crashes
+}
+
+TEST(AwsumTest, LearnsAndBeatsBaseline) {
+  AwsumClassifier awsum;
+  double acc = TrainedAccuracy(&awsum);
+  EXPECT_GT(acc, 0.75);
+}
+
+TEST(AwsumTest, InfluencesRankHighGlucoseTowardSick) {
+  AwsumClassifier awsum;
+  CategoricalDataset data = MakeReflexGlucoseData(800, 11);
+  ASSERT_TRUE(awsum.Train(data).ok());
+  auto influences = awsum.Influences();
+  ASSERT_TRUE(influences.ok());
+  // Find influence of glucose=high toward sick: must be near 1.
+  double found = -1.0;
+  for (const auto& inf : *influences) {
+    if (inf.feature == "glucose" && inf.value == "high" &&
+        inf.toward_class == "sick") {
+      found = inf.influence;
+    }
+  }
+  EXPECT_GT(found, 0.9);
+}
+
+TEST(AwsumTest, InteractionsSurfaceReflexGlucosePair) {
+  // The paper's motivating insight: absent reflexes + mid-range glucose
+  // jointly predict disease far better than either alone.
+  AwsumClassifier awsum;
+  CategoricalDataset data = MakeReflexGlucoseData(800, 12);
+  ASSERT_TRUE(awsum.Train(data).ok());
+  auto interactions = awsum.Interactions(/*min_support=*/10);
+  ASSERT_TRUE(interactions.ok());
+  ASSERT_FALSE(interactions->empty());
+  bool found = false;
+  for (const auto& inter : *interactions) {
+    bool is_pair = (inter.feature_a == "glucose" &&
+                    inter.value_a == "mid" &&
+                    inter.feature_b == "reflex" &&
+                    inter.value_b == "absent") ||
+                   (inter.feature_a == "reflex" &&
+                    inter.value_a == "absent" &&
+                    inter.feature_b == "glucose" &&
+                    inter.value_b == "mid");
+    if (is_pair && inter.toward_class == "sick" && inter.lift > 0.2) {
+      found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+// Property sweep: all three categorical classifiers beat the majority
+// baseline on the separable concept at several training sizes.
+class ClassifierSweepTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(ClassifierSweepTest, BeatsMajorityBaseline) {
+  CategoricalDataset data = MakeReflexGlucoseData(GetParam(), 77);
+  Rng rng(88);
+  auto split = data.Split(0.3, &rng);
+  double baseline =
+      *MajorityBaselineAccuracy(split->first, split->second);
+  std::vector<std::unique_ptr<Classifier>> models;
+  models.push_back(std::make_unique<NaiveBayesClassifier>());
+  models.push_back(std::make_unique<DecisionTreeClassifier>());
+  models.push_back(std::make_unique<AwsumClassifier>());
+  for (auto& model : models) {
+    ASSERT_TRUE(model->Train(split->first).ok());
+    auto report = Evaluate(*model, split->second);
+    ASSERT_TRUE(report.ok());
+    EXPECT_GT(report->accuracy, baseline)
+        << model->name() << " at n=" << GetParam();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, ClassifierSweepTest,
+                         ::testing::Values(120, 300, 600));
+
+// ---------------------------------------------------------------- Apriori
+
+TEST(AprioriTest, FindsFrequentItemsetsAndRules) {
+  CategoricalDataset data = MakeReflexGlucoseData(500, 20);
+  AprioriOptions opt;
+  opt.min_support = 0.08;
+  opt.min_confidence = 0.7;
+  Apriori apriori(opt);
+  auto itemsets = apriori.MineItemsets(data, "label");
+  ASSERT_TRUE(itemsets.ok());
+  EXPECT_FALSE(itemsets->empty());
+  // Support must be monotone: every itemset's support >= min_support.
+  for (const auto& fi : *itemsets) {
+    EXPECT_GE(fi.support, 0.08);
+    // Subset support >= superset support (spot check pairs vs singles).
+  }
+  auto rules = apriori.MineRules(data, "label");
+  ASSERT_TRUE(rules.ok());
+  // Expect a strong rule glucose=high => label=sick.
+  bool found = false;
+  for (const auto& rule : *rules) {
+    if (rule.lhs.size() == 1 && rule.lhs[0].feature == "glucose" &&
+        rule.lhs[0].value == "high" && rule.rhs[0].feature == "label" &&
+        rule.rhs[0].value == "sick") {
+      found = true;
+      EXPECT_GT(rule.confidence, 0.95);
+      EXPECT_GT(rule.lift, 1.5);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(AprioriTest, SupportMonotonicity) {
+  CategoricalDataset data = MakeReflexGlucoseData(300, 21);
+  AprioriOptions opt;
+  opt.min_support = 0.05;
+  Apriori apriori(opt);
+  auto itemsets = apriori.MineItemsets(data);
+  ASSERT_TRUE(itemsets.ok());
+  // Index supports by itemset.
+  std::map<std::vector<Item>, double> support;
+  for (const auto& fi : *itemsets) support[fi.items] = fi.support;
+  for (const auto& fi : *itemsets) {
+    if (fi.items.size() < 2) continue;
+    for (size_t drop = 0; drop < fi.items.size(); ++drop) {
+      std::vector<Item> sub;
+      for (size_t i = 0; i < fi.items.size(); ++i) {
+        if (i != drop) sub.push_back(fi.items[i]);
+      }
+      auto it = support.find(sub);
+      ASSERT_NE(it, support.end());
+      EXPECT_GE(it->second + 1e-12, fi.support);
+    }
+  }
+}
+
+TEST(AprioriTest, NoTwoValuesOfOneFeature) {
+  CategoricalDataset data = MakeReflexGlucoseData(300, 22);
+  AprioriOptions opt;
+  opt.min_support = 0.01;
+  Apriori apriori(opt);
+  auto itemsets = apriori.MineItemsets(data);
+  ASSERT_TRUE(itemsets.ok());
+  for (const auto& fi : *itemsets) {
+    std::set<std::string> features;
+    for (const Item& item : fi.items) {
+      EXPECT_TRUE(features.insert(item.feature).second)
+          << fi.ToString();
+    }
+  }
+}
+
+TEST(AprioriTest, BadOptionsRejected) {
+  CategoricalDataset data = MakeReflexGlucoseData(50, 23);
+  AprioriOptions opt;
+  opt.min_support = 0.0;
+  EXPECT_FALSE(Apriori(opt).MineItemsets(data).ok());
+  EXPECT_FALSE(Apriori().MineItemsets(CategoricalDataset{}).ok());
+}
+
+// -------------------------------------------------------------- clustering
+
+NumericDataset MakeBlobs(size_t per_cluster, uint64_t seed) {
+  NumericDataset ds;
+  ds.feature_names = {"x", "y"};
+  Rng rng(seed);
+  const double centers[3][2] = {{0, 0}, {10, 10}, {-10, 10}};
+  for (int c = 0; c < 3; ++c) {
+    for (size_t i = 0; i < per_cluster; ++i) {
+      ds.rows.push_back({rng.Gaussian(centers[c][0], 1.0),
+                         rng.Gaussian(centers[c][1], 1.0)});
+      ds.labels.push_back(std::string(1, static_cast<char>('a' + c)));
+    }
+  }
+  return ds;
+}
+
+TEST(KMeansTest, RecoversWellSeparatedBlobs) {
+  NumericDataset ds = MakeBlobs(60, 31);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto result = KMeans(ds, opt);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->assignments.size(), ds.size());
+  double purity = *ClusterPurity(*result, ds.labels);
+  EXPECT_GT(purity, 0.98);
+}
+
+TEST(KMeansTest, DeterministicForSeed) {
+  NumericDataset ds = MakeBlobs(40, 32);
+  KMeansOptions opt;
+  opt.k = 3;
+  auto a = KMeans(ds, opt);
+  auto b = KMeans(ds, opt);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->assignments, b->assignments);
+}
+
+TEST(KMeansTest, InvalidK) {
+  NumericDataset ds = MakeBlobs(5, 33);
+  KMeansOptions opt;
+  opt.k = 0;
+  EXPECT_FALSE(KMeans(ds, opt).ok());
+  opt.k = ds.size() + 1;
+  EXPECT_FALSE(KMeans(ds, opt).ok());
+}
+
+TEST(KModesTest, ClustersCategoricalData) {
+  // Two obvious categorical clusters.
+  CategoricalDataset ds;
+  ds.feature_names = {"a", "b", "c"};
+  Rng rng(34);
+  for (int i = 0; i < 100; ++i) {
+    bool first = i < 50;
+    auto flip = [&](const std::string& v, const std::string& alt) {
+      return rng.Bernoulli(0.9) ? v : alt;
+    };
+    if (first) {
+      ds.rows.push_back({flip("x", "p"), flip("y", "q"), flip("z", "r")});
+      ds.labels.push_back("c1");
+    } else {
+      ds.rows.push_back({flip("p", "x"), flip("q", "y"), flip("r", "z")});
+      ds.labels.push_back("c2");
+    }
+  }
+  KModesOptions opt;
+  opt.k = 2;
+  auto result = KModes(ds, opt);
+  ASSERT_TRUE(result.ok());
+  double purity = *ClusterPurity(*result, ds.labels);
+  EXPECT_GT(purity, 0.9);
+}
+
+TEST(ClusterPurityTest, Validation) {
+  ClusteringResult r;
+  r.num_clusters = 1;
+  r.assignments = {0, 0};
+  EXPECT_FALSE(ClusterPurity(r, {"a"}).ok());
+  EXPECT_DOUBLE_EQ(*ClusterPurity(r, {"a", "a"}), 1.0);
+}
+
+// ---------------------------------------------------------------- logistic
+
+NumericDataset MakeLogisticData(size_t n, uint64_t seed) {
+  // P(pos) = sigmoid(1.5*x1 - 1.0*x2).
+  NumericDataset ds;
+  ds.feature_names = {"x1", "x2"};
+  Rng rng(seed);
+  for (size_t i = 0; i < n; ++i) {
+    double x1 = rng.Gaussian(0, 1);
+    double x2 = rng.Gaussian(0, 1);
+    double z = 1.5 * x1 - 1.0 * x2;
+    double p = 1.0 / (1.0 + std::exp(-z));
+    ds.rows.push_back({x1, x2});
+    ds.labels.push_back(rng.Bernoulli(p) ? "pos" : "neg");
+  }
+  return ds;
+}
+
+TEST(LogisticTest, LearnsLinearConcept) {
+  NumericDataset ds = MakeLogisticData(2000, 41);
+  Rng rng(42);
+  auto split = ds.Split(0.25, &rng);
+  LogisticRegression::Options opt;
+  opt.learning_rate = 0.5;
+  opt.max_iterations = 2000;
+  LogisticRegression model(opt);
+  ASSERT_TRUE(model.Train(split->first, "pos").ok());
+  size_t correct = 0;
+  for (size_t i = 0; i < split->second.size(); ++i) {
+    auto pred = model.Predict(split->second.rows[i]);
+    ASSERT_TRUE(pred.ok());
+    if (*pred == split->second.labels[i]) ++correct;
+  }
+  double acc =
+      static_cast<double>(correct) / static_cast<double>(
+                                         split->second.size());
+  EXPECT_GT(acc, 0.72);  // Bayes-optimal is ~0.77 for this noise level
+
+  auto coefs = model.Coefficients();
+  ASSERT_TRUE(coefs.ok());
+  ASSERT_EQ(coefs->size(), 2u);
+  EXPECT_GT((*coefs)[0].weight, 0.0);  // x1 pushes positive
+  EXPECT_LT((*coefs)[1].weight, 0.0);  // x2 pushes negative
+  EXPECT_GT(std::fabs((*coefs)[0].weight),
+            std::fabs((*coefs)[1].weight));
+}
+
+TEST(LogisticTest, ProbabilitiesInRange) {
+  NumericDataset ds = MakeLogisticData(300, 43);
+  LogisticRegression model;
+  ASSERT_TRUE(model.Train(ds, "pos").ok());
+  for (size_t i = 0; i < 20; ++i) {
+    auto p = model.PredictProbability(ds.rows[i]);
+    ASSERT_TRUE(p.ok());
+    EXPECT_GE(*p, 0.0);
+    EXPECT_LE(*p, 1.0);
+  }
+  EXPECT_TRUE(model.Intercept().ok());
+}
+
+TEST(LogisticTest, Validation) {
+  LogisticRegression model;
+  EXPECT_TRUE(model.PredictProbability({0.0})
+                  .status()
+                  .IsFailedPrecondition());
+  NumericDataset ds = MakeLogisticData(50, 44);
+  EXPECT_TRUE(
+      model.Train(ds, "no_such_label").IsInvalidArgument());
+  ASSERT_TRUE(model.Train(ds, "pos").ok());
+  EXPECT_TRUE(
+      model.PredictProbability({1.0}).status().IsInvalidArgument());
+}
+
+// --------------------------------------------------------------- eval
+
+TEST(EvalTest, ConfusionAndPerClassMetrics) {
+  std::vector<std::string> actual = {"a", "a", "a", "b", "b", "b"};
+  std::vector<std::string> predicted = {"a", "a", "b", "b", "b", "a"};
+  auto report = EvaluateLabels(actual, predicted);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->total, 6u);
+  EXPECT_EQ(report->correct, 4u);
+  EXPECT_NEAR(report->accuracy, 4.0 / 6.0, 1e-12);
+  EXPECT_EQ(report->confusion.at("a").at("b"), 1u);
+  auto& a = report->per_class.at("a");
+  EXPECT_NEAR(a.precision, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.recall, 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(a.f1, 2.0 / 3.0, 1e-12);
+  EXPECT_EQ(a.support, 3u);
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST(EvalTest, SizeMismatchIsError) {
+  EXPECT_FALSE(EvaluateLabels({"a"}, {}).ok());
+}
+
+TEST(EvalTest, CrossValidateRunsAllFolds) {
+  CategoricalDataset data = MakeReflexGlucoseData(200, 51);
+  auto accs = CrossValidate(data, 5, 99, [] {
+    return std::make_unique<NaiveBayesClassifier>();
+  });
+  ASSERT_TRUE(accs.ok());
+  EXPECT_EQ(accs->size(), 5u);
+  for (double a : *accs) {
+    EXPECT_GT(a, 0.6);
+  }
+  EXPECT_FALSE(CrossValidate(data, 1, 99, [] {
+                 return std::make_unique<NaiveBayesClassifier>();
+               }).ok());
+}
+
+}  // namespace
+}  // namespace ddgms::mining

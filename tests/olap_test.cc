@@ -1,0 +1,468 @@
+// Unit tests for the OLAP cube engine: execution, slice/dice,
+// roll-up/drill-down, pivot.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "olap/cube.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::olap {
+namespace {
+
+using warehouse::Dimension;
+using warehouse::DimensionDef;
+using warehouse::Hierarchy;
+using warehouse::MeasureDef;
+using warehouse::StarSchemaBuilder;
+using warehouse::StarSchemaDef;
+using warehouse::Warehouse;
+
+// Same fixture extract as warehouse_test, kept local for independence.
+Table MakeExtract() {
+  auto schema = Schema::Make({{"Gender", DataType::kString},
+                              {"AgeBand10", DataType::kString},
+                              {"AgeBand5", DataType::kString},
+                              {"Diabetes", DataType::kString},
+                              {"FBG", DataType::kDouble}});
+  Table t(std::move(schema).value());
+  struct R {
+    const char* g;
+    const char* b10;
+    const char* b5;
+    const char* d;
+    double fbg;
+  };
+  const R rows[] = {
+      {"F", "70-80", "70-75", "Yes", 8.0},
+      {"M", "70-80", "70-75", "Yes", 7.5},
+      {"F", "70-80", "75-80", "Yes", 9.0},
+      {"F", "70-80", "75-80", "No", 5.0},
+      {"M", "60-70", "60-65", "No", 5.4},
+      {"M", "60-70", "65-70", "Yes", 8.8},
+      {"F", "60-70", "65-70", "No", 5.2},
+      {"F", "70-80", "70-75", "Yes", 7.9},
+  };
+  for (const R& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value::Str(r.g), Value::Str(r.b10),
+                             Value::Str(r.b5), Value::Str(r.d),
+                             Value::Real(r.fbg)})
+                    .ok());
+  }
+  return t;
+}
+
+Warehouse MakeWarehouse() {
+  StarSchemaDef def;
+  def.fact_name = "Facts";
+  def.measures = {MeasureDef{"FBG", "FBG"}};
+  DimensionDef person;
+  person.name = "Person";
+  person.attributes = {"Gender", "AgeBand10", "AgeBand5"};
+  person.hierarchies = {Hierarchy{"AgeBands", {"AgeBand10", "AgeBand5"}}};
+  DimensionDef condition;
+  condition.name = "Condition";
+  condition.attributes = {"Diabetes"};
+  def.dimensions = {person, condition};
+  auto wh = StarSchemaBuilder(def).Build(MakeExtract());
+  EXPECT_TRUE(wh.ok()) << wh.status().ToString();
+  return std::move(wh).value();
+}
+
+CubeQuery CountByGender() {
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  return q;
+}
+
+TEST(CubeTest, CountByOneAxis) {
+  Warehouse wh = MakeWarehouse();
+  auto cube = CubeEngine(&wh).Execute(CountByGender());
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->num_cells(), 2u);
+  EXPECT_EQ(cube->facts_aggregated(), 8u);
+  EXPECT_EQ(cube->CellValue({Value::Str("F")}), Value::Int(5));
+  EXPECT_EQ(cube->CellValue({Value::Str("M")}), Value::Int(3));
+  EXPECT_EQ(cube->CellCount({Value::Str("F")}), 5u);
+  EXPECT_TRUE(cube->CellValue({Value::Str("X")}).is_null());
+}
+
+TEST(CubeTest, TwoAxesWithSlicer) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "AgeBand5", {}},
+            AxisSpec{"Person", "Gender", {}}};
+  q.slicers = {SlicerSpec{"Condition", "Diabetes", {Value::Str("Yes")}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->facts_aggregated(), 5u);
+  EXPECT_EQ(cube->CellValue({Value::Str("70-75"), Value::Str("F")}),
+            Value::Int(2));
+  EXPECT_EQ(cube->CellValue({Value::Str("70-75"), Value::Str("M")}),
+            Value::Int(1));
+  EXPECT_EQ(cube->CellValue({Value::Str("75-80"), Value::Str("F")}),
+            Value::Int(1));
+}
+
+TEST(CubeTest, MultipleMeasures) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Condition", "Diabetes", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"},
+                AggSpec{AggFn::kAvg, "FBG", "avg_fbg"},
+                AggSpec{AggFn::kMax, "FBG", "max_fbg"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  std::vector<Value> yes = {Value::Str("Yes")};
+  EXPECT_EQ(cube->CellValue(yes, 0), Value::Int(5));
+  EXPECT_NEAR(cube->CellValue(yes, 1).double_value(),
+              (8.0 + 7.5 + 9.0 + 8.8 + 7.9) / 5.0, 1e-9);
+  EXPECT_EQ(cube->CellValue(yes, 2), Value::Real(9.0));
+}
+
+TEST(CubeTest, AxisMemberRestrictionPreservesOrder) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person",
+                     "AgeBand5",
+                     {Value::Str("75-80"), Value::Str("70-75")}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  // Only restricted members, in the caller's order.
+  ASSERT_EQ(cube->AxisMembers(0).size(), 2u);
+  EXPECT_EQ(cube->AxisMembers(0)[0], Value::Str("75-80"));
+  EXPECT_EQ(cube->AxisMembers(0)[1], Value::Str("70-75"));
+  // 3 facts in 70-75 + 2 in 75-80.
+  EXPECT_EQ(cube->facts_aggregated(), 5u);
+}
+
+TEST(CubeTest, SliceRemovesAxisAndFilters) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender", {}},
+            AxisSpec{"Condition", "Diabetes", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  auto sliced = cube->Slice("Condition", "Diabetes", Value::Str("Yes"));
+  ASSERT_TRUE(sliced.ok());
+  EXPECT_EQ(sliced->num_axes(), 1u);
+  EXPECT_EQ(sliced->CellValue({Value::Str("F")}), Value::Int(3));
+  EXPECT_EQ(sliced->CellValue({Value::Str("M")}), Value::Int(2));
+}
+
+TEST(CubeTest, DiceRestrictsMembers) {
+  Warehouse wh = MakeWarehouse();
+  auto cube = CubeEngine(&wh).Execute(CountByGender());
+  ASSERT_TRUE(cube.ok());
+  auto diced = cube->Dice("Person", "Gender", {Value::Str("F")});
+  ASSERT_TRUE(diced.ok());
+  EXPECT_EQ(diced->facts_aggregated(), 5u);
+  // Dice on a non-axis attribute becomes a slicer.
+  auto diced2 = cube->Dice("Condition", "Diabetes", {Value::Str("No")});
+  ASSERT_TRUE(diced2.ok());
+  EXPECT_EQ(diced2->facts_aggregated(), 3u);
+}
+
+TEST(CubeTest, RollUpRemovesAxis) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender", {}},
+            AxisSpec{"Condition", "Diabetes", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  auto rolled = cube->RollUp(1);
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_EQ(rolled->num_axes(), 1u);
+  EXPECT_EQ(rolled->CellValue({Value::Str("F")}), Value::Int(5));
+  EXPECT_TRUE(cube->RollUp(5).status().IsOutOfRange());
+}
+
+TEST(CubeTest, DrillDownFollowsHierarchy) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "AgeBand10", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->CellValue({Value::Str("70-80")}), Value::Int(5));
+
+  auto drilled = cube->DrillDown(0);
+  ASSERT_TRUE(drilled.ok());
+  EXPECT_EQ(drilled->query().axes[0].attribute, "AgeBand5");
+  EXPECT_EQ(drilled->CellValue({Value::Str("70-75")}), Value::Int(3));
+  EXPECT_EQ(drilled->CellValue({Value::Str("75-80")}), Value::Int(2));
+
+  // Drill-down sums must reproduce the coarse counts.
+  int64_t total_70_80 =
+      drilled->CellValue({Value::Str("70-75")}).int_value() +
+      drilled->CellValue({Value::Str("75-80")}).int_value();
+  EXPECT_EQ(total_70_80, 5);
+
+  // Rolling the drilled cube back up restores the coarse level.
+  auto rolled = drilled->RollUpToCoarser(0);
+  ASSERT_TRUE(rolled.ok());
+  EXPECT_EQ(rolled->CellValue({Value::Str("70-80")}), Value::Int(5));
+
+  // AgeBand5 is the finest level.
+  EXPECT_TRUE(drilled->DrillDown(0).status().IsNotFound());
+  // Gender has no hierarchy.
+  auto gender_cube = CubeEngine(&wh).Execute(CountByGender());
+  EXPECT_TRUE(gender_cube->DrillDown(0).status().IsNotFound());
+}
+
+TEST(CubeTest, ToTableSortedAndNonEmpty) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender", {}},
+            AxisSpec{"Condition", "Diabetes", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  auto table = cube->ToTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 4u);  // F/M x Yes/No all non-empty
+  EXPECT_EQ(table->schema().field(0).name, "Gender");
+  EXPECT_EQ(table->schema().field(1).name, "Diabetes");
+  EXPECT_EQ(table->schema().field(2).name, "n");
+  // Sorted by coordinates: F/No, F/Yes, M/No, M/Yes.
+  EXPECT_EQ(*table->GetCell(0, "Gender"), Value::Str("F"));
+  EXPECT_EQ(*table->GetCell(0, "Diabetes"), Value::Str("No"));
+  EXPECT_EQ(*table->GetCell(0, "n"), Value::Int(2));
+}
+
+TEST(CubeTest, PivotGrid) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "AgeBand10", {}},
+            AxisSpec{"Person", "Gender", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  auto grid = cube->Pivot(0, 1);
+  ASSERT_TRUE(grid.ok());
+  EXPECT_EQ(grid->num_rows(), 2u);     // 60-70, 70-80
+  EXPECT_EQ(grid->num_columns(), 3u);  // label, F, M
+  EXPECT_EQ(*grid->GetCell(1, "F"), Value::Int(4));
+  EXPECT_EQ(*grid->GetCell(1, "M"), Value::Int(1));
+  // Empty cells are null.
+  EXPECT_TRUE(grid->schema().HasField("F"));
+  // Pivot on a 1-axis cube fails.
+  auto cube1 = CubeEngine(&wh).Execute(CountByGender());
+  EXPECT_TRUE(cube1->Pivot(0, 1).status().IsFailedPrecondition());
+}
+
+TEST(CubeTest, ErrorsOnBadQuery) {
+  Warehouse wh = MakeWarehouse();
+  CubeEngine engine(&wh);
+  CubeQuery no_measures;
+  no_measures.axes = {AxisSpec{"Person", "Gender", {}}};
+  EXPECT_TRUE(engine.Execute(no_measures).status().IsInvalidArgument());
+
+  CubeQuery bad_dim = CountByGender();
+  bad_dim.axes[0].dimension = "Nope";
+  EXPECT_TRUE(engine.Execute(bad_dim).status().IsNotFound());
+
+  CubeQuery bad_attr = CountByGender();
+  bad_attr.axes[0].attribute = "Nope";
+  EXPECT_TRUE(engine.Execute(bad_attr).status().IsNotFound());
+
+  CubeQuery bad_measure = CountByGender();
+  bad_measure.measures = {AggSpec{AggFn::kAvg, "Nope", ""}};
+  EXPECT_TRUE(engine.Execute(bad_measure).status().IsNotFound());
+
+  CubeQuery avg_no_col = CountByGender();
+  avg_no_col.measures = {AggSpec{AggFn::kAvg, "", ""}};
+  EXPECT_TRUE(engine.Execute(avg_no_col).status().IsInvalidArgument());
+}
+
+TEST(CubeTest, ZeroAxesGrandTotal) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.measures = {AggSpec{AggFn::kCount, "", "n"},
+                AggSpec{AggFn::kAvg, "FBG", "avg"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->num_cells(), 1u);
+  EXPECT_EQ(cube->CellValue({}, 0), Value::Int(8));
+}
+
+TEST(CubeTest, ParallelScanMatchesSerial) {
+  // Build a bigger warehouse so the parallel path engages, then check
+  // every cell of a multi-measure query against the serial engine.
+  auto schema = Schema::Make({{"G", DataType::kString},
+                              {"B", DataType::kString},
+                              {"V", DataType::kDouble}});
+  Table t(std::move(schema).value());
+  for (int i = 0; i < 40000; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Str(i % 2 == 0 ? "x" : "y"),
+                     Value::Str(std::to_string(i % 7)),
+                     Value::Real(static_cast<double>(i % 113) / 3.0)})
+            .ok());
+  }
+  StarSchemaDef def;
+  def.fact_name = "F";
+  def.measures = {MeasureDef{"V", "V"}};
+  DimensionDef d{"D", {"G", "B"}, {}};
+  def.dimensions = {d};
+  auto wh = StarSchemaBuilder(def).Build(t);
+  ASSERT_TRUE(wh.ok());
+
+  CubeQuery q;
+  q.axes = {AxisSpec{"D", "G", {}}, AxisSpec{"D", "B", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"},
+                AggSpec{AggFn::kSum, "V", "s"},
+                AggSpec{AggFn::kMin, "V", "lo"},
+                AggSpec{AggFn::kMax, "V", "hi"},
+                AggSpec{AggFn::kCountDistinct, "V", "d"}};
+  auto serial = CubeEngine(&*wh).Execute(q);
+  ASSERT_TRUE(serial.ok());
+  CubeEngineOptions opt;
+  opt.num_threads = 4;
+  opt.parallel_threshold = 1000;
+  auto parallel = CubeEngine(&*wh, opt).Execute(q);
+  ASSERT_TRUE(parallel.ok());
+
+  EXPECT_EQ(parallel->num_cells(), serial->num_cells());
+  EXPECT_EQ(parallel->facts_aggregated(), serial->facts_aggregated());
+  for (const Value& g : serial->AxisMembers(0)) {
+    for (const Value& b : serial->AxisMembers(1)) {
+      for (size_t m = 0; m < q.measures.size(); ++m) {
+        Value sv = serial->CellValue({g, b}, m);
+        Value pv = parallel->CellValue({g, b}, m);
+        if (sv.is_null() || pv.is_null()) {
+          EXPECT_EQ(sv.is_null(), pv.is_null());
+        } else if (sv.type() == DataType::kDouble) {
+          EXPECT_NEAR(sv.double_value(), pv.double_value(),
+                      1e-6 * std::max(1.0, std::fabs(sv.double_value())));
+        } else {
+          EXPECT_TRUE(sv.Equals(pv));
+        }
+      }
+    }
+  }
+}
+
+TEST(CubeTest, TopCellsRanking) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "AgeBand5", {}},
+            AxisSpec{"Person", "Gender", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  auto top = cube->TopCells(2);
+  ASSERT_TRUE(top.ok());
+  ASSERT_EQ(top->size(), 2u);
+  // Largest cell: (70-75, F) with 2 facts (rows 1,8).
+  EXPECT_EQ((*top)[0].coordinates[0], Value::Str("70-75"));
+  EXPECT_EQ((*top)[0].coordinates[1], Value::Str("F"));
+  EXPECT_DOUBLE_EQ((*top)[0].value, 2.0);
+  EXPECT_GE((*top)[0].value, (*top)[1].value);
+
+  auto bottom = cube->TopCells(1, 0, /*largest=*/false);
+  ASSERT_TRUE(bottom.ok());
+  EXPECT_DOUBLE_EQ((*bottom)[0].value, 1.0);
+
+  // k larger than cell count returns everything.
+  auto all = cube->TopCells(1000);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->size(), cube->num_cells());
+  EXPECT_TRUE(cube->TopCells(3, 9).status().IsOutOfRange());
+}
+
+TEST(CubeTest, NullAttributeValuesFormCoordinates) {
+  // A null attribute value is a legitimate dimension member and must
+  // group facts like any other coordinate.
+  Table extract = MakeExtract();
+  ASSERT_TRUE(extract.SetCell(0, "Diabetes", Value::Null()).ok());
+  ASSERT_TRUE(extract.SetCell(4, "Diabetes", Value::Null()).ok());
+  StarSchemaDef def;
+  def.fact_name = "Facts";
+  def.measures = {MeasureDef{"FBG", "FBG"}};
+  DimensionDef condition;
+  condition.name = "Condition";
+  condition.attributes = {"Diabetes"};
+  def.dimensions = {condition};
+  auto wh = StarSchemaBuilder(def).Build(extract);
+  ASSERT_TRUE(wh.ok());
+  CubeQuery q;
+  q.axes = {AxisSpec{"Condition", "Diabetes", {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&*wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->num_cells(), 3u);  // Yes, No, null
+  EXPECT_EQ(cube->CellValue({Value::Null()}), Value::Int(2));
+  // Null sorts first in the member list.
+  EXPECT_TRUE(cube->AxisMembers(0).front().is_null());
+}
+
+TEST(CubeTest, RestrictedMemberAbsentFromDimensionIsEmpty) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender",
+                     {Value::Str("F"), Value::Str("X")}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  q.non_empty = true;
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  // "X" never occurs: dropped from the axis under non_empty.
+  ASSERT_EQ(cube->AxisMembers(0).size(), 1u);
+  EXPECT_EQ(cube->AxisMembers(0)[0], Value::Str("F"));
+  EXPECT_TRUE(cube->CellValue({Value::Str("X")}).is_null());
+
+  // With non_empty=false the restricted member stays visible.
+  q.non_empty = false;
+  auto padded = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(padded.ok());
+  ASSERT_EQ(padded->AxisMembers(0).size(), 2u);
+  EXPECT_EQ(padded->AxisMembers(0)[1], Value::Str("X"));
+}
+
+TEST(CubeTest, DuplicateRestrictionMembersDeduplicated) {
+  Warehouse wh = MakeWarehouse();
+  CubeQuery q;
+  q.axes = {AxisSpec{"Person", "Gender",
+                     {Value::Str("F"), Value::Str("F")}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  EXPECT_EQ(cube->AxisMembers(0).size(), 1u);
+  EXPECT_EQ(cube->facts_aggregated(), 5u);
+}
+
+// Property sweep: for any axis attribute, per-cell counts sum to the
+// slicer-admitted fact count.
+class CubePartitionTest : public ::testing::TestWithParam<
+                              std::pair<const char*, const char*>> {};
+
+TEST_P(CubePartitionTest, CellCountsPartitionFacts) {
+  Warehouse wh = MakeWarehouse();
+  auto [dim, attr] = GetParam();
+  CubeQuery q;
+  q.axes = {AxisSpec{dim, attr, {}}};
+  q.measures = {AggSpec{AggFn::kCount, "", "n"}};
+  auto cube = CubeEngine(&wh).Execute(q);
+  ASSERT_TRUE(cube.ok());
+  int64_t total = 0;
+  for (const Value& member : cube->AxisMembers(0)) {
+    total += cube->CellValue({member}).int_value();
+  }
+  EXPECT_EQ(total, 8);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Axes, CubePartitionTest,
+    ::testing::Values(std::make_pair("Person", "Gender"),
+                      std::make_pair("Person", "AgeBand10"),
+                      std::make_pair("Person", "AgeBand5"),
+                      std::make_pair("Condition", "Diabetes")));
+
+}  // namespace
+}  // namespace ddgms::olap

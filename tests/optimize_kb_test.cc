@@ -1,0 +1,258 @@
+// Unit tests for decision optimisation (stability, regimen) and the
+// knowledge base.
+
+#include <gtest/gtest.h>
+
+#include "kb/knowledge_base.h"
+#include "optimize/regimen.h"
+#include "optimize/stability.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms {
+namespace {
+
+using optimize::EstimateBenefitFromCohort;
+using optimize::GreedyRegimen;
+using optimize::OptimizeRegimen;
+using optimize::StabilityAnalyzer;
+using optimize::StabilityOptions;
+using optimize::TreatmentOption;
+using warehouse::DimensionDef;
+using warehouse::MeasureDef;
+using warehouse::StarSchemaBuilder;
+using warehouse::StarSchemaDef;
+using warehouse::Warehouse;
+
+// -------------------------------------------------------------- stability
+
+Warehouse MakeStabilityWarehouse() {
+  // FBG mean is ~8 for diabetics regardless of gender (stable), but
+  // varies wildly across Site (unstable confounder).
+  auto schema = Schema::Make({{"Gender", DataType::kString},
+                              {"Site", DataType::kString},
+                              {"Diabetes", DataType::kString},
+                              {"FBG", DataType::kDouble}});
+  Table t(std::move(schema).value());
+  struct R {
+    const char* g;
+    const char* s;
+    const char* d;
+    double fbg;
+  };
+  const R rows[] = {
+      {"F", "north", "Yes", 10.0}, {"M", "north", "Yes", 10.2},
+      {"F", "north", "Yes", 9.8},  {"M", "north", "Yes", 10.1},
+      {"F", "south", "Yes", 6.0},  {"M", "south", "Yes", 6.1},
+      {"F", "south", "Yes", 5.9},  {"M", "south", "Yes", 6.2},
+      {"F", "north", "No", 5.0},   {"M", "south", "No", 5.1},
+  };
+  for (const R& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value::Str(r.g), Value::Str(r.s),
+                             Value::Str(r.d), Value::Real(r.fbg)})
+                    .ok());
+  }
+  StarSchemaDef def;
+  def.fact_name = "Facts";
+  def.measures = {MeasureDef{"FBG", "FBG"}};
+  DimensionDef person{"Person", {"Gender", "Site"}, {}};
+  DimensionDef condition{"Condition", {"Diabetes"}, {}};
+  def.dimensions = {person, condition};
+  auto wh = StarSchemaBuilder(def).Build(t);
+  EXPECT_TRUE(wh.ok());
+  return std::move(wh).value();
+}
+
+TEST(StabilityTest, FlagsConfounderAndPassesStableDimension) {
+  Warehouse wh = MakeStabilityWarehouse();
+  StabilityOptions opt;
+  opt.instability_threshold = 0.2;
+  opt.min_subgroup_fraction = 0.0;
+  StabilityAnalyzer analyzer(&wh, opt);
+  auto report = analyzer.Analyze(
+      AggSpec{AggFn::kAvg, "FBG", "mean_fbg"},
+      {olap::SlicerSpec{"Condition", "Diabetes", {Value::Str("Yes")}}},
+      {{"Person", "Gender"}, {"Person", "Site"}});
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_NEAR(report->base_value, 8.0375, 1e-3);
+  ASSERT_EQ(report->candidates.size(), 2u);
+  EXPECT_TRUE(report->candidates[0].stable);    // Gender
+  EXPECT_FALSE(report->candidates[1].stable);   // Site
+  EXPECT_FALSE(report->all_stable);
+  EXPECT_GT(report->candidates[1].relative_spread,
+            report->candidates[0].relative_spread);
+  EXPECT_FALSE(report->ToString().empty());
+}
+
+TEST(StabilityTest, EmptySlicerSelectionFails) {
+  Warehouse wh = MakeStabilityWarehouse();
+  StabilityAnalyzer analyzer(&wh);
+  auto report = analyzer.Analyze(
+      AggSpec{AggFn::kAvg, "FBG", ""},
+      {olap::SlicerSpec{"Condition", "Diabetes", {Value::Str("Maybe")}}},
+      {{"Person", "Gender"}});
+  EXPECT_TRUE(report.status().IsFailedPrecondition());
+}
+
+// ---------------------------------------------------------------- regimen
+
+TEST(RegimenTest, KnapsackBeatsGreedyWhenRatiosMislead) {
+  // Classic case: greedy picks the high-ratio small item and wastes
+  // budget; DP finds the better pair.
+  std::vector<TreatmentOption> options = {
+      {"screening", 6.0, 9.0},   // ratio 1.5
+      {"education", 5.0, 6.0},   // ratio 1.2
+      {"exercise", 5.0, 6.0},    // ratio 1.2
+  };
+  auto dp = OptimizeRegimen(options, 10.0);
+  ASSERT_TRUE(dp.ok());
+  EXPECT_DOUBLE_EQ(dp->total_benefit, 12.0);  // education + exercise
+  EXPECT_EQ(dp->selected.size(), 2u);
+
+  auto greedy = GreedyRegimen(options, 10.0);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_DOUBLE_EQ(greedy->total_benefit, 9.0);  // screening only
+  EXPECT_GE(dp->total_benefit, greedy->total_benefit);
+}
+
+TEST(RegimenTest, RespectsBudgetExactly) {
+  std::vector<TreatmentOption> options = {
+      {"a", 3.0, 5.0}, {"b", 4.0, 6.0}, {"c", 5.0, 7.0}};
+  auto plan = OptimizeRegimen(options, 7.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_LE(plan->total_cost, 7.0 + 1e-9);
+  EXPECT_DOUBLE_EQ(plan->total_benefit, 11.0);  // a + b
+}
+
+TEST(RegimenTest, NegativeBenefitNeverSelected) {
+  std::vector<TreatmentOption> options = {{"harmful", 1.0, -5.0},
+                                          {"helpful", 1.0, 2.0}};
+  auto plan = OptimizeRegimen(options, 10.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_EQ(plan->selected, std::vector<std::string>{"helpful"});
+}
+
+TEST(RegimenTest, ZeroBudgetSelectsNothingWithPositiveCost) {
+  std::vector<TreatmentOption> options = {{"a", 1.0, 2.0}};
+  auto plan = OptimizeRegimen(options, 0.0);
+  ASSERT_TRUE(plan.ok());
+  EXPECT_TRUE(plan->selected.empty());
+}
+
+TEST(RegimenTest, Validation) {
+  EXPECT_FALSE(OptimizeRegimen({{"a", 1, 1}}, -1.0).ok());
+  EXPECT_FALSE(OptimizeRegimen({{"a", -1, 1}}, 1.0).ok());
+  EXPECT_FALSE(OptimizeRegimen({{"a", 1, 1}}, 1.0, -5.0).ok());
+  EXPECT_FALSE(GreedyRegimen({{"a", 1, 1}}, -1.0).ok());
+}
+
+TEST(RegimenTest, EstimateBenefitFromCohort) {
+  Table t(Schema::Make({{"Treated", DataType::kBool},
+                        {"HbA1c", DataType::kDouble}})
+              .value());
+  // Treated patients have lower HbA1c by ~1.0.
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Bool(true), Value::Real(6.5)}).ok());
+    ASSERT_TRUE(
+        t.AppendRow({Value::Bool(false), Value::Real(7.5)}).ok());
+  }
+  auto benefit = EstimateBenefitFromCohort(t, "Treated", "HbA1c",
+                                           /*lower_is_better=*/true);
+  ASSERT_TRUE(benefit.ok());
+  EXPECT_NEAR(*benefit, 1.0, 1e-9);
+  // No unexposed rows -> error.
+  Table all_on = t.Filter([](const Table& tt, size_t i) {
+    return tt.column(0).BoolAt(i);
+  });
+  EXPECT_TRUE(EstimateBenefitFromCohort(all_on, "Treated", "HbA1c")
+                  .status()
+                  .IsFailedPrecondition());
+}
+
+// --------------------------------------------------------- knowledge base
+
+TEST(KnowledgeBaseTest, EvidenceAccumulationAndPromotion) {
+  kb::KnowledgeBaseOptions opt;
+  opt.promotion_threshold = 3;
+  opt.promotion_confidence = 0.5;
+  kb::KnowledgeBase base(opt);
+  int64_t id = base.RecordEvidence("finding A", "olap", 0.6, {"diabetes"});
+  EXPECT_EQ(base.RecordEvidence("finding A", "mining", 0.7), id);
+  auto f = base.Get(id);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->evidence_count, 2u);
+  EXPECT_EQ(f->status, kb::FindingStatus::kCandidate);
+  base.RecordEvidence("finding A", "prediction", 0.4);
+  f = base.Get(id);
+  EXPECT_EQ(f->status, kb::FindingStatus::kAccepted);
+  EXPECT_DOUBLE_EQ(f->confidence, 0.7);  // max retained
+}
+
+TEST(KnowledgeBaseTest, LowConfidenceBlocksPromotion) {
+  kb::KnowledgeBaseOptions opt;
+  opt.promotion_threshold = 2;
+  opt.promotion_confidence = 0.9;
+  kb::KnowledgeBase base(opt);
+  int64_t id = base.RecordEvidence("weak", "olap", 0.3);
+  base.RecordEvidence("weak", "olap", 0.4);
+  base.RecordEvidence("weak", "olap", 0.4);
+  EXPECT_EQ(base.Get(id)->status, kb::FindingStatus::kCandidate);
+}
+
+TEST(KnowledgeBaseTest, RetireAndQueries) {
+  kb::KnowledgeBase base;
+  int64_t a = base.RecordEvidence("A", "olap", 0.5, {"x", "y"});
+  base.RecordEvidence("B", "mining", 0.5, {"y"});
+  ASSERT_TRUE(base.Retire(a).ok());
+  EXPECT_EQ(base.WithStatus(kb::FindingStatus::kRetired).size(), 1u);
+  EXPECT_EQ(base.WithTag("y").size(), 2u);
+  EXPECT_EQ(base.WithTag("x").size(), 1u);
+  EXPECT_TRUE(base.Retire(999).IsNotFound());
+  EXPECT_TRUE(base.Get(999).status().IsNotFound());
+}
+
+TEST(KnowledgeBaseTest, TagsDeduplicatedOnMerge) {
+  kb::KnowledgeBase base;
+  int64_t id = base.RecordEvidence("A", "olap", 0.5, {"x"});
+  base.RecordEvidence("A", "olap", 0.5, {"x", "z"});
+  auto f = base.Get(id);
+  EXPECT_EQ(f->tags, (std::vector<std::string>{"x", "z"}));
+}
+
+TEST(KnowledgeBaseTest, ToTable) {
+  kb::KnowledgeBase base;
+  base.RecordEvidence("A", "olap", 0.5, {"x"});
+  auto table = base.ToTable();
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 1u);
+  EXPECT_EQ(*table->GetCell(0, "Statement"), Value::Str("A"));
+}
+
+TEST(KnowledgeBaseTest, CsvRoundTrip) {
+  kb::KnowledgeBase base;
+  base.RecordEvidence("finding, with comma", "olap", 0.5, {"x", "y"});
+  base.RecordEvidence("another", "mining", 0.25);
+  std::string csv = base.ToCsv();
+  auto back = kb::KnowledgeBase::FromCsv(csv);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back->size(), 2u);
+  auto f = back->Get(1);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->statement, "finding, with comma");
+  EXPECT_EQ(f->tags, (std::vector<std::string>{"x", "y"}));
+  // New ids continue after the max loaded id.
+  int64_t next = back->RecordEvidence("new", "olap", 0.1);
+  EXPECT_EQ(next, 3);
+}
+
+TEST(KnowledgeBaseTest, FromCsvRejectsMalformed) {
+  EXPECT_FALSE(kb::KnowledgeBase::FromCsv("").ok());
+  EXPECT_FALSE(
+      kb::KnowledgeBase::FromCsv("header\n1,2\n").ok());
+  EXPECT_FALSE(kb::KnowledgeBase::FromCsv(
+                   "h\nx,s,src,,1,0.5,candidate\n")
+                   .ok());  // non-integer id
+}
+
+}  // namespace
+}  // namespace ddgms

@@ -1,0 +1,242 @@
+// Unit tests for the prediction layer: Markov trajectory model and
+// Gower-distance patient similarity.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "predict/markov.h"
+#include "predict/similarity.h"
+
+namespace ddgms::predict {
+namespace {
+
+// ----------------------------------------------------------------- Markov
+
+std::vector<std::vector<std::string>> ProgressionSequences() {
+  // Disease mostly progresses normal -> pre -> diabetic and sticks.
+  return {
+      {"normal", "normal", "pre", "diabetic"},
+      {"normal", "pre", "pre", "diabetic", "diabetic"},
+      {"normal", "normal", "normal"},
+      {"pre", "diabetic", "diabetic"},
+      {"normal", "pre", "diabetic"},
+      {"diabetic", "diabetic", "diabetic"},
+  };
+}
+
+TEST(MarkovTest, TrainAndPredictNext) {
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.TrainFromSequences(ProgressionSequences()).ok());
+  EXPECT_EQ(model.states().size(), 3u);
+  // "diabetic" is absorbing in the training data.
+  EXPECT_EQ(*model.PredictNext("diabetic"), "diabetic");
+  // Unknown state errors.
+  EXPECT_TRUE(model.PredictNext("alien").status().IsNotFound());
+}
+
+TEST(MarkovTest, TransitionDistributionSumsToOne) {
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.TrainFromSequences(ProgressionSequences()).ok());
+  for (const std::string& s : model.states()) {
+    auto dist = model.TransitionDistribution(s);
+    ASSERT_TRUE(dist.ok());
+    double total = 0.0;
+    for (const auto& [state, p] : *dist) {
+      EXPECT_GT(p, 0.0);  // Laplace smoothing: never zero
+      total += p;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(MarkovTest, PredictAfterMultipleSteps) {
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.TrainFromSequences(ProgressionSequences()).ok());
+  auto dist = model.PredictAfter("normal", 4);
+  ASSERT_TRUE(dist.ok());
+  double total = 0.0;
+  double p_diabetic = 0.0;
+  for (const auto& [state, p] : *dist) {
+    total += p;
+    if (state == "diabetic") p_diabetic = p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  // After several steps most mass should have progressed.
+  EXPECT_GT(p_diabetic, 0.4);
+  // Zero steps = point mass on the current state.
+  auto zero = model.PredictAfter("pre", 0);
+  for (const auto& [state, p] : *zero) {
+    EXPECT_NEAR(p, state == "pre" ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(MarkovTest, SequenceLikelihoodPrefersTypicalPaths) {
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.TrainFromSequences(ProgressionSequences()).ok());
+  double typical =
+      *model.SequenceLogLikelihood({"normal", "pre", "diabetic"});
+  double atypical =
+      *model.SequenceLogLikelihood({"diabetic", "normal", "pre"});
+  EXPECT_GT(typical, atypical);
+  EXPECT_FALSE(model.SequenceLogLikelihood({}).ok());
+}
+
+TEST(MarkovTest, TrainFromTable) {
+  Table t(Schema::Make({{"P", DataType::kString},
+                        {"D", DataType::kDate},
+                        {"S", DataType::kString}})
+              .value());
+  auto add = [&](const char* p, const char* date, const char* s) {
+    ASSERT_TRUE(
+        t.AppendRow({Value::Str(p),
+                     Value::FromDate(Date::FromString(date).value()),
+                     Value::Str(s)})
+            .ok());
+  };
+  add("P1", "2011-01-01", "pre");       // out of order on purpose
+  add("P1", "2010-01-01", "normal");
+  add("P1", "2012-01-01", "diabetic");
+  add("P2", "2010-01-01", "normal");
+  add("P2", "2011-01-01", "normal");
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.Train(t, "P", "D", "S").ok());
+  // P1's ordered path contributes normal->pre.
+  auto dist = model.TransitionDistribution("normal");
+  ASSERT_TRUE(dist.ok());
+  // normal transitions observed: ->pre (P1), ->normal (P2).
+  double p_pre = 0.0;
+  for (const auto& [s, p] : *dist) {
+    if (s == "pre") p_pre = p;
+  }
+  EXPECT_GT(p_pre, 0.2);
+}
+
+TEST(MarkovTest, EvaluateAgainstBaseline) {
+  MarkovTrajectoryModel model;
+  ASSERT_TRUE(model.TrainFromSequences(ProgressionSequences()).ok());
+  auto report = EvaluateTrajectories(
+      model, {{"normal", "pre", "diabetic", "diabetic"},
+              {"pre", "diabetic"}});
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->transitions, 4u);
+  EXPECT_GE(report->model_accuracy, report->baseline_accuracy);
+}
+
+TEST(MarkovTest, UntrainedFails) {
+  MarkovTrajectoryModel model;
+  EXPECT_TRUE(
+      model.PredictNext("x").status().IsFailedPrecondition());
+  EXPECT_TRUE(
+      model.TrainFromSequences({}).IsInvalidArgument());
+}
+
+// ------------------------------------------------------------- similarity
+
+Table MakeReferenceCohort() {
+  Table t(Schema::Make({{"Age", DataType::kInt64},
+                        {"BMI", DataType::kDouble},
+                        {"Gender", DataType::kString},
+                        {"Outcome", DataType::kString}})
+              .value());
+  struct R {
+    int64_t age;
+    double bmi;
+    const char* g;
+    const char* y;
+  };
+  const R rows[] = {
+      {45, 22.0, "F", "good"}, {48, 23.5, "F", "good"},
+      {50, 24.0, "M", "good"}, {72, 33.0, "M", "poor"},
+      {75, 35.0, "F", "poor"}, {78, 31.0, "M", "poor"},
+  };
+  for (const R& r : rows) {
+    EXPECT_TRUE(t.AppendRow({Value::Int(r.age), Value::Real(r.bmi),
+                             Value::Str(r.g), Value::Str(r.y)})
+                    .ok());
+  }
+  return t;
+}
+
+TEST(SimilarityTest, PredictsByNeighbourhood) {
+  Table cohort = MakeReferenceCohort();
+  PatientSimilarityPredictor::Options opt;
+  opt.k = 3;
+  PatientSimilarityPredictor predictor(opt);
+  ASSERT_TRUE(
+      predictor.Fit(cohort, {"Age", "BMI", "Gender"}, "Outcome").ok());
+  EXPECT_EQ(*predictor.Predict(
+                {Value::Int(47), Value::Real(23.0), Value::Str("F")}),
+            "good");
+  EXPECT_EQ(*predictor.Predict(
+                {Value::Int(74), Value::Real(34.0), Value::Str("M")}),
+            "poor");
+}
+
+TEST(SimilarityTest, GowerDistanceProperties) {
+  Table cohort = MakeReferenceCohort();
+  PatientSimilarityPredictor predictor;
+  ASSERT_TRUE(
+      predictor.Fit(cohort, {"Age", "BMI", "Gender"}, "Outcome").ok());
+  // Identical to row 0 -> distance 0.
+  double d0 =
+      *predictor.Distance({Value::Int(45), Value::Real(22.0),
+                           Value::Str("F")},
+                          0);
+  EXPECT_NEAR(d0, 0.0, 1e-12);
+  // All distances in [0, 1].
+  for (size_t i = 0; i < 6; ++i) {
+    double d = *predictor.Distance(
+        {Value::Int(60), Value::Real(28.0), Value::Str("M")}, i);
+    EXPECT_GE(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(SimilarityTest, NullFeaturesAreSkipped) {
+  Table cohort = MakeReferenceCohort();
+  PatientSimilarityPredictor predictor;
+  ASSERT_TRUE(
+      predictor.Fit(cohort, {"Age", "BMI", "Gender"}, "Outcome").ok());
+  // Query with only age known still predicts.
+  auto pred = predictor.Predict(
+      {Value::Int(46), Value::Null(), Value::Null()});
+  ASSERT_TRUE(pred.ok());
+  EXPECT_EQ(*pred, "good");
+  // All-null query is maximally distant everywhere but still answers.
+  EXPECT_TRUE(predictor
+                  .Predict({Value::Null(), Value::Null(), Value::Null()})
+                  .ok());
+}
+
+TEST(SimilarityTest, NearestNeighboursSortedByDistance) {
+  Table cohort = MakeReferenceCohort();
+  PatientSimilarityPredictor predictor;
+  ASSERT_TRUE(
+      predictor.Fit(cohort, {"Age", "BMI", "Gender"}, "Outcome").ok());
+  auto nn = predictor.NearestNeighbours(
+      {Value::Int(45), Value::Real(22.0), Value::Str("F")}, 4);
+  ASSERT_TRUE(nn.ok());
+  ASSERT_EQ(nn->size(), 4u);
+  for (size_t i = 1; i < nn->size(); ++i) {
+    EXPECT_LE((*nn)[i - 1].distance, (*nn)[i].distance);
+  }
+  EXPECT_EQ((*nn)[0].row, 0u);
+}
+
+TEST(SimilarityTest, Validation) {
+  PatientSimilarityPredictor predictor;
+  EXPECT_TRUE(predictor.Predict({Value::Int(1)})
+                  .status()
+                  .IsFailedPrecondition());
+  Table cohort = MakeReferenceCohort();
+  ASSERT_TRUE(
+      predictor.Fit(cohort, {"Age", "BMI", "Gender"}, "Outcome").ok());
+  EXPECT_TRUE(predictor.Predict({Value::Int(1)})
+                  .status()
+                  .IsInvalidArgument());
+  EXPECT_TRUE(predictor.Fit(cohort, {"Nope"}, "Outcome").IsNotFound());
+}
+
+}  // namespace
+}  // namespace ddgms::predict

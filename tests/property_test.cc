@@ -1,0 +1,293 @@
+// Property-based tests: randomized tables and queries checked against
+// structural invariants — CSV round-trips, sort/filter laws, warehouse
+// vs. flat-query equivalence on random multivariate queries, and
+// discretiser partition laws.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "core/baseline.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "etl/discretize.h"
+#include "table/sql.h"
+#include "table/table.h"
+
+namespace ddgms {
+namespace {
+
+// ---------------------------------------------------------- random data
+
+Table RandomTable(Rng* rng, size_t rows) {
+  auto schema = Schema::Make({{"I", DataType::kInt64},
+                              {"D", DataType::kDouble},
+                              {"S", DataType::kString},
+                              {"B", DataType::kBool},
+                              {"T", DataType::kDate}})
+                    .value();
+  Table t(std::move(schema));
+  const char* words[] = {"alpha", "beta", "gamma", "delta", ""};
+  for (size_t i = 0; i < rows; ++i) {
+    auto maybe_null = [&](Value v) {
+      return rng->Bernoulli(0.12) ? Value::Null() : v;
+    };
+    Row row;
+    row.push_back(maybe_null(Value::Int(rng->UniformInt(-50, 50))));
+    row.push_back(maybe_null(Value::Real(rng->Gaussian(0, 10))));
+    row.push_back(maybe_null(Value::Str(
+        words[rng->UniformInt(0, 3)])));  // skip "" (null round-trip)
+    row.push_back(maybe_null(Value::Bool(rng->Bernoulli(0.5))));
+    row.push_back(maybe_null(Value::FromDate(
+        Date(static_cast<int32_t>(rng->UniformInt(10000, 20000))))));
+    EXPECT_TRUE(t.AppendRow(row).ok());
+  }
+  return t;
+}
+
+class RandomTableTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomTableTest, CsvRoundTripPreservesEverything) {
+  Rng rng(GetParam());
+  Table t = RandomTable(&rng, 60);
+  auto back = Table::FromCsv(t.ToCsv());
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), t.num_rows());
+  ASSERT_EQ(back->num_columns(), t.num_columns());
+  for (size_t c = 0; c < t.num_columns(); ++c) {
+    EXPECT_EQ(back->schema().field(c).type, t.schema().field(c).type)
+        << t.schema().field(c).name;
+  }
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    for (size_t c = 0; c < t.num_columns(); ++c) {
+      Value a = t.column(c).GetValue(r);
+      Value b = back->column(c).GetValue(r);
+      if (a.type() == DataType::kDouble && !a.is_null() && !b.is_null()) {
+        EXPECT_NEAR(a.double_value(), b.double_value(),
+                    1e-5 * std::max(1.0, std::fabs(a.double_value())));
+      } else {
+        EXPECT_TRUE(a.Equals(b))
+            << "r" << r << "c" << c << ": " << a.ToString() << " vs "
+            << b.ToString();
+      }
+    }
+  }
+}
+
+TEST_P(RandomTableTest, SortIsOrderedPermutation) {
+  Rng rng(GetParam() + 1000);
+  Table t = RandomTable(&rng, 80);
+  auto sorted = t.SortBy({"D", "I"});
+  ASSERT_TRUE(sorted.ok());
+  ASSERT_EQ(sorted->num_rows(), t.num_rows());
+  // Ordered by (D, I) with Value semantics (nulls first).
+  const ColumnVector& d = *sorted->ColumnByName("D").value();
+  const ColumnVector& i = *sorted->ColumnByName("I").value();
+  for (size_t r = 1; r < sorted->num_rows(); ++r) {
+    int c = d.GetValue(r - 1).Compare(d.GetValue(r));
+    EXPECT_LE(c, 0);
+    if (c == 0) {
+      EXPECT_LE(i.GetValue(r - 1).Compare(i.GetValue(r)), 0);
+    }
+  }
+  // Permutation: multiset of I values preserved.
+  std::vector<std::string> before, after;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    before.push_back(t.column(0).GetValue(r).ToString());
+    after.push_back(sorted->column(0).GetValue(r).ToString());
+  }
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST_P(RandomTableTest, FilterPartitionsRows) {
+  Rng rng(GetParam() + 2000);
+  Table t = RandomTable(&rng, 70);
+  auto pred = [](const Table& tt, size_t r) {
+    return !tt.column(0).IsNull(r) && tt.column(0).IntAt(r) >= 0;
+  };
+  Table yes = t.Filter(pred);
+  Table no = t.Filter([&](const Table& tt, size_t r) {
+    return !pred(tt, r);
+  });
+  EXPECT_EQ(yes.num_rows() + no.num_rows(), t.num_rows());
+}
+
+TEST_P(RandomTableTest, SqlCountMatchesManualFilter) {
+  Rng rng(GetParam() + 3000);
+  Table t = RandomTable(&rng, 90);
+  SqlEngine engine;
+  engine.RegisterTable("t", &t);
+  auto result = engine.Execute(
+      "SELECT count(*) AS n FROM t WHERE I >= 0 AND B = TRUE");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  size_t manual = 0;
+  for (size_t r = 0; r < t.num_rows(); ++r) {
+    if (!t.column(0).IsNull(r) && t.column(0).IntAt(r) >= 0 &&
+        !t.column(3).IsNull(r) && t.column(3).BoolAt(r)) {
+      ++manual;
+    }
+  }
+  EXPECT_EQ(*result->GetCell(0, "n"),
+            Value::Int(static_cast<int64_t>(manual)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomTableTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------- random discretiser properties
+
+class RandomSchemeTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomSchemeTest, BandsPartitionData) {
+  Rng rng(GetParam());
+  std::vector<double> data;
+  std::vector<std::string> labels;
+  size_t n = 100 + static_cast<size_t>(rng.UniformInt(0, 300));
+  for (size_t i = 0; i < n; ++i) {
+    data.push_back(rng.Gaussian(rng.Uniform(-5, 5), rng.Uniform(1, 10)));
+    labels.push_back(rng.Bernoulli(0.4) ? "a" : "b");
+  }
+  size_t bins = static_cast<size_t>(rng.UniformInt(2, 7));
+  etl::DiscretizeOptions opt;
+  opt.max_bins = bins;
+  std::vector<Result<etl::DiscretisationScheme>> schemes;
+  schemes.push_back(etl::EqualWidthScheme("x", data, bins));
+  schemes.push_back(etl::EqualFrequencyScheme("x", data, bins));
+  schemes.push_back(etl::EntropyMdlScheme("x", data, labels, opt));
+  schemes.push_back(etl::ChiMergeScheme("x", data, labels, opt));
+  for (const auto& scheme : schemes) {
+    ASSERT_TRUE(scheme.ok()) << scheme.status().ToString();
+    std::vector<size_t> counts(scheme->num_bins(), 0);
+    for (double v : data) counts[scheme->BinIndex(v)]++;
+    size_t total = 0;
+    for (size_t c : counts) total += c;
+    EXPECT_EQ(total, n);
+    // Quality evaluation never fails on valid data.
+    EXPECT_TRUE(etl::EvaluateScheme(*scheme, data, labels).ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomSchemeTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ------------------------- randomized warehouse/baseline equivalence
+
+class RandomQueryEquivalenceTest
+    : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  static void SetUpTestSuite() {
+    discri::CohortOptions opt;
+    opt.num_patients = 220;
+    opt.seed = 404;
+    auto raw = discri::GenerateCohort(opt);
+    ASSERT_TRUE(raw.ok());
+    auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                    discri::MakeDiscriPipeline(),
+                                    discri::MakeDiscriSchemaDef());
+    ASSERT_TRUE(dgms.ok());
+    dgms_ = new core::DdDgms(std::move(dgms).value());
+  }
+  static void TearDownTestSuite() {
+    delete dgms_;
+    dgms_ = nullptr;
+  }
+  static core::DdDgms* dgms_;
+};
+
+core::DdDgms* RandomQueryEquivalenceTest::dgms_ = nullptr;
+
+TEST_P(RandomQueryEquivalenceTest, WarehouseEqualsFlatQuery) {
+  Rng rng(GetParam());
+  // Pool of (dimension, attribute) pairs with modest cardinalities.
+  const std::pair<const char*, const char*> pool[] = {
+      {"PersonalInformation", "Gender"},
+      {"PersonalInformation", "AgeBand"},
+      {"PersonalInformation", "Smoker"},
+      {"PersonalInformation", "Education"},
+      {"MedicalCondition", "DiabetesStatus"},
+      {"MedicalCondition", "HypertensionStatus"},
+      {"MedicalCondition", "EwingCategory"},
+      {"FastingBloods", "FBGBand"},
+      {"LimbHealth", "AnkleReflexes"},
+      {"BloodPressure", "LyingDBPBand"},
+      {"ExerciseRoutine", "ExerciseRoutine"},
+  };
+  const size_t pool_n = std::size(pool);
+
+  for (int trial = 0; trial < 6; ++trial) {
+    // Random 1-3 axes, possibly a slicer, random measure mix.
+    std::vector<size_t> picks;
+    size_t num_axes = static_cast<size_t>(rng.UniformInt(1, 3));
+    while (picks.size() < num_axes + 1) {
+      size_t p = static_cast<size_t>(
+          rng.UniformInt(0, static_cast<int64_t>(pool_n) - 1));
+      if (std::find(picks.begin(), picks.end(), p) == picks.end()) {
+        picks.push_back(p);
+      }
+    }
+    olap::CubeQuery q;
+    for (size_t a = 0; a < num_axes; ++a) {
+      q.axes.push_back({pool[picks[a]].first, pool[picks[a]].second, {}});
+    }
+    // Slicer on the remaining pick: a random member of that attribute.
+    if (rng.Bernoulli(0.7)) {
+      const auto& [dim_name, attr] = pool[picks[num_axes]];
+      auto dim = dgms_->warehouse().dimension(dim_name);
+      ASSERT_TRUE(dim.ok());
+      auto col = (*dim)->table().ColumnByName(attr);
+      ASSERT_TRUE(col.ok());
+      auto distinct = (*col)->DistinctValues();
+      if (!distinct.empty()) {
+        Value member = distinct[static_cast<size_t>(rng.UniformInt(
+            0, static_cast<int64_t>(distinct.size()) - 1))];
+        q.slicers.push_back({dim_name, attr, {member}});
+      }
+    }
+    q.measures = {{AggFn::kCount, "", "n"}};
+    if (rng.Bernoulli(0.5)) {
+      q.measures.push_back({AggFn::kAvg, "FBG", "m1"});
+    }
+    if (rng.Bernoulli(0.3)) {
+      q.measures.push_back({AggFn::kMax, "BMI", "m2"});
+    }
+
+    auto cube = dgms_->Query(q);
+    ASSERT_TRUE(cube.ok()) << q.ToString();
+    core::BaselineDgms baseline(&dgms_->transformed());
+    auto flat = baseline.Execute(q);
+    ASSERT_TRUE(flat.ok()) << q.ToString();
+
+    // Every flat row's aggregates match the cube cell.
+    ASSERT_EQ(flat->num_rows(), cube->num_cells()) << q.ToString();
+    for (size_t r = 0; r < flat->num_rows(); ++r) {
+      std::vector<Value> coord;
+      for (size_t a = 0; a < num_axes; ++a) {
+        coord.push_back(*flat->GetCell(r, q.axes[a].attribute));
+      }
+      for (size_t m = 0; m < q.measures.size(); ++m) {
+        Value flat_v =
+            *flat->GetCell(r, q.measures[m].OutputName());
+        Value cube_v = cube->CellValue(coord, m);
+        if (flat_v.is_null() || cube_v.is_null()) {
+          EXPECT_EQ(flat_v.is_null(), cube_v.is_null()) << q.ToString();
+        } else if (flat_v.type() == DataType::kDouble) {
+          EXPECT_NEAR(flat_v.double_value(), cube_v.double_value(),
+                      1e-9)
+              << q.ToString();
+        } else {
+          EXPECT_TRUE(flat_v.Equals(cube_v)) << q.ToString();
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomQueryEquivalenceTest,
+                         ::testing::Values(100, 200, 300, 400, 500));
+
+}  // namespace
+}  // namespace ddgms

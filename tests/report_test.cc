@@ -1,0 +1,84 @@
+// Unit tests for the text rendering layer.
+
+#include <gtest/gtest.h>
+
+#include "report/render.h"
+#include "table/table.h"
+
+namespace ddgms::report {
+namespace {
+
+Table MakeGrid() {
+  Table t(Schema::Make({{"AgeBand", DataType::kString},
+                        {"F", DataType::kInt64},
+                        {"M", DataType::kInt64}})
+              .value());
+  EXPECT_TRUE(
+      t.AppendRow({Value::Str("60-70"), Value::Int(10), Value::Int(7)})
+          .ok());
+  EXPECT_TRUE(
+      t.AppendRow({Value::Str("70-80"), Value::Int(12), Value::Null()})
+          .ok());
+  return t;
+}
+
+TEST(RenderPivotTest, TotalsAndNullCells) {
+  auto out = RenderPivot(MakeGrid(), {.title = "Counts"});
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("Counts"), std::string::npos);
+  EXPECT_NE(out->find("AgeBand"), std::string::npos);
+  EXPECT_NE(out->find("Total"), std::string::npos);
+  EXPECT_NE(out->find("29"), std::string::npos);  // grand total 10+7+12
+  EXPECT_NE(out->find("."), std::string::npos);   // null cell marker
+}
+
+TEST(RenderPivotTest, NoTotals) {
+  PivotRenderOptions opt;
+  opt.row_totals = false;
+  opt.column_totals = false;
+  auto out = RenderPivot(MakeGrid(), opt);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->find("Total"), std::string::npos);
+}
+
+TEST(RenderPivotTest, NeedsDataColumn) {
+  Table t(Schema::Make({{"OnlyLabels", DataType::kString}}).value());
+  EXPECT_TRUE(RenderPivot(t).status().IsInvalidArgument());
+}
+
+TEST(BarChartTest, ScalesToMaxWidth) {
+  BarChartOptions opt;
+  opt.max_width = 10;
+  opt.show_values = false;
+  std::string out =
+      RenderBarChart({"a", "bb"}, {5.0, 10.0}, opt);
+  // Max bar is exactly 10 chars; the other is 5.
+  EXPECT_NE(out.find("##########"), std::string::npos);
+  EXPECT_EQ(out.find("###########"), std::string::npos);
+  EXPECT_NE(out.find("#####"), std::string::npos);
+}
+
+TEST(BarChartTest, AllZeroValues) {
+  std::string out = RenderBarChart({"a"}, {0.0});
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_EQ(out.find('#'), std::string::npos);
+}
+
+TEST(GroupedBarChartTest, LegendAndSeries) {
+  std::string out = RenderGroupedBarChart(
+      {"60-70", "70-80"}, {"F", "M"},
+      {{10, 12}, {7, 3}});
+  EXPECT_NE(out.find("legend: #=F ==M"), std::string::npos);
+  EXPECT_NE(out.find("60-70"), std::string::npos);
+  EXPECT_NE(out.find('='), std::string::npos);
+}
+
+TEST(RenderPivotAsChartTest, FromGrid) {
+  auto out = RenderPivotAsChart(MakeGrid());
+  ASSERT_TRUE(out.ok());
+  EXPECT_NE(out->find("legend"), std::string::npos);
+  EXPECT_NE(out->find("70-80"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddgms::report
