@@ -10,9 +10,13 @@
 //   mdx <SELECT ...>     OLAP query rendered as a grid
 //   dims                 list dimensions and member counts
 //   report               transformation report
+//   quarantine           rows quarantined by the last (lenient) load
 //   kb                   knowledge-base contents
 //   save <dir>           persist the warehouse
 //   help / quit
+//
+// Pass --lenient to quarantine corrupt rows at every stage instead of
+// failing the load on the first bad row.
 
 #include <cstdio>
 #include <cstring>
@@ -37,6 +41,7 @@ void PrintHelp() {
       "  mdx <SELECT ...>   OLAP query (cube: MedicalMeasures)\n"
       "  dims               list dimensions\n"
       "  report             transformation report\n"
+      "  quarantine         rows quarantined by the last load\n"
       "  describe           per-column profile of the extract\n"
       "  kb                 knowledge base contents\n"
       "  save <dir>         persist warehouse to a directory\n"
@@ -48,23 +53,31 @@ void PrintHelp() {
 int main(int argc, char** argv) {
   std::string csv_path;
   size_t patients = 300;
+  core::RobustnessOptions robustness;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
       csv_path = argv[++i];
     } else if (std::strcmp(argv[i], "--patients") == 0 && i + 1 < argc) {
       auto n = ParseInt64(argv[++i]);
       if (n.ok() && *n > 0) patients = static_cast<size_t>(*n);
+    } else if (std::strcmp(argv[i], "--lenient") == 0) {
+      robustness.error_mode = ErrorMode::kLenient;
     } else {
       std::fprintf(stderr,
-                   "usage: %s [--csv extract.csv | --patients N]\n",
+                   "usage: %s [--csv extract.csv | --patients N] "
+                   "[--lenient]\n",
                    argv[0]);
       return 2;
     }
   }
 
+  QuarantineReport ingest_quarantine;
   Result<Table> raw = Status::NotFound("unset");
   if (!csv_path.empty()) {
-    raw = Table::FromCsvFile(csv_path);
+    CsvReadOptions csv_options;
+    csv_options.error_mode = robustness.error_mode;
+    csv_options.quarantine = &ingest_quarantine;
+    raw = Table::FromCsvFile(csv_path, csv_options);
   } else {
     discri::CohortOptions opt;
     opt.num_patients = patients;
@@ -74,9 +87,10 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "load: %s\n", raw.status().ToString().c_str());
     return 1;
   }
-  auto dgms = core::DdDgms::Build(std::move(raw).value(),
-                                  discri::MakeDiscriPipeline(),
-                                  discri::MakeDiscriSchemaDef());
+  auto dgms = core::DdDgms::Build(
+      std::move(raw).value(), discri::MakeDiscriPipeline(),
+      discri::MakeDiscriSchemaDef(), robustness,
+      std::move(ingest_quarantine));
   if (!dgms.ok()) {
     std::fprintf(stderr, "build: %s\n",
                  dgms.status().ToString().c_str());
@@ -106,6 +120,18 @@ int main(int argc, char** argv) {
     }
     if (trimmed == "report") {
       std::printf("%s\n", dgms->transform_report().ToString().c_str());
+      continue;
+    }
+    if (trimmed == "quarantine") {
+      const QuarantineReport& q = dgms->transform_report().quarantine;
+      if (q.empty()) {
+        std::printf("no quarantined rows%s\n",
+                    robustness.error_mode == ErrorMode::kLenient
+                        ? ""
+                        : " (strict mode; rerun with --lenient)");
+      } else {
+        std::printf("%s\n", q.ToString().c_str());
+      }
       continue;
     }
     if (trimmed == "describe") {

@@ -1,7 +1,12 @@
 #include "common/csv.h"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <sstream>
+
+#include "common/faults.h"
+#include "common/strings.h"
 
 namespace ddgms {
 
@@ -52,11 +57,9 @@ Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
       ++i;
       continue;
     }
-    if (c == '\r') {
-      ++i;  // Tolerate CRLF by skipping CR.
-      continue;
-    }
-    if (c == '\n') {
+    if (c == '\r' || c == '\n') {
+      // LF, CRLF and lone CR all terminate the record.
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
       if (row_started || !field.empty()) {
         fields.push_back(std::move(field));
         field.clear();
@@ -72,7 +75,10 @@ Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
     ++i;
   }
   if (in_quotes) {
-    return Status::ParseError("unterminated quoted field");
+    return Status::ParseError(
+        StrFormat("unterminated quoted field at end of input "
+                  "(after %zu complete records)",
+                  rows.size()));
   }
   if (row_started || !field.empty() || !fields.empty()) {
     fields.push_back(std::move(field));
@@ -99,6 +105,73 @@ Result<std::vector<std::vector<std::string>>> ParseCsv(
   return ParseCsvImpl(text, delim, /*allow_newlines=*/true);
 }
 
+namespace {
+
+// Splits `text` into raw physical records on unquoted line endings
+// (LF / CRLF / lone CR), preserving quoted embedded newlines inside a
+// record. The final record is flagged when it ends with an open quote.
+struct RawRecord {
+  std::string text;
+  bool unterminated_quote = false;
+};
+
+std::vector<RawRecord> SplitRecords(const std::string& text) {
+  std::vector<RawRecord> records;
+  std::string current;
+  bool in_quotes = false;
+  const size_t n = text.size();
+  for (size_t i = 0; i < n; ++i) {
+    char c = text[i];
+    if (c == '"') {
+      // Doubled quotes inside a quoted field toggle twice: no net
+      // state change, which is exactly right for splitting.
+      in_quotes = !in_quotes;
+      current.push_back(c);
+      continue;
+    }
+    if (!in_quotes && (c == '\n' || c == '\r')) {
+      if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
+      records.push_back(RawRecord{std::move(current), false});
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  if (!current.empty()) {
+    records.push_back(RawRecord{std::move(current), in_quotes});
+  }
+  return records;
+}
+
+}  // namespace
+
+Result<std::vector<CsvRecord>> ParseCsvLenient(
+    const std::string& text, char delim, QuarantineReport* quarantine) {
+  std::vector<CsvRecord> out;
+  size_t record_number = 0;
+  for (RawRecord& raw : SplitRecords(text)) {
+    ++record_number;
+    if (raw.text.empty()) continue;  // blank line, as in strict parsing
+    Status bad;
+    if (raw.unterminated_quote) {
+      bad = Status::ParseError("unterminated quoted field at end of input");
+    } else {
+      auto rows = ParseCsvImpl(raw.text, delim, /*allow_newlines=*/true);
+      if (rows.ok()) {
+        if (rows->empty()) continue;
+        out.push_back(CsvRecord{record_number, std::move((*rows)[0])});
+        continue;
+      }
+      bad = rows.status();
+    }
+    if (quarantine != nullptr) {
+      quarantine->Add("csv-parse", record_number, /*field=*/"",
+                      std::move(bad), TruncateForQuarantine(raw.text));
+    }
+  }
+  return out;
+}
+
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char delim) {
   std::string out;
@@ -122,23 +195,39 @@ std::string FormatCsvLine(const std::vector<std::string>& fields,
 }
 
 Result<std::string> ReadFile(const std::string& path) {
+  DDGMS_FAULT_POINT("csv.read_file");
+  errno = 0;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
-    return Status::NotFound("cannot open file: " + path);
+    return Status::NotFound(StrFormat("cannot open '%s' for reading: %s",
+                                      path.c_str(),
+                                      std::strerror(errno)));
   }
   std::ostringstream buf;
   buf << in.rdbuf();
+  if (in.bad()) {
+    return Status::DataLoss(StrFormat("error reading '%s': %s",
+                                      path.c_str(),
+                                      std::strerror(errno)));
+  }
   return buf.str();
 }
 
 Status WriteFile(const std::string& path, const std::string& contents) {
+  DDGMS_FAULT_POINT("csv.write_file");
+  errno = 0;
   std::ofstream out(path, std::ios::binary | std::ios::trunc);
   if (!out) {
-    return Status::Internal("cannot open file for writing: " + path);
+    return Status::Internal(StrFormat("cannot open '%s' for writing: %s",
+                                      path.c_str(),
+                                      std::strerror(errno)));
   }
   out << contents;
+  out.flush();
   if (!out) {
-    return Status::DataLoss("short write to file: " + path);
+    return Status::DataLoss(StrFormat("short write to '%s': %s",
+                                      path.c_str(),
+                                      std::strerror(errno)));
   }
   return Status::OK();
 }

@@ -4,12 +4,16 @@
 #include <string>
 #include <vector>
 
+#include "common/quarantine.h"
 #include "common/result.h"
 
 namespace ddgms {
 
 /// RFC-4180 style CSV support: fields containing the delimiter, quotes or
-/// newlines are quoted with `"` and embedded quotes doubled.
+/// newlines are quoted with `"` and embedded quotes doubled. Line endings
+/// LF, CRLF and lone CR all terminate a record; an unterminated quoted
+/// field at EOF is a parse error; a trailing delimiter yields a final
+/// empty field.
 
 /// Parses one CSV record (no embedded newlines) into fields.
 Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
@@ -17,18 +21,41 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 
 /// Parses a full CSV document (handles quoted embedded newlines).
 /// Returns rows of fields; ragged rows are permitted here and validated by
-/// higher layers.
+/// higher layers. Strict: the first structural error fails the parse.
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text, char delim = ',');
+
+/// One parsed record plus its position, for lenient parsing where bad
+/// records are skipped and surviving records must stay attributable to
+/// their place in the source document.
+struct CsvRecord {
+  /// 1-based physical record number in the document (blank records
+  /// count, so for files without embedded newlines this is the line
+  /// number).
+  size_t record_number = 0;
+  std::vector<std::string> fields;
+};
+
+/// Lenient CSV parse: structurally bad records (e.g. an unterminated
+/// quoted field at EOF) are quarantined under stage "csv-parse" —
+/// record number, Status, and truncated raw content — instead of
+/// failing the document. Pass a null `quarantine` to skip itemisation
+/// (bad records are still dropped). Only returns an error status for
+/// non-CSV failures.
+Result<std::vector<CsvRecord>> ParseCsvLenient(
+    const std::string& text, char delim = ',',
+    QuarantineReport* quarantine = nullptr);
 
 /// Serializes fields into one CSV record (no trailing newline).
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char delim = ',');
 
-/// Reads an entire file into a string.
+/// Reads an entire file into a string. Errors carry the path and the
+/// OS error (strerror) so retry/quarantine logs are actionable.
 Result<std::string> ReadFile(const std::string& path);
 
-/// Writes `contents` to `path`, replacing any existing file.
+/// Writes `contents` to `path`, replacing any existing file. Errors
+/// carry the path and the OS error (strerror).
 Status WriteFile(const std::string& path, const std::string& contents);
 
 }  // namespace ddgms

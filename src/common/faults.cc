@@ -1,0 +1,113 @@
+#include "common/faults.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+namespace ddgms {
+
+FaultRegistry& FaultRegistry::Global() {
+  static FaultRegistry* registry = new FaultRegistry();
+  return *registry;
+}
+
+void FaultRegistry::Arm(const std::string& point, FaultPlan plan) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PointState& state = points_[point];
+    state.plan = std::move(plan);
+    state.armed = true;
+    state.injected = 0;
+    state.rng.Reseed(state.plan.seed);
+  }
+  Enable();
+}
+
+void FaultRegistry::Disarm(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  if (it != points_.end()) it->second.armed = false;
+}
+
+void FaultRegistry::Reset() {
+  Disable();
+  std::lock_guard<std::mutex> lock(mu_);
+  points_.clear();
+}
+
+Status FaultRegistry::OnHit(const std::string& point) {
+  std::lock_guard<std::mutex> lock(mu_);
+  PointState& state = points_[point];
+  const size_t hit = state.hits++;  // 0-based index of this hit
+  if (!state.armed) return Status::OK();
+
+  const FaultPlan& plan = state.plan;
+  bool fire = false;
+  if (plan.fail_first > 0 && hit < plan.fail_first) fire = true;
+  if (plan.every_n > 0 && (hit + 1) % plan.every_n == 0) fire = true;
+  if (plan.probability > 0.0 && state.rng.Bernoulli(plan.probability)) {
+    fire = true;
+  }
+  if (!fire) return Status::OK();
+
+  ++state.injected;
+  std::string message = plan.message.empty()
+                            ? "injected fault at '" + point + "'"
+                            : plan.message;
+  return Status(plan.code, std::move(message));
+}
+
+size_t FaultRegistry::hits(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.hits;
+}
+
+size_t FaultRegistry::injected(const std::string& point) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = points_.find(point);
+  return it == points_.end() ? 0 : it->second.injected;
+}
+
+std::vector<std::string> FaultRegistry::SeenPoints() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(points_.size());
+  for (const auto& [name, state] : points_) {
+    names.push_back(name);
+  }
+  return names;
+}
+
+ScopedFault::ScopedFault(std::string point, FaultPlan plan)
+    : point_(std::move(point)) {
+  FaultRegistry::Global().Arm(point_, std::move(plan));
+}
+
+ScopedFault::~ScopedFault() { FaultRegistry::Global().Disarm(point_); }
+
+bool RetryPolicy::IsRetryable(const Status& status) const {
+  if (status.ok()) return false;
+  return std::find(retryable_codes.begin(), retryable_codes.end(),
+                   status.code()) != retryable_codes.end();
+}
+
+double RetryPolicy::DelayMsForRetry(int retry) const {
+  double delay = base_delay_ms;
+  for (int i = 1; i < retry; ++i) {
+    delay *= backoff_factor;
+    if (delay >= max_delay_ms) break;
+  }
+  return std::min(delay, max_delay_ms);
+}
+
+namespace internal {
+
+void RetrySleepMs(double ms) {
+  if (ms <= 0.0) return;
+  std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+}  // namespace internal
+
+}  // namespace ddgms

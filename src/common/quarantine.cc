@@ -1,0 +1,89 @@
+#include "common/quarantine.h"
+
+#include "common/strings.h"
+
+namespace ddgms {
+
+std::string QuarantinedRow::ToString() const {
+  std::string out = StrFormat("[%s] row %zu", stage.c_str(), row_number);
+  if (!field.empty()) {
+    out += StrFormat(" (field '%s')", field.c_str());
+  }
+  out += ": " + status.ToString();
+  if (!raw.empty()) {
+    out += " -- " + raw;
+  }
+  return out;
+}
+
+void QuarantineReport::Add(QuarantinedRow row) {
+  if (rows_.size() >= capacity_) {
+    ++overflow_;
+    return;
+  }
+  rows_.push_back(std::move(row));
+}
+
+void QuarantineReport::Add(std::string stage, size_t row_number,
+                           std::string field, Status status,
+                           std::string raw) {
+  QuarantinedRow row;
+  row.stage = std::move(stage);
+  row.row_number = row_number;
+  row.field = std::move(field);
+  row.status = std::move(status);
+  row.raw = std::move(raw);
+  Add(std::move(row));
+}
+
+void QuarantineReport::Merge(const QuarantineReport& other) {
+  for (const QuarantinedRow& row : other.rows_) {
+    Add(row);
+  }
+  overflow_ += other.overflow_;
+}
+
+size_t QuarantineReport::CountForStage(const std::string& stage) const {
+  size_t count = 0;
+  for (const QuarantinedRow& row : rows_) {
+    if (row.stage == stage) ++count;
+  }
+  return count;
+}
+
+void QuarantineReport::Clear() {
+  rows_.clear();
+  overflow_ = 0;
+}
+
+std::string QuarantineReport::ToString() const {
+  if (empty()) return "";
+  std::string out = StrFormat("quarantined %zu rows", size());
+  for (const QuarantinedRow& row : rows_) {
+    out += "\n  " + row.ToString();
+  }
+  if (overflow_ > 0) {
+    out += StrFormat("\n  ... %zu more rows not itemised (cap %zu)",
+                     overflow_, capacity_);
+  }
+  return out;
+}
+
+std::string TruncateForQuarantine(const std::string& raw, size_t max_len) {
+  // Flatten control characters so multi-line raw records stay on one
+  // report line.
+  std::string flat;
+  flat.reserve(raw.size());
+  for (char c : raw) {
+    if (c == '\n' || c == '\r' || c == '\t') {
+      if (!flat.empty() && flat.back() != ' ') flat.push_back(' ');
+    } else {
+      flat.push_back(c);
+    }
+  }
+  while (!flat.empty() && flat.back() == ' ') flat.pop_back();
+  if (flat.size() <= max_len) return flat;
+  return flat.substr(0, max_len) + "...";
+}
+
+}  // namespace ddgms

@@ -1,0 +1,95 @@
+#ifndef DDGMS_COMMON_QUARANTINE_H_
+#define DDGMS_COMMON_QUARANTINE_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace ddgms {
+
+/// How a loading/transformation stage reacts to bad input.
+///
+///   kStrict  — fail fast on the first error (historical behaviour, and
+///              still the default everywhere).
+///   kLenient — quarantine the offending row and keep going; the load
+///              completes with every bad row itemised in a
+///              QuarantineReport instead of aborting.
+enum class ErrorMode {
+  kStrict,
+  kLenient,
+};
+
+/// One row set aside by a lenient stage, with enough context to act on:
+/// which stage rejected it, where it was, which field was at fault, and
+/// the Status explaining why.
+struct QuarantinedRow {
+  /// Stage taxonomy, shared across layers: "csv-parse", "csv-ingest",
+  /// "etl:<step>", "star-schema".
+  std::string stage;
+  /// 1-based row/record number within the stage's input (see each
+  /// stage's documentation for exactly which sequence it numbers).
+  size_t row_number = 0;
+  /// Offending column/field name, when attributable to one.
+  std::string field;
+  /// Why the row was quarantined (never OK).
+  Status status;
+  /// Truncated raw content of the row, when available.
+  std::string raw;
+
+  /// "[stage] row N (field 'F'): Code: message -- raw".
+  std::string ToString() const;
+};
+
+/// Accumulates quarantined rows across stages of a load. Itemisation is
+/// capped (default 1000 rows) so a totally corrupt bulk load cannot
+/// balloon memory; rows past the cap are still counted.
+class QuarantineReport {
+ public:
+  QuarantineReport() = default;
+
+  /// Records one quarantined row (drops detail past the cap but always
+  /// counts it).
+  void Add(QuarantinedRow row);
+
+  /// Convenience for call sites building the row inline.
+  void Add(std::string stage, size_t row_number, std::string field,
+           Status status, std::string raw = "");
+
+  /// Folds another report into this one (stage labels are preserved).
+  void Merge(const QuarantineReport& other);
+
+  /// Itemised rows (at most capacity()).
+  const std::vector<QuarantinedRow>& rows() const { return rows_; }
+
+  /// Total quarantined rows, including any dropped past the cap.
+  size_t size() const { return rows_.size() + overflow_; }
+  bool empty() const { return rows_.empty() && overflow_ == 0; }
+
+  /// Number of quarantined rows attributed to `stage`.
+  size_t CountForStage(const std::string& stage) const;
+
+  size_t capacity() const { return capacity_; }
+  void set_capacity(size_t capacity) { capacity_ = capacity; }
+
+  void Clear();
+
+  /// Multi-line human-readable listing ("quarantined N rows" + one line
+  /// per itemised row); empty string when nothing was quarantined.
+  std::string ToString() const;
+
+ private:
+  std::vector<QuarantinedRow> rows_;
+  size_t overflow_ = 0;
+  size_t capacity_ = 1000;
+};
+
+/// Truncates raw row content for quarantine records (keeps logs
+/// readable; appends an ellipsis when cut).
+std::string TruncateForQuarantine(const std::string& raw,
+                                  size_t max_len = 120);
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_QUARANTINE_H_

@@ -28,6 +28,16 @@ const char* StatusCodeName(StatusCode code) {
   return "Unknown";
 }
 
+bool StatusCodeFromName(const std::string& name, StatusCode* code) {
+  for (StatusCode candidate : kAllStatusCodes) {
+    if (name == StatusCodeName(candidate)) {
+      *code = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string out = StatusCodeName(code_);

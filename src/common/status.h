@@ -21,8 +21,29 @@ enum class StatusCode {
   kInternal,
 };
 
+/// Every StatusCode, for exhaustive iteration (tests assert each one
+/// has a canonical name and round-trips through StatusCodeFromName, so
+/// a new code cannot silently miss coverage). Keep in sync with the
+/// enum above.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,
+    StatusCode::kInvalidArgument,
+    StatusCode::kNotFound,
+    StatusCode::kAlreadyExists,
+    StatusCode::kOutOfRange,
+    StatusCode::kFailedPrecondition,
+    StatusCode::kParseError,
+    StatusCode::kDataLoss,
+    StatusCode::kUnimplemented,
+    StatusCode::kInternal,
+};
+
 /// Returns the canonical name of a status code (e.g. "InvalidArgument").
 const char* StatusCodeName(StatusCode code);
+
+/// Inverse of StatusCodeName: parses a canonical name back into a
+/// code. Returns false when `name` matches no known code.
+bool StatusCodeFromName(const std::string& name, StatusCode* code);
 
 /// Result of an operation that can fail. Cheap to copy on the OK path
 /// (no message allocation); carries a code and human-readable message on

@@ -6,19 +6,59 @@ namespace ddgms::core {
 
 Result<DdDgms> DdDgms::Build(Table raw,
                              const etl::TransformPipeline& pipeline,
-                             warehouse::StarSchemaDef schema_def) {
-  DdDgms dgms(std::move(raw), pipeline, std::move(schema_def));
+                             warehouse::StarSchemaDef schema_def,
+                             RobustnessOptions robustness,
+                             QuarantineReport ingest_quarantine) {
+  DdDgms dgms(std::move(raw), pipeline, std::move(schema_def),
+              std::move(robustness), std::move(ingest_quarantine));
   DDGMS_RETURN_IF_ERROR(dgms.Rebuild());
   return dgms;
 }
 
+Result<DdDgms> DdDgms::BuildFromStore(
+    DataStore* store, const std::string& resource,
+    CsvReadOptions csv_options, const etl::TransformPipeline& pipeline,
+    warehouse::StarSchemaDef schema_def, RobustnessOptions robustness) {
+  if (store == nullptr) {
+    return Status::InvalidArgument("null data store");
+  }
+  QuarantineReport ingest;
+  csv_options.error_mode = robustness.error_mode;
+  csv_options.quarantine = &ingest;
+  DDGMS_ASSIGN_OR_RETURN(
+      std::string text,
+      Retry(robustness.retry, [&] { return store->Fetch(resource); }));
+  DDGMS_ASSIGN_OR_RETURN(Table raw, Table::FromCsv(text, csv_options));
+  if (robustness.quarantine_sink != nullptr) {
+    robustness.quarantine_sink->Merge(ingest);
+  }
+  return Build(std::move(raw), pipeline, std::move(schema_def),
+               std::move(robustness), std::move(ingest));
+}
+
 Status DdDgms::Rebuild() {
+  DDGMS_FAULT_POINT("core.rebuild");
   Table working = raw_;
-  DDGMS_ASSIGN_OR_RETURN(report_, pipeline_.Run(&working));
+  etl::PipelineRunOptions pipeline_options;
+  pipeline_options.error_mode = robustness_.error_mode;
+  DDGMS_ASSIGN_OR_RETURN(etl::TransformReport report,
+                         pipeline_.Run(&working, pipeline_options));
   transformed_ = std::move(working);
   warehouse::StarSchemaBuilder builder(schema_def_);
+  warehouse::BuildOptions build_options;
+  build_options.error_mode = robustness_.error_mode;
+  build_options.quarantine = &report.quarantine;
   DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh,
-                         builder.Build(transformed_));
+                         builder.Build(transformed_, build_options));
+  if (robustness_.quarantine_sink != nullptr) {
+    robustness_.quarantine_sink->Merge(report.quarantine);
+  }
+  // Surface the merged view: ingestion-stage rows first, then this
+  // run's pipeline and star-schema rows.
+  QuarantineReport merged = ingest_quarantine_;
+  merged.Merge(report.quarantine);
+  report.quarantine = std::move(merged);
+  report_ = std::move(report);
   if (warehouse_ == nullptr) {
     warehouse_ = std::make_unique<warehouse::Warehouse>(std::move(wh));
   } else {

@@ -5,15 +5,38 @@
 #include <string>
 #include <vector>
 
+#include "common/faults.h"
+#include "common/quarantine.h"
 #include "common/result.h"
 #include "etl/pipeline.h"
 #include "kb/knowledge_base.h"
 #include "mdx/executor.h"
 #include "olap/cube.h"
+#include "table/store.h"
 #include "table/table.h"
 #include "warehouse/warehouse.h"
 
 namespace ddgms::core {
+
+/// End-to-end robustness configuration for a DD-DGMS build: one knob
+/// threaded through ingestion (CSV parse), the transform pipeline and
+/// the star-schema build.
+struct RobustnessOptions {
+  /// kStrict (default): fail fast on the first bad row anywhere, the
+  /// historical behaviour. kLenient: quarantine bad rows at every
+  /// stage and keep loading; the merged QuarantineReport is surfaced
+  /// in transform_report().quarantine (and its ToString()).
+  ErrorMode error_mode = ErrorMode::kStrict;
+  /// Retry policy for flaky connector operations (BuildFromStore's
+  /// fetch). Defaults to 3 attempts with exponential backoff on
+  /// kDataLoss/kInternal.
+  RetryPolicy retry;
+  /// Optional external accumulator: every quarantined row from every
+  /// build/rebuild (including AcquireData reloads) is also appended
+  /// here, so monitoring can watch quality across loads. Must outlive
+  /// the DdDgms.
+  QuarantineReport* quarantine_sink = nullptr;
+};
 
 /// The integrated Data-Driven Decision Guidance Management System
 /// (paper Fig 2): raw clinical extracts flow through the transformation
@@ -25,10 +48,33 @@ namespace ddgms::core {
 class DdDgms {
  public:
   /// Builds the platform: runs `pipeline` over a copy of `raw`, then
-  /// populates the warehouse per `schema_def`.
+  /// populates the warehouse per `schema_def`. Strict error handling.
   static Result<DdDgms> Build(Table raw,
                               const etl::TransformPipeline& pipeline,
-                              warehouse::StarSchemaDef schema_def);
+                              warehouse::StarSchemaDef schema_def) {
+    return Build(std::move(raw), pipeline, std::move(schema_def),
+                 RobustnessOptions{});
+  }
+
+  /// Build with explicit robustness semantics. `ingest_quarantine`
+  /// lets callers that loaded `raw` themselves in lenient mode hand
+  /// over the ingestion-stage quarantine so the surfaced report covers
+  /// the whole load.
+  static Result<DdDgms> Build(Table raw,
+                              const etl::TransformPipeline& pipeline,
+                              warehouse::StarSchemaDef schema_def,
+                              RobustnessOptions robustness,
+                              QuarantineReport ingest_quarantine = {});
+
+  /// The fully fault-tolerant ingestion path: fetches `resource` from
+  /// `store` (retrying transient connector failures per
+  /// `robustness.retry`), parses it per `csv_options` (error mode and
+  /// quarantine sink are overridden from `robustness`), and builds.
+  static Result<DdDgms> BuildFromStore(
+      DataStore* store, const std::string& resource,
+      CsvReadOptions csv_options, const etl::TransformPipeline& pipeline,
+      warehouse::StarSchemaDef schema_def,
+      RobustnessOptions robustness = {});
 
   DdDgms(DdDgms&&) = default;
   DdDgms& operator=(DdDgms&&) = default;
@@ -74,18 +120,30 @@ class DdDgms {
   /// is preserved).
   Status AcquireData(const Table& new_raw_rows);
 
+  /// The robustness configuration this instance was built with
+  /// (reused by AcquireData rebuilds).
+  const RobustnessOptions& robustness() const { return robustness_; }
+
  private:
   DdDgms(Table raw, etl::TransformPipeline pipeline,
-         warehouse::StarSchemaDef schema_def)
+         warehouse::StarSchemaDef schema_def,
+         RobustnessOptions robustness,
+         QuarantineReport ingest_quarantine)
       : raw_(std::move(raw)),
         pipeline_(std::move(pipeline)),
-        schema_def_(std::move(schema_def)) {}
+        schema_def_(std::move(schema_def)),
+        robustness_(std::move(robustness)),
+        ingest_quarantine_(std::move(ingest_quarantine)) {}
 
   Status Rebuild();
 
   Table raw_;  // untouched accumulated extract
   etl::TransformPipeline pipeline_;
   warehouse::StarSchemaDef schema_def_;
+  RobustnessOptions robustness_;
+  /// Ingestion-stage quarantine captured at load time; re-merged into
+  /// the surfaced report on every rebuild.
+  QuarantineReport ingest_quarantine_;
   Table transformed_;
   etl::TransformReport report_;
   std::unique_ptr<warehouse::Warehouse> warehouse_;

@@ -1,5 +1,7 @@
 #include "etl/pipeline.h"
 
+#include "common/csv.h"
+#include "common/faults.h"
 #include "common/strings.h"
 
 namespace ddgms::etl {
@@ -16,33 +18,123 @@ std::string TransformReport::ToString() const {
       out += " " + c;
     }
   }
+  if (!quarantine.empty()) {
+    out += "\n" + quarantine.ToString();
+  }
   return out;
 }
 
-Result<TransformReport> TransformPipeline::Run(Table* table) const {
+namespace {
+
+// Runs one named step with lenient row-level recovery: try the whole
+// table; on failure probe each row in isolation, quarantine the rows
+// that fail on their own, and re-run the step over the survivors. A
+// failure no single row explains (missing column, bad configuration)
+// is returned as a step-level error.
+Status RunStepLenient(const std::string& step_name,
+                      const std::function<Status(Table*)>& step,
+                      Table* table, QuarantineReport* quarantine) {
+  Table attempt = *table;
+  Status st = step(&attempt);
+  if (st.ok()) {
+    *table = std::move(attempt);
+    return Status::OK();
+  }
+
+  const size_t n = table->num_rows();
+  std::vector<size_t> good;
+  good.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    Table probe = table->Take({i});
+    Status row_status = step(&probe);
+    if (row_status.ok()) {
+      good.push_back(i);
+      continue;
+    }
+    std::vector<std::string> cells;
+    for (const Value& v : table->GetRow(i)) {
+      cells.push_back(v.ToString());
+    }
+    quarantine->Add("etl:" + step_name, i + 1, /*field=*/"",
+                    std::move(row_status),
+                    TruncateForQuarantine(FormatCsvLine(cells)));
+  }
+  if (good.size() == n) {
+    // No individual row reproduces the failure: step-level error.
+    return st;
+  }
+  Table pruned = table->Take(good);
+  Status retry_status = step(&pruned);
+  if (!retry_status.ok()) {
+    // Quarantining did not clear the failure; surface the original.
+    return st;
+  }
+  *table = std::move(pruned);
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<TransformReport> TransformPipeline::Run(
+    Table* table, const PipelineRunOptions& options) const {
   if (table == nullptr) {
     return Status::InvalidArgument("null table");
   }
   TransformReport report;
   report.input_rows = table->num_rows();
 
+  // The stages, in order, as uniformly typed named steps so strict and
+  // lenient execution share one driver. Report-producing stages write
+  // into `report` on every invocation; the last invocation of a step
+  // (the one whose table mutation is committed) wins.
+  struct NamedStep {
+    std::string name;
+    std::function<Status(Table*)> fn;
+  };
+  std::vector<NamedStep> steps;
   if (has_cleaner_) {
-    DDGMS_ASSIGN_OR_RETURN(report.cleaning, cleaner_.Run(table));
+    steps.push_back(NamedStep{"clean", [this, &report](Table* t) {
+                                DDGMS_ASSIGN_OR_RETURN(report.cleaning,
+                                                       cleaner_.Run(t));
+                                return Status::OK();
+                              }});
   }
   for (const DiscretisationStep& step : discretisations_) {
-    DDGMS_RETURN_IF_ERROR(ApplyScheme(table, step.source_column,
-                                      step.scheme,
-                                      step.EffectiveOutput()));
-    report.discretised_columns.push_back(step.EffectiveOutput());
+    steps.push_back(
+        NamedStep{"discretise " + step.source_column, [&step](Table* t) {
+                    return ApplyScheme(t, step.source_column, step.scheme,
+                                      step.EffectiveOutput());
+                  }});
   }
   if (has_cardinality_) {
-    DDGMS_ASSIGN_OR_RETURN(
-        report.cardinality,
-        AssignCardinality(table, entity_column_, date_column_,
-                          cardinality_options_));
+    steps.push_back(
+        NamedStep{"cardinality", [this, &report](Table* t) {
+                    DDGMS_ASSIGN_OR_RETURN(
+                        report.cardinality,
+                        AssignCardinality(t, entity_column_, date_column_,
+                                          cardinality_options_));
+                    return Status::OK();
+                  }});
   }
-  for (const auto& step : custom_steps_) {
-    DDGMS_RETURN_IF_ERROR(step(table));
+  for (size_t i = 0; i < custom_steps_.size(); ++i) {
+    steps.push_back(NamedStep{StrFormat("custom %zu", i + 1),
+                              [this, i](Table* t) {
+                                return custom_steps_[i](t);
+                              }});
+  }
+
+  const bool lenient = options.error_mode == ErrorMode::kLenient;
+  for (const NamedStep& step : steps) {
+    DDGMS_FAULT_POINT("etl.pipeline.step");
+    if (lenient) {
+      DDGMS_RETURN_IF_ERROR(RunStepLenient(step.name, step.fn, table,
+                                           &report.quarantine));
+    } else {
+      DDGMS_RETURN_IF_ERROR(step.fn(table));
+    }
+  }
+  for (const DiscretisationStep& step : discretisations_) {
+    report.discretised_columns.push_back(step.EffectiveOutput());
   }
   report.output_rows = table->num_rows();
   return report;

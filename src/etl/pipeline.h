@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/quarantine.h"
 #include "common/result.h"
 #include "etl/cardinality.h"
 #include "etl/cleaner.h"
@@ -32,8 +33,17 @@ struct TransformReport {
   std::vector<std::string> discretised_columns;
   size_t input_rows = 0;
   size_t output_rows = 0;
+  /// Rows set aside by lenient runs — merged across ingestion
+  /// ("csv-parse"/"csv-ingest"), pipeline steps ("etl:<step>") and the
+  /// warehouse build ("star-schema"). Empty after strict runs.
+  QuarantineReport quarantine;
 
   std::string ToString() const;
+};
+
+/// How a pipeline run reacts to failing rows (see ErrorMode).
+struct PipelineRunOptions {
+  ErrorMode error_mode = ErrorMode::kStrict;
 };
 
 /// The paper's Data Transformation stage as a declarative pipeline:
@@ -74,8 +84,19 @@ class TransformPipeline {
     return *this;
   }
 
-  /// Runs the pipeline in place, returning the report.
-  Result<TransformReport> Run(Table* table) const;
+  /// Runs the pipeline in place, returning the report. Strict: the
+  /// first failing step aborts the run (historical behaviour).
+  Result<TransformReport> Run(Table* table) const { return Run(table, {}); }
+
+  /// Runs the pipeline with explicit robustness semantics. In lenient
+  /// mode a failing step triggers row-level recovery: each row is
+  /// probed against the step in isolation, rows that fail on their own
+  /// are quarantined (stage "etl:<step>", 1-based row number within
+  /// that step's input), and the step is re-run over the survivors.
+  /// Failures not attributable to individual rows (e.g. a missing
+  /// column) still fail the run in either mode.
+  Result<TransformReport> Run(Table* table,
+                              const PipelineRunOptions& options) const;
 
  private:
   Cleaner cleaner_;

@@ -1,0 +1,83 @@
+#include "table/store.h"
+
+#include "common/csv.h"
+#include "common/strings.h"
+
+namespace ddgms {
+
+Result<std::string> MemoryStore::Fetch(const std::string& resource) {
+  DDGMS_FAULT_POINT("store.fetch");
+  auto it = blobs_.find(resource);
+  if (it == blobs_.end()) {
+    return Status::NotFound("no resource named '" + resource + "'");
+  }
+  return it->second;
+}
+
+Status MemoryStore::Store(const std::string& resource,
+                          const std::string& contents) {
+  DDGMS_FAULT_POINT("store.store");
+  blobs_[resource] = contents;
+  return Status::OK();
+}
+
+Result<std::string> FileStore::Fetch(const std::string& resource) {
+  DDGMS_FAULT_POINT("store.fetch");
+  return ReadFile(root_dir_ + "/" + resource);
+}
+
+Status FileStore::Store(const std::string& resource,
+                        const std::string& contents) {
+  DDGMS_FAULT_POINT("store.store");
+  return WriteFile(root_dir_ + "/" + resource, contents);
+}
+
+Result<std::string> FlakyStore::Fetch(const std::string& resource) {
+  const size_t attempt = fetches_attempted_++;
+  bool fire = attempt < options_.fail_first_fetches;
+  if (options_.fetch_failure_probability > 0.0 &&
+      rng_.Bernoulli(options_.fetch_failure_probability)) {
+    fire = true;
+  }
+  if (fire) {
+    ++fetches_failed_;
+    return Status(options_.code,
+                  StrFormat("flaky store: injected failure on fetch %zu "
+                            "of '%s'",
+                            attempt + 1, resource.c_str()));
+  }
+  return inner_->Fetch(resource);
+}
+
+Status FlakyStore::Store(const std::string& resource,
+                         const std::string& contents) {
+  return inner_->Store(resource, contents);
+}
+
+Result<std::string> RetryingStore::Fetch(const std::string& resource) {
+  last_stats_ = RetryStats{};
+  return Retry(
+      policy_, [&] { return inner_->Fetch(resource); }, &last_stats_);
+}
+
+Status RetryingStore::Store(const std::string& resource,
+                            const std::string& contents) {
+  last_stats_ = RetryStats{};
+  return Retry(
+      policy_, [&] { return inner_->Store(resource, contents); },
+      &last_stats_);
+}
+
+Result<Table> LoadTableFromStore(DataStore* store,
+                                 const std::string& resource,
+                                 const CsvReadOptions& options,
+                                 const RetryPolicy& policy,
+                                 RetryStats* stats) {
+  DDGMS_ASSIGN_OR_RETURN(
+      std::string text,
+      Retry(
+          policy, [&] { return store->Fetch(resource); }, stats));
+  return Table::FromCsv(text, options);
+}
+
+}  // namespace ddgms

@@ -1,0 +1,134 @@
+#ifndef DDGMS_TABLE_STORE_H_
+#define DDGMS_TABLE_STORE_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "common/faults.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms {
+
+/// Connector to an external source of raw extracts — the paper's OLTP
+/// systems the DD-DGMS ingests from. Resources are named blobs of CSV
+/// text. Implementations are expected to fail with transient codes
+/// (kDataLoss, kInternal) on flaky transport and permanent codes
+/// (kNotFound, kParseError) otherwise, so RetryPolicy can tell them
+/// apart.
+class DataStore {
+ public:
+  virtual ~DataStore() = default;
+
+  /// Fetches the raw contents of `resource`.
+  virtual Result<std::string> Fetch(const std::string& resource) = 0;
+
+  /// Stores `contents` under `resource`, replacing any previous value.
+  virtual Status Store(const std::string& resource,
+                       const std::string& contents) = 0;
+};
+
+/// In-memory store (tests, staging buffers). Passes through the
+/// "store.fetch" / "store.store" fault-injection points.
+class MemoryStore : public DataStore {
+ public:
+  Result<std::string> Fetch(const std::string& resource) override;
+  Status Store(const std::string& resource,
+               const std::string& contents) override;
+
+  size_t size() const { return blobs_.size(); }
+
+ private:
+  std::map<std::string, std::string> blobs_;
+};
+
+/// Store backed by files under a root directory; resource names are
+/// paths relative to the root. Shares the MemoryStore fault points
+/// plus the underlying "csv.read_file" / "csv.write_file" ones.
+class FileStore : public DataStore {
+ public:
+  explicit FileStore(std::string root_dir)
+      : root_dir_(std::move(root_dir)) {}
+
+  Result<std::string> Fetch(const std::string& resource) override;
+  Status Store(const std::string& resource,
+               const std::string& contents) override;
+
+ private:
+  std::string root_dir_;
+};
+
+/// Deterministic flakiness schedule for FlakyStore.
+struct FlakyStoreOptions {
+  /// Fail the first N fetches with `code` (then heal). Transient-outage
+  /// shape, the common OLTP-extract failure in practice.
+  size_t fail_first_fetches = 0;
+  /// Additionally fail each fetch with this probability, drawn from a
+  /// deterministic Rng seeded with `seed`.
+  double fetch_failure_probability = 0.0;
+  uint64_t seed = 42;
+  StatusCode code = StatusCode::kDataLoss;
+};
+
+/// Wraps another store with deterministic injected flakiness — a
+/// stand-in for the unreliable clinical OLTP sources the paper's
+/// warehouse loads from. Unlike FaultRegistry (process-global, inert
+/// by default), a FlakyStore is a local object: benches and tests can
+/// build one without touching global state.
+class FlakyStore : public DataStore {
+ public:
+  FlakyStore(DataStore* inner, FlakyStoreOptions options)
+      : inner_(inner), options_(options), rng_(options.seed) {}
+
+  Result<std::string> Fetch(const std::string& resource) override;
+  Status Store(const std::string& resource,
+               const std::string& contents) override;
+
+  size_t fetches_attempted() const { return fetches_attempted_; }
+  size_t fetches_failed() const { return fetches_failed_; }
+
+ private:
+  DataStore* inner_;  // not owned
+  FlakyStoreOptions options_;
+  Rng rng_;
+  size_t fetches_attempted_ = 0;
+  size_t fetches_failed_ = 0;
+};
+
+/// Wraps another store so every operation is retried per `policy`
+/// (capped exponential backoff, transient codes only). This is the
+/// connector ingestion actually uses: a FlakyStore wrapped in a
+/// RetryingStore absorbs transient faults invisibly to callers.
+class RetryingStore : public DataStore {
+ public:
+  RetryingStore(DataStore* inner, RetryPolicy policy)
+      : inner_(inner), policy_(std::move(policy)) {}
+
+  Result<std::string> Fetch(const std::string& resource) override;
+  Status Store(const std::string& resource,
+               const std::string& contents) override;
+
+  /// Accounting for the most recent operation (attempts made,
+  /// transient failures absorbed).
+  const RetryStats& last_stats() const { return last_stats_; }
+
+ private:
+  DataStore* inner_;  // not owned
+  RetryPolicy policy_;
+  RetryStats last_stats_;
+};
+
+/// Fetches `resource` from `store` with retries and parses it into a
+/// Table per `options` (including lenient/quarantine behaviour — see
+/// CsvReadOptions). The one-call ingestion path used by DdDgms.
+Result<Table> LoadTableFromStore(DataStore* store,
+                                 const std::string& resource,
+                                 const CsvReadOptions& options,
+                                 const RetryPolicy& policy,
+                                 RetryStats* stats = nullptr);
+
+}  // namespace ddgms
+
+#endif  // DDGMS_TABLE_STORE_H_

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <cassert>
+#include <map>
 #include <numeric>
 #include <sstream>
 
 #include "common/csv.h"
+#include "common/faults.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -40,6 +42,46 @@ DataType WidenType(DataType a, DataType b) {
     return DataType::kDouble;
   }
   return DataType::kString;
+}
+
+// Preference order when majority-vote type inference ties: wider wins
+// so fewer rows quarantine.
+int TypeWideness(DataType type) {
+  switch (type) {
+    case DataType::kInt64:
+      return 0;
+    case DataType::kDouble:
+      return 1;
+    case DataType::kDate:
+      return 2;
+    case DataType::kBool:
+      return 3;
+    default:
+      return 4;  // kString and anything else
+  }
+}
+
+// Lenient-mode inference: per column, the most common specific type
+// among non-null fields wins (ties go to the wider type), so a few
+// corrupt fields quarantine their rows instead of silently widening
+// the whole column to string. An int64 winner is promoted to double
+// whenever any double votes exist, since ints parse as doubles anyway.
+DataType InferTypeByMajority(const std::map<DataType, size_t>& votes) {
+  if (votes.empty()) return DataType::kString;
+  DataType best = DataType::kString;
+  size_t best_count = 0;
+  for (const auto& [type, count] : votes) {
+    if (count > best_count ||
+        (count == best_count &&
+         TypeWideness(type) > TypeWideness(best))) {
+      best = type;
+      best_count = count;
+    }
+  }
+  if (best == DataType::kInt64 && votes.count(DataType::kDouble) > 0) {
+    return DataType::kDouble;
+  }
+  return best;
 }
 
 Result<Value> ParseTypedField(const std::string& field, DataType type) {
@@ -87,28 +129,58 @@ Result<Table> Table::FromRows(Schema schema, const std::vector<Row>& rows) {
 
 Result<Table> Table::FromCsv(const std::string& text,
                              const CsvReadOptions& options) {
-  DDGMS_ASSIGN_OR_RETURN(auto records, ParseCsv(text, options.delimiter));
+  DDGMS_FAULT_POINT("table.from_csv");
+  const bool lenient = options.error_mode == ErrorMode::kLenient;
+  // In lenient mode all skipped rows flow into a sink; callers that
+  // pass none still get well-defined (skip, don't fail) behaviour.
+  QuarantineReport local_sink;
+  QuarantineReport* quarantine =
+      options.quarantine != nullptr ? options.quarantine : &local_sink;
+
+  std::vector<CsvRecord> records;
+  if (lenient) {
+    DDGMS_ASSIGN_OR_RETURN(
+        records, ParseCsvLenient(text, options.delimiter, quarantine));
+  } else {
+    DDGMS_ASSIGN_OR_RETURN(auto rows, ParseCsv(text, options.delimiter));
+    records.reserve(rows.size());
+    for (size_t r = 0; r < rows.size(); ++r) {
+      records.push_back(CsvRecord{r + 1, std::move(rows[r])});
+    }
+  }
   if (records.empty()) {
     return Status::InvalidArgument("CSV input is empty");
   }
   std::vector<std::string> names;
   size_t first_data_row = 0;
   if (options.has_header) {
-    names = records[0];
+    names = records[0].fields;
     first_data_row = 1;
   } else {
-    names.reserve(records[0].size());
-    for (size_t i = 0; i < records[0].size(); ++i) {
+    names.reserve(records[0].fields.size());
+    for (size_t i = 0; i < records[0].fields.size(); ++i) {
       names.push_back(StrFormat("col%zu", i));
     }
   }
   const size_t num_cols = names.size();
-  for (size_t r = first_data_row; r < records.size(); ++r) {
-    if (records[r].size() != num_cols) {
-      return Status::ParseError(
+  {
+    size_t kept = first_data_row;
+    for (size_t r = first_data_row; r < records.size(); ++r) {
+      if (records[r].fields.size() == num_cols) {
+        if (kept != r) records[kept] = std::move(records[r]);
+        ++kept;
+        continue;
+      }
+      Status bad = Status::ParseError(
           StrFormat("row %zu has %zu fields; expected %zu", r,
-                    records[r].size(), num_cols));
+                    records[r].fields.size(), num_cols));
+      if (!lenient) return bad;
+      quarantine->Add("csv-ingest", records[r].record_number, /*field=*/"",
+                      std::move(bad),
+                      TruncateForQuarantine(FormatCsvLine(
+                          records[r].fields, options.delimiter)));
     }
+    records.resize(kept);
   }
 
   // Infer column types over all non-null fields (unless fixed).
@@ -120,16 +192,28 @@ Result<Table> Table::FromCsv(const std::string& text,
                     options.column_types.size(), num_cols));
     }
     types = options.column_types;
-  } else if (options.infer_types) {
+  } else if (options.infer_types && !lenient) {
     std::vector<bool> seen(num_cols, false);
     for (size_t r = first_data_row; r < records.size(); ++r) {
       for (size_t c = 0; c < num_cols; ++c) {
-        const std::string& field = records[r][c];
+        const std::string& field = records[r].fields[c];
         if (IsNullToken(field, options.null_tokens)) continue;
         DataType t = InferFieldType(field);
         types[c] = seen[c] ? WidenType(types[c], t) : t;
         seen[c] = true;
       }
+    }
+  } else if (options.infer_types) {
+    std::vector<std::map<DataType, size_t>> votes(num_cols);
+    for (size_t r = first_data_row; r < records.size(); ++r) {
+      for (size_t c = 0; c < num_cols; ++c) {
+        const std::string& field = records[r].fields[c];
+        if (IsNullToken(field, options.null_tokens)) continue;
+        ++votes[c][InferFieldType(field)];
+      }
+    }
+    for (size_t c = 0; c < num_cols; ++c) {
+      types[c] = InferTypeByMajority(votes[c]);
     }
   }
 
@@ -143,16 +227,31 @@ Result<Table> Table::FromCsv(const std::string& text,
   for (size_t r = first_data_row; r < records.size(); ++r) {
     Row row;
     row.reserve(num_cols);
+    Status bad;
+    std::string bad_field;
     for (size_t c = 0; c < num_cols; ++c) {
-      const std::string& field = records[r][c];
+      const std::string& field = records[r].fields[c];
       if (IsNullToken(field, options.null_tokens)) {
         row.push_back(Value::Null());
         continue;
       }
-      DDGMS_ASSIGN_OR_RETURN(Value v, ParseTypedField(field, types[c]));
-      row.push_back(std::move(v));
+      auto value = ParseTypedField(field, types[c]);
+      if (!value.ok()) {
+        bad = value.status();
+        bad_field = names[c];
+        break;
+      }
+      row.push_back(std::move(*value));
     }
-    DDGMS_RETURN_IF_ERROR(table.AppendRow(row));
+    if (bad.ok()) {
+      bad = table.AppendRow(row);
+    }
+    if (bad.ok()) continue;
+    if (!lenient) return bad;
+    quarantine->Add("csv-ingest", records[r].record_number,
+                    std::move(bad_field), std::move(bad),
+                    TruncateForQuarantine(FormatCsvLine(
+                        records[r].fields, options.delimiter)));
   }
   return table;
 }

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/quarantine.h"
 #include "common/result.h"
 #include "table/column.h"
 #include "table/schema.h"
@@ -30,6 +31,19 @@ struct CsvReadOptions {
   /// column count); takes precedence over infer_types. Used by loaders
   /// that persist schema alongside data.
   std::vector<DataType> column_types;
+  /// kStrict (default) aborts the load on the first bad record, as
+  /// historically. kLenient quarantines bad records — structural CSV
+  /// errors, ragged rows, unparseable fields — into `quarantine` and
+  /// loads everything else. In lenient mode column types are inferred
+  /// by majority vote (so one corrupt field does not silently widen a
+  /// numeric column to string); minority rows that fail the winning
+  /// type are quarantined with the offending field named. Quarantine
+  /// row numbers are 1-based physical record numbers in the document
+  /// (the header is record 1).
+  ErrorMode error_mode = ErrorMode::kStrict;
+  /// Sink for lenient-mode quarantined rows. May be left null, in
+  /// which case bad rows are still skipped but not itemised.
+  QuarantineReport* quarantine = nullptr;
 };
 
 /// In-memory columnar table: a schema plus equally sized columns.

@@ -3,6 +3,8 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/csv.h"
+#include "common/faults.h"
 #include "common/strings.h"
 
 namespace ddgms::warehouse {
@@ -210,6 +212,7 @@ Status Warehouse::AddFeedbackDimension(
 }
 
 Status Warehouse::AppendRows(const Table& source) {
+  DDGMS_FAULT_POINT("warehouse.append_rows");
   // Resolve source columns for every dimension attribute and measure.
   struct DimSource {
     Dimension* dim;
@@ -351,8 +354,14 @@ IntegrityReport Warehouse::CheckIntegrity() const {
   return report;
 }
 
-Result<Warehouse> StarSchemaBuilder::Build(const Table& source) const {
+Result<Warehouse> StarSchemaBuilder::Build(
+    const Table& source, const BuildOptions& options) const {
+  DDGMS_FAULT_POINT("warehouse.build");
   DDGMS_RETURN_IF_ERROR(def_.Validate());
+  const bool lenient = options.error_mode == ErrorMode::kLenient;
+  QuarantineReport local_sink;
+  QuarantineReport* quarantine =
+      options.quarantine != nullptr ? options.quarantine : &local_sink;
 
   // Resolve all source columns up front.
   struct DimSource {
@@ -418,28 +427,62 @@ Result<Warehouse> StarSchemaBuilder::Build(const Table& source) const {
   for (size_t i = 0; i < n; ++i) {
     Row fact_row;
     fact_row.reserve(def_.dimensions.size() + def_.measures.size() + 1);
-    for (size_t d = 0; d < def_.dimensions.size(); ++d) {
+    Status bad;
+    std::string bad_field;
+    for (size_t d = 0; d < def_.dimensions.size() && bad.ok(); ++d) {
       std::vector<Value> tuple;
       tuple.reserve(dim_sources[d].attr_cols.size());
       for (const ColumnVector* col : dim_sources[d].attr_cols) {
         tuple.push_back(col->GetValue(i));
+      }
+      if (lenient) {
+        // Referential integrity: a tuple that is null in EVERY
+        // attribute identifies no dimension member at all; quarantine
+        // instead of minting an all-null member. (Partially-null
+        // tuples are legitimate — nulls are valid attribute values,
+        // e.g. a diagnosis band for an undiagnosed patient.)
+        bool all_null = !tuple.empty();
+        for (const Value& v : tuple) {
+          if (!v.is_null()) {
+            all_null = false;
+            break;
+          }
+        }
+        if (all_null) {
+          bad_field = def_.dimensions[d].name;
+          bad = Status::FailedPrecondition(StrFormat(
+              "all-null tuple references no member of dimension '%s'",
+              def_.dimensions[d].name.c_str()));
+          break;
+        }
       }
       auto [it, inserted] = builds[d].keys.emplace(
           tuple, static_cast<int64_t>(builds[d].members.size()));
       if (inserted) builds[d].members.push_back(std::move(tuple));
       fact_row.push_back(Value::Int(it->second));
     }
-    if (degenerate_col != nullptr) {
-      fact_row.push_back(degenerate_col->GetValue(i));
-    }
-    for (size_t m = 0; m < measure_cols.size(); ++m) {
-      Value v = measure_cols[m]->GetValue(i);
-      if (!v.is_null() && v.type() == DataType::kBool) {
-        v = Value::Int(v.bool_value() ? 1 : 0);
+    if (bad.ok()) {
+      if (degenerate_col != nullptr) {
+        fact_row.push_back(degenerate_col->GetValue(i));
       }
-      fact_row.push_back(std::move(v));
+      for (size_t m = 0; m < measure_cols.size(); ++m) {
+        Value v = measure_cols[m]->GetValue(i);
+        if (!v.is_null() && v.type() == DataType::kBool) {
+          v = Value::Int(v.bool_value() ? 1 : 0);
+        }
+        fact_row.push_back(std::move(v));
+      }
+      bad = fact.AppendRow(fact_row);
     }
-    DDGMS_RETURN_IF_ERROR(fact.AppendRow(fact_row));
+    if (bad.ok()) continue;
+    if (!lenient) return bad;
+    std::vector<std::string> cells;
+    for (const Value& v : source.GetRow(i)) {
+      cells.push_back(v.ToString());
+    }
+    quarantine->Add("star-schema", i + 1, std::move(bad_field),
+                    std::move(bad),
+                    TruncateForQuarantine(FormatCsvLine(cells)));
   }
 
   // Materialize dimension tables.

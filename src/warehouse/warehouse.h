@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/quarantine.h"
 #include "common/result.h"
 #include "table/table.h"
 #include "warehouse/schema_def.h"
@@ -130,6 +131,22 @@ class Warehouse {
   std::vector<Dimension> dimensions_;
 };
 
+/// How StarSchemaBuilder reacts to source rows that cannot be wired
+/// into the star schema.
+struct BuildOptions {
+  /// kStrict (default): historical behaviour — any failure aborts the
+  /// build. kLenient: source rows that would violate referential
+  /// integrity (a dimension tuple that is null in every attribute
+  /// references no member; partially-null tuples remain valid members)
+  /// or whose fact row cannot be appended are quarantined under stage
+  /// "star-schema" (1-based source row numbers) and the build
+  /// continues with the rest.
+  ErrorMode error_mode = ErrorMode::kStrict;
+  /// Sink for lenient-mode quarantined rows; may be null (rows are
+  /// still skipped, not itemised).
+  QuarantineReport* quarantine = nullptr;
+};
+
 /// Populates a Warehouse from a transformed source extract. Each source
 /// row becomes one fact row; each dimension's attribute tuple is
 /// deduplicated into the dimension table.
@@ -137,8 +154,14 @@ class StarSchemaBuilder {
  public:
   explicit StarSchemaBuilder(StarSchemaDef def) : def_(std::move(def)) {}
 
-  /// Builds and integrity-checks the warehouse.
-  Result<Warehouse> Build(const Table& source) const;
+  /// Builds and integrity-checks the warehouse (strict).
+  Result<Warehouse> Build(const Table& source) const {
+    return Build(source, {});
+  }
+
+  /// Builds with explicit robustness semantics (see BuildOptions).
+  Result<Warehouse> Build(const Table& source,
+                          const BuildOptions& options) const;
 
  private:
   StarSchemaDef def_;

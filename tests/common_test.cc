@@ -40,6 +40,48 @@ TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
   EXPECT_TRUE(Status::Internal("x").IsInternal());
 }
 
+TEST(StatusTest, EveryCodeHasACanonicalName) {
+  std::set<std::string> names;
+  for (StatusCode code : kAllStatusCodes) {
+    std::string name = StatusCodeName(code);
+    EXPECT_NE(name, "Unknown") << "unnamed code";
+    EXPECT_FALSE(name.empty());
+    names.insert(name);
+  }
+  // Names are distinct — one per enumerator.
+  EXPECT_EQ(names.size(), std::size(kAllStatusCodes));
+}
+
+TEST(StatusTest, StatusCodeNameRoundTripsThroughFromName) {
+  for (StatusCode code : kAllStatusCodes) {
+    StatusCode parsed;
+    ASSERT_TRUE(StatusCodeFromName(StatusCodeName(code), &parsed))
+        << StatusCodeName(code);
+    EXPECT_EQ(parsed, code);
+  }
+  StatusCode ignored;
+  EXPECT_FALSE(StatusCodeFromName("NoSuchCode", &ignored));
+  EXPECT_FALSE(StatusCodeFromName("", &ignored));
+}
+
+TEST(StatusTest, ToStringRoundTripsForEveryCode) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (code == StatusCode::kOk) {
+      EXPECT_EQ(Status::OK().ToString(), "OK");
+      continue;
+    }
+    Status status(code, "some detail");
+    std::string text = status.ToString();
+    // "<Name>: <message>" — both halves must be recoverable.
+    size_t colon = text.find(": ");
+    ASSERT_NE(colon, std::string::npos) << text;
+    StatusCode parsed;
+    ASSERT_TRUE(StatusCodeFromName(text.substr(0, colon), &parsed));
+    EXPECT_EQ(parsed, code);
+    EXPECT_EQ(text.substr(colon + 2), "some detail");
+  }
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
   EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
@@ -212,8 +254,86 @@ TEST(CsvTest, FormatRoundTrip) {
   EXPECT_EQ((*rows)[0], fields);
 }
 
+TEST(CsvTest, CrlfAndLoneCrBothTerminateRecords) {
+  auto rows = ParseCsv("a,b\r\nc,d\re,f\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 3u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+  EXPECT_EQ((*rows)[2], (std::vector<std::string>{"e", "f"}));
+}
+
+TEST(CsvTest, CrlfInsideQuotesIsPreserved) {
+  auto rows = ParseCsv("\"x\r\ny\",z\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "x\r\ny");
+}
+
+TEST(CsvTest, UnterminatedQuotedFieldAtEofIsDiagnosed) {
+  auto rows = ParseCsv("a,b\nc,\"unclosed");
+  ASSERT_FALSE(rows.ok());
+  EXPECT_TRUE(rows.status().IsParseError());
+  // The diagnostic locates the damage after the last complete record.
+  EXPECT_NE(rows.status().message().find("unterminated quoted field"),
+            std::string::npos);
+  EXPECT_NE(rows.status().message().find("after 1 complete record"),
+            std::string::npos);
+}
+
+TEST(CsvTest, TrailingDelimiterYieldsEmptyFinalField) {
+  auto fields = ParseCsvLine("a,b,");
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, (std::vector<std::string>{"a", "b", ""}));
+  auto rows = ParseCsv("a,b,\nc,d,\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", ""}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d", ""}));
+}
+
+TEST(CsvTest, ParseCsvLenientQuarantinesOnlyBadRecords) {
+  // An unterminated quote swallows the rest of the input, so the bad
+  // record is the final one; everything before it survives with its
+  // physical record number.
+  QuarantineReport quarantine;
+  auto records =
+      ParseCsvLenient("a,b\nok,fine\n\"bad", ',', &quarantine);
+  ASSERT_TRUE(records.ok());
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0].record_number, 1u);
+  EXPECT_EQ((*records)[0].fields,
+            (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ((*records)[1].record_number, 2u);
+  EXPECT_EQ((*records)[1].fields,
+            (std::vector<std::string>{"ok", "fine"}));
+  ASSERT_EQ(quarantine.size(), 1u);
+  EXPECT_EQ(quarantine.rows()[0].stage, "csv-parse");
+  EXPECT_EQ(quarantine.rows()[0].row_number, 3u);
+  EXPECT_TRUE(quarantine.rows()[0].status.IsParseError());
+}
+
 TEST(CsvTest, ReadMissingFileIsNotFound) {
   EXPECT_TRUE(ReadFile("/nonexistent/zzz.csv").status().IsNotFound());
+}
+
+TEST(CsvTest, ReadFileErrorNamesPathAndCause) {
+  auto text = ReadFile("/nonexistent/zzz.csv");
+  ASSERT_FALSE(text.ok());
+  // The message carries the offending path and the OS-level cause.
+  EXPECT_NE(text.status().message().find("'/nonexistent/zzz.csv'"),
+            std::string::npos);
+  EXPECT_NE(text.status().message().find("No such file or directory"),
+            std::string::npos);
+}
+
+TEST(CsvTest, WriteFileErrorNamesPathAndCause) {
+  Status st = WriteFile("/nonexistent/dir/out.csv", "x\n");
+  ASSERT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("'/nonexistent/dir/out.csv'"),
+            std::string::npos);
+  EXPECT_NE(st.message().find("No such file or directory"),
+            std::string::npos);
 }
 
 TEST(CsvTest, WriteAndReadFile) {
