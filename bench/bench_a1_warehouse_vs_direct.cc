@@ -60,7 +60,7 @@ void BM_WarehouseQuery(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
 }
-BENCHMARK(BM_WarehouseQuery)->DenseRange(1, 6)
+DDGMS_BENCHMARK(BM_WarehouseQuery)->DenseRange(1, 6)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_DirectQuery(benchmark::State& state) {
@@ -75,7 +75,7 @@ void BM_DirectQuery(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(dgms.transformed().num_rows()));
 }
-BENCHMARK(BM_DirectQuery)->DenseRange(1, 6)
+DDGMS_BENCHMARK(BM_DirectQuery)->DenseRange(1, 6)
     ->Unit(benchmark::kMicrosecond);
 
 // Repeated-query amortisation: the warehouse pays dimension-building
@@ -93,7 +93,7 @@ void BM_WarehouseSession20Queries(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_WarehouseSession20Queries)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_WarehouseSession20Queries)->Unit(benchmark::kMillisecond);
 
 // Cached warehouse session: repeated queries become dictionary hits
 // (drill-down-and-back navigation patterns).
@@ -112,7 +112,7 @@ void BM_CachedSession20Queries(benchmark::State& state) {
       static_cast<double>(cache.hits()) /
       static_cast<double>(cache.hits() + cache.misses());
 }
-BENCHMARK(BM_CachedSession20Queries)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_CachedSession20Queries)->Unit(benchmark::kMillisecond);
 
 void BM_DirectSession20Queries(benchmark::State& state) {
   auto& dgms = SharedDgms();
@@ -126,13 +126,11 @@ void BM_DirectSession20Queries(benchmark::State& state) {
     }
   }
 }
-BENCHMARK(BM_DirectSession20Queries)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_DirectSession20Queries)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintHeader();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a1_warehouse_vs_direct");
 }

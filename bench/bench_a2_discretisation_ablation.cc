@@ -92,7 +92,7 @@ void BM_EqualWidth(benchmark::State& state) {
     benchmark::DoNotOptimize(scheme);
   }
 }
-BENCHMARK(BM_EqualWidth);
+DDGMS_BENCHMARK(BM_EqualWidth);
 
 void BM_EqualFrequency(benchmark::State& state) {
   LabeledColumn fbg = CollectColumn("FBG");
@@ -102,7 +102,7 @@ void BM_EqualFrequency(benchmark::State& state) {
     benchmark::DoNotOptimize(scheme);
   }
 }
-BENCHMARK(BM_EqualFrequency);
+DDGMS_BENCHMARK(BM_EqualFrequency);
 
 void BM_EntropyMdl(benchmark::State& state) {
   LabeledColumn fbg = CollectColumn("FBG");
@@ -112,7 +112,7 @@ void BM_EntropyMdl(benchmark::State& state) {
     benchmark::DoNotOptimize(scheme);
   }
 }
-BENCHMARK(BM_EntropyMdl)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_EntropyMdl)->Unit(benchmark::kMicrosecond);
 
 void BM_ChiMerge(benchmark::State& state) {
   LabeledColumn fbg = CollectColumn("FBG");
@@ -124,13 +124,11 @@ void BM_ChiMerge(benchmark::State& state) {
     benchmark::DoNotOptimize(scheme);
   }
 }
-BENCHMARK(BM_ChiMerge)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_ChiMerge)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintAblation();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a2_discretisation_ablation");
 }

@@ -79,7 +79,7 @@ void BM_MarkovTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
 }
-BENCHMARK(BM_MarkovTrain)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_MarkovTrain)->Unit(benchmark::kMicrosecond);
 
 void BM_MarkovPredict(benchmark::State& state) {
   SequenceSplit split = MakeSplit();
@@ -93,7 +93,7 @@ void BM_MarkovPredict(benchmark::State& state) {
     ++i;
   }
 }
-BENCHMARK(BM_MarkovPredict);
+DDGMS_BENCHMARK(BM_MarkovPredict);
 
 void BM_ExtractSequences(benchmark::State& state) {
   const auto& flat = SharedDgms().transformed();
@@ -103,13 +103,11 @@ void BM_ExtractSequences(benchmark::State& state) {
     benchmark::DoNotOptimize(sequences);
   }
 }
-BENCHMARK(BM_ExtractSequences)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_ExtractSequences)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintReport();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a3_trajectory");
 }

@@ -178,7 +178,7 @@ void BM_NaiveBayesTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
 }
-BENCHMARK(BM_NaiveBayesTrain)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_NaiveBayesTrain)->Unit(benchmark::kMillisecond);
 
 void BM_DecisionTreeTrain(benchmark::State& state) {
   mining::CategoricalDataset data = LoadCategorical();
@@ -188,7 +188,7 @@ void BM_DecisionTreeTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
 }
-BENCHMARK(BM_DecisionTreeTrain)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_DecisionTreeTrain)->Unit(benchmark::kMillisecond);
 
 void BM_AwsumTrain(benchmark::State& state) {
   mining::CategoricalDataset data = LoadCategorical();
@@ -198,7 +198,7 @@ void BM_AwsumTrain(benchmark::State& state) {
     benchmark::DoNotOptimize(st);
   }
 }
-BENCHMARK(BM_AwsumTrain)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_AwsumTrain)->Unit(benchmark::kMillisecond);
 
 void BM_AprioriMine(benchmark::State& state) {
   mining::CategoricalDataset data = LoadCategorical();
@@ -210,13 +210,11 @@ void BM_AprioriMine(benchmark::State& state) {
     benchmark::DoNotOptimize(rules);
   }
 }
-BENCHMARK(BM_AprioriMine)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_AprioriMine)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintReport();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a4_mining");
 }

@@ -96,7 +96,7 @@ void BM_StabilityAnalysis(benchmark::State& state) {
     benchmark::DoNotOptimize(report);
   }
 }
-BENCHMARK(BM_StabilityAnalysis)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_StabilityAnalysis)->Unit(benchmark::kMillisecond);
 
 void BM_RegimenDp(benchmark::State& state) {
   auto options = RegimenOptions();
@@ -105,7 +105,7 @@ void BM_RegimenDp(benchmark::State& state) {
     benchmark::DoNotOptimize(plan);
   }
 }
-BENCHMARK(BM_RegimenDp)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_RegimenDp)->Unit(benchmark::kMicrosecond);
 
 void BM_RegimenGreedy(benchmark::State& state) {
   auto options = RegimenOptions();
@@ -114,14 +114,12 @@ void BM_RegimenGreedy(benchmark::State& state) {
     benchmark::DoNotOptimize(plan);
   }
 }
-BENCHMARK(BM_RegimenGreedy);
+DDGMS_BENCHMARK(BM_RegimenGreedy);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintStability();
   PrintRegimen();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a5_optimisation");
 }

@@ -63,7 +63,7 @@ void BM_CubeBuild(benchmark::State& state) {
   state.counters["fact_rows"] =
       static_cast<double>(dgms.warehouse().num_fact_rows());
 }
-BENCHMARK(BM_CubeBuild)->Arg(300)->Arg(900)->Arg(2700)->Arg(8100)
+DDGMS_BENCHMARK(BM_CubeBuild)->Arg(300)->Arg(900)->Arg(2700)->Arg(8100)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_CubeBuildParallel(benchmark::State& state) {
@@ -81,7 +81,7 @@ void BM_CubeBuildParallel(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
 }
-BENCHMARK(BM_CubeBuildParallel)->Arg(1)->Arg(2)->Arg(4)
+DDGMS_BENCHMARK(BM_CubeBuildParallel)->Arg(1)->Arg(2)->Arg(4)
     ->Unit(benchmark::kMicrosecond);
 
 void BM_Slice(benchmark::State& state) {
@@ -93,7 +93,7 @@ void BM_Slice(benchmark::State& state) {
     benchmark::DoNotOptimize(sliced);
   }
 }
-BENCHMARK(BM_Slice)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Slice)->Unit(benchmark::kMicrosecond);
 
 void BM_Dice(benchmark::State& state) {
   auto& dgms = DgmsOfSize(900);
@@ -105,7 +105,7 @@ void BM_Dice(benchmark::State& state) {
     benchmark::DoNotOptimize(diced);
   }
 }
-BENCHMARK(BM_Dice)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Dice)->Unit(benchmark::kMicrosecond);
 
 void BM_RollUp(benchmark::State& state) {
   auto& dgms = DgmsOfSize(900);
@@ -115,7 +115,7 @@ void BM_RollUp(benchmark::State& state) {
     benchmark::DoNotOptimize(rolled);
   }
 }
-BENCHMARK(BM_RollUp)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_RollUp)->Unit(benchmark::kMicrosecond);
 
 void BM_DrillDown(benchmark::State& state) {
   auto& dgms = DgmsOfSize(900);
@@ -125,7 +125,7 @@ void BM_DrillDown(benchmark::State& state) {
     benchmark::DoNotOptimize(drilled);
   }
 }
-BENCHMARK(BM_DrillDown)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_DrillDown)->Unit(benchmark::kMicrosecond);
 
 void BM_MdxEndToEnd(benchmark::State& state) {
   auto& dgms = DgmsOfSize(900);
@@ -139,7 +139,7 @@ void BM_MdxEndToEnd(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_MdxEndToEnd)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_MdxEndToEnd)->Unit(benchmark::kMicrosecond);
 
 void BM_JoinedView(benchmark::State& state) {
   auto& dgms = DgmsOfSize(900);
@@ -148,13 +148,11 @@ void BM_JoinedView(benchmark::State& state) {
     benchmark::DoNotOptimize(view);
   }
 }
-BENCHMARK(BM_JoinedView)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_JoinedView)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   std::printf("=== A6: OLAP operation microbenchmarks ===\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_a6_olap_ops");
 }

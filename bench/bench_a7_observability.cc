@@ -1,0 +1,142 @@
+// A7: cost of the observability subsystem.
+//
+// The acceptance budget is <= 2% overhead on a warehouse build with
+// instrumentation compiled in but DISABLED (the shipping default):
+// BM_WarehouseBuildInstrumentationOff vs ...On measures that directly.
+// The microbenchmarks price the individual primitives on both the
+// disabled path (one relaxed atomic load) and the enabled path
+// (registry lookup + atomic update / span record).
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "warehouse/warehouse.h"
+
+namespace {
+
+using namespace ddgms;  // NOLINT: bench brevity
+
+Table MakeCohort(size_t patients) {
+  discri::CohortOptions opt;
+  opt.num_patients = patients;
+  opt.seed = 20130408;
+  Table raw = bench::MustOk(discri::GenerateCohort(opt), "cohort");
+  etl::TransformPipeline pipeline = discri::MakeDiscriPipeline();
+  bench::MustOk(pipeline.Run(&raw), "pipeline");
+  return raw;
+}
+
+void RunWarehouseBuild(benchmark::State& state, bool enabled) {
+  const Table transformed = MakeCohort(600);
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  if (enabled) {
+    MetricsRegistry::Enable();
+    TraceCollector::Enable();
+  } else {
+    MetricsRegistry::Disable();
+    TraceCollector::Disable();
+  }
+  for (auto _ : state) {
+    auto wh = builder.Build(transformed);
+    if (!wh.ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(wh);
+  }
+  state.counters["fact_rows"] =
+      static_cast<double>(transformed.num_rows());
+  MetricsRegistry::Disable();
+  TraceCollector::Disable();
+  MetricsRegistry::Global().ResetValues();
+  TraceCollector::Global().Clear();
+}
+
+void BM_WarehouseBuildInstrumentationOff(benchmark::State& state) {
+  RunWarehouseBuild(state, /*enabled=*/false);
+}
+DDGMS_BENCHMARK(BM_WarehouseBuildInstrumentationOff)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WarehouseBuildInstrumentationOn(benchmark::State& state) {
+  RunWarehouseBuild(state, /*enabled=*/true);
+}
+DDGMS_BENCHMARK(BM_WarehouseBuildInstrumentationOn)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_CounterDisabled(benchmark::State& state) {
+  MetricsRegistry::Disable();
+  for (auto _ : state) {
+    DDGMS_METRIC_INC("ddgms.bench.counter");
+  }
+}
+DDGMS_BENCHMARK(BM_CounterDisabled);
+
+void BM_CounterEnabled(benchmark::State& state) {
+  MetricsRegistry::Enable();
+  for (auto _ : state) {
+    DDGMS_METRIC_INC("ddgms.bench.counter");
+  }
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_CounterEnabled);
+
+void BM_CounterEnabledCachedRef(benchmark::State& state) {
+  MetricsRegistry::Enable();
+  Counter& counter =
+      MetricsRegistry::Global().GetCounter("ddgms.bench.counter");
+  for (auto _ : state) {
+    counter.Increment();
+  }
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_CounterEnabledCachedRef);
+
+void BM_HistogramEnabled(benchmark::State& state) {
+  MetricsRegistry::Enable();
+  double v = 0.0;
+  for (auto _ : state) {
+    DDGMS_METRIC_OBSERVE("ddgms.bench.histogram", v);
+    v += 1.0;
+    if (v > 1e6) v = 0.0;
+  }
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_HistogramEnabled);
+
+void BM_SpanDisabled(benchmark::State& state) {
+  TraceCollector::Disable();
+  for (auto _ : state) {
+    TraceSpan span("bench.span");
+    span.SetAttribute("i", 1);
+    benchmark::DoNotOptimize(span.active());
+  }
+}
+DDGMS_BENCHMARK(BM_SpanDisabled);
+
+void BM_SpanEnabled(benchmark::State& state) {
+  TraceCollector::Enable();
+  for (auto _ : state) {
+    TraceSpan span("bench.span");
+    span.SetAttribute("i", 1);
+    benchmark::DoNotOptimize(span.active());
+  }
+  TraceCollector::Disable();
+  TraceCollector::Global().Clear();
+}
+DDGMS_BENCHMARK(BM_SpanEnabled);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::printf("=== A7: observability overhead ===\n");
+  std::printf("budget: instrumentation-off warehouse build within 2%% "
+              "of the pre-instrumentation baseline\n\n");
+  return ddgms::bench::BenchMain(argc, argv, "bench_a7_observability");
+}

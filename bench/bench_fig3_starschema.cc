@@ -56,7 +56,7 @@ void BM_StarSchemaBuild(benchmark::State& state) {
   state.counters["fact_rows"] =
       static_cast<double>(transformed.num_rows());
 }
-BENCHMARK(BM_StarSchemaBuild)->Arg(100)->Arg(300)->Arg(900)->Arg(2700)
+DDGMS_BENCHMARK(BM_StarSchemaBuild)->Arg(100)->Arg(300)->Arg(900)->Arg(2700)
     ->Unit(benchmark::kMillisecond);
 
 void BM_TransformPipeline(benchmark::State& state) {
@@ -72,7 +72,7 @@ void BM_TransformPipeline(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(raw.num_rows()));
 }
-BENCHMARK(BM_TransformPipeline)->Arg(300)->Arg(900)
+DDGMS_BENCHMARK(BM_TransformPipeline)->Arg(300)->Arg(900)
     ->Unit(benchmark::kMillisecond);
 
 // Data acquisition ablation: appending a new screening season
@@ -103,7 +103,7 @@ void BM_IncrementalAppend(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(batch.num_rows()));
 }
-BENCHMARK(BM_IncrementalAppend)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_IncrementalAppend)->Unit(benchmark::kMillisecond);
 
 void BM_FullRebuildForAppend(benchmark::State& state) {
   Table base = TransformedBatch(900, 1);
@@ -119,13 +119,11 @@ void BM_FullRebuildForAppend(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(batch.num_rows()));
 }
-BENCHMARK(BM_FullRebuildForAppend)->Unit(benchmark::kMillisecond);
+DDGMS_BENCHMARK(BM_FullRebuildForAppend)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintStarSchema();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_fig3_starschema");
 }

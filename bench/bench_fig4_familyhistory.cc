@@ -67,7 +67,7 @@ void BM_Fig4CubeQuery(benchmark::State& state) {
       static_cast<int64_t>(state.iterations()) *
       static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
 }
-BENCHMARK(BM_Fig4CubeQuery)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Fig4CubeQuery)->Unit(benchmark::kMicrosecond);
 
 void BM_Fig4Mdx(benchmark::State& state) {
   auto& dgms = SharedDgms();
@@ -76,7 +76,7 @@ void BM_Fig4Mdx(benchmark::State& state) {
     benchmark::DoNotOptimize(result);
   }
 }
-BENCHMARK(BM_Fig4Mdx)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Fig4Mdx)->Unit(benchmark::kMicrosecond);
 
 void BM_Fig4MdxParseOnly(benchmark::State& state) {
   for (auto _ : state) {
@@ -84,13 +84,11 @@ void BM_Fig4MdxParseOnly(benchmark::State& state) {
     benchmark::DoNotOptimize(parsed);
   }
 }
-BENCHMARK(BM_Fig4MdxParseOnly);
+DDGMS_BENCHMARK(BM_Fig4MdxParseOnly);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFig4();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_fig4_familyhistory");
 }

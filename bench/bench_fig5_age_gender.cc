@@ -118,7 +118,7 @@ void BM_Fig5CoarseQuery(benchmark::State& state) {
     benchmark::DoNotOptimize(cube);
   }
 }
-BENCHMARK(BM_Fig5CoarseQuery)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Fig5CoarseQuery)->Unit(benchmark::kMicrosecond);
 
 void BM_Fig5DrillDown(benchmark::State& state) {
   auto& dgms = SharedDgms();
@@ -128,13 +128,11 @@ void BM_Fig5DrillDown(benchmark::State& state) {
     benchmark::DoNotOptimize(fine);
   }
 }
-BENCHMARK(BM_Fig5DrillDown)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Fig5DrillDown)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFig5();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_fig5_age_gender");
 }

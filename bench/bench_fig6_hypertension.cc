@@ -98,13 +98,11 @@ void BM_Fig6Query(benchmark::State& state) {
     benchmark::DoNotOptimize(cube);
   }
 }
-BENCHMARK(BM_Fig6Query)->Unit(benchmark::kMicrosecond);
+DDGMS_BENCHMARK(BM_Fig6Query)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintFig6();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_fig6_hypertension");
 }

@@ -56,7 +56,7 @@ void BM_ApplyClinicalScheme(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
                           static_cast<int64_t>(flat.num_rows()));
 }
-BENCHMARK(BM_ApplyClinicalScheme);
+DDGMS_BENCHMARK(BM_ApplyClinicalScheme);
 
 void BM_BinIndexLookup(benchmark::State& state) {
   auto scheme = ddgms::discri::FbgScheme();
@@ -67,13 +67,11 @@ void BM_BinIndexLookup(benchmark::State& state) {
     if (v > 12.0) v = 4.0;
   }
 }
-BENCHMARK(BM_BinIndexLookup);
+DDGMS_BENCHMARK(BM_BinIndexLookup);
 
 }  // namespace
 
 int main(int argc, char** argv) {
   PrintTableOne();
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return ddgms::bench::BenchMain(argc, argv, "bench_table1_discretisation");
 }

@@ -1,10 +1,18 @@
 #ifndef DDGMS_BENCH_BENCH_UTIL_H_
 #define DDGMS_BENCH_BENCH_UTIL_H_
 
+#include <benchmark/benchmark.h>
+
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
+#include "common/csv.h"
+#include "common/strings.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
@@ -13,7 +21,8 @@ namespace ddgms::bench {
 
 /// Builds (once per process) a DD-DGMS over a synthetic cohort of the
 /// given size. Benchmarks share this to avoid regenerating per
-/// iteration. Aborts on failure — benches have no error channel.
+/// iteration. Exits with the failing status — benches have no error
+/// channel.
 inline core::DdDgms& SharedDgms(size_t num_patients = 900,
                                 uint64_t seed = 20130408) {
   static std::unique_ptr<core::DdDgms> dgms = [num_patients, seed] {
@@ -23,7 +32,7 @@ inline core::DdDgms& SharedDgms(size_t num_patients = 900,
     auto raw = discri::GenerateCohort(opt);
     if (!raw.ok()) {
       std::fprintf(stderr, "cohort: %s\n", raw.status().ToString().c_str());
-      std::abort();
+      std::exit(1);
     }
     auto built = core::DdDgms::Build(std::move(raw).value(),
                                      discri::MakeDiscriPipeline(),
@@ -31,22 +40,218 @@ inline core::DdDgms& SharedDgms(size_t num_patients = 900,
     if (!built.ok()) {
       std::fprintf(stderr, "dgms: %s\n",
                    built.status().ToString().c_str());
-      std::abort();
+      std::exit(1);
     }
     return std::make_unique<core::DdDgms>(std::move(built).value());
   }();
   return *dgms;
 }
 
-/// Unwraps a Result or aborts with its status (bench-only).
+/// Unwraps a Result or exits with its status printed (bench-only).
 template <typename T>
 T MustOk(Result<T> result, const char* what) {
   if (!result.ok()) {
     std::fprintf(stderr, "%s: %s\n", what,
                  result.status().ToString().c_str());
-    std::abort();
+    std::exit(1);
   }
   return std::move(result).value();
+}
+
+/// -------------------------------------------------------------------
+/// Shared bench harness
+///
+/// Register benchmarks with DDGMS_BENCHMARK (a drop-in for BENCHMARK
+/// that additionally records the registration) and end main with
+/// BenchMain(). Every bench binary then shares flags beyond the
+/// standard --benchmark_* set:
+///
+///   --json <path>       write machine-readable results (default
+///                       BENCH_<name>.json in the working directory)
+///   --no-json           console output only
+///   --iterations <N>    pin every benchmark to exactly N iterations
+///   --min-time <sec>    alias for --benchmark_min_time=<sec>
+///   --repetitions <N>   alias for --benchmark_repetitions=<N>
+///   --filter <regex>    alias for --benchmark_filter=<regex>
+/// -------------------------------------------------------------------
+
+/// Registration order of every DDGMS_BENCHMARK in this binary.
+inline std::vector<::benchmark::internal::Benchmark*>&
+TrackedBenchmarks() {
+  static auto* tracked =
+      new std::vector<::benchmark::internal::Benchmark*>();
+  return *tracked;
+}
+
+/// Records a registration so BenchMain can re-configure it (e.g.
+/// --iterations) before the run. Returns its argument for chaining.
+inline ::benchmark::internal::Benchmark* Track(
+    ::benchmark::internal::Benchmark* b) {
+  TrackedBenchmarks().push_back(b);
+  return b;
+}
+
+/// Drop-in replacement for BENCHMARK() that also tracks the
+/// registration; configuration chains exactly as with BENCHMARK:
+///   DDGMS_BENCHMARK(BM_Foo)->Arg(300)->Unit(benchmark::kMillisecond);
+#define DDGMS_BENCHMARK(fn)                                       \
+  static ::benchmark::internal::Benchmark* ddgms_bench_##fn =     \
+      ::ddgms::bench::Track(::benchmark::RegisterBenchmark(#fn, fn))
+
+/// Console reporter that also collects every run and, on Finalize,
+/// writes them as a JSON document (BENCH_<name>.json by default) for
+/// machine consumption in CI trend tracking.
+class JsonTeeReporter : public ::benchmark::ConsoleReporter {
+ public:
+  /// `path` empty disables the JSON side channel.
+  JsonTeeReporter(std::string bench_name, std::string path)
+      : bench_name_(std::move(bench_name)), path_(std::move(path)) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    for (const Run& run : reports) runs_.push_back(run);
+    ConsoleReporter::ReportRuns(reports);
+  }
+
+  void Finalize() override {
+    ConsoleReporter::Finalize();
+    if (path_.empty()) return;
+    Status st = WriteFile(path_, ToJson());
+    if (!st.ok()) {
+      std::fprintf(stderr, "bench json: %s\n", st.ToString().c_str());
+      return;
+    }
+    std::fprintf(stderr, "wrote %s (%zu runs)\n", path_.c_str(),
+                 runs_.size());
+  }
+
+ private:
+  static std::string Escape(const std::string& in) {
+    std::string out;
+    out.reserve(in.size());
+    for (char c : in) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            out += StrFormat("\\u%04x", c);
+          } else {
+            out.push_back(c);
+          }
+      }
+    }
+    return out;
+  }
+
+  std::string ToJson() const {
+    std::string out = "{\n";
+    out += "  \"benchmark\": \"";
+    out += Escape(bench_name_);
+    out += "\",\n  \"benchmarks\": [";
+    bool first = true;
+    for (const Run& run : runs_) {
+      if (!first) out += ",";
+      first = false;
+      out += "\n    {\"name\": \"";
+      out += Escape(run.benchmark_name());
+      out += "\", \"run_type\": \"";
+      out += run.run_type == Run::RT_Aggregate ? "aggregate"
+                                               : "iteration";
+      out += "\"";
+      if (!run.aggregate_name.empty()) {
+        out += ", \"aggregate_name\": \"";
+        out += Escape(run.aggregate_name);
+        out += "\"";
+      }
+      out += StrFormat(", \"iterations\": %lld",
+                       static_cast<long long>(run.iterations));
+      out += StrFormat(", \"real_time\": %.6f",
+                       run.GetAdjustedRealTime());
+      out += StrFormat(", \"cpu_time\": %.6f",
+                       run.GetAdjustedCPUTime());
+      out += ", \"time_unit\": \"";
+      out += ::benchmark::GetTimeUnitString(run.time_unit);
+      out += "\"";
+      for (const auto& [name, counter] : run.counters) {
+        out += ", \"";
+        out += Escape(name);
+        out += StrFormat("\": %.6f", counter.value);
+      }
+      if (run.error_occurred) {
+        out += ", \"error\": \"";
+        out += Escape(run.error_message);
+        out += "\"";
+      }
+      out += "}";
+    }
+    out += "\n  ]\n}\n";
+    return out;
+  }
+
+  std::string bench_name_;
+  std::string path_;
+  std::vector<Run> runs_;
+};
+
+/// Shared main for bench binaries: parses the ddgms flags above,
+/// forwards everything else (including native --benchmark_* flags) to
+/// the benchmark library, and runs with the JSON tee reporter.
+inline int BenchMain(int argc, char** argv,
+                     const std::string& bench_name) {
+  std::string json_path = "BENCH_" + bench_name + ".json";
+  bool write_json = true;
+  long long iterations = 0;
+  std::vector<std::string> args;  // stable storage for forwarded argv
+  args.push_back(argc > 0 ? argv[0] : bench_name.c_str());
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    auto value = [&](const char* flag) -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", flag);
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (std::strcmp(arg, "--json") == 0) {
+      json_path = value("--json");
+    } else if (std::strcmp(arg, "--no-json") == 0) {
+      write_json = false;
+    } else if (std::strcmp(arg, "--iterations") == 0) {
+      iterations = std::atoll(value("--iterations"));
+      if (iterations <= 0) {
+        std::fprintf(stderr, "--iterations needs a positive count\n");
+        std::exit(2);
+      }
+    } else if (std::strcmp(arg, "--min-time") == 0) {
+      args.push_back(std::string("--benchmark_min_time=") +
+                     value("--min-time"));
+    } else if (std::strcmp(arg, "--repetitions") == 0) {
+      args.push_back(std::string("--benchmark_repetitions=") +
+                     value("--repetitions"));
+    } else if (std::strcmp(arg, "--filter") == 0) {
+      args.push_back(std::string("--benchmark_filter=") +
+                     value("--filter"));
+    } else {
+      args.push_back(arg);
+    }
+  }
+  if (iterations > 0) {
+    for (::benchmark::internal::Benchmark* b : TrackedBenchmarks()) {
+      b->Iterations(iterations);
+    }
+  }
+  std::vector<char*> forwarded;
+  forwarded.reserve(args.size());
+  for (std::string& s : args) forwarded.push_back(s.data());
+  int forwarded_argc = static_cast<int>(forwarded.size());
+  ::benchmark::Initialize(&forwarded_argc, forwarded.data());
+  JsonTeeReporter reporter(bench_name,
+                           write_json ? json_path : std::string());
+  ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  ::benchmark::Shutdown();
+  return 0;
 }
 
 }  // namespace ddgms::bench

@@ -2,28 +2,35 @@
 // synthetic cohort), then issue SQL / MDX queries and platform commands
 // line by line. Reads stdin, so it scripts cleanly:
 //
-//   echo 'sql SELECT Gender, count(*) FROM extract GROUP BY Gender' \
-//     | ./ddgms_shell --patients 100
+//   echo 'sql SELECT Gender, count(*) FROM extract GROUP BY Gender' |
+//     ./ddgms_shell --patients 100
 //
 // Commands:
 //   sql <SELECT ...>     OLTP query (tables: extract, fact, dimensions)
 //   mdx <SELECT ...>     OLAP query rendered as a grid
+//   explain <SELECT ...> MDX query with a per-stage timing profile
 //   dims                 list dimensions and member counts
 //   report               transformation report
 //   quarantine           rows quarantined by the last (lenient) load
+//   stats [json|prom]    metrics registry (counters/gauges/histograms)
+//   trace [json|clear]   recorded span tree
 //   kb                   knowledge-base contents
 //   save <dir>           persist the warehouse
 //   help / quit
 //
 // Pass --lenient to quarantine corrupt rows at every stage instead of
-// failing the load on the first bad row.
+// failing the load on the first bad row. Metrics and tracing are
+// enabled before the build, so `stats` and `trace` cover the load
+// itself as well as interactive queries.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
@@ -39,9 +46,12 @@ void PrintHelp() {
       "commands:\n"
       "  sql <SELECT ...>   query extract/fact/dimension tables\n"
       "  mdx <SELECT ...>   OLAP query (cube: MedicalMeasures)\n"
+      "  explain <SELECT ...>  MDX query + per-stage timing profile\n"
       "  dims               list dimensions\n"
       "  report             transformation report\n"
       "  quarantine         rows quarantined by the last load\n"
+      "  stats [json|prom]  metrics registry snapshot\n"
+      "  trace [json|clear] recorded span tree\n"
       "  describe           per-column profile of the extract\n"
       "  kb                 knowledge base contents\n"
       "  save <dir>         persist warehouse to a directory\n"
@@ -70,6 +80,11 @@ int main(int argc, char** argv) {
       return 2;
     }
   }
+
+  // Turn observability on before the load so the build's spans and
+  // counters are visible to `stats` / `trace`.
+  MetricsRegistry::Enable();
+  TraceCollector::Enable();
 
   QuarantineReport ingest_quarantine;
   Result<Table> raw = Status::NotFound("unset");
@@ -131,6 +146,44 @@ int main(int argc, char** argv) {
                         : " (strict mode; rerun with --lenient)");
       } else {
         std::printf("%s\n", q.ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed == "stats" || StartsWith(trimmed, "stats ")) {
+      std::string mode(Trim(trimmed.substr(5)));
+      MetricsSnapshot snapshot = core::DdDgms::MetricsSnapshot();
+      if (mode == "json") {
+        std::printf("%s\n", snapshot.ToJson().c_str());
+      } else if (mode == "prom") {
+        std::printf("%s", snapshot.ToPrometheusText().c_str());
+      } else {
+        std::printf("%s", snapshot.ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed == "trace" || StartsWith(trimmed, "trace ")) {
+      std::string mode(Trim(trimmed.substr(5)));
+      TraceCollector& collector = TraceCollector::Global();
+      if (mode == "clear") {
+        collector.Clear();
+        std::printf("trace buffer cleared\n");
+      } else if (mode == "json") {
+        std::printf("%s\n", collector.ToJson().c_str());
+      } else {
+        std::printf("%s", collector.ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "explain ")) {
+      auto result = dgms->QueryMdx(trimmed.substr(8));
+      if (!result.ok()) {
+        std::printf("error: %s\n", result.status().ToString().c_str());
+        continue;
+      }
+      std::printf("%s", result->profile.ToString().c_str());
+      auto grid = result->ToGrid();
+      if (grid.ok()) {
+        std::printf("%s", grid->ToPrettyString(40).c_str());
       }
       continue;
     }

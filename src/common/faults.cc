@@ -4,6 +4,8 @@
 #include <chrono>
 #include <thread>
 
+#include "common/metrics.h"
+
 namespace ddgms {
 
 FaultRegistry& FaultRegistry::Global() {
@@ -36,6 +38,7 @@ void FaultRegistry::Reset() {
 }
 
 Status FaultRegistry::OnHit(const std::string& point) {
+  DDGMS_METRIC_INC("ddgms.faults.hits");
   std::lock_guard<std::mutex> lock(mu_);
   PointState& state = points_[point];
   const size_t hit = state.hits++;  // 0-based index of this hit
@@ -51,6 +54,11 @@ Status FaultRegistry::OnHit(const std::string& point) {
   if (!fire) return Status::OK();
 
   ++state.injected;
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("ddgms.faults.injected").Increment();
+    registry.GetCounter("ddgms.faults.injected:" + point).Increment();
+  }
   std::string message = plan.message.empty()
                             ? "injected fault at '" + point + "'"
                             : plan.message;
@@ -106,6 +114,33 @@ namespace internal {
 void RetrySleepMs(double ms) {
   if (ms <= 0.0) return;
   std::this_thread::sleep_for(std::chrono::duration<double, std::milli>(ms));
+}
+
+void RecordRetryMetrics(std::string_view label, int attempts,
+                        int transient_retries, double backoff_ms,
+                        bool succeeded) {
+  if (!MetricsRegistry::Enabled()) return;
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  registry.GetCounter("ddgms.retry.runs").Increment();
+  registry.GetCounter("ddgms.retry.attempts")
+      .Increment(static_cast<uint64_t>(attempts));
+  if (transient_retries > 0) {
+    registry.GetCounter("ddgms.retry.transient_retries")
+        .Increment(static_cast<uint64_t>(transient_retries));
+    registry.GetGauge("ddgms.retry.backoff_ms_total").Add(backoff_ms);
+  }
+  if (!succeeded) {
+    registry.GetCounter("ddgms.retry.exhausted").Increment();
+  }
+  if (!label.empty()) {
+    const std::string suffix(label);
+    registry.GetCounter("ddgms.retry.attempts:" + suffix)
+        .Increment(static_cast<uint64_t>(attempts));
+    if (transient_retries > 0) {
+      registry.GetCounter("ddgms.retry.transient_retries:" + suffix)
+          .Increment(static_cast<uint64_t>(transient_retries));
+    }
+  }
 }
 
 }  // namespace internal

@@ -6,6 +6,7 @@
 #include <map>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <type_traits>
 #include <vector>
 
@@ -171,19 +172,31 @@ const Status& StatusOf(const Result<T>& result) {
 }
 /// Sleeps for `ms` milliseconds (no-op for ms <= 0).
 void RetrySleepMs(double ms);
+/// Publishes one finished Retry() run to the metrics registry
+/// (ddgms.retry.* counters, per-label when `label` is non-empty).
+/// No-op while metrics are disabled.
+void RecordRetryMetrics(std::string_view label, int attempts,
+                        int transient_retries, double backoff_ms,
+                        bool succeeded);
 }  // namespace internal
 
 /// Invokes `fn` (returning Status or Result<T>) up to
 /// `policy.max_attempts` times, sleeping with capped exponential
 /// backoff between attempts, until it succeeds or fails with a
 /// non-retryable code. Returns the last attempt's result.
+///
+/// Every run reports to the metrics registry (attempt counts, absorbed
+/// transients, total backoff); pass a `label` such as "store.fetch" to
+/// additionally break those counters out per call site in `stats`
+/// output.
 template <typename Fn>
 auto Retry(const RetryPolicy& policy, Fn&& fn,
-           RetryStats* stats = nullptr)
+           RetryStats* stats = nullptr, std::string_view label = {})
     -> std::invoke_result_t<Fn&> {
   const int max_attempts = policy.max_attempts < 1 ? 1
                                                    : policy.max_attempts;
   int attempt = 0;
+  double backoff_ms = 0.0;
   for (;;) {
     ++attempt;
     auto result = fn();
@@ -191,10 +204,14 @@ auto Retry(const RetryPolicy& policy, Fn&& fn,
     const Status& status = internal::StatusOf(result);
     if (status.ok() || attempt >= max_attempts ||
         !policy.IsRetryable(status)) {
+      internal::RecordRetryMetrics(label, attempt, attempt - 1,
+                                   backoff_ms, status.ok());
       return result;
     }
     if (stats != nullptr) stats->transient_failures.push_back(status);
-    internal::RetrySleepMs(policy.DelayMsForRetry(attempt));
+    const double delay_ms = policy.DelayMsForRetry(attempt);
+    backoff_ms += delay_ms;
+    internal::RetrySleepMs(delay_ms);
   }
 }
 

@@ -1,5 +1,6 @@
 #include "common/quarantine.h"
 
+#include "common/metrics.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -27,6 +28,14 @@ void QuarantineReport::Add(QuarantinedRow row) {
 void QuarantineReport::Add(std::string stage, size_t row_number,
                            std::string field, Status status,
                            std::string raw) {
+  // This overload is the original quarantine event (Merge copies go
+  // through Add(QuarantinedRow) and must not re-count), so it feeds
+  // the per-stage quarantine counters.
+  if (MetricsRegistry::Enabled()) {
+    MetricsRegistry& registry = MetricsRegistry::Global();
+    registry.GetCounter("ddgms.quarantine.rows").Increment();
+    registry.GetCounter("ddgms.quarantine.rows:" + stage).Increment();
+  }
   QuarantinedRow row;
   row.stage = std::move(stage);
   row.row_number = row_number;

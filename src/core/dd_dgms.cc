@@ -1,5 +1,6 @@
 #include "core/dd_dgms.h"
 
+#include "common/trace.h"
 #include "table/sql.h"
 
 namespace ddgms::core {
@@ -22,12 +23,16 @@ Result<DdDgms> DdDgms::BuildFromStore(
   if (store == nullptr) {
     return Status::InvalidArgument("null data store");
   }
+  TraceSpan span("core.build_from_store");
+  span.SetAttribute("resource", resource);
   QuarantineReport ingest;
   csv_options.error_mode = robustness.error_mode;
   csv_options.quarantine = &ingest;
   DDGMS_ASSIGN_OR_RETURN(
       std::string text,
-      Retry(robustness.retry, [&] { return store->Fetch(resource); }));
+      Retry(
+          robustness.retry, [&] { return store->Fetch(resource); },
+          /*stats=*/nullptr, "store.fetch"));
   DDGMS_ASSIGN_OR_RETURN(Table raw, Table::FromCsv(text, csv_options));
   if (robustness.quarantine_sink != nullptr) {
     robustness.quarantine_sink->Merge(ingest);
@@ -38,6 +43,9 @@ Result<DdDgms> DdDgms::BuildFromStore(
 
 Status DdDgms::Rebuild() {
   DDGMS_FAULT_POINT("core.rebuild");
+  TraceSpan rebuild_span("core.rebuild");
+  rebuild_span.SetAttribute("raw_rows", raw_.num_rows());
+  ScopedLatencyTimer rebuild_timer("ddgms.core.rebuild_latency_us");
   Table working = raw_;
   etl::PipelineRunOptions pipeline_options;
   pipeline_options.error_mode = robustness_.error_mode;
@@ -66,6 +74,9 @@ Status DdDgms::Rebuild() {
     // valid across AcquireData rebuilds.
     *warehouse_ = std::move(wh);
   }
+  rebuild_span.SetAttribute("fact_rows", warehouse_->fact().num_rows());
+  rebuild_span.SetAttribute("quarantined", report_.quarantine.size());
+  DDGMS_METRIC_INC("ddgms.core.rebuilds");
   return Status::OK();
 }
 

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/faults.h"
+#include "common/metrics.h"
 #include "common/quarantine.h"
 #include "common/result.h"
 #include "etl/pipeline.h"
@@ -123,6 +124,14 @@ class DdDgms {
   /// The robustness configuration this instance was built with
   /// (reused by AcquireData rebuilds).
   const RobustnessOptions& robustness() const { return robustness_; }
+
+  /// Point-in-time view of the process-wide metrics registry (all
+  /// ddgms.* counters, gauges and latency histograms). Empty unless
+  /// MetricsRegistry::Enable() was called before the instrumented
+  /// work ran.
+  static ::ddgms::MetricsSnapshot MetricsSnapshot() {
+    return MetricsRegistry::Global().Snapshot();
+  }
 
  private:
   DdDgms(Table raw, etl::TransformPipeline pipeline,

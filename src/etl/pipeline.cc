@@ -2,7 +2,9 @@
 
 #include "common/csv.h"
 #include "common/faults.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace ddgms::etl {
 
@@ -19,7 +21,8 @@ std::string TransformReport::ToString() const {
     }
   }
   if (!quarantine.empty()) {
-    out += "\n" + quarantine.ToString();
+    out += "\n";
+    out += quarantine.ToString();
   }
   return out;
 }
@@ -123,20 +126,42 @@ Result<TransformReport> TransformPipeline::Run(
                               }});
   }
 
+  TraceSpan run_span("etl.pipeline.run");
+  run_span.SetAttribute("steps", steps.size());
+  run_span.SetAttribute("rows_in", report.input_rows);
+  ScopedLatencyTimer run_timer("ddgms.etl.run_latency_us");
+
   const bool lenient = options.error_mode == ErrorMode::kLenient;
   for (const NamedStep& step : steps) {
     DDGMS_FAULT_POINT("etl.pipeline.step");
+    TraceSpan step_span("etl.step");
+    step_span.SetAttribute("step", step.name);
+    step_span.SetAttribute("rows_in", table->num_rows());
+    ScopedLatencyTimer step_timer("ddgms.etl.step_latency_us");
+    const size_t quarantined_before = report.quarantine.size();
     if (lenient) {
       DDGMS_RETURN_IF_ERROR(RunStepLenient(step.name, step.fn, table,
                                            &report.quarantine));
     } else {
       DDGMS_RETURN_IF_ERROR(step.fn(table));
     }
+    step_span.SetAttribute("rows_out", table->num_rows());
+    const size_t quarantined =
+        report.quarantine.size() - quarantined_before;
+    if (quarantined > 0) {
+      step_span.SetAttribute("quarantined", quarantined);
+    }
+    DDGMS_METRIC_INC("ddgms.etl.steps_run");
   }
   for (const DiscretisationStep& step : discretisations_) {
     report.discretised_columns.push_back(step.EffectiveOutput());
   }
   report.output_rows = table->num_rows();
+
+  run_span.SetAttribute("rows_out", report.output_rows);
+  DDGMS_METRIC_INC("ddgms.etl.runs");
+  DDGMS_METRIC_ADD("ddgms.etl.rows_in", report.input_rows);
+  DDGMS_METRIC_ADD("ddgms.etl.rows_out", report.output_rows);
   return report;
 }
 

@@ -1,9 +1,12 @@
 #include "mdx/executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 #include "mdx/parser.h"
 
 namespace ddgms::mdx {
@@ -209,7 +212,37 @@ class SetCompiler {
   std::vector<size_t>* axis_indices_;
 };
 
+/// Microseconds elapsed since `start` as a double.
+double MicrosSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+std::string FormatMicros(double us) {
+  if (us < 1000.0) return StrFormat("%.1fus", us);
+  if (us < 1e6) return StrFormat("%.2fms", us / 1000.0);
+  return StrFormat("%.3fs", us / 1e6);
+}
+
 }  // namespace
+
+std::string MdxProfile::ToString() const {
+  std::string out = StrFormat(
+      "mdx profile: %zu axes, %zu slicers, %zu measures; "
+      "%zu fact rows -> %zu cells (%zu facts aggregated)\n",
+      axes, slicers, measures, fact_rows, cells, facts_aggregated);
+  out += StrFormat("  %-10s %12s %8s\n", "stage", "time", "share");
+  for (const Stage& stage : stages) {
+    const double share =
+        total_micros > 0.0 ? 100.0 * stage.micros / total_micros : 0.0;
+    out += StrFormat("  %-10s %12s %7.1f%%\n", stage.name.c_str(),
+                     FormatMicros(stage.micros).c_str(), share);
+  }
+  out += StrFormat("  %-10s %12s\n", "total",
+                   FormatMicros(total_micros).c_str());
+  return out;
+}
 
 Result<Table> MdxResult::ToGrid() const {
   if (row_axes.size() == 1 && column_axes.size() == 1 &&
@@ -221,8 +254,18 @@ Result<Table> MdxResult::ToGrid() const {
 
 Result<MdxResult> MdxExecutor::Execute(
     const std::string& query_text) const {
-  DDGMS_ASSIGN_OR_RETURN(MdxQuery query, Parse(query_text));
-  return Execute(query);
+  const auto parse_start = std::chrono::steady_clock::now();
+  MdxQuery query;
+  {
+    TraceSpan parse_span("mdx.parse");
+    DDGMS_ASSIGN_OR_RETURN(query, Parse(query_text));
+  }
+  const double parse_us = MicrosSince(parse_start);
+  DDGMS_ASSIGN_OR_RETURN(MdxResult result, Execute(query));
+  result.profile.stages.insert(result.profile.stages.begin(),
+                               MdxProfile::Stage{"parse", parse_us});
+  result.profile.total_micros += parse_us;
+  return result;
 }
 
 Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
@@ -234,6 +277,9 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
                             "' (fact table is '" +
                             warehouse_->def().fact_name + "')");
   }
+  TraceSpan exec_span("mdx.execute");
+  ScopedLatencyTimer exec_timer("ddgms.mdx.execute_latency_us");
+  const auto compile_start = std::chrono::steady_clock::now();
   CubeQuery cq;
   std::vector<size_t> column_axes;
   std::vector<size_t> row_axes;
@@ -290,13 +336,32 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
   if (cq.measures.empty()) {
     cq.measures.push_back(AggSpec{AggFn::kCount, "", "count"});
   }
+  const double compile_us = MicrosSince(compile_start);
 
+  const auto execute_start = std::chrono::steady_clock::now();
   olap::CubeEngine engine(warehouse_);
   DDGMS_ASSIGN_OR_RETURN(olap::Cube cube, engine.Execute(cq));
+  const double execute_us = MicrosSince(execute_start);
+
   MdxResult result;
   result.cube = std::move(cube);
   result.column_axes = std::move(column_axes);
   result.row_axes = std::move(row_axes);
+
+  MdxProfile& profile = result.profile;
+  profile.stages.push_back(MdxProfile::Stage{"compile", compile_us});
+  profile.stages.push_back(MdxProfile::Stage{"execute", execute_us});
+  profile.total_micros = compile_us + execute_us;
+  profile.axes = cq.axes.size();
+  profile.slicers = cq.slicers.size();
+  profile.measures = cq.measures.size();
+  profile.fact_rows = warehouse_->fact().num_rows();
+  profile.facts_aggregated = result.cube.facts_aggregated();
+  profile.cells = result.cube.num_cells();
+
+  exec_span.SetAttribute("axes", profile.axes);
+  exec_span.SetAttribute("cells", profile.cells);
+  DDGMS_METRIC_INC("ddgms.mdx.queries");
   return result;
 }
 

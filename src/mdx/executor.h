@@ -11,12 +11,40 @@
 
 namespace ddgms::mdx {
 
+/// EXPLAIN-style per-stage timing profile of one MDX execution. Always
+/// populated (a handful of steady-clock reads per query), so callers
+/// can attach it to query output without enabling the global metrics
+/// or trace collectors.
+struct MdxProfile {
+  struct Stage {
+    std::string name;
+    double micros = 0.0;
+  };
+  /// In execution order: parse (only when executing from text),
+  /// compile (axis/slicer/measure resolution), execute (cube scan).
+  std::vector<Stage> stages;
+  double total_micros = 0.0;
+
+  // Shape of the compiled and executed query.
+  size_t axes = 0;
+  size_t slicers = 0;
+  size_t measures = 0;
+  size_t fact_rows = 0;
+  size_t facts_aggregated = 0;
+  size_t cells = 0;
+
+  /// Renders an EXPLAIN-style table: the query shape line followed by
+  /// one row per stage with its share of the total.
+  std::string ToString() const;
+};
+
 /// Result of executing an MDX query: the underlying cube plus the
 /// mapping of cube axes onto the MDX COLUMNS / ROWS display axes.
 struct MdxResult {
   olap::Cube cube;
   std::vector<size_t> column_axes;  // indices into cube.query().axes
   std::vector<size_t> row_axes;
+  MdxProfile profile;
 
   /// Renders the result: with exactly one ROWS axis and one COLUMNS
   /// axis and a single measure, a 2D cross-tab (rows x columns);

@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace ddgms::olap {
 
@@ -34,10 +36,16 @@ std::string SlicerSpec::ToString() const {
 
 std::string CubeQuery::ToString() const {
   std::string out = "axes:";
-  for (const AxisSpec& a : axes) out += " " + a.ToString();
+  for (const AxisSpec& a : axes) {
+    out += " ";
+    out += a.ToString();
+  }
   if (!slicers.empty()) {
     out += " where:";
-    for (const SlicerSpec& s : slicers) out += " " + s.ToString();
+    for (const SlicerSpec& s : slicers) {
+      out += " ";
+      out += s.ToString();
+    }
   }
   out += " measures:";
   for (const AggSpec& m : measures) {
@@ -69,6 +77,9 @@ Result<Cube> Cube::RollUp(size_t axis) const {
   if (axis >= query_.axes.size()) {
     return Status::OutOfRange(StrFormat("axis %zu out of range", axis));
   }
+  TraceSpan span("olap.rollup");
+  ScopedLatencyTimer timer("ddgms.olap.op_latency_us:rollup");
+  DDGMS_METRIC_INC("ddgms.olap.ops:rollup");
   CubeQuery q = query_;
   q.axes.erase(q.axes.begin() + static_cast<ptrdiff_t>(axis));
   return CubeEngine(warehouse_).Execute(q);
@@ -83,6 +94,10 @@ Result<Cube> Cube::RollUpToCoarser(size_t axis) const {
                          warehouse_->dimension(spec.dimension));
   DDGMS_ASSIGN_OR_RETURN(std::string coarser,
                          dim->CoarserLevel(spec.attribute));
+  TraceSpan span("olap.rollup_to_coarser");
+  span.SetAttribute("to", coarser);
+  ScopedLatencyTimer timer("ddgms.olap.op_latency_us:rollup");
+  DDGMS_METRIC_INC("ddgms.olap.ops:rollup");
   CubeQuery q = query_;
   q.axes[axis].attribute = coarser;
   q.axes[axis].members.clear();  // member names change across levels
@@ -98,6 +113,10 @@ Result<Cube> Cube::DrillDown(size_t axis) const {
                          warehouse_->dimension(spec.dimension));
   DDGMS_ASSIGN_OR_RETURN(std::string finer,
                          dim->FinerLevel(spec.attribute));
+  TraceSpan span("olap.drilldown");
+  span.SetAttribute("to", finer);
+  ScopedLatencyTimer timer("ddgms.olap.op_latency_us:drilldown");
+  DDGMS_METRIC_INC("ddgms.olap.ops:drilldown");
   CubeQuery q = query_;
   // Keep the coarse level as a slicer-free outer axis? The paper's
   // drill-down replaces the level while retaining any member
@@ -114,6 +133,10 @@ Result<Cube> Cube::DrillDown(size_t axis) const {
 
 Result<Cube> Cube::Slice(const std::string& dimension,
                          const std::string& attribute, Value value) const {
+  TraceSpan span("olap.slice");
+  span.SetAttribute("attribute", attribute);
+  ScopedLatencyTimer timer("ddgms.olap.op_latency_us:slice");
+  DDGMS_METRIC_INC("ddgms.olap.ops:slice");
   CubeQuery q = query_;
   // If the sliced attribute is an axis, remove the axis.
   for (size_t i = 0; i < q.axes.size(); ++i) {
@@ -130,6 +153,10 @@ Result<Cube> Cube::Slice(const std::string& dimension,
 Result<Cube> Cube::Dice(const std::string& dimension,
                         const std::string& attribute,
                         std::vector<Value> values) const {
+  TraceSpan span("olap.dice");
+  span.SetAttribute("attribute", attribute);
+  ScopedLatencyTimer timer("ddgms.olap.op_latency_us:dice");
+  DDGMS_METRIC_INC("ddgms.olap.ops:dice");
   CubeQuery q = query_;
   bool applied = false;
   for (AxisSpec& a : q.axes) {
@@ -356,6 +383,13 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
 
   const Table& fact = warehouse_->fact();
 
+  TraceSpan exec_span("olap.cube.execute");
+  exec_span.SetAttribute("axes", query.axes.size());
+  exec_span.SetAttribute("slicers", query.slicers.size());
+  exec_span.SetAttribute("measures", query.measures.size());
+  exec_span.SetAttribute("fact_rows", fact.num_rows());
+  ScopedLatencyTimer exec_timer("ddgms.olap.execute_latency_us");
+
   // Resolve axes. For speed, the scan works on small integer member
   // indices: each dimension surrogate key is pre-mapped to the index of
   // its attribute value among the axis's distinct members (-1 =
@@ -525,6 +559,7 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
   AccMap accs;
   size_t threads = options_.num_threads;
   if (threads <= 1 || n < options_.parallel_threshold) {
+    threads = 1;
     cube.facts_aggregated_ = scan_range(0, n, &accs);
   } else {
     threads = std::min(threads, n);
@@ -599,6 +634,14 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
                 return x.Compare(y) < 0;
               });
   }
+
+  exec_span.SetAttribute("threads", threads);
+  exec_span.SetAttribute("cells", cube.cells_.size());
+  exec_span.SetAttribute("facts_aggregated", cube.facts_aggregated_);
+  DDGMS_METRIC_INC("ddgms.olap.queries");
+  DDGMS_METRIC_ADD("ddgms.olap.cells_materialized", cube.cells_.size());
+  DDGMS_METRIC_ADD("ddgms.olap.facts_scanned", n);
+  DDGMS_METRIC_ADD("ddgms.olap.facts_aggregated", cube.facts_aggregated_);
   return cube;
 }
 

@@ -57,7 +57,8 @@ Status FlakyStore::Store(const std::string& resource,
 Result<std::string> RetryingStore::Fetch(const std::string& resource) {
   last_stats_ = RetryStats{};
   return Retry(
-      policy_, [&] { return inner_->Fetch(resource); }, &last_stats_);
+      policy_, [&] { return inner_->Fetch(resource); }, &last_stats_,
+      "store.fetch");
 }
 
 Status RetryingStore::Store(const std::string& resource,
@@ -65,7 +66,7 @@ Status RetryingStore::Store(const std::string& resource,
   last_stats_ = RetryStats{};
   return Retry(
       policy_, [&] { return inner_->Store(resource, contents); },
-      &last_stats_);
+      &last_stats_, "store.store");
 }
 
 Result<Table> LoadTableFromStore(DataStore* store,
@@ -76,7 +77,8 @@ Result<Table> LoadTableFromStore(DataStore* store,
   DDGMS_ASSIGN_OR_RETURN(
       std::string text,
       Retry(
-          policy, [&] { return store->Fetch(resource); }, stats));
+          policy, [&] { return store->Fetch(resource); }, stats,
+          "store.fetch"));
   return Table::FromCsv(text, options);
 }
 

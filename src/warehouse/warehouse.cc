@@ -5,7 +5,9 @@
 
 #include "common/csv.h"
 #include "common/faults.h"
+#include "common/metrics.h"
 #include "common/strings.h"
+#include "common/trace.h"
 
 namespace ddgms::warehouse {
 
@@ -358,6 +360,11 @@ Result<Warehouse> StarSchemaBuilder::Build(
     const Table& source, const BuildOptions& options) const {
   DDGMS_FAULT_POINT("warehouse.build");
   DDGMS_RETURN_IF_ERROR(def_.Validate());
+  TraceSpan build_span("warehouse.build");
+  build_span.SetAttribute("source_rows", source.num_rows());
+  build_span.SetAttribute("dimensions", def_.dimensions.size());
+  build_span.SetAttribute("measures", def_.measures.size());
+  ScopedLatencyTimer build_timer("ddgms.warehouse.build_latency_us");
   const bool lenient = options.error_mode == ErrorMode::kLenient;
   QuarantineReport local_sink;
   QuarantineReport* quarantine =
@@ -476,6 +483,7 @@ Result<Warehouse> StarSchemaBuilder::Build(
     }
     if (bad.ok()) continue;
     if (!lenient) return bad;
+    DDGMS_METRIC_INC("ddgms.warehouse.ri_rejects");
     std::vector<std::string> cells;
     for (const Value& v : source.GetRow(i)) {
       cells.push_back(v.ToString());
@@ -486,9 +494,11 @@ Result<Warehouse> StarSchemaBuilder::Build(
   }
 
   // Materialize dimension tables.
+  size_t surrogate_keys = 0;
   std::vector<Dimension> dimensions;
   dimensions.reserve(def_.dimensions.size());
   for (size_t d = 0; d < def_.dimensions.size(); ++d) {
+    surrogate_keys += builds[d].members.size();
     const DimensionDef& dim_def = def_.dimensions[d];
     std::vector<Field> fields;
     for (size_t a = 0; a < dim_def.attributes.size(); ++a) {
@@ -504,11 +514,24 @@ Result<Warehouse> StarSchemaBuilder::Build(
   }
 
   Warehouse wh(def_, std::move(fact), std::move(dimensions));
-  IntegrityReport report = wh.CheckIntegrity();
+  IntegrityReport report;
+  {
+    TraceSpan check_span("warehouse.integrity_check");
+    report = wh.CheckIntegrity();
+    check_span.SetAttribute("violations", report.violations.size());
+  }
   if (!report.ok) {
     return Status::DataLoss("built warehouse failed integrity check:\n" +
                             report.ToString());
   }
+
+  build_span.SetAttribute("fact_rows", wh.fact().num_rows());
+  build_span.SetAttribute("surrogate_keys", surrogate_keys);
+  DDGMS_METRIC_INC("ddgms.warehouse.builds");
+  DDGMS_METRIC_ADD("ddgms.warehouse.fact_rows_built",
+                   wh.fact().num_rows());
+  DDGMS_METRIC_ADD("ddgms.warehouse.surrogate_keys_allocated",
+                   surrogate_keys);
   return wh;
 }
 

@@ -1,0 +1,253 @@
+// Metrics registry tests: counter/gauge/histogram semantics (including
+// under concurrent mutation), snapshot ordering, exporter formats and
+// the disabled-path no-op guarantees.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace ddgms {
+namespace {
+
+// The registry is process-global, so every test starts enabled with
+// clean values and leaves the registry disabled.
+class MetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetValues();
+    MetricsRegistry::Enable();
+  }
+  void TearDown() override {
+    MetricsRegistry::Disable();
+    MetricsRegistry::Global().ResetValues();
+  }
+};
+
+TEST_F(MetricsTest, CounterIncrementAndReset) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(MetricsTest, GetCounterReturnsSameInstance) {
+  Counter& a = MetricsRegistry::Global().GetCounter("t.same");
+  Counter& b = MetricsRegistry::Global().GetCounter("t.same");
+  EXPECT_EQ(&a, &b);
+  a.Increment();
+  EXPECT_EQ(b.value(), 1u);
+}
+
+TEST_F(MetricsTest, CounterConcurrentIncrements) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.concurrent");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (int i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(c.value(), static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
+TEST_F(MetricsTest, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("t.gauge");
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(1.25);
+  EXPECT_DOUBLE_EQ(g.value(), 3.75);
+  g.Add(-5.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.25);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(MetricsTest, GaugeConcurrentAdds) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("t.gauge.conc");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 5000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(0.5);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), kThreads * kPerThread * 0.5);
+}
+
+TEST_F(MetricsTest, HistogramBucketsAndStats) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.hist", {10, 20, 30});
+  h.Observe(5);    // bucket 0: <= 10
+  h.Observe(10);   // bucket 0 (upper bounds inclusive)
+  h.Observe(15);   // bucket 1
+  h.Observe(25);   // bucket 2
+  h.Observe(100);  // overflow bucket
+  HistogramSnapshot snap = h.Snapshot("t.hist");
+  EXPECT_EQ(snap.count, 5u);
+  EXPECT_DOUBLE_EQ(snap.sum, 155.0);
+  EXPECT_DOUBLE_EQ(snap.min, 5.0);
+  EXPECT_DOUBLE_EQ(snap.max, 100.0);
+  ASSERT_EQ(snap.bounds.size(), 3u);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  EXPECT_EQ(snap.buckets[0], 2u);
+  EXPECT_EQ(snap.buckets[1], 1u);
+  EXPECT_EQ(snap.buckets[2], 1u);
+  EXPECT_EQ(snap.buckets[3], 1u);
+  EXPECT_DOUBLE_EQ(snap.Mean(), 31.0);
+}
+
+TEST_F(MetricsTest, HistogramPercentilesAreOrderedAndBounded) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "t.hist.pct", Histogram::DefaultLatencyBounds());
+  for (int i = 1; i <= 1000; ++i) h.Observe(i);
+  HistogramSnapshot snap = h.Snapshot("t.hist.pct");
+  const double p50 = snap.Percentile(0.50);
+  const double p95 = snap.Percentile(0.95);
+  const double p99 = snap.Percentile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_GE(p50, snap.min);
+  EXPECT_LE(p99, snap.max);
+  // p50 of 1..1000 should land in the right region despite bucketing.
+  EXPECT_GT(p50, 250.0);
+  EXPECT_LT(p50, 1000.0);
+}
+
+TEST_F(MetricsTest, HistogramConcurrentObserve) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "t.hist.conc", {100, 200, 300});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(50.0 * (t + 1));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  const double expected_sum = kPerThread * 50.0 * (1 + 2 + 3 + 4);
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+}
+
+TEST_F(MetricsTest, SnapshotIsSortedAndQueriable) {
+  MetricsRegistry::Global().GetCounter("t.b").Increment(2);
+  MetricsRegistry::Global().GetCounter("t.a").Increment();
+  MetricsRegistry::Global().GetGauge("t.g").Set(1.5);
+  MetricsRegistry::Global().GetHistogram("t.h", {1, 2}).Observe(1.5);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  ASSERT_GE(snap.counters.size(), 2u);
+  for (size_t i = 1; i < snap.counters.size(); ++i) {
+    EXPECT_LT(snap.counters[i - 1].name, snap.counters[i].name);
+  }
+  EXPECT_EQ(snap.counter("t.a"), 1u);
+  EXPECT_EQ(snap.counter("t.b"), 2u);
+  EXPECT_EQ(snap.counter("t.missing"), 0u);
+  const auto* h = snap.histogram("t.h");
+  ASSERT_NE(h, nullptr);
+  EXPECT_EQ(h->count, 1u);
+}
+
+TEST_F(MetricsTest, ToJsonContainsMetrics) {
+  MetricsRegistry::Global().GetCounter("t.json.counter").Increment(7);
+  MetricsRegistry::Global().GetGauge("t.json.gauge").Set(0.5);
+  MetricsRegistry::Global()
+      .GetHistogram("t.json.hist", {10})
+      .Observe(3);
+  std::string json = MetricsRegistry::Global().Snapshot().ToJson();
+  EXPECT_NE(json.find("\"t.json.counter\""), std::string::npos);
+  EXPECT_NE(json.find("7"), std::string::npos);
+  EXPECT_NE(json.find("\"t.json.gauge\""), std::string::npos);
+  EXPECT_NE(json.find("\"t.json.hist\""), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+}
+
+TEST_F(MetricsTest, ToPrometheusTextSanitizesNames) {
+  MetricsRegistry::Global()
+      .GetCounter("ddgms.retry.attempts:store.fetch")
+      .Increment(3);
+  std::string prom =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  // Dots and the :detail separator become legal Prometheus characters.
+  EXPECT_NE(prom.find("ddgms_retry_attempts:store_fetch"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE"), std::string::npos);
+  EXPECT_EQ(prom.find("ddgms.retry"), std::string::npos);
+}
+
+TEST_F(MetricsTest, ResetValuesKeepsRegistrationButZeroes) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.reset");
+  c.Increment(9);
+  MetricsRegistry::Global().ResetValues();
+  EXPECT_EQ(c.value(), 0u);
+  // Same instance remains valid and usable.
+  c.Increment();
+  EXPECT_EQ(c.value(), 1u);
+}
+
+TEST_F(MetricsTest, DisabledPathIsANoOp) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.disabled");
+  Gauge& g = MetricsRegistry::Global().GetGauge("t.disabled.g");
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.disabled.h", {1});
+  MetricsRegistry::Disable();
+  c.Increment();
+  g.Set(5.0);
+  g.Add(1.0);
+  h.Observe(0.5);
+  DDGMS_METRIC_INC("t.disabled");
+  DDGMS_METRIC_ADD("t.disabled", 10);
+  DDGMS_METRIC_GAUGE_SET("t.disabled.g", 2.0);
+  DDGMS_METRIC_OBSERVE("t.disabled.h", 0.5);
+  MetricsRegistry::Enable();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  EXPECT_EQ(h.count(), 0u);
+}
+
+TEST_F(MetricsTest, MacroCreatesAndIncrements) {
+  DDGMS_METRIC_INC("t.macro");
+  DDGMS_METRIC_ADD("t.macro", 4);
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("t.macro"), 5u);
+}
+
+TEST_F(MetricsTest, ScopedLatencyTimerObserves) {
+  {
+    ScopedLatencyTimer timer("t.latency");
+    // Any work; even an empty scope records a >= 0 duration.
+  }
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "t.latency", Histogram::DefaultLatencyBounds());
+  EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(MetricsTest, ScopedLatencyTimerInertWhenDisabled) {
+  MetricsRegistry::Disable();
+  {
+    ScopedLatencyTimer timer("t.latency.off");
+  }
+  MetricsRegistry::Enable();
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.histogram("t.latency.off"), nullptr);
+}
+
+}  // namespace
+}  // namespace ddgms

@@ -1,0 +1,231 @@
+// Trace collector tests: span nesting and parentage, attributes, ring
+// eviction, rendering, and the disabled-path no-op guarantees.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/trace.h"
+
+namespace ddgms {
+namespace {
+
+// The collector is process-global: every test starts enabled with an
+// empty buffer at default capacity and leaves it disabled.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().set_capacity(4096);
+    TraceCollector::Enable();
+  }
+  void TearDown() override {
+    TraceCollector::Disable();
+    TraceCollector::Global().Clear();
+    TraceCollector::Global().set_capacity(4096);
+  }
+
+  static const SpanRecord* FindByName(
+      const std::vector<SpanRecord>& spans, const std::string& name) {
+    for (const SpanRecord& s : spans) {
+      if (s.name == name) return &s;
+    }
+    return nullptr;
+  }
+};
+
+TEST_F(TraceTest, RecordsCompletedSpan) {
+  {
+    TraceSpan span("unit.work");
+    EXPECT_TRUE(span.active());
+    EXPECT_GT(span.id(), 0u);
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "unit.work");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+  EXPECT_EQ(spans[0].depth, 0);
+  EXPECT_GE(spans[0].duration_us, 0.0);
+}
+
+TEST_F(TraceTest, NestingSetsParentAndDepth) {
+  {
+    TraceSpan outer("outer");
+    {
+      TraceSpan middle("middle");
+      {
+        TraceSpan inner("inner");
+      }
+    }
+    // A sibling opened after `middle` closed still parents to outer.
+    TraceSpan sibling("sibling");
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  const SpanRecord* outer = FindByName(spans, "outer");
+  const SpanRecord* middle = FindByName(spans, "middle");
+  const SpanRecord* inner = FindByName(spans, "inner");
+  const SpanRecord* sibling = FindByName(spans, "sibling");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(middle, nullptr);
+  ASSERT_NE(inner, nullptr);
+  ASSERT_NE(sibling, nullptr);
+  EXPECT_EQ(outer->parent_id, 0u);
+  EXPECT_EQ(middle->parent_id, outer->id);
+  EXPECT_EQ(inner->parent_id, middle->id);
+  EXPECT_EQ(sibling->parent_id, outer->id);
+  EXPECT_EQ(outer->depth, 0);
+  EXPECT_EQ(middle->depth, 1);
+  EXPECT_EQ(inner->depth, 2);
+  EXPECT_EQ(sibling->depth, 1);
+}
+
+TEST_F(TraceTest, CompletionOrderIsInnermostFirst) {
+  {
+    TraceSpan outer("outer");
+    TraceSpan inner("inner");
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "inner");
+  EXPECT_EQ(spans[1].name, "outer");
+}
+
+TEST_F(TraceTest, AttributesOfAllTypes) {
+  {
+    TraceSpan span("attrs");
+    span.SetAttribute("str", std::string("value"));
+    span.SetAttribute("lit", "literal");
+    span.SetAttribute("count", size_t{42});
+    span.SetAttribute("signed", -7);
+    span.SetAttribute("ratio", 0.5);
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  const auto& attrs = spans[0].attributes;
+  ASSERT_EQ(attrs.size(), 5u);
+  EXPECT_EQ(attrs[0].first, "str");
+  EXPECT_EQ(attrs[0].second, "value");
+  EXPECT_EQ(attrs[1].second, "literal");
+  EXPECT_EQ(attrs[2].second, "42");
+  EXPECT_EQ(attrs[3].second, "-7");
+  EXPECT_NE(attrs[4].second.find("0.5"), std::string::npos);
+}
+
+TEST_F(TraceTest, RingEvictsOldestAndCountsDropped) {
+  TraceCollector::Global().set_capacity(3);
+  for (int i = 0; i < 5; ++i) {
+    TraceSpan span(i % 2 == 0 ? "even" : "odd");
+  }
+  EXPECT_EQ(TraceCollector::Global().size(), 3u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 2u);
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  // The three newest survive, oldest first.
+  EXPECT_EQ(spans[0].name, "even");
+  EXPECT_EQ(spans[1].name, "odd");
+  EXPECT_EQ(spans[2].name, "even");
+  EXPECT_LT(spans[0].id, spans[1].id);
+  EXPECT_LT(spans[1].id, spans[2].id);
+}
+
+TEST_F(TraceTest, ClearEmptiesBuffer) {
+  { TraceSpan span("work"); }
+  ASSERT_EQ(TraceCollector::Global().size(), 1u);
+  TraceCollector::Global().Clear();
+  EXPECT_EQ(TraceCollector::Global().size(), 0u);
+  EXPECT_EQ(TraceCollector::Global().dropped(), 0u);
+  EXPECT_TRUE(TraceCollector::Global().Snapshot().empty());
+}
+
+TEST_F(TraceTest, DisabledSpansRecordNothing) {
+  TraceCollector::Disable();
+  {
+    TraceSpan span("invisible");
+    EXPECT_FALSE(span.active());
+    EXPECT_EQ(span.id(), 0u);
+    span.SetAttribute("k", "v");  // must be a safe no-op
+  }
+  TraceCollector::Enable();
+  EXPECT_EQ(TraceCollector::Global().size(), 0u);
+}
+
+TEST_F(TraceTest, DisabledSpanDoesNotBreakNesting) {
+  // A span constructed while disabled must not become the parent of
+  // spans opened after re-enabling.
+  {
+    TraceCollector::Disable();
+    TraceSpan inert("inert");
+    TraceCollector::Enable();
+    TraceSpan real("real");
+  }
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].name, "real");
+  EXPECT_EQ(spans[0].parent_id, 0u);
+}
+
+TEST_F(TraceTest, ToStringRendersTreeWithIndent) {
+  {
+    TraceSpan outer("outer.op");
+    TraceSpan inner("inner.op");
+  }
+  std::string rendered = TraceCollector::Global().ToString();
+  const size_t outer_pos = rendered.find("outer.op");
+  const size_t inner_pos = rendered.find("  inner.op");
+  EXPECT_NE(outer_pos, std::string::npos);
+  EXPECT_NE(inner_pos, std::string::npos);
+}
+
+TEST_F(TraceTest, ToJsonContainsSpansAndAttributes) {
+  {
+    TraceSpan span("json.span");
+    span.SetAttribute("rows", 7);
+  }
+  std::string json = TraceCollector::Global().ToJson();
+  EXPECT_NE(json.find("\"json.span\""), std::string::npos);
+  EXPECT_NE(json.find("\"rows\""), std::string::npos);
+  EXPECT_NE(json.find("\"7\""), std::string::npos);
+}
+
+TEST_F(TraceTest, ThreadsNestIndependently) {
+  constexpr int kThreads = 4;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      TraceSpan outer("thread.outer");
+      TraceSpan inner("thread.inner");
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u * kThreads);
+  // Every inner parents to SOME outer, never to another inner.
+  for (const SpanRecord& s : spans) {
+    if (s.name != "thread.inner") continue;
+    bool found = false;
+    for (const SpanRecord& p : spans) {
+      if (p.id == s.parent_id) {
+        EXPECT_EQ(p.name, "thread.outer");
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST_F(TraceTest, ShrinkingCapacityKeepsNewest) {
+  for (int i = 0; i < 4; ++i) {
+    TraceSpan span(i < 2 ? "old" : "new");
+  }
+  TraceCollector::Global().set_capacity(2);
+  std::vector<SpanRecord> spans = TraceCollector::Global().Snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].name, "new");
+  EXPECT_EQ(spans[1].name, "new");
+}
+
+}  // namespace
+}  // namespace ddgms
