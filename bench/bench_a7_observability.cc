@@ -1,21 +1,26 @@
 // A7: cost of the observability subsystem.
 //
 // The acceptance budget is <= 2% overhead on a warehouse build with
-// instrumentation compiled in but DISABLED (the shipping default):
-// BM_WarehouseBuildInstrumentationOff vs ...On measures that directly.
+// instrumentation compiled in but DISABLED (the shipping default).
+// That budget covers all three collectors — metrics, trace spans and
+// the flight-recorder event log:
+// BM_WarehouseBuildInstrumentationOff vs ...On measures it directly.
 // The microbenchmarks price the individual primitives on both the
 // disabled path (one relaxed atomic load) and the enabled path
-// (registry lookup + atomic update / span record).
+// (registry lookup + atomic update / span record / log record), plus
+// one full TelemetrySampler snapshot.
 
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 
 #include "bench/bench_util.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/trace.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
+#include "warehouse/telemetry.h"
 #include "warehouse/warehouse.h"
 
 namespace {
@@ -38,9 +43,11 @@ void RunWarehouseBuild(benchmark::State& state, bool enabled) {
   if (enabled) {
     MetricsRegistry::Enable();
     TraceCollector::Enable();
+    EventLog::Enable();
   } else {
     MetricsRegistry::Disable();
     TraceCollector::Disable();
+    EventLog::Disable();
   }
   for (auto _ : state) {
     auto wh = builder.Build(transformed);
@@ -51,8 +58,10 @@ void RunWarehouseBuild(benchmark::State& state, bool enabled) {
       static_cast<double>(transformed.num_rows());
   MetricsRegistry::Disable();
   TraceCollector::Disable();
+  EventLog::Disable();
   MetricsRegistry::Global().ResetValues();
   TraceCollector::Global().Clear();
+  EventLog::Global().Clear();
 }
 
 void BM_WarehouseBuildInstrumentationOff(benchmark::State& state) {
@@ -131,6 +140,61 @@ void BM_SpanEnabled(benchmark::State& state) {
   TraceCollector::Global().Clear();
 }
 DDGMS_BENCHMARK(BM_SpanEnabled);
+
+void BM_LogDisabled(benchmark::State& state) {
+  EventLog::Disable();
+  for (auto _ : state) {
+    DDGMS_LOG_INFO("bench.event").With("i", 1);
+  }
+}
+DDGMS_BENCHMARK(BM_LogDisabled);
+
+void BM_LogEnabled(benchmark::State& state) {
+  EventLog::Enable();
+  for (auto _ : state) {
+    DDGMS_LOG_INFO("bench.event").With("i", 1);
+  }
+  EventLog::Disable();
+  EventLog::Global().Clear();
+}
+DDGMS_BENCHMARK(BM_LogEnabled);
+
+void BM_LogBelowMinLevel(benchmark::State& state) {
+  // Enabled log, debug record under the default info threshold: the
+  // level check must keep the call site as cheap as the disabled gate.
+  EventLog::Enable();
+  for (auto _ : state) {
+    DDGMS_LOG_DEBUG("bench.event").With("i", 1);
+  }
+  EventLog::Disable();
+  EventLog::Global().Clear();
+}
+DDGMS_BENCHMARK(BM_LogBelowMinLevel);
+
+void BM_TelemetrySample(benchmark::State& state) {
+  // One full sampler snapshot over a populated registry + rings.
+  MetricsRegistry::Enable();
+  TraceCollector::Enable();
+  EventLog::Enable();
+  warehouse::TelemetrySampler sampler;
+  for (auto _ : state) {
+    for (int i = 0; i < 16; ++i) {
+      DDGMS_METRIC_INC("ddgms.bench.counter");
+      TraceSpan span("bench.span");
+      DDGMS_LOG_INFO("bench.event").With("i", i);
+    }
+    auto stats = sampler.Sample();
+    if (!stats.ok()) state.SkipWithError("sample failed");
+    benchmark::DoNotOptimize(stats);
+  }
+  MetricsRegistry::Disable();
+  TraceCollector::Disable();
+  EventLog::Disable();
+  MetricsRegistry::Global().ResetValues();
+  TraceCollector::Global().Clear();
+  EventLog::Global().Clear();
+}
+DDGMS_BENCHMARK(BM_TelemetrySample)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

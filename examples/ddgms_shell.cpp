@@ -12,22 +12,28 @@
 //   dims                 list dimensions and member counts
 //   report               transformation report
 //   quarantine           rows quarantined by the last (lenient) load
-//   stats [json|prom]    metrics registry (counters/gauges/histograms)
-//   trace [json|clear]   recorded span tree
+//   stats [json|prom|reset]  metrics registry (counters/gauges/histograms)
+//   trace [json|clear|capacity N]  recorded span tree
+//   log [json|tail N|clear|level L]  flight-recorder event log
+//   telemetry [sample]   self-observation sampler / staged row counts
 //   kb                   knowledge-base contents
 //   save <dir>           persist the warehouse
 //   help / quit
 //
 // Pass --lenient to quarantine corrupt rows at every stage instead of
-// failing the load on the first bad row. Metrics and tracing are
-// enabled before the build, so `stats` and `trace` cover the load
-// itself as well as interactive queries.
+// failing the load on the first bad row. Metrics, tracing and the
+// event log are enabled before the build, so `stats`, `trace` and
+// `log` cover the load itself as well as interactive queries. Pass
+// --log-jsonl <path> to additionally append every event to a JSONL
+// file. After `telemetry sample`, `mdx SELECT ... FROM [Telemetry]`
+// queries the system's own history.
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -50,8 +56,12 @@ void PrintHelp() {
       "  dims               list dimensions\n"
       "  report             transformation report\n"
       "  quarantine         rows quarantined by the last load\n"
-      "  stats [json|prom]  metrics registry snapshot\n"
-      "  trace [json|clear] recorded span tree\n"
+      "  stats [json|prom|reset]  metrics registry snapshot\n"
+      "  trace [json|clear|capacity N]  recorded span tree\n"
+      "  log [json|tail N|clear|level L]  flight-recorder events\n"
+      "  telemetry [sample] sample metrics/spans/events into the\n"
+      "                     [Telemetry] cube (then: mdx ... FROM\n"
+      "                     [Telemetry])\n"
       "  describe           per-column profile of the extract\n"
       "  kb                 knowledge base contents\n"
       "  save <dir>         persist warehouse to a directory\n"
@@ -62,6 +72,7 @@ void PrintHelp() {
 
 int main(int argc, char** argv) {
   std::string csv_path;
+  std::string log_jsonl_path;
   size_t patients = 300;
   core::RobustnessOptions robustness;
   for (int i = 1; i < argc; ++i) {
@@ -72,19 +83,31 @@ int main(int argc, char** argv) {
       if (n.ok() && *n > 0) patients = static_cast<size_t>(*n);
     } else if (std::strcmp(argv[i], "--lenient") == 0) {
       robustness.error_mode = ErrorMode::kLenient;
+    } else if (std::strcmp(argv[i], "--log-jsonl") == 0 && i + 1 < argc) {
+      log_jsonl_path = argv[++i];
     } else {
       std::fprintf(stderr,
                    "usage: %s [--csv extract.csv | --patients N] "
-                   "[--lenient]\n",
+                   "[--lenient] [--log-jsonl events.jsonl]\n",
                    argv[0]);
       return 2;
     }
   }
 
-  // Turn observability on before the load so the build's spans and
-  // counters are visible to `stats` / `trace`.
+  // Turn observability on before the load so the build's spans,
+  // counters and events are visible to `stats` / `trace` / `log`.
   MetricsRegistry::Enable();
   TraceCollector::Enable();
+  EventLog::Enable();
+  if (!log_jsonl_path.empty()) {
+    auto sink = JsonlFileLogSink::Open(log_jsonl_path);
+    if (!sink.ok()) {
+      std::fprintf(stderr, "log sink: %s\n",
+                   sink.status().ToString().c_str());
+      return 2;
+    }
+    EventLog::Global().AddSink(std::move(sink).value());
+  }
 
   QuarantineReport ingest_quarantine;
   Result<Table> raw = Status::NotFound("unset");
@@ -151,6 +174,11 @@ int main(int argc, char** argv) {
     }
     if (trimmed == "stats" || StartsWith(trimmed, "stats ")) {
       std::string mode(Trim(trimmed.substr(5)));
+      if (mode == "reset") {
+        MetricsRegistry::Global().ResetValues();
+        std::printf("metrics reset\n");
+        continue;
+      }
       MetricsSnapshot snapshot = core::DdDgms::MetricsSnapshot();
       if (mode == "json") {
         std::printf("%s\n", snapshot.ToJson().c_str());
@@ -167,10 +195,72 @@ int main(int argc, char** argv) {
       if (mode == "clear") {
         collector.Clear();
         std::printf("trace buffer cleared\n");
+      } else if (StartsWith(mode, "capacity")) {
+        auto n = ParseInt64(Trim(mode.substr(8)));
+        if (n.ok() && *n > 0) {
+          collector.set_capacity(static_cast<size_t>(*n));
+          std::printf("trace capacity set to %lld\n",
+                      static_cast<long long>(*n));
+        } else {
+          std::printf("usage: trace capacity <N>\n");
+        }
       } else if (mode == "json") {
         std::printf("%s\n", collector.ToJson().c_str());
       } else {
         std::printf("%s", collector.ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed == "log" || StartsWith(trimmed, "log ")) {
+      std::string mode(Trim(trimmed.substr(3)));
+      EventLog& log = EventLog::Global();
+      if (mode == "clear") {
+        log.Clear();
+        std::printf("event log cleared\n");
+      } else if (mode == "json") {
+        std::printf("%s", log.ToJsonl().c_str());
+      } else if (StartsWith(mode, "tail")) {
+        auto n = ParseInt64(Trim(mode.substr(4)));
+        if (n.ok() && *n > 0) {
+          std::printf("%s", log.ToString(static_cast<size_t>(*n)).c_str());
+        } else {
+          std::printf("usage: log tail <N>\n");
+        }
+      } else if (StartsWith(mode, "level")) {
+        auto level = LogLevelFromName(Trim(mode.substr(5)));
+        if (level.ok()) {
+          log.set_min_level(*level);
+          std::printf("log level set to %s\n", LogLevelName(*level));
+        } else {
+          std::printf("%s\n", level.status().ToString().c_str());
+        }
+      } else {
+        std::printf("%s", log.ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed == "telemetry" || StartsWith(trimmed, "telemetry ")) {
+      std::string mode(Trim(trimmed.substr(9)));
+      warehouse::TelemetrySampler& sampler = dgms->telemetry();
+      if (mode == "sample") {
+        auto sample = sampler.Sample();
+        if (sample.ok()) {
+          std::printf("%s\n", sample->ToString().c_str());
+        } else {
+          std::printf("error: %s\n",
+                      sample.status().ToString().c_str());
+        }
+      } else if (mode == "clear") {
+        sampler.Clear();
+        std::printf("telemetry cleared\n");
+      } else {
+        std::printf(
+            "telemetry: %lld samples, %zu staged fact rows "
+            "(metric %zu / span %zu / event %zu)\n",
+            static_cast<long long>(sampler.num_samples()),
+            sampler.num_rows(), sampler.metric_samples().num_rows(),
+            sampler.span_facts().num_rows(),
+            sampler.event_facts().num_rows());
       }
       continue;
     }

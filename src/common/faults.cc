@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/log.h"
 #include "common/metrics.h"
 
 namespace ddgms {
@@ -62,6 +63,10 @@ Status FaultRegistry::OnHit(const std::string& point) {
   std::string message = plan.message.empty()
                             ? "injected fault at '" + point + "'"
                             : plan.message;
+  DDGMS_LOG_WARN("fault.injected")
+      .With("point", point)
+      .With("hit", hit + 1)
+      .Message(message);
   return Status(plan.code, std::move(message));
 }
 
@@ -119,6 +124,16 @@ void RetrySleepMs(double ms) {
 void RecordRetryMetrics(std::string_view label, int attempts,
                         int transient_retries, double backoff_ms,
                         bool succeeded) {
+  if (!succeeded) {
+    DDGMS_LOG_ERROR("retry.exhausted")
+        .With("label", std::string(label))
+        .With("attempts", attempts);
+  } else if (transient_retries > 0) {
+    DDGMS_LOG_WARN("retry.recovered")
+        .With("label", std::string(label))
+        .With("attempts", attempts)
+        .With("backoff_ms", backoff_ms);
+  }
   if (!MetricsRegistry::Enabled()) return;
   MetricsRegistry& registry = MetricsRegistry::Global();
   registry.GetCounter("ddgms.retry.runs").Increment();

@@ -141,11 +141,15 @@ void Histogram::Observe(double value) {
   size_t idx = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -
       bounds_.begin());
+  // count_ is updated LAST: a concurrent Snapshot() that observes
+  // count > 0 then (almost always) sees min/max/sum/bucket updates
+  // from at least that many completed observations, instead of e.g.
+  // count=1 with min still at the +inf sentinel.
   buckets_[idx].fetch_add(1, std::memory_order_relaxed);
-  count_.fetch_add(1, std::memory_order_relaxed);
   AtomicDoubleAdd(&sum_bits_, value);
   AtomicDoubleMin(&min_bits_, value);
   AtomicDoubleMax(&max_bits_, value);
+  count_.fetch_add(1, std::memory_order_relaxed);
 }
 
 double Histogram::sum() const {
@@ -163,8 +167,13 @@ HistogramSnapshot Histogram::Snapshot(const std::string& name) const {
   snap.count = count_.load(std::memory_order_relaxed);
   snap.sum = sum();
   if (snap.count > 0) {
-    snap.min = BitsToDouble(min_bits_.load(std::memory_order_relaxed));
-    snap.max = BitsToDouble(max_bits_.load(std::memory_order_relaxed));
+    const uint64_t min_bits = min_bits_.load(std::memory_order_relaxed);
+    const uint64_t max_bits = max_bits_.load(std::memory_order_relaxed);
+    // Relaxed ordering means a sampler racing a writer could still
+    // catch count ahead of the min/max CAS; never surface the +/-inf
+    // sentinels.
+    snap.min = min_bits == kPosInfBits ? 0.0 : BitsToDouble(min_bits);
+    snap.max = max_bits == kNegInfBits ? 0.0 : BitsToDouble(max_bits);
   }
   return snap;
 }

@@ -1,5 +1,6 @@
 #include "common/quarantine.h"
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 
@@ -36,6 +37,14 @@ void QuarantineReport::Add(std::string stage, size_t row_number,
     registry.GetCounter("ddgms.quarantine.rows").Increment();
     registry.GetCounter("ddgms.quarantine.rows:" + stage).Increment();
   }
+  // Like the counters above, this overload is the single origination
+  // point for quarantine flight-recorder events (Merge copies do not
+  // re-log).
+  DDGMS_LOG_WARN("quarantine.row")
+      .With("stage", stage)
+      .With("row", row_number)
+      .With("field", field)
+      .Message(status.ToString());
   QuarantinedRow row;
   row.stage = std::move(stage);
   row.row_number = row_number;

@@ -11,8 +11,11 @@ std::atomic<bool> TraceCollector::enabled_{false};
 
 namespace {
 
-/// Per-thread innermost live span, for parent/child wiring.
+/// Per-thread innermost live span, for parent/child wiring. The parent
+/// of the innermost span is tracked alongside so the event log can
+/// stamp records with both ids without walking span objects.
 thread_local uint64_t tls_current_span = 0;
+thread_local uint64_t tls_parent_span = 0;
 thread_local int tls_depth = 0;
 
 std::string FormatDuration(uint64_t micros) {
@@ -114,6 +117,24 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
   }
   return out;
 }
+
+std::vector<SpanRecord> TraceCollector::Drain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<SpanRecord> out;
+  out.reserve(ring_.size());
+  const size_t n = ring_.size();
+  for (size_t i = 0; i < n; ++i) {
+    out.push_back(std::move(ring_[(head_ + i) % n]));
+  }
+  ring_.clear();
+  head_ = 0;
+  dropped_ = 0;
+  return out;
+}
+
+uint64_t TraceCollector::CurrentSpanId() { return tls_current_span; }
+
+uint64_t TraceCollector::CurrentParentSpanId() { return tls_parent_span; }
 
 size_t TraceCollector::size() const {
   std::lock_guard<std::mutex> lock(mu_);
@@ -237,7 +258,9 @@ TraceSpan::TraceSpan(const char* name) {
   record_.start_us = collector.NowMicros();
   start_ = std::chrono::steady_clock::now();
   saved_parent_ = tls_current_span;
+  saved_grandparent_ = tls_parent_span;
   saved_depth_ = tls_depth;
+  tls_parent_span = tls_current_span;
   tls_current_span = record_.id;
   tls_depth = tls_depth + 1;
 }
@@ -245,6 +268,7 @@ TraceSpan::TraceSpan(const char* name) {
 TraceSpan::~TraceSpan() {
   if (!active_) return;
   tls_current_span = saved_parent_;
+  tls_parent_span = saved_grandparent_;
   tls_depth = saved_depth_;
   record_.duration_us = static_cast<uint64_t>(
       std::chrono::duration_cast<std::chrono::microseconds>(

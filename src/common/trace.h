@@ -56,6 +56,10 @@ class TraceCollector {
 
   /// Finished spans in completion order (oldest first).
   std::vector<SpanRecord> Snapshot() const;
+  /// Atomically snapshots and empties the ring (one lock, so no span
+  /// recorded concurrently is lost between the read and the clear).
+  /// This is how the telemetry sampler consumes finished spans.
+  std::vector<SpanRecord> Drain();
   size_t size() const;
   /// Spans evicted from the ring since the last Clear().
   size_t dropped() const;
@@ -78,6 +82,15 @@ class TraceCollector {
   }
   /// Microseconds since the collector epoch.
   uint64_t NowMicros() const;
+
+  /// Id of the innermost live span on the calling thread (0 when no
+  /// span is open, or tracing was disabled when it opened). The event
+  /// log stamps every record with this so logs, spans and metrics
+  /// join on one id.
+  static uint64_t CurrentSpanId();
+  /// Parent id of the innermost live span on the calling thread (0 at
+  /// the root).
+  static uint64_t CurrentParentSpanId();
 
  private:
   TraceCollector();
@@ -128,6 +141,7 @@ class TraceSpan {
   SpanRecord record_;
   std::chrono::steady_clock::time_point start_;
   uint64_t saved_parent_ = 0;
+  uint64_t saved_grandparent_ = 0;
   int saved_depth_ = 0;
 };
 

@@ -1,6 +1,11 @@
 #include "core/dd_dgms.h"
 
+#include <chrono>
+
+#include "common/log.h"
+#include "common/strings.h"
 #include "common/trace.h"
+#include "mdx/parser.h"
 #include "table/sql.h"
 
 namespace ddgms::core {
@@ -76,6 +81,10 @@ Status DdDgms::Rebuild() {
   }
   rebuild_span.SetAttribute("fact_rows", warehouse_->fact().num_rows());
   rebuild_span.SetAttribute("quarantined", report_.quarantine.size());
+  DDGMS_LOG_INFO("core.rebuild")
+      .With("raw_rows", raw_.num_rows())
+      .With("fact_rows", warehouse_->fact().num_rows())
+      .With("quarantined", report_.quarantine.size());
   DDGMS_METRIC_INC("ddgms.core.rebuilds");
   return Status::OK();
 }
@@ -85,9 +94,49 @@ Result<olap::Cube> DdDgms::Query(const olap::CubeQuery& query) const {
   return engine.Execute(query);
 }
 
+warehouse::TelemetrySampler& DdDgms::telemetry() const {
+  if (telemetry_ == nullptr) {
+    telemetry_ = std::make_unique<warehouse::TelemetrySampler>();
+  }
+  return *telemetry_;
+}
+
 Result<mdx::MdxResult> DdDgms::QueryMdx(const std::string& mdx_text) const {
-  mdx::MdxExecutor executor(warehouse_.get());
-  return executor.Execute(mdx_text);
+  // Parse here (rather than inside MdxExecutor::Execute(text)) so the
+  // FROM clause can route the query: the medical cube goes to the
+  // clinical warehouse, [Telemetry] to a warehouse built from the
+  // sampler's accumulated history.
+  const auto parse_start = std::chrono::steady_clock::now();
+  mdx::MdxQuery query;
+  {
+    TraceSpan parse_span("mdx.parse");
+    DDGMS_ASSIGN_OR_RETURN(query, mdx::Parse(mdx_text));
+  }
+  const double parse_us =
+      std::chrono::duration<double, std::micro>(
+          std::chrono::steady_clock::now() - parse_start)
+          .count();
+
+  const warehouse::Warehouse* target = warehouse_.get();
+  if (!EqualsIgnoreCase(query.cube_name, warehouse_->def().fact_name) &&
+      EqualsIgnoreCase(query.cube_name, "Telemetry")) {
+    DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh,
+                           telemetry().BuildWarehouse());
+    if (telemetry_warehouse_ == nullptr) {
+      telemetry_warehouse_ =
+          std::make_unique<warehouse::Warehouse>(std::move(wh));
+    } else {
+      *telemetry_warehouse_ = std::move(wh);
+    }
+    target = telemetry_warehouse_.get();
+  }
+
+  mdx::MdxExecutor executor(target);
+  DDGMS_ASSIGN_OR_RETURN(mdx::MdxResult result, executor.Execute(query));
+  result.profile.stages.insert(result.profile.stages.begin(),
+                               mdx::MdxProfile::Stage{"parse", parse_us});
+  result.profile.total_micros += parse_us;
+  return result;
 }
 
 Result<Table> DdDgms::QuerySql(const std::string& sql) const {

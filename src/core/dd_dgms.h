@@ -15,6 +15,7 @@
 #include "olap/cube.h"
 #include "table/store.h"
 #include "table/table.h"
+#include "warehouse/telemetry.h"
 #include "warehouse/warehouse.h"
 
 namespace ddgms::core {
@@ -92,8 +93,16 @@ class DdDgms {
   /// OLAP entry point.
   Result<olap::Cube> Query(const olap::CubeQuery& query) const;
 
-  /// MDX entry point.
+  /// MDX entry point. Queries addressing the medical cube run against
+  /// the clinical warehouse; `SELECT ... FROM [Telemetry]` runs against
+  /// a warehouse built from the telemetry sampler's history, so the
+  /// platform analyses its own observability data with the same engine.
   Result<mdx::MdxResult> QueryMdx(const std::string& mdx_text) const;
+
+  /// The flight recorder's telemetry sampler (lazily created). Call
+  /// telemetry().Sample() to snapshot metrics and drain spans/events;
+  /// QueryMdx over [Telemetry] then sees the accumulated history.
+  warehouse::TelemetrySampler& telemetry() const;
 
   /// SQL entry point over the OLTP layer: the transformed extract is
   /// registered as `extract`, the fact table as `fact`, and each
@@ -156,6 +165,12 @@ class DdDgms {
   Table transformed_;
   etl::TransformReport report_;
   std::unique_ptr<warehouse::Warehouse> warehouse_;
+  /// Lazily created by telemetry(); mutable so const query paths can
+  /// sample and (re)build the self-observation warehouse.
+  mutable std::unique_ptr<warehouse::TelemetrySampler> telemetry_;
+  /// Rebuilt in place on every [Telemetry] query so pointers held by
+  /// in-flight executors stay valid, mirroring warehouse_.
+  mutable std::unique_ptr<warehouse::Warehouse> telemetry_warehouse_;
   kb::KnowledgeBase kb_;
 };
 

@@ -2,6 +2,7 @@
 
 #include "common/csv.h"
 #include "common/faults.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -150,6 +151,10 @@ Result<TransformReport> TransformPipeline::Run(
         report.quarantine.size() - quarantined_before;
     if (quarantined > 0) {
       step_span.SetAttribute("quarantined", quarantined);
+      DDGMS_LOG_WARN("etl.step.quarantine")
+          .With("step", step.name)
+          .With("quarantined", quarantined)
+          .With("rows_out", table->num_rows());
     }
     DDGMS_METRIC_INC("ddgms.etl.steps_run");
   }
@@ -159,6 +164,11 @@ Result<TransformReport> TransformPipeline::Run(
   report.output_rows = table->num_rows();
 
   run_span.SetAttribute("rows_out", report.output_rows);
+  DDGMS_LOG_INFO("etl.run")
+      .With("steps", steps.size())
+      .With("rows_in", report.input_rows)
+      .With("rows_out", report.output_rows)
+      .With("quarantined", report.quarantine.size());
   DDGMS_METRIC_INC("ddgms.etl.runs");
   DDGMS_METRIC_ADD("ddgms.etl.rows_in", report.input_rows);
   DDGMS_METRIC_ADD("ddgms.etl.rows_out", report.output_rows);

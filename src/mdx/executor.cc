@@ -1,9 +1,11 @@
 #include "mdx/executor.h"
 
 #include <algorithm>
+#include <atomic>
 #include <chrono>
 #include <utility>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -225,7 +227,17 @@ std::string FormatMicros(double us) {
   return StrFormat("%.3fs", us / 1e6);
 }
 
+std::atomic<double> g_slow_query_threshold_us{250000.0};
+
 }  // namespace
+
+void MdxExecutor::SetSlowQueryThresholdMicros(double micros) {
+  g_slow_query_threshold_us.store(micros, std::memory_order_relaxed);
+}
+
+double MdxExecutor::SlowQueryThresholdMicros() {
+  return g_slow_query_threshold_us.load(std::memory_order_relaxed);
+}
 
 std::string MdxProfile::ToString() const {
   std::string out = StrFormat(
@@ -361,6 +373,23 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
 
   exec_span.SetAttribute("axes", profile.axes);
   exec_span.SetAttribute("cells", profile.cells);
+  // Emitted inside exec_span's scope so the record is stamped with the
+  // enclosing mdx.execute span id.
+  DDGMS_LOG_INFO("mdx.execute")
+      .With("cube", query.cube_name)
+      .With("axes", profile.axes)
+      .With("cells", profile.cells)
+      .With("total_us", profile.total_micros);
+  if (profile.total_micros >= SlowQueryThresholdMicros()) {
+    LogEvent slow(LogLevel::kWarn, "mdx.slow_query");
+    slow.With("cube", query.cube_name)
+        .With("cells", profile.cells)
+        .With("total_us", profile.total_micros);
+    for (const MdxProfile::Stage& stage : profile.stages) {
+      slow.With(stage.name + "_us", stage.micros);
+    }
+    DDGMS_METRIC_INC("ddgms.mdx.slow_queries");
+  }
   DDGMS_METRIC_INC("ddgms.mdx.queries");
   return result;
 }

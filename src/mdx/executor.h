@@ -79,6 +79,13 @@ class MdxExecutor {
   /// Executes an already parsed query.
   Result<MdxResult> Execute(const MdxQuery& query) const;
 
+  /// Slow-query log: an execution whose profiled time meets or exceeds
+  /// this threshold emits a warn-level "mdx.slow_query" flight-recorder
+  /// event carrying the per-stage MdxProfile timings. Process-wide;
+  /// default 250000 us (250 ms).
+  static void SetSlowQueryThresholdMicros(double micros);
+  static double SlowQueryThresholdMicros();
+
  private:
   const warehouse::Warehouse* warehouse_;
 };

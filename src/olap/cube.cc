@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <thread>
 
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -80,6 +81,7 @@ Result<Cube> Cube::RollUp(size_t axis) const {
   TraceSpan span("olap.rollup");
   ScopedLatencyTimer timer("ddgms.olap.op_latency_us:rollup");
   DDGMS_METRIC_INC("ddgms.olap.ops:rollup");
+  DDGMS_LOG_DEBUG("olap.rollup").With("axis", axis);
   CubeQuery q = query_;
   q.axes.erase(q.axes.begin() + static_cast<ptrdiff_t>(axis));
   return CubeEngine(warehouse_).Execute(q);
@@ -98,6 +100,7 @@ Result<Cube> Cube::RollUpToCoarser(size_t axis) const {
   span.SetAttribute("to", coarser);
   ScopedLatencyTimer timer("ddgms.olap.op_latency_us:rollup");
   DDGMS_METRIC_INC("ddgms.olap.ops:rollup");
+  DDGMS_LOG_DEBUG("olap.rollup_to_coarser").With("to", coarser);
   CubeQuery q = query_;
   q.axes[axis].attribute = coarser;
   q.axes[axis].members.clear();  // member names change across levels
@@ -117,6 +120,7 @@ Result<Cube> Cube::DrillDown(size_t axis) const {
   span.SetAttribute("to", finer);
   ScopedLatencyTimer timer("ddgms.olap.op_latency_us:drilldown");
   DDGMS_METRIC_INC("ddgms.olap.ops:drilldown");
+  DDGMS_LOG_DEBUG("olap.drilldown").With("to", finer);
   CubeQuery q = query_;
   // Keep the coarse level as a slicer-free outer axis? The paper's
   // drill-down replaces the level while retaining any member
@@ -137,6 +141,9 @@ Result<Cube> Cube::Slice(const std::string& dimension,
   span.SetAttribute("attribute", attribute);
   ScopedLatencyTimer timer("ddgms.olap.op_latency_us:slice");
   DDGMS_METRIC_INC("ddgms.olap.ops:slice");
+  DDGMS_LOG_DEBUG("olap.slice")
+      .With("dimension", dimension)
+      .With("attribute", attribute);
   CubeQuery q = query_;
   // If the sliced attribute is an axis, remove the axis.
   for (size_t i = 0; i < q.axes.size(); ++i) {
@@ -157,6 +164,10 @@ Result<Cube> Cube::Dice(const std::string& dimension,
   span.SetAttribute("attribute", attribute);
   ScopedLatencyTimer timer("ddgms.olap.op_latency_us:dice");
   DDGMS_METRIC_INC("ddgms.olap.ops:dice");
+  DDGMS_LOG_DEBUG("olap.dice")
+      .With("dimension", dimension)
+      .With("attribute", attribute)
+      .With("values", values.size());
   CubeQuery q = query_;
   bool applied = false;
   for (AxisSpec& a : q.axes) {
@@ -638,6 +649,11 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
   exec_span.SetAttribute("threads", threads);
   exec_span.SetAttribute("cells", cube.cells_.size());
   exec_span.SetAttribute("facts_aggregated", cube.facts_aggregated_);
+  DDGMS_LOG_DEBUG("olap.cube.execute")
+      .With("axes", query.axes.size())
+      .With("cells", cube.cells_.size())
+      .With("facts_scanned", n)
+      .With("facts_aggregated", cube.facts_aggregated_);
   DDGMS_METRIC_INC("ddgms.olap.queries");
   DDGMS_METRIC_ADD("ddgms.olap.cells_materialized", cube.cells_.size());
   DDGMS_METRIC_ADD("ddgms.olap.facts_scanned", n);

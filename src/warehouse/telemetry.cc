@@ -1,0 +1,217 @@
+#include "warehouse/telemetry.h"
+
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/trace.h"
+
+namespace ddgms::warehouse {
+
+namespace {
+
+Table MakeStagingTable(std::vector<Field> fields) {
+  Result<Schema> schema = Schema::Make(std::move(fields));
+  // Static schemas with unique field names never fail.
+  return Table(std::move(schema).value());
+}
+
+}  // namespace
+
+std::string TelemetrySampleStats::ToString() const {
+  return StrFormat(
+      "sample #%lld: %zu metric rows, %zu spans, %zu events",
+      static_cast<long long>(snapshot), metric_rows, span_rows,
+      event_rows);
+}
+
+TelemetrySampler::TelemetrySampler()
+    : metric_samples_(MakeStagingTable({{"Snapshot", DataType::kInt64},
+                                        {"Kind", DataType::kString},
+                                        {"Layer", DataType::kString},
+                                        {"Name", DataType::kString},
+                                        {"Value", DataType::kDouble}})),
+      span_facts_(MakeStagingTable({{"Snapshot", DataType::kInt64},
+                                    {"Layer", DataType::kString},
+                                    {"Name", DataType::kString},
+                                    {"SpanId", DataType::kInt64},
+                                    {"ParentSpanId", DataType::kInt64},
+                                    {"StartUs", DataType::kInt64},
+                                    {"DurationUs", DataType::kDouble}})),
+      event_facts_(MakeStagingTable({{"Snapshot", DataType::kInt64},
+                                     {"Layer", DataType::kString},
+                                     {"Name", DataType::kString},
+                                     {"Severity", DataType::kString},
+                                     {"SpanId", DataType::kInt64},
+                                     {"TimeUs", DataType::kInt64}})) {}
+
+std::string TelemetrySampler::LayerOf(const std::string& name) {
+  std::string_view rest(name);
+  constexpr std::string_view kPrefix = "ddgms.";
+  if (rest.substr(0, kPrefix.size()) == kPrefix) {
+    rest.remove_prefix(kPrefix.size());
+  }
+  const size_t end = rest.find_first_of(".:");
+  std::string layer(rest.substr(0, end));
+  return layer.empty() ? "other" : layer;
+}
+
+Result<TelemetrySampleStats> TelemetrySampler::Sample() {
+  TelemetrySampleStats stats;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats.snapshot = next_snapshot_++;
+    const Value snap = Value::Int(stats.snapshot);
+
+    // Metrics are cumulative: re-read the full registry every sample so
+    // consecutive snapshots show each instrument's trajectory.
+    const MetricsSnapshot metrics = MetricsRegistry::Global().Snapshot();
+    for (const MetricsSnapshot::CounterValue& c : metrics.counters) {
+      DDGMS_RETURN_IF_ERROR(metric_samples_.AppendRow(
+          {snap, Value::Str("counter"), Value::Str(LayerOf(c.name)),
+           Value::Str(c.name),
+           Value::Real(static_cast<double>(c.value))}));
+      ++stats.metric_rows;
+    }
+    for (const MetricsSnapshot::GaugeValue& g : metrics.gauges) {
+      DDGMS_RETURN_IF_ERROR(metric_samples_.AppendRow(
+          {snap, Value::Str("gauge"), Value::Str(LayerOf(g.name)),
+           Value::Str(g.name), Value::Real(g.value)}));
+      ++stats.metric_rows;
+    }
+    for (const HistogramSnapshot& h : metrics.histograms) {
+      DDGMS_RETURN_IF_ERROR(metric_samples_.AppendRow(
+          {snap, Value::Str("histogram"), Value::Str(LayerOf(h.name)),
+           Value::Str(h.name), Value::Real(h.Mean())}));
+      ++stats.metric_rows;
+    }
+
+    // Spans and events are consumed: Drain() atomically snapshots and
+    // clears each ring, so every finished record lands in exactly one
+    // sample.
+    for (const SpanRecord& s : TraceCollector::Global().Drain()) {
+      DDGMS_RETURN_IF_ERROR(span_facts_.AppendRow(
+          {snap, Value::Str(LayerOf(s.name)), Value::Str(s.name),
+           Value::Int(static_cast<int64_t>(s.id)),
+           Value::Int(static_cast<int64_t>(s.parent_id)),
+           Value::Int(static_cast<int64_t>(s.start_us)),
+           Value::Real(static_cast<double>(s.duration_us))}));
+      ++stats.span_rows;
+    }
+    for (const LogRecord& r : EventLog::Global().Drain()) {
+      DDGMS_RETURN_IF_ERROR(event_facts_.AppendRow(
+          {snap, Value::Str(LayerOf(r.event)), Value::Str(r.event),
+           Value::Str(LogLevelName(r.level)),
+           Value::Int(static_cast<int64_t>(r.span_id)),
+           Value::Int(static_cast<int64_t>(r.time_us))}));
+      ++stats.event_rows;
+    }
+  }
+  // Self-observation, emitted after the drain on purpose: the sampler's
+  // own metric and event surface in the NEXT snapshot.
+  DDGMS_METRIC_INC("ddgms.telemetry.samples");
+  DDGMS_METRIC_ADD("ddgms.telemetry.rows_staged",
+                   stats.metric_rows + stats.span_rows + stats.event_rows);
+  DDGMS_LOG_INFO("telemetry.sample")
+      .With("snapshot", stats.snapshot)
+      .With("metric_rows", stats.metric_rows)
+      .With("span_rows", stats.span_rows)
+      .With("event_rows", stats.event_rows);
+  return stats;
+}
+
+Table TelemetrySampler::metric_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metric_samples_;
+}
+
+Table TelemetrySampler::span_facts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return span_facts_;
+}
+
+Table TelemetrySampler::event_facts() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return event_facts_;
+}
+
+int64_t TelemetrySampler::num_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_snapshot_ - 1;
+}
+
+size_t TelemetrySampler::num_rows() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return metric_samples_.num_rows() + span_facts_.num_rows() +
+         event_facts_.num_rows();
+}
+
+StarSchemaDef TelemetrySampler::TelemetrySchemaDef() {
+  StarSchemaDef def;
+  def.fact_name = "Telemetry";
+  def.measures.push_back(MeasureDef{"Value", "Value"});
+  def.dimensions.push_back(DimensionDef{"SampleTime", {"Snapshot"}, {}});
+  def.dimensions.push_back(DimensionDef{
+      "Instrument",
+      {"Layer", "Name"},
+      {Hierarchy{"instrument", {"Layer", "Name"}}}});
+  def.dimensions.push_back(DimensionDef{"Kind", {"Kind"}, {}});
+  def.dimensions.push_back(DimensionDef{"Severity", {"Severity"}, {}});
+  return def;
+}
+
+Result<Warehouse> TelemetrySampler::BuildWarehouse() const {
+  // Union the staging tables into one extract with the columns the
+  // schema references. Per-source conventions:
+  //   metric rows: Kind counter|gauge|histogram, Severity "-",
+  //                Value = counter/gauge value or histogram mean
+  //   span rows:   Kind "span",  Severity "-", Value = duration_us
+  //   event rows:  Kind "event", Severity = level, Value = 1
+  Table extract = MakeStagingTable({{"Snapshot", DataType::kInt64},
+                                    {"Kind", DataType::kString},
+                                    {"Layer", DataType::kString},
+                                    {"Name", DataType::kString},
+                                    {"Severity", DataType::kString},
+                                    {"Value", DataType::kDouble}});
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const Value dash = Value::Str("-");
+    for (size_t i = 0; i < metric_samples_.num_rows(); ++i) {
+      Row r = metric_samples_.GetRow(i);
+      DDGMS_RETURN_IF_ERROR(
+          extract.AppendRow({r[0], r[1], r[2], r[3], dash, r[4]}));
+    }
+    for (size_t i = 0; i < span_facts_.num_rows(); ++i) {
+      Row r = span_facts_.GetRow(i);
+      DDGMS_RETURN_IF_ERROR(extract.AppendRow(
+          {r[0], Value::Str("span"), r[1], r[2], dash, r[6]}));
+    }
+    for (size_t i = 0; i < event_facts_.num_rows(); ++i) {
+      Row r = event_facts_.GetRow(i);
+      DDGMS_RETURN_IF_ERROR(extract.AppendRow(
+          {r[0], Value::Str("event"), r[1], r[2], r[3],
+           Value::Real(1.0)}));
+    }
+  }
+  if (extract.num_rows() == 0) {
+    return Status::FailedPrecondition(
+        "no telemetry sampled yet - take a sample first (shell: "
+        "`telemetry sample`)");
+  }
+  StarSchemaBuilder builder(TelemetrySchemaDef());
+  return builder.Build(extract);
+}
+
+void TelemetrySampler::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Rebuild empty tables with the same schemas.
+  metric_samples_ = Table(metric_samples_.schema());
+  span_facts_ = Table(span_facts_.schema());
+  event_facts_ = Table(event_facts_.schema());
+  next_snapshot_ = 1;
+}
+
+}  // namespace ddgms::warehouse

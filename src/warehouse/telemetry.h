@@ -1,0 +1,104 @@
+#ifndef DDGMS_WAREHOUSE_TELEMETRY_H_
+#define DDGMS_WAREHOUSE_TELEMETRY_H_
+
+#include <mutex>
+#include <string>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::warehouse {
+
+/// -------------------------------------------------------------------
+/// Self-observing telemetry warehouse
+///
+/// The flight recorder's second half: a sampler that snapshots the
+/// process-wide MetricsRegistry and drains finished TraceCollector
+/// spans and EventLog records into fact tables, then exposes that
+/// history through the system's own star-schema/OLAP/MDX machinery —
+/// the platform analyses itself with the same engine it offers the
+/// clinical scientist.
+///
+/// Each Sample() call appends one "snapshot" worth of rows to three
+/// staging fact tables:
+///   fact_metric_sample  (Snapshot, Kind, Layer, Name, Value)
+///   fact_span           (Snapshot, Layer, Name, SpanId, ParentSpanId,
+///                        StartUs, DurationUs)
+///   fact_event          (Snapshot, Layer, Name, Severity, SpanId,
+///                        TimeUs)
+/// Metrics are snapshotted (cumulative values re-read every sample);
+/// spans and events are drained (consumed exactly once — an atomic
+/// snapshot-and-clear of each ring, so concurrent emitters lose
+/// nothing).
+///
+/// BuildWarehouse() unions the staging tables into one extract and
+/// runs it through StarSchemaBuilder with TelemetrySchemaDef(), so
+/// slice/dice/rollup and `SELECT ... FROM [Telemetry]` work over the
+/// system's own history. `Layer` is derived from the instrument name
+/// ("ddgms.etl.rows_in" -> "etl", span "warehouse.build" ->
+/// "warehouse"), giving the Instrument dimension a functional
+/// Layer -> Name hierarchy to roll up along.
+/// -------------------------------------------------------------------
+
+/// Row counts appended by one Sample() call.
+struct TelemetrySampleStats {
+  /// 1-based id of this snapshot (the SampleTime dimension key).
+  int64_t snapshot = 0;
+  size_t metric_rows = 0;
+  size_t span_rows = 0;
+  size_t event_rows = 0;
+
+  std::string ToString() const;
+};
+
+/// Accumulates observability snapshots into fact tables and builds the
+/// [Telemetry] star schema over them. Thread-safe.
+class TelemetrySampler {
+ public:
+  TelemetrySampler();
+
+  /// Takes one snapshot: reads the full MetricsRegistry, drains the
+  /// trace ring and the event-log ring, and appends the rows. Emits
+  /// its own "ddgms.telemetry.samples" metric and "telemetry.sample"
+  /// event after draining, so the sampler shows up in the next
+  /// snapshot — the recorder records itself.
+  Result<TelemetrySampleStats> Sample();
+
+  /// Staging fact tables (rows from every sample so far).
+  Table metric_samples() const;
+  Table span_facts() const;
+  Table event_facts() const;
+
+  /// Snapshots taken since construction/Clear().
+  int64_t num_samples() const;
+
+  /// Total staged fact rows across the three tables.
+  size_t num_rows() const;
+
+  /// Builds the telemetry warehouse from everything sampled so far.
+  /// FailedPrecondition until the first Sample() lands rows.
+  Result<Warehouse> BuildWarehouse() const;
+
+  /// The [Telemetry] star schema: measure Value; dimensions
+  /// SampleTime(Snapshot), Instrument(Layer > Name), Kind, Severity.
+  static StarSchemaDef TelemetrySchemaDef();
+
+  /// Derives the layer ("etl", "warehouse", "mdx", ...) from an
+  /// instrument/span/event name; "other" when it has none.
+  static std::string LayerOf(const std::string& name);
+
+  /// Drops all staged rows and resets the snapshot counter.
+  void Clear();
+
+ private:
+  mutable std::mutex mu_;
+  int64_t next_snapshot_ = 1;
+  Table metric_samples_;
+  Table span_facts_;
+  Table event_facts_;
+};
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_TELEMETRY_H_

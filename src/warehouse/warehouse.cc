@@ -5,6 +5,7 @@
 
 #include "common/csv.h"
 #include "common/faults.h"
+#include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -521,12 +522,22 @@ Result<Warehouse> StarSchemaBuilder::Build(
     check_span.SetAttribute("violations", report.violations.size());
   }
   if (!report.ok) {
+    DDGMS_LOG_ERROR("warehouse.integrity")
+        .With("fact", def_.fact_name)
+        .With("violations", report.violations.size())
+        .Message(report.violations.empty() ? "" : report.violations.front());
     return Status::DataLoss("built warehouse failed integrity check:\n" +
                             report.ToString());
   }
 
   build_span.SetAttribute("fact_rows", wh.fact().num_rows());
   build_span.SetAttribute("surrogate_keys", surrogate_keys);
+  DDGMS_LOG_INFO("warehouse.build")
+      .With("fact", def_.fact_name)
+      .With("fact_rows", wh.fact().num_rows())
+      .With("dimensions", def_.dimensions.size())
+      .With("surrogate_keys", surrogate_keys)
+      .With("quarantined", quarantine->size());
   DDGMS_METRIC_INC("ddgms.warehouse.builds");
   DDGMS_METRIC_ADD("ddgms.warehouse.fact_rows_built",
                    wh.fact().num_rows());

@@ -145,6 +145,91 @@ TEST_F(MetricsTest, HistogramConcurrentObserve) {
   EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
 }
 
+TEST_F(MetricsTest, GaugeAddHighContentionLosesNoUpdates) {
+  // Regression guard for Gauge::Add: the CAS loop must not lose
+  // updates under write-write contention (a plain load+store would).
+  Gauge& g = MetricsRegistry::Global().GetGauge("t.gauge.contended");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      for (int i = 0; i < kPerThread; ++i) g.Add(1.0);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_DOUBLE_EQ(g.value(), static_cast<double>(kThreads * kPerThread));
+}
+
+TEST_F(MetricsTest, HistogramConcurrentObserveBucketAccounting) {
+  // Bucket counters, count, sum and min/max must all be exact after
+  // concurrent writers finish — no observation may be dropped or land
+  // in the wrong bucket.
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "t.hist.acct", {100, 200, 300});
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      // Thread t observes a fixed value in bucket t % 4.
+      const double value = 50.0 + 100.0 * (t % 4);
+      for (int i = 0; i < kPerThread; ++i) h.Observe(value);
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  HistogramSnapshot snap = h.Snapshot("t.hist.acct");
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kPerThread;
+  EXPECT_EQ(snap.count, total);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : snap.buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+  ASSERT_EQ(snap.buckets.size(), 4u);
+  for (size_t b = 0; b < 4; ++b) {
+    EXPECT_EQ(snap.buckets[b], total / 4) << "bucket " << b;
+  }
+  EXPECT_DOUBLE_EQ(snap.min, 50.0);
+  EXPECT_DOUBLE_EQ(snap.max, 350.0);
+}
+
+TEST_F(MetricsTest, SnapshotDuringConcurrentObserveIsConsistent) {
+  // Sampler-vs-mutator: snapshots taken while writers are mid-flight
+  // must never surface the +/-inf min/max sentinels, must keep
+  // bucket-sum >= count (count is incremented last), and count must be
+  // monotone across snapshots.
+  Histogram& h = MetricsRegistry::Global().GetHistogram(
+      "t.hist.race", {10, 100, 1000});
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>((i % 2000) + t));
+      }
+    });
+  }
+  uint64_t last_count = 0;
+  for (int s = 0; s < 200; ++s) {
+    HistogramSnapshot snap = h.Snapshot("t.hist.race");
+    EXPECT_GE(snap.count, last_count);
+    last_count = snap.count;
+    uint64_t bucket_sum = 0;
+    for (uint64_t b : snap.buckets) bucket_sum += b;
+    EXPECT_GE(bucket_sum, snap.count);
+    EXPECT_TRUE(std::isfinite(snap.min)) << snap.min;
+    EXPECT_TRUE(std::isfinite(snap.max)) << snap.max;
+    if (snap.count > 0) {
+      EXPECT_GE(snap.min, 0.0);
+      EXPECT_LE(snap.max, 2003.0);
+    }
+  }
+  for (std::thread& w : workers) w.join();
+  HistogramSnapshot final_snap = h.Snapshot("t.hist.race");
+  EXPECT_EQ(final_snap.count,
+            static_cast<uint64_t>(kThreads) * kPerThread);
+}
+
 TEST_F(MetricsTest, SnapshotIsSortedAndQueriable) {
   MetricsRegistry::Global().GetCounter("t.b").Increment(2);
   MetricsRegistry::Global().GetCounter("t.a").Increment();

@@ -1,0 +1,320 @@
+// Telemetry sampler tests: layer derivation, snapshot/drain semantics,
+// the self-observation loop, the [Telemetry] star schema (including the
+// acceptance criterion: an MDX SELECT over [Telemetry] returns rows
+// derived from sampler snapshots), and the sampler-vs-mutator race.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "warehouse/telemetry.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms {
+namespace {
+
+using warehouse::TelemetrySampler;
+
+class TelemetryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetValues();
+    TraceCollector::Global().Clear();
+    EventLog::Global().Clear();
+    MetricsRegistry::Enable();
+    TraceCollector::Enable();
+    EventLog::Enable();
+  }
+  void TearDown() override {
+    MetricsRegistry::Disable();
+    TraceCollector::Disable();
+    EventLog::Disable();
+    MetricsRegistry::Global().ResetValues();
+    TraceCollector::Global().Clear();
+    EventLog::Global().Clear();
+    TraceCollector::Global().set_capacity(4096);
+    EventLog::Global().set_capacity(2048);
+  }
+
+  static Result<core::DdDgms> BuildSample() {
+    discri::CohortOptions opt;
+    opt.num_patients = 60;
+    opt.seed = 20130408;
+    auto raw = discri::GenerateCohort(opt);
+    if (!raw.ok()) return raw.status();
+    return core::DdDgms::Build(std::move(raw).value(),
+                               discri::MakeDiscriPipeline(),
+                               discri::MakeDiscriSchemaDef());
+  }
+
+  /// Count of rows in `table` whose `column` equals `value`.
+  static size_t CountWhere(const Table& table, const std::string& column,
+                           const std::string& value) {
+    auto col = table.ColumnByName(column);
+    EXPECT_TRUE(col.ok());
+    size_t n = 0;
+    for (size_t i = 0; i < (*col)->size(); ++i) {
+      if ((*col)->GetValue(i).ToString() == value) ++n;
+    }
+    return n;
+  }
+};
+
+TEST_F(TelemetryTest, LayerOfDerivesFromNames) {
+  EXPECT_EQ(TelemetrySampler::LayerOf("ddgms.etl.rows_in"), "etl");
+  EXPECT_EQ(TelemetrySampler::LayerOf("ddgms.retry.attempts:store.fetch"),
+            "retry");
+  EXPECT_EQ(TelemetrySampler::LayerOf("warehouse.build"), "warehouse");
+  EXPECT_EQ(TelemetrySampler::LayerOf("mdx.slow_query"), "mdx");
+  EXPECT_EQ(TelemetrySampler::LayerOf("standalone"), "standalone");
+  EXPECT_EQ(TelemetrySampler::LayerOf(""), "other");
+}
+
+TEST_F(TelemetryTest, SampleCapturesMetricsSpansAndEvents) {
+  DDGMS_METRIC_INC("ddgms.test.counter");
+  DDGMS_METRIC_GAUGE_SET("ddgms.test.gauge", 2.5);
+  DDGMS_METRIC_OBSERVE("ddgms.test.latency_us", 10.0);
+  {
+    TraceSpan span("test.span");
+  }
+  DDGMS_LOG_WARN("test.event").With("k", 1);
+
+  TelemetrySampler sampler;
+  auto stats = sampler.Sample();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(stats->snapshot, 1);
+  EXPECT_GE(stats->metric_rows, 3u);
+  EXPECT_EQ(stats->span_rows, 1u);
+  EXPECT_EQ(stats->event_rows, 1u);
+  EXPECT_EQ(sampler.num_samples(), 1);
+  EXPECT_EQ(sampler.num_rows(),
+            stats->metric_rows + stats->span_rows + stats->event_rows);
+
+  // Spans and events were drained (consumed); metrics were snapshotted.
+  EXPECT_EQ(TraceCollector::Global().size(), 0u);
+  EXPECT_EQ(EventLog::Global().size(), 1u);  // the sampler's own event
+
+  const Table metrics = sampler.metric_samples();
+  EXPECT_EQ(CountWhere(metrics, "Name", "ddgms.test.counter"), 1u);
+  EXPECT_EQ(CountWhere(metrics, "Kind", "gauge") > 0, true);
+  const Table events = sampler.event_facts();
+  EXPECT_EQ(CountWhere(events, "Name", "test.event"), 1u);
+  EXPECT_EQ(CountWhere(events, "Severity", "warn"), 1u);
+  const Table spans = sampler.span_facts();
+  EXPECT_EQ(CountWhere(spans, "Name", "test.span"), 1u);
+  EXPECT_EQ(CountWhere(spans, "Layer", "test"), 1u);
+}
+
+TEST_F(TelemetryTest, SamplerObservesItselfOnTheNextSnapshot) {
+  TelemetrySampler sampler;
+  ASSERT_TRUE(sampler.Sample().ok());
+  // The first Sample() emitted its own metric + event after draining;
+  // the second snapshot must pick them up.
+  auto second = sampler.Sample();
+  ASSERT_TRUE(second.ok());
+  const Table events = sampler.event_facts();
+  EXPECT_EQ(CountWhere(events, "Name", "telemetry.sample"), 1u);
+  // (>= because ResetValues() keeps instruments registered, so earlier
+  // tests in this process may have left a zero-valued row in snapshot 1.)
+  const Table metrics = sampler.metric_samples();
+  EXPECT_GE(CountWhere(metrics, "Name", "ddgms.telemetry.samples"), 1u);
+}
+
+TEST_F(TelemetryTest, BuildWarehouseRequiresASample) {
+  TelemetrySampler sampler;
+  auto wh = sampler.BuildWarehouse();
+  ASSERT_FALSE(wh.ok());
+  EXPECT_EQ(wh.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(TelemetryTest, TelemetrySchemaValidatesAndBuilds) {
+  ASSERT_TRUE(TelemetrySampler::TelemetrySchemaDef().Validate().ok());
+
+  DDGMS_METRIC_INC("ddgms.test.counter");
+  {
+    TraceSpan span("test.span");
+  }
+  DDGMS_LOG_INFO("test.event");
+  TelemetrySampler sampler;
+  ASSERT_TRUE(sampler.Sample().ok());
+
+  auto wh = sampler.BuildWarehouse();
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  EXPECT_EQ(wh->def().fact_name, "Telemetry");
+  EXPECT_EQ(wh->num_fact_rows(), sampler.num_rows());
+  EXPECT_EQ(wh->dimensions().size(), 4u);
+  EXPECT_TRUE(wh->CheckIntegrity().ok);
+
+  // The Instrument dimension rolls up Name -> Layer.
+  auto dim = wh->dimension("Instrument");
+  ASSERT_TRUE(dim.ok());
+  auto coarser = (*dim)->CoarserLevel("Name");
+  ASSERT_TRUE(coarser.ok());
+  EXPECT_EQ(*coarser, "Layer");
+}
+
+TEST_F(TelemetryTest, MdxOverTelemetryReturnsSampledRows) {
+  // Acceptance criterion: an MDX SELECT over [Telemetry] returns rows
+  // derived from at least one sampler snapshot.
+  auto dgms = BuildSample();
+  ASSERT_TRUE(dgms.ok()) << dgms.status().ToString();
+
+  // Before any sample the cube is not queryable.
+  auto premature = dgms->QueryMdx(
+      "SELECT { [Kind].[Kind].Members } ON COLUMNS FROM [Telemetry]");
+  EXPECT_FALSE(premature.ok());
+
+  auto sample = dgms->telemetry().Sample();
+  ASSERT_TRUE(sample.ok()) << sample.status().ToString();
+  EXPECT_GT(sample->metric_rows, 0u);
+  EXPECT_GT(sample->span_rows, 0u);   // the build's spans
+  EXPECT_GT(sample->event_rows, 0u);  // the build's events
+
+  auto result = dgms->QueryMdx(
+      "SELECT { [Measures].[Sum(Value)] } ON COLUMNS, "
+      "{ [Instrument].[Layer].Members } ON ROWS FROM [Telemetry]");
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->cube.num_cells(), 0u);
+
+  // The layer axis must contain the layers the build exercised.
+  auto grid = result->ToGrid();
+  ASSERT_TRUE(grid.ok()) << grid.status().ToString();
+  EXPECT_GT(grid->num_rows(), 0u);
+  bool saw_etl = false;
+  bool saw_warehouse = false;
+  auto layer_col = grid->ColumnByName("Layer");
+  ASSERT_TRUE(layer_col.ok());
+  for (size_t i = 0; i < (*layer_col)->size(); ++i) {
+    const std::string layer = (*layer_col)->GetValue(i).ToString();
+    if (layer == "etl") saw_etl = true;
+    if (layer == "warehouse") saw_warehouse = true;
+  }
+  EXPECT_TRUE(saw_etl);
+  EXPECT_TRUE(saw_warehouse);
+
+  // The medical cube still routes to the clinical warehouse.
+  auto medical = dgms->QueryMdx(
+      "SELECT { [Measures].[Count] } ON COLUMNS FROM [MedicalMeasures]");
+  EXPECT_TRUE(medical.ok()) << medical.status().ToString();
+}
+
+TEST_F(TelemetryTest, OlapOpsWorkOverTheTelemetryCube) {
+  DDGMS_METRIC_INC("ddgms.test.counter");
+  {
+    TraceSpan span("test.span");
+  }
+  DDGMS_LOG_INFO("test.event");
+  TelemetrySampler sampler;
+  ASSERT_TRUE(sampler.Sample().ok());
+  auto wh = sampler.BuildWarehouse();
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+
+  olap::CubeEngine engine(&wh.value());
+  olap::CubeQuery query;
+  query.axes.push_back(olap::AxisSpec{"Instrument", "Name", {}});
+  query.measures.push_back(AggSpec{AggFn::kCount, "", "count"});
+  auto cube = engine.Execute(query);
+  ASSERT_TRUE(cube.ok()) << cube.status().ToString();
+  EXPECT_GT(cube->num_cells(), 0u);
+
+  // Roll up Name -> Layer via the Instrument hierarchy.
+  auto rolled = cube->RollUpToCoarser(0);
+  ASSERT_TRUE(rolled.ok()) << rolled.status().ToString();
+  EXPECT_GT(rolled->num_cells(), 0u);
+  EXPECT_LE(rolled->num_cells(), cube->num_cells());
+
+  // Slice to events only.
+  auto sliced = cube->Slice("Kind", "Kind", Value::Str("event"));
+  ASSERT_TRUE(sliced.ok()) << sliced.status().ToString();
+}
+
+TEST_F(TelemetryTest, SamplerVsMutatorRaceLosesNothing) {
+  // Concurrent emitters + a sampling thread: every span/event must land
+  // in exactly one snapshot (rings sized to avoid eviction), and the
+  // final counter value must be exact.
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  const size_t kRing = 32768;
+  TraceCollector::Global().set_capacity(kRing);
+  EventLog::Global().set_capacity(kRing);
+
+  TelemetrySampler sampler;
+  std::atomic<bool> done{false};
+  std::thread sampling([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      ASSERT_TRUE(sampler.Sample().ok());
+    }
+  });
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        DDGMS_METRIC_INC("ddgms.race.counter");
+        MetricsRegistry::Global().GetGauge("ddgms.race.gauge").Add(1.0);
+        DDGMS_METRIC_OBSERVE("ddgms.race.hist", static_cast<double>(i));
+        TraceSpan span("race.span");
+        DDGMS_LOG_INFO("race.event").With("tid", t).With("i", i);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  done.store(true, std::memory_order_relaxed);
+  sampling.join();
+  // Collect whatever the sampling thread had not yet drained.
+  ASSERT_TRUE(sampler.Sample().ok());
+
+  const size_t total = static_cast<size_t>(kThreads) * kPerThread;
+  EXPECT_EQ(TraceCollector::Global().dropped(), 0u);
+  EXPECT_EQ(EventLog::Global().dropped(), 0u);
+
+  // Conservation: every emitted span/event appears in exactly one
+  // snapshot.
+  EXPECT_EQ(CountWhere(sampler.span_facts(), "Name", "race.span"), total);
+  EXPECT_EQ(CountWhere(sampler.event_facts(), "Name", "race.event"),
+            total);
+
+  // And the mutators lost no updates while being sampled.
+  MetricsSnapshot snap = MetricsRegistry::Global().Snapshot();
+  EXPECT_EQ(snap.counter("ddgms.race.counter"), total);
+  for (const MetricsSnapshot::GaugeValue& g : snap.gauges) {
+    if (g.name == "ddgms.race.gauge") {
+      EXPECT_DOUBLE_EQ(g.value, static_cast<double>(total));
+    }
+  }
+  const HistogramSnapshot* hist = snap.histogram("ddgms.race.hist");
+  ASSERT_NE(hist, nullptr);
+  EXPECT_EQ(hist->count, total);
+  uint64_t bucket_sum = 0;
+  for (uint64_t b : hist->buckets) bucket_sum += b;
+  EXPECT_EQ(bucket_sum, total);
+
+  // The accumulated history still builds a queryable warehouse.
+  auto wh = sampler.BuildWarehouse();
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  EXPECT_TRUE(wh->CheckIntegrity().ok);
+}
+
+TEST_F(TelemetryTest, ClearResetsStagingAndSnapshotCounter) {
+  DDGMS_METRIC_INC("ddgms.test.counter");
+  TelemetrySampler sampler;
+  ASSERT_TRUE(sampler.Sample().ok());
+  EXPECT_GT(sampler.num_rows(), 0u);
+  sampler.Clear();
+  EXPECT_EQ(sampler.num_rows(), 0u);
+  EXPECT_EQ(sampler.num_samples(), 0);
+  auto stats = sampler.Sample();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->snapshot, 1);
+}
+
+}  // namespace
+}  // namespace ddgms
