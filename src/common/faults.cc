@@ -16,7 +16,7 @@ FaultRegistry& FaultRegistry::Global() {
 
 void FaultRegistry::Arm(const std::string& point, FaultPlan plan) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     PointState& state = points_[point];
     state.plan = std::move(plan);
     state.armed = true;
@@ -27,20 +27,20 @@ void FaultRegistry::Arm(const std::string& point, FaultPlan plan) {
 }
 
 void FaultRegistry::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   if (it != points_.end()) it->second.armed = false;
 }
 
 void FaultRegistry::Reset() {
   Disable();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   points_.clear();
 }
 
 Status FaultRegistry::OnHit(const std::string& point) {
   DDGMS_METRIC_INC("ddgms.faults.hits");
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   PointState& state = points_[point];
   const size_t hit = state.hits++;  // 0-based index of this hit
   if (!state.armed) return Status::OK();
@@ -71,19 +71,19 @@ Status FaultRegistry::OnHit(const std::string& point) {
 }
 
 size_t FaultRegistry::hits(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.hits;
 }
 
 size_t FaultRegistry::injected(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = points_.find(point);
   return it == points_.end() ? 0 : it->second.injected;
 }
 
 std::vector<std::string> FaultRegistry::SeenPoints() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> names;
   names.reserve(points_.size());
   for (const auto& [name, state] : points_) {

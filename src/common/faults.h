@@ -4,7 +4,6 @@
 #include <atomic>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -13,6 +12,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/sync.h"
 
 namespace ddgms {
 
@@ -65,27 +65,27 @@ class FaultRegistry {
 
   /// Arms `point` with `plan` (replacing any previous plan) and
   /// enables the registry.
-  void Arm(const std::string& point, FaultPlan plan);
+  void Arm(const std::string& point, FaultPlan plan) EXCLUDES(mu_);
 
   /// Disarms one point (its hit counters are kept).
-  void Disarm(const std::string& point);
+  void Disarm(const std::string& point) EXCLUDES(mu_);
 
   /// Disarms everything, clears counters, and disables the registry.
-  void Reset();
+  void Reset() EXCLUDES(mu_);
 
   /// Called by DDGMS_FAULT_POINT when the registry is enabled. Counts
   /// the hit and returns the injected Status if the point is armed and
   /// its schedule fires; OK otherwise.
-  Status OnHit(const std::string& point);
+  Status OnHit(const std::string& point) EXCLUDES(mu_);
 
   /// Times `point` was passed while the registry was enabled.
-  size_t hits(const std::string& point) const;
+  size_t hits(const std::string& point) const EXCLUDES(mu_);
 
   /// Times a fault was actually injected at `point`.
-  size_t injected(const std::string& point) const;
+  size_t injected(const std::string& point) const EXCLUDES(mu_);
 
   /// Every point name seen (hit or armed) since the last Reset().
-  std::vector<std::string> SeenPoints() const;
+  std::vector<std::string> SeenPoints() const EXCLUDES(mu_);
 
  private:
   FaultRegistry() = default;
@@ -98,9 +98,9 @@ class FaultRegistry {
     Rng rng{42};
   };
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::atomic<bool> enabled_{false};
-  std::map<std::string, PointState> points_;
+  std::map<std::string, PointState> points_ GUARDED_BY(mu_);
 };
 
 /// RAII arm/disarm for tests: arms `point` on construction, disarms it

@@ -178,7 +178,7 @@ EventLog& EventLog::Global() {
 }
 
 void EventLog::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity == 0) capacity = 1;
   if (capacity < ring_.size()) {
     std::vector<LogRecord> kept;
@@ -195,12 +195,12 @@ void EventLog::set_capacity(size_t capacity) {
 }
 
 size_t EventLog::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 void EventLog::Record(LogRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   record.seq = next_seq_++;
   for (std::unique_ptr<LogSink>& sink : sinks_) {
     sink->Write(record);
@@ -215,7 +215,7 @@ void EventLog::Record(LogRecord record) {
 }
 
 std::vector<LogRecord> EventLog::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LogRecord> out;
   out.reserve(ring_.size());
   const size_t n = ring_.size();
@@ -226,7 +226,7 @@ std::vector<LogRecord> EventLog::Snapshot() const {
 }
 
 std::vector<LogRecord> EventLog::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<LogRecord> out;
   out.reserve(ring_.size());
   const size_t n = ring_.size();
@@ -240,29 +240,29 @@ std::vector<LogRecord> EventLog::Drain() {
 }
 
 size_t EventLog::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 size_t EventLog::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void EventLog::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;
 }
 
 void EventLog::AddSink(std::unique_ptr<LogSink> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sinks_.push_back(std::move(sink));
 }
 
 void EventLog::ClearSinks() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   sinks_.clear();
 }
 

@@ -5,7 +5,6 @@
 #include <cstdint>
 #include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <type_traits>
@@ -14,6 +13,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "common/sync.h"
 
 namespace ddgms {
 
@@ -160,23 +160,23 @@ class EventLog {
   }
 
   /// Ring capacity (default 2048). Shrinking drops oldest records.
-  void set_capacity(size_t capacity);
-  size_t capacity() const;
+  void set_capacity(size_t capacity) EXCLUDES(mu_);
+  size_t capacity() const EXCLUDES(mu_);
 
   /// Records in ring order (oldest first; seq strictly increasing).
-  std::vector<LogRecord> Snapshot() const;
+  std::vector<LogRecord> Snapshot() const EXCLUDES(mu_);
   /// Atomically snapshots and empties the ring (for the telemetry
   /// sampler — no record emitted concurrently is lost or duplicated).
-  std::vector<LogRecord> Drain();
-  size_t size() const;
+  std::vector<LogRecord> Drain() EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
   /// Records evicted from the ring since the last Clear()/Drain().
-  size_t dropped() const;
+  size_t dropped() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Sinks receive every accepted record in addition to the ring.
-  void AddSink(std::unique_ptr<LogSink> sink);
-  void ClearSinks();
+  void AddSink(std::unique_ptr<LogSink> sink) EXCLUDES(mu_);
+  void ClearSinks() EXCLUDES(mu_);
 
   /// Human-readable listing; `tail` > 0 keeps only the newest records.
   std::string ToString(size_t tail = 0) const;
@@ -185,18 +185,19 @@ class EventLog {
 
   /// Internal (LogEvent): assigns seq + appends, evicting the oldest
   /// when full, then fans out to sinks.
-  void Record(LogRecord record);
+  void Record(LogRecord record) EXCLUDES(mu_);
 
  private:
   EventLog() = default;
 
-  mutable std::mutex mu_;
-  std::vector<LogRecord> ring_;
-  size_t capacity_ = 2048;
-  size_t head_ = 0;  // next eviction slot once the ring is full
-  size_t dropped_ = 0;
-  uint64_t next_seq_ = 1;
-  std::vector<std::unique_ptr<LogSink>> sinks_;
+  mutable Mutex mu_;
+  std::vector<LogRecord> ring_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = 2048;
+  /// Next eviction slot once the ring is full.
+  size_t head_ GUARDED_BY(mu_) = 0;
+  size_t dropped_ GUARDED_BY(mu_) = 0;
+  uint64_t next_seq_ GUARDED_BY(mu_) = 1;
+  std::vector<std::unique_ptr<LogSink>> sinks_ GUARDED_BY(mu_);
   std::atomic<int> min_level_{static_cast<int>(LogLevel::kInfo)};
   static std::atomic<bool> enabled_;
 };

@@ -6,9 +6,10 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ddgms {
 
@@ -147,28 +148,29 @@ class MetricsRegistry {
 
   /// Finds or creates an instrument. Returned references are stable
   /// for the process lifetime.
-  Counter& GetCounter(const std::string& name);
-  Gauge& GetGauge(const std::string& name);
+  Counter& GetCounter(const std::string& name) EXCLUDES(mu_);
+  Gauge& GetGauge(const std::string& name) EXCLUDES(mu_);
   /// Default latency bounds; a custom-bounds overload for
   /// non-latency distributions. Bounds are fixed on first creation —
   /// later calls with different bounds return the existing histogram.
-  Histogram& GetHistogram(const std::string& name);
+  Histogram& GetHistogram(const std::string& name) EXCLUDES(mu_);
   Histogram& GetHistogram(const std::string& name,
-                          std::vector<double> bounds);
+                          std::vector<double> bounds) EXCLUDES(mu_);
 
-  MetricsSnapshot Snapshot() const;
+  MetricsSnapshot Snapshot() const EXCLUDES(mu_);
 
   /// Zeroes every instrument's value. Registrations (and outstanding
   /// references) stay valid.
-  void ResetValues();
+  void ResetValues() EXCLUDES(mu_);
 
  private:
   MetricsRegistry() = default;
 
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_ GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_
+      GUARDED_BY(mu_);
   static std::atomic<bool> enabled_;
 };
 

@@ -16,8 +16,11 @@ namespace ddgms {
 ///   Result<Table> r = LoadCsv(path);
 ///   if (!r.ok()) return r.status();
 ///   Table t = std::move(r).value();
+///
+/// [[nodiscard]] like Status: a discarded Result is a compile error
+/// under -Werror; call status().IgnoreError() to drop one on purpose.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit so functions can `return value;`).
   Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)

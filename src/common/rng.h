@@ -2,7 +2,7 @@
 #define DDGMS_COMMON_RNG_H_
 
 #include <cassert>
-#include <cmath>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -12,6 +12,10 @@ namespace ddgms {
 /// Implemented by hand (not std::*_distribution) so that sequences are
 /// identical across standard libraries and platforms: the synthetic DiScRi
 /// cohort, tests, and benches all depend on reproducible streams.
+///
+/// The hot single-instruction-ish draws (NextUint64, NextDouble, ...)
+/// stay inline; the heavier distributions (NextGaussian, Categorical)
+/// live in rng.cc like every other common/ sibling.
 class Rng {
  public:
   explicit Rng(uint64_t seed) { Reseed(seed); }
@@ -62,21 +66,7 @@ class Rng {
   bool Bernoulli(double p) { return NextDouble() < p; }
 
   /// Standard normal via Box-Muller (deterministic, platform-independent).
-  double NextGaussian() {
-    if (have_spare_) {
-      have_spare_ = false;
-      return spare_;
-    }
-    double u1 = 0.0;
-    do {
-      u1 = NextDouble();
-    } while (u1 <= 1e-300);
-    double u2 = NextDouble();
-    double mag = std::sqrt(-2.0 * std::log(u1));
-    spare_ = mag * std::sin(2.0 * M_PI * u2);
-    have_spare_ = true;
-    return mag * std::cos(2.0 * M_PI * u2);
-  }
+  double NextGaussian();
 
   /// Normal with the given mean and standard deviation.
   double Gaussian(double mean, double stddev) {
@@ -85,18 +75,7 @@ class Rng {
 
   /// Samples an index in [0, weights.size()) proportionally to weights.
   /// Weights must be non-negative with a positive sum.
-  size_t Categorical(const std::vector<double>& weights) {
-    double total = 0.0;
-    for (double w : weights) total += w;
-    assert(total > 0.0);
-    double r = NextDouble() * total;
-    double acc = 0.0;
-    for (size_t i = 0; i < weights.size(); ++i) {
-      acc += weights[i];
-      if (r < acc) return i;
-    }
-    return weights.size() - 1;
-  }
+  size_t Categorical(const std::vector<double>& weights);
 
   /// Fisher-Yates shuffle.
   template <typename T>

@@ -49,7 +49,12 @@ bool StatusCodeFromName(const std::string& name, StatusCode* code);
 /// (no message allocation); carries a code and human-readable message on
 /// failure. Mirrors the RocksDB/Arrow Status idiom: public APIs in this
 /// library return Status (or Result<T>) instead of throwing.
-class Status {
+///
+/// The class itself is [[nodiscard]]: silently dropping a returned
+/// Status is a compile error under -Werror. Call IgnoreError() at the
+/// rare sites where discarding is a deliberate decision, so intent is
+/// visible and greppable (no `(void)` casts).
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -111,6 +116,11 @@ class Status {
 
   /// "OK" or "<CodeName>: <message>".
   std::string ToString() const;
+
+  /// Explicitly discards this status. The only sanctioned way to drop
+  /// a [[nodiscard]] Status — documents that the error (if any) was
+  /// considered and deliberately ignored.
+  void IgnoreError() const {}
 
  private:
   StatusCode code_;

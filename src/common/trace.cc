@@ -74,7 +74,7 @@ uint64_t TraceCollector::NowMicros() const {
 }
 
 void TraceCollector::set_capacity(size_t capacity) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (capacity == 0) capacity = 1;
   if (capacity < ring_.size()) {
     // Keep the newest `capacity` spans, restore chronological layout.
@@ -92,12 +92,12 @@ void TraceCollector::set_capacity(size_t capacity) {
 }
 
 size_t TraceCollector::capacity() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return capacity_;
 }
 
 void TraceCollector::Record(SpanRecord record) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
     ring_.push_back(std::move(record));
     return;
@@ -108,7 +108,7 @@ void TraceCollector::Record(SpanRecord record) {
 }
 
 std::vector<SpanRecord> TraceCollector::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   const size_t n = ring_.size();
@@ -119,7 +119,7 @@ std::vector<SpanRecord> TraceCollector::Snapshot() const {
 }
 
 std::vector<SpanRecord> TraceCollector::Drain() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<SpanRecord> out;
   out.reserve(ring_.size());
   const size_t n = ring_.size();
@@ -137,17 +137,17 @@ uint64_t TraceCollector::CurrentSpanId() { return tls_current_span; }
 uint64_t TraceCollector::CurrentParentSpanId() { return tls_parent_span; }
 
 size_t TraceCollector::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return ring_.size();
 }
 
 size_t TraceCollector::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return dropped_;
 }
 
 void TraceCollector::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ring_.clear();
   head_ = 0;
   dropped_ = 0;

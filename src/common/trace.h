@@ -4,11 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <mutex>
 #include <string>
 #include <type_traits>
 #include <utility>
 #include <vector>
+
+#include "common/sync.h"
 
 namespace ddgms {
 
@@ -51,20 +52,20 @@ class TraceCollector {
   static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
 
   /// Ring capacity (default 4096). Shrinking drops oldest spans.
-  void set_capacity(size_t capacity);
-  size_t capacity() const;
+  void set_capacity(size_t capacity) EXCLUDES(mu_);
+  size_t capacity() const EXCLUDES(mu_);
 
   /// Finished spans in completion order (oldest first).
-  std::vector<SpanRecord> Snapshot() const;
+  std::vector<SpanRecord> Snapshot() const EXCLUDES(mu_);
   /// Atomically snapshots and empties the ring (one lock, so no span
   /// recorded concurrently is lost between the read and the clear).
   /// This is how the telemetry sampler consumes finished spans.
-  std::vector<SpanRecord> Drain();
-  size_t size() const;
+  std::vector<SpanRecord> Drain() EXCLUDES(mu_);
+  size_t size() const EXCLUDES(mu_);
   /// Spans evicted from the ring since the last Clear().
-  size_t dropped() const;
+  size_t dropped() const EXCLUDES(mu_);
 
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
   /// Renders the snapshot as an indented tree (children under their
   /// parents, ordered by start time). Spans whose parent was evicted
@@ -75,7 +76,7 @@ class TraceCollector {
 
   /// Internal (TraceSpan): appends a finished span, evicting the
   /// oldest when full.
-  void Record(SpanRecord record);
+  void Record(SpanRecord record) EXCLUDES(mu_);
   /// Internal (TraceSpan): allocates a span id (monotonic, never 0).
   uint64_t NextId() {
     return next_id_.fetch_add(1, std::memory_order_relaxed);
@@ -95,11 +96,12 @@ class TraceCollector {
  private:
   TraceCollector();
 
-  mutable std::mutex mu_;
-  std::vector<SpanRecord> ring_;
-  size_t capacity_ = 4096;
-  size_t head_ = 0;  // next eviction slot once the ring is full
-  size_t dropped_ = 0;
+  mutable Mutex mu_;
+  std::vector<SpanRecord> ring_ GUARDED_BY(mu_);
+  size_t capacity_ GUARDED_BY(mu_) = 4096;
+  /// Next eviction slot once the ring is full.
+  size_t head_ GUARDED_BY(mu_) = 0;
+  size_t dropped_ GUARDED_BY(mu_) = 0;
   std::atomic<uint64_t> next_id_{1};
   std::chrono::steady_clock::time_point epoch_;
   static std::atomic<bool> enabled_;

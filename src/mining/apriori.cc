@@ -1,6 +1,7 @@
 #include "mining/apriori.h"
 
 #include <algorithm>
+#include <cmath>
 #include <map>
 #include <set>
 

@@ -62,7 +62,7 @@ std::string TelemetrySampler::LayerOf(const std::string& name) {
 Result<TelemetrySampleStats> TelemetrySampler::Sample() {
   TelemetrySampleStats stats;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stats.snapshot = next_snapshot_++;
     const Value snap = Value::Int(stats.snapshot);
 
@@ -124,27 +124,27 @@ Result<TelemetrySampleStats> TelemetrySampler::Sample() {
 }
 
 Table TelemetrySampler::metric_samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return metric_samples_;
 }
 
 Table TelemetrySampler::span_facts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return span_facts_;
 }
 
 Table TelemetrySampler::event_facts() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return event_facts_;
 }
 
 int64_t TelemetrySampler::num_samples() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return next_snapshot_ - 1;
 }
 
 size_t TelemetrySampler::num_rows() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return metric_samples_.num_rows() + span_facts_.num_rows() +
          event_facts_.num_rows();
 }
@@ -177,7 +177,7 @@ Result<Warehouse> TelemetrySampler::BuildWarehouse() const {
                                     {"Severity", DataType::kString},
                                     {"Value", DataType::kDouble}});
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     const Value dash = Value::Str("-");
     for (size_t i = 0; i < metric_samples_.num_rows(); ++i) {
       Row r = metric_samples_.GetRow(i);
@@ -206,7 +206,7 @@ Result<Warehouse> TelemetrySampler::BuildWarehouse() const {
 }
 
 void TelemetrySampler::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   // Rebuild empty tables with the same schemas.
   metric_samples_ = Table(metric_samples_.schema());
   span_facts_ = Table(span_facts_.schema());

@@ -1,10 +1,10 @@
 #ifndef DDGMS_WAREHOUSE_TELEMETRY_H_
 #define DDGMS_WAREHOUSE_TELEMETRY_H_
 
-#include <mutex>
 #include <string>
 
 #include "common/result.h"
+#include "common/sync.h"
 #include "table/table.h"
 #include "warehouse/warehouse.h"
 
@@ -63,22 +63,22 @@ class TelemetrySampler {
   /// its own "ddgms.telemetry.samples" metric and "telemetry.sample"
   /// event after draining, so the sampler shows up in the next
   /// snapshot — the recorder records itself.
-  Result<TelemetrySampleStats> Sample();
+  Result<TelemetrySampleStats> Sample() EXCLUDES(mu_);
 
   /// Staging fact tables (rows from every sample so far).
-  Table metric_samples() const;
-  Table span_facts() const;
-  Table event_facts() const;
+  Table metric_samples() const EXCLUDES(mu_);
+  Table span_facts() const EXCLUDES(mu_);
+  Table event_facts() const EXCLUDES(mu_);
 
   /// Snapshots taken since construction/Clear().
-  int64_t num_samples() const;
+  int64_t num_samples() const EXCLUDES(mu_);
 
   /// Total staged fact rows across the three tables.
-  size_t num_rows() const;
+  size_t num_rows() const EXCLUDES(mu_);
 
   /// Builds the telemetry warehouse from everything sampled so far.
   /// FailedPrecondition until the first Sample() lands rows.
-  Result<Warehouse> BuildWarehouse() const;
+  Result<Warehouse> BuildWarehouse() const EXCLUDES(mu_);
 
   /// The [Telemetry] star schema: measure Value; dimensions
   /// SampleTime(Snapshot), Instrument(Layer > Name), Kind, Severity.
@@ -89,14 +89,14 @@ class TelemetrySampler {
   static std::string LayerOf(const std::string& name);
 
   /// Drops all staged rows and resets the snapshot counter.
-  void Clear();
+  void Clear() EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  int64_t next_snapshot_ = 1;
-  Table metric_samples_;
-  Table span_facts_;
-  Table event_facts_;
+  mutable Mutex mu_;
+  int64_t next_snapshot_ GUARDED_BY(mu_) = 1;
+  Table metric_samples_ GUARDED_BY(mu_);
+  Table span_facts_ GUARDED_BY(mu_);
+  Table event_facts_ GUARDED_BY(mu_);
 };
 
 }  // namespace ddgms::warehouse

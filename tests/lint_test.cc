@@ -1,0 +1,222 @@
+// Tests for tools/ddgms_lint: every rule must fire on a violating
+// fixture and stay quiet on a conforming one, and the real src/ tree
+// must pass clean (the same gate CI runs).
+
+#include "ddgms_lint/lint.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace ddgms::lint {
+namespace {
+
+std::vector<std::string> RulesOf(const std::vector<Finding>& findings) {
+  std::vector<std::string> rules;
+  rules.reserve(findings.size());
+  for (const Finding& f : findings) rules.push_back(f.rule);
+  return rules;
+}
+
+TEST(StripTest, RemovesCommentsAndStringsButKeepsLines) {
+  const std::string src =
+      "int a; // std::mutex in a comment\n"
+      "/* std::mutex\n"
+      "   in a block */ int b;\n"
+      "const char* s = \"std::mutex in a string\";\n"
+      "char c = 'x';\n";
+  const std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("mutex"), std::string::npos);
+  EXPECT_EQ(std::count(stripped.begin(), stripped.end(), '\n'),
+            std::count(src.begin(), src.end(), '\n'));
+  EXPECT_NE(stripped.find("int a;"), std::string::npos);
+  EXPECT_NE(stripped.find("int b;"), std::string::npos);
+}
+
+TEST(StripTest, RawStringLiteral) {
+  const std::string src =
+      "const char* s = R\"(std::lock_guard here)\"; int x;\n";
+  const std::string stripped = StripCommentsAndStrings(src);
+  EXPECT_EQ(stripped.find("lock_guard"), std::string::npos);
+  EXPECT_NE(stripped.find("int x;"), std::string::npos);
+}
+
+TEST(NakedMutexTest, FlagsRawPrimitives) {
+  SourceFile file{"warehouse/cache.h",
+                  "#include <mutex>\n"
+                  "class C {\n"
+                  "  std::mutex mu_;\n"
+                  "  void F() { std::lock_guard<std::mutex> l(mu_); }\n"
+                  "  std::condition_variable_any cv_;\n"
+                  "};\n"};
+  std::vector<Finding> findings = CheckNakedMutex(file);
+  ASSERT_EQ(findings.size(), 4u);  // mutex, lock_guard, mutex, condvar
+  EXPECT_EQ(findings[0].rule, "naked-mutex");
+  EXPECT_EQ(findings[0].line, 3u);
+  EXPECT_EQ(findings[1].line, 4u);
+  EXPECT_EQ(findings[3].line, 5u);
+  EXPECT_NE(findings[3].message.find("condition_variable_any"),
+            std::string::npos);
+}
+
+TEST(NakedMutexTest, SyncHeaderItselfIsExempt) {
+  SourceFile file{"common/sync.h", "std::mutex mu_;\n"};
+  EXPECT_TRUE(CheckNakedMutex(file).empty());
+  // ...but a sync.h in another directory is not.
+  SourceFile impostor{"etl/sync.h", "std::mutex mu_;\n"};
+  EXPECT_EQ(CheckNakedMutex(impostor).size(), 1u);
+}
+
+TEST(NakedMutexTest, QuietOnAnnotatedWrappersAndProse) {
+  SourceFile file{"common/metrics.cc",
+                  "// prefer std::mutex? no: see common/sync.h\n"
+                  "#include \"common/sync.h\"\n"
+                  "void F() { MutexLock lock(mu_); }\n"};
+  EXPECT_TRUE(CheckNakedMutex(file).empty());
+}
+
+TEST(HeaderGuardTest, AcceptsPathDerivedGuard) {
+  SourceFile file{"common/metrics.h",
+                  "#ifndef DDGMS_COMMON_METRICS_H_\n"
+                  "#define DDGMS_COMMON_METRICS_H_\n"
+                  "#endif  // DDGMS_COMMON_METRICS_H_\n"};
+  EXPECT_TRUE(CheckHeaderGuard(file, file.path).empty());
+}
+
+TEST(HeaderGuardTest, FlagsWrongName) {
+  SourceFile file{"common/metrics.h",
+                  "#ifndef DDGMS_METRICS_H\n"
+                  "#define DDGMS_METRICS_H\n"
+                  "#endif\n"};
+  std::vector<Finding> findings = CheckHeaderGuard(file, file.path);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "header-guard");
+  EXPECT_NE(findings[0].message.find("DDGMS_COMMON_METRICS_H_"),
+            std::string::npos);
+}
+
+TEST(HeaderGuardTest, FlagsMissingGuardAndPragmaOnce) {
+  SourceFile missing{"etl/cleaner.h", "class Cleaner {};\n"};
+  std::vector<Finding> findings = CheckHeaderGuard(missing, missing.path);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("missing include guard"),
+            std::string::npos);
+
+  SourceFile pragma{"etl/cleaner.h", "#pragma once\nclass Cleaner {};\n"};
+  findings = CheckHeaderGuard(pragma, pragma.path);
+  // #pragma once plus the missing guard itself.
+  ASSERT_EQ(findings.size(), 2u);
+  EXPECT_NE(findings[0].message.find("#pragma once"), std::string::npos);
+}
+
+TEST(HeaderGuardTest, FlagsMismatchedDefine) {
+  SourceFile file{"mdx/ast.h",
+                  "#ifndef DDGMS_MDX_AST_H_\n"
+                  "#define DDGMS_MDX_AST_H\n"
+                  "#endif\n"};
+  std::vector<Finding> findings = CheckHeaderGuard(file, file.path);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("does not match #ifndef"),
+            std::string::npos);
+}
+
+TEST(BannedCallTest, FlagsRandAndStrtok) {
+  SourceFile file{"mining/clustering.cc",
+                  "int a = rand();\n"
+                  "int b = std::rand();\n"
+                  "char* t = strtok(buf, \",\");\n"};
+  std::vector<Finding> findings = CheckBannedCalls(file);
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(findings[0].rule, "banned-call");
+  EXPECT_NE(findings[0].message.find("Rng"), std::string::npos);
+  EXPECT_EQ(findings[2].line, 3u);
+}
+
+TEST(BannedCallTest, QuietOnLookalikes) {
+  SourceFile file{"mining/clustering.cc",
+                  "int strand(int);\n"            // different identifier
+                  "int x = strand(1);\n"          // call to it
+                  "int y = rng.rand();\n"         // member
+                  "int z = mylib::rand();\n"      // other namespace
+                  "// rand() in a comment\n"
+                  "const char* s = \"rand()\";\n"  // in a string
+                  "int rando = 3;\n"};
+  EXPECT_TRUE(CheckBannedCalls(file).empty());
+}
+
+TEST(IncludeCycleTest, FlagsDirectoryCycle) {
+  std::vector<SourceFile> files = {
+      {"alpha/a.h", "#include \"beta/b.h\"\n"},
+      {"beta/b.h", "#include \"gamma/c.h\"\n"},
+      {"gamma/c.h", "#include \"alpha/a.h\"\n"},
+  };
+  std::vector<Finding> findings = CheckIncludeCycles(files);
+  ASSERT_FALSE(findings.empty());
+  EXPECT_EQ(findings[0].rule, "include-cycle");
+  EXPECT_NE(findings[0].message.find("alpha"), std::string::npos);
+  EXPECT_NE(findings[0].message.find("->"), std::string::npos);
+}
+
+TEST(IncludeCycleTest, QuietOnDagAndSelfIncludes) {
+  std::vector<SourceFile> files = {
+      {"common/status.h", "#include <string>\n"},
+      {"common/result.h", "#include \"common/status.h\"\n"},
+      {"table/value.cc", "#include \"table/value.h\"\n"
+                         "#include \"common/status.h\"\n"},
+      {"etl/pipeline.cc", "#include \"table/table.h\"\n"},
+  };
+  EXPECT_TRUE(CheckIncludeCycles(files).empty());
+}
+
+TEST(LintSourcesTest, AggregatesAcrossRules) {
+  std::vector<SourceFile> files = {
+      {"alpha/a.h",
+       "#ifndef WRONG_GUARD_H_\n"
+       "#define WRONG_GUARD_H_\n"
+       "#include \"beta/b.h\"\n"
+       "std::mutex mu;\n"
+       "int r = rand();\n"
+       "#endif\n"},
+      {"beta/b.h",
+       "#ifndef DDGMS_BETA_B_H_\n"
+       "#define DDGMS_BETA_B_H_\n"
+       "#include \"alpha/a.h\"\n"
+       "#endif\n"},
+  };
+  std::vector<std::string> rules = RulesOf(LintSources(files));
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "naked-mutex"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "banned-call"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "header-guard"),
+            rules.end());
+  EXPECT_NE(std::find(rules.begin(), rules.end(), "include-cycle"),
+            rules.end());
+}
+
+// The gate itself: the real src/ tree must pass every textual rule.
+// (The standalone-header compile probe also runs over the tree, but
+// from the ddgms_lint CTest where a compiler is configured — here we
+// keep the test milliseconds-fast.)
+TEST(SelfCheckTest, RealSourceTreeIsClean) {
+  LintOptions options;
+  options.src_root = std::string(DDGMS_SOURCE_ROOT) + "/src";
+  Result<std::vector<Finding>> result = RunLint(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  for (const Finding& f : result.value()) {
+    ADD_FAILURE() << f.ToString();
+  }
+}
+
+TEST(SelfCheckTest, RunLintRejectsMissingRoot) {
+  LintOptions options;
+  options.src_root = "/nonexistent/ddgms/src";
+  Result<std::vector<Finding>> result = RunLint(options);
+  ASSERT_FALSE(result.ok());
+  EXPECT_TRUE(result.status().IsNotFound());
+}
+
+}  // namespace
+}  // namespace ddgms::lint

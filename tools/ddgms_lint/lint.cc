@@ -1,0 +1,501 @@
+#include "ddgms_lint/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <sstream>
+#include <utility>
+
+#include "common/strings.h"
+
+namespace ddgms::lint {
+
+namespace fs = std::filesystem;
+
+std::string Finding::ToString() const {
+  std::string out = file;
+  if (line > 0) out += StrFormat(":%zu", line);
+  out += ": [" + rule + "] " + message;
+  return out;
+}
+
+namespace {
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// Plain suffix test, for extensions.
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// True when `path` ends with the given suffix on whole path
+/// components ("a/b/sync.h" matches "common/sync.h" only if the
+/// preceding component is "common").
+bool PathEndsWith(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) !=
+      0) {
+    return false;
+  }
+  return path.size() == suffix.size() ||
+         path[path.size() - suffix.size() - 1] == '/';
+}
+
+/// Splits stripped content into lines (newlines preserved by the
+/// stripper, so indices line up with the original file).
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string current;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(std::move(current));
+      current.clear();
+    } else {
+      current.push_back(c);
+    }
+  }
+  lines.push_back(std::move(current));
+  return lines;
+}
+
+/// First path component of a repo-relative path ("table/value.cc" ->
+/// "table"); empty when there is none.
+std::string ModuleOf(const std::string& rel_path) {
+  const size_t slash = rel_path.find('/');
+  return slash == std::string::npos ? std::string()
+                                    : rel_path.substr(0, slash);
+}
+
+}  // namespace
+
+std::string StripCommentsAndStrings(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    // Line comment.
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    // Block comment (newlines preserved).
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    // Raw string literal: R"delim( ... )delim".
+    if (c == 'R' && i + 1 < n && src[i + 1] == '"' &&
+        (i == 0 || !IsIdentChar(src[i - 1]))) {
+      size_t d = i + 2;
+      while (d < n && src[d] != '(' && src[d] != '\n') ++d;
+      if (d < n && src[d] == '(') {
+        const std::string close =
+            ")" + src.substr(i + 2, d - (i + 2)) + "\"";
+        const size_t end = src.find(close, d + 1);
+        out += "\"\"";
+        const size_t stop = end == std::string::npos
+                                ? n
+                                : end + close.size();
+        for (size_t k = d; k < stop; ++k) {
+          if (src[k] == '\n') out.push_back('\n');
+        }
+        i = stop;
+        continue;
+      }
+    }
+    // String / char literal with escapes.
+    if (c == '"' || c == '\'') {
+      out.push_back(c);
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < n) {
+          ++i;
+        } else if (src[i] == '\n') {
+          break;  // unterminated; don't eat the rest of the file
+        }
+        ++i;
+      }
+      if (i < n && src[i] == c) {
+        out.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+std::vector<Finding> CheckNakedMutex(const SourceFile& file) {
+  std::vector<Finding> findings;
+  // The one place allowed to touch the raw primitives.
+  if (PathEndsWith(file.path, "common/sync.h")) return findings;
+
+  // Longest-first so condition_variable_any wins over
+  // condition_variable at the same position.
+  static const char* kBanned[] = {
+      "std::condition_variable_any",
+      "std::condition_variable",
+      "std::recursive_timed_mutex",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::shared_mutex",
+      "std::mutex",
+      "std::lock_guard",
+      "std::unique_lock",
+      "std::scoped_lock",
+  };
+
+  const std::string stripped = StripCommentsAndStrings(file.content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    size_t pos = 0;
+    while ((pos = line.find("std::", pos)) != std::string::npos) {
+      if (pos > 0 && (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) {
+        pos += 5;
+        continue;
+      }
+      bool matched = false;
+      for (const char* name : kBanned) {
+        const size_t len = std::string(name).size();
+        if (line.compare(pos, len, name) != 0) continue;
+        if (pos + len < line.size() && IsIdentChar(line[pos + len])) {
+          continue;  // longer identifier, e.g. std::mutex_like
+        }
+        findings.push_back(
+            {file.path, ln + 1, "naked-mutex",
+             std::string(name) +
+                 " outside common/sync.h - use ddgms::Mutex / "
+                 "MutexLock / CondVar so thread-safety analysis sees "
+                 "the lock"});
+        pos += len;
+        matched = true;
+        break;
+      }
+      if (!matched) pos += 5;
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
+                                      const std::string& rel_path) {
+  std::vector<Finding> findings;
+  std::string expected = "DDGMS_";
+  for (char c : rel_path) {
+    if (c == '/' || c == '.' || c == '-') {
+      expected.push_back('_');
+    } else {
+      expected.push_back(static_cast<char>(
+          std::toupper(static_cast<unsigned char>(c))));
+    }
+  }
+  expected.push_back('_');
+
+  const std::string stripped = StripCommentsAndStrings(file.content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+
+  std::string ifndef_name;
+  size_t ifndef_line = 0;
+  bool has_define = false;
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    std::istringstream is(lines[ln]);
+    std::string tok1, tok2;
+    is >> tok1 >> tok2;
+    if (tok1.empty()) continue;
+    if (tok1 == "#pragma" && tok2 == "once") {
+      findings.push_back({file.path, ln + 1, "header-guard",
+                          "#pragma once - this repo standardises on "
+                          "include guards (" +
+                              expected + ")"});
+      continue;
+    }
+    if (ifndef_name.empty() && tok1 == "#ifndef") {
+      ifndef_name = tok2;
+      ifndef_line = ln + 1;
+      continue;
+    }
+    if (!ifndef_name.empty() && !has_define && tok1 == "#define") {
+      if (tok2 != ifndef_name) {
+        findings.push_back(
+            {file.path, ln + 1, "header-guard",
+             "guard #define '" + tok2 + "' does not match #ifndef '" +
+                 ifndef_name + "'"});
+      }
+      has_define = true;
+    }
+  }
+  if (ifndef_name.empty()) {
+    findings.push_back({file.path, 1, "header-guard",
+                        "missing include guard " + expected});
+  } else if (ifndef_name != expected) {
+    findings.push_back({file.path, ifndef_line, "header-guard",
+                        "guard '" + ifndef_name +
+                            "' does not match path-derived name '" +
+                            expected + "'"});
+  } else if (!has_define) {
+    findings.push_back({file.path, ifndef_line, "header-guard",
+                        "#ifndef " + ifndef_name +
+                            " is never #defined (broken guard)"});
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckBannedCalls(const SourceFile& file) {
+  // name -> sanctioned alternative.
+  static const std::pair<const char*, const char*> kBanned[] = {
+      {"rand", "ddgms::Rng (deterministic, seedable)"},
+      {"srand", "ddgms::Rng (deterministic, seedable)"},
+      {"strtok", "common/strings.h Split (strtok is not reentrant)"},
+      {"gets", "std::getline"},
+      {"tmpnam", "a caller-provided path (tmpnam races)"},
+  };
+
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsAndStrings(file.content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    for (const auto& [name, alt] : kBanned) {
+      const std::string ident(name);
+      size_t pos = 0;
+      while ((pos = line.find(ident, pos)) != std::string::npos) {
+        const size_t end = pos + ident.size();
+        // Whole-identifier match only.
+        if ((pos > 0 && IsIdentChar(line[pos - 1])) ||
+            (end < line.size() && IsIdentChar(line[end]))) {
+          pos = end;
+          continue;
+        }
+        // Must look like a call.
+        size_t after = end;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after >= line.size() || line[after] != '(') {
+          pos = end;
+          continue;
+        }
+        // Member access (obj.rand(), p->rand()) is someone else's
+        // function; a non-std qualifier (mylib::rand) likewise.
+        if (pos >= 1 && (line[pos - 1] == '.' ||
+                         (pos >= 2 && line[pos - 2] == '-' &&
+                          line[pos - 1] == '>'))) {
+          pos = end;
+          continue;
+        }
+        if (pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':') {
+          const bool std_qualified =
+              pos >= 5 && line.compare(pos - 5, 5, "std::") == 0 &&
+              (pos == 5 || !IsIdentChar(line[pos - 6]));
+          if (!std_qualified) {
+            pos = end;
+            continue;
+          }
+        }
+        findings.push_back({file.path, ln + 1, "banned-call",
+                            ident + "() is banned here - use " + alt});
+        pos = end;
+      }
+    }
+  }
+  return findings;
+}
+
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<SourceFile>& files) {
+  // module -> module -> one witness include ("table/value.cc ->
+  // common/status.h") for the error message.
+  std::map<std::string, std::map<std::string, std::string>> edges;
+  for (const SourceFile& file : files) {
+    const std::string from = ModuleOf(file.path);
+    if (from.empty()) continue;
+    std::istringstream is(file.content);
+    std::string line;
+    while (std::getline(is, line)) {
+      const size_t start = line.find_first_not_of(" \t");
+      if (start == std::string::npos || line[start] != '#') continue;
+      std::istringstream dir(line);
+      std::string tok1, tok2;
+      dir >> tok1 >> tok2;
+      if (tok1 != "#include" || tok2.size() < 2 || tok2[0] != '"') {
+        continue;
+      }
+      const std::string target = tok2.substr(1, tok2.size() - 2);
+      const std::string to = ModuleOf(target);
+      if (to.empty() || to == from) continue;
+      edges[from].emplace(to, file.path + " includes " + target);
+    }
+  }
+
+  // Iterative DFS with colors; report each back edge's cycle once.
+  std::vector<Finding> findings;
+  std::map<std::string, int> color;  // 0 white, 1 grey, 2 black
+  std::vector<std::string> path;
+
+  std::function<void(const std::string&)> visit =
+      [&](const std::string& node) {
+        color[node] = 1;
+        path.push_back(node);
+        auto it = edges.find(node);
+        if (it != edges.end()) {
+          for (const auto& [next, witness] : it->second) {
+            if (color[next] == 1) {
+              // Found a cycle: path from `next` to node, closed by this
+              // edge.
+              auto at = std::find(path.begin(), path.end(), next);
+              std::string desc;
+              for (auto p = at; p != path.end(); ++p) {
+                desc += *p + " -> ";
+              }
+              desc += next;
+              findings.push_back(
+                  {witness.substr(0, witness.find(' ')), 0,
+                   "include-cycle",
+                   "module cycle " + desc + " (" + witness + ")"});
+            } else if (color[next] == 0) {
+              visit(next);
+            }
+          }
+        }
+        path.pop_back();
+        color[node] = 2;
+      };
+
+  for (const auto& [node, _] : edges) {
+    if (color[node] == 0) visit(node);
+  }
+  return findings;
+}
+
+std::vector<Finding> LintSources(const std::vector<SourceFile>& files) {
+  std::vector<Finding> findings;
+  for (const SourceFile& file : files) {
+    auto merge = [&findings](std::vector<Finding> more) {
+      findings.insert(findings.end(),
+                      std::make_move_iterator(more.begin()),
+                      std::make_move_iterator(more.end()));
+    };
+    merge(CheckNakedMutex(file));
+    merge(CheckBannedCalls(file));
+    if (EndsWith(file.path, ".h")) {
+      merge(CheckHeaderGuard(file, file.path));
+    }
+  }
+  auto cycles = CheckIncludeCycles(files);
+  findings.insert(findings.end(),
+                  std::make_move_iterator(cycles.begin()),
+                  std::make_move_iterator(cycles.end()));
+  return findings;
+}
+
+namespace {
+
+/// Shell-quotes a path for the standalone-header probe command.
+std::string Quote(const std::string& s) {
+  std::string out = "'";
+  for (char c : s) {
+    if (c == '\'') {
+      out += "'\\''";
+    } else {
+      out.push_back(c);
+    }
+  }
+  out += "'";
+  return out;
+}
+
+/// Compiles `#include "rel_header"` as its own TU; returns a finding
+/// when the header does not stand alone.
+void CheckStandaloneHeader(const LintOptions& options,
+                           const std::string& rel_header,
+                           std::vector<Finding>* findings) {
+  const std::string probe_cc =
+      options.tmp_dir + "/ddgms_lint_standalone.cc";
+  const std::string probe_err =
+      options.tmp_dir + "/ddgms_lint_standalone.err";
+  {
+    std::ofstream out(probe_cc);
+    out << "#include \"" << rel_header << "\"\n";
+  }
+  const std::string cmd = Quote(options.cxx) +
+                          " -std=c++20 -fsyntax-only -I " +
+                          Quote(options.src_root) + " " +
+                          Quote(probe_cc) + " 2> " + Quote(probe_err);
+  const int rc = std::system(cmd.c_str());
+  if (rc != 0) {
+    std::string detail;
+    std::ifstream err(probe_err);
+    std::string line;
+    for (int i = 0; i < 3 && std::getline(err, line); ++i) {
+      if (!detail.empty()) detail += " | ";
+      detail += line;
+    }
+    findings->push_back({rel_header, 0, "standalone-header",
+                         "header does not compile standalone: " +
+                             detail});
+  }
+  std::remove(probe_cc.c_str());
+  std::remove(probe_err.c_str());
+}
+
+}  // namespace
+
+Result<std::vector<Finding>> RunLint(const LintOptions& options) {
+  std::error_code ec;
+  fs::directory_entry root(options.src_root, ec);
+  if (ec || !root.is_directory()) {
+    return Status::NotFound("src root '" + options.src_root +
+                            "' is not a readable directory");
+  }
+
+  std::vector<SourceFile> files;
+  for (auto it = fs::recursive_directory_iterator(options.src_root, ec);
+       !ec && it != fs::recursive_directory_iterator();
+       it.increment(ec)) {
+    if (!it->is_regular_file()) continue;
+    const std::string ext = it->path().extension().string();
+    if (ext != ".h" && ext != ".cc") continue;
+    const std::string rel =
+        fs::relative(it->path(), options.src_root, ec).generic_string();
+    std::ifstream in(it->path());
+    if (!in) {
+      return Status::DataLoss("cannot read '" + it->path().string() +
+                              "'");
+    }
+    std::ostringstream content;
+    content << in.rdbuf();
+    files.push_back({rel, content.str()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const SourceFile& a, const SourceFile& b) {
+              return a.path < b.path;
+            });
+
+  std::vector<Finding> findings = LintSources(files);
+  if (!options.cxx.empty()) {
+    for (const SourceFile& file : files) {
+      if (EndsWith(file.path, ".h")) {
+        CheckStandaloneHeader(options, file.path, &findings);
+      }
+    }
+  }
+  return findings;
+}
+
+}  // namespace ddgms::lint

@@ -1,0 +1,116 @@
+#ifndef DDGMS_TOOLS_DDGMS_LINT_LINT_H_
+#define DDGMS_TOOLS_DDGMS_LINT_LINT_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ddgms::lint {
+
+/// -------------------------------------------------------------------
+/// ddgms_lint
+///
+/// Repo-specific static rules the compiler cannot enforce, run in CI
+/// and as a CTest over the full src/ tree. The rules are deliberately
+/// conventions-of-THIS-repo, complementing -Wthread-safety (clang) and
+/// [[nodiscard]] (everywhere):
+///
+///   naked-mutex        std::mutex / std::lock_guard / std::unique_lock
+///                      / std::condition_variable outside common/sync.h
+///                      — all locking must go through the annotated
+///                      wrappers so thread-safety analysis sees it.
+///   include-cycle      #include dependencies between top-level module
+///                      directories (common, table, etl, ...) must form
+///                      a DAG matching the CMake link graph.
+///   header-guard       every header uses an include guard named
+///                      DDGMS_<PATH>_H_ (no #pragma once; the repo
+///                      standardises on guards).
+///   banned-call        rand/srand/strtok/gets/tmpnam — non-reentrant
+///                      or non-deterministic C calls with sanctioned
+///                      repo alternatives (Rng, strings.h helpers).
+///   standalone-header  every header under src/ compiles on its own
+///                      (include-what-you-use at file granularity);
+///                      needs a compiler, so only runs when one is
+///                      passed via --cxx.
+///
+/// Each rule is a pure function over in-memory sources so tests can
+/// feed violating fixtures without touching the filesystem.
+/// -------------------------------------------------------------------
+
+/// One rule violation.
+struct Finding {
+  /// Path as given to the checker (repo-relative in CI output).
+  std::string file;
+  /// 1-based line; 0 for file- or graph-level findings.
+  size_t line = 0;
+  /// Stable rule id ("naked-mutex", "include-cycle", ...).
+  std::string rule;
+  std::string message;
+
+  /// "file:line: [rule] message" (compiler-style, clickable).
+  std::string ToString() const;
+};
+
+/// One source file, by path and content (content may come from disk or
+/// from a test fixture).
+struct SourceFile {
+  std::string path;
+  std::string content;
+};
+
+/// Replaces the bodies of comments, string literals (including raw
+/// strings) and character literals with spaces, preserving newlines —
+/// so token rules never fire on prose or quoted text but line numbers
+/// still match the original file. Exposed for tests.
+std::string StripCommentsAndStrings(const std::string& src);
+
+/// naked-mutex: flags std:: synchronization primitives anywhere except
+/// common/sync.h. `path` is matched on its trailing components.
+std::vector<Finding> CheckNakedMutex(const SourceFile& file);
+
+/// header-guard: .h files must open with #ifndef/#define of the guard
+/// derived from `rel_path` (path under src/, e.g. "common/metrics.h"
+/// -> DDGMS_COMMON_METRICS_H_) and must not use #pragma once.
+std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
+                                      const std::string& rel_path);
+
+/// banned-call: flags calls to non-reentrant / non-deterministic C
+/// functions (rand, srand, strtok, gets, tmpnam). Qualified calls to
+/// other namespaces (foo::rand) and member accesses (obj.rand()) are
+/// not flagged; std::rand is.
+std::vector<Finding> CheckBannedCalls(const SourceFile& file);
+
+/// include-cycle: builds the directed graph of top-level module
+/// directories from `#include "mod/..."` lines (e.g. src/table/x.cc
+/// including "common/status.h" adds table -> common) and reports every
+/// cycle found. Paths must be given relative to the src root
+/// ("table/value.cc").
+std::vector<Finding> CheckIncludeCycles(
+    const std::vector<SourceFile>& files);
+
+/// Runs every textual rule over `files` (paths relative to the src
+/// root). This is what both the CLI and the self-check test use.
+std::vector<Finding> LintSources(const std::vector<SourceFile>& files);
+
+struct LintOptions {
+  /// Root of the tree to lint (the repo's src/ directory).
+  std::string src_root;
+  /// Compiler driver for the standalone-header rule; empty disables
+  /// that rule (textual rules always run).
+  std::string cxx;
+  /// Scratch directory for the standalone-header probe TU.
+  std::string tmp_dir = ".";
+};
+
+/// Loads every .h/.cc under src_root and runs all rules (plus the
+/// standalone-header compile probes when a compiler is configured).
+/// Status error when src_root cannot be read; findings are NOT an
+/// error — an empty vector means the tree is clean.
+Result<std::vector<Finding>> RunLint(const LintOptions& options);
+
+}  // namespace ddgms::lint
+
+#endif  // DDGMS_TOOLS_DDGMS_LINT_LINT_H_

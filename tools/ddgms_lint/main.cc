@@ -1,0 +1,91 @@
+// ddgms_lint: repo-specific static rules, run in CI and as a CTest.
+//
+//   ddgms_lint --src <repo>/src [--cxx <compiler>] [--tmpdir <dir>]
+//
+// Exit status: 0 clean, 1 findings, 2 usage/setup error. Findings
+// print compiler-style (file:line: [rule] message) so editors and CI
+// annotate them.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ddgms_lint/lint.h"
+
+namespace {
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: ddgms_lint --src <dir> [--cxx <compiler>] [--tmpdir <dir>]\n"
+      "  --src     root of the source tree to lint (required)\n"
+      "  --cxx     compiler driver; enables the standalone-header rule\n"
+      "  --tmpdir  scratch dir for compile probes (default '.')\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ddgms::lint::LintOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--src") {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.src_root = v;
+    } else if (arg == "--cxx") {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.cxx = v;
+    } else if (arg == "--tmpdir") {
+      const char* v = next();
+      if (v == nullptr) {
+        Usage();
+        return 2;
+      }
+      options.tmp_dir = v;
+    } else if (arg == "--help" || arg == "-h") {
+      Usage();
+      return 0;
+    } else {
+      std::fprintf(stderr, "ddgms_lint: unknown argument '%s'\n",
+                   arg.c_str());
+      Usage();
+      return 2;
+    }
+  }
+  if (options.src_root.empty()) {
+    Usage();
+    return 2;
+  }
+
+  ddgms::Result<std::vector<ddgms::lint::Finding>> result =
+      ddgms::lint::RunLint(options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "ddgms_lint: %s\n",
+                 result.status().ToString().c_str());
+    return 2;
+  }
+  const std::vector<ddgms::lint::Finding>& findings = result.value();
+  for (const ddgms::lint::Finding& f : findings) {
+    std::fprintf(stderr, "%s\n", f.ToString().c_str());
+  }
+  if (!findings.empty()) {
+    std::fprintf(stderr, "ddgms_lint: %zu finding(s)\n", findings.size());
+    return 1;
+  }
+  std::printf("ddgms_lint: OK%s\n",
+              options.cxx.empty()
+                  ? " (textual rules; no compiler for standalone-header)"
+                  : "");
+  return 0;
+}
