@@ -8,10 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
+#include <filesystem>
+#include <string>
 
 #include "bench/bench_util.h"
 #include "core/baseline.h"
 #include "olap/cache.h"
+#include "warehouse/persist.h"
+#include "warehouse/snapshot.h"
 
 namespace {
 
@@ -127,6 +131,81 @@ void BM_DirectSession20Queries(benchmark::State& state) {
   }
 }
 DDGMS_BENCHMARK(BM_DirectSession20Queries)->Unit(benchmark::kMillisecond);
+
+// Persistence-tier comparison: the binary snapshot (CRC-verified
+// columnar pages) vs the CSV directory format, same warehouse, full
+// save and full load+verify. The snapshot skips text formatting and
+// parsing entirely and re-verifies with CRCs instead of re-inferring
+// types, so both directions should win by a wide margin.
+
+void CheckOk(const ddgms::Status& st) {
+  if (!st.ok()) {
+    std::fprintf(stderr, "persist bench: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+std::string PersistScratchDir(const char* leaf) {
+  std::string dir = std::filesystem::temp_directory_path().string() +
+                    "/ddgms_bench_persist_" + leaf;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void BM_SnapshotSave(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  std::string path = PersistScratchDir("snap") + "/wh.ddws";
+  for (auto _ : state) {
+    CheckOk(ddgms::warehouse::WriteSnapshotFile(dgms.warehouse(), path,
+                                               /*sync=*/false));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
+}
+DDGMS_BENCHMARK(BM_SnapshotSave)->Unit(benchmark::kMillisecond);
+
+void BM_SnapshotLoad(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  std::string path = PersistScratchDir("snapload") + "/wh.ddws";
+  CheckOk(ddgms::warehouse::WriteSnapshotFile(dgms.warehouse(), path,
+                                             /*sync=*/false));
+  for (auto _ : state) {
+    auto wh = ddgms::warehouse::ReadSnapshotFile(path);
+    benchmark::DoNotOptimize(wh);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
+}
+DDGMS_BENCHMARK(BM_SnapshotLoad)->Unit(benchmark::kMillisecond);
+
+void BM_CsvSave(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  std::string dir = PersistScratchDir("csv");
+  for (auto _ : state) {
+    CheckOk(ddgms::warehouse::SaveWarehouse(dgms.warehouse(), dir));
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
+}
+DDGMS_BENCHMARK(BM_CsvSave)->Unit(benchmark::kMillisecond);
+
+void BM_CsvLoad(benchmark::State& state) {
+  auto& dgms = SharedDgms();
+  std::string dir = PersistScratchDir("csvload");
+  CheckOk(ddgms::warehouse::SaveWarehouse(dgms.warehouse(), dir));
+  for (auto _ : state) {
+    auto wh = ddgms::warehouse::LoadWarehouse(dir);
+    benchmark::DoNotOptimize(wh);
+  }
+  state.SetItemsProcessed(
+      static_cast<int64_t>(state.iterations()) *
+      static_cast<int64_t>(dgms.warehouse().num_fact_rows()));
+}
+DDGMS_BENCHMARK(BM_CsvLoad)->Unit(benchmark::kMillisecond);
 
 }  // namespace
 

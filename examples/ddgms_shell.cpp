@@ -17,7 +17,13 @@
 //   log [json|tail N|clear|level L]  flight-recorder event log
 //   telemetry [sample]   self-observation sampler / staged row counts
 //   kb                   knowledge-base contents
-//   save <dir>           persist the warehouse
+//   save <dir>           persist the warehouse as CSV
+//   snapshot <dir>       durable binary snapshot (first call attaches
+//                        the store; later calls checkpoint into it)
+//   append <n>           acquire n synthetic rows (journaled when a
+//                        store is attached)
+//   load <dir>           strict load from a durable store
+//   recover <dir>        crash recovery from a durable store
 //   help / quit
 //
 // Pass --lenient to quarantine corrupt rows at every stage instead of
@@ -27,12 +33,21 @@
 // --log-jsonl <path> to additionally append every event to a JSONL
 // file. After `telemetry sample`, `mdx SELECT ... FROM [Telemetry]`
 // queries the system's own history.
+//
+// --crash-after-bytes N kills the process (exit 137, no flushes — a
+// simulated power cut) once the durable io layer has written N more
+// bytes, tearing the write in flight. CI uses it to rehearse genuine
+// mid-snapshot crashes and then `recover` from the wreckage.
+
+#include <sys/stat.h>
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <utility>
 
+#include "common/io.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/strings.h"
@@ -64,7 +79,12 @@ void PrintHelp() {
       "                     [Telemetry])\n"
       "  describe           per-column profile of the extract\n"
       "  kb                 knowledge base contents\n"
-      "  save <dir>         persist warehouse to a directory\n"
+      "  save <dir>         persist warehouse to a directory (CSV)\n"
+      "  snapshot <dir>     durable binary snapshot (attach/checkpoint)\n"
+      "  append <n>         acquire n synthetic rows (journaled when\n"
+      "                     a durable store is attached)\n"
+      "  load <dir>         strict load from a durable store\n"
+      "  recover <dir>      crash recovery from a durable store\n"
       "  help | quit\n");
 }
 
@@ -85,10 +105,15 @@ int main(int argc, char** argv) {
       robustness.error_mode = ErrorMode::kLenient;
     } else if (std::strcmp(argv[i], "--log-jsonl") == 0 && i + 1 < argc) {
       log_jsonl_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--crash-after-bytes") == 0 &&
+               i + 1 < argc) {
+      auto n = ParseInt64(argv[++i]);
+      if (n.ok() && *n >= 0) SetCrashAfterBytes(*n);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--csv extract.csv | --patients N] "
-                   "[--lenient] [--log-jsonl events.jsonl]\n",
+                   "[--lenient] [--log-jsonl events.jsonl] "
+                   "[--crash-after-bytes N]\n",
                    argv[0]);
       return 2;
     }
@@ -296,6 +321,74 @@ int main(int argc, char** argv) {
       Status st = warehouse::SaveWarehouse(dgms->warehouse(), dir);
       std::printf("%s\n", st.ok() ? ("saved to " + dir).c_str()
                                   : st.ToString().c_str());
+      continue;
+    }
+    if (StartsWith(trimmed, "snapshot ")) {
+      std::string dir(Trim(trimmed.substr(9)));
+      ::mkdir(dir.c_str(), 0755);  // idempotent; store requires it
+      Status st = dgms->durable()
+                      ? dgms->Checkpoint()
+                      : dgms->AttachDurableStorage(dir);
+      if (st.ok()) {
+        std::printf("snapshot generation %llu committed to %s\n",
+                    static_cast<unsigned long long>(
+                        dgms->durable_store()->seq()),
+                    dgms->durable_store()->dir().c_str());
+      } else {
+        std::printf("error: %s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "append ")) {
+      auto n = ParseInt64(Trim(trimmed.substr(7)));
+      if (!n.ok() || *n <= 0) {
+        std::printf("usage: append <rows>\n");
+        continue;
+      }
+      discri::CohortOptions opt;
+      opt.num_patients = static_cast<size_t>(*n);
+      opt.seed = 20130408 + dgms->warehouse().num_fact_rows();
+      auto batch = discri::GenerateCohort(opt);
+      Status st = batch.ok() ? dgms->AcquireData(*batch)
+                             : batch.status();
+      if (st.ok()) {
+        std::printf("appended; %zu fact rows now%s\n",
+                    dgms->warehouse().num_fact_rows(),
+                    dgms->durable() ? " (journaled)" : "");
+      } else {
+        std::printf("error: %s\n", st.ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "load ")) {
+      std::string dir(Trim(trimmed.substr(5)));
+      auto loaded = core::DdDgms::LoadDurable(
+          dir, discri::MakeDiscriPipeline(), robustness);
+      if (loaded.ok()) {
+        dgms = std::move(loaded);
+        std::printf("loaded generation %llu: %zu fact rows\n",
+                    static_cast<unsigned long long>(
+                        dgms->durable_store()->seq()),
+                    dgms->warehouse().num_fact_rows());
+      } else {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "recover ")) {
+      std::string dir(Trim(trimmed.substr(8)));
+      warehouse::RecoveryReport report;
+      auto recovered = core::DdDgms::RecoverDurable(
+          dir, discri::MakeDiscriPipeline(), &report, robustness);
+      if (recovered.ok()) {
+        dgms = std::move(recovered);
+        std::printf("%s\n%zu fact rows after recovery\n",
+                    report.ToString().c_str(),
+                    dgms->warehouse().num_fact_rows());
+      } else {
+        std::printf("error: %s\n",
+                    recovered.status().ToString().c_str());
+      }
       continue;
     }
     if (StartsWith(trimmed, "sql ")) {

@@ -1,0 +1,65 @@
+#include "common/checksum.h"
+
+#include <array>
+
+namespace ddgms {
+
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+
+struct Crc32cTables {
+  // table[k][b]: CRC contribution of byte b at lane k of a slice-by-8
+  // walk (lane 0 is the classic byte-at-a-time table).
+  std::array<std::array<uint32_t, 256>, 8> table;
+
+  Crc32cTables() {
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = b;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      table[0][b] = crc;
+    }
+    for (uint32_t b = 0; b < 256; ++b) {
+      uint32_t crc = table[0][b];
+      for (size_t k = 1; k < 8; ++k) {
+        crc = table[0][crc & 0xFF] ^ (crc >> 8);
+        table[k][b] = crc;
+      }
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables* tables = new Crc32cTables();
+  return *tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t size, uint32_t seed) {
+  const auto& t = Tables().table;
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  // Slice-by-8 over the aligned middle; byte-at-a-time for the tail.
+  while (size >= 8) {
+    crc ^= static_cast<uint32_t>(p[0]) |
+           (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = t[7][crc & 0xFF] ^ t[6][(crc >> 8) & 0xFF] ^
+          t[5][(crc >> 16) & 0xFF] ^ t[4][(crc >> 24) & 0xFF] ^
+          t[3][p[4]] ^ t[2][p[5]] ^ t[1][p[6]] ^ t[0][p[7]];
+    p += 8;
+    size -= 8;
+  }
+  while (size > 0) {
+    crc = t[0][(crc ^ *p) & 0xFF] ^ (crc >> 8);
+    ++p;
+    --size;
+  }
+  return ~crc;
+}
+
+}  // namespace ddgms

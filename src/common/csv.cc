@@ -13,14 +13,35 @@ namespace ddgms {
 namespace {
 
 // Shared CSV state machine. `allow_newlines` distinguishes the whole-
-// document parser from the single-record parser.
+// document parser from the single-record parser. When `quoted_empty`
+// is non-null it receives rows-parallel flags: 1 for a field that was
+// quoted and empty ("" in the source), which parses to the same string
+// as a bare empty field but means "empty string" rather than "null" to
+// loaders that encode the difference.
 Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
-    const std::string& text, char delim, bool allow_newlines) {
+    const std::string& text, char delim, bool allow_newlines,
+    std::vector<std::vector<uint8_t>>* quoted_empty = nullptr) {
   std::vector<std::vector<std::string>> rows;
   std::vector<std::string> fields;
+  std::vector<uint8_t> flags;
   std::string field;
   bool in_quotes = false;
   bool row_started = false;
+  bool field_was_quoted = false;
+
+  auto finish_field = [&] {
+    flags.push_back(field_was_quoted && field.empty() ? 1 : 0);
+    fields.push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  auto finish_row = [&] {
+    rows.push_back(std::move(fields));
+    fields.clear();
+    if (quoted_empty != nullptr) quoted_empty->push_back(std::move(flags));
+    flags.clear();
+    row_started = false;
+  };
 
   size_t i = 0;
   const size_t n = text.size();
@@ -47,12 +68,12 @@ Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
     if (c == '"') {
       in_quotes = true;
       row_started = true;
+      field_was_quoted = true;
       ++i;
       continue;
     }
     if (c == delim) {
-      fields.push_back(std::move(field));
-      field.clear();
+      finish_field();
       row_started = true;
       ++i;
       continue;
@@ -61,11 +82,8 @@ Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
       // LF, CRLF and lone CR all terminate the record.
       if (c == '\r' && i + 1 < n && text[i + 1] == '\n') ++i;
       if (row_started || !field.empty()) {
-        fields.push_back(std::move(field));
-        field.clear();
-        rows.push_back(std::move(fields));
-        fields.clear();
-        row_started = false;
+        finish_field();
+        finish_row();
       }
       ++i;
       continue;
@@ -81,8 +99,8 @@ Result<std::vector<std::vector<std::string>>> ParseCsvImpl(
                   rows.size()));
   }
   if (row_started || !field.empty() || !fields.empty()) {
-    fields.push_back(std::move(field));
-    rows.push_back(std::move(fields));
+    finish_field();
+    finish_row();
   }
   return rows;
 }
@@ -103,6 +121,14 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text, char delim) {
   return ParseCsvImpl(text, delim, /*allow_newlines=*/true);
+}
+
+Result<CsvDocument> ParseCsvDocument(const std::string& text, char delim) {
+  CsvDocument doc;
+  DDGMS_ASSIGN_OR_RETURN(
+      doc.rows,
+      ParseCsvImpl(text, delim, /*allow_newlines=*/true, &doc.quoted_empty));
+  return doc;
 }
 
 namespace {
@@ -156,10 +182,14 @@ Result<std::vector<CsvRecord>> ParseCsvLenient(
     if (raw.unterminated_quote) {
       bad = Status::ParseError("unterminated quoted field at end of input");
     } else {
-      auto rows = ParseCsvImpl(raw.text, delim, /*allow_newlines=*/true);
+      std::vector<std::vector<uint8_t>> quoted_empty;
+      auto rows =
+          ParseCsvImpl(raw.text, delim, /*allow_newlines=*/true,
+                       &quoted_empty);
       if (rows.ok()) {
         if (rows->empty()) continue;
-        out.push_back(CsvRecord{record_number, std::move((*rows)[0])});
+        out.push_back(CsvRecord{record_number, std::move((*rows)[0]),
+                                std::move(quoted_empty[0])});
         continue;
       }
       bad = rows.status();
@@ -172,24 +202,29 @@ Result<std::vector<CsvRecord>> ParseCsvLenient(
   return out;
 }
 
+std::string FormatCsvField(const std::string& field, char delim,
+                           bool force_quote) {
+  bool needs_quote =
+      force_quote || field.find_first_of("\"\r\n") != std::string::npos ||
+      field.find(delim) != std::string::npos;
+  if (!needs_quote) return field;
+  std::string out;
+  out.reserve(field.size() + 2);
+  out.push_back('"');
+  for (char c : field) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
 std::string FormatCsvLine(const std::vector<std::string>& fields,
                           char delim) {
   std::string out;
   for (size_t i = 0; i < fields.size(); ++i) {
     if (i > 0) out.push_back(delim);
-    const std::string& f = fields[i];
-    bool needs_quote = f.find_first_of("\"\r\n") != std::string::npos ||
-                       f.find(delim) != std::string::npos;
-    if (!needs_quote) {
-      out += f;
-      continue;
-    }
-    out.push_back('"');
-    for (char c : f) {
-      if (c == '"') out.push_back('"');
-      out.push_back(c);
-    }
-    out.push_back('"');
+    out += FormatCsvField(fields[i], delim);
   }
   return out;
 }

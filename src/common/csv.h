@@ -1,6 +1,7 @@
 #ifndef DDGMS_COMMON_CSV_H_
 #define DDGMS_COMMON_CSV_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -25,6 +26,18 @@ Result<std::vector<std::string>> ParseCsvLine(const std::string& line,
 Result<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text, char delim = ',');
 
+/// ParseCsv plus per-field quoting detail, for readers that need to
+/// tell a quoted empty field ("" in the source) apart from a bare one
+/// — the two parse to identical strings but mean different things to
+/// loaders that encode empty string vs null that way.
+struct CsvDocument {
+  std::vector<std::vector<std::string>> rows;
+  /// Parallel to `rows`: 1 when that field was quoted AND empty.
+  std::vector<std::vector<uint8_t>> quoted_empty;
+};
+Result<CsvDocument> ParseCsvDocument(const std::string& text,
+                                     char delim = ',');
+
 /// One parsed record plus its position, for lenient parsing where bad
 /// records are skipped and surviving records must stay attributable to
 /// their place in the source document.
@@ -34,6 +47,10 @@ struct CsvRecord {
   /// number).
   size_t record_number = 0;
   std::vector<std::string> fields;
+  /// Parallel to `fields` when populated: 1 for a quoted empty field
+  /// (see CsvDocument). May be empty when the producer did not track
+  /// quoting.
+  std::vector<uint8_t> quoted_empty;
 };
 
 /// Lenient CSV parse: structurally bad records (e.g. an unterminated
@@ -45,6 +62,13 @@ struct CsvRecord {
 Result<std::vector<CsvRecord>> ParseCsvLenient(
     const std::string& text, char delim = ',',
     QuarantineReport* quarantine = nullptr);
+
+/// Serializes one field, quoting when it contains the delimiter,
+/// quotes or newlines (embedded quotes doubled). `force_quote` quotes
+/// unconditionally — how writers encode an empty string so it stays
+/// distinct from a null's bare empty field.
+std::string FormatCsvField(const std::string& field, char delim = ',',
+                           bool force_quote = false);
 
 /// Serializes fields into one CSV record (no trailing newline).
 std::string FormatCsvLine(const std::vector<std::string>& fields,

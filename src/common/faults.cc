@@ -114,6 +114,14 @@ double RetryPolicy::DelayMsForRetry(int retry) const {
   return std::min(delay, max_delay_ms);
 }
 
+double RetryPolicy::JitteredDelayMsForRetry(int retry, Rng& rng) const {
+  double delay = DelayMsForRetry(retry);
+  if (jitter_fraction <= 0.0) return delay;
+  delay = rng.Uniform(delay * (1.0 - jitter_fraction),
+                      delay * (1.0 + jitter_fraction));
+  return std::min(std::max(delay, 0.0), max_delay_ms);
+}
+
 namespace internal {
 
 void RetrySleepMs(double ms) {

@@ -2,6 +2,7 @@
 #define DDGMS_COMMON_FAULTS_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <string>
@@ -148,13 +149,30 @@ struct RetryPolicy {
   /// Multiplier applied per retry (attempt k waits
   /// base * factor^(k-1), capped).
   double backoff_factor = 2.0;
+  /// Cap on the total time one Retry() call may spend across all
+  /// attempts and backoffs, in milliseconds. 0 (default) = unlimited.
+  /// When the deadline has passed — or the next backoff would overrun
+  /// it — Retry() stops retrying and returns the last transient error
+  /// instead of sleeping into a blown budget.
+  double total_deadline_ms = 0.0;
+  /// Symmetric jitter applied to every backoff: each delay is drawn
+  /// uniformly from [delay*(1-j), delay*(1+j)], clamped to
+  /// [0, max_delay_ms]. 0 (default) = deterministic delays. Jitter
+  /// decorrelates retry storms when many loaders hit the same flaky
+  /// connector; draws are deterministic per `jitter_seed`.
+  double jitter_fraction = 0.0;
+  uint64_t jitter_seed = 42;
   std::vector<StatusCode> retryable_codes = {StatusCode::kDataLoss,
                                              StatusCode::kInternal};
 
   bool IsRetryable(const Status& status) const;
 
-  /// Delay before retry number `retry` (1-based), capped.
+  /// Delay before retry number `retry` (1-based), capped. Pure — no
+  /// jitter, so schedules stay predictable for tests and docs.
   double DelayMsForRetry(int retry) const;
+
+  /// DelayMsForRetry with this policy's jitter applied via `rng`.
+  double JitteredDelayMsForRetry(int retry, Rng& rng) const;
 };
 
 /// Accounting for one Retry() run (how many attempts, what transient
@@ -195,6 +213,13 @@ auto Retry(const RetryPolicy& policy, Fn&& fn,
     -> std::invoke_result_t<Fn&> {
   const int max_attempts = policy.max_attempts < 1 ? 1
                                                    : policy.max_attempts;
+  const auto start = std::chrono::steady_clock::now();
+  auto elapsed_ms = [&start] {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+  };
+  Rng jitter_rng(policy.jitter_seed);
   int attempt = 0;
   double backoff_ms = 0.0;
   for (;;) {
@@ -208,8 +233,18 @@ auto Retry(const RetryPolicy& policy, Fn&& fn,
                                    backoff_ms, status.ok());
       return result;
     }
+    const double delay_ms =
+        policy.JitteredDelayMsForRetry(attempt, jitter_rng);
+    // A deadline both stops late retries and refuses to start a sleep
+    // that would overrun it — the caller gets the transient error
+    // while there is still budget to act on it.
+    if (policy.total_deadline_ms > 0.0 &&
+        elapsed_ms() + delay_ms > policy.total_deadline_ms) {
+      internal::RecordRetryMetrics(label, attempt, attempt - 1,
+                                   backoff_ms, status.ok());
+      return result;
+    }
     if (stats != nullptr) stats->transient_failures.push_back(status);
-    const double delay_ms = policy.DelayMsForRetry(attempt);
     backoff_ms += delay_ms;
     internal::RetrySleepMs(delay_ms);
   }

@@ -1,0 +1,156 @@
+#ifndef DDGMS_COMMON_IO_H_
+#define DDGMS_COMMON_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace ddgms {
+
+/// -------------------------------------------------------------------
+/// Durable file I/O
+///
+/// The primitives under the warehouse durability layer (snapshots,
+/// write-ahead journal, MANIFEST). Every step that can tear — open,
+/// write, fsync, rename, directory sync — carries a DDGMS_FAULT_POINT
+/// so the crash matrix in tests/persist_test.cc can rehearse a failure
+/// at each one, and a byte-counting crash hook lets integration tests
+/// and CI kill the process mid-write like a real power cut.
+///
+/// Byte order on disk is little-endian everywhere (the codec below is
+/// explicit, so big-endian hosts would still read the same files).
+/// -------------------------------------------------------------------
+
+/// Little-endian append-to-string encoders. All multi-byte on-disk
+/// integers in the snapshot/journal formats go through these.
+void PutU8(std::string* out, uint8_t v);
+void PutU32(std::string* out, uint32_t v);
+void PutU64(std::string* out, uint64_t v);
+void PutI64(std::string* out, int64_t v);
+void PutI32(std::string* out, int32_t v);
+/// IEEE-754 bit pattern, so doubles round-trip exactly (including
+/// NaN payloads and signed zero).
+void PutF64(std::string* out, double v);
+/// u32 length prefix + raw bytes.
+void PutLengthPrefixed(std::string* out, std::string_view bytes);
+
+/// Bounds-checked little-endian decoder over a byte buffer. Every
+/// Read* returns DataLoss on short reads (the buffer ends before the
+/// value does) — the "short read" leg of torn-write detection.
+class ByteReader {
+ public:
+  explicit ByteReader(std::string_view data) : data_(data) {}
+
+  size_t offset() const { return offset_; }
+  size_t remaining() const { return data_.size() - offset_; }
+
+  Result<uint8_t> ReadU8();
+  Result<uint32_t> ReadU32();
+  Result<uint64_t> ReadU64();
+  Result<int64_t> ReadI64();
+  Result<int32_t> ReadI32();
+  Result<double> ReadF64();
+  /// Next `n` raw bytes (a view into the underlying buffer).
+  Result<std::string_view> ReadBytes(size_t n);
+  /// u32 length prefix + that many bytes.
+  Result<std::string_view> ReadLengthPrefixed();
+
+  /// Skips `n` bytes; DataLoss if fewer remain.
+  Status Skip(size_t n);
+
+ private:
+  std::string_view data_;
+  size_t offset_ = 0;
+};
+
+/// Reads an entire file as raw bytes. NotFound if it cannot be opened,
+/// DataLoss on a read error.
+Result<std::string> ReadFileBinary(const std::string& path);
+
+/// Atomically replaces `path` with `contents`: writes to a sibling
+/// temporary file, fsyncs it, renames it over `path`, then fsyncs the
+/// parent directory so the rename itself is durable. After a crash at
+/// any step, `path` either holds its previous contents or the complete
+/// new contents — never a prefix. Set `sync` false to skip the fsyncs
+/// (fast, for tests and callers that do not need durability).
+Status WriteFileDurable(const std::string& path,
+                        std::string_view contents, bool sync = true);
+
+/// fsyncs a directory so previously renamed/created entries survive a
+/// crash.
+Status SyncDir(const std::string& dir);
+
+/// Truncates `path` to `size` bytes (journal repair after a torn
+/// tail).
+Status TruncateFile(const std::string& path, uint64_t size);
+
+/// Deletes a file; OK if it does not exist.
+Status RemoveFileIfExists(const std::string& path);
+
+/// True if `path` exists (any file type).
+bool FileExists(const std::string& path);
+
+/// Entry names in `dir` (excluding "." and ".."), unsorted. NotFound
+/// if the directory cannot be opened. Recovery uses this to find
+/// snapshot generations when the MANIFEST itself is corrupt.
+Result<std::vector<std::string>> ListDirectory(const std::string& dir);
+
+/// Size of `path` in bytes; NotFound if it does not exist.
+Result<uint64_t> FileSize(const std::string& path);
+
+/// Append-only writer for the write-ahead journal: opens (creating if
+/// needed) in append mode, writes byte runs, and fsyncs on demand.
+class AppendWriter {
+ public:
+  static Result<AppendWriter> Open(const std::string& path);
+  ~AppendWriter();
+
+  AppendWriter(AppendWriter&& other) noexcept;
+  AppendWriter& operator=(AppendWriter&& other) noexcept;
+  AppendWriter(const AppendWriter&) = delete;
+  AppendWriter& operator=(const AppendWriter&) = delete;
+
+  /// Appends `bytes` at the end of the file.
+  Status Append(std::string_view bytes);
+
+  /// fsyncs everything appended so far.
+  Status Sync();
+
+  /// Bytes in the file (offset of the next append).
+  uint64_t size() const { return size_; }
+
+  const std::string& path() const { return path_; }
+
+  /// Closes the descriptor early (destructor also closes).
+  void Close();
+
+ private:
+  AppendWriter(std::string path, int fd, uint64_t size)
+      : path_(std::move(path)), fd_(fd), size_(size) {}
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t size_ = 0;
+};
+
+/// ---------------------------------------------------------------
+/// Crash test hook
+///
+/// SetCrashAfterBytes(n) makes the process exit abruptly (no atexit
+/// handlers, no flushes — the moral equivalent of kill -9) after the
+/// io layer has written `n` more bytes; the write in flight when the
+/// budget runs out is torn at the byte boundary. The ddgms_shell
+/// exposes it as --crash-after-bytes so CI can rehearse recovery from
+/// a genuinely half-written snapshot. Pass a negative value to
+/// disable (the default).
+/// ---------------------------------------------------------------
+void SetCrashAfterBytes(int64_t budget);
+int64_t CrashAfterBytesRemaining();
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_IO_H_

@@ -163,8 +163,108 @@ Status DdDgms::AddFeedbackDimension(
 }
 
 Status DdDgms::AcquireData(const Table& new_raw_rows) {
+  if (store_ != nullptr) return AcquireDataDurable(new_raw_rows);
   DDGMS_RETURN_IF_ERROR(raw_.Concat(new_raw_rows));
   return Rebuild();
+}
+
+Status DdDgms::AcquireDataDurable(const Table& new_raw_rows) {
+  DDGMS_FAULT_POINT("core.acquire_durable");
+  TraceSpan span("core.acquire_durable");
+  span.SetAttribute("raw_rows", new_raw_rows.num_rows());
+  // Transform just the batch. Deterministic steps (cleaning,
+  // discretisation) behave exactly as in a full rebuild;
+  // batch-windowed steps (cardinality) number within the batch, which
+  // replay reproduces bit-for-bit because the journal stores the
+  // transformed rows, not the raw ones.
+  Table batch = new_raw_rows;
+  etl::PipelineRunOptions pipeline_options;
+  pipeline_options.error_mode = robustness_.error_mode;
+  DDGMS_ASSIGN_OR_RETURN(etl::TransformReport batch_report,
+                         pipeline_.Run(&batch, pipeline_options));
+  // Write-ahead: the batch is journaled (and fsynced, by default)
+  // before it is applied, so an OK from this call means the rows
+  // survive a crash even though no snapshot was taken.
+  DDGMS_RETURN_IF_ERROR(store_->AppendBatch(batch));
+  DDGMS_RETURN_IF_ERROR(warehouse_->AppendRows(batch));
+  // Keep the facade's flat extracts in step for QuerySql("extract")
+  // and future non-durable rebuilds. A facade recovered from disk
+  // starts with empty extracts; adopt the batch schema then.
+  if (raw_.num_columns() == 0) {
+    raw_ = new_raw_rows;
+  } else {
+    DDGMS_RETURN_IF_ERROR(raw_.Concat(new_raw_rows));
+  }
+  if (transformed_.num_columns() == 0) {
+    transformed_ = std::move(batch);
+  } else {
+    DDGMS_RETURN_IF_ERROR(transformed_.Concat(batch));
+  }
+  if (robustness_.quarantine_sink != nullptr) {
+    robustness_.quarantine_sink->Merge(batch_report.quarantine);
+  }
+  report_.quarantine.Merge(batch_report.quarantine);
+  report_.input_rows += batch_report.input_rows;
+  report_.output_rows += batch_report.output_rows;
+  span.SetAttribute("fact_rows", warehouse_->fact().num_rows());
+  DDGMS_METRIC_INC("ddgms.core.durable_acquisitions");
+  return Status::OK();
+}
+
+Status DdDgms::AttachDurableStorage(const std::string& dir,
+                                    warehouse::DurabilityOptions options) {
+  if (store_ != nullptr) {
+    return Status::FailedPrecondition(
+        "durable storage is already attached (" + store_->dir() + ")");
+  }
+  DDGMS_ASSIGN_OR_RETURN(warehouse::DurableWarehouseStore store,
+                         warehouse::DurableWarehouseStore::Open(dir, options));
+  DDGMS_RETURN_IF_ERROR(store.CommitSnapshot(*warehouse_));
+  store_ = std::make_unique<warehouse::DurableWarehouseStore>(
+      std::move(store));
+  return Status::OK();
+}
+
+Status DdDgms::Checkpoint() {
+  if (store_ == nullptr) {
+    return Status::FailedPrecondition("no durable storage attached");
+  }
+  return store_->CommitSnapshot(*warehouse_);
+}
+
+DdDgms DdDgms::FromDurable(warehouse::Warehouse wh,
+                           warehouse::DurableWarehouseStore store,
+                           const etl::TransformPipeline& pipeline,
+                           RobustnessOptions robustness) {
+  DdDgms dgms(Table(), pipeline, wh.def(), std::move(robustness),
+              QuarantineReport{});
+  dgms.warehouse_ = std::make_unique<warehouse::Warehouse>(std::move(wh));
+  dgms.store_ = std::make_unique<warehouse::DurableWarehouseStore>(
+      std::move(store));
+  return dgms;
+}
+
+Result<DdDgms> DdDgms::LoadDurable(const std::string& dir,
+                                   const etl::TransformPipeline& pipeline,
+                                   RobustnessOptions robustness,
+                                   warehouse::DurabilityOptions options) {
+  DDGMS_ASSIGN_OR_RETURN(warehouse::DurableWarehouseStore store,
+                         warehouse::DurableWarehouseStore::Open(dir, options));
+  DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh, store.Load());
+  return FromDurable(std::move(wh), std::move(store), pipeline,
+                     std::move(robustness));
+}
+
+Result<DdDgms> DdDgms::RecoverDurable(const std::string& dir,
+                                      const etl::TransformPipeline& pipeline,
+                                      warehouse::RecoveryReport* report,
+                                      RobustnessOptions robustness,
+                                      warehouse::DurabilityOptions options) {
+  DDGMS_ASSIGN_OR_RETURN(warehouse::DurableWarehouseStore store,
+                         warehouse::DurableWarehouseStore::Open(dir, options));
+  DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh, store.Recover(report));
+  return FromDurable(std::move(wh), std::move(store), pipeline,
+                     std::move(robustness));
 }
 
 }  // namespace ddgms::core

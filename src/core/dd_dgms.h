@@ -15,6 +15,7 @@
 #include "olap/cube.h"
 #include "table/store.h"
 #include "table/table.h"
+#include "warehouse/persist.h"
 #include "warehouse/telemetry.h"
 #include "warehouse/warehouse.h"
 
@@ -125,10 +126,54 @@ class DdDgms {
       const std::function<Value(const warehouse::Warehouse&, size_t)>&
           labeler);
 
-  /// Closed-loop data acquisition: appends newly collected raw rows,
-  /// re-runs the pipeline and rebuilds the warehouse (the knowledge base
-  /// is preserved).
+  /// Closed-loop data acquisition: appends newly collected raw rows.
+  /// Without durable storage this re-runs the pipeline over the full
+  /// extract and rebuilds the warehouse (the knowledge base is
+  /// preserved). With durable storage attached it switches to the
+  /// incremental path: the batch alone is transformed, written to the
+  /// write-ahead journal (durable before it is acknowledged), then
+  /// appended to the warehouse in place — so acknowledged acquisitions
+  /// survive a crash without waiting for the next Checkpoint().
   Status AcquireData(const Table& new_raw_rows);
+
+  /// -----------------------------------------------------------------
+  /// Durable storage (crash-safe snapshots + write-ahead journal; see
+  /// warehouse/persist.h for the on-disk protocol).
+  /// -----------------------------------------------------------------
+
+  /// Attaches `dir` (must exist) as this platform's durable home and
+  /// commits an initial snapshot of the current warehouse. From then
+  /// on AcquireData journals batches; call Checkpoint() after
+  /// non-journaled mutations (AddFeedbackDimension) or to compact the
+  /// journal into a fresh snapshot.
+  Status AttachDurableStorage(const std::string& dir,
+                              warehouse::DurabilityOptions options = {});
+
+  /// Commits a new snapshot generation of the current warehouse state
+  /// and starts a fresh journal.
+  Status Checkpoint();
+
+  bool durable() const { return store_ != nullptr; }
+  const warehouse::DurableWarehouseStore* durable_store() const {
+    return store_.get();
+  }
+
+  /// Strict load from a durable store: MANIFEST, snapshot and journal
+  /// must all verify — corruption is an error (use RecoverDurable).
+  /// The pipeline is needed so subsequent AcquireData calls can
+  /// transform new batches; the schema comes from the snapshot.
+  static Result<DdDgms> LoadDurable(const std::string& dir,
+                                    const etl::TransformPipeline& pipeline,
+                                    RobustnessOptions robustness = {},
+                                    warehouse::DurabilityOptions options = {});
+
+  /// Crash recovery: salvages the newest intact state (falling back
+  /// across snapshot generations, truncating a torn journal tail) and
+  /// reports exactly what was recovered via `report` (required).
+  static Result<DdDgms> RecoverDurable(
+      const std::string& dir, const etl::TransformPipeline& pipeline,
+      warehouse::RecoveryReport* report, RobustnessOptions robustness = {},
+      warehouse::DurabilityOptions options = {});
 
   /// The robustness configuration this instance was built with
   /// (reused by AcquireData rebuilds).
@@ -155,6 +200,16 @@ class DdDgms {
 
   Status Rebuild();
 
+  /// Builds a facade around an already-materialized warehouse (the
+  /// durable load/recover paths, which have no raw extract).
+  static DdDgms FromDurable(warehouse::Warehouse wh,
+                            warehouse::DurableWarehouseStore store,
+                            const etl::TransformPipeline& pipeline,
+                            RobustnessOptions robustness);
+
+  /// The incremental, journaled AcquireData path.
+  Status AcquireDataDurable(const Table& new_raw_rows);
+
   Table raw_;  // untouched accumulated extract
   etl::TransformPipeline pipeline_;
   warehouse::StarSchemaDef schema_def_;
@@ -171,6 +226,8 @@ class DdDgms {
   /// Rebuilt in place on every [Telemetry] query so pointers held by
   /// in-flight executors stay valid, mirroring warehouse_.
   mutable std::unique_ptr<warehouse::Warehouse> telemetry_warehouse_;
+  /// Non-null once durable storage is attached/loaded.
+  std::unique_ptr<warehouse::DurableWarehouseStore> store_;
   kb::KnowledgeBase kb_;
 };
 

@@ -7,11 +7,12 @@ Result<std::shared_ptr<const Cube>> CachingCubeEngine::Execute(
   if (warehouse_ == nullptr) {
     return Status::InvalidArgument("engine has no warehouse");
   }
-  // Gross-drift guard: a changed fact count means the warehouse was
-  // rebuilt or extended under us.
-  if (warehouse_->num_fact_rows() != cached_fact_rows_) {
+  // Drift guard: a changed generation stamp means the warehouse was
+  // rebuilt, extended, reloaded or recovered under us — including
+  // reloads that restore the same fact-row count with different data.
+  if (warehouse_->generation() != cached_generation_) {
     Invalidate();
-    cached_fact_rows_ = warehouse_->num_fact_rows();
+    cached_generation_ = warehouse_->generation();
   }
   std::string key = query.ToString();
   auto it = entries_.find(key);

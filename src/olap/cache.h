@@ -1,6 +1,7 @@
 #ifndef DDGMS_OLAP_CACHE_H_
 #define DDGMS_OLAP_CACHE_H_
 
+#include <cstdint>
 #include <list>
 #include <memory>
 #include <string>
@@ -16,10 +17,13 @@ namespace ddgms::olap {
 /// multivariate queries (drill-down and back, re-rendering); caching
 /// turns those into dictionary hits.
 ///
-/// The cache assumes the warehouse is read-only while cached results
-/// are in use; call Invalidate() after structural changes (feedback
-/// dimensions, data acquisition). A cheap fact-row-count check catches
-/// gross drift automatically.
+/// Every Execute first compares the warehouse's generation stamp with
+/// the one the cache was filled under and drops all entries on a
+/// mismatch, so rebuilds, incremental appends, feedback dimensions and
+/// durable-store reloads/recoveries (which all bump the stamp, even
+/// when the fact-row count comes back identical) can never serve stale
+/// cubes. Invalidate() remains for callers that mutate the warehouse
+/// through a side channel the stamp cannot see.
 class CachingCubeEngine {
  public:
   explicit CachingCubeEngine(const warehouse::Warehouse* wh,
@@ -48,7 +52,9 @@ class CachingCubeEngine {
   size_t capacity_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<std::string, std::list<Entry>::iterator> entries_;
-  size_t cached_fact_rows_ = 0;
+  /// Warehouse::generation() the cached cubes were computed from; 0 =
+  /// nothing cached yet (generations start at 1).
+  uint64_t cached_generation_ = 0;
   size_t hits_ = 0;
   size_t misses_ = 0;
 };

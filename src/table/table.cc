@@ -142,10 +142,12 @@ Result<Table> Table::FromCsv(const std::string& text,
     DDGMS_ASSIGN_OR_RETURN(
         records, ParseCsvLenient(text, options.delimiter, quarantine));
   } else {
-    DDGMS_ASSIGN_OR_RETURN(auto rows, ParseCsv(text, options.delimiter));
-    records.reserve(rows.size());
-    for (size_t r = 0; r < rows.size(); ++r) {
-      records.push_back(CsvRecord{r + 1, std::move(rows[r])});
+    DDGMS_ASSIGN_OR_RETURN(CsvDocument doc,
+                           ParseCsvDocument(text, options.delimiter));
+    records.reserve(doc.rows.size());
+    for (size_t r = 0; r < doc.rows.size(); ++r) {
+      records.push_back(CsvRecord{r + 1, std::move(doc.rows[r]),
+                                  std::move(doc.quoted_empty[r])});
     }
   }
   if (records.empty()) {
@@ -232,6 +234,17 @@ Result<Table> Table::FromCsv(const std::string& text,
     for (size_t c = 0; c < num_cols; ++c) {
       const std::string& field = records[r].fields[c];
       if (IsNullToken(field, options.null_tokens)) {
+        // A quoted empty field is an intentional empty string, not a
+        // missing value — but only when the caller opted in and the
+        // column is textual (for numeric columns "" has no value to
+        // carry, so it stays null).
+        if (options.quoted_empty_is_string && field.empty() &&
+            types[c] == DataType::kString &&
+            c < records[r].quoted_empty.size() &&
+            records[r].quoted_empty[c] != 0) {
+          row.push_back(Value::Str(""));
+          continue;
+        }
         row.push_back(Value::Null());
         continue;
       }
@@ -439,21 +452,25 @@ Status Table::Concat(const Table& other) {
   return Status::OK();
 }
 
-std::string Table::ToCsv(char delimiter) const {
+std::string Table::ToCsv(const CsvWriteOptions& options) const {
   std::string out;
   std::vector<std::string> header;
   header.reserve(columns_.size());
   for (const Field& f : schema_.fields()) header.push_back(f.name);
-  out += FormatCsvLine(header, delimiter);
+  out += FormatCsvLine(header, options.delimiter);
   out += "\n";
   const size_t n = num_rows();
   for (size_t i = 0; i < n; ++i) {
-    std::vector<std::string> fields;
-    fields.reserve(columns_.size());
-    for (const ColumnVector& col : columns_) {
-      fields.push_back(col.GetValue(i).ToString());
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      if (c > 0) out.push_back(options.delimiter);
+      const ColumnVector& col = columns_[c];
+      std::string cell = col.GetValue(i).ToString();
+      // Nulls always serialize bare; a present-but-empty string is
+      // force-quoted ("") when the caller wants the two distinct.
+      bool force_quote = options.quote_empty_strings && cell.empty() &&
+                         !col.IsNull(i);
+      out += FormatCsvField(cell, options.delimiter, force_quote);
     }
-    out += FormatCsvLine(fields, delimiter);
     out += "\n";
   }
   return out;

@@ -44,6 +44,20 @@ struct CsvReadOptions {
   /// Sink for lenient-mode quarantined rows. May be left null, in
   /// which case bad rows are still skipped but not itemised.
   QuarantineReport* quarantine = nullptr;
+  /// When true, a quoted empty field ("" in the source) in a string
+  /// column loads as an empty string instead of a null; bare empty
+  /// fields stay nulls. Pairs with CsvWriteOptions.quote_empty_strings
+  /// so empty strings survive a CSV round trip.
+  bool quoted_empty_is_string = false;
+};
+
+/// Options controlling CSV export (Table::ToCsv).
+struct CsvWriteOptions {
+  char delimiter = ',';
+  /// Write non-null empty string values as quoted "" so a reader with
+  /// quoted_empty_is_string can tell them apart from nulls, which
+  /// always serialize as bare empty fields.
+  bool quote_empty_strings = false;
 };
 
 /// In-memory columnar table: a schema plus equally sized columns.
@@ -128,7 +142,12 @@ class Table {
   Status Concat(const Table& other);
 
   /// Serializes to CSV (header + rows).
-  std::string ToCsv(char delimiter = ',') const;
+  std::string ToCsv(char delimiter = ',') const {
+    CsvWriteOptions options;
+    options.delimiter = delimiter;
+    return ToCsv(options);
+  }
+  std::string ToCsv(const CsvWriteOptions& options) const;
 
   /// Pretty-prints the first `max_rows` rows as an aligned text grid.
   std::string ToPrettyString(size_t max_rows = 20) const;

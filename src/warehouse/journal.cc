@@ -1,0 +1,115 @@
+#include "warehouse/journal.h"
+
+#include "common/checksum.h"
+#include "common/faults.h"
+#include "common/strings.h"
+#include "warehouse/snapshot.h"
+
+namespace ddgms::warehouse {
+
+namespace {
+
+// "DDWJ" little-endian.
+constexpr uint32_t kRecordMagic = 0x4A574444u;
+constexpr size_t kRecordHeaderSize = 12;  // magic + length + crc
+
+}  // namespace
+
+Result<JournalWriter> JournalWriter::Open(const std::string& path) {
+  DDGMS_FAULT_POINT("journal.open");
+  DDGMS_ASSIGN_OR_RETURN(AppendWriter writer, AppendWriter::Open(path));
+  return JournalWriter(std::move(writer));
+}
+
+Status JournalWriter::AppendBatch(const Table& batch, bool sync) {
+  DDGMS_FAULT_POINT("journal.append_batch");
+  std::string payload;
+  EncodeTable(batch, &payload);
+  std::string record;
+  record.reserve(kRecordHeaderSize + payload.size());
+  PutU32(&record, kRecordMagic);
+  PutU32(&record, static_cast<uint32_t>(payload.size()));
+  PutU32(&record, MaskCrc32c(Crc32c(payload)));
+  record += payload;
+  DDGMS_RETURN_IF_ERROR(writer_.Append(record));
+  if (sync) {
+    DDGMS_FAULT_POINT("journal.sync");
+    DDGMS_RETURN_IF_ERROR(writer_.Sync());
+  }
+  return Status::OK();
+}
+
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(Table batch, size_t record_index)>& apply) {
+  JournalReplayStats stats;
+  if (!FileExists(path)) return stats;
+  DDGMS_ASSIGN_OR_RETURN(std::string bytes, ReadFileBinary(path));
+  ByteReader reader(bytes);
+  auto stop_corrupt = [&](std::string why) {
+    stats.corruption = std::move(why);
+    stats.dropped_bytes = bytes.size() - stats.valid_bytes;
+  };
+  while (reader.remaining() > 0) {
+    DDGMS_FAULT_POINT("journal.replay_record");
+    if (reader.remaining() < kRecordHeaderSize) {
+      stop_corrupt(StrFormat("torn record header at offset %llu "
+                             "(%zu bytes, need %zu)",
+                             static_cast<unsigned long long>(
+                                 stats.valid_bytes),
+                             reader.remaining(), kRecordHeaderSize));
+      break;
+    }
+    // Header reads cannot fail: remaining() was checked above.
+    uint32_t magic = reader.ReadU32().value();
+    uint32_t payload_len = reader.ReadU32().value();
+    uint32_t stored_crc = reader.ReadU32().value();
+    if (magic != kRecordMagic) {
+      stop_corrupt(StrFormat("bad record magic at offset %llu",
+                             static_cast<unsigned long long>(
+                                 stats.valid_bytes)));
+      break;
+    }
+    if (reader.remaining() < payload_len) {
+      stop_corrupt(StrFormat("torn record payload at offset %llu "
+                             "(%zu of %u bytes present)",
+                             static_cast<unsigned long long>(
+                                 stats.valid_bytes),
+                             reader.remaining(), payload_len));
+      break;
+    }
+    std::string_view payload = reader.ReadBytes(payload_len).value();
+    if (MaskCrc32c(Crc32c(payload)) != stored_crc) {
+      stop_corrupt(StrFormat("checksum mismatch in record %zu at "
+                             "offset %llu",
+                             stats.records_applied,
+                             static_cast<unsigned long long>(
+                                 stats.valid_bytes)));
+      break;
+    }
+    auto batch = DecodeTable(payload);
+    if (!batch.ok()) {
+      // CRC passed but the payload does not decode — a writer bug or a
+      // collision; either way the record is unusable and so is
+      // everything after it.
+      stop_corrupt(StrFormat("record %zu fails to decode: %s",
+                             stats.records_applied,
+                             batch.status().ToString().c_str()));
+      break;
+    }
+    DDGMS_RETURN_IF_ERROR(
+        apply(std::move(batch).value(), stats.records_applied));
+    ++stats.records_applied;
+    stats.valid_bytes = reader.offset();
+    stats.record_end_offsets.push_back(reader.offset());
+  }
+  return stats;
+}
+
+Status TruncateJournalTail(const std::string& path,
+                           const JournalReplayStats& stats) {
+  if (stats.clean() || !FileExists(path)) return Status::OK();
+  return TruncateFile(path, stats.valid_bytes);
+}
+
+}  // namespace ddgms::warehouse

@@ -1,0 +1,94 @@
+#ifndef DDGMS_WAREHOUSE_JOURNAL_H_
+#define DDGMS_WAREHOUSE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/io.h"
+#include "common/result.h"
+#include "table/table.h"
+
+namespace ddgms::warehouse {
+
+/// -------------------------------------------------------------------
+/// Write-ahead journal (.wal)
+///
+/// Append-only log of ingest batches applied since the last durable
+/// snapshot, so a continuously fed warehouse never loses acknowledged
+/// data between checkpoints. Each record is self-delimiting and
+/// self-verifying:
+///
+///   u32 magic "DDWJ" | u32 payload length | u32 masked CRC32C | payload
+///
+/// The payload is a columnar table image (snapshot.h EncodeTable) of
+/// one batch in Warehouse::AppendRows source form. A batch is durable
+/// once AppendBatch returns OK with sync enabled.
+///
+/// Replay walks records in order and stops at the first torn, short or
+/// corrupt record — everything before it is intact (CRC-verified),
+/// everything from it on is unusable and reported, never silently
+/// decoded. The stop offset lets recovery truncate the tail so the
+/// journal is clean for subsequent appends.
+/// -------------------------------------------------------------------
+
+/// Appends batch records; one instance owns the journal file between
+/// snapshots.
+class JournalWriter {
+ public:
+  /// Opens `path` for appending, creating it if absent.
+  static Result<JournalWriter> Open(const std::string& path);
+
+  /// Appends one batch record; with `sync`, fsyncs before returning so
+  /// an OK means the batch survives a crash.
+  Status AppendBatch(const Table& batch, bool sync = true);
+
+  /// Journal size in bytes (next record offset).
+  uint64_t size() const { return writer_.size(); }
+  const std::string& path() const { return writer_.path(); }
+
+ private:
+  explicit JournalWriter(AppendWriter writer)
+      : writer_(std::move(writer)) {}
+
+  AppendWriter writer_;
+};
+
+/// Outcome of one replay pass.
+struct JournalReplayStats {
+  /// Records decoded, CRC-verified and handed to the handler.
+  size_t records_applied = 0;
+  /// Bytes of the journal that held valid records; the first corrupt
+  /// byte (if any) is at this offset.
+  uint64_t valid_bytes = 0;
+  /// Bytes from the first corrupt/torn record to end of file.
+  uint64_t dropped_bytes = 0;
+  /// Why replay stopped early; empty when the journal was clean.
+  std::string corruption;
+  /// End offset of each applied record (record i spans
+  /// [record_end_offsets[i-1], record_end_offsets[i])), so recovery can
+  /// truncate after any prefix of records, not just at the corruption
+  /// boundary.
+  std::vector<uint64_t> record_end_offsets;
+
+  bool clean() const { return corruption.empty(); }
+};
+
+/// Replays every valid batch record through `apply` (in append order).
+/// A missing journal file is an empty journal. The handler's first
+/// error aborts the replay and is returned; journal corruption is NOT
+/// an error — it ends the walk and is described in the stats so the
+/// caller can truncate and report.
+Result<JournalReplayStats> ReplayJournal(
+    const std::string& path,
+    const std::function<Status(Table batch, size_t record_index)>& apply);
+
+/// Truncates the journal's corrupt tail identified by a replay pass.
+/// No-op for a clean replay or a missing file.
+Status TruncateJournalTail(const std::string& path,
+                           const JournalReplayStats& stats);
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_JOURNAL_H_

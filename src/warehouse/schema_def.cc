@@ -3,6 +3,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "common/strings.h"
+
 namespace ddgms::warehouse {
 
 Status StarSchemaDef::Validate() const {
@@ -63,6 +65,70 @@ Result<size_t> StarSchemaDef::DimensionIndex(const std::string& name) const {
     if (dimensions[i].name == name) return i;
   }
   return Status::NotFound("no dimension named '" + name + "'");
+}
+
+std::string SerializeSchemaDef(const StarSchemaDef& def) {
+  std::string out;
+  out += "fact " + def.fact_name + "\n";
+  if (!def.degenerate_key.empty()) {
+    out += "degenerate " + def.degenerate_key + "\n";
+  }
+  for (const MeasureDef& m : def.measures) {
+    out += "measure " + m.name + " " + m.source_column + "\n";
+  }
+  for (const DimensionDef& dim : def.dimensions) {
+    out += "dimension " + dim.name + "\n";
+    for (const std::string& attr : dim.attributes) {
+      out += "attr " + attr + "\n";
+    }
+    for (const Hierarchy& h : dim.hierarchies) {
+      out += "hierarchy " + h.name;
+      for (const std::string& level : h.levels) {
+        out += " " + level;
+      }
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+Result<StarSchemaDef> ParseSchemaDef(const std::string& text) {
+  StarSchemaDef def;
+  DimensionDef* current = nullptr;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    std::string line(Trim(raw_line));
+    if (line.empty()) continue;
+    std::vector<std::string> parts = Split(line, ' ');
+    const std::string& kind = parts[0];
+    if (kind == "fact" && parts.size() == 2) {
+      def.fact_name = parts[1];
+    } else if (kind == "degenerate" && parts.size() == 2) {
+      def.degenerate_key = parts[1];
+    } else if (kind == "measure" && parts.size() == 3) {
+      def.measures.push_back(MeasureDef{parts[1], parts[2]});
+    } else if (kind == "dimension" && parts.size() == 2) {
+      def.dimensions.push_back(DimensionDef{parts[1], {}, {}});
+      current = &def.dimensions.back();
+    } else if (kind == "attr" && parts.size() == 2) {
+      if (current == nullptr) {
+        return Status::ParseError("attr before dimension in schema text");
+      }
+      current->attributes.push_back(parts[1]);
+    } else if (kind == "hierarchy" && parts.size() >= 4) {
+      if (current == nullptr) {
+        return Status::ParseError(
+            "hierarchy before dimension in schema text");
+      }
+      Hierarchy h;
+      h.name = parts[1];
+      h.levels.assign(parts.begin() + 2, parts.end());
+      current->hierarchies.push_back(std::move(h));
+    } else {
+      return Status::ParseError("bad schema text line: '" + line + "'");
+    }
+  }
+  DDGMS_RETURN_IF_ERROR(def.Validate());
+  return def;
 }
 
 }  // namespace ddgms::warehouse

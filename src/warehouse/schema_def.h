@@ -51,6 +51,15 @@ struct StarSchemaDef {
   Result<size_t> DimensionIndex(const std::string& name) const;
 };
 
+/// Text serialization of a schema declaration (the schema.txt format
+/// shared by the CSV persist directory and the binary snapshot's
+/// schema section): one "fact/degenerate/measure/dimension/attr/
+/// hierarchy" record per line.
+std::string SerializeSchemaDef(const StarSchemaDef& def);
+
+/// Inverse of SerializeSchemaDef; validates the parsed definition.
+Result<StarSchemaDef> ParseSchemaDef(const std::string& text);
+
 }  // namespace ddgms::warehouse
 
 #endif  // DDGMS_WAREHOUSE_SCHEMA_DEF_H_

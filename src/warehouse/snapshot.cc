@@ -1,0 +1,322 @@
+#include "warehouse/snapshot.h"
+
+#include <vector>
+
+#include "common/checksum.h"
+#include "common/faults.h"
+#include "common/io.h"
+#include "common/strings.h"
+#include "warehouse/schema_def.h"
+
+namespace ddgms::warehouse {
+
+namespace {
+
+constexpr char kMagic[] = "DDWSNAP1";  // 8 bytes, no terminator on disk
+constexpr size_t kMagicSize = 8;
+
+enum SectionKind : uint8_t {
+  kSchemaSection = 1,
+  kFactSection = 2,
+  kDimensionSection = 3,
+};
+
+void EncodeColumn(const ColumnVector& col, std::string* out) {
+  const size_t rows = col.size();
+  PutLengthPrefixed(out, col.name());
+  PutU8(out, static_cast<uint8_t>(col.type()));
+  // Packed validity bitmap, bit i set = row i is non-null.
+  std::string bitmap((rows + 7) / 8, '\0');
+  for (size_t i = 0; i < rows; ++i) {
+    if (!col.IsNull(i)) bitmap[i / 8] |= static_cast<char>(1u << (i % 8));
+  }
+  out->append(bitmap);
+  switch (col.type()) {
+    case DataType::kBool:
+      for (size_t i = 0; i < rows; ++i) {
+        PutU8(out, !col.IsNull(i) && col.BoolAt(i) ? 1 : 0);
+      }
+      break;
+    case DataType::kInt64:
+      for (size_t i = 0; i < rows; ++i) {
+        PutI64(out, col.IsNull(i) ? 0 : col.IntAt(i));
+      }
+      break;
+    case DataType::kDouble:
+      for (size_t i = 0; i < rows; ++i) {
+        PutF64(out, col.IsNull(i) ? 0.0 : col.DoubleAt(i));
+      }
+      break;
+    case DataType::kDate:
+      for (size_t i = 0; i < rows; ++i) {
+        PutI32(out,
+               col.IsNull(i) ? 0 : col.DateAt(i).days_since_epoch());
+      }
+      break;
+    case DataType::kString:
+      for (size_t i = 0; i < rows; ++i) {
+        PutLengthPrefixed(out,
+                          col.IsNull(i) ? std::string_view()
+                                        : std::string_view(col.StringAt(i)));
+      }
+      break;
+    case DataType::kNull:
+      break;  // excluded by ColumnVector's constructor contract
+  }
+}
+
+Result<ColumnVector> DecodeColumn(ByteReader* reader, size_t rows) {
+  DDGMS_ASSIGN_OR_RETURN(std::string_view name,
+                         reader->ReadLengthPrefixed());
+  DDGMS_ASSIGN_OR_RETURN(uint8_t type_tag, reader->ReadU8());
+  if (type_tag == 0 || type_tag > static_cast<uint8_t>(DataType::kDate)) {
+    return Status::ParseError(
+        StrFormat("bad column type tag %u for column '%s'",
+                  static_cast<unsigned>(type_tag),
+                  std::string(name).c_str()));
+  }
+  const DataType type = static_cast<DataType>(type_tag);
+  DDGMS_ASSIGN_OR_RETURN(std::string_view bitmap,
+                         reader->ReadBytes((rows + 7) / 8));
+  auto valid = [&bitmap](size_t i) {
+    return (static_cast<unsigned char>(bitmap[i / 8]) >> (i % 8)) & 1u;
+  };
+  ColumnVector col(std::string(name), type);
+  for (size_t i = 0; i < rows; ++i) {
+    switch (type) {
+      case DataType::kBool: {
+        DDGMS_ASSIGN_OR_RETURN(uint8_t v, reader->ReadU8());
+        if (valid(i)) {
+          col.AppendBool(v != 0);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kInt64: {
+        DDGMS_ASSIGN_OR_RETURN(int64_t v, reader->ReadI64());
+        if (valid(i)) {
+          col.AppendInt(v);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kDouble: {
+        DDGMS_ASSIGN_OR_RETURN(double v, reader->ReadF64());
+        if (valid(i)) {
+          col.AppendDouble(v);
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kDate: {
+        DDGMS_ASSIGN_OR_RETURN(int32_t v, reader->ReadI32());
+        if (valid(i)) {
+          col.AppendDate(Date(v));
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kString: {
+        DDGMS_ASSIGN_OR_RETURN(std::string_view v,
+                               reader->ReadLengthPrefixed());
+        if (valid(i)) {
+          col.AppendString(std::string(v));
+        } else {
+          col.AppendNull();
+        }
+        break;
+      }
+      case DataType::kNull:
+        return Status::ParseError("null-typed column in snapshot");
+    }
+  }
+  return col;
+}
+
+void AppendSection(std::string* out, SectionKind kind,
+                   std::string_view name, std::string_view payload) {
+  PutU8(out, static_cast<uint8_t>(kind));
+  PutLengthPrefixed(out, name);
+  PutU64(out, payload.size());
+  PutU32(out, MaskCrc32c(Crc32c(payload)));
+  out->append(payload.data(), payload.size());
+}
+
+struct Section {
+  SectionKind kind;
+  std::string name;
+  std::string_view payload;
+};
+
+Result<Section> ReadSection(ByteReader* reader) {
+  DDGMS_ASSIGN_OR_RETURN(uint8_t kind, reader->ReadU8());
+  if (kind < kSchemaSection || kind > kDimensionSection) {
+    return Status::ParseError(
+        StrFormat("bad snapshot section kind %u at offset %zu",
+                  static_cast<unsigned>(kind), reader->offset() - 1));
+  }
+  DDGMS_ASSIGN_OR_RETURN(std::string_view name,
+                         reader->ReadLengthPrefixed());
+  DDGMS_ASSIGN_OR_RETURN(uint64_t payload_len, reader->ReadU64());
+  DDGMS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader->ReadU32());
+  DDGMS_ASSIGN_OR_RETURN(std::string_view payload,
+                         reader->ReadBytes(payload_len));
+  if (MaskCrc32c(Crc32c(payload)) != stored_crc) {
+    return Status::DataLoss(
+        StrFormat("checksum mismatch in snapshot section '%s' "
+                  "(%llu payload bytes)",
+                  std::string(name).c_str(),
+                  static_cast<unsigned long long>(payload_len)));
+  }
+  return Section{static_cast<SectionKind>(kind), std::string(name),
+                 payload};
+}
+
+}  // namespace
+
+void EncodeTable(const Table& table, std::string* out) {
+  PutU32(out, static_cast<uint32_t>(table.num_columns()));
+  PutU64(out, table.num_rows());
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    EncodeColumn(table.column(c), out);
+  }
+}
+
+Result<Table> DecodeTable(std::string_view bytes) {
+  ByteReader reader(bytes);
+  DDGMS_ASSIGN_OR_RETURN(uint32_t num_columns, reader.ReadU32());
+  DDGMS_ASSIGN_OR_RETURN(uint64_t num_rows, reader.ReadU64());
+  Table table;
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    DDGMS_ASSIGN_OR_RETURN(ColumnVector col,
+                           DecodeColumn(&reader, num_rows));
+    DDGMS_RETURN_IF_ERROR(table.AddColumn(std::move(col)));
+  }
+  if (reader.remaining() != 0) {
+    return Status::ParseError(
+        StrFormat("%zu trailing bytes after table payload",
+                  reader.remaining()));
+  }
+  return table;
+}
+
+std::string EncodeSnapshot(const Warehouse& wh) {
+  std::string out;
+  out.append(kMagic, kMagicSize);
+  PutU32(&out, kSnapshotFormatVersion);
+  PutU32(&out, static_cast<uint32_t>(2 + wh.dimensions().size()));
+  PutU32(&out, MaskCrc32c(Crc32c(out)));
+
+  AppendSection(&out, kSchemaSection, "schema",
+                SerializeSchemaDef(wh.def()));
+  std::string payload;
+  EncodeTable(wh.fact(), &payload);
+  AppendSection(&out, kFactSection, "fact", payload);
+  for (const Dimension& dim : wh.dimensions()) {
+    payload.clear();
+    EncodeTable(dim.table(), &payload);
+    AppendSection(&out, kDimensionSection, dim.name(), payload);
+  }
+  return out;
+}
+
+Result<Warehouse> DecodeSnapshot(std::string_view bytes) {
+  ByteReader reader(bytes);
+  DDGMS_ASSIGN_OR_RETURN(std::string_view magic,
+                         reader.ReadBytes(kMagicSize));
+  if (magic != std::string_view(kMagic, kMagicSize)) {
+    return Status::ParseError("not a ddgms snapshot (bad magic)");
+  }
+  DDGMS_ASSIGN_OR_RETURN(uint32_t version, reader.ReadU32());
+  if (version != kSnapshotFormatVersion) {
+    return Status::ParseError(
+        StrFormat("unsupported snapshot format version %u", version));
+  }
+  DDGMS_ASSIGN_OR_RETURN(uint32_t section_count, reader.ReadU32());
+  DDGMS_ASSIGN_OR_RETURN(uint32_t stored_crc, reader.ReadU32());
+  if (MaskCrc32c(Crc32c(bytes.substr(0, kMagicSize + 8))) != stored_crc) {
+    return Status::DataLoss("snapshot header checksum mismatch");
+  }
+
+  const StarSchemaDef* parsed_def = nullptr;
+  StarSchemaDef def;
+  bool have_fact = false;
+  Table fact;
+  std::vector<std::pair<std::string, Table>> dim_tables;
+  for (uint32_t s = 0; s < section_count; ++s) {
+    DDGMS_FAULT_POINT("snapshot.read_section");
+    DDGMS_ASSIGN_OR_RETURN(Section section, ReadSection(&reader));
+    switch (section.kind) {
+      case kSchemaSection: {
+        DDGMS_ASSIGN_OR_RETURN(
+            def, ParseSchemaDef(std::string(section.payload)));
+        parsed_def = &def;
+        break;
+      }
+      case kFactSection: {
+        DDGMS_ASSIGN_OR_RETURN(fact, DecodeTable(section.payload));
+        have_fact = true;
+        break;
+      }
+      case kDimensionSection: {
+        DDGMS_ASSIGN_OR_RETURN(Table dim_table,
+                               DecodeTable(section.payload));
+        dim_tables.emplace_back(section.name, std::move(dim_table));
+        break;
+      }
+    }
+  }
+  if (reader.remaining() != 0) {
+    return Status::DataLoss(
+        StrFormat("%zu trailing bytes after last snapshot section",
+                  reader.remaining()));
+  }
+  if (parsed_def == nullptr || !have_fact) {
+    return Status::DataLoss("snapshot is missing schema or fact section");
+  }
+
+  // Assemble dimensions in schema order so surrogate keys line up.
+  std::vector<Dimension> dimensions;
+  dimensions.reserve(def.dimensions.size());
+  for (const DimensionDef& dim_def : def.dimensions) {
+    Table* found = nullptr;
+    for (auto& [name, dim_table] : dim_tables) {
+      if (name == dim_def.name) {
+        found = &dim_table;
+        break;
+      }
+    }
+    if (found == nullptr) {
+      return Status::DataLoss("snapshot is missing dimension table '" +
+                              dim_def.name + "'");
+    }
+    dimensions.emplace_back(dim_def, std::move(*found));
+  }
+
+  Warehouse wh(std::move(def), std::move(fact), std::move(dimensions));
+  IntegrityReport report = wh.CheckIntegrity();
+  if (!report.ok) {
+    return Status::DataLoss(
+        "snapshot decoded but failed warehouse integrity check:\n" +
+        report.ToString());
+  }
+  return wh;
+}
+
+Status WriteSnapshotFile(const Warehouse& wh, const std::string& path,
+                         bool sync) {
+  DDGMS_FAULT_POINT("snapshot.write");
+  return WriteFileDurable(path, EncodeSnapshot(wh), sync);
+}
+
+Result<Warehouse> ReadSnapshotFile(const std::string& path) {
+  DDGMS_FAULT_POINT("snapshot.read");
+  DDGMS_ASSIGN_OR_RETURN(std::string bytes, ReadFileBinary(path));
+  return DecodeSnapshot(bytes);
+}
+
+}  // namespace ddgms::warehouse

@@ -1,0 +1,68 @@
+#ifndef DDGMS_WAREHOUSE_SNAPSHOT_H_
+#define DDGMS_WAREHOUSE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "table/table.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms::warehouse {
+
+/// -------------------------------------------------------------------
+/// Binary columnar snapshot format (.ddws)
+///
+/// One self-contained file holding a whole warehouse, replacing the
+/// lossy CSV round-trip for durable storage. Layout:
+///
+///   header   "DDWSNAP1" magic, u32 version, u32 section count,
+///            u32 masked CRC32C of the preceding header bytes
+///   section* u8 kind, length-prefixed name, u64 payload length,
+///            u32 masked CRC32C of payload, payload bytes
+///
+/// Section kinds: 1 = star-schema declaration (schema text), 2 = fact
+/// table, 3 = dimension table (name = dimension name). Table payloads
+/// are columnar: per column a length-prefixed name, a type tag, a
+/// packed null bitmap, then a typed page — raw little-endian int64 /
+/// IEEE-754 double / int32 day-count / byte bools, and length-prefixed
+/// bytes for strings — so numeric values round-trip bit-exactly and
+/// empty strings stay distinct from nulls (the documented CSV caveat
+/// does not exist here).
+///
+/// Every reader verifies the header CRC before trusting the section
+/// count and each section CRC before decoding the payload: torn
+/// writes, short reads and bit flips all surface as DataLoss, never as
+/// silently wrong data.
+/// -------------------------------------------------------------------
+
+inline constexpr uint32_t kSnapshotFormatVersion = 1;
+
+/// Serializes one table as a columnar payload (shared with the
+/// write-ahead journal, whose batch records carry the same encoding).
+void EncodeTable(const Table& table, std::string* out);
+
+/// Decodes a columnar table payload; DataLoss on truncation, ParseError
+/// on malformed structure.
+Result<Table> DecodeTable(std::string_view bytes);
+
+/// Serializes a whole warehouse into a snapshot image.
+std::string EncodeSnapshot(const Warehouse& wh);
+
+/// Parses and CRC-verifies a snapshot image, then re-checks warehouse
+/// integrity (foreign keys, hierarchies) before returning it.
+Result<Warehouse> DecodeSnapshot(std::string_view bytes);
+
+/// Writes a snapshot atomically (temp file + fsync + rename; see
+/// WriteFileDurable). After a crash, `path` is either absent, the old
+/// snapshot, or the complete new one.
+Status WriteSnapshotFile(const Warehouse& wh, const std::string& path,
+                         bool sync = true);
+
+/// Reads and fully verifies a snapshot file.
+Result<Warehouse> ReadSnapshotFile(const std::string& path);
+
+}  // namespace ddgms::warehouse
+
+#endif  // DDGMS_WAREHOUSE_SNAPSHOT_H_

@@ -1,5 +1,6 @@
 #include "warehouse/warehouse.h"
 
+#include <atomic>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -11,6 +12,11 @@
 #include "common/trace.h"
 
 namespace ddgms::warehouse {
+
+uint64_t NextWarehouseGeneration() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Result<Value> Dimension::AttributeValue(int64_t key,
                                         const std::string& attribute) const {
@@ -211,6 +217,7 @@ Status Warehouse::AddFeedbackDimension(
   DDGMS_RETURN_IF_ERROR(fact_.AddColumn(std::move(key_col)));
   dimensions_.emplace_back(std::move(dim_def), std::move(dim_table));
   def_.dimensions.push_back(dimensions_.back().def());
+  generation_ = NextWarehouseGeneration();
   return Status::OK();
 }
 
@@ -288,6 +295,7 @@ Status Warehouse::AppendRows(const Table& source) {
     }
     DDGMS_RETURN_IF_ERROR(fact_.AppendRow(fact_row));
   }
+  generation_ = NextWarehouseGeneration();
   return Status::OK();
 }
 

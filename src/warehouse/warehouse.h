@@ -1,6 +1,7 @@
 #ifndef DDGMS_WAREHOUSE_WAREHOUSE_H_
 #define DDGMS_WAREHOUSE_WAREHOUSE_H_
 
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <unordered_map>
@@ -12,6 +13,10 @@
 #include "warehouse/schema_def.h"
 
 namespace ddgms::warehouse {
+
+/// Process-wide monotonic stamp source for Warehouse::generation().
+/// Starts at 1, so 0 is a safe "never seen" sentinel for caches.
+uint64_t NextWarehouseGeneration();
 
 /// A populated dimension table: surrogate keys 0..n-1 (the row index)
 /// plus one column per attribute. Member rows are unique attribute
@@ -81,6 +86,14 @@ class Warehouse {
   size_t num_fact_rows() const { return fact_.num_rows(); }
   const std::vector<Dimension>& dimensions() const { return dimensions_; }
 
+  /// Monotonic change stamp: a fresh value is assigned at construction
+  /// and after every mutating operation (AppendRows,
+  /// AddFeedbackDimension), and travels with move-assignment, so a
+  /// rebuilt/reloaded/recovered warehouse never repeats a stamp.
+  /// Caches key on this instead of the fact-row count — it catches a
+  /// reload that happens to restore the same number of rows.
+  uint64_t generation() const { return generation_; }
+
   /// Dimension lookup by name.
   Result<const Dimension*> dimension(const std::string& name) const;
   Result<Dimension*> mutable_dimension(const std::string& name);
@@ -129,6 +142,7 @@ class Warehouse {
   StarSchemaDef def_;
   Table fact_;
   std::vector<Dimension> dimensions_;
+  uint64_t generation_ = NextWarehouseGeneration();
 };
 
 /// How StarSchemaBuilder reacts to source rows that cannot be wired

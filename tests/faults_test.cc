@@ -96,6 +96,91 @@ TEST_F(FaultsTest, RetryPolicyBackoffIsExponentialAndCapped) {
   EXPECT_DOUBLE_EQ(policy.DelayMsForRetry(3), 40.0);
   EXPECT_DOUBLE_EQ(policy.DelayMsForRetry(4), 50.0);  // capped
   EXPECT_DOUBLE_EQ(policy.DelayMsForRetry(10), 50.0);
+  // Retry 0 and negative are degenerate but must stay within bounds.
+  EXPECT_DOUBLE_EQ(policy.DelayMsForRetry(0), 10.0);
+  EXPECT_GE(policy.DelayMsForRetry(1), 0.0);
+  // A base above the cap is clamped from the first retry.
+  policy.base_delay_ms = 500.0;
+  EXPECT_DOUBLE_EQ(policy.DelayMsForRetry(1), 50.0);
+}
+
+TEST_F(FaultsTest, JitteredDelayStaysWithinBoundsAndIsDeterministic) {
+  RetryPolicy policy;
+  policy.base_delay_ms = 10.0;
+  policy.backoff_factor = 2.0;
+  policy.max_delay_ms = 50.0;
+  policy.jitter_fraction = 0.5;
+
+  // No jitter configured -> identical to the pure schedule.
+  RetryPolicy plain = policy;
+  plain.jitter_fraction = 0.0;
+  Rng rng0(7);
+  EXPECT_DOUBLE_EQ(plain.JitteredDelayMsForRetry(2, rng0), 20.0);
+
+  // Every draw lands in [delay*(1-j), delay*(1+j)], clamped to the
+  // policy's max.
+  Rng rng1(7);
+  for (int retry = 1; retry <= 6; ++retry) {
+    const double pure = policy.DelayMsForRetry(retry);
+    const double jittered = policy.JitteredDelayMsForRetry(retry, rng1);
+    EXPECT_GE(jittered, pure * 0.5) << "retry " << retry;
+    EXPECT_LE(jittered, std::min(pure * 1.5, policy.max_delay_ms))
+        << "retry " << retry;
+  }
+
+  // Same seed, same sequence: retry storms are reproducible in tests.
+  Rng a(11);
+  Rng b(11);
+  for (int retry = 1; retry <= 4; ++retry) {
+    EXPECT_DOUBLE_EQ(policy.JitteredDelayMsForRetry(retry, a),
+                     policy.JitteredDelayMsForRetry(retry, b));
+  }
+}
+
+TEST_F(FaultsTest, RetryRespectsTotalDeadline) {
+  // A deadline of 0 (default) means unlimited: all attempts run.
+  int calls = 0;
+  RetryPolicy unlimited;
+  unlimited.max_attempts = 4;
+  unlimited.base_delay_ms = 0.0;
+  unlimited.max_delay_ms = 0.0;
+  Status st = Retry(unlimited, [&] {
+    ++calls;
+    return Status::DataLoss("flaky");
+  });
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_EQ(calls, 4);
+
+  // A deadline smaller than the first backoff stops after one attempt:
+  // Retry refuses to sleep into a blown budget and hands back the
+  // transient error while the caller can still act on it.
+  calls = 0;
+  RetryPolicy tight;
+  tight.max_attempts = 10;
+  tight.base_delay_ms = 50.0;
+  tight.total_deadline_ms = 1.0;
+  RetryStats stats;
+  st = Retry(tight, [&] {
+    ++calls;
+    return Status::DataLoss("flaky");
+  }, &stats);
+  EXPECT_TRUE(st.IsDataLoss());
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(stats.attempts, 1);
+  EXPECT_TRUE(stats.transient_failures.empty());
+
+  // A roomy deadline changes nothing for a fast success.
+  calls = 0;
+  RetryPolicy roomy;
+  roomy.max_attempts = 3;
+  roomy.base_delay_ms = 0.0;
+  roomy.total_deadline_ms = 60000.0;
+  st = Retry(roomy, [&] {
+    ++calls;
+    return calls < 2 ? Status::DataLoss("flaky") : Status::OK();
+  });
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(calls, 2);
 }
 
 TEST_F(FaultsTest, RetryAbsorbsTransientFailuresWithinBudget) {

@@ -1,0 +1,748 @@
+// Crash-safety tests for the durable warehouse tier: snapshot codec
+// round-trips, journal replay/truncation, the commit protocol, and a
+// fault-injection crash matrix asserting the durability invariant —
+// after a failure at ANY write step, recovery yields either the full
+// acknowledged state or a loud error, never silently wrong data.
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "common/faults.h"
+#include "common/io.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "gtest/gtest.h"
+#include "olap/cache.h"
+#include "table/table.h"
+#include "warehouse/journal.h"
+#include "warehouse/persist.h"
+#include "warehouse/snapshot.h"
+#include "warehouse/warehouse.h"
+
+namespace ddgms {
+namespace {
+
+// ------------------------------------------------------------ helpers
+
+/// Transformed DiScRi batch in Warehouse::AppendRows source form.
+Table MakeBatch(size_t patients, uint64_t seed) {
+  discri::CohortOptions opt;
+  opt.num_patients = patients;
+  opt.seed = seed;
+  auto raw = discri::GenerateCohort(opt);
+  EXPECT_TRUE(raw.ok()) << raw.status().ToString();
+  Table batch = std::move(raw).value();
+  auto pipeline = discri::MakeDiscriPipeline();
+  EXPECT_TRUE(pipeline.Run(&batch).ok());
+  return batch;
+}
+
+Result<warehouse::Warehouse> MakeWarehouse(size_t patients,
+                                           uint64_t seed) {
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  return builder.Build(MakeBatch(patients, seed));
+}
+
+/// Fresh empty directory under the test temp root.
+std::string FreshDir(const std::string& name) {
+  std::string dir = testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void CorruptFile(const std::string& path, size_t offset) {
+  auto bytes = ReadFileBinary(path);
+  ASSERT_TRUE(bytes.ok()) << bytes.status().ToString();
+  ASSERT_LT(offset, bytes->size());
+  (*bytes)[offset] ^= 0x5a;
+  ASSERT_TRUE(WriteFileDurable(path, *bytes, /*sync=*/false).ok());
+}
+
+olap::CubeQuery CountByGenderQuery() {
+  olap::CubeQuery q;
+  q.axes = {{"PersonalInformation", "Gender", {}}};
+  q.measures = {{AggFn::kCount, "", "n"}};
+  return q;
+}
+
+// ----------------------------------------------------- snapshot codec
+
+TEST(SnapshotCodecTest, RoundTripBitExact) {
+  auto wh = MakeWarehouse(120, 7);
+  ASSERT_TRUE(wh.ok()) << wh.status().ToString();
+  std::string image = warehouse::EncodeSnapshot(*wh);
+  auto decoded = warehouse::DecodeSnapshot(image);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->num_fact_rows(), wh->num_fact_rows());
+  EXPECT_EQ(decoded->dimensions().size(), wh->dimensions().size());
+  EXPECT_TRUE(decoded->CheckIntegrity().ok);
+  // Bit-exactness: the decoded warehouse re-encodes to the identical
+  // byte string, so every double, date and string survived untouched.
+  EXPECT_EQ(warehouse::EncodeSnapshot(*decoded), image);
+  // Same OLAP answers.
+  olap::CubeEngine a(&*wh);
+  olap::CubeEngine b(&*decoded);
+  auto ca = a.Execute(CountByGenderQuery());
+  auto cb = b.Execute(CountByGenderQuery());
+  ASSERT_TRUE(ca.ok());
+  ASSERT_TRUE(cb.ok());
+  for (const Value& m : ca->AxisMembers(0)) {
+    EXPECT_EQ(ca->CellValue({m}), cb->CellValue({m}));
+  }
+}
+
+TEST(SnapshotCodecTest, TableEmptyStringDistinctFromNull) {
+  ColumnVector col("Note", DataType::kString);
+  col.AppendString("x");
+  col.AppendString("");  // present but empty
+  col.AppendNull();
+  Table t;
+  ASSERT_TRUE(t.AddColumn(std::move(col)).ok());
+
+  std::string bytes;
+  warehouse::EncodeTable(t, &bytes);
+  auto back = warehouse::DecodeTable(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_FALSE(back->column(0).IsNull(1));
+  EXPECT_EQ(back->GetCell(1, "Note")->string_value(), "");
+  EXPECT_TRUE(back->column(0).IsNull(2));
+}
+
+TEST(SnapshotCodecTest, EveryTruncationDetected) {
+  auto wh = MakeWarehouse(30, 11);
+  ASSERT_TRUE(wh.ok());
+  std::string image = warehouse::EncodeSnapshot(*wh);
+  // A snapshot cut off at any point must never decode.
+  const size_t step = image.size() / 41 + 1;
+  for (size_t cut = 0; cut < image.size(); cut += step) {
+    auto r = warehouse::DecodeSnapshot(
+        std::string_view(image).substr(0, cut));
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes decoded";
+  }
+}
+
+TEST(SnapshotCodecTest, EveryBitFlipDetected) {
+  auto wh = MakeWarehouse(30, 13);
+  ASSERT_TRUE(wh.ok());
+  std::string image = warehouse::EncodeSnapshot(*wh);
+  const size_t step = image.size() / 41 + 1;
+  for (size_t at = 0; at < image.size(); at += step) {
+    std::string bad = image;
+    bad[at] = static_cast<char>(bad[at] ^ 0x40);
+    auto r = warehouse::DecodeSnapshot(bad);
+    EXPECT_FALSE(r.ok()) << "flip at byte " << at << " went unnoticed";
+  }
+}
+
+TEST(SnapshotCodecTest, FileRoundTripAndShortRead) {
+  std::string dir = FreshDir("ddgms_snap_file");
+  auto wh = MakeWarehouse(40, 17);
+  ASSERT_TRUE(wh.ok());
+  std::string path = dir + "/wh.ddws";
+  ASSERT_TRUE(
+      warehouse::WriteSnapshotFile(*wh, path, /*sync=*/false).ok());
+  auto back = warehouse::ReadSnapshotFile(path);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->num_fact_rows(), wh->num_fact_rows());
+  // Short read (torn write surfaced at the file layer).
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  ASSERT_TRUE(TruncateFile(path, *size / 2).ok());
+  EXPECT_FALSE(warehouse::ReadSnapshotFile(path).ok());
+}
+
+// ------------------------------------------------- CSV empty strings
+
+TEST(CsvEmptyStringTest, QuotedEmptyRoundTripsBareEmptyStaysNull) {
+  ColumnVector ids("Id", DataType::kInt64);
+  ids.AppendInt(1);
+  ids.AppendInt(2);
+  ids.AppendInt(3);
+  ColumnVector col("Note", DataType::kString);
+  col.AppendString("hello");
+  col.AppendString("");
+  col.AppendNull();
+  Table t;
+  ASSERT_TRUE(t.AddColumn(std::move(ids)).ok());
+  ASSERT_TRUE(t.AddColumn(std::move(col)).ok());
+
+  CsvWriteOptions wopt;
+  wopt.quote_empty_strings = true;
+  std::string csv = t.ToCsv(wopt);
+  // The empty string is written quoted, the null bare.
+  EXPECT_NE(csv.find("\"\""), std::string::npos);
+
+  CsvReadOptions ropt;
+  ropt.quoted_empty_is_string = true;
+  auto back = Table::FromCsv(csv, ropt);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->num_rows(), 3u);
+  EXPECT_FALSE(back->column(1).IsNull(1));
+  EXPECT_EQ(back->GetCell(1, "Note")->string_value(), "");
+  EXPECT_TRUE(back->column(1).IsNull(2));
+
+  // Files written before the quoted-empty encoding (bare empties
+  // everywhere) still read exactly as they always did: null.
+  auto legacy = Table::FromCsv("Id,Note\n1,hello\n2,\n", ropt);
+  ASSERT_TRUE(legacy.ok());
+  ASSERT_EQ(legacy->num_rows(), 2u);
+  EXPECT_TRUE(legacy->column(1).IsNull(1));
+}
+
+TEST(CsvEmptyStringTest, SaveLoadWarehousePreservesEmptyStrings) {
+  // End-to-end through the CSV persistence tier: a dimension member
+  // whose attribute is the empty string must come back as "" (not
+  // null), or integrity checks would pass while queries change.
+  std::string dir = FreshDir("ddgms_csv_empty");
+  auto wh = MakeWarehouse(50, 19);
+  ASSERT_TRUE(wh.ok());
+  ASSERT_TRUE(warehouse::SaveWarehouse(*wh, dir).ok());
+  auto loaded = warehouse::LoadWarehouse(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_fact_rows(), wh->num_fact_rows());
+}
+
+// ------------------------------------------------------------ journal
+
+TEST(JournalTest, AppendReplayRoundTrip) {
+  std::string dir = FreshDir("ddgms_journal_rt");
+  std::string path = dir + "/j.wal";
+  Table b1 = MakeBatch(20, 23);
+  Table b2 = MakeBatch(10, 29);
+  {
+    auto writer = warehouse::JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBatch(b1, /*sync=*/false).ok());
+    ASSERT_TRUE(writer->AppendBatch(b2, /*sync=*/false).ok());
+  }
+  std::vector<size_t> rows;
+  auto stats = warehouse::ReplayJournal(
+      path, [&](Table batch, size_t) {
+        rows.push_back(batch.num_rows());
+        return Status::OK();
+      });
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_TRUE(stats->clean());
+  EXPECT_EQ(stats->records_applied, 2u);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], b1.num_rows());
+  EXPECT_EQ(rows[1], b2.num_rows());
+  ASSERT_EQ(stats->record_end_offsets.size(), 2u);
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(stats->record_end_offsets[1], *size);
+}
+
+TEST(JournalTest, MissingJournalIsEmpty) {
+  auto stats = warehouse::ReplayJournal(
+      testing::TempDir() + "/ddgms_no_such.wal",
+      [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_TRUE(stats->clean());
+  EXPECT_EQ(stats->records_applied, 0u);
+}
+
+TEST(JournalTest, TornTailDetectedAndTruncated) {
+  std::string dir = FreshDir("ddgms_journal_torn");
+  std::string path = dir + "/j.wal";
+  {
+    auto writer = warehouse::JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBatch(MakeBatch(15, 31), false).ok());
+    ASSERT_TRUE(writer->AppendBatch(MakeBatch(15, 37), false).ok());
+  }
+  auto size = FileSize(path);
+  ASSERT_TRUE(size.ok());
+  // Tear the second record: keep its header plus some payload.
+  auto clean_stats = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(clean_stats.ok());
+  const uint64_t first_end = clean_stats->record_end_offsets[0];
+  ASSERT_TRUE(TruncateFile(path, first_end + 40).ok());
+
+  auto stats = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_FALSE(stats->clean());
+  EXPECT_EQ(stats->records_applied, 1u);
+  EXPECT_EQ(stats->valid_bytes, first_end);
+  EXPECT_EQ(stats->dropped_bytes, 40u);
+
+  ASSERT_TRUE(warehouse::TruncateJournalTail(path, *stats).ok());
+  auto after = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(after->clean());
+  EXPECT_EQ(after->records_applied, 1u);
+}
+
+TEST(JournalTest, CorruptRecordStopsReplay) {
+  std::string dir = FreshDir("ddgms_journal_flip");
+  std::string path = dir + "/j.wal";
+  {
+    auto writer = warehouse::JournalWriter::Open(path);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer->AppendBatch(MakeBatch(12, 41), false).ok());
+    ASSERT_TRUE(writer->AppendBatch(MakeBatch(12, 43), false).ok());
+  }
+  auto clean_stats = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(clean_stats.ok());
+  // Flip a payload byte inside the second record.
+  CorruptFile(path, clean_stats->record_end_offsets[0] + 20);
+  auto stats = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->records_applied, 1u);
+  EXPECT_FALSE(stats->clean());
+
+  // Flip inside the first record: nothing applies.
+  CorruptFile(path, 16);
+  auto none = warehouse::ReplayJournal(
+      path, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(none.ok());
+  EXPECT_EQ(none->records_applied, 0u);
+  EXPECT_EQ(none->valid_bytes, 0u);
+}
+
+// ----------------------------------------------------- durable store
+
+warehouse::DurabilityOptions FastOptions() {
+  warehouse::DurabilityOptions opt;
+  opt.sync = false;  // no power-loss simulation in these tests
+  return opt;
+}
+
+TEST(DurableStoreTest, CommitLoadRoundTrip) {
+  std::string dir = FreshDir("ddgms_store_rt");
+  auto wh = MakeWarehouse(60, 47);
+  ASSERT_TRUE(wh.ok());
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    EXPECT_FALSE(store->has_snapshot());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    EXPECT_EQ(store->seq(), 1u);
+  }
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->seq(), 1u);
+  auto loaded = store->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_fact_rows(), wh->num_fact_rows());
+  EXPECT_TRUE(loaded->CheckIntegrity().ok);
+}
+
+TEST(DurableStoreTest, JournaledBatchesReplayOnLoad) {
+  std::string dir = FreshDir("ddgms_store_journal");
+  auto wh = MakeWarehouse(40, 53);
+  ASSERT_TRUE(wh.ok());
+  Table b1 = MakeBatch(10, 59);
+  Table b2 = MakeBatch(5, 61);
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(b1).ok());
+    ASSERT_TRUE(store->AppendBatch(b2).ok());
+  }
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  auto loaded = store->Load();
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_fact_rows(),
+            wh->num_fact_rows() + b1.num_rows() + b2.num_rows());
+  EXPECT_TRUE(loaded->CheckIntegrity().ok);
+  // Checkpointing compacts the journal into generation 2.
+  ASSERT_TRUE(store->CommitSnapshot(*loaded).ok());
+  EXPECT_EQ(store->seq(), 2u);
+  auto size = FileSize(store->JournalPath(2));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST(DurableStoreTest, AppendBeforeCommitFails) {
+  std::string dir = FreshDir("ddgms_store_nocommit");
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->AppendBatch(MakeBatch(3, 67)).IsFailedPrecondition());
+  EXPECT_TRUE(store->Load().status().IsNotFound());
+}
+
+TEST(DurableStoreTest, PruneKeepsRetentionWindow) {
+  std::string dir = FreshDir("ddgms_store_prune");
+  auto wh = MakeWarehouse(20, 71);
+  ASSERT_TRUE(wh.ok());
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+  }
+  EXPECT_EQ(store->seq(), 3u);
+  EXPECT_FALSE(FileExists(store->SnapshotPath(1)));
+  EXPECT_TRUE(FileExists(store->SnapshotPath(2)));
+  EXPECT_TRUE(FileExists(store->SnapshotPath(3)));
+}
+
+TEST(DurableStoreTest, CorruptManifestLoadFailsRecoverScans) {
+  std::string dir = FreshDir("ddgms_store_badmanifest");
+  auto wh = MakeWarehouse(30, 73);
+  ASSERT_TRUE(wh.ok());
+  Table batch = MakeBatch(8, 79);
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(batch).ok());
+  }
+  CorruptFile(dir + "/MANIFEST", 4);
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());  // Open tolerates it; Load must not.
+    EXPECT_TRUE(store->Load().status().IsDataLoss());
+    warehouse::RecoveryReport report;
+    auto recovered = store->Recover(&report);
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    EXPECT_FALSE(report.manifest_intact);
+    EXPECT_EQ(report.seq, 1u);
+    EXPECT_EQ(report.journal_records_applied, 1u);
+    EXPECT_EQ(recovered->num_fact_rows(),
+              wh->num_fact_rows() + batch.num_rows());
+  }
+  // Recovery re-pointed the MANIFEST: a fresh strict load succeeds.
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->Load().ok());
+}
+
+TEST(DurableStoreTest, CorruptSnapshotFallsBackToPreviousGeneration) {
+  std::string dir = FreshDir("ddgms_store_fallback");
+  auto wh = MakeWarehouse(30, 83);
+  ASSERT_TRUE(wh.ok());
+  Table batch = MakeBatch(10, 89);
+  uint64_t expected_rows = 0;
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(batch).ok());
+    auto full = store->Load();
+    ASSERT_TRUE(full.ok());
+    expected_rows = full->num_fact_rows();
+    ASSERT_TRUE(store->CommitSnapshot(*full).ok());  // generation 2
+  }
+  // Generation 2's snapshot is destroyed; generation 1 + its journal
+  // hold the same logical state.
+  CorruptFile(dir + "/snapshot-000002.ddws", 100);
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  warehouse::RecoveryReport report;
+  auto recovered = store->Recover(&report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(report.used_fallback);
+  EXPECT_EQ(report.seq, 1u);
+  ASSERT_EQ(report.skipped_snapshots.size(), 1u);
+  EXPECT_EQ(recovered->num_fact_rows(), expected_rows);
+  EXPECT_FALSE(report.clean());
+}
+
+TEST(DurableStoreTest, TornJournalTailRecoveredAndTruncated) {
+  std::string dir = FreshDir("ddgms_store_torn");
+  auto wh = MakeWarehouse(30, 97);
+  ASSERT_TRUE(wh.ok());
+  Table batch = MakeBatch(10, 101);
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(batch).ok());
+    ASSERT_TRUE(store->AppendBatch(MakeBatch(10, 103)).ok());
+  }
+  // Tear the second record mid-payload, as a crash during a journaled
+  // acquisition would.
+  std::string journal = dir + "/journal-000001.wal";
+  auto stats = warehouse::ReplayJournal(
+      journal, [](Table, size_t) { return Status::OK(); });
+  ASSERT_TRUE(stats.ok());
+  ASSERT_TRUE(
+      TruncateFile(journal, stats->record_end_offsets[0] + 30).ok());
+
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->Load().status().IsDataLoss());  // strict says no
+  warehouse::RecoveryReport report;
+  auto recovered = store->Recover(&report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.journal_records_applied, 1u);
+  EXPECT_FALSE(report.journal_corruption.empty());
+  EXPECT_TRUE(report.journal_truncated);
+  EXPECT_GT(report.journal_bytes_dropped, 0u);
+  EXPECT_EQ(recovered->num_fact_rows(),
+            wh->num_fact_rows() + batch.num_rows());
+  // The journal is clean again: appends and strict loads both work.
+  Table more = MakeBatch(5, 107);
+  ASSERT_TRUE(store->AppendBatch(more).ok());
+  auto reopened =
+      warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(reopened.ok());
+  auto strict = reopened->Load();
+  ASSERT_TRUE(strict.ok()) << strict.status().ToString();
+  EXPECT_EQ(strict->num_fact_rows(),
+            wh->num_fact_rows() + batch.num_rows() + more.num_rows());
+}
+
+TEST(DurableStoreTest, UnappliableJournalRecordRollsBackToPrefix) {
+  std::string dir = FreshDir("ddgms_store_badrecord");
+  auto wh = MakeWarehouse(30, 109);
+  ASSERT_TRUE(wh.ok());
+  Table good = MakeBatch(10, 113);
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(good).ok());
+  }
+  // Append a record that decodes fine but cannot be applied (wrong
+  // schema — AppendRows will reject it).
+  {
+    auto writer =
+        warehouse::JournalWriter::Open(dir + "/journal-000001.wal");
+    ASSERT_TRUE(writer.ok());
+    ColumnVector col("NotAColumn", DataType::kInt64);
+    col.AppendInt(1);
+    Table bogus;
+    ASSERT_TRUE(bogus.AddColumn(std::move(col)).ok());
+    ASSERT_TRUE(writer->AppendBatch(bogus, /*sync=*/false).ok());
+  }
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_FALSE(store->Load().ok());
+  warehouse::RecoveryReport report;
+  auto recovered = store->Recover(&report);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(report.journal_records_applied, 1u);
+  EXPECT_EQ(report.journal_records_dropped, 1u);
+  EXPECT_TRUE(report.journal_truncated);
+  EXPECT_EQ(recovered->num_fact_rows(),
+            wh->num_fact_rows() + good.num_rows());
+  EXPECT_TRUE(recovered->CheckIntegrity().ok);
+}
+
+TEST(DurableStoreTest, NothingReadableFailsLoudly) {
+  std::string dir = FreshDir("ddgms_store_hopeless");
+  auto wh = MakeWarehouse(20, 127);
+  ASSERT_TRUE(wh.ok());
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+  }
+  CorruptFile(dir + "/snapshot-000001.ddws", 50);
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  warehouse::RecoveryReport report;
+  auto recovered = store->Recover(&report);
+  EXPECT_TRUE(recovered.status().IsDataLoss());
+  EXPECT_EQ(report.skipped_snapshots.size(), 1u);
+}
+
+// ------------------------------------------------------- crash matrix
+//
+// The durability invariant, checked at every write-path fault point:
+// whatever step fails, afterwards (a) every acknowledged batch is
+// still recoverable, (b) recovery itself succeeds, and (c) the store
+// ends in a state a strict Load accepts. Faults are injected as
+// errors at the exact syscalls a crash would tear.
+
+class CrashMatrixTest : public testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+TEST_P(CrashMatrixTest, RecoversAfterFaultAtEveryWriteStep) {
+  const std::string point = GetParam();
+  std::string dir =
+      FreshDir("ddgms_crash_" + std::to_string(
+          std::hash<std::string>{}(point) % 100000));
+  auto wh = MakeWarehouse(25, 131);
+  ASSERT_TRUE(wh.ok());
+  Table batch = MakeBatch(8, 137);
+  const size_t base_rows = wh->num_fact_rows();
+  const size_t full_rows = base_rows + batch.num_rows();
+
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+  warehouse::Warehouse full = *wh;
+  ASSERT_TRUE(full.AppendRows(batch).ok());
+
+  bool append_acknowledged = false;
+  {
+    // Every subsequent hit of the point fails, covering first-hit and
+    // retry-hit positions along both the append and commit paths.
+    FaultPlan plan;
+    plan.code = StatusCode::kDataLoss;
+    plan.fail_first = 1000;
+    ScopedFault fault(point, plan);
+    append_acknowledged = store->AppendBatch(batch).ok();
+    (void)store->CommitSnapshot(full);  // may fail; must not corrupt
+  }
+  FaultRegistry::Global().Reset();
+
+  auto reopened =
+      warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  warehouse::RecoveryReport report;
+  auto recovered = reopened->Recover(&report);
+  ASSERT_TRUE(recovered.ok())
+      << point << ": " << recovered.status().ToString();
+  EXPECT_TRUE(recovered->CheckIntegrity().ok) << point;
+  if (append_acknowledged) {
+    // An acknowledged append must survive whatever happened next.
+    EXPECT_EQ(recovered->num_fact_rows(), full_rows) << point;
+  } else {
+    EXPECT_TRUE(recovered->num_fact_rows() == base_rows ||
+                recovered->num_fact_rows() == full_rows)
+        << point << ": " << recovered->num_fact_rows();
+  }
+  // Recovery leaves a state the strict path accepts.
+  auto fresh = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(fresh.ok());
+  EXPECT_TRUE(fresh->Load().ok()) << point;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WritePath, CrashMatrixTest,
+    testing::Values("io.durable.open", "io.durable.write",
+                    "io.durable.sync", "io.durable.rename",
+                    "io.durable.dirsync", "io.append.open",
+                    "io.append.write", "io.append.sync",
+                    "snapshot.write", "journal.open",
+                    "journal.append_batch", "journal.sync",
+                    "persist.commit", "persist.manifest.write"));
+
+/// Read-side faults must surface loudly from the strict path and clear
+/// once the transient goes away.
+class ReadFaultTest : public testing::TestWithParam<const char*> {
+ protected:
+  void TearDown() override { FaultRegistry::Global().Reset(); }
+};
+
+TEST_P(ReadFaultTest, StrictLoadFailsLoudlyThenRecovers) {
+  const std::string point = GetParam();
+  std::string dir =
+      FreshDir("ddgms_readfault_" + std::to_string(
+          std::hash<std::string>{}(point) % 100000));
+  auto wh = MakeWarehouse(20, 139);
+  ASSERT_TRUE(wh.ok());
+  {
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    ASSERT_TRUE(store.ok());
+    ASSERT_TRUE(store->CommitSnapshot(*wh).ok());
+    ASSERT_TRUE(store->AppendBatch(MakeBatch(6, 149)).ok());
+  }
+  {
+    FaultPlan plan;
+    plan.code = StatusCode::kDataLoss;
+    plan.fail_first = 1000;
+    ScopedFault fault(point, plan);
+    auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+    if (store.ok()) {
+      EXPECT_FALSE(store->Load().ok()) << point;
+    }
+  }
+  FaultRegistry::Global().Reset();
+  auto store = warehouse::DurableWarehouseStore::Open(dir, FastOptions());
+  ASSERT_TRUE(store.ok());
+  EXPECT_TRUE(store->Load().ok()) << point;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ReadPath, ReadFaultTest,
+    testing::Values("io.read_file", "snapshot.read",
+                    "snapshot.read_section", "journal.replay_record",
+                    "persist.load"));
+
+// ------------------------------------------- cache across recovery
+
+TEST(CacheRecoveryTest, GenerationStampInvalidatesOnReloadSameRowCount) {
+  // A recovered warehouse can have the same fact-row count as the
+  // cached one (here: an identical reload); the generation stamp
+  // (not a row-count heuristic) must still invalidate the cache.
+  auto wh1 = MakeWarehouse(40, 151);
+  auto wh2 = MakeWarehouse(40, 151);
+  ASSERT_TRUE(wh1.ok());
+  ASSERT_TRUE(wh2.ok());
+  ASSERT_EQ(wh1->num_fact_rows(), wh2->num_fact_rows());
+  ASSERT_NE(wh1->generation(), wh2->generation());
+
+  warehouse::Warehouse wh = std::move(wh1).value();
+  olap::CachingCubeEngine engine(&wh);
+  ASSERT_TRUE(engine.Execute(CountByGenderQuery()).ok());
+  ASSERT_TRUE(engine.Execute(CountByGenderQuery()).ok());
+  EXPECT_EQ(engine.hits(), 1u);
+  const size_t misses_before = engine.misses();
+
+  // In-place reload, as LoadDurable/RecoverDurable's facade does.
+  wh = std::move(wh2).value();
+  auto after = engine.Execute(CountByGenderQuery());
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(engine.misses(), misses_before + 1);
+  int64_t total = 0;
+  for (const Value& m : (*after)->AxisMembers(0)) {
+    total += (*after)->CellValue({m}).int_value();
+  }
+  EXPECT_EQ(total, static_cast<int64_t>(wh.num_fact_rows()));
+}
+
+// -------------------------------------------------- facade round trip
+
+TEST(DurableFacadeTest, AttachAcquireLoadRecover) {
+  std::string dir = FreshDir("ddgms_facade");
+  discri::CohortOptions opt;
+  opt.num_patients = 50;
+  opt.seed = 163;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+  EXPECT_FALSE(dgms->durable());
+  EXPECT_TRUE(dgms->Checkpoint().IsFailedPrecondition());
+  warehouse::DurabilityOptions fast = FastOptions();
+  ASSERT_TRUE(dgms->AttachDurableStorage(dir, fast).ok());
+  EXPECT_TRUE(dgms->durable());
+  EXPECT_TRUE(
+      dgms->AttachDurableStorage(dir, fast).IsFailedPrecondition());
+
+  opt.num_patients = 20;
+  opt.seed = 167;
+  auto extra = discri::GenerateCohort(opt);
+  ASSERT_TRUE(extra.ok());
+  ASSERT_TRUE(dgms->AcquireData(*extra).ok());
+  const size_t rows = dgms->warehouse().num_fact_rows();
+
+  // Strict load sees snapshot + journaled acquisition.
+  auto loaded = core::DdDgms::LoadDurable(
+      dir, discri::MakeDiscriPipeline(), {}, fast);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->warehouse().num_fact_rows(), rows);
+  auto mdx = loaded->QueryMdx(
+      "SELECT [PersonalInformation].[Gender].Members ON ROWS "
+      "FROM [MedicalMeasures]");
+  ASSERT_TRUE(mdx.ok()) << mdx.status().ToString();
+
+  warehouse::RecoveryReport report;
+  auto recovered = core::DdDgms::RecoverDurable(
+      dir, discri::MakeDiscriPipeline(), &report, {}, fast);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_TRUE(report.clean());
+  EXPECT_EQ(recovered->warehouse().num_fact_rows(), rows);
+}
+
+}  // namespace
+}  // namespace ddgms
