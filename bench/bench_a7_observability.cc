@@ -171,6 +171,72 @@ void BM_LogBelowMinLevel(benchmark::State& state) {
 }
 DDGMS_BENCHMARK(BM_LogBelowMinLevel);
 
+void BM_ChargeDisabled(benchmark::State& state) {
+  // The shipping default: one relaxed atomic load per charge site.
+  ResourceMeter::Disable();
+  for (auto _ : state) {
+    DDGMS_RESOURCE_CHARGE(64);
+  }
+}
+DDGMS_BENCHMARK(BM_ChargeDisabled);
+
+void BM_ChargeEnabled(benchmark::State& state) {
+  // TLS pool read + relaxed adds up the ancestor chain + peak CAS.
+  ResourceMeter::Enable();
+  ScopedAccounting accounting("olap.cube.cache");
+  for (auto _ : state) {
+    DDGMS_RESOURCE_CHARGE(64);
+  }
+  ResourceMeter::Disable();
+  ResourceMeter::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_ChargeEnabled);
+
+void BM_WarehouseBuildMetered(benchmark::State& state) {
+  // Full warehouse build with ONLY resource accounting on: the cost of
+  // per-append byte attribution, comparable against
+  // BM_WarehouseBuildInstrumentationOff.
+  const Table transformed = MakeCohort(600);
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  MetricsRegistry::Disable();
+  TraceCollector::Disable();
+  EventLog::Disable();
+  ResourceMeter::Enable();
+  for (auto _ : state) {
+    auto wh = builder.Build(transformed);
+    if (!wh.ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(wh);
+  }
+  // Keep the counters: with --iterations pinned the attributed peak is
+  // deterministic, and the harness exports it as meter_peak_bytes.
+  ResourceMeter::Disable();
+}
+DDGMS_BENCHMARK(BM_WarehouseBuildMetered)->Unit(benchmark::kMillisecond);
+
+void BM_WarehouseBuildProfiled(benchmark::State& state) {
+  // Build under the 99 Hz sampling profiler; acceptance budget is
+  // <= 5% over BM_WarehouseBuildInstrumentationOff.
+  const Table transformed = MakeCohort(600);
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  MetricsRegistry::Disable();
+  TraceCollector::Disable();
+  EventLog::Disable();
+  const bool profiling = Profiler::Global().Start().ok();
+  for (auto _ : state) {
+    auto wh = builder.Build(transformed);
+    if (!wh.ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(wh);
+  }
+  if (profiling) {
+    Profiler::Global().Stop().IgnoreError();
+    state.counters["samples"] =
+        static_cast<double>(Profiler::Global().samples_captured());
+    Profiler::Global().Clear();
+  }
+}
+DDGMS_BENCHMARK(BM_WarehouseBuildProfiled)
+    ->Unit(benchmark::kMillisecond);
+
 void BM_TelemetrySample(benchmark::State& state) {
   // One full sampler snapshot over a populated registry + rings.
   MetricsRegistry::Enable();

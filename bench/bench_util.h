@@ -2,6 +2,7 @@
 #define DDGMS_BENCH_BENCH_UTIL_H_
 
 #include <benchmark/benchmark.h>
+#include <sys/resource.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,8 @@
 #include <vector>
 
 #include "common/csv.h"
+#include "common/profiler.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
@@ -73,7 +76,21 @@ T MustOk(Result<T> result, const char* what) {
 ///   --min-time <sec>    alias for --benchmark_min_time=<sec>
 ///   --repetitions <N>   alias for --benchmark_repetitions=<N>
 ///   --filter <regex>    alias for --benchmark_filter=<regex>
+///   --meter             enable the ResourceMeter for the run, so the
+///                       JSON's meter_peak_bytes is populated (off by
+///                       default: accounting costs a few percent)
+///   --profile <path>    sample the whole run with the wall-clock
+///                       profiler (99 Hz) and write collapsed stacks
+///                       (flamegraph.pl / speedscope input) to <path>
 /// -------------------------------------------------------------------
+
+/// Process peak resident set size in bytes (getrusage; Linux reports
+/// ru_maxrss in KiB). 0 when unavailable.
+inline uint64_t PeakRssBytes() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+}
 
 /// Registration order of every DDGMS_BENCHMARK in this binary.
 inline std::vector<::benchmark::internal::Benchmark*>&
@@ -149,7 +166,15 @@ class JsonTeeReporter : public ::benchmark::ConsoleReporter {
     std::string out = "{\n";
     out += "  \"benchmark\": \"";
     out += Escape(bench_name_);
-    out += "\",\n  \"benchmarks\": [";
+    out += "\",\n";
+    // Memory attribution for CI trend tracking: OS-level peak RSS plus
+    // the ResourceMeter's root-pool peak (0 unless metering was on).
+    out += StrFormat("  \"peak_rss_bytes\": %llu,\n",
+                     static_cast<unsigned long long>(PeakRssBytes()));
+    out += StrFormat(
+        "  \"meter_peak_bytes\": %lld,\n",
+        static_cast<long long>(ResourceMeter::Global().root().peak()));
+    out += "  \"benchmarks\": [";
     bool first = true;
     for (const Run& run : runs_) {
       if (!first) out += ",";
@@ -201,6 +226,7 @@ class JsonTeeReporter : public ::benchmark::ConsoleReporter {
 inline int BenchMain(int argc, char** argv,
                      const std::string& bench_name) {
   std::string json_path = "BENCH_" + bench_name + ".json";
+  std::string profile_path;
   bool write_json = true;
   long long iterations = 0;
   std::vector<std::string> args;  // stable storage for forwarded argv
@@ -233,6 +259,10 @@ inline int BenchMain(int argc, char** argv,
     } else if (std::strcmp(arg, "--filter") == 0) {
       args.push_back(std::string("--benchmark_filter=") +
                      value("--filter"));
+    } else if (std::strcmp(arg, "--meter") == 0) {
+      ResourceMeter::Enable();
+    } else if (std::strcmp(arg, "--profile") == 0) {
+      profile_path = value("--profile");
     } else {
       args.push_back(arg);
     }
@@ -249,7 +279,31 @@ inline int BenchMain(int argc, char** argv,
   ::benchmark::Initialize(&forwarded_argc, forwarded.data());
   JsonTeeReporter reporter(bench_name,
                            write_json ? json_path : std::string());
+  if (!profile_path.empty()) {
+    Status st = Profiler::Global().Start();
+    if (!st.ok()) {
+      std::fprintf(stderr, "profiler: %s\n", st.ToString().c_str());
+      profile_path.clear();
+    }
+  }
   ::benchmark::RunSpecifiedBenchmarks(&reporter);
+  if (!profile_path.empty()) {
+    Status st = Profiler::Global().Stop();
+    auto dump = Profiler::Global().Dump();
+    if (!st.ok() || !dump.ok()) {
+      std::fprintf(stderr, "profiler: %s\n",
+                   (!st.ok() ? st : dump.status()).ToString().c_str());
+    } else {
+      Status write = WriteFile(profile_path, dump->ToCollapsed());
+      if (write.ok()) {
+        std::fprintf(stderr, "wrote %s (%s)\n", profile_path.c_str(),
+                     dump->Summary().c_str());
+      } else {
+        std::fprintf(stderr, "profile: %s\n",
+                     write.ToString().c_str());
+      }
+    }
+  }
   ::benchmark::Shutdown();
   return 0;
 }

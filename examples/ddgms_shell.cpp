@@ -9,10 +9,16 @@
 //   sql <SELECT ...>     OLTP query (tables: extract, fact, dimensions)
 //   mdx <SELECT ...>     OLAP query rendered as a grid
 //   explain <SELECT ...> MDX query with a per-stage timing profile
+//   explain analyze <SELECT ...>  executed per-operator plan tree with
+//                        times, cardinalities, cache hit/miss and bytes
+//   profile start [hz] | stop | dump [collapsed|json]
+//                        sampling wall-clock profiler (flamegraph
+//                        export via 'dump collapsed')
 //   dims                 list dimensions and member counts
 //   report               transformation report
 //   quarantine           rows quarantined by the last (lenient) load
-//   stats [json|prom|reset]  metrics registry (counters/gauges/histograms)
+//   stats [json|prom|reset|resource]  metrics registry, or the
+//                        resource-pool accounting snapshot
 //   trace [json|clear|capacity N]  recorded span tree
 //   log [json|tail N|clear|level L]  flight-recorder event log
 //   telemetry [sample]   self-observation sampler / staged row counts
@@ -50,6 +56,8 @@
 #include "common/io.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/profiler.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "core/dd_dgms.h"
@@ -68,10 +76,16 @@ void PrintHelp() {
       "  sql <SELECT ...>   query extract/fact/dimension tables\n"
       "  mdx <SELECT ...>   OLAP query (cube: MedicalMeasures)\n"
       "  explain <SELECT ...>  MDX query + per-stage timing profile\n"
+      "  explain analyze <SELECT ...>  executed per-operator plan\n"
+      "                     tree (times, rows, cache, bytes)\n"
+      "  profile start [hz] | stop | dump [collapsed|json]\n"
+      "                     sampling profiler; 'dump collapsed' is\n"
+      "                     flamegraph.pl / speedscope input\n"
       "  dims               list dimensions\n"
       "  report             transformation report\n"
       "  quarantine         rows quarantined by the last load\n"
-      "  stats [json|prom|reset]  metrics registry snapshot\n"
+      "  stats [json|prom|reset|resource]  metrics snapshot or\n"
+      "                     resource-pool accounting\n"
       "  trace [json|clear|capacity N]  recorded span tree\n"
       "  log [json|tail N|clear|level L]  flight-recorder events\n"
       "  telemetry [sample] sample metrics/spans/events into the\n"
@@ -124,6 +138,7 @@ int main(int argc, char** argv) {
   MetricsRegistry::Enable();
   TraceCollector::Enable();
   EventLog::Enable();
+  ResourceMeter::Enable();
   if (!log_jsonl_path.empty()) {
     auto sink = JsonlFileLogSink::Open(log_jsonl_path);
     if (!sink.ok()) {
@@ -202,6 +217,10 @@ int main(int argc, char** argv) {
       if (mode == "reset") {
         MetricsRegistry::Global().ResetValues();
         std::printf("metrics reset\n");
+        continue;
+      }
+      if (mode == "resource") {
+        std::printf("%s", ResourceMeter::Global().Snapshot().ToString().c_str());
         continue;
       }
       MetricsSnapshot snapshot = core::DdDgms::MetricsSnapshot();
@@ -286,6 +305,57 @@ int main(int argc, char** argv) {
             sampler.num_rows(), sampler.metric_samples().num_rows(),
             sampler.span_facts().num_rows(),
             sampler.event_facts().num_rows());
+      }
+      continue;
+    }
+    if (StartsWith(trimmed, "explain analyze ")) {
+      auto plan = dgms->ExplainMdx(trimmed.substr(16));
+      if (plan.ok()) {
+        std::printf("%s", plan->ToString().c_str());
+      } else {
+        std::printf("error: %s\n", plan.status().ToString().c_str());
+      }
+      continue;
+    }
+    if (trimmed == "profile" || StartsWith(trimmed, "profile ")) {
+      std::string mode(Trim(trimmed.substr(7)));
+      Profiler& profiler = Profiler::Global();
+      if (StartsWith(mode, "start")) {
+        ProfilerOptions options;
+        auto hz = ParseInt64(Trim(mode.substr(5)));
+        if (hz.ok() && *hz > 0) options.hz = static_cast<int>(*hz);
+        Status st = profiler.Start(options);
+        if (st.ok()) {
+          std::printf("profiler sampling at %d Hz\n", options.hz);
+        } else {
+          std::printf("error: %s\n", st.ToString().c_str());
+        }
+      } else if (mode == "stop") {
+        Status st = profiler.Stop();
+        if (st.ok()) {
+          std::printf("profiler stopped after %llu samples\n",
+                      static_cast<unsigned long long>(
+                          profiler.samples_captured()));
+        } else {
+          std::printf("error: %s\n", st.ToString().c_str());
+        }
+      } else if (StartsWith(mode, "dump")) {
+        std::string format(Trim(mode.substr(4)));
+        auto dump = profiler.Dump();
+        if (!dump.ok()) {
+          std::printf("error: %s\n", dump.status().ToString().c_str());
+        } else if (format == "json") {
+          std::printf("%s\n", dump->ToJson().c_str());
+        } else if (format == "collapsed") {
+          std::printf("%s", dump->ToCollapsed().c_str());
+        } else {
+          std::printf("%s\n", dump->Summary().c_str());
+        }
+      } else {
+        std::printf("profiler %s, %llu samples captured\n",
+                    profiler.running() ? "running" : "stopped",
+                    static_cast<unsigned long long>(
+                        profiler.samples_captured()));
       }
       continue;
     }

@@ -63,7 +63,7 @@ Status FaultRegistry::OnHit(const std::string& point) {
   std::string message = plan.message.empty()
                             ? "injected fault at '" + point + "'"
                             : plan.message;
-  DDGMS_LOG_WARN("fault.injected")
+  DDGMS_LOG_WARN("faults.injected")
       .With("point", point)
       .With("hit", hit + 1)
       .Message(message);

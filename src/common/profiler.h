@@ -1,0 +1,141 @@
+#ifndef DDGMS_COMMON_PROFILER_H_
+#define DDGMS_COMMON_PROFILER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sync.h"
+
+namespace ddgms {
+
+/// -------------------------------------------------------------------
+/// Sampling wall-clock profiler
+///
+/// A signal/timer-based stack sampler: Start() arms an interval timer
+/// (ITIMER_REAL) that delivers SIGALRM at the configured frequency;
+/// the handler captures the interrupted thread's call stack into a
+/// pre-allocated bounded ring (oldest samples overwritten), tagged
+/// with the thread's innermost live TraceSpan id and a timestamp on
+/// the TraceCollector timeline — so profiles, spans and the event log
+/// all correlate.
+///
+/// The handler performs no allocation and no locking: one relaxed
+/// fetch_add reserves a slot, backtrace(3) fills the pre-allocated
+/// frame slab, and a clock read stamps it. Everything expensive
+/// (symbolization via dladdr + demangling, aggregation) happens in
+/// Dump(), which requires the profiler to be stopped.
+///
+/// Exports:
+///  * ToCollapsed() — the folded-stack format flamegraph.pl and
+///    speedscope consume directly ("main;Execute;scan 57" per line).
+///  * ToJson()      — raw samples with symbolized frames + span ids.
+///
+/// Symbol quality: dladdr resolves dynamic symbols, so link binaries
+/// that profile themselves with ENABLE_EXPORTS (the shell, benches
+/// and tests do); unresolvable frames render as hex addresses.
+///
+/// Linux-only (signals + execinfo); Start() returns Unimplemented
+/// elsewhere. One process-wide instance: concurrent Start() calls
+/// fail with FailedPrecondition.
+/// -------------------------------------------------------------------
+
+struct ProfilerOptions {
+  /// Sampling frequency. 99 (not 100) so samples do not beat against
+  /// common 10ms periodic work.
+  int hz = 99;
+  /// Ring capacity in samples (~165 s at 99 Hz); oldest overwritten.
+  size_t capacity = 16384;
+  /// Frames kept per sample; deeper stacks are truncated at the leaf
+  /// end kept (outermost frames dropped).
+  int max_depth = 32;
+};
+
+/// One captured stack, symbolized. Frames are ordered root -> leaf.
+struct ProfileStack {
+  std::vector<std::string> frames;
+  /// TraceSpan id live on the sampled thread (0 = none).
+  uint64_t span_id = 0;
+  /// Microseconds on the TraceCollector epoch timeline.
+  uint64_t time_us = 0;
+};
+
+/// Symbolized result of one profiling session.
+struct ProfileDump {
+  int hz = 0;
+  /// Samples taken; `samples.size()` may be smaller when the ring
+  /// wrapped (`dropped` = overwritten count).
+  uint64_t captured = 0;
+  uint64_t dropped = 0;
+  std::vector<ProfileStack> samples;
+
+  /// Folded-stack lines ("frame;frame;frame count\n"), sorted, for
+  /// flamegraph.pl / speedscope.
+  std::string ToCollapsed() const;
+  /// {"hz":..,"captured":..,"dropped":..,"samples":[...]}.
+  std::string ToJson() const;
+  /// One-line human summary ("123 samples @99Hz, 0 dropped").
+  std::string Summary() const;
+};
+
+class Profiler {
+ public:
+  static Profiler& Global();
+
+  /// Arms the timer and starts sampling. FailedPrecondition when
+  /// already running; Internal when the signal/timer setup fails.
+  Status Start(const ProfilerOptions& options = {}) EXCLUDES(mu_);
+
+  /// Disarms the timer and uninstalls the handler. The captured ring
+  /// is retained for Dump(). FailedPrecondition when not running.
+  Status Stop() EXCLUDES(mu_);
+
+  bool running() const EXCLUDES(mu_);
+
+  /// Samples taken since Start() (live — readable while running).
+  uint64_t samples_captured() const {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Symbolizes and returns the retained ring. FailedPrecondition
+  /// while running (stop first — symbolization is not async-safe).
+  Result<ProfileDump> Dump() const EXCLUDES(mu_);
+
+  /// Drops retained samples (keeps the profiler stopped).
+  void Clear() EXCLUDES(mu_);
+
+ private:
+  Profiler() = default;
+
+  static void SignalHandler(int signum);
+  void Capture();
+
+  mutable Mutex mu_;
+  bool running_ GUARDED_BY(mu_) = false;
+  ProfilerOptions options_ GUARDED_BY(mu_);
+  /// Sample slot reservation counter; slot = index % capacity. The
+  /// handler only writes while armed_ is true.
+  std::atomic<uint64_t> next_{0};
+  std::atomic<bool> armed_{false};
+  /// Pre-allocated sample storage (capacity * max_depth frames).
+  std::vector<void*> frame_slab_ GUARDED_BY(mu_);
+  struct SampleMeta {
+    uint64_t time_us;
+    uint64_t span_id;
+    int depth;
+  };
+  std::vector<SampleMeta> meta_ GUARDED_BY(mu_);
+  /// Raw views of the slabs plus the geometry, published before
+  /// arming and constant while armed — the handler reads only these
+  /// (never the lock-guarded vectors), so it needs no lock.
+  void** armed_frames_ = nullptr;
+  SampleMeta* armed_meta_ = nullptr;
+  size_t armed_capacity_ = 0;
+  int armed_max_depth_ = 0;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_PROFILER_H_

@@ -1,0 +1,220 @@
+#include "common/resource.h"
+
+#include <algorithm>
+
+#include "common/metrics.h"
+#include "common/strings.h"
+
+namespace ddgms {
+
+std::atomic<bool> ResourceMeter::enabled_{false};
+
+namespace {
+
+/// Innermost ScopedAccounting pool on this thread.
+thread_local ResourcePool* tls_current_pool = nullptr;
+
+std::string FormatBytes(int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes < 0) return StrFormat("%lld B", static_cast<long long>(bytes));
+  if (b < 1024.0) return StrFormat("%lld B", static_cast<long long>(bytes));
+  if (b < 1024.0 * 1024.0) return StrFormat("%.1f KiB", b / 1024.0);
+  if (b < 1024.0 * 1024.0 * 1024.0) {
+    return StrFormat("%.1f MiB", b / (1024.0 * 1024.0));
+  }
+  return StrFormat("%.2f GiB", b / (1024.0 * 1024.0 * 1024.0));
+}
+
+}  // namespace
+
+void ResourcePool::Charge(uint64_t bytes) {
+  for (ResourcePool* p = this; p != nullptr; p = p->parent_) {
+    p->allocated_.fetch_add(bytes, std::memory_order_relaxed);
+    p->charges_.fetch_add(1, std::memory_order_relaxed);
+    const int64_t now =
+        p->current_.fetch_add(static_cast<int64_t>(bytes),
+                              std::memory_order_relaxed) +
+        static_cast<int64_t>(bytes);
+    int64_t peak = p->peak_.load(std::memory_order_relaxed);
+    while (now > peak && !p->peak_.compare_exchange_weak(
+                             peak, now, std::memory_order_relaxed)) {
+    }
+  }
+}
+
+void ResourcePool::Release(uint64_t bytes) {
+  for (ResourcePool* p = this; p != nullptr; p = p->parent_) {
+    p->freed_.fetch_add(bytes, std::memory_order_relaxed);
+    p->releases_.fetch_add(1, std::memory_order_relaxed);
+    p->current_.fetch_sub(static_cast<int64_t>(bytes),
+                          std::memory_order_relaxed);
+  }
+}
+
+void ResourcePool::ResetValues() {
+  allocated_.store(0, std::memory_order_relaxed);
+  freed_.store(0, std::memory_order_relaxed);
+  current_.store(0, std::memory_order_relaxed);
+  peak_.store(0, std::memory_order_relaxed);
+  charges_.store(0, std::memory_order_relaxed);
+  releases_.store(0, std::memory_order_relaxed);
+}
+
+ResourceMeter& ResourceMeter::Global() {
+  static ResourceMeter* meter = new ResourceMeter();
+  return *meter;
+}
+
+ResourcePool& ResourceMeter::GetPool(const std::string& name) {
+  MutexLock lock(mu_);
+  auto it = pools_.find(name);
+  if (it != pools_.end()) return *it->second;
+  // Create the dotted-prefix ancestor chain root-first so each pool's
+  // parent pointer is final before the pool becomes visible.
+  ResourcePool* parent = &root_;
+  size_t start = 0;
+  while (true) {
+    size_t dot = name.find('.', start);
+    std::string prefix =
+        dot == std::string::npos ? name : name.substr(0, dot);
+    auto found = pools_.find(prefix);
+    if (found == pools_.end()) {
+      found = pools_
+                  .emplace(prefix, std::unique_ptr<ResourcePool>(
+                                       new ResourcePool(prefix, parent)))
+                  .first;
+    }
+    parent = found->second.get();
+    if (dot == std::string::npos) return *found->second;
+    start = dot + 1;
+  }
+}
+
+ResourceSnapshot ResourceMeter::Snapshot() const {
+  ResourceSnapshot snapshot;
+  auto copy = [](const ResourcePool& pool) {
+    ResourcePoolStats stats;
+    stats.name = pool.name();
+    stats.allocated = pool.allocated();
+    stats.freed = pool.freed();
+    stats.current = pool.current();
+    stats.peak = pool.peak();
+    stats.charges = pool.charges();
+    stats.releases = pool.releases();
+    return stats;
+  };
+  MutexLock lock(mu_);
+  snapshot.pools.reserve(pools_.size() + 1);
+  snapshot.pools.push_back(copy(root_));
+  for (const auto& [name, pool] : pools_) {
+    snapshot.pools.push_back(copy(*pool));
+  }
+  return snapshot;
+}
+
+void ResourceMeter::PublishToMetrics() const {
+  if (!MetricsRegistry::Enabled()) return;
+  const ResourceSnapshot snapshot = Snapshot();
+  MetricsRegistry& registry = MetricsRegistry::Global();
+  for (const ResourcePoolStats& pool : snapshot.pools) {
+    registry.GetGauge("ddgms.resource.bytes_current:" + pool.name)
+        .Set(static_cast<double>(pool.current));
+    registry.GetGauge("ddgms.resource.bytes_peak:" + pool.name)
+        .Set(static_cast<double>(pool.peak));
+  }
+}
+
+void ResourceMeter::ResetValues() {
+  MutexLock lock(mu_);
+  root_.ResetValues();
+  for (auto& [name, pool] : pools_) pool->ResetValues();
+}
+
+void ResourceMeter::ChargeCurrent(uint64_t bytes) {
+  ResourcePool* pool = tls_current_pool;
+  if (pool == nullptr) {
+    static ResourcePool* other = &Global().GetPool("other");
+    pool = other;
+  }
+  pool->Charge(bytes);
+}
+
+void ResourceMeter::ReleaseCurrent(uint64_t bytes) {
+  ResourcePool* pool = tls_current_pool;
+  if (pool == nullptr) {
+    static ResourcePool* other = &Global().GetPool("other");
+    pool = other;
+  }
+  pool->Release(bytes);
+}
+
+const ResourcePoolStats* ResourceSnapshot::pool(
+    const std::string& name) const {
+  for (const ResourcePoolStats& p : pools) {
+    if (p.name == name) return &p;
+  }
+  return nullptr;
+}
+
+std::string ResourceSnapshot::ToString() const {
+  std::string out = "resource pools:\n";
+  out += StrFormat("  %-24s %12s %12s %12s %10s\n", "pool", "current",
+                   "peak", "allocated", "charges");
+  for (const ResourcePoolStats& p : pools) {
+    if (p.allocated == 0 && p.freed == 0) continue;
+    out += StrFormat("  %-24s %12s %12s %12s %10llu\n", p.name.c_str(),
+                     FormatBytes(p.current).c_str(),
+                     FormatBytes(p.peak).c_str(),
+                     FormatBytes(static_cast<int64_t>(p.allocated)).c_str(),
+                     static_cast<unsigned long long>(p.charges));
+  }
+  return out;
+}
+
+std::string ResourceSnapshot::ToJson() const {
+  std::string out = "{";
+  bool first = true;
+  for (const ResourcePoolStats& p : pools) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "\"%s\":{\"allocated\":%llu,\"freed\":%llu,\"current\":%lld,"
+        "\"peak\":%lld,\"charges\":%llu,\"releases\":%llu}",
+        p.name.c_str(), static_cast<unsigned long long>(p.allocated),
+        static_cast<unsigned long long>(p.freed),
+        static_cast<long long>(p.current),
+        static_cast<long long>(p.peak),
+        static_cast<unsigned long long>(p.charges),
+        static_cast<unsigned long long>(p.releases));
+  }
+  out += "}";
+  return out;
+}
+
+ScopedAccounting::ScopedAccounting(const char* pool_name) {
+  if (!ResourceMeter::Enabled()) return;
+  pool_ = &ResourceMeter::Global().GetPool(pool_name);
+  saved_ = tls_current_pool;
+  tls_current_pool = pool_;
+  allocated_at_entry_ = pool_->allocated();
+  freed_at_entry_ = pool_->freed();
+}
+
+ScopedAccounting::~ScopedAccounting() {
+  if (pool_ == nullptr) return;
+  tls_current_pool = saved_;
+}
+
+uint64_t ScopedAccounting::BytesCharged() const {
+  if (pool_ == nullptr) return 0;
+  return pool_->allocated() - allocated_at_entry_;
+}
+
+uint64_t ScopedAccounting::BytesReleased() const {
+  if (pool_ == nullptr) return 0;
+  return pool_->freed() - freed_at_entry_;
+}
+
+ResourcePool* ScopedAccounting::Current() { return tls_current_pool; }
+
+}  // namespace ddgms

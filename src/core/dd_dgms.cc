@@ -132,11 +132,27 @@ Result<mdx::MdxResult> DdDgms::QueryMdx(const std::string& mdx_text) const {
   }
 
   mdx::MdxExecutor executor(target);
+  if (target == warehouse_.get()) {
+    // Clinical queries share the facade's cube cache. [Telemetry]
+    // queries bypass it: their warehouse is rebuilt per query, so the
+    // generation stamp would invalidate every entry anyway.
+    if (cube_cache_ == nullptr) {
+      cube_cache_ =
+          std::make_unique<olap::CachingCubeEngine>(warehouse_.get());
+    }
+    executor.set_cube_cache(cube_cache_.get());
+  }
   DDGMS_ASSIGN_OR_RETURN(mdx::MdxResult result, executor.Execute(query));
   result.profile.stages.insert(result.profile.stages.begin(),
                                mdx::MdxProfile::Stage{"parse", parse_us});
   result.profile.total_micros += parse_us;
+  mdx::AttachParseStage(&result.profile.plan, parse_us);
   return result;
+}
+
+Result<olap::PlanNode> DdDgms::ExplainMdx(const std::string& mdx_text) const {
+  DDGMS_ASSIGN_OR_RETURN(mdx::MdxResult result, QueryMdx(mdx_text));
+  return std::move(result.profile.plan);
 }
 
 Result<Table> DdDgms::QuerySql(const std::string& sql) const {

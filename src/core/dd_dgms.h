@@ -100,6 +100,12 @@ class DdDgms {
   /// platform analyses its own observability data with the same engine.
   Result<mdx::MdxResult> QueryMdx(const std::string& mdx_text) const;
 
+  /// EXPLAIN ANALYZE: executes `mdx_text` and returns the per-operator
+  /// plan tree (times, cardinalities, cube-cache hit/miss, resource
+  /// bytes). The query genuinely runs — cardinalities and timings are
+  /// measured, not estimated.
+  Result<olap::PlanNode> ExplainMdx(const std::string& mdx_text) const;
+
   /// The flight recorder's telemetry sampler (lazily created). Call
   /// telemetry().Sample() to snapshot metrics and drain spans/events;
   /// QueryMdx over [Telemetry] then sees the accumulated history.
@@ -226,6 +232,11 @@ class DdDgms {
   /// Rebuilt in place on every [Telemetry] query so pointers held by
   /// in-flight executors stay valid, mirroring warehouse_.
   mutable std::unique_ptr<warehouse::Warehouse> telemetry_warehouse_;
+  /// Lazily created by QueryMdx for clinical-cube queries. Safe across
+  /// AcquireData rebuilds because Rebuild assigns the warehouse in
+  /// place (pointer stable) and the cache invalidates itself on the
+  /// warehouse's generation stamp.
+  mutable std::unique_ptr<olap::CachingCubeEngine> cube_cache_;
   /// Non-null once durable storage is attached/loaded.
   std::unique_ptr<warehouse::DurableWarehouseStore> store_;
   kb::KnowledgeBase kb_;

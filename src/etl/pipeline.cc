@@ -4,6 +4,7 @@
 #include "common/faults.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -131,6 +132,7 @@ Result<TransformReport> TransformPipeline::Run(
   run_span.SetAttribute("steps", steps.size());
   run_span.SetAttribute("rows_in", report.input_rows);
   ScopedLatencyTimer run_timer("ddgms.etl.run_latency_us");
+  ScopedAccounting accounting("etl");
 
   const bool lenient = options.error_mode == ErrorMode::kLenient;
   for (const NamedStep& step : steps) {

@@ -3,10 +3,12 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <utility>
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "mdx/parser.h"
@@ -14,6 +16,7 @@
 namespace ddgms::mdx {
 
 using olap::AxisSpec;
+using olap::Cube;
 using olap::CubeQuery;
 using olap::SlicerSpec;
 using warehouse::Dimension;
@@ -277,7 +280,15 @@ Result<MdxResult> MdxExecutor::Execute(
   result.profile.stages.insert(result.profile.stages.begin(),
                                MdxProfile::Stage{"parse", parse_us});
   result.profile.total_micros += parse_us;
+  AttachParseStage(&result.profile.plan, parse_us);
   return result;
+}
+
+void AttachParseStage(olap::PlanNode* plan, double parse_us) {
+  olap::PlanNode parse("mdx.parse");
+  parse.micros = static_cast<uint64_t>(parse_us);
+  plan->children.insert(plan->children.begin(), std::move(parse));
+  plan->micros += static_cast<uint64_t>(parse_us);
 }
 
 Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
@@ -291,6 +302,8 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
   }
   TraceSpan exec_span("mdx.execute");
   ScopedLatencyTimer exec_timer("ddgms.mdx.execute_latency_us");
+  ScopedAccounting accounting("mdx");
+  olap::PlanNode plan("mdx.execute");
   const auto compile_start = std::chrono::steady_clock::now();
   CubeQuery cq;
   std::vector<size_t> column_axes;
@@ -349,11 +362,36 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
     cq.measures.push_back(AggSpec{AggFn::kCount, "", "count"});
   }
   const double compile_us = MicrosSince(compile_start);
+  {
+    olap::PlanNode& compile_node = plan.AddChild("mdx.compile");
+    compile_node.micros = static_cast<uint64_t>(compile_us);
+    compile_node.rows_out = cq.axes.size();
+    compile_node.AddProp("axes", static_cast<uint64_t>(cq.axes.size()));
+    compile_node.AddProp("slicers",
+                         static_cast<uint64_t>(cq.slicers.size()));
+    compile_node.AddProp("measures",
+                         static_cast<uint64_t>(cq.measures.size()));
+  }
 
   const auto execute_start = std::chrono::steady_clock::now();
-  olap::CubeEngine engine(warehouse_);
-  DDGMS_ASSIGN_OR_RETURN(olap::Cube cube, engine.Execute(cq));
+  // The last child added to the root below; no further AddChild on the
+  // root happens while this pointer is live.
+  olap::PlanNode* exec_node = &plan.AddChild("");
+  olap::Cube cube;
+  const bool use_cache =
+      cache_ != nullptr && cache_->warehouse() == warehouse_;
+  if (use_cache) {
+    DDGMS_ASSIGN_OR_RETURN(std::shared_ptr<const Cube> shared,
+                           cache_->Execute(cq, exec_node));
+    // MdxResult owns its cube by value: copy out of the cache (still
+    // far cheaper than re-scanning the fact table on a hit).
+    cube = *shared;
+  } else {
+    olap::CubeEngine engine(warehouse_);
+    DDGMS_ASSIGN_OR_RETURN(cube, engine.Execute(cq, exec_node));
+  }
   const double execute_us = MicrosSince(execute_start);
+  exec_node->micros = static_cast<uint64_t>(execute_us);
 
   MdxResult result;
   result.cube = std::move(cube);
@@ -370,6 +408,12 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
   profile.fact_rows = warehouse_->fact().num_rows();
   profile.facts_aggregated = result.cube.facts_aggregated();
   profile.cells = result.cube.num_cells();
+
+  plan.rows_in = profile.fact_rows;
+  plan.rows_out = profile.cells;
+  plan.micros = static_cast<uint64_t>(compile_us + execute_us);
+  plan.bytes = accounting.BytesCharged();
+  profile.plan = std::move(plan);
 
   exec_span.SetAttribute("axes", profile.axes);
   exec_span.SetAttribute("cells", profile.cells);
@@ -388,6 +432,7 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
     for (const MdxProfile::Stage& stage : profile.stages) {
       slow.With(stage.name + "_us", stage.micros);
     }
+    slow.With("plan", profile.plan.ToJson());
     DDGMS_METRIC_INC("ddgms.mdx.slow_queries");
   }
   DDGMS_METRIC_INC("ddgms.mdx.queries");

@@ -6,7 +6,9 @@
 
 #include "common/result.h"
 #include "mdx/ast.h"
+#include "olap/cache.h"
 #include "olap/cube.h"
+#include "olap/plan.h"
 #include "warehouse/warehouse.h"
 
 namespace ddgms::mdx {
@@ -32,6 +34,11 @@ struct MdxProfile {
   size_t fact_rows = 0;
   size_t facts_aggregated = 0;
   size_t cells = 0;
+
+  /// EXPLAIN ANALYZE operator tree rooted at "mdx.execute": per-stage
+  /// times, cardinalities, cube-cache hit/miss and resource-pool byte
+  /// deltas. Always built alongside the flat stage list above.
+  olap::PlanNode plan;
 
   /// Renders an EXPLAIN-style table: the query shape line followed by
   /// one row per stage with its share of the total.
@@ -79,16 +86,27 @@ class MdxExecutor {
   /// Executes an already parsed query.
   Result<MdxResult> Execute(const MdxQuery& query) const;
 
+  /// Routes cube execution through `cache` (non-owning; may be null to
+  /// detach). Ignored unless the cache was built over this executor's
+  /// warehouse. Hits and misses appear in the profile's plan tree.
+  void set_cube_cache(olap::CachingCubeEngine* cache) { cache_ = cache; }
+
   /// Slow-query log: an execution whose profiled time meets or exceeds
   /// this threshold emits a warn-level "mdx.slow_query" flight-recorder
-  /// event carrying the per-stage MdxProfile timings. Process-wide;
-  /// default 250000 us (250 ms).
+  /// event carrying the per-stage MdxProfile timings and the EXPLAIN
+  /// ANALYZE plan as JSON. Process-wide; default 250000 us (250 ms).
   static void SetSlowQueryThresholdMicros(double micros);
   static double SlowQueryThresholdMicros();
 
  private:
   const warehouse::Warehouse* warehouse_;
+  olap::CachingCubeEngine* cache_ = nullptr;
 };
+
+/// Prepends a measured "mdx.parse" operator to an executed plan and
+/// folds its time into the root. Shared by MdxExecutor::Execute(text)
+/// and DdDgms::QueryMdx, which parse before routing.
+void AttachParseStage(olap::PlanNode* plan, double parse_us);
 
 }  // namespace ddgms::mdx
 

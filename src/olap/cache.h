@@ -24,19 +24,35 @@ namespace ddgms::olap {
 /// when the fact-row count comes back identical) can never serve stale
 /// cubes. Invalidate() remains for callers that mutate the warehouse
 /// through a side channel the stamp cannot see.
+///
+/// Observability: hits, misses, evictions and invalidations are
+/// exported as "ddgms.olap.cache.*" counters, and retained cube bytes
+/// are charged to (and released from) the "olap.cube.cache" resource
+/// pool, so the cache's live footprint is always attributable.
 class CachingCubeEngine {
  public:
   explicit CachingCubeEngine(const warehouse::Warehouse* wh,
                              size_t capacity = 64)
       : warehouse_(wh), capacity_(capacity) {}
+  ~CachingCubeEngine();
 
   /// Executes (or returns a cached) cube. The returned pointer stays
   /// valid as long as the caller holds it (shared ownership), even if
   /// the entry is evicted.
-  Result<std::shared_ptr<const Cube>> Execute(const CubeQuery& query);
+  Result<std::shared_ptr<const Cube>> Execute(const CubeQuery& query) {
+    return Execute(query, nullptr);
+  }
+
+  /// Like Execute(query); when `plan` is non-null it is filled with
+  /// the EXPLAIN ANALYZE tree: a "olap.cube.cache" node with a
+  /// hit/miss prop, whose child on a miss is the engine's stage plan.
+  Result<std::shared_ptr<const Cube>> Execute(const CubeQuery& query,
+                                              PlanNode* plan);
 
   /// Drops all cached cubes.
   void Invalidate();
+
+  const warehouse::Warehouse* warehouse() const { return warehouse_; }
 
   size_t hits() const { return hits_; }
   size_t misses() const { return misses_; }
@@ -46,7 +62,13 @@ class CachingCubeEngine {
   struct Entry {
     std::string key;
     std::shared_ptr<const Cube> cube;
+    /// ApproxBytes at insert, remembered so the eventual release
+    /// matches the charge exactly.
+    uint64_t charged_bytes = 0;
   };
+
+  /// Removes the LRU tail entry, releasing its charge.
+  void EvictOne();
 
   const warehouse::Warehouse* warehouse_;
   size_t capacity_;

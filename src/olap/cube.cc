@@ -1,10 +1,12 @@
 #include "olap/cube.h"
 
 #include <algorithm>
+#include <chrono>
 #include <thread>
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -12,6 +14,59 @@ namespace ddgms::olap {
 
 using warehouse::Dimension;
 using warehouse::Warehouse;
+
+namespace {
+
+uint64_t ValueApproxBytes(const Value& v) {
+  uint64_t bytes = sizeof(Value);
+  if (v.type() == DataType::kString) bytes += v.string_value().size();
+  return bytes;
+}
+
+/// Per-stage stopwatch for EXPLAIN ANALYZE: measures wall time and the
+/// resource-pool byte delta across one engine stage and writes them
+/// into a fresh child of `plan`. Fully inert when `plan` is null, so
+/// the plain Execute(query) path pays nothing.
+class StageTimer {
+ public:
+  StageTimer(PlanNode* plan, const char* op,
+             const ScopedAccounting& accounting)
+      : accounting_(accounting), plan_(plan) {
+    if (plan_ == nullptr) return;
+    // Track the child by index: later stages may reallocate the
+    // children vector, so a reference would dangle.
+    index_ = plan_->children.size();
+    plan_->AddChild(op);
+    start_ = std::chrono::steady_clock::now();
+    bytes_at_entry_ = accounting_.BytesCharged();
+  }
+
+  /// Finishes the stage (idempotent); returns the node for cardinality
+  /// annotations, or nullptr when inert.
+  PlanNode* Finish() {
+    if (plan_ == nullptr) return nullptr;
+    PlanNode* node = &plan_->children[index_];
+    if (!finished_) {
+      finished_ = true;
+      node->micros = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - start_)
+              .count());
+      node->bytes = accounting_.BytesCharged() - bytes_at_entry_;
+    }
+    return node;
+  }
+
+ private:
+  const ScopedAccounting& accounting_;
+  PlanNode* plan_ = nullptr;
+  size_t index_ = 0;
+  bool finished_ = false;
+  std::chrono::steady_clock::time_point start_;
+  uint64_t bytes_at_entry_ = 0;
+};
+
+}  // namespace
 
 std::string AxisSpec::ToString() const {
   std::string out = "[" + dimension + "].[" + attribute + "]";
@@ -384,7 +439,25 @@ Result<std::vector<Cube::RankedCell>> Cube::TopCells(
   return ranked;
 }
 
-Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
+uint64_t Cube::ApproxBytes() const {
+  uint64_t bytes = 0;
+  // Hash-map node overhead per cell: bucket pointer + hash + vectors.
+  constexpr uint64_t kCellOverhead = sizeof(Cell) + 4 * sizeof(void*);
+  for (const auto& [coord, cell] : cells_) {
+    bytes += kCellOverhead;
+    for (const Value& v : coord) bytes += ValueApproxBytes(v);
+    for (const Value& v : cell.measure_values) {
+      bytes += ValueApproxBytes(v);
+    }
+  }
+  for (const std::vector<Value>& members : axis_members_) {
+    for (const Value& v : members) bytes += ValueApproxBytes(v);
+  }
+  return bytes;
+}
+
+Result<Cube> CubeEngine::Execute(const CubeQuery& query,
+                                 PlanNode* plan) const {
   if (warehouse_ == nullptr) {
     return Status::InvalidArgument("CubeEngine has no warehouse");
   }
@@ -400,7 +473,13 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
   exec_span.SetAttribute("measures", query.measures.size());
   exec_span.SetAttribute("fact_rows", fact.num_rows());
   ScopedLatencyTimer exec_timer("ddgms.olap.execute_latency_us");
+  ScopedAccounting accounting("olap.cube");
+  if (plan != nullptr) {
+    if (plan->op.empty()) plan->op = "olap.cube.execute";
+    plan->rows_in = fact.num_rows();
+  }
 
+  StageTimer axes_timer(plan, "olap.cube.resolve_axes", accounting);
   // Resolve axes. For speed, the scan works on small integer member
   // indices: each dimension surrogate key is pre-mapped to the index of
   // its attribute value among the axis's distinct members (-1 =
@@ -453,7 +532,14 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
     }
     axes.push_back(std::move(axis));
   }
+  if (PlanNode* node = axes_timer.Finish()) {
+    node->rows_in = query.axes.size();
+    uint64_t members = 0;
+    for (const ResolvedAxis& a : axes) members += a.members.size();
+    node->rows_out = members;
+  }
 
+  StageTimer slicers_timer(plan, "olap.cube.resolve_slicers", accounting);
   // Resolve slicers into per-dimension-member admission bitsets.
   struct ResolvedSlicer {
     const ColumnVector* key_col;
@@ -482,6 +568,14 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
       }
     }
     slicers.push_back(std::move(rs));
+  }
+  if (PlanNode* node = slicers_timer.Finish()) {
+    node->rows_in = query.slicers.size();
+    uint64_t admitted = 0;
+    for (const ResolvedSlicer& s : slicers) {
+      for (uint8_t a : s.admit) admitted += a;
+    }
+    node->rows_out = admitted;
   }
 
   // Resolve measures.
@@ -568,6 +662,7 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
   };
 
   AccMap accs;
+  StageTimer scan_timer(plan, "olap.cube.scan", accounting);
   size_t threads = options_.num_threads;
   if (threads <= 1 || n < options_.parallel_threshold) {
     threads = 1;
@@ -601,7 +696,14 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
       }
     }
   }
+  if (PlanNode* node = scan_timer.Finish()) {
+    node->rows_in = n;
+    node->rows_out = cube.facts_aggregated_;
+    node->AddProp("threads", static_cast<uint64_t>(threads));
+    node->AddProp("groups", static_cast<uint64_t>(accs.size()));
+  }
 
+  StageTimer materialize_timer(plan, "olap.cube.materialize", accounting);
   // Materialize cells (converting id tuples to value coordinates) and
   // axis member lists.
   std::vector<std::vector<bool>> seen(query.axes.size());
@@ -644,6 +746,26 @@ Result<Cube> CubeEngine::Execute(const CubeQuery& query) const {
               [](const Value& x, const Value& y) {
                 return x.Compare(y) < 0;
               });
+  }
+
+  // The cube's retained footprint is the engine's materialized output;
+  // charge it to the active pool ("olap.cube" here, so the materialize
+  // stage's byte delta below covers it by construction).
+  DDGMS_RESOURCE_CHARGE(cube.ApproxBytes());
+  if (PlanNode* node = materialize_timer.Finish()) {
+    node->rows_in = accs.size();
+    node->rows_out = cube.cells_.size();
+  }
+  if (plan != nullptr) {
+    plan->rows_out = cube.cells_.size();
+    uint64_t total_micros = 0;
+    for (const PlanNode& child : plan->children) {
+      total_micros += child.micros;
+    }
+    plan->micros = std::max(plan->micros, total_micros);
+    plan->AddProp("cells", static_cast<uint64_t>(cube.cells_.size()));
+    plan->AddProp("facts_aggregated",
+                  static_cast<uint64_t>(cube.facts_aggregated_));
   }
 
   exec_span.SetAttribute("threads", threads);

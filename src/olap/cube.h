@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "olap/plan.h"
 #include "table/aggregate.h"
 #include "table/table.h"
 #include "warehouse/warehouse.h"
@@ -126,6 +127,11 @@ class Cube {
                                            size_t measure_index = 0,
                                            bool largest = true) const;
 
+  /// Estimated heap footprint of the materialized cube (cells, their
+  /// coordinate and measure Values, axis member lists). This is the
+  /// amount Execute charges to the "olap.cube" resource pool.
+  uint64_t ApproxBytes() const;
+
  private:
   friend class CubeEngine;
 
@@ -163,7 +169,15 @@ class CubeEngine {
       : warehouse_(wh), options_(options) {}
 
   /// Validates the query, scans the fact table once and aggregates.
-  Result<Cube> Execute(const CubeQuery& query) const;
+  Result<Cube> Execute(const CubeQuery& query) const {
+    return Execute(query, nullptr);
+  }
+
+  /// Like Execute(query) but additionally fills `plan` (when non-null)
+  /// with one child operator per engine stage — resolve axes, resolve
+  /// slicers, scan, materialize — carrying measured times,
+  /// cardinalities and resource-pool byte deltas (EXPLAIN ANALYZE).
+  Result<Cube> Execute(const CubeQuery& query, PlanNode* plan) const;
 
  private:
   const warehouse::Warehouse* warehouse_;

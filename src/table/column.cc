@@ -3,6 +3,7 @@
 #include <cassert>
 #include <unordered_set>
 
+#include "common/resource.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -20,6 +21,20 @@ size_t StorageIndex(DataType type) {
     case DataType::kNull: break;
   }
   assert(false && "kNull has no column storage");
+  return 0;
+}
+
+// Bytes one appended slot adds to value storage + validity bitmap.
+// Strings add their heap payload on top (see AppendString).
+uint64_t SlotBytes(DataType type) {
+  switch (type) {
+    case DataType::kBool: return sizeof(uint8_t) + 1;
+    case DataType::kInt64: return sizeof(int64_t) + 1;
+    case DataType::kDouble: return sizeof(double) + 1;
+    case DataType::kString: return sizeof(std::string) + 1;
+    case DataType::kDate: return sizeof(int32_t) + 1;
+    case DataType::kNull: break;
+  }
   return 0;
 }
 
@@ -100,28 +115,33 @@ void ColumnVector::AppendNull() {
   }
   validity_.push_back(0);
   ++null_count_;
+  DDGMS_RESOURCE_CHARGE(SlotBytes(type_));
 }
 
 void ColumnVector::AppendBool(bool v) {
   assert(type_ == DataType::kBool);
   std::get<std::vector<uint8_t>>(data_).push_back(v ? 1 : 0);
   validity_.push_back(1);
+  DDGMS_RESOURCE_CHARGE(SlotBytes(DataType::kBool));
 }
 
 void ColumnVector::AppendInt(int64_t v) {
   assert(type_ == DataType::kInt64);
   std::get<std::vector<int64_t>>(data_).push_back(v);
   validity_.push_back(1);
+  DDGMS_RESOURCE_CHARGE(SlotBytes(DataType::kInt64));
 }
 
 void ColumnVector::AppendDouble(double v) {
   assert(type_ == DataType::kDouble);
   std::get<std::vector<double>>(data_).push_back(v);
   validity_.push_back(1);
+  DDGMS_RESOURCE_CHARGE(SlotBytes(DataType::kDouble));
 }
 
 void ColumnVector::AppendString(std::string v) {
   assert(type_ == DataType::kString);
+  DDGMS_RESOURCE_CHARGE(SlotBytes(DataType::kString) + v.size());
   std::get<std::vector<std::string>>(data_).push_back(std::move(v));
   validity_.push_back(1);
 }
@@ -130,6 +150,7 @@ void ColumnVector::AppendDate(Date v) {
   assert(type_ == DataType::kDate);
   std::get<std::vector<int32_t>>(data_).push_back(v.days_since_epoch());
   validity_.push_back(1);
+  DDGMS_RESOURCE_CHARGE(SlotBytes(DataType::kDate));
 }
 
 Value ColumnVector::GetValue(size_t row) const {
@@ -251,6 +272,14 @@ ColumnVector ColumnVector::Take(const std::vector<size_t>& indices) const {
     }
   }
   return out;
+}
+
+uint64_t ColumnVector::ApproxBytes() const {
+  uint64_t bytes = static_cast<uint64_t>(size()) * SlotBytes(type_);
+  if (type_ == DataType::kString) {
+    for (const std::string& s : Strings()) bytes += s.size();
+  }
+  return bytes;
 }
 
 std::vector<Value> ColumnVector::DistinctValues() const {

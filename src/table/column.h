@@ -68,6 +68,12 @@ class ColumnVector {
   /// Distinct non-null values, in first-appearance order.
   std::vector<Value> DistinctValues() const;
 
+  /// Estimated heap footprint of this column's payload: value storage
+  /// plus the validity bitmap plus per-string heap bytes. This is the
+  /// same estimate the per-append resource charges accumulate, so a
+  /// column built by appends reconciles with its pool's total.
+  uint64_t ApproxBytes() const;
+
   /// Min / max over non-null entries; null Value if the column is all-null.
   Value Min() const;
   Value Max() const;

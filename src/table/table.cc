@@ -516,4 +516,10 @@ std::string Table::ToPrettyString(size_t max_rows) const {
   return os.str();
 }
 
+uint64_t Table::ApproxBytes() const {
+  uint64_t bytes = 0;
+  for (const ColumnVector& col : columns_) bytes += col.ApproxBytes();
+  return bytes;
+}
+
 }  // namespace ddgms

@@ -152,6 +152,9 @@ class Table {
   /// Pretty-prints the first `max_rows` rows as an aligned text grid.
   std::string ToPrettyString(size_t max_rows = 20) const;
 
+  /// Estimated heap footprint: sum of ColumnVector::ApproxBytes().
+  uint64_t ApproxBytes() const;
+
  private:
   Schema schema_;
   std::vector<ColumnVector> columns_;

@@ -6,6 +6,7 @@
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -61,10 +62,17 @@ std::string TelemetrySampler::LayerOf(const std::string& name) {
 
 Result<TelemetrySampleStats> TelemetrySampler::Sample() {
   TelemetrySampleStats stats;
+  ScopedAccounting accounting("telemetry");
   {
     MutexLock lock(mu_);
     stats.snapshot = next_snapshot_++;
     const Value snap = Value::Int(stats.snapshot);
+
+    // Refresh the resource-pool gauges so attribution rides into the
+    // same snapshot as every other instrument.
+    if (ResourceMeter::Enabled()) {
+      ResourceMeter::Global().PublishToMetrics();
+    }
 
     // Metrics are cumulative: re-read the full registry every sample so
     // consecutive snapshots show each instrument's trajectory.

@@ -8,6 +8,7 @@
 #include "common/faults.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 
@@ -374,6 +375,7 @@ Result<Warehouse> StarSchemaBuilder::Build(
   build_span.SetAttribute("dimensions", def_.dimensions.size());
   build_span.SetAttribute("measures", def_.measures.size());
   ScopedLatencyTimer build_timer("ddgms.warehouse.build_latency_us");
+  ScopedAccounting accounting("warehouse");
   const bool lenient = options.error_mode == ErrorMode::kLenient;
   QuarantineReport local_sink;
   QuarantineReport* quarantine =

@@ -170,6 +170,53 @@ TEST(IncludeCycleTest, QuietOnDagAndSelfIncludes) {
   EXPECT_TRUE(CheckIncludeCycles(files).empty());
 }
 
+TEST(InstrumentNameTest, AcceptsConformingNames) {
+  SourceFile file{
+      "olap/cube.cc",
+      "void F() {\n"
+      "  DDGMS_METRIC_INC(\"ddgms.olap.cache.hits\");\n"
+      "  DDGMS_METRIC_INC(\"ddgms.olap.ops:dice\");\n"
+      "  registry.GetCounter(\"ddgms.retry.attempts:\" + op);\n"
+      "  ScopedLatencyTimer timer(\"ddgms.olap.execute_latency_us\");\n"
+      "  TraceSpan span(\"olap.cube.execute\");\n"
+      "  DDGMS_LOG_WARN(\"quarantine.row\");\n"
+      "  LogEvent slow(LogLevel::kWarn, \"mdx.slow_query\");\n"
+      "  ScopedAccounting accounting(\"olap.cube\");\n"
+      "  meter.GetPool(\"other\");\n"
+      "  DDGMS_FAULT_POINT(\"persist.commit\");\n"
+      "}\n"};
+  std::vector<Finding> findings = CheckInstrumentNames(file);
+  for (const Finding& f : findings) ADD_FAILURE() << f.ToString();
+}
+
+TEST(InstrumentNameTest, FlagsBadNames) {
+  SourceFile file{
+      "olap/cube.cc",
+      "void F() {\n"
+      "  DDGMS_METRIC_INC(\"olap.cache.hits\");\n"           // no ddgms.
+      "  DDGMS_METRIC_INC(\"ddgms.nolayer.hits\");\n"        // bad layer
+      "  DDGMS_METRIC_INC(\"ddgms.olap\");\n"                // too short
+      "  TraceSpan span(\"fault.injected\");\n"              // bad layer
+      "  DDGMS_LOG_WARN(\"olap.CamelCase\");\n"              // bad seg
+      "  TraceSpan span(\"olap.a.b.c.d\");\n"                // too deep
+      "  ScopedAccounting accounting(\"olap.cube:hot\");\n"  // ':' pool
+      "}\n"};
+  std::vector<Finding> findings = CheckInstrumentNames(file);
+  EXPECT_EQ(findings.size(), 7u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "instrument-name");
+  }
+}
+
+TEST(InstrumentNameTest, IgnoresCommentsAndDynamicNames) {
+  SourceFile file{
+      "common/faults.h",
+      "// Use DDGMS_FAULT_POINT(\"name\") to add a fault point.\n"
+      "#define DDGMS_FAULT_POINT(name) Hit(name)\n"
+      "void F(const std::string& n) { registry.GetCounter(n); }\n"};
+  EXPECT_TRUE(CheckInstrumentNames(file).empty());
+}
+
 TEST(LintSourcesTest, AggregatesAcrossRules) {
   std::vector<SourceFile> files = {
       {"alpha/a.h",

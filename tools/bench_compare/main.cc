@@ -1,0 +1,354 @@
+// bench_compare: regression gate over the BENCH_*.json documents the
+// bench harness (bench/bench_util.h JsonTeeReporter) writes.
+//
+//   bench_compare <baseline> <candidate> [--time-tolerance F]
+//                 [--mem-tolerance F]
+//
+// <baseline> / <candidate> are either single BENCH_*.json files or
+// directories, in which case every BENCH_*.json inside is matched by
+// file name. Benchmarks are matched by benchmark name; for each pair
+// the fastest run ("min-of-N", the standard robust statistic) is
+// compared, and the tool exits non-zero when
+//
+//   * candidate time  > baseline time  * (1 + time tolerance)  [25%]
+//   * candidate peak_rss_bytes or meter_peak_bytes
+//                     > baseline value * (1 + mem tolerance)   [40%]
+//
+// Improvements and new/vanished benchmarks are reported but never
+// fail. The parser is deliberately coupled to JsonTeeReporter's
+// one-run-per-line output rather than being a general JSON reader.
+//
+// --selftest runs the tool's own fixture suite (registered as a
+// CTest) and exits 0/1; no files are read.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct BenchRun {
+  double real_time = 0.0;
+  std::string time_unit;
+};
+
+/// One parsed BENCH_*.json document.
+struct BenchDoc {
+  std::string benchmark;  // binary name ("bench_a7_observability")
+  uint64_t peak_rss_bytes = 0;
+  uint64_t meter_peak_bytes = 0;
+  /// benchmark name -> fastest iteration-type run.
+  std::map<std::string, BenchRun> runs;
+};
+
+/// Extracts the string value of `"key": "` on `line`; empty if absent.
+std::string StringField(const std::string& line, const std::string& key) {
+  const std::string needle = "\"" + key + "\": \"";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return std::string();
+  const size_t start = at + needle.size();
+  const size_t end = line.find('"', start);
+  if (end == std::string::npos) return std::string();
+  return line.substr(start, end - start);
+}
+
+/// Extracts the numeric value of `"key": ` on `line`; fallback if
+/// absent.
+double NumberField(const std::string& line, const std::string& key,
+                   double fallback) {
+  const std::string needle = "\"" + key + "\": ";
+  const size_t at = line.find(needle);
+  if (at == std::string::npos) return fallback;
+  return std::atof(line.c_str() + at + needle.size());
+}
+
+BenchDoc ParseDoc(const std::string& content) {
+  BenchDoc doc;
+  std::istringstream is(content);
+  std::string line;
+  while (std::getline(is, line)) {
+    if (doc.benchmark.empty()) {
+      std::string name = StringField(line, "benchmark");
+      if (!name.empty()) doc.benchmark = std::move(name);
+    }
+    if (line.find("\"peak_rss_bytes\"") != std::string::npos) {
+      doc.peak_rss_bytes = static_cast<uint64_t>(
+          NumberField(line, "peak_rss_bytes", 0.0));
+    }
+    if (line.find("\"meter_peak_bytes\"") != std::string::npos) {
+      doc.meter_peak_bytes = static_cast<uint64_t>(
+          NumberField(line, "meter_peak_bytes", 0.0));
+    }
+    // Per-run lines: {"name": "BM_Foo", "run_type": "iteration", ...}.
+    const std::string name = StringField(line, "name");
+    if (name.empty()) continue;
+    if (StringField(line, "run_type") != "iteration") continue;
+    BenchRun run;
+    run.real_time = NumberField(line, "real_time", 0.0);
+    run.time_unit = StringField(line, "time_unit");
+    auto it = doc.runs.find(name);
+    if (it == doc.runs.end() || run.real_time < it->second.real_time) {
+      doc.runs[name] = run;
+    }
+  }
+  return doc;
+}
+
+struct CompareOptions {
+  double time_tolerance = 0.25;
+  double mem_tolerance = 0.40;
+};
+
+/// Compares one baseline/candidate document pair, printing one line
+/// per benchmark. Returns the number of regressions.
+int CompareDocs(const BenchDoc& base, const BenchDoc& cand,
+                const CompareOptions& options) {
+  int regressions = 0;
+  for (const auto& [name, base_run] : base.runs) {
+    auto it = cand.runs.find(name);
+    if (it == cand.runs.end()) {
+      std::printf("  %-48s MISSING in candidate\n", name.c_str());
+      continue;
+    }
+    const BenchRun& cand_run = it->second;
+    if (base_run.real_time <= 0.0) continue;
+    const double ratio = cand_run.real_time / base_run.real_time;
+    const bool regressed = ratio > 1.0 + options.time_tolerance;
+    std::printf("  %-48s %10.3f -> %10.3f %-3s %+6.1f%%%s\n",
+                name.c_str(), base_run.real_time, cand_run.real_time,
+                cand_run.time_unit.c_str(), (ratio - 1.0) * 100.0,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  for (const auto& [name, run] : cand.runs) {
+    (void)run;
+    if (base.runs.find(name) == base.runs.end()) {
+      std::printf("  %-48s NEW\n", name.c_str());
+    }
+  }
+  const struct {
+    const char* label;
+    uint64_t base;
+    uint64_t cand;
+  } memory[] = {
+      {"peak_rss_bytes", base.peak_rss_bytes, cand.peak_rss_bytes},
+      {"meter_peak_bytes", base.meter_peak_bytes,
+       cand.meter_peak_bytes},
+  };
+  for (const auto& m : memory) {
+    if (m.base == 0) continue;  // metering off / not recorded
+    const double ratio =
+        static_cast<double>(m.cand) / static_cast<double>(m.base);
+    const bool regressed = ratio > 1.0 + options.mem_tolerance;
+    std::printf("  %-48s %10llu -> %10llu B   %+6.1f%%%s\n", m.label,
+                static_cast<unsigned long long>(m.base),
+                static_cast<unsigned long long>(m.cand),
+                (ratio - 1.0) * 100.0,
+                regressed ? "  REGRESSION" : "");
+    if (regressed) ++regressions;
+  }
+  return regressions;
+}
+
+bool ReadFileTo(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream content;
+  content << in.rdbuf();
+  *out = content.str();
+  return true;
+}
+
+/// Collects BENCH_*.json under `path` (or `path` itself when a file),
+/// keyed by file name for directory-to-directory matching.
+std::map<std::string, std::string> CollectDocs(const std::string& path) {
+  std::map<std::string, std::string> docs;  // file name -> content
+  std::error_code ec;
+  if (fs::is_directory(path, ec)) {
+    for (const auto& entry : fs::directory_iterator(path, ec)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string name = entry.path().filename().string();
+      if (name.rfind("BENCH_", 0) != 0 ||
+          entry.path().extension() != ".json") {
+        continue;
+      }
+      std::string content;
+      if (ReadFileTo(entry.path().string(), &content)) {
+        docs[name] = std::move(content);
+      }
+    }
+  } else {
+    std::string content;
+    if (ReadFileTo(path, &content)) {
+      docs[fs::path(path).filename().string()] = std::move(content);
+    }
+  }
+  return docs;
+}
+
+int Compare(const std::string& baseline, const std::string& candidate,
+            const CompareOptions& options) {
+  auto base_docs = CollectDocs(baseline);
+  auto cand_docs = CollectDocs(candidate);
+  // File-vs-file: the two documents are the pair, whatever they are
+  // named (filename keys only matter for directory matching).
+  std::error_code ec;
+  if (base_docs.size() == 1 && cand_docs.size() == 1 &&
+      !fs::is_directory(baseline, ec) && !fs::is_directory(candidate, ec) &&
+      base_docs.begin()->first != cand_docs.begin()->first) {
+    auto node = cand_docs.extract(cand_docs.begin());
+    node.key() = base_docs.begin()->first;
+    cand_docs.insert(std::move(node));
+  }
+  if (base_docs.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json under '%s'\n",
+                 baseline.c_str());
+    return 2;
+  }
+  if (cand_docs.empty()) {
+    std::fprintf(stderr, "no BENCH_*.json under '%s'\n",
+                 candidate.c_str());
+    return 2;
+  }
+  int regressions = 0;
+  for (const auto& [name, base_content] : base_docs) {
+    auto it = cand_docs.find(name);
+    if (it == cand_docs.end()) {
+      std::printf("%s: missing in candidate\n", name.c_str());
+      continue;
+    }
+    std::printf("%s:\n", name.c_str());
+    regressions += CompareDocs(ParseDoc(base_content),
+                               ParseDoc(it->second), options);
+  }
+  if (regressions > 0) {
+    std::printf("%d regression(s) beyond tolerance (time %+.0f%%, "
+                "memory %+.0f%%)\n",
+                regressions, options.time_tolerance * 100.0,
+                options.mem_tolerance * 100.0);
+    return 1;
+  }
+  std::printf("no regressions beyond tolerance\n");
+  return 0;
+}
+
+/// ---------------------------------------------------------------
+/// --selftest: fixtures matching JsonTeeReporter's exact output.
+/// ---------------------------------------------------------------
+
+const char kFixtureBase[] =
+    "{\n"
+    "  \"benchmark\": \"bench_fixture\",\n"
+    "  \"peak_rss_bytes\": 1000000,\n"
+    "  \"meter_peak_bytes\": 500000,\n"
+    "  \"benchmarks\": [\n"
+    "    {\"name\": \"BM_Fast\", \"run_type\": \"iteration\", "
+    "\"iterations\": 100, \"real_time\": 10.000000, \"cpu_time\": "
+    "9.000000, \"time_unit\": \"us\"},\n"
+    "    {\"name\": \"BM_Slow\", \"run_type\": \"iteration\", "
+    "\"iterations\": 10, \"real_time\": 100.000000, \"cpu_time\": "
+    "95.000000, \"time_unit\": \"ms\"}\n"
+    "  ]\n"
+    "}\n";
+
+int SelfTest() {
+  int failures = 0;
+  auto expect = [&failures](bool ok, const char* what) {
+    if (!ok) {
+      std::fprintf(stderr, "selftest FAILED: %s\n", what);
+      ++failures;
+    }
+  };
+
+  const BenchDoc base = ParseDoc(kFixtureBase);
+  expect(base.benchmark == "bench_fixture", "parses benchmark name");
+  expect(base.peak_rss_bytes == 1000000, "parses peak_rss_bytes");
+  expect(base.meter_peak_bytes == 500000, "parses meter_peak_bytes");
+  expect(base.runs.size() == 2, "parses both runs");
+  expect(base.runs.count("BM_Fast") == 1 &&
+             base.runs.at("BM_Fast").real_time == 10.0,
+         "parses real_time");
+
+  CompareOptions options;  // defaults: 25% time, 40% memory
+
+  // Identical documents: clean.
+  expect(CompareDocs(base, base, options) == 0, "identical is clean");
+
+  // 20% slower: inside the 25% tolerance.
+  std::string near = kFixtureBase;
+  near.replace(near.find("\"real_time\": 10.000000"),
+               std::strlen("\"real_time\": 10.000000"),
+               "\"real_time\": 12.000000");
+  expect(CompareDocs(base, ParseDoc(near), options) == 0,
+         "20% slower tolerated");
+
+  // 50% slower: time regression.
+  std::string slow = kFixtureBase;
+  slow.replace(slow.find("\"real_time\": 10.000000"),
+               std::strlen("\"real_time\": 10.000000"),
+               "\"real_time\": 15.000000");
+  expect(CompareDocs(base, ParseDoc(slow), options) == 1,
+         "50% slower regresses");
+
+  // 50% more RSS: memory regression.
+  std::string fat = kFixtureBase;
+  fat.replace(fat.find("\"peak_rss_bytes\": 1000000"),
+              std::strlen("\"peak_rss_bytes\": 1000000"),
+              "\"peak_rss_bytes\": 1500000");
+  expect(CompareDocs(base, ParseDoc(fat), options) == 1,
+         "50% more rss regresses");
+
+  // Faster + leaner: improvements never fail.
+  std::string lean = kFixtureBase;
+  lean.replace(lean.find("\"real_time\": 100.000000"),
+               std::strlen("\"real_time\": 100.000000"),
+               "\"real_time\": 50.000000");
+  expect(CompareDocs(base, ParseDoc(lean), options) == 0,
+         "improvement is clean");
+
+  // Zero baseline memory (metering off) is skipped, not divided by.
+  std::string unmetered = kFixtureBase;
+  unmetered.replace(unmetered.find("\"meter_peak_bytes\": 500000"),
+                    std::strlen("\"meter_peak_bytes\": 500000"),
+                    "\"meter_peak_bytes\": 0");
+  expect(CompareDocs(ParseDoc(unmetered), base, options) == 0,
+         "zero baseline memory skipped");
+
+  if (failures == 0) std::printf("bench_compare selftest: OK\n");
+  return failures == 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CompareOptions options;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--selftest") == 0) {
+      return SelfTest();
+    }
+    if (std::strcmp(argv[i], "--time-tolerance") == 0 && i + 1 < argc) {
+      options.time_tolerance = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--mem-tolerance") == 0 &&
+               i + 1 < argc) {
+      options.mem_tolerance = std::atof(argv[++i]);
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (positional.size() != 2) {
+    std::fprintf(stderr,
+                 "usage: bench_compare <baseline> <candidate> "
+                 "[--time-tolerance F] [--mem-tolerance F] | "
+                 "--selftest\n");
+    return 2;
+  }
+  return Compare(positional[0], positional[1], options);
+}

@@ -317,6 +317,256 @@ std::vector<Finding> CheckBannedCalls(const SourceFile& file) {
   return findings;
 }
 
+namespace {
+
+/// Layers instrument names may start with. Adding a subsystem means
+/// registering its layer here (and the grammar keeps every dashboard
+/// group-by-layer query working).
+const char* const kInstrumentLayers[] = {
+    "core",    "csv",      "etl",      "faults",     "io",
+    "journal", "kb",       "mdx",      "olap",       "other",
+    "persist", "profiler", "quarantine", "resource", "retry",
+    "snapshot", "store",   "table",    "telemetry",  "warehouse",
+};
+
+bool IsRegisteredLayer(const std::string& s) {
+  for (const char* layer : kInstrumentLayers) {
+    if (s == layer) return true;
+  }
+  return false;
+}
+
+/// lower_snake_case segment: [a-z][a-z0-9_]*.
+bool IsSegment(const std::string& s) {
+  if (s.empty() || std::islower(static_cast<unsigned char>(s[0])) == 0) {
+    return false;
+  }
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c)) == 0 &&
+        std::isdigit(static_cast<unsigned char>(c)) == 0 && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// Validates one extracted literal. Returns an explanation, empty when
+/// the name conforms. `is_metric` selects the ddgms.-prefixed grammar.
+std::string ValidateInstrumentName(const std::string& name,
+                                   bool is_metric) {
+  std::string base = name;
+  // A trailing-colon literal ("ddgms.retry.attempts:" + op) or a
+  // ":detail" variant; only metrics may carry one.
+  const size_t colon = base.find(':');
+  if (colon != std::string::npos) {
+    if (!is_metric) {
+      return "':' variants are reserved for metric names";
+    }
+    const std::string detail = base.substr(colon + 1);
+    if (!detail.empty() && !IsSegment(detail)) {
+      return "detail suffix '" + detail + "' is not lower_snake_case";
+    }
+    base = base.substr(0, colon);
+  }
+  std::vector<std::string> parts;
+  std::string part;
+  for (char c : base) {
+    if (c == '.') {
+      parts.push_back(part);
+      part.clear();
+    } else {
+      part.push_back(c);
+    }
+  }
+  parts.push_back(part);
+  size_t layer_index = 0;
+  if (is_metric) {
+    if (parts[0] != "ddgms") {
+      return "metric names start with 'ddgms.'";
+    }
+    if (parts.size() < 3 || parts.size() > 4) {
+      return "expected ddgms.<layer>.<noun>[.<verb>][:detail]";
+    }
+    layer_index = 1;
+  } else if (parts.size() > 3) {
+    return "expected <layer>[.<noun>[.<verb>]]";
+  }
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (!IsSegment(parts[i])) {
+      return "segment '" + parts[i] + "' is not lower_snake_case";
+    }
+  }
+  if (!IsRegisteredLayer(parts[layer_index])) {
+    return "layer '" + parts[layer_index] +
+           "' is not registered (see kInstrumentLayers)";
+  }
+  return std::string();
+}
+
+/// Like StripCommentsAndStrings but KEEPS string literal bodies —
+/// instrument names live inside them.
+std::string StripCommentsOnly(const std::string& src) {
+  std::string out;
+  out.reserve(src.size());
+  size_t i = 0;
+  const size_t n = src.size();
+  while (i < n) {
+    const char c = src[i];
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      while (i < n && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      i += 2;
+      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
+        if (src[i] == '\n') out.push_back('\n');
+        ++i;
+      }
+      i = std::min(n, i + 2);
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      out.push_back(c);
+      ++i;
+      while (i < n && src[i] != c) {
+        if (src[i] == '\\' && i + 1 < n) {
+          out.push_back(src[i]);
+          ++i;
+        } else if (src[i] == '\n') {
+          break;
+        }
+        out.push_back(src[i]);
+        ++i;
+      }
+      if (i < n && src[i] == c) {
+        out.push_back(c);
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+/// Reads a string literal starting at `pos` (which must point at the
+/// opening '"'); returns false when there is none.
+bool ReadStringLiteral(const std::string& line, size_t pos,
+                       std::string* value) {
+  if (pos >= line.size() || line[pos] != '"') return false;
+  value->clear();
+  for (size_t i = pos + 1; i < line.size(); ++i) {
+    if (line[i] == '\\') {
+      ++i;
+      if (i < line.size()) value->push_back(line[i]);
+      continue;
+    }
+    if (line[i] == '"') return true;
+    value->push_back(line[i]);
+  }
+  return false;
+}
+
+size_t SkipSpaces(const std::string& line, size_t pos) {
+  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+    ++pos;
+  }
+  return pos;
+}
+
+}  // namespace
+
+std::vector<Finding> CheckInstrumentNames(const SourceFile& file) {
+  struct Trigger {
+    const char* token;    // call site to look for
+    bool is_metric;       // ddgms.-prefixed grammar
+    bool declaration;     // token is a type: an identifier precedes '('
+    bool skip_first_arg;  // name is the second argument (LogEvent)
+  };
+  static const Trigger kTriggers[] = {
+      {"DDGMS_METRIC_INC", true, false, false},
+      {"DDGMS_METRIC_ADD", true, false, false},
+      {"DDGMS_METRIC_OBSERVE", true, false, false},
+      {"GetCounter", true, false, false},
+      {"GetGauge", true, false, false},
+      {"GetHistogram", true, false, false},
+      {"ScopedLatencyTimer", true, true, false},
+      {"TraceSpan", false, true, false},
+      {"DDGMS_LOG_DEBUG", false, false, false},
+      {"DDGMS_LOG_INFO", false, false, false},
+      {"DDGMS_LOG_WARN", false, false, false},
+      {"DDGMS_LOG_ERROR", false, false, false},
+      {"LogEvent", false, true, true},
+      {"ScopedAccounting", false, true, false},
+      {"GetPool", false, false, false},
+      {"DDGMS_FAULT_POINT", false, false, false},
+  };
+
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsOnly(file.content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    for (const Trigger& trigger : kTriggers) {
+      const std::string token(trigger.token);
+      size_t pos = 0;
+      while ((pos = line.find(token, pos)) != std::string::npos) {
+        const size_t end = pos + token.size();
+        // Whole-identifier match (not DDGMS_METRIC_INCREMENTAL etc.).
+        if ((pos > 0 &&
+             (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) ||
+            (end < line.size() && IsIdentChar(line[end]))) {
+          pos = end;
+          continue;
+        }
+        size_t cursor = SkipSpaces(line, end);
+        if (trigger.declaration) {
+          // `TraceSpan span(` — step over the variable name. A plain
+          // `(` right after the type (constructor decls, casts) is not
+          // a named instrument; skip it.
+          const size_t ident_start = cursor;
+          while (cursor < line.size() && IsIdentChar(line[cursor])) {
+            ++cursor;
+          }
+          if (cursor == ident_start) {
+            pos = end;
+            continue;
+          }
+          cursor = SkipSpaces(line, cursor);
+        }
+        if (cursor >= line.size() || line[cursor] != '(') {
+          pos = end;
+          continue;
+        }
+        cursor = SkipSpaces(line, cursor + 1);
+        if (trigger.skip_first_arg) {
+          // LogEvent e(LogLevel::kWarn, "name").
+          const size_t comma = line.find(',', cursor);
+          if (comma == std::string::npos) {
+            pos = end;
+            continue;
+          }
+          cursor = SkipSpaces(line, comma + 1);
+        }
+        std::string name;
+        if (!ReadStringLiteral(line, cursor, &name)) {
+          pos = end;  // dynamic name — not this rule's business
+          continue;
+        }
+        const std::string why =
+            ValidateInstrumentName(name, trigger.is_metric);
+        if (!why.empty()) {
+          findings.push_back({file.path, ln + 1, "instrument-name",
+                              "'" + name + "' (" + token + "): " + why});
+        }
+        pos = end;
+      }
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> CheckIncludeCycles(
     const std::vector<SourceFile>& files) {
   // module -> module -> one witness include ("table/value.cc ->
@@ -393,6 +643,7 @@ std::vector<Finding> LintSources(const std::vector<SourceFile>& files) {
     };
     merge(CheckNakedMutex(file));
     merge(CheckBannedCalls(file));
+    merge(CheckInstrumentNames(file));
     if (EndsWith(file.path, ".h")) {
       merge(CheckHeaderGuard(file, file.path));
     }

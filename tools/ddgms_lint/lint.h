@@ -35,6 +35,13 @@ namespace ddgms::lint {
 ///                      (include-what-you-use at file granularity);
 ///                      needs a compiler, so only runs when one is
 ///                      passed via --cxx.
+///   instrument-name    every literal metric / trace-span / log-event /
+///                      resource-pool / fault-point name follows the
+///                      dotted "layer.noun[.verb]" convention against
+///                      the registered layer list (metrics additionally
+///                      carry the "ddgms." prefix and may end in a
+///                      ":detail" variant) — so dashboards can group by
+///                      layer and names stay greppable.
 ///
 /// Each rule is a pure function over in-memory sources so tests can
 /// feed violating fixtures without touching the filesystem.
@@ -82,6 +89,18 @@ std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
 /// other namespaces (foo::rand) and member accesses (obj.rand()) are
 /// not flagged; std::rand is.
 std::vector<Finding> CheckBannedCalls(const SourceFile& file);
+
+/// instrument-name: extracts literal instrument names from call sites
+/// (DDGMS_METRIC_*, GetCounter/GetGauge/GetHistogram,
+/// ScopedLatencyTimer, TraceSpan, DDGMS_LOG_*, LogEvent,
+/// ScopedAccounting, GetPool, DDGMS_FAULT_POINT) and validates them:
+///   metrics      ddgms.<layer>.<seg>[.<seg>][:detail]
+///   everything else      <layer>[.<seg>[.<seg>]]
+/// where <layer> must be on the registered list (see kInstrumentLayers
+/// in lint.cc) and segments are lower_snake_case. Dynamic names (a
+/// variable argument) are not checked; a literal ending in ':' is a
+/// dynamic-detail prefix and validates up to the colon.
+std::vector<Finding> CheckInstrumentNames(const SourceFile& file);
 
 /// include-cycle: builds the directed graph of top-level module
 /// directories from `#include "mod/..."` lines (e.g. src/table/x.cc
