@@ -12,12 +12,18 @@
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <cstdio>
+#include <string>
+#include <thread>
 
 #include "bench/bench_util.h"
+#include "common/http.h"
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/query_registry.h"
 #include "common/trace.h"
+#include "server/observability.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
 #include "warehouse/telemetry.h"
@@ -235,6 +241,88 @@ void BM_WarehouseBuildProfiled(benchmark::State& state) {
   }
 }
 DDGMS_BENCHMARK(BM_WarehouseBuildProfiled)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_QueryRegistryBeginEnd(benchmark::State& state) {
+  // Per-query cost of the in-flight registry: one Begin/End pair with
+  // a TLS stage update in between (what every QueryMdx now pays when
+  // the registry is enabled).
+  QueryRegistry::Enable();
+  for (auto _ : state) {
+    ScopedQueryRecord record("mdx", "bench query");
+    QueryRegistry::SetCurrentStage("execute");
+    benchmark::DoNotOptimize(record.id());
+  }
+  QueryRegistry::Disable();
+  QueryRegistry::Global().ResetForTesting();
+}
+DDGMS_BENCHMARK(BM_QueryRegistryBeginEnd);
+
+void BM_QueryRegistryDisabled(benchmark::State& state) {
+  // The shipping default: one relaxed atomic load, no registration.
+  QueryRegistry::Disable();
+  for (auto _ : state) {
+    ScopedQueryRecord record("mdx", "bench query");
+    benchmark::DoNotOptimize(record.id());
+  }
+}
+DDGMS_BENCHMARK(BM_QueryRegistryDisabled);
+
+void BM_PrometheusExport(benchmark::State& state) {
+  // One /metrics render over a populated registry — the per-scrape
+  // serialization cost, independent of the HTTP transport.
+  MetricsRegistry::Enable();
+  for (int i = 0; i < 64; ++i) {
+    DDGMS_METRIC_INC("ddgms.bench.counter");
+    DDGMS_METRIC_OBSERVE("ddgms.bench.histogram",
+                         static_cast<double>(i));
+  }
+  for (auto _ : state) {
+    std::string text =
+        MetricsRegistry::Global().Snapshot().ToPrometheusText();
+    benchmark::DoNotOptimize(text);
+  }
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_PrometheusExport)->Unit(benchmark::kMicrosecond);
+
+void BM_WarehouseBuildServedScrape(benchmark::State& state) {
+  // Acceptance: a warehouse build while a loopback scraper hammers
+  // /metrics stays within the 2% A7 budget of the un-served build
+  // (compare against BM_WarehouseBuildInstrumentationOn — the server
+  // requires the registry enabled to have anything to serve).
+  const Table transformed = MakeCohort(600);
+  warehouse::StarSchemaBuilder builder(discri::MakeDiscriSchemaDef());
+  MetricsRegistry::Enable();
+  TraceCollector::Enable();
+  EventLog::Enable();
+  server::ObservabilityOptions options;
+  options.start_watchdog = false;
+  server::ObservabilityServer obs(options);
+  if (!obs.Start().ok()) state.SkipWithError("server start failed");
+  std::atomic<bool> stop{false};
+  std::thread scraper([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      HttpGet("127.0.0.1", obs.port(), "/metrics").status().IgnoreError();
+    }
+  });
+  for (auto _ : state) {
+    auto wh = builder.Build(transformed);
+    if (!wh.ok()) state.SkipWithError("build failed");
+    benchmark::DoNotOptimize(wh);
+  }
+  stop.store(true);
+  scraper.join();
+  obs.Stop().IgnoreError();
+  MetricsRegistry::Disable();
+  TraceCollector::Disable();
+  EventLog::Disable();
+  MetricsRegistry::Global().ResetValues();
+  TraceCollector::Global().Clear();
+  EventLog::Global().Clear();
+}
+DDGMS_BENCHMARK(BM_WarehouseBuildServedScrape)
     ->Unit(benchmark::kMillisecond);
 
 void BM_TelemetrySample(benchmark::State& state) {

@@ -30,6 +30,11 @@
 //                        store is attached)
 //   load <dir>           strict load from a durable store
 //   recover <dir>        crash recovery from a durable store
+//   serve [--port N]     start the HTTP observability server
+//                        (loopback; port 0 = ephemeral); 'serve stop'
+//                        stops it; see /statusz for the endpoint index
+//   slow <micros>        test hook: delay every MDX execute stage (to
+//                        watch /queryz catch a stalled query)
 //   help / quit
 //
 // Pass --lenient to quarantine corrupt rows at every stage instead of
@@ -44,12 +49,20 @@
 // simulated power cut) once the durable io layer has written N more
 // bytes, tearing the write in flight. CI uses it to rehearse genuine
 // mid-snapshot crashes and then `recover` from the wreckage.
+//
+// --serve-port N starts the observability server immediately after the
+// build (equivalent to typing `serve --port N`). SIGTERM / SIGINT
+// interrupt the command loop and shut the server down cleanly (exit
+// 0), so a supervised deployment can stop the process without losing
+// in-flight scrapes mid-response.
 
+#include <csignal>
 #include <sys/stat.h>
 
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 
@@ -57,18 +70,27 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/profiler.h"
+#include "common/query_registry.h"
 #include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
+#include "server/observability.h"
 #include "table/describe.h"
 #include "warehouse/persist.h"
 
 namespace {
 
 using namespace ddgms;  // NOLINT: example brevity
+
+/// Set by the SIGTERM/SIGINT handler; the command loop checks it and
+/// getline returns early on EINTR (sigaction installs the handler
+/// without SA_RESTART for exactly that reason).
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+
+void HandleShutdownSignal(int) { g_shutdown_requested = 1; }
 
 void PrintHelp() {
   std::printf(
@@ -99,6 +121,11 @@ void PrintHelp() {
       "                     a durable store is attached)\n"
       "  load <dir>         strict load from a durable store\n"
       "  recover <dir>      crash recovery from a durable store\n"
+      "  serve [--port N]   HTTP observability server on 127.0.0.1\n"
+      "                     (port 0 = ephemeral); 'serve stop' stops;\n"
+      "                     browse /statusz for the endpoint index\n"
+      "  slow <micros>      delay every MDX execute stage (test hook\n"
+      "                     for watching /queryz flag a stalled query)\n"
       "  help | quit\n");
 }
 
@@ -108,6 +135,8 @@ int main(int argc, char** argv) {
   std::string csv_path;
   std::string log_jsonl_path;
   size_t patients = 300;
+  int serve_port = -1;  // -1 = do not serve; 0 = ephemeral
+  int watchdog_deadline_ms = 10000;
   core::RobustnessOptions robustness;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--csv") == 0 && i + 1 < argc) {
@@ -123,11 +152,19 @@ int main(int argc, char** argv) {
                i + 1 < argc) {
       auto n = ParseInt64(argv[++i]);
       if (n.ok() && *n >= 0) SetCrashAfterBytes(*n);
+    } else if (std::strcmp(argv[i], "--serve-port") == 0 && i + 1 < argc) {
+      auto n = ParseInt64(argv[++i]);
+      if (n.ok() && *n >= 0) serve_port = static_cast<int>(*n);
+    } else if (std::strcmp(argv[i], "--watchdog-deadline-ms") == 0 &&
+               i + 1 < argc) {
+      auto n = ParseInt64(argv[++i]);
+      if (n.ok() && *n > 0) watchdog_deadline_ms = static_cast<int>(*n);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--csv extract.csv | --patients N] "
                    "[--lenient] [--log-jsonl events.jsonl] "
-                   "[--crash-after-bytes N]\n",
+                   "[--crash-after-bytes N] [--serve-port N] "
+                   "[--watchdog-deadline-ms N]\n",
                    argv[0]);
       return 2;
     }
@@ -139,6 +176,17 @@ int main(int argc, char** argv) {
   TraceCollector::Enable();
   EventLog::Enable();
   ResourceMeter::Enable();
+  QueryRegistry::Enable();
+
+  // Clean shutdown on SIGTERM/SIGINT: no SA_RESTART, so a blocked
+  // getline returns with EINTR and the command loop falls through to
+  // the teardown path (stops the observability server, exits 0).
+  struct sigaction shutdown_action {};
+  shutdown_action.sa_handler = HandleShutdownSignal;
+  sigemptyset(&shutdown_action.sa_mask);
+  shutdown_action.sa_flags = 0;
+  sigaction(SIGTERM, &shutdown_action, nullptr);
+  sigaction(SIGINT, &shutdown_action, nullptr);
   if (!log_jsonl_path.empty()) {
     auto sink = JsonlFileLogSink::Open(log_jsonl_path);
     if (!sink.ok()) {
@@ -179,9 +227,36 @@ int main(int argc, char** argv) {
               dgms->warehouse().num_fact_rows(),
               dgms->warehouse().dimensions().size());
 
+  // The facade pointer handed to the server stays valid across
+  // `load`/`recover`: those move-assign into the same Result storage.
+  std::unique_ptr<server::ObservabilityServer> obs_server;
+  const auto start_server = [&](int port) {
+    if (obs_server != nullptr && obs_server->running()) {
+      std::printf("server already listening on 127.0.0.1:%d\n",
+                  obs_server->port());
+      return;
+    }
+    server::ObservabilityOptions options;
+    options.http.port = port;
+    options.watchdog.deadline_ms = watchdog_deadline_ms;
+    obs_server = std::make_unique<server::ObservabilityServer>(
+        std::move(options), &*dgms);
+    Status st = obs_server->Start();
+    if (st.ok()) {
+      std::printf("observability server listening on 127.0.0.1:%d\n",
+                  obs_server->port());
+    } else {
+      std::printf("error: %s\n", st.ToString().c_str());
+      obs_server.reset();
+    }
+    std::fflush(stdout);
+  };
+  if (serve_port >= 0) start_server(serve_port);
+
   std::string line;
-  while (std::printf("> "), std::fflush(stdout),
-         std::getline(std::cin, line)) {
+  while (!g_shutdown_requested &&
+         (std::printf("> "), std::fflush(stdout),
+          std::getline(std::cin, line))) {
     std::string trimmed(Trim(line));
     if (trimmed.empty()) continue;
     if (trimmed == "quit" || trimmed == "exit") break;
@@ -461,6 +536,52 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (trimmed == "serve" || StartsWith(trimmed, "serve ")) {
+      std::string mode(Trim(trimmed.substr(5)));
+      if (mode == "stop") {
+        if (obs_server != nullptr && obs_server->running()) {
+          Status st = obs_server->Stop();
+          std::printf("%s\n", st.ok() ? "server stopped"
+                                      : st.ToString().c_str());
+        } else {
+          std::printf("server not running\n");
+        }
+        continue;
+      }
+      if (mode == "status") {
+        if (obs_server != nullptr && obs_server->running()) {
+          std::printf("listening on 127.0.0.1:%d\n",
+                      obs_server->port());
+        } else {
+          std::printf("server not running\n");
+        }
+        continue;
+      }
+      int port = 0;
+      if (StartsWith(mode, "--port")) mode = Trim(mode.substr(6));
+      if (!mode.empty()) {
+        auto n = ParseInt64(mode);
+        if (!n.ok() || *n < 0 || *n > 65535) {
+          std::printf("usage: serve [--port N] | serve stop\n");
+          continue;
+        }
+        port = static_cast<int>(*n);
+      }
+      start_server(port);
+      continue;
+    }
+    if (StartsWith(trimmed, "slow ")) {
+      auto n = ParseInt64(Trim(trimmed.substr(5)));
+      if (n.ok() && *n >= 0) {
+        mdx::MdxExecutor::SetExecuteDelayMicrosForTesting(
+            static_cast<uint64_t>(*n));
+        std::printf("mdx execute delay set to %lld us\n",
+                    static_cast<long long>(*n));
+      } else {
+        std::printf("usage: slow <micros>\n");
+      }
+      continue;
+    }
     if (StartsWith(trimmed, "sql ")) {
       auto result = dgms->QuerySql(trimmed.substr(4));
       if (result.ok()) {
@@ -485,6 +606,13 @@ int main(int argc, char** argv) {
       continue;
     }
     std::printf("unknown command (try 'help')\n");
+  }
+  if (g_shutdown_requested) {
+    std::printf("\nshutdown signal received\n");
+  }
+  if (obs_server != nullptr && obs_server->running()) {
+    obs_server->Stop().IgnoreError();
+    std::printf("observability server stopped\n");
   }
   return 0;
 }

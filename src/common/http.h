@@ -1,0 +1,186 @@
+#ifndef DDGMS_COMMON_HTTP_H_
+#define DDGMS_COMMON_HTTP_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace ddgms {
+
+/// -------------------------------------------------------------------
+/// Embedded HTTP/1.1 server
+///
+/// A small POSIX-socket listener for the observability surface
+/// (src/server): one accept thread feeds a bounded queue drained by a
+/// fixed pool of handler threads; each connection carries exactly one
+/// request/response exchange (Connection: close — scrape traffic has
+/// no use for keep-alive and one-shot connections keep the worker
+/// state machine trivial).
+///
+/// Security posture: binds 127.0.0.1 by default. The server is an
+/// introspection side-door for operators, not a hardened edge — keep
+/// it loopback-bound (or firewalled) in deployment.
+///
+/// Fault-injection points ("server.accept", "server.read",
+/// "server.write") let tests rehearse connection drops at every io
+/// stage; the listener must survive all of them and keep serving.
+///
+/// Instrumentation (inert unless the registries are enabled):
+/// ddgms.server.requests / errors / rejected counters, a
+/// ddgms.server.request_latency_us histogram, a
+/// ddgms.server.connections_active gauge, and "server.start" /
+/// "server.stop" flight-recorder events.
+/// -------------------------------------------------------------------
+
+/// One parsed request. Header names are lower-cased at parse time;
+/// query values are percent-decoded.
+struct HttpRequest {
+  std::string method;  // as sent, upper-case by convention ("GET")
+  std::string path;    // decoded path without the query string
+  std::string target;  // raw request target ("/profilez?seconds=2")
+  std::map<std::string, std::string> query;
+  std::map<std::string, std::string> headers;  // lower-cased names
+  std::string body;
+
+  /// Query parameter by name; `fallback` when absent.
+  std::string QueryParam(const std::string& name,
+                         const std::string& fallback = "") const;
+};
+
+/// One response. Reason phrases are derived from the status code.
+struct HttpResponse {
+  int status = 200;
+  std::string content_type = "text/plain; charset=utf-8";
+  std::string body;
+
+  static HttpResponse Text(std::string body, int status = 200);
+  static HttpResponse Html(std::string body, int status = 200);
+  static HttpResponse Json(std::string body, int status = 200);
+  static HttpResponse NotFound(const std::string& path);
+  static HttpResponse MethodNotAllowed(const std::string& method);
+  static HttpResponse BadRequest(const std::string& why);
+  static HttpResponse InternalError(const std::string& why);
+};
+
+/// Canonical reason phrase for an HTTP status code ("OK", "Not Found",
+/// ...; "Unknown" for unmapped codes).
+const char* HttpReasonPhrase(int status);
+
+/// Parses one serialized HTTP/1.x request (start line + headers +
+/// optional Content-Length body). Exposed for tests; the server feeds
+/// it from the socket read loop.
+Result<HttpRequest> ParseHttpRequest(const std::string& raw);
+
+/// Serializes `response` (status line, Content-Type, Content-Length,
+/// Connection: close). Exposed for tests.
+std::string SerializeHttpResponse(const HttpResponse& response);
+
+struct HttpServerOptions {
+  /// Loopback by default — see the security posture note above.
+  std::string bind_address = "127.0.0.1";
+  /// 0 binds an ephemeral port; HttpServer::port() reports the choice.
+  int port = 0;
+  /// Handler pool size.
+  int num_workers = 4;
+  /// Accepted connections waiting for a worker; beyond this the
+  /// connection is closed immediately (counted as rejected).
+  size_t max_pending = 64;
+  /// Reject requests whose head + body exceed this.
+  size_t max_request_bytes = 1 << 20;
+  /// Per-socket read timeout, so a stalled client cannot pin a worker.
+  int read_timeout_ms = 5000;
+};
+
+/// The listener. Start() binds/listens and spawns the accept thread
+/// plus the worker pool; Stop() shuts the socket down, drains the
+/// queue and joins every thread. All methods are thread-safe; handlers
+/// run on worker threads and must be thread-safe themselves.
+class HttpServer {
+ public:
+  using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+  explicit HttpServer(HttpServerOptions options = {});
+  ~HttpServer();
+
+  HttpServer(const HttpServer&) = delete;
+  HttpServer& operator=(const HttpServer&) = delete;
+
+  /// Registers `handler` for exact-path requests with `method`.
+  /// Requests for a known path with an unregistered method get 405
+  /// (with an Allow header implied by the registry), unknown paths get
+  /// 404. Registration is only legal before Start().
+  void Handle(const std::string& method, const std::string& path,
+              Handler handler) EXCLUDES(mu_);
+
+  /// Registered paths in registration order (the /statusz index and
+  /// tests iterate this).
+  std::vector<std::string> RoutePaths() const EXCLUDES(mu_);
+
+  Status Start() EXCLUDES(mu_);
+  Status Stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
+
+  /// The bound port (resolves port 0); 0 before Start().
+  int port() const { return port_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Route {
+    std::string method;
+    std::string path;
+    Handler handler;
+  };
+
+  void AcceptLoop();
+  void WorkerLoop();
+  /// One connection: read, parse, route, write. Returns the fault /
+  /// parse / io status for metrics; the socket is always closed.
+  Status ServeConnection(int fd);
+  /// Routing against the registered table (no locking needed: routes
+  /// are frozen once Start() returns).
+  HttpResponse Dispatch(const HttpRequest& request) const;
+
+  HttpServerOptions options_;
+  std::atomic<int> port_{0};
+
+  /// Written by Start() before any server thread exists and read by
+  /// them afterwards; Stop() shuts the socket down before joining and
+  /// closes it after — thread lifecycle, not mu_, orders access.
+  int listen_fd_ = -1;
+  /// Immutable copy of routes_ frozen by Start() (same ordering), so
+  /// Dispatch() on worker threads needs no lock.
+  std::vector<Route> frozen_routes_;
+  std::thread accept_thread_;
+  std::vector<std::thread> workers_;
+
+  mutable Mutex mu_;
+  std::vector<Route> routes_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  bool stopping_ GUARDED_BY(mu_) = false;
+  std::deque<int> pending_ GUARDED_BY(mu_);
+  CondVar pending_cv_;
+};
+
+/// Minimal loopback HTTP client for tests, benches and smoke checks:
+/// one GET round trip, returning the raw response (status line +
+/// headers + body). `timeout_ms` bounds connect and read.
+Result<std::string> HttpGet(const std::string& host, int port,
+                            const std::string& target,
+                            int timeout_ms = 5000);
+
+/// Splits a raw response from HttpGet into (status code, body).
+/// ParseError when the status line is malformed.
+Result<std::pair<int, std::string>> ParseHttpResponse(
+    const std::string& raw);
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_HTTP_H_

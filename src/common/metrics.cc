@@ -189,6 +189,7 @@ void Histogram::Reset() {
 }
 
 double HistogramSnapshot::Percentile(double p) const {
+  if (std::isnan(p)) return 0.0;
   if (count == 0 || p <= 0.0) return count == 0 ? 0.0 : min;
   if (p >= 1.0) return max;
   const double target = p * static_cast<double>(count);
@@ -370,6 +371,7 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   for (const CounterValue& c : counters) {
     std::string name = SanitizeForPrometheus(c.name);
+    out += "# HELP " + name + " ddgms counter " + c.name + "\n";
     out += "# TYPE ";
     out += name;
     out += " counter\n";
@@ -378,6 +380,7 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   }
   for (const GaugeValue& g : gauges) {
     std::string name = SanitizeForPrometheus(g.name);
+    out += "# HELP " + name + " ddgms gauge " + g.name + "\n";
     out += "# TYPE ";
     out += name;
     out += " gauge\n";
@@ -388,6 +391,7 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   }
   for (const HistogramSnapshot& h : histograms) {
     std::string name = SanitizeForPrometheus(h.name);
+    out += "# HELP " + name + " ddgms histogram " + h.name + "\n";
     out += "# TYPE ";
     out += name;
     out += " histogram\n";
@@ -405,9 +409,13 @@ std::string MetricsSnapshot::ToPrometheusText() const {
     out += "_sum ";
     out += FormatDouble(h.sum, 9);
     out += "\n";
+    // The exposition format requires _count == the +Inf bucket. The
+    // snapshot's count field is read from a separate atomic than the
+    // bucket array, so under concurrent observation the two can skew
+    // by an in-flight observation — emit the bucket sum for both.
     out += name;
     out += StrFormat("_count %llu\n",
-                     static_cast<unsigned long long>(h.count));
+                     static_cast<unsigned long long>(cumulative));
   }
   return out;
 }

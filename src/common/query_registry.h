@@ -1,0 +1,176 @@
+#ifndef DDGMS_COMMON_QUERY_REGISTRY_H_
+#define DDGMS_COMMON_QUERY_REGISTRY_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "common/sync.h"
+
+namespace ddgms {
+
+/// -------------------------------------------------------------------
+/// Live query registry + stall watchdog
+///
+/// Every MDX query the core facade runs registers an in-flight record
+/// here (query text, correlated span id, start time, resource-meter
+/// baseline, current execution stage). The observability server's
+/// /queryz endpoint snapshots the table, so an operator can see what
+/// the process is doing *right now* — not just what it did.
+///
+/// A watchdog thread sweeps the table on a poll interval and flags
+/// each record that has been in flight longer than a configurable
+/// deadline, exactly once: it emits an "mdx.stalled" flight-recorder
+/// event, bumps the ddgms.queries.stalled_total counter and keeps the
+/// ddgms.queries.stalled gauge at the number of currently-stalled
+/// in-flight queries (the gauge drops when a stalled query finally
+/// finishes).
+///
+/// Like the metrics / trace / log registries, the whole subsystem is
+/// inert behind one relaxed atomic gate until Enable() is called (the
+/// shell does this at startup), so library users pay one predictable
+/// branch per query.
+/// -------------------------------------------------------------------
+
+/// Point-in-time view of one in-flight query.
+struct InflightQuerySnapshot {
+  uint64_t id = 0;          // registry-assigned, monotonic
+  std::string kind;         // "mdx", "sql", ...
+  std::string text;         // the query source text
+  uint64_t span_id = 0;     // innermost trace span at Begin()
+  std::string stage;        // "start", "parse", "compile", "execute"
+  double elapsed_ms = 0.0;
+  /// Bytes the global ResourceMeter root pool grew since Begin().
+  /// Signed: other work finishing concurrently can shrink the pool.
+  int64_t resource_delta_bytes = 0;
+  bool stalled = false;     // already flagged by the watchdog
+};
+
+struct QueryWatchdogOptions {
+  /// A query in flight longer than this is flagged as stalled.
+  int deadline_ms = 10000;
+  /// Sweep interval.
+  int poll_ms = 100;
+};
+
+/// The global in-flight table. All methods are thread-safe.
+class QueryRegistry {
+ public:
+  static QueryRegistry& Global();
+
+  /// Master switch (one relaxed atomic; same idiom as MetricsRegistry).
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Registers an in-flight query; returns its id (never 0). Captures
+  /// the current trace span id and the resource-meter baseline.
+  /// Returns 0 without registering when the registry is disabled —
+  /// End(0)/SetStage(0, ...) are no-ops, so call sites need no branch.
+  uint64_t Begin(const std::string& kind, const std::string& text)
+      EXCLUDES(mu_);
+
+  /// Updates the execution stage shown in /queryz. Unknown or zero ids
+  /// are ignored.
+  void SetStage(uint64_t id, const std::string& stage) EXCLUDES(mu_);
+
+  /// Stage update for the query the calling thread is currently
+  /// running (tracked thread-locally by ScopedQueryRecord); no-op when
+  /// the thread has no registered query. This is how mdx/executor
+  /// reports parse/compile/execute boundaries without a core
+  /// dependency.
+  static void SetCurrentStage(const std::string& stage);
+
+  /// Deregisters; recomputes the stalled gauge. Id 0 is a no-op.
+  void End(uint64_t id) EXCLUDES(mu_);
+
+  /// All in-flight queries, oldest first.
+  std::vector<InflightQuerySnapshot> Snapshot() const EXCLUDES(mu_);
+
+  /// JSON array for /queryz.
+  std::string ToJson() const;
+
+  size_t active() const EXCLUDES(mu_);
+  /// Queries ever flagged as stalled (monotonic).
+  uint64_t stalled_total() const {
+    return stalled_total_.load(std::memory_order_relaxed);
+  }
+
+  /// Spawns the watchdog thread. FailedPrecondition when already
+  /// running or `options` is non-positive.
+  Status StartWatchdog(QueryWatchdogOptions options = {}) EXCLUDES(mu_);
+  /// Joins the watchdog. FailedPrecondition when not running.
+  Status StopWatchdog() EXCLUDES(mu_);
+  bool watchdog_running() const EXCLUDES(mu_);
+
+  /// One synchronous watchdog sweep with an explicit deadline —
+  /// deterministic tests drive this instead of racing the thread.
+  void SweepForTesting(int deadline_ms) { Sweep(deadline_ms); }
+
+  /// Drops every record and resets counters. Tests only; never call
+  /// with queries in flight.
+  void ResetForTesting() EXCLUDES(mu_);
+
+ private:
+  struct Record {
+    uint64_t id = 0;
+    std::string kind;
+    std::string text;
+    uint64_t span_id = 0;
+    std::chrono::steady_clock::time_point start;
+    uint64_t baseline_bytes = 0;
+    std::string stage = "start";
+    bool stalled = false;
+  };
+
+  QueryRegistry() = default;
+
+  /// Flags over-deadline records (each exactly once) and refreshes the
+  /// stalled gauge.
+  void Sweep(int deadline_ms) EXCLUDES(mu_);
+  void WatchdogLoop(QueryWatchdogOptions options);
+
+  InflightQuerySnapshot SnapshotRecord(
+      const Record& record,
+      std::chrono::steady_clock::time_point now) const;
+
+  mutable Mutex mu_;
+  std::map<uint64_t, Record> inflight_ GUARDED_BY(mu_);
+  bool watchdog_running_ GUARDED_BY(mu_) = false;
+  std::thread watchdog_;
+  CondVar watchdog_cv_;
+  std::atomic<bool> watchdog_stop_{false};
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> stalled_total_{0};
+  static std::atomic<bool> enabled_;
+};
+
+/// RAII registration: Begin() on construction, End() on destruction,
+/// and maintains the thread-local "current query" id SetCurrentStage()
+/// targets (saving/restoring the previous one, so nested queries —
+/// e.g. EXPLAIN driving a real execution — attribute stages to the
+/// innermost record).
+class ScopedQueryRecord {
+ public:
+  ScopedQueryRecord(const std::string& kind, const std::string& text);
+  ~ScopedQueryRecord();
+
+  ScopedQueryRecord(const ScopedQueryRecord&) = delete;
+  ScopedQueryRecord& operator=(const ScopedQueryRecord&) = delete;
+
+  /// 0 when the registry was disabled at construction.
+  uint64_t id() const { return id_; }
+
+ private:
+  uint64_t id_ = 0;
+  uint64_t previous_tls_id_ = 0;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_QUERY_REGISTRY_H_

@@ -3,6 +3,7 @@
 #include <chrono>
 
 #include "common/log.h"
+#include "common/query_registry.h"
 #include "common/strings.h"
 #include "common/trace.h"
 #include "mdx/parser.h"
@@ -102,6 +103,11 @@ warehouse::TelemetrySampler& DdDgms::telemetry() const {
 }
 
 Result<mdx::MdxResult> DdDgms::QueryMdx(const std::string& mdx_text) const {
+  // Live-registered for /queryz and the stall watchdog. ExplainMdx
+  // delegates here, so one registration covers both entry points; the
+  // executor reports compile/execute stage transitions through the
+  // thread-local channel this record opens.
+  ScopedQueryRecord inflight("mdx", mdx_text);
   // Parse here (rather than inside MdxExecutor::Execute(text)) so the
   // FROM clause can route the query: the medical cube goes to the
   // clinical warehouse, [Telemetry] to a warehouse built from the
@@ -110,6 +116,7 @@ Result<mdx::MdxResult> DdDgms::QueryMdx(const std::string& mdx_text) const {
   mdx::MdxQuery query;
   {
     TraceSpan parse_span("mdx.parse");
+    QueryRegistry::SetCurrentStage("parse");
     DDGMS_ASSIGN_OR_RETURN(query, mdx::Parse(mdx_text));
   }
   const double parse_us =

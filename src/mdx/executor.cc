@@ -4,10 +4,12 @@
 #include <atomic>
 #include <chrono>
 #include <memory>
+#include <thread>
 #include <utility>
 
 #include "common/log.h"
 #include "common/metrics.h"
+#include "common/query_registry.h"
 #include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
@@ -231,6 +233,7 @@ std::string FormatMicros(double us) {
 }
 
 std::atomic<double> g_slow_query_threshold_us{250000.0};
+std::atomic<uint64_t> g_execute_delay_us{0};
 
 }  // namespace
 
@@ -240,6 +243,14 @@ void MdxExecutor::SetSlowQueryThresholdMicros(double micros) {
 
 double MdxExecutor::SlowQueryThresholdMicros() {
   return g_slow_query_threshold_us.load(std::memory_order_relaxed);
+}
+
+void MdxExecutor::SetExecuteDelayMicrosForTesting(uint64_t micros) {
+  g_execute_delay_us.store(micros, std::memory_order_relaxed);
+}
+
+uint64_t MdxExecutor::ExecuteDelayMicrosForTesting() {
+  return g_execute_delay_us.load(std::memory_order_relaxed);
 }
 
 std::string MdxProfile::ToString() const {
@@ -304,6 +315,7 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
   ScopedLatencyTimer exec_timer("ddgms.mdx.execute_latency_us");
   ScopedAccounting accounting("mdx");
   olap::PlanNode plan("mdx.execute");
+  QueryRegistry::SetCurrentStage("compile");
   const auto compile_start = std::chrono::steady_clock::now();
   CubeQuery cq;
   std::vector<size_t> column_axes;
@@ -373,7 +385,12 @@ Result<MdxResult> MdxExecutor::Execute(const MdxQuery& query) const {
                          static_cast<uint64_t>(cq.measures.size()));
   }
 
+  QueryRegistry::SetCurrentStage("execute");
   const auto execute_start = std::chrono::steady_clock::now();
+  if (const uint64_t delay_us = ExecuteDelayMicrosForTesting();
+      delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
   // The last child added to the root below; no further AddChild on the
   // root happens while this pointer is live.
   olap::PlanNode* exec_node = &plan.AddChild("");

@@ -98,6 +98,13 @@ class MdxExecutor {
   static void SetSlowQueryThresholdMicros(double micros);
   static double SlowQueryThresholdMicros();
 
+  /// Test hook (same static-knob idiom as the slow-query threshold):
+  /// every execution sleeps this long inside the execute stage, so
+  /// watchdog / /queryz tests can observe a deliberately stalled query
+  /// deterministically. 0 (the default) disables the sleep entirely.
+  static void SetExecuteDelayMicrosForTesting(uint64_t micros);
+  static uint64_t ExecuteDelayMicrosForTesting();
+
  private:
   const warehouse::Warehouse* warehouse_;
   olap::CachingCubeEngine* cache_ = nullptr;

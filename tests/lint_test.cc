@@ -208,6 +208,65 @@ TEST(InstrumentNameTest, FlagsBadNames) {
   }
 }
 
+TEST(InstrumentNameTest, AcceptsServerAndQueriesLayers) {
+  SourceFile file{
+      "common/http.cc",
+      "void F() {\n"
+      "  DDGMS_METRIC_INC(\"ddgms.server.requests\");\n"
+      "  DDGMS_METRIC_GAUGE_SET(\"ddgms.queries.active\", 1.0);\n"
+      "  ScopedLatencyTimer timer(\"ddgms.server.request_latency_us\");\n"
+      "  TraceSpan span(\"server.request\");\n"
+      "  DDGMS_LOG_WARN(\"queries.watchdog_start\");\n"
+      "  DDGMS_FAULT_POINT(\"server.accept\");\n"
+      "}\n"};
+  std::vector<Finding> findings = CheckInstrumentNames(file);
+  for (const Finding& f : findings) ADD_FAILURE() << f.ToString();
+}
+
+TEST(EndpointPathTest, AcceptsConformingRoutes) {
+  SourceFile file{
+      "server/observability.cc",
+      "void F(HttpServer& s, HttpHandler h) {\n"
+      "  s.Handle(\"GET\", \"/\", h);\n"
+      "  s.Handle(\"GET\", \"/statusz\", h);\n"
+      "  s.Handle(\"GET\", \"/healthz\", h);\n"
+      "  s.Handle(\"GET\", \"/debug/queryz\", h);\n"
+      "  s.Handle(\"POST\", \"/metrics\", h);\n"  // sanctioned exception
+      "}\n"};
+  std::vector<Finding> findings = CheckEndpointPaths(file);
+  for (const Finding& f : findings) ADD_FAILURE() << f.ToString();
+}
+
+TEST(EndpointPathTest, FlagsBadRoutes) {
+  SourceFile file{
+      "server/observability.cc",
+      "void F(HttpServer& s, HttpHandler h) {\n"
+      "  s.Handle(\"get\", \"/statusz\", h);\n"    // lower-case method
+      "  s.Handle(\"GET\", \"statusz\", h);\n"     // no leading slash
+      "  s.Handle(\"GET\", \"/statusz/\", h);\n"   // trailing slash
+      "  s.Handle(\"GET\", \"/Statusz\", h);\n"    // upper-case segment
+      "  s.Handle(\"GET\", \"/status\", h);\n"     // no trailing 'z'
+      "}\n"};
+  std::vector<Finding> findings = CheckEndpointPaths(file);
+  EXPECT_EQ(findings.size(), 5u);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.rule, "endpoint-path");
+  }
+}
+
+TEST(EndpointPathTest, IgnoresDynamicArgsAndOtherHandles) {
+  SourceFile file{
+      "server/observability.cc",
+      "// s.Handle(\"GET\", \"/bad\") in prose is not a route.\n"
+      "void F(HttpServer& s, HttpHandler h, std::string p) {\n"
+      "  s.Handle(\"GET\", p, h);\n"           // dynamic path
+      "  s.Handle(method, \"/whoz\", h);\n"    // dynamic method
+      "  file.Handle(42);\n"                   // unrelated Handle()
+      "  s.PreHandle(\"GET\", \"/bad\", h);\n"  // not the Handle token
+      "}\n"};
+  EXPECT_TRUE(CheckEndpointPaths(file).empty());
+}
+
 TEST(InstrumentNameTest, IgnoresCommentsAndDynamicNames) {
   SourceFile file{
       "common/faults.h",

@@ -5,6 +5,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -274,7 +275,15 @@ TEST_F(MetricsTest, ToPrometheusTextSanitizesNames) {
   EXPECT_NE(prom.find("ddgms_retry_attempts:store_fetch"),
             std::string::npos);
   EXPECT_NE(prom.find("# TYPE"), std::string::npos);
-  EXPECT_EQ(prom.find("ddgms.retry"), std::string::npos);
+  // The original dotted name survives only in # HELP comments (where
+  // it documents the sanitized -> registry mapping); every sample
+  // line uses the sanitized form.
+  std::istringstream lines(prom);
+  std::string line;
+  while (std::getline(lines, line)) {
+    if (line.rfind("# HELP", 0) == 0) continue;
+    EXPECT_EQ(line.find("ddgms.retry"), std::string::npos) << line;
+  }
 }
 
 TEST_F(MetricsTest, ResetValuesKeepsRegistrationButZeroes) {
@@ -322,6 +331,69 @@ TEST_F(MetricsTest, ScopedLatencyTimerObserves) {
   Histogram& h = MetricsRegistry::Global().GetHistogram(
       "t.latency", Histogram::DefaultLatencyBounds());
   EXPECT_EQ(h.count(), 1u);
+}
+
+TEST_F(MetricsTest, PercentileEdgeCases) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.hist.edge", {10, 20, 30});
+  // Empty histogram: every percentile is 0, nothing divides by zero.
+  HistogramSnapshot empty = h.Snapshot("t.hist.edge");
+  EXPECT_DOUBLE_EQ(empty.Percentile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(empty.Percentile(1.0), 0.0);
+
+  // Single sample: every percentile collapses onto that sample.
+  h.Observe(17);
+  HistogramSnapshot one = h.Snapshot("t.hist.edge");
+  EXPECT_DOUBLE_EQ(one.Percentile(0.0), 17.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(0.5), 17.0);
+  EXPECT_DOUBLE_EQ(one.Percentile(1.0), 17.0);
+
+  // p outside [0,1] clamps to min/max; NaN degrades to 0 rather than
+  // poisoning downstream arithmetic.
+  h.Observe(5);
+  h.Observe(100);
+  HistogramSnapshot snap = h.Snapshot("t.hist.edge");
+  EXPECT_DOUBLE_EQ(snap.Percentile(-0.5), snap.min);
+  EXPECT_DOUBLE_EQ(snap.Percentile(0.0), snap.min);
+  EXPECT_DOUBLE_EQ(snap.Percentile(1.0), snap.max);
+  EXPECT_DOUBLE_EQ(snap.Percentile(2.0), snap.max);
+  EXPECT_DOUBLE_EQ(snap.Percentile(std::nan("")), 0.0);
+}
+
+TEST_F(MetricsTest, PrometheusHistogramBucketsAreCumulative) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.hist.prom", {10, 20, 30});
+  h.Observe(5);    // le=10
+  h.Observe(10);   // le=10 (bounds inclusive)
+  h.Observe(15);   // le=20
+  h.Observe(25);   // le=30
+  h.Observe(100);  // +Inf only
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  // Buckets are CUMULATIVE counts-at-or-below each bound, ending with
+  // +Inf == _count — the exposition-format contract scrapers rely on.
+  EXPECT_NE(text.find("t_hist_prom_bucket{le=\"10\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_hist_prom_bucket{le=\"20\"} 3"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_hist_prom_bucket{le=\"30\"} 4"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_hist_prom_bucket{le=\"+Inf\"} 5"),
+            std::string::npos);
+  EXPECT_NE(text.find("t_hist_prom_count 5"), std::string::npos);
+  EXPECT_NE(text.find("t_hist_prom_sum 155"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE t_hist_prom histogram"), std::string::npos);
+  // HELP lines carry the original dotted name for all instrument kinds.
+  MetricsRegistry::Global().GetCounter("t.prom.counter").Increment();
+  MetricsRegistry::Global().GetGauge("t.prom.gauge").Set(1.0);
+  const std::string full =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  EXPECT_NE(full.find("# HELP t_hist_prom ddgms histogram t.hist.prom"),
+            std::string::npos);
+  EXPECT_NE(full.find("# HELP t_prom_counter ddgms counter t.prom.counter"),
+            std::string::npos);
+  EXPECT_NE(full.find("# HELP t_prom_gauge ddgms gauge t.prom.gauge"),
+            std::string::npos);
 }
 
 TEST_F(MetricsTest, ScopedLatencyTimerInertWhenDisabled) {

@@ -325,8 +325,9 @@ namespace {
 const char* const kInstrumentLayers[] = {
     "core",    "csv",      "etl",      "faults",     "io",
     "journal", "kb",       "mdx",      "olap",       "other",
-    "persist", "profiler", "quarantine", "resource", "retry",
-    "snapshot", "store",   "table",    "telemetry",  "warehouse",
+    "persist", "profiler", "quarantine", "queries",  "resource",
+    "retry",   "server",   "snapshot", "store",      "table",
+    "telemetry", "warehouse",
 };
 
 bool IsRegisteredLayer(const std::string& s) {
@@ -567,6 +568,102 @@ std::vector<Finding> CheckInstrumentNames(const SourceFile& file) {
   return findings;
 }
 
+namespace {
+
+/// Validates one observability endpoint path. Empty when conforming.
+std::string ValidateEndpointPath(const std::string& path) {
+  if (path == "/") return std::string();  // the index page
+  if (path.empty() || path[0] != '/') {
+    return "must start with '/'";
+  }
+  if (path.size() > 1 && path.back() == '/') {
+    return "must not end with '/'";
+  }
+  std::vector<std::string> segments;
+  std::string segment;
+  for (size_t i = 1; i < path.size(); ++i) {
+    if (path[i] == '/') {
+      segments.push_back(segment);
+      segment.clear();
+    } else {
+      segment.push_back(path[i]);
+    }
+  }
+  segments.push_back(segment);
+  for (const std::string& s : segments) {
+    if (!IsSegment(s)) {
+      return "segment '" + s + "' is not lower_snake_case";
+    }
+  }
+  // Debug pages follow the /...z convention; /metrics is the one
+  // sanctioned exception (the well-known Prometheus scrape path).
+  const std::string& last = segments.back();
+  if (last != "metrics" && last.back() != 'z') {
+    return "final segment '" + last +
+           "' should end in 'z' (statusz/healthz/... convention; "
+           "'metrics' is the only exception)";
+  }
+  return std::string();
+}
+
+}  // namespace
+
+std::vector<Finding> CheckEndpointPaths(const SourceFile& file) {
+  std::vector<Finding> findings;
+  const std::string stripped = StripCommentsOnly(file.content);
+  const std::vector<std::string> lines = SplitLines(stripped);
+  for (size_t ln = 0; ln < lines.size(); ++ln) {
+    const std::string& line = lines[ln];
+    const std::string token = "Handle";
+    size_t pos = 0;
+    while ((pos = line.find(token, pos)) != std::string::npos) {
+      const size_t end = pos + token.size();
+      if ((pos > 0 &&
+           (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) ||
+          (end < line.size() && IsIdentChar(line[end]))) {
+        pos = end;
+        continue;
+      }
+      size_t cursor = SkipSpaces(line, end);
+      if (cursor >= line.size() || line[cursor] != '(') {
+        pos = end;
+        continue;
+      }
+      // Handle("GET", "/path", ...): the path is the second argument;
+      // both must be literals for the rule to fire (dynamic routes are
+      // not this rule's business).
+      cursor = SkipSpaces(line, cursor + 1);
+      std::string method;
+      if (!ReadStringLiteral(line, cursor, &method)) {
+        pos = end;
+        continue;
+      }
+      const size_t comma = line.find(',', cursor);
+      if (comma == std::string::npos) {
+        pos = end;
+        continue;
+      }
+      cursor = SkipSpaces(line, comma + 1);
+      std::string path;
+      if (!ReadStringLiteral(line, cursor, &path)) {
+        pos = end;
+        continue;
+      }
+      if (method != ToUpper(method)) {
+        findings.push_back({file.path, ln + 1, "endpoint-path",
+                            "method '" + method + "' must be upper-case"});
+      }
+      const std::string why = ValidateEndpointPath(path);
+      if (!why.empty()) {
+        findings.push_back({file.path, ln + 1, "endpoint-path",
+                            "'" + path + "': " + why});
+      }
+      pos = end;
+    }
+  }
+  return findings;
+}
+
 std::vector<Finding> CheckIncludeCycles(
     const std::vector<SourceFile>& files) {
   // module -> module -> one witness include ("table/value.cc ->
@@ -644,6 +741,7 @@ std::vector<Finding> LintSources(const std::vector<SourceFile>& files) {
     merge(CheckNakedMutex(file));
     merge(CheckBannedCalls(file));
     merge(CheckInstrumentNames(file));
+    merge(CheckEndpointPaths(file));
     if (EndsWith(file.path, ".h")) {
       merge(CheckHeaderGuard(file, file.path));
     }

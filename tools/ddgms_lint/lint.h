@@ -42,6 +42,12 @@ namespace ddgms::lint {
 ///                      carry the "ddgms." prefix and may end in a
 ///                      ":detail" variant) — so dashboards can group by
 ///                      layer and names stay greppable.
+///   endpoint-path      literal HTTP routes registered via Handle()
+///                      use an upper-case method and a lowercase path
+///                      whose final segment ends in 'z' (/statusz,
+///                      /healthz, ... — /metrics is the sanctioned
+///                      Prometheus exception), keeping the external
+///                      debug surface uniform and predictable.
 ///
 /// Each rule is a pure function over in-memory sources so tests can
 /// feed violating fixtures without touching the filesystem.
@@ -101,6 +107,14 @@ std::vector<Finding> CheckBannedCalls(const SourceFile& file);
 /// variable argument) are not checked; a literal ending in ':' is a
 /// dynamic-detail prefix and validates up to the colon.
 std::vector<Finding> CheckInstrumentNames(const SourceFile& file);
+
+/// endpoint-path: extracts literal (method, path) pairs from Handle()
+/// call sites and validates them: the method must be upper-case; the
+/// path must be "/" or lowercase '/'-separated lower_snake_case
+/// segments whose final segment ends in 'z' ("/statusz", "/queryz");
+/// "/metrics" is allowed as the well-known Prometheus scrape path.
+/// Dynamic arguments are not checked.
+std::vector<Finding> CheckEndpointPaths(const SourceFile& file);
 
 /// include-cycle: builds the directed graph of top-level module
 /// directories from `#include "mod/..."` lines (e.g. src/table/x.cc
