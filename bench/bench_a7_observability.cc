@@ -22,7 +22,9 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/query_registry.h"
+#include "common/slo.h"
 #include "common/trace.h"
+#include "common/window.h"
 #include "server/observability.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
@@ -349,6 +351,120 @@ void BM_TelemetrySample(benchmark::State& state) {
   EventLog::Global().Clear();
 }
 DDGMS_BENCHMARK(BM_TelemetrySample)->Unit(benchmark::kMicrosecond);
+
+void BM_WindowTickDisabled(benchmark::State& state) {
+  // The shipping default: a disabled registry's Tick() is one relaxed
+  // atomic load, regardless of how many instruments are tracked.
+  MetricsRegistry::Enable();
+  WindowRegistry::Enable();
+  WindowRegistry& windows = WindowRegistry::Global();
+  for (int i = 0; i < 8; ++i) {
+    const std::string name = "ddgms.bench.win" + std::to_string(i);
+    windows.TrackCounter(name).IgnoreError();
+    DDGMS_METRIC_INC(name);
+  }
+  WindowRegistry::Disable();
+  for (auto _ : state) {
+    windows.Tick();
+  }
+  WindowRegistry::Global().ResetForTesting();
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_WindowTickDisabled);
+
+void BM_WindowTickEnabled(benchmark::State& state) {
+  // One evaluator-period tick over a realistic tracked set: 8 counters
+  // and 2 histograms across the three default window lengths. Each
+  // iteration advances time 100ms and mutates every instrument so the
+  // tick always has deltas to file.
+  MetricsRegistry::Enable();
+  WindowRegistry::Enable();
+  WindowRegistry& windows = WindowRegistry::Global();
+  windows.ResetForTesting();
+  for (int i = 0; i < 8; ++i) {
+    windows.TrackCounter("ddgms.bench.win" + std::to_string(i))
+        .IgnoreError();
+  }
+  windows.TrackHistogram("ddgms.bench.winhist0").IgnoreError();
+  windows.TrackHistogram("ddgms.bench.winhist1").IgnoreError();
+  int64_t now_us = 1000000000;
+  double v = 0.0;
+  for (auto _ : state) {
+    for (int i = 0; i < 8; ++i) {
+      DDGMS_METRIC_INC("ddgms.bench.win" + std::to_string(i));
+    }
+    DDGMS_METRIC_OBSERVE("ddgms.bench.winhist0", v);
+    DDGMS_METRIC_OBSERVE("ddgms.bench.winhist1", v);
+    v += 7.0;
+    if (v > 1e6) v = 0.0;
+    now_us += 100000;
+    windows.TickAt(now_us);
+  }
+  WindowRegistry::Disable();
+  WindowRegistry::Global().ResetForTesting();
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_WindowTickEnabled)->Unit(benchmark::kMicrosecond);
+
+void BM_WindowStatsRead(benchmark::State& state) {
+  // Merging one window's ring into WindowStats (count, rate, and the
+  // interpolated percentiles) — what every SLO evaluation pays per
+  // (instrument, window) pair.
+  MetricsRegistry::Enable();
+  WindowRegistry::Enable();
+  WindowRegistry& windows = WindowRegistry::Global();
+  windows.ResetForTesting();
+  windows.TrackHistogram("ddgms.bench.winhist").IgnoreError();
+  int64_t now_us = 1000000000;
+  for (int i = 0; i < 128; ++i) {
+    DDGMS_METRIC_OBSERVE("ddgms.bench.winhist",
+                         static_cast<double>(i) * 13.0);
+    now_us += 1000000;
+    windows.TickAt(now_us);
+  }
+  for (auto _ : state) {
+    auto stats = windows.Stats("ddgms.bench.winhist", 60);
+    if (!stats.ok()) state.SkipWithError("stats failed");
+    benchmark::DoNotOptimize(stats);
+  }
+  WindowRegistry::Disable();
+  WindowRegistry::Global().ResetForTesting();
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_WindowStatsRead);
+
+void BM_SloEvaluate(benchmark::State& state) {
+  // One full evaluation pass over the three stock SLOs: a window tick
+  // plus burn-rate math and state-machine bookkeeping per SLO — the
+  // per-period cost of the evaluator thread.
+  MetricsRegistry::Enable();
+  WindowRegistry::Enable();
+  SloEngine::Enable();
+  SloEngine& engine = SloEngine::Global();
+  engine.ResetForTesting();
+  WindowRegistry::Global().ResetForTesting();
+  engine.RegisterDefaultSlos().IgnoreError();
+  Histogram& lat = MetricsRegistry::Global().GetHistogram(
+      "ddgms.mdx.execute_latency_us");
+  int64_t now_us = 1000000000;
+  double v = 1000.0;
+  for (auto _ : state) {
+    lat.Observe(v);
+    v = (v < 200000.0) ? v * 1.5 : 1000.0;
+    now_us += 100000;
+    engine.EvaluateAt(now_us);
+  }
+  SloEngine::Disable();
+  engine.ResetForTesting();
+  WindowRegistry::Disable();
+  WindowRegistry::Global().ResetForTesting();
+  MetricsRegistry::Disable();
+  MetricsRegistry::Global().ResetValues();
+}
+DDGMS_BENCHMARK(BM_SloEvaluate)->Unit(benchmark::kMicrosecond);
 
 }  // namespace
 

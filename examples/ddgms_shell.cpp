@@ -33,6 +33,11 @@
 //   serve [--port N]     start the HTTP observability server
 //                        (loopback; port 0 = ephemeral); 'serve stop'
 //                        stops it; see /statusz for the endpoint index
+//   slo [json|eval]      SLO engine state (burn rates, state machine);
+//                        'slo eval' forces one evaluation
+//   alerts [json]        firing/warning SLOs + recent anomaly findings
+//   anomaly [scan|json]  anomaly scanner status; 'anomaly scan' forces
+//                        one synchronous telemetry sample + MDX scan
 //   slow <micros>        test hook: delay every MDX execute stage (to
 //                        watch /queryz catch a stalled query)
 //   help / quit
@@ -72,11 +77,14 @@
 #include "common/profiler.h"
 #include "common/query_registry.h"
 #include "common/resource.h"
+#include "common/slo.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/window.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
+#include "server/anomaly.h"
 #include "server/observability.h"
 #include "table/describe.h"
 #include "warehouse/persist.h"
@@ -124,6 +132,11 @@ void PrintHelp() {
       "  serve [--port N]   HTTP observability server on 127.0.0.1\n"
       "                     (port 0 = ephemeral); 'serve stop' stops;\n"
       "                     browse /statusz for the endpoint index\n"
+      "  slo [json|eval]    SLO engine state (multi-window burn rates);\n"
+      "                     'slo eval' forces one evaluation\n"
+      "  alerts [json]      firing/warning SLOs + anomaly findings\n"
+      "  anomaly [scan|json]  anomaly scanner status; 'anomaly scan'\n"
+      "                     forces one telemetry sample + MDX scan\n"
       "  slow <micros>      delay every MDX execute stage (test hook\n"
       "                     for watching /queryz flag a stalled query)\n"
       "  help | quit\n");
@@ -177,6 +190,8 @@ int main(int argc, char** argv) {
   EventLog::Enable();
   ResourceMeter::Enable();
   QueryRegistry::Enable();
+  WindowRegistry::Enable();
+  SloEngine::Enable();
 
   // Clean shutdown on SIGTERM/SIGINT: no SA_RESTART, so a blocked
   // getline returns with EINTR and the command loop falls through to
@@ -227,6 +242,18 @@ int main(int argc, char** argv) {
               dgms->warehouse().num_fact_rows(),
               dgms->warehouse().dimensions().size());
 
+  // Stock objectives over instruments the shell just enabled; the
+  // evaluator thread only starts with `serve`, but `slo eval` and the
+  // registered windows work immediately.
+  SloEngine::Global().RegisterDefaultSlos().IgnoreError();
+
+  // The shell owns the anomaly scanner (and hands it to the server via
+  // options) so the `alerts` / `anomaly` commands and /alertz agree.
+  // It watches the facade's telemetry sampler, so load/recover must
+  // tear it down and rebuild it around the facade swap.
+  auto scanner = std::make_unique<server::AnomalyScanner>(
+      &dgms->telemetry());
+
   // The facade pointer handed to the server stays valid across
   // `load`/`recover`: those move-assign into the same Result storage.
   std::unique_ptr<server::ObservabilityServer> obs_server;
@@ -239,6 +266,7 @@ int main(int argc, char** argv) {
     server::ObservabilityOptions options;
     options.http.port = port;
     options.watchdog.deadline_ms = watchdog_deadline_ms;
+    options.anomaly_scanner = scanner.get();
     obs_server = std::make_unique<server::ObservabilityServer>(
         std::move(options), &*dgms);
     Status st = obs_server->Start();
@@ -250,6 +278,24 @@ int main(int argc, char** argv) {
       obs_server.reset();
     }
     std::fflush(stdout);
+  };
+  // load/recover replace the facade — and with it the telemetry
+  // sampler the scanner watches. Quiesce the server + scanner before
+  // the swap and rebuild them after.
+  const auto before_facade_swap = [&]() -> int {
+    int restart_port = -1;
+    if (obs_server != nullptr && obs_server->running()) {
+      restart_port = obs_server->port();
+      obs_server->Stop().IgnoreError();
+    }
+    obs_server.reset();
+    if (scanner->running()) scanner->Stop().IgnoreError();
+    return restart_port;
+  };
+  const auto after_facade_swap = [&](int restart_port) {
+    scanner = std::make_unique<server::AnomalyScanner>(
+        &dgms->telemetry());
+    if (restart_port >= 0) start_server(restart_port);
   };
   if (serve_port >= 0) start_server(serve_port);
 
@@ -510,7 +556,9 @@ int main(int argc, char** argv) {
       auto loaded = core::DdDgms::LoadDurable(
           dir, discri::MakeDiscriPipeline(), robustness);
       if (loaded.ok()) {
+        const int restart_port = before_facade_swap();
         dgms = std::move(loaded);
+        after_facade_swap(restart_port);
         std::printf("loaded generation %llu: %zu fact rows\n",
                     static_cast<unsigned long long>(
                         dgms->durable_store()->seq()),
@@ -526,7 +574,9 @@ int main(int argc, char** argv) {
       auto recovered = core::DdDgms::RecoverDurable(
           dir, discri::MakeDiscriPipeline(), &report, robustness);
       if (recovered.ok()) {
+        const int restart_port = before_facade_swap();
         dgms = std::move(recovered);
+        after_facade_swap(restart_port);
         std::printf("%s\n%zu fact rows after recovery\n",
                     report.ToString().c_str(),
                     dgms->warehouse().num_fact_rows());
@@ -568,6 +618,84 @@ int main(int argc, char** argv) {
         port = static_cast<int>(*n);
       }
       start_server(port);
+      continue;
+    }
+    if (trimmed == "slo" || StartsWith(trimmed, "slo ")) {
+      std::string mode(Trim(trimmed.substr(3)));
+      SloEngine& engine = SloEngine::Global();
+      if (mode == "eval") {
+        engine.Evaluate();
+        std::printf("evaluated %zu slos\n", engine.slo_count());
+        continue;
+      }
+      if (mode == "json") {
+        std::printf("%s\n", engine.ToJson().c_str());
+        continue;
+      }
+      const auto slos = engine.Snapshot();
+      if (slos.empty()) {
+        std::printf("no slos registered\n");
+      } else {
+        for (const SloStatus& s : slos) {
+          std::printf("%s\n", s.ToString().c_str());
+        }
+        std::printf("evaluator %s\n", engine.evaluator_running()
+                                          ? "running"
+                                          : "stopped (try 'slo eval' "
+                                            "or 'serve')");
+      }
+      continue;
+    }
+    if (trimmed == "alerts" || StartsWith(trimmed, "alerts ")) {
+      std::string mode(Trim(trimmed.substr(6)));
+      if (mode == "json") {
+        std::printf("{\"slo\":%s,\"anomaly\":%s}\n",
+                    SloEngine::Global().ToJson().c_str(),
+                    scanner->ToJson().c_str());
+        continue;
+      }
+      size_t alerting = 0;
+      for (const SloStatus& s : SloEngine::Global().Snapshot()) {
+        if (s.state == SloState::kOk) continue;
+        ++alerting;
+        std::printf("%s\n", s.ToString().c_str());
+      }
+      if (alerting == 0) std::printf("no slo alerts\n");
+      const auto findings = scanner->findings();
+      if (findings.empty()) {
+        std::printf("no anomaly findings (%llu scans)\n",
+                    static_cast<unsigned long long>(scanner->scans()));
+      } else {
+        for (const server::AnomalyFinding& f : findings) {
+          std::printf("%s\n", f.ToString().c_str());
+        }
+      }
+      continue;
+    }
+    if (trimmed == "anomaly" || StartsWith(trimmed, "anomaly ")) {
+      std::string mode(Trim(trimmed.substr(7)));
+      if (mode == "scan") {
+        auto found = scanner->ScanOnce();
+        if (!found.ok()) {
+          std::printf("error: %s\n",
+                      found.status().ToString().c_str());
+        } else if (found->empty()) {
+          std::printf("scan complete, no new findings\n");
+        } else {
+          for (const server::AnomalyFinding& f : *found) {
+            std::printf("%s\n", f.ToString().c_str());
+          }
+        }
+        continue;
+      }
+      if (mode == "json") {
+        std::printf("%s\n", scanner->ToJson().c_str());
+        continue;
+      }
+      std::printf("scanner %s, %llu scans, %zu recent findings\n",
+                  scanner->running() ? "running" : "stopped",
+                  static_cast<unsigned long long>(scanner->scans()),
+                  scanner->findings().size());
       continue;
     }
     if (StartsWith(trimmed, "slow ")) {

@@ -58,6 +58,50 @@ std::string SanitizeForPrometheus(const std::string& name) {
   return out;
 }
 
+/// Text-exposition-format escaping for `# HELP` text: backslash and
+/// newline must be escaped (a raw newline would split the comment
+/// line and corrupt the exposition).
+std::string EscapePrometheusHelp(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+/// Label values additionally escape the double quote that delimits
+/// them.
+std::string EscapePrometheusLabelValue(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string JsonEscape(const std::string& s) {
   std::string out;
   out.reserve(s.size() + 2);
@@ -371,7 +415,8 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   std::string out;
   for (const CounterValue& c : counters) {
     std::string name = SanitizeForPrometheus(c.name);
-    out += "# HELP " + name + " ddgms counter " + c.name + "\n";
+    out += "# HELP " + name + " ddgms counter " +
+           EscapePrometheusHelp(c.name) + "\n";
     out += "# TYPE ";
     out += name;
     out += " counter\n";
@@ -380,7 +425,8 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   }
   for (const GaugeValue& g : gauges) {
     std::string name = SanitizeForPrometheus(g.name);
-    out += "# HELP " + name + " ddgms gauge " + g.name + "\n";
+    out += "# HELP " + name + " ddgms gauge " +
+           EscapePrometheusHelp(g.name) + "\n";
     out += "# TYPE ";
     out += name;
     out += " gauge\n";
@@ -391,7 +437,8 @@ std::string MetricsSnapshot::ToPrometheusText() const {
   }
   for (const HistogramSnapshot& h : histograms) {
     std::string name = SanitizeForPrometheus(h.name);
-    out += "# HELP " + name + " ddgms histogram " + h.name + "\n";
+    out += "# HELP " + name + " ddgms histogram " +
+           EscapePrometheusHelp(h.name) + "\n";
     out += "# TYPE ";
     out += name;
     out += " histogram\n";
@@ -400,8 +447,9 @@ std::string MetricsSnapshot::ToPrometheusText() const {
       cumulative += h.buckets[b];
       out += name;
       out += "_bucket{le=\"";
-      out += b < h.bounds.size() ? FormatDouble(h.bounds[b], 9)
-                                 : std::string("+Inf");
+      out += EscapePrometheusLabelValue(
+          b < h.bounds.size() ? FormatDouble(h.bounds[b], 9)
+                              : std::string("+Inf"));
       out += StrFormat("\"} %llu\n",
                        static_cast<unsigned long long>(cumulative));
     }

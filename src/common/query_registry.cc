@@ -95,12 +95,32 @@ void QueryRegistry::SetCurrentStage(const std::string& stage) {
 
 void QueryRegistry::End(uint64_t id) {
   if (id == 0) return;
+  const auto now = std::chrono::steady_clock::now();
   size_t active_now = 0;
   size_t stalled_now = 0;
   bool found = false;
   {
     MutexLock lock(mu_);
-    found = inflight_.erase(id) > 0;
+    auto it = inflight_.find(id);
+    found = it != inflight_.end();
+    if (found) {
+      if (history_capacity_ > 0) {
+        const Record& record = it->second;
+        CompletedQuerySnapshot done;
+        done.id = record.id;
+        done.kind = record.kind;
+        done.text = record.text;
+        done.span_id = record.span_id;
+        done.stage = record.stage;
+        done.duration_ms =
+            std::chrono::duration<double, std::milli>(now - record.start)
+                .count();
+        done.stalled = record.stalled;
+        history_.push_back(std::move(done));
+        while (history_.size() > history_capacity_) history_.pop_front();
+      }
+      inflight_.erase(it);
+    }
     active_now = inflight_.size();
     for (const auto& [unused, record] : inflight_) {
       if (record.stalled) ++stalled_now;
@@ -164,6 +184,49 @@ std::string QueryRegistry::ToJson() const {
   }
   out += "]";
   return out;
+}
+
+std::vector<CompletedQuerySnapshot> QueryRegistry::History() const {
+  MutexLock lock(mu_);
+  return std::vector<CompletedQuerySnapshot>(history_.begin(),
+                                             history_.end());
+}
+
+std::string QueryRegistry::HistoryToJson() const {
+  std::string out = "[";
+  bool first = true;
+  for (const CompletedQuerySnapshot& q : History()) {
+    if (!first) out += ",";
+    first = false;
+    out += StrFormat(
+        "{\"id\":%llu,\"kind\":\"%s\",\"text\":\"%s\","
+        "\"span_id\":%llu,\"stage\":\"%s\",\"duration_ms\":%s,"
+        "\"stalled\":%s}",
+        static_cast<unsigned long long>(q.id),
+        JsonEscape(q.kind).c_str(), JsonEscape(q.text).c_str(),
+        static_cast<unsigned long long>(q.span_id),
+        JsonEscape(q.stage).c_str(),
+        FormatDouble(q.duration_ms, 3).c_str(),
+        q.stalled ? "true" : "false");
+  }
+  out += "]";
+  return out;
+}
+
+size_t QueryRegistry::history_capacity() const {
+  MutexLock lock(mu_);
+  return history_capacity_;
+}
+
+void QueryRegistry::set_history_capacity(size_t capacity) {
+  MutexLock lock(mu_);
+  history_capacity_ = capacity;
+  while (history_.size() > history_capacity_) history_.pop_front();
+}
+
+size_t QueryRegistry::history_size() const {
+  MutexLock lock(mu_);
+  return history_.size();
 }
 
 size_t QueryRegistry::active() const {
@@ -269,6 +332,7 @@ bool QueryRegistry::watchdog_running() const {
 void QueryRegistry::ResetForTesting() {
   MutexLock lock(mu_);
   inflight_.clear();
+  history_.clear();
   stalled_total_.store(0, std::memory_order_relaxed);
   next_id_.store(1, std::memory_order_relaxed);
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
+#include <deque>
 #include <map>
 #include <string>
 #include <thread>
@@ -31,6 +32,11 @@ namespace ddgms {
 /// in-flight queries (the gauge drops when a stalled query finally
 /// finishes).
 ///
+/// Finished queries move into a bounded completed-query history
+/// (oldest evicted at capacity, default 128), so /queryz shows the
+/// recent past as well as the present without ever growing unbounded
+/// under sustained load.
+///
 /// Like the metrics / trace / log registries, the whole subsystem is
 /// inert behind one relaxed atomic gate until Enable() is called (the
 /// shell does this at startup), so library users pay one predictable
@@ -49,6 +55,18 @@ struct InflightQuerySnapshot {
   /// Signed: other work finishing concurrently can shrink the pool.
   int64_t resource_delta_bytes = 0;
   bool stalled = false;     // already flagged by the watchdog
+};
+
+/// One finished query as kept in the bounded history ring.
+struct CompletedQuerySnapshot {
+  uint64_t id = 0;
+  std::string kind;
+  std::string text;
+  uint64_t span_id = 0;
+  /// Stage the query was in when it finished ("execute" normally).
+  std::string stage;
+  double duration_ms = 0.0;
+  bool stalled = false;  // was ever flagged by the watchdog
 };
 
 struct QueryWatchdogOptions {
@@ -92,8 +110,20 @@ class QueryRegistry {
   /// All in-flight queries, oldest first.
   std::vector<InflightQuerySnapshot> Snapshot() const EXCLUDES(mu_);
 
+  /// Recently finished queries, oldest first (at most
+  /// history_capacity()).
+  std::vector<CompletedQuerySnapshot> History() const EXCLUDES(mu_);
+
   /// JSON array for /queryz.
   std::string ToJson() const;
+  /// JSON array of the completed-query history for /queryz.
+  std::string HistoryToJson() const;
+
+  /// Bounded history size. Shrinking evicts the oldest records; 0
+  /// disables history entirely.
+  size_t history_capacity() const EXCLUDES(mu_);
+  void set_history_capacity(size_t capacity) EXCLUDES(mu_);
+  size_t history_size() const EXCLUDES(mu_);
 
   size_t active() const EXCLUDES(mu_);
   /// Queries ever flagged as stalled (monotonic).
@@ -141,6 +171,8 @@ class QueryRegistry {
 
   mutable Mutex mu_;
   std::map<uint64_t, Record> inflight_ GUARDED_BY(mu_);
+  std::deque<CompletedQuerySnapshot> history_ GUARDED_BY(mu_);
+  size_t history_capacity_ GUARDED_BY(mu_) = 128;
   bool watchdog_running_ GUARDED_BY(mu_) = false;
   std::thread watchdog_;
   CondVar watchdog_cv_;

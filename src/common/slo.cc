@@ -1,0 +1,442 @@
+#include "common/slo.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "common/window.h"
+
+namespace ddgms {
+
+std::atomic<bool> SloEngine::enabled_{false};
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+LogLevel LevelFor(SloState state) {
+  switch (state) {
+    case SloState::kFiring:
+      return LogLevel::kError;
+    case SloState::kWarning:
+      return LogLevel::kWarn;
+    case SloState::kOk:
+    case SloState::kResolved:
+      return LogLevel::kInfo;
+  }
+  return LogLevel::kInfo;
+}
+
+const char* TransitionEvent(SloState state) {
+  switch (state) {
+    case SloState::kOk:
+      return "slo.ok";
+    case SloState::kWarning:
+      return "slo.warning";
+    case SloState::kFiring:
+      return "slo.firing";
+    case SloState::kResolved:
+      return "slo.resolved";
+  }
+  return "slo.ok";
+}
+
+}  // namespace
+
+const char* SloKindName(SloKind kind) {
+  switch (kind) {
+    case SloKind::kLatency:
+      return "latency";
+    case SloKind::kErrorRate:
+      return "error_rate";
+    case SloKind::kStallBudget:
+      return "stall_budget";
+  }
+  return "latency";
+}
+
+const char* SloStateName(SloState state) {
+  switch (state) {
+    case SloState::kOk:
+      return "ok";
+    case SloState::kWarning:
+      return "warning";
+    case SloState::kFiring:
+      return "firing";
+    case SloState::kResolved:
+      return "resolved";
+  }
+  return "ok";
+}
+
+std::string SloStatus::ToString() const {
+  return StrFormat("%-24s %-12s %-8s burn_fast=%s burn_slow=%s n=%llu",
+                   name.c_str(), SloKindName(kind), SloStateName(state),
+                   FormatDouble(fast_burn_rate, 3).c_str(),
+                   FormatDouble(slow_burn_rate, 3).c_str(),
+                   static_cast<unsigned long long>(fast_window_count));
+}
+
+std::string SloStatus::ToJson() const {
+  return StrFormat(
+      "{\"name\":\"%s\",\"kind\":\"%s\",\"state\":\"%s\","
+      "\"description\":\"%s\",\"burn_fast\":%s,\"burn_slow\":%s,"
+      "\"fast_window_count\":%llu,\"transitions\":%llu,"
+      "\"last_transition_us\":%lld}",
+      name.c_str(), SloKindName(kind), SloStateName(state),
+      description.c_str(), FormatDouble(fast_burn_rate, 4).c_str(),
+      FormatDouble(slow_burn_rate, 4).c_str(),
+      static_cast<unsigned long long>(fast_window_count),
+      static_cast<unsigned long long>(transitions),
+      static_cast<long long>(last_transition_us));
+}
+
+SloEngine& SloEngine::Global() {
+  static SloEngine* engine = new SloEngine();
+  return *engine;
+}
+
+Status SloEngine::Register(const SloDef& def) {
+  if (def.name.empty()) {
+    return Status::InvalidArgument("slo: name is empty");
+  }
+  if (def.fast_window_seconds <= 0 || def.slow_window_seconds <= 0 ||
+      def.fast_window_seconds > def.slow_window_seconds) {
+    return Status::InvalidArgument(
+        "slo '" + def.name +
+        "': windows must be positive with fast <= slow");
+  }
+  if (def.firing_burn_rate < def.warning_burn_rate ||
+      def.warning_burn_rate <= 0) {
+    return Status::InvalidArgument(
+        "slo '" + def.name +
+        "': need 0 < warning_burn_rate <= firing_burn_rate");
+  }
+  const std::vector<int64_t> windows = {def.fast_window_seconds,
+                                        def.slow_window_seconds};
+  switch (def.kind) {
+    case SloKind::kLatency:
+      if (def.latency_histogram.empty() || def.latency_target_us <= 0 ||
+          def.objective <= 0 || def.objective >= 1) {
+        return Status::InvalidArgument(
+            "slo '" + def.name +
+            "': latency SLO needs a histogram, a positive target and "
+            "0 < objective < 1");
+      }
+      DDGMS_RETURN_IF_ERROR(WindowRegistry::Global().TrackHistogram(
+          def.latency_histogram, windows));
+      break;
+    case SloKind::kErrorRate:
+      if (def.error_counter.empty() || def.total_counter.empty() ||
+          def.objective <= 0 || def.objective >= 1) {
+        return Status::InvalidArgument(
+            "slo '" + def.name +
+            "': error-rate SLO needs error/total counters and "
+            "0 < objective < 1");
+      }
+      DDGMS_RETURN_IF_ERROR(
+          WindowRegistry::Global().TrackCounter(def.error_counter, windows));
+      DDGMS_RETURN_IF_ERROR(
+          WindowRegistry::Global().TrackCounter(def.total_counter, windows));
+      break;
+    case SloKind::kStallBudget:
+      if (def.stall_counter.empty() || def.allowed_per_hour <= 0) {
+        return Status::InvalidArgument(
+            "slo '" + def.name +
+            "': stall-budget SLO needs a counter and a positive "
+            "hourly budget");
+      }
+      DDGMS_RETURN_IF_ERROR(
+          WindowRegistry::Global().TrackCounter(def.stall_counter, windows));
+      break;
+  }
+
+  MutexLock lock(mu_);
+  for (const Slo& slo : slos_) {
+    if (slo.def.name == def.name) {
+      return Status::InvalidArgument("slo '" + def.name +
+                                     "' is already registered");
+    }
+  }
+  Slo slo;
+  slo.def = def;
+  slos_.push_back(std::move(slo));
+  return Status::OK();
+}
+
+Status SloEngine::RegisterDefaultSlos() {
+  {
+    MutexLock lock(mu_);
+    if (defaults_registered_) return Status::OK();
+    defaults_registered_ = true;
+  }
+
+  SloDef latency;
+  latency.name = "mdx_latency";
+  latency.kind = SloKind::kLatency;
+  latency.description = "99% of MDX executions complete within 250ms";
+  latency.latency_histogram = "ddgms.mdx.execute_latency_us";
+  latency.latency_target_us = 250000;
+  latency.objective = 0.99;
+  DDGMS_RETURN_IF_ERROR(Register(latency));
+
+  SloDef availability;
+  availability.name = "server_availability";
+  availability.kind = SloKind::kErrorRate;
+  availability.description =
+      "99% of observability HTTP requests succeed (non-5xx)";
+  availability.error_counter = "ddgms.server.responses_error";
+  availability.total_counter = "ddgms.server.requests";
+  availability.objective = 0.99;
+  DDGMS_RETURN_IF_ERROR(Register(availability));
+
+  SloDef stalls;
+  stalls.name = "query_stalls";
+  stalls.kind = SloKind::kStallBudget;
+  stalls.description = "at most 6 watchdog-flagged query stalls per hour";
+  stalls.stall_counter = "ddgms.queries.stalled_total";
+  stalls.allowed_per_hour = 6.0;
+  DDGMS_RETURN_IF_ERROR(Register(stalls));
+  return Status::OK();
+}
+
+void SloEngine::BurnOver(const SloDef& def, int64_t window_seconds,
+                         double* burn, uint64_t* count) {
+  *burn = 0.0;
+  *count = 0;
+  switch (def.kind) {
+    case SloKind::kLatency: {
+      Result<WindowStats> stats = WindowRegistry::Global().Stats(
+          def.latency_histogram, window_seconds);
+      if (!stats.ok()) return;
+      *count = stats->count;
+      if (stats->count == 0) return;
+      const double bad = FractionAbove(stats->merged, def.latency_target_us);
+      *burn = bad / (1.0 - def.objective);
+      return;
+    }
+    case SloKind::kErrorRate: {
+      Result<WindowStats> errors =
+          WindowRegistry::Global().Stats(def.error_counter, window_seconds);
+      Result<WindowStats> total =
+          WindowRegistry::Global().Stats(def.total_counter, window_seconds);
+      if (!errors.ok() || !total.ok()) return;
+      *count = total->count;
+      if (total->count == 0) return;
+      // A skewed read (the two counters are sampled separately) can
+      // briefly show errors > total; clamp to a full outage.
+      const double bad = std::min(
+          1.0, static_cast<double>(errors->count) /
+                   static_cast<double>(total->count));
+      *burn = bad / (1.0 - def.objective);
+      return;
+    }
+    case SloKind::kStallBudget: {
+      Result<WindowStats> stalls =
+          WindowRegistry::Global().Stats(def.stall_counter, window_seconds);
+      if (!stalls.ok()) return;
+      *count = stalls->count;
+      if (stalls->count == 0 || stalls->covered_seconds <= 0) return;
+      const double per_hour = static_cast<double>(stalls->count) /
+                              stalls->covered_seconds * 3600.0;
+      *burn = per_hour / def.allowed_per_hour;
+      return;
+    }
+  }
+}
+
+void SloEngine::Evaluate() { EvaluateAt(SteadyNowMicros()); }
+
+void SloEngine::EvaluateAt(int64_t now_us) {
+  if (!Enabled()) return;
+  WindowRegistry::Global().TickAt(now_us);
+
+  struct Transition {
+    std::string name;
+    SloKind kind = SloKind::kLatency;
+    SloState from = SloState::kOk;
+    SloState to = SloState::kOk;
+    double fast_burn = 0.0;
+    double slow_burn = 0.0;
+  };
+  std::vector<Transition> transitions;
+
+  {
+    MutexLock lock(mu_);
+    for (Slo& slo : slos_) {
+      BurnOver(slo.def, slo.def.fast_window_seconds, &slo.fast_burn,
+               &slo.fast_count);
+      uint64_t slow_count = 0;
+      BurnOver(slo.def, slo.def.slow_window_seconds, &slo.slow_burn,
+               &slow_count);
+
+      const bool firing = slo.fast_burn >= slo.def.firing_burn_rate &&
+                          slo.slow_burn >= slo.def.firing_burn_rate;
+      const bool warning = slo.fast_burn >= slo.def.warning_burn_rate &&
+                           slo.slow_burn >= slo.def.warning_burn_rate;
+      const bool healthy = slo.fast_burn < slo.def.warning_burn_rate &&
+                           slo.slow_burn < slo.def.warning_burn_rate;
+
+      SloState next = slo.state;
+      switch (slo.state) {
+        case SloState::kOk:
+          if (firing) {
+            next = SloState::kFiring;
+          } else if (warning) {
+            next = SloState::kWarning;
+          }
+          break;
+        case SloState::kWarning:
+          if (firing) {
+            next = SloState::kFiring;
+          } else if (healthy) {
+            next = SloState::kOk;
+          }
+          break;
+        case SloState::kFiring:
+          if (healthy) {
+            next = SloState::kResolved;
+          }
+          break;
+        case SloState::kResolved:
+          if (firing) {
+            next = SloState::kFiring;
+          } else if (warning) {
+            next = SloState::kWarning;
+          } else {
+            next = SloState::kOk;
+          }
+          break;
+      }
+      if (next != slo.state) {
+        transitions.push_back({slo.def.name, slo.def.kind, slo.state, next,
+                               slo.fast_burn, slo.slow_burn});
+        slo.state = next;
+        slo.transitions++;
+        slo.last_transition_us = now_us;
+      }
+
+      DDGMS_METRIC_GAUGE_SET("ddgms.slo.state:" + slo.def.name,
+                             static_cast<double>(slo.state));
+      DDGMS_METRIC_GAUGE_SET("ddgms.slo.burn_fast:" + slo.def.name,
+                             slo.fast_burn);
+      DDGMS_METRIC_GAUGE_SET("ddgms.slo.burn_slow:" + slo.def.name,
+                             slo.slow_burn);
+    }
+  }
+
+  for (const Transition& t : transitions) {
+    DDGMS_METRIC_INC("ddgms.slo.transitions");
+    if (t.to == SloState::kFiring) DDGMS_METRIC_INC("ddgms.slo.firing_total");
+    DDGMS_LOG(LevelFor(t.to), TransitionEvent(t.to))
+        .With("slo", t.name)
+        .With("kind", SloKindName(t.kind))
+        .With("from", SloStateName(t.from))
+        .With("to", SloStateName(t.to))
+        .With("burn_fast", t.fast_burn)
+        .With("burn_slow", t.slow_burn);
+  }
+}
+
+std::vector<SloStatus> SloEngine::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<SloStatus> out;
+  out.reserve(slos_.size());
+  for (const Slo& slo : slos_) {
+    SloStatus status;
+    status.name = slo.def.name;
+    status.kind = slo.def.kind;
+    status.description = slo.def.description;
+    status.state = slo.state;
+    status.fast_burn_rate = slo.fast_burn;
+    status.slow_burn_rate = slo.slow_burn;
+    status.fast_window_count = slo.fast_count;
+    status.transitions = slo.transitions;
+    status.last_transition_us = slo.last_transition_us;
+    out.push_back(std::move(status));
+  }
+  return out;
+}
+
+std::string SloEngine::ToJson() const {
+  std::string out = "{\"enabled\":";
+  out += Enabled() ? "true" : "false";
+  out += ",\"evaluator_running\":";
+  out += evaluator_running() ? "true" : "false";
+  out += ",\"slos\":[";
+  const std::vector<SloStatus> statuses = Snapshot();
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (i > 0) out += ",";
+    out += statuses[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+size_t SloEngine::slo_count() const {
+  MutexLock lock(mu_);
+  return slos_.size();
+}
+
+Status SloEngine::StartEvaluator(SloEvaluatorOptions options) {
+  if (options.period_ms <= 0) {
+    return Status::InvalidArgument("slo: evaluator period must be positive");
+  }
+  MutexLock lock(mu_);
+  if (evaluator_running_) {
+    return Status::FailedPrecondition("slo: evaluator already running");
+  }
+  evaluator_running_ = true;
+  evaluator_stop_.store(false, std::memory_order_relaxed);
+  evaluator_ = std::thread(&SloEngine::EvaluatorLoop, this, options);
+  return Status::OK();
+}
+
+Status SloEngine::StopEvaluator() {
+  {
+    MutexLock lock(mu_);
+    if (!evaluator_running_) {
+      return Status::FailedPrecondition("slo: evaluator not running");
+    }
+  }
+  evaluator_stop_.store(true, std::memory_order_relaxed);
+  evaluator_cv_.NotifyAll();
+  evaluator_.join();
+  MutexLock lock(mu_);
+  evaluator_running_ = false;
+  return Status::OK();
+}
+
+bool SloEngine::evaluator_running() const {
+  MutexLock lock(mu_);
+  return evaluator_running_;
+}
+
+void SloEngine::EvaluatorLoop(SloEvaluatorOptions options) {
+  for (;;) {
+    Evaluate();
+    {
+      MutexLock lock(mu_);
+      evaluator_cv_.WaitFor(
+          mu_, std::chrono::milliseconds(options.period_ms), [this] {
+            return evaluator_stop_.load(std::memory_order_relaxed);
+          });
+    }
+    if (evaluator_stop_.load(std::memory_order_relaxed)) return;
+  }
+}
+
+void SloEngine::ResetForTesting() {
+  if (evaluator_running()) StopEvaluator().IgnoreError();
+  MutexLock lock(mu_);
+  slos_.clear();
+  defaults_registered_ = false;
+}
+
+}  // namespace ddgms

@@ -1,0 +1,363 @@
+#include "common/window.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "common/strings.h"
+
+namespace ddgms {
+
+std::atomic<bool> WindowRegistry::enabled_{false};
+
+namespace {
+
+int64_t SteadyNowMicros() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Monotonic delta between two cumulative readings. A reading smaller
+/// than the baseline means the instrument was reset (ResetValues);
+/// treat the new reading as entirely fresh history.
+uint64_t DeltaU64(uint64_t now, uint64_t before) {
+  return now >= before ? now - before : now;
+}
+
+double DeltaF64(double now, double before) {
+  return now >= before ? now - before : now;
+}
+
+}  // namespace
+
+double FractionAbove(const HistogramSnapshot& snapshot, double threshold) {
+  if (snapshot.count == 0) return 0.0;
+  double above = 0.0;
+  for (size_t i = 0; i < snapshot.buckets.size(); ++i) {
+    const uint64_t in_bucket = snapshot.buckets[i];
+    if (in_bucket == 0) continue;
+    const double lower = i == 0 ? 0.0 : snapshot.bounds[i - 1];
+    const double upper = i < snapshot.bounds.size()
+                             ? snapshot.bounds[i]
+                             : std::max(snapshot.max, lower);
+    if (threshold < lower) {
+      above += static_cast<double>(in_bucket);
+    } else if (threshold < upper) {
+      above += static_cast<double>(in_bucket) * (upper - threshold) /
+               (upper - lower);
+    }
+  }
+  return above / static_cast<double>(snapshot.count);
+}
+
+std::string WindowStats::ToString() const {
+  std::string out = StrFormat(
+      "%-44s %5llds  n=%-8llu rate=%s/s", instrument.c_str(),
+      static_cast<long long>(window_seconds),
+      static_cast<unsigned long long>(count),
+      FormatDouble(rate_per_sec, 4).c_str());
+  if (!merged.bounds.empty()) {
+    out += StrFormat("  p50=%s p90=%s p99=%s", FormatDouble(p50, 4).c_str(),
+                     FormatDouble(p90, 4).c_str(),
+                     FormatDouble(p99, 4).c_str());
+  }
+  return out;
+}
+
+WindowRegistry& WindowRegistry::Global() {
+  static WindowRegistry* registry = new WindowRegistry();
+  return *registry;
+}
+
+const std::vector<int64_t>& WindowRegistry::DefaultWindowSeconds() {
+  static const std::vector<int64_t>* windows =
+      new std::vector<int64_t>{60, 300, 3600};
+  return *windows;
+}
+
+Status WindowRegistry::TrackCounter(
+    const std::string& name, const std::vector<int64_t>& window_seconds) {
+  return Track(name, /*is_histogram=*/false, window_seconds);
+}
+
+Status WindowRegistry::TrackHistogram(
+    const std::string& name, const std::vector<int64_t>& window_seconds) {
+  return Track(name, /*is_histogram=*/true, window_seconds);
+}
+
+Status WindowRegistry::Track(const std::string& name, bool is_histogram,
+                             const std::vector<int64_t>& window_seconds) {
+  if (name.empty()) {
+    return Status::InvalidArgument("window: instrument name is empty");
+  }
+  const std::vector<int64_t>& windows =
+      window_seconds.empty() ? DefaultWindowSeconds() : window_seconds;
+  for (int64_t w : windows) {
+    if (w <= 0) {
+      return Status::InvalidArgument(
+          StrFormat("window: non-positive window %llds for '%s'",
+                    static_cast<long long>(w), name.c_str()));
+    }
+  }
+
+  MutexLock lock(mu_);
+  auto& slot = tracked_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tracked>();
+    slot->name = name;
+    slot->is_histogram = is_histogram;
+    // Baseline at the current cumulative state so history that
+    // predates tracking is not attributed to the first bucket.
+    if (is_histogram) {
+      HistogramSnapshot snap =
+          MetricsRegistry::Global().GetHistogram(name).Snapshot(name);
+      slot->last_count = snap.count;
+      slot->last_sum = snap.sum;
+      slot->last_buckets = snap.buckets;
+      slot->bounds = snap.bounds;
+    } else {
+      slot->last_count = MetricsRegistry::Global().GetCounter(name).value();
+    }
+  } else if (slot->is_histogram != is_histogram) {
+    return Status::InvalidArgument(
+        StrFormat("window: '%s' already tracked as a %s", name.c_str(),
+                  slot->is_histogram ? "histogram" : "counter"));
+  }
+  for (int64_t w : windows) {
+    bool have = false;
+    for (const Ring& ring : slot->rings) {
+      if (ring.window_seconds == w) {
+        have = true;
+        break;
+      }
+    }
+    if (have) continue;
+    Ring ring;
+    ring.window_seconds = w;
+    ring.bucket_us =
+        std::max<int64_t>(w * 1000000 / kBucketsPerWindow, 1000000);
+    const size_t slots = static_cast<size_t>(
+        std::max<int64_t>(1, (w * 1000000 + ring.bucket_us - 1) /
+                                 ring.bucket_us));
+    ring.counts.assign(slots, 0);
+    ring.sums.assign(slots, 0.0);
+    if (is_histogram) {
+      ring.hist_buckets.assign(
+          slots, std::vector<uint64_t>(slot->last_buckets.size(), 0));
+    }
+    slot->rings.push_back(std::move(ring));
+  }
+  std::sort(slot->rings.begin(), slot->rings.end(),
+            [](const Ring& a, const Ring& b) {
+              return a.window_seconds < b.window_seconds;
+            });
+  return Status::OK();
+}
+
+void WindowRegistry::Tick() { TickAt(SteadyNowMicros()); }
+
+void WindowRegistry::TickAt(int64_t now_us) {
+  if (!Enabled()) return;
+  MutexLock lock(mu_);
+  if (now_us < last_tick_us_) now_us = last_tick_us_;  // clock went back
+  if (first_tick_us_ < 0) first_tick_us_ = now_us;
+  last_tick_us_ = now_us;
+
+  for (auto& [name, tracked] : tracked_) {
+    uint64_t delta_count = 0;
+    double delta_sum = 0.0;
+    std::vector<uint64_t> delta_buckets;
+    if (tracked->is_histogram) {
+      HistogramSnapshot snap =
+          MetricsRegistry::Global().GetHistogram(name).Snapshot(name);
+      delta_count = DeltaU64(snap.count, tracked->last_count);
+      delta_sum = DeltaF64(snap.sum, tracked->last_sum);
+      delta_buckets.resize(snap.buckets.size(), 0);
+      const bool reset = snap.count < tracked->last_count;
+      for (size_t i = 0; i < snap.buckets.size(); ++i) {
+        const uint64_t before = (reset || i >= tracked->last_buckets.size())
+                                    ? 0
+                                    : tracked->last_buckets[i];
+        delta_buckets[i] = DeltaU64(snap.buckets[i], before);
+      }
+      tracked->last_count = snap.count;
+      tracked->last_sum = snap.sum;
+      tracked->last_buckets = snap.buckets;
+      if (tracked->bounds.empty()) tracked->bounds = snap.bounds;
+    } else {
+      const uint64_t value =
+          MetricsRegistry::Global().GetCounter(name).value();
+      delta_count = DeltaU64(value, tracked->last_count);
+      delta_sum = static_cast<double>(delta_count);
+      tracked->last_count = value;
+    }
+
+    for (Ring& ring : tracked->rings) {
+      const int64_t now_bucket = now_us / ring.bucket_us;
+      const int64_t slots = static_cast<int64_t>(ring.counts.size());
+      if (ring.current_bucket < 0 ||
+          now_bucket - ring.current_bucket >= slots) {
+        for (int64_t s = 0; s < slots; ++s) {
+          ring.counts[s] = 0;
+          ring.sums[s] = 0.0;
+          if (!ring.hist_buckets.empty()) {
+            std::fill(ring.hist_buckets[s].begin(),
+                      ring.hist_buckets[s].end(), 0);
+          }
+        }
+      } else {
+        for (int64_t b = ring.current_bucket + 1; b <= now_bucket; ++b) {
+          const size_t s = static_cast<size_t>(b % slots);
+          ring.counts[s] = 0;
+          ring.sums[s] = 0.0;
+          if (!ring.hist_buckets.empty()) {
+            std::fill(ring.hist_buckets[s].begin(),
+                      ring.hist_buckets[s].end(), 0);
+          }
+        }
+      }
+      ring.current_bucket = now_bucket;
+      const size_t slot = static_cast<size_t>(now_bucket % slots);
+      ring.counts[slot] += delta_count;
+      ring.sums[slot] += delta_sum;
+      if (!ring.hist_buckets.empty()) {
+        std::vector<uint64_t>& hb = ring.hist_buckets[slot];
+        if (hb.size() < delta_buckets.size()) {
+          hb.resize(delta_buckets.size(), 0);
+        }
+        for (size_t i = 0; i < delta_buckets.size(); ++i) {
+          hb[i] += delta_buckets[i];
+        }
+      }
+    }
+  }
+}
+
+WindowStats WindowRegistry::StatsLocked(const Tracked& tracked,
+                                        const Ring& ring) const {
+  WindowStats stats;
+  stats.instrument = tracked.name;
+  stats.window_seconds = ring.window_seconds;
+  if (first_tick_us_ >= 0) {
+    stats.covered_seconds =
+        std::min(static_cast<double>(ring.window_seconds),
+                 static_cast<double>(last_tick_us_ - first_tick_us_) / 1e6);
+  }
+  for (uint64_t c : ring.counts) stats.count += c;
+  for (double s : ring.sums) stats.sum += s;
+  if (stats.covered_seconds > 0) {
+    stats.rate_per_sec =
+        static_cast<double>(stats.count) / stats.covered_seconds;
+  }
+  if (tracked.is_histogram) {
+    HistogramSnapshot& merged = stats.merged;
+    merged.name = tracked.name;
+    merged.bounds = tracked.bounds;
+    merged.buckets.assign(tracked.bounds.size() + 1, 0);
+    for (const std::vector<uint64_t>& hb : ring.hist_buckets) {
+      for (size_t i = 0; i < hb.size() && i < merged.buckets.size(); ++i) {
+        merged.buckets[i] += hb[i];
+      }
+    }
+    merged.count = stats.count;
+    merged.sum = stats.sum;
+    // The ring keeps bucket deltas, not exact extrema; synthesize
+    // min/max from the occupied bucket edges so Percentile() can
+    // interpolate sensibly.
+    for (size_t i = 0; i < merged.buckets.size(); ++i) {
+      if (merged.buckets[i] == 0) continue;
+      merged.min = i == 0 ? 0.0 : merged.bounds[i - 1];
+      break;
+    }
+    for (size_t i = merged.buckets.size(); i > 0; --i) {
+      if (merged.buckets[i - 1] == 0) continue;
+      merged.max = i - 1 < merged.bounds.size() ? merged.bounds[i - 1]
+                                                : merged.bounds.back();
+      break;
+    }
+    stats.p50 = merged.Percentile(0.5);
+    stats.p90 = merged.Percentile(0.9);
+    stats.p99 = merged.Percentile(0.99);
+  }
+  return stats;
+}
+
+Result<WindowStats> WindowRegistry::Stats(const std::string& name,
+                                          int64_t window_seconds) const {
+  MutexLock lock(mu_);
+  auto it = tracked_.find(name);
+  if (it == tracked_.end()) {
+    return Status::NotFound("window: instrument '" + name +
+                            "' is not tracked");
+  }
+  for (const Ring& ring : it->second->rings) {
+    if (ring.window_seconds == window_seconds) {
+      return StatsLocked(*it->second, ring);
+    }
+  }
+  return Status::NotFound(
+      StrFormat("window: '%s' has no %llds window", name.c_str(),
+                static_cast<long long>(window_seconds)));
+}
+
+std::vector<WindowStats> WindowRegistry::Snapshot() const {
+  MutexLock lock(mu_);
+  std::vector<WindowStats> out;
+  for (const auto& [name, tracked] : tracked_) {
+    for (const Ring& ring : tracked->rings) {
+      out.push_back(StatsLocked(*tracked, ring));
+    }
+  }
+  return out;  // map iteration: sorted by name, rings sorted by length
+}
+
+std::string WindowRegistry::ToJson() const {
+  std::vector<WindowStats> all = Snapshot();
+  std::string out = "{\"enabled\":";
+  out += Enabled() ? "true" : "false";
+  out += ",\"instruments\":{";
+  std::string current;
+  bool first_instrument = true;
+  for (size_t i = 0; i < all.size(); ++i) {
+    const WindowStats& w = all[i];
+    if (w.instrument != current) {
+      if (!current.empty()) out += "},";
+      if (!first_instrument && current.empty()) out += ",";
+      first_instrument = false;
+      current = w.instrument;
+      out += "\"" + current + "\":{";
+    } else {
+      out += ",";
+    }
+    out += StrFormat("\"%llds\":{\"count\":%llu,\"rate_per_sec\":%s,"
+                     "\"covered_seconds\":%s",
+                     static_cast<long long>(w.window_seconds),
+                     static_cast<unsigned long long>(w.count),
+                     FormatDouble(w.rate_per_sec, 6).c_str(),
+                     FormatDouble(w.covered_seconds, 3).c_str());
+    if (!w.merged.bounds.empty()) {
+      out += StrFormat(",\"p50\":%s,\"p90\":%s,\"p99\":%s",
+                       FormatDouble(w.p50, 4).c_str(),
+                       FormatDouble(w.p90, 4).c_str(),
+                       FormatDouble(w.p99, 4).c_str());
+    }
+    out += "}";
+  }
+  if (!current.empty()) out += "}";
+  out += "}}";
+  return out;
+}
+
+size_t WindowRegistry::tracked_count() const {
+  MutexLock lock(mu_);
+  return tracked_.size();
+}
+
+void WindowRegistry::ResetForTesting() {
+  MutexLock lock(mu_);
+  tracked_.clear();
+  last_tick_us_ = -1;
+  first_tick_us_ = -1;
+}
+
+}  // namespace ddgms

@@ -1,0 +1,172 @@
+#ifndef DDGMS_COMMON_WINDOW_H_
+#define DDGMS_COMMON_WINDOW_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "common/sync.h"
+
+namespace ddgms {
+
+/// -------------------------------------------------------------------
+/// Sliding windows
+///
+/// The metrics registry's counters and histograms are cumulative: they
+/// only ever grow, which is right for scrapers but useless for
+/// operational judgments ("what is the p99 over the last minute?").
+/// WindowRegistry derives *windowed* views from those cumulative
+/// instruments without touching their hot paths: a periodic Tick()
+/// (driven by the SLO evaluator thread, or by tests with an explicit
+/// clock) snapshots each tracked instrument, computes the delta since
+/// the previous tick, and files it into the current slot of a ring of
+/// per-bucket deltas — one ring per configured window length. Reading
+/// a window merges its live buckets, which yields the event rate and,
+/// for histograms, interpolated p50/p90/p99 over just that window.
+///
+/// Like every other observability subsystem the registry is compiled
+/// in but inert behind one relaxed atomic gate: while disabled, Tick()
+/// is a single predictable branch and no deltas accumulate. The
+/// instruments being observed are never mutated — tracking is purely
+/// read-side, so the ≤2% disabled-overhead budget of bench_a7 is
+/// unaffected by how many windows exist.
+///
+/// Default window lengths are 60s / 300s / 3600s (1m/5m/1h), each
+/// divided into kBucketsPerWindow slots; other lengths can be added
+/// per instrument. Time is injectable (TickAt / StatsAt) so tests are
+/// deterministic.
+/// -------------------------------------------------------------------
+
+/// Merged view of one instrument over one window, as of the last tick.
+struct WindowStats {
+  std::string instrument;
+  int64_t window_seconds = 0;
+  /// Seconds of history actually covered (< window_seconds during
+  /// ramp-up, right after Enable()).
+  double covered_seconds = 0.0;
+  /// Events in the window: counter increments, or histogram
+  /// observations.
+  uint64_t count = 0;
+  /// count / covered_seconds (0 when nothing covered yet).
+  double rate_per_sec = 0.0;
+  /// Histogram-only: sum of observed values in the window.
+  double sum = 0.0;
+  double p50 = 0.0;
+  double p90 = 0.0;
+  double p99 = 0.0;
+  /// Histogram-only: merged per-bucket deltas over the window, with
+  /// the tracked histogram's bounds. Empty for counters. Burn-rate
+  /// math reads this directly (see FractionAbove).
+  HistogramSnapshot merged;
+
+  std::string ToString() const;
+};
+
+/// Fraction of a snapshot's observations that fall strictly above
+/// `threshold`, estimated by linear interpolation inside the bucket
+/// containing the threshold. 0 when the snapshot is empty.
+double FractionAbove(const HistogramSnapshot& snapshot, double threshold);
+
+/// The global window registry. All methods are thread-safe.
+class WindowRegistry {
+ public:
+  /// Slots per ring; window lengths shorter than this many seconds
+  /// degrade to one-second buckets.
+  static constexpr int kBucketsPerWindow = 12;
+
+  static WindowRegistry& Global();
+
+  /// Master switch, independent of MetricsRegistry's (windows can
+  /// stay off while raw metrics record, and vice versa).
+  static void Enable() { enabled_.store(true, std::memory_order_relaxed); }
+  static void Disable() { enabled_.store(false, std::memory_order_relaxed); }
+  static bool Enabled() { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Default window lengths: {60, 300, 3600} seconds.
+  static const std::vector<int64_t>& DefaultWindowSeconds();
+
+  /// Starts tracking a cumulative counter / histogram from the global
+  /// MetricsRegistry over the given windows (defaults when empty).
+  /// Idempotent; re-tracking an instrument adds any missing window
+  /// lengths. The instrument is created in the metrics registry if it
+  /// does not exist yet, so track-before-first-use is fine.
+  Status TrackCounter(const std::string& name,
+                      const std::vector<int64_t>& window_seconds = {})
+      EXCLUDES(mu_);
+  Status TrackHistogram(const std::string& name,
+                        const std::vector<int64_t>& window_seconds = {})
+      EXCLUDES(mu_);
+
+  /// Advances every tracked ring to now: reads each instrument's
+  /// cumulative state, files the delta since the last tick into the
+  /// current bucket, and zeroes any buckets skipped since then. No-op
+  /// while disabled. Tick() uses the steady clock; TickAt() is for
+  /// deterministic tests and monotonically non-decreasing times.
+  void Tick() EXCLUDES(mu_);
+  void TickAt(int64_t now_us) EXCLUDES(mu_);
+
+  /// Merged stats for one instrument over one window length, as of
+  /// the last tick. NotFound when the instrument or window is not
+  /// tracked.
+  Result<WindowStats> Stats(const std::string& name,
+                            int64_t window_seconds) const EXCLUDES(mu_);
+
+  /// All tracked (instrument, window) pairs, sorted by name then
+  /// window length.
+  std::vector<WindowStats> Snapshot() const EXCLUDES(mu_);
+
+  /// {"enabled":...,"instruments":{name:{"60":{...},...}}}
+  std::string ToJson() const EXCLUDES(mu_);
+
+  size_t tracked_count() const EXCLUDES(mu_);
+
+  /// Drops all tracked instruments and accumulated deltas.
+  void ResetForTesting() EXCLUDES(mu_);
+
+ private:
+  /// One window's ring of per-bucket deltas.
+  struct Ring {
+    int64_t window_seconds = 0;
+    int64_t bucket_us = 0;
+    /// Absolute bucket index (now_us / bucket_us) the ring is
+    /// positioned at; -1 before the first tick.
+    int64_t current_bucket = -1;
+    std::vector<uint64_t> counts;        // per-slot event deltas
+    std::vector<double> sums;            // per-slot value deltas
+    std::vector<std::vector<uint64_t>> hist_buckets;  // per-slot
+  };
+
+  /// One tracked cumulative instrument and its rings.
+  struct Tracked {
+    std::string name;
+    bool is_histogram = false;
+    /// Cumulative state at the previous tick (baseline for deltas).
+    uint64_t last_count = 0;
+    double last_sum = 0.0;
+    std::vector<uint64_t> last_buckets;
+    std::vector<double> bounds;  // histogram bounds, fixed at creation
+    std::vector<Ring> rings;
+  };
+
+  WindowRegistry() = default;
+
+  Status Track(const std::string& name, bool is_histogram,
+               const std::vector<int64_t>& window_seconds) EXCLUDES(mu_);
+  WindowStats StatsLocked(const Tracked& tracked, const Ring& ring) const
+      REQUIRES(mu_);
+
+  mutable Mutex mu_;
+  std::map<std::string, std::unique_ptr<Tracked>> tracked_ GUARDED_BY(mu_);
+  int64_t last_tick_us_ GUARDED_BY(mu_) = -1;
+  int64_t first_tick_us_ GUARDED_BY(mu_) = -1;
+  static std::atomic<bool> enabled_;
+};
+
+}  // namespace ddgms
+
+#endif  // DDGMS_COMMON_WINDOW_H_

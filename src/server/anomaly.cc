@@ -1,0 +1,242 @@
+#include "server/anomaly.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/strings.h"
+#include "mdx/executor.h"
+
+namespace ddgms::server {
+
+namespace {
+
+/// Rescales MAD to the standard deviation of a normal distribution.
+constexpr double kMadToSigma = 0.6745;
+
+double Median(std::vector<double> values) {
+  if (values.empty()) return 0.0;
+  const size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + mid, values.end());
+  const double upper = values[mid];
+  if (values.size() % 2 == 1) return upper;
+  std::nth_element(values.begin(), values.begin() + mid - 1,
+                   values.begin() + mid);
+  return (values[mid - 1] + upper) / 2.0;
+}
+
+std::string SeriesMdx(const std::string& where_tuple) {
+  return "SELECT { [Measures].[Value] } ON COLUMNS, "
+         "{ [SampleTime].[Snapshot].Members } ON ROWS "
+         "FROM [Telemetry] WHERE ( " +
+         where_tuple + " )";
+}
+
+}  // namespace
+
+std::string AnomalyFinding::ToString() const {
+  return StrFormat(
+      "%-24s snapshot=%lld value=%s median=%s mad=%s z=%s", target.c_str(),
+      static_cast<long long>(snapshot), FormatDouble(value, 4).c_str(),
+      FormatDouble(median, 4).c_str(), FormatDouble(mad, 4).c_str(),
+      FormatDouble(robust_z, 3).c_str());
+}
+
+std::string AnomalyFinding::ToJson() const {
+  return StrFormat(
+      "{\"target\":\"%s\",\"snapshot\":%lld,\"value\":%s,"
+      "\"median\":%s,\"mad\":%s,\"robust_z\":%s}",
+      target.c_str(), static_cast<long long>(snapshot),
+      FormatDouble(value, 6).c_str(), FormatDouble(median, 6).c_str(),
+      FormatDouble(mad, 6).c_str(), FormatDouble(robust_z, 4).c_str());
+}
+
+AnomalyScanner::AnomalyScanner(warehouse::TelemetrySampler* sampler,
+                               AnomalyScannerOptions options)
+    : sampler_(sampler), options_([&options] {
+        if (options.targets.empty()) options.targets = DefaultTargets();
+        return std::move(options);
+      }()) {}
+
+AnomalyScanner::~AnomalyScanner() {
+  if (running()) Stop().IgnoreError();
+}
+
+std::vector<AnomalyTarget> AnomalyScanner::DefaultTargets() {
+  std::vector<AnomalyTarget> targets;
+  targets.push_back(
+      {"mdx_latency_spike",
+       "avg mdx.execute span duration per snapshot jumped",
+       SeriesMdx("[Instrument].[Name].[mdx.execute], [Kind].[Kind].[span]"),
+       /*difference=*/false});
+  targets.push_back(
+      {"quarantine_rate",
+       "rows quarantined between snapshots jumped",
+       SeriesMdx("[Instrument].[Name].[ddgms.quarantine.rows], "
+                 "[Kind].[Kind].[counter]"),
+       /*difference=*/true});
+  targets.push_back(
+      {"resource_growth",
+       "root resource-pool bytes grew abnormally between snapshots",
+       SeriesMdx("[Instrument].[Name].[ddgms.resource.bytes_current:total], "
+                 "[Kind].[Kind].[gauge]"),
+       /*difference=*/true});
+  return targets;
+}
+
+Status AnomalyScanner::Start() {
+  MutexLock lock(mu_);
+  if (running_) {
+    return Status::FailedPrecondition("anomaly: scanner already running");
+  }
+  running_ = true;
+  stop_.store(false, std::memory_order_relaxed);
+  thread_ = std::thread(&AnomalyScanner::ScanLoop, this);
+  return Status::OK();
+}
+
+Status AnomalyScanner::Stop() {
+  {
+    MutexLock lock(mu_);
+    if (!running_) {
+      return Status::FailedPrecondition("anomaly: scanner not running");
+    }
+  }
+  stop_.store(true, std::memory_order_relaxed);
+  cv_.NotifyAll();
+  thread_.join();
+  MutexLock lock(mu_);
+  running_ = false;
+  return Status::OK();
+}
+
+bool AnomalyScanner::running() const {
+  MutexLock lock(mu_);
+  return running_;
+}
+
+void AnomalyScanner::ScanLoop() {
+  for (;;) {
+    {
+      MutexLock lock(mu_);
+      cv_.WaitFor(mu_, std::chrono::milliseconds(options_.period_ms),
+                  [this] { return stop_.load(std::memory_order_relaxed); });
+    }
+    if (stop_.load(std::memory_order_relaxed)) return;
+    ScanOnce().status().IgnoreError();
+  }
+}
+
+void AnomalyScanner::ScoreSeries(const AnomalyTarget& target,
+                                 const std::vector<int64_t>& snapshots,
+                                 const std::vector<double>& raw,
+                                 std::vector<AnomalyFinding>* found) {
+  std::vector<int64_t> ids = snapshots;
+  std::vector<double> values = raw;
+  if (target.difference) {
+    if (values.size() < 2) return;
+    std::vector<double> deltas(values.size() - 1);
+    for (size_t i = 1; i < values.size(); ++i) {
+      deltas[i - 1] = values[i] - values[i - 1];
+    }
+    values = std::move(deltas);
+    ids.erase(ids.begin());
+  }
+  if (values.size() < options_.min_samples) return;
+
+  const double median = Median(values);
+  std::vector<double> deviations(values.size());
+  for (size_t i = 0; i < values.size(); ++i) {
+    deviations[i] = std::fabs(values[i] - median);
+  }
+  const double mad = Median(deviations);
+  if (mad <= 0.0) return;  // a flat series has no meaningful spread
+
+  const double newest = values.back();
+  const double z = kMadToSigma * (newest - median) / mad;
+  if (std::fabs(z) < options_.z_threshold) return;
+
+  AnomalyFinding finding;
+  finding.target = target.name;
+  finding.snapshot = ids.back();
+  finding.value = newest;
+  finding.median = median;
+  finding.mad = mad;
+  finding.robust_z = z;
+
+  {
+    MutexLock lock(mu_);
+    auto it = last_flagged_.find(target.name);
+    if (it != last_flagged_.end() && it->second >= finding.snapshot) {
+      return;  // already reported this (or a newer) snapshot
+    }
+    last_flagged_[target.name] = finding.snapshot;
+    findings_.push_back(finding);
+    while (findings_.size() > options_.max_findings) findings_.pop_front();
+  }
+
+  DDGMS_METRIC_INC("ddgms.anomaly.detections");
+  DDGMS_LOG_WARN("anomaly.detected")
+      .With("target", finding.target)
+      .With("snapshot", finding.snapshot)
+      .With("value", finding.value)
+      .With("median", finding.median)
+      .With("mad", finding.mad)
+      .With("robust_z", finding.robust_z);
+  found->push_back(std::move(finding));
+}
+
+Result<std::vector<AnomalyFinding>> AnomalyScanner::ScanOnce() {
+  DDGMS_RETURN_IF_ERROR(sampler_->Sample().status());
+  DDGMS_ASSIGN_OR_RETURN(warehouse::Warehouse wh,
+                         sampler_->BuildWarehouse());
+  mdx::MdxExecutor executor(&wh);
+
+  std::vector<AnomalyFinding> found;
+  for (const AnomalyTarget& target : options_.targets) {
+    DDGMS_ASSIGN_OR_RETURN(mdx::MdxResult result,
+                           executor.Execute(target.mdx));
+    // One ROWS axis of snapshot ids, one Value measure. AxisMembers is
+    // sorted and snapshot ids are integers, so the series comes back
+    // in chronological order.
+    std::vector<int64_t> snapshots;
+    std::vector<double> values;
+    for (const Value& member : result.cube.AxisMembers(0)) {
+      const Value cell = result.cube.CellValue({member});
+      if (cell.is_null()) continue;
+      Result<double> as_double = cell.AsDouble();
+      if (!as_double.ok()) continue;
+      Result<double> id = member.AsDouble();
+      if (!id.ok()) continue;
+      snapshots.push_back(static_cast<int64_t>(*id));
+      values.push_back(*as_double);
+    }
+    ScoreSeries(target, snapshots, values, &found);
+  }
+  scans_.fetch_add(1, std::memory_order_relaxed);
+  DDGMS_METRIC_INC("ddgms.anomaly.scans");
+  return found;
+}
+
+std::vector<AnomalyFinding> AnomalyScanner::findings() const {
+  MutexLock lock(mu_);
+  return std::vector<AnomalyFinding>(findings_.begin(), findings_.end());
+}
+
+std::string AnomalyScanner::ToJson() const {
+  std::string out = "{\"running\":";
+  out += running() ? "true" : "false";
+  out += StrFormat(",\"scans\":%llu,\"z_threshold\":%s,\"findings\":[",
+                   static_cast<unsigned long long>(scans()),
+                   FormatDouble(options_.z_threshold, 2).c_str());
+  const std::vector<AnomalyFinding> all = findings();
+  for (size_t i = 0; i < all.size(); ++i) {
+    if (i > 0) out += ",";
+    out += all[i].ToJson();
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace ddgms::server

@@ -1,0 +1,153 @@
+#ifndef DDGMS_SERVER_ANOMALY_H_
+#define DDGMS_SERVER_ANOMALY_H_
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/sync.h"
+#include "warehouse/telemetry.h"
+
+namespace ddgms::server {
+
+/// -------------------------------------------------------------------
+/// AnomalyScanner: decision guidance applied to the system itself
+///
+/// A background thread that periodically (a) asks the TelemetrySampler
+/// for a fresh snapshot of the process's own metrics / spans / events,
+/// (b) rebuilds the `[Telemetry]` star schema, and (c) interrogates it
+/// with ordinary MDX — the same multidimensional machinery the
+/// platform offers the clinical scientist — to extract one time series
+/// per watched signal (value per SampleTime snapshot). Each series is
+/// scored with the robust z-score
+///
+///   z = 0.6745 * (x - median) / MAD
+///
+/// (MAD = median absolute deviation; 0.6745 rescales MAD to the
+/// standard deviation of a normal distribution), which unlike a plain
+/// z-score is not dragged around by the outliers it is trying to find.
+/// The newest point of a series whose |z| exceeds the threshold
+/// becomes an AnomalyFinding: an `anomaly.detected` flight-recorder
+/// event, a ddgms.anomaly.detections counter bump, and an entry in the
+/// bounded recent-findings list served on /alertz.
+///
+/// Default watched signals: MDX execution latency (avg `mdx.execute`
+/// span duration per snapshot), quarantine growth (delta of
+/// ddgms.quarantine.rows) and resource-pool growth (delta of
+/// ddgms.resource.bytes_current:total).
+///
+/// The scanner runs its private MdxExecutor over a warehouse it builds
+/// itself from the (thread-safe) sampler, so it never touches the
+/// facade's unsynchronized query path.
+/// -------------------------------------------------------------------
+
+/// One watched signal: an MDX query over [Telemetry] that yields a
+/// single value per [SampleTime].[Snapshot] member.
+struct AnomalyTarget {
+  /// Stable lower_snake_case identity ("mdx_latency_spike").
+  std::string name;
+  std::string description;
+  /// SELECT { [Measures].[Value] } ON COLUMNS,
+  ///        { [SampleTime].[Snapshot].Members } ON ROWS
+  /// FROM [Telemetry] WHERE ( ... )
+  std::string mdx;
+  /// Score successive differences instead of levels (for cumulative
+  /// counters and monotonic gauges, where growth is the signal).
+  bool difference = false;
+};
+
+/// One flagged outlier.
+struct AnomalyFinding {
+  std::string target;      // AnomalyTarget::name
+  int64_t snapshot = 0;    // SampleTime snapshot id of the outlier
+  double value = 0.0;      // the outlying level / delta
+  double median = 0.0;     // series median
+  double mad = 0.0;        // median absolute deviation
+  double robust_z = 0.0;   // 0.6745 * (value - median) / MAD
+
+  std::string ToString() const;
+  std::string ToJson() const;
+};
+
+struct AnomalyScannerOptions {
+  /// Sample + scan cadence of the background thread.
+  int period_ms = 5000;
+  /// |robust z| at/above this flags the newest point.
+  double z_threshold = 3.5;
+  /// Series shorter than this are never scored (median/MAD need
+  /// history before "outlier" means anything).
+  size_t min_samples = 5;
+  /// Recent findings kept for /alertz.
+  size_t max_findings = 256;
+  /// Watched signals; DefaultTargets() when empty.
+  std::vector<AnomalyTarget> targets;
+};
+
+/// Periodically samples telemetry and flags robust-z outliers via MDX
+/// over the [Telemetry] warehouse. All methods are thread-safe.
+class AnomalyScanner {
+ public:
+  /// `sampler` must outlive the scanner (the shell recreates its
+  /// scanner when the facade — and with it the sampler — is replaced
+  /// by load/recover).
+  explicit AnomalyScanner(warehouse::TelemetrySampler* sampler,
+                          AnomalyScannerOptions options = {});
+  ~AnomalyScanner();
+
+  AnomalyScanner(const AnomalyScanner&) = delete;
+  AnomalyScanner& operator=(const AnomalyScanner&) = delete;
+
+  /// The stock watched signals (see class comment).
+  static std::vector<AnomalyTarget> DefaultTargets();
+
+  /// Spawns the scan thread. FailedPrecondition when already running.
+  Status Start() EXCLUDES(mu_);
+  /// Joins the scan thread. FailedPrecondition when not running.
+  Status Stop() EXCLUDES(mu_);
+  bool running() const EXCLUDES(mu_);
+
+  /// One synchronous sample + warehouse build + scan; returns the
+  /// findings newly flagged by this scan (already appended to the
+  /// recent list). Deterministic tests drive this instead of racing
+  /// the thread.
+  Result<std::vector<AnomalyFinding>> ScanOnce() EXCLUDES(mu_);
+
+  /// Newest-last recent findings (bounded by max_findings).
+  std::vector<AnomalyFinding> findings() const EXCLUDES(mu_);
+  /// Completed scans (monotonic).
+  uint64_t scans() const { return scans_.load(std::memory_order_relaxed); }
+
+  /// {"running":...,"scans":...,"findings":[...]}
+  std::string ToJson() const EXCLUDES(mu_);
+
+ private:
+  void ScanLoop();
+  /// Scores one extracted series; appends at most one finding.
+  void ScoreSeries(const AnomalyTarget& target,
+                   const std::vector<int64_t>& snapshots,
+                   const std::vector<double>& values,
+                   std::vector<AnomalyFinding>* found) EXCLUDES(mu_);
+
+  warehouse::TelemetrySampler* sampler_;
+  const AnomalyScannerOptions options_;
+
+  mutable Mutex mu_;
+  std::deque<AnomalyFinding> findings_ GUARDED_BY(mu_);
+  /// Last snapshot already flagged per target, so a persisting outlier
+  /// is reported once, not once per scan.
+  std::map<std::string, int64_t> last_flagged_ GUARDED_BY(mu_);
+  bool running_ GUARDED_BY(mu_) = false;
+  std::thread thread_;
+  CondVar cv_;
+  std::atomic<bool> stop_{false};
+  std::atomic<uint64_t> scans_{0};
+};
+
+}  // namespace ddgms::server
+
+#endif  // DDGMS_SERVER_ANOMALY_H_

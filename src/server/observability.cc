@@ -11,6 +11,7 @@
 #include "common/resource.h"
 #include "common/strings.h"
 #include "common/trace.h"
+#include "common/window.h"
 
 namespace ddgms::server {
 
@@ -53,6 +54,12 @@ ObservabilityServer::ObservabilityServer(ObservabilityOptions options,
       dgms_(dgms),
       server_(options_.http),
       started_at_(std::chrono::steady_clock::now()) {
+  scanner_ = options_.anomaly_scanner;
+  if (scanner_ == nullptr && dgms_ != nullptr) {
+    owned_scanner_ = std::make_unique<AnomalyScanner>(&dgms_->telemetry(),
+                                                      options_.anomaly);
+    scanner_ = owned_scanner_.get();
+  }
   RegisterRoutes();
 }
 
@@ -73,6 +80,25 @@ Status ObservabilityServer::Start() {
     }
     owns_watchdog_ = true;
   }
+  if (options_.start_slo_evaluator &&
+      !SloEngine::Global().evaluator_running()) {
+    const Status evaluator =
+        SloEngine::Global().StartEvaluator(options_.slo_evaluator);
+    if (!evaluator.ok()) {
+      Stop().IgnoreError();
+      return evaluator;
+    }
+    owns_evaluator_ = true;
+  }
+  if (options_.start_anomaly_scanner && scanner_ != nullptr &&
+      !scanner_->running()) {
+    const Status scan = scanner_->Start();
+    if (!scan.ok()) {
+      Stop().IgnoreError();
+      return scan;
+    }
+    owns_scanner_run_ = true;
+  }
   return Status::OK();
 }
 
@@ -81,6 +107,14 @@ Status ObservabilityServer::Stop() {
   if (owns_watchdog_) {
     QueryRegistry::Global().StopWatchdog().IgnoreError();
     owns_watchdog_ = false;
+  }
+  if (owns_evaluator_) {
+    SloEngine::Global().StopEvaluator().IgnoreError();
+    owns_evaluator_ = false;
+  }
+  if (owns_scanner_run_) {
+    scanner_->Stop().IgnoreError();
+    owns_scanner_run_ = false;
   }
   return status;
 }
@@ -119,6 +153,9 @@ void ObservabilityServer::RegisterRoutes() {
                  bind(&ObservabilityServer::HandleResourcez));
   server_.Handle("GET", "/profilez",
                  bind(&ObservabilityServer::HandleProfilez));
+  server_.Handle("GET", "/sloz", bind(&ObservabilityServer::HandleSloz));
+  server_.Handle("GET", "/alertz",
+                 bind(&ObservabilityServer::HandleAlertz));
 }
 
 HttpResponse ObservabilityServer::HandleMetrics(
@@ -168,11 +205,13 @@ HttpResponse ObservabilityServer::HandleQueryz(
   QueryRegistry& registry = QueryRegistry::Global();
   const std::string body = StrFormat(
       "{\"watchdog_running\":%s,\"deadline_ms\":%d,"
-      "\"stalled_total\":%llu,\"queries\":%s}",
+      "\"stalled_total\":%llu,\"queries\":%s,"
+      "\"history_capacity\":%zu,\"recent_completed\":%s}",
       registry.watchdog_running() ? "true" : "false",
       options_.watchdog.deadline_ms,
       static_cast<unsigned long long>(registry.stalled_total()),
-      registry.ToJson().c_str());
+      registry.ToJson().c_str(), registry.history_capacity(),
+      registry.HistoryToJson().c_str());
   return HttpResponse::Json(body);
 }
 
@@ -231,10 +270,18 @@ HttpResponse ObservabilityServer::HandleResourcez(
 
 HttpResponse ObservabilityServer::HandleProfilez(
     const HttpRequest& request) const {
-  const int seconds = static_cast<int>(
-      IntParam(request, "seconds", 2, options_.max_profile_seconds));
-  if (seconds <= 0) {
-    return HttpResponse::BadRequest("seconds must be positive");
+  // Unlike the advisory ?tail= style parameters, a malformed duration
+  // here would silently profile for the default — reject it instead.
+  int64_t seconds = 2;
+  const std::string raw = request.QueryParam("seconds");
+  if (!raw.empty()) {
+    Result<int64_t> parsed = ParseInt64(raw);
+    if (!parsed.ok() || *parsed <= 0) {
+      return HttpResponse::BadRequest(
+          "seconds must be a positive integer, got '" + raw + "'");
+    }
+    seconds = std::min<int64_t>(
+        *parsed, std::max(1, options_.max_profile_seconds));
   }
   Profiler& profiler = Profiler::Global();
   const Status started = profiler.Start(ProfilerOptions{});
@@ -264,6 +311,43 @@ HttpResponse ObservabilityServer::HandleProfilez(
   }
   body += dump->ToCollapsed();
   return HttpResponse::Text(std::move(body));
+}
+
+HttpResponse ObservabilityServer::HandleSloz(const HttpRequest&) const {
+  std::string body = "{\"slo\":";
+  body += SloEngine::Global().ToJson();
+  body += ",\"windows\":";
+  body += WindowRegistry::Global().ToJson();
+  body += "}";
+  return HttpResponse::Json(std::move(body));
+}
+
+HttpResponse ObservabilityServer::HandleAlertz(const HttpRequest&) const {
+  const std::vector<SloStatus> slos = SloEngine::Global().Snapshot();
+  size_t firing = 0;
+  size_t warning = 0;
+  std::string alerts = "[";
+  bool first = true;
+  for (const SloStatus& slo : slos) {
+    if (slo.state == SloState::kFiring) ++firing;
+    if (slo.state == SloState::kWarning) ++warning;
+    if (slo.state == SloState::kOk) continue;
+    if (!first) alerts += ",";
+    first = false;
+    alerts += slo.ToJson();
+  }
+  alerts += "]";
+  std::string body = StrFormat(
+      "{\"firing\":%zu,\"warning\":%zu,\"evaluator_running\":%s,"
+      "\"alerts\":%s,\"anomaly\":",
+      firing, warning,
+      SloEngine::Global().evaluator_running() ? "true" : "false",
+      alerts.c_str());
+  body += scanner_ != nullptr ? scanner_->ToJson()
+                              : std::string("{\"running\":false,"
+                                            "\"scans\":0,\"findings\":[]}");
+  body += "}";
+  return HttpResponse::Json(std::move(body));
 }
 
 HttpResponse ObservabilityServer::HandleStatusz(
@@ -319,13 +403,59 @@ HttpResponse ObservabilityServer::HandleStatusz(
       {"/logz", "flight-recorder tail (?level=, ?tail=, ?format=json)"},
       {"/resourcez", "resource pool tree (?format=json)"},
       {"/profilez?seconds=2", "sampling profiler, collapsed stacks"},
+      {"/sloz", "SLO engine state + sliding-window stats"},
+      {"/alertz", "firing/warning SLOs + recent anomaly findings"},
   };
   for (const Row& row : kRows) {
     html += StrFormat(
         "<tr><td><a href=\"%s\">%s</a></td><td>%s</td></tr>", row.path,
         row.path, row.what);
   }
-  html += "</table></body></html>";
+  html += "</table>";
+
+  const std::vector<SloStatus> slos = SloEngine::Global().Snapshot();
+  if (!slos.empty()) {
+    html += "<h2>SLOs</h2><table><tr><th>slo</th><th>state</th>"
+            "<th>burn (fast)</th><th>burn (slow)</th>"
+            "<th>transitions</th></tr>";
+    for (const SloStatus& slo : slos) {
+      html += StrFormat(
+          "<tr><td>%s</td><td>%s</td><td>%s</td><td>%s</td>"
+          "<td>%llu</td></tr>",
+          HtmlEscape(slo.name).c_str(), SloStateName(slo.state),
+          FormatDouble(slo.fast_burn_rate, 3).c_str(),
+          FormatDouble(slo.slow_burn_rate, 3).c_str(),
+          static_cast<unsigned long long>(slo.transitions));
+    }
+    html += "</table>";
+  }
+  if (scanner_ != nullptr) {
+    const std::vector<AnomalyFinding> findings = scanner_->findings();
+    html += StrFormat(
+        "<h2>anomaly scanner</h2><p>%s &middot; %llu scans &middot; "
+        "%zu recent findings</p>",
+        scanner_->running() ? "running" : "off",
+        static_cast<unsigned long long>(scanner_->scans()),
+        findings.size());
+    if (!findings.empty()) {
+      html += "<table><tr><th>target</th><th>snapshot</th>"
+              "<th>value</th><th>median</th><th>robust z</th></tr>";
+      const size_t shown = std::min<size_t>(findings.size(), 10);
+      for (size_t i = findings.size() - shown; i < findings.size(); ++i) {
+        const AnomalyFinding& f = findings[i];
+        html += StrFormat(
+            "<tr><td>%s</td><td>%lld</td><td>%s</td><td>%s</td>"
+            "<td>%s</td></tr>",
+            HtmlEscape(f.target).c_str(),
+            static_cast<long long>(f.snapshot),
+            FormatDouble(f.value, 4).c_str(),
+            FormatDouble(f.median, 4).c_str(),
+            FormatDouble(f.robust_z, 3).c_str());
+      }
+      html += "</table>";
+    }
+  }
+  html += "</body></html>";
   return HttpResponse::Html(std::move(html));
 }
 

@@ -2,12 +2,15 @@
 #define DDGMS_SERVER_OBSERVABILITY_H_
 
 #include <chrono>
+#include <memory>
 #include <string>
 
 #include "common/http.h"
 #include "common/query_registry.h"
+#include "common/slo.h"
 #include "common/status.h"
 #include "core/dd_dgms.h"
+#include "server/anomaly.h"
 
 namespace ddgms::server {
 
@@ -30,12 +33,16 @@ namespace ddgms::server {
 ///   /logz        flight-recorder tail (?level=warn, ?tail=100,
 ///                ?format=json)
 ///   /resourcez   ResourceMeter pool tree (text; ?format=json)
-///   /profilez    runs the sampling profiler for ?seconds=N (cap
-///                configurable) and returns collapsed stacks
+///   /profilez    runs the sampling profiler for ?seconds=N (400 on
+///                non-numeric or non-positive values, clamped to the
+///                configurable cap) and returns collapsed stacks
+///   /sloz        SLO engine state + sliding-window stats (JSON)
+///   /alertz      firing/warning SLOs + recent anomaly findings (JSON)
 ///
-/// Start() also starts the QueryRegistry stall watchdog (configurable
-/// off), so `serve` in the shell is the single switch that turns the
-/// process into an externally observable service.
+/// Start() also starts the QueryRegistry stall watchdog, the SLO
+/// evaluator thread and the anomaly scanner (each configurable off),
+/// so `serve` in the shell is the single switch that turns the process
+/// into an externally observable — and self-judging — service.
 /// -------------------------------------------------------------------
 
 struct ObservabilityOptions {
@@ -44,9 +51,21 @@ struct ObservabilityOptions {
   /// the listener — unless one is already running.
   bool start_watchdog = true;
   QueryWatchdogOptions watchdog;
-  /// Upper bound for /profilez?seconds=N; requests beyond it are
-  /// clamped, not rejected.
+  /// Upper bound for /profilez?seconds=N; numeric requests beyond it
+  /// are clamped (non-numeric or non-positive ones get a 400).
   int max_profile_seconds = 30;
+  /// Start (and on Stop(), stop) the SLO evaluator thread alongside
+  /// the listener — unless one is already running.
+  bool start_slo_evaluator = true;
+  SloEvaluatorOptions slo_evaluator;
+  /// Start (and on Stop(), stop) the anomaly scanner alongside the
+  /// listener — unless the provided scanner is already running.
+  bool start_anomaly_scanner = true;
+  AnomalyScannerOptions anomaly;
+  /// Non-owning; the shell passes its scanner so /alertz and the
+  /// `alerts` command agree. When null and a facade is attached, the
+  /// server owns a scanner over the facade's telemetry sampler.
+  AnomalyScanner* anomaly_scanner = nullptr;
 };
 
 class ObservabilityServer {
@@ -89,6 +108,8 @@ class ObservabilityServer {
   HttpResponse HandleLogz(const HttpRequest& request) const;
   HttpResponse HandleResourcez(const HttpRequest& request) const;
   HttpResponse HandleProfilez(const HttpRequest& request) const;
+  HttpResponse HandleSloz(const HttpRequest& request) const;
+  HttpResponse HandleAlertz(const HttpRequest& request) const;
 
   double UptimeSeconds() const;
 
@@ -98,6 +119,14 @@ class ObservabilityServer {
   /// True when Start() started the watchdog (and Stop() should stop
   /// it); false when one was already running or start_watchdog is off.
   bool owns_watchdog_ = false;
+  /// Same ownership discipline for the SLO evaluator thread.
+  bool owns_evaluator_ = false;
+  /// Server-owned scanner when none was provided via options.
+  std::unique_ptr<AnomalyScanner> owned_scanner_;
+  /// The scanner /alertz reads (provided or owned); may be null.
+  AnomalyScanner* scanner_ = nullptr;
+  /// True when Start() started the scanner thread.
+  bool owns_scanner_run_ = false;
   std::chrono::steady_clock::time_point started_at_;
 };
 

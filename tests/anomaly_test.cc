@@ -1,0 +1,232 @@
+// AnomalyScanner tests: robust-z scoring of series extracted with MDX
+// from the [Telemetry] warehouse — injected gauge spikes, difference
+// mode for cumulative counters, flat/short series guards, the
+// end-to-end "injected MDX latency spike is flagged" acceptance path,
+// and the scan-thread lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/trace.h"
+#include "core/dd_dgms.h"
+#include "discri/cohort.h"
+#include "discri/model.h"
+#include "mdx/executor.h"
+#include "server/anomaly.h"
+#include "warehouse/telemetry.h"
+
+namespace ddgms {
+namespace {
+
+using server::AnomalyFinding;
+using server::AnomalyScanner;
+using server::AnomalyScannerOptions;
+using server::AnomalyTarget;
+using warehouse::TelemetrySampler;
+
+/// The series-per-snapshot MDX shape the scanner issues (mirrors the
+/// scanner's internal query builder).
+std::string SeriesMdx(const std::string& where_tuple) {
+  return "SELECT { [Measures].[Value] } ON COLUMNS, "
+         "{ [SampleTime].[Snapshot].Members } ON ROWS "
+         "FROM [Telemetry] WHERE ( " +
+         where_tuple + " )";
+}
+
+class AnomalyTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetValues();
+    MetricsRegistry::Enable();
+    TraceCollector::Global().Clear();
+    TraceCollector::Enable();
+    EventLog::Global().Clear();
+    EventLog::Enable();
+  }
+  void TearDown() override {
+    mdx::MdxExecutor::SetExecuteDelayMicrosForTesting(0);
+    TraceCollector::Disable();
+    TraceCollector::Global().Clear();
+    EventLog::Disable();
+    EventLog::Global().Clear();
+    MetricsRegistry::Disable();
+    MetricsRegistry::Global().ResetValues();
+  }
+
+  /// Options watching one gauge's level per snapshot.
+  static AnomalyScannerOptions GaugeOptions(const std::string& gauge) {
+    AnomalyScannerOptions options;
+    options.targets.push_back(
+        {"t_gauge_spike", "test gauge level jumped",
+         SeriesMdx("[Instrument].[Name].[" + gauge +
+                   "], [Kind].[Kind].[gauge]"),
+         /*difference=*/false});
+    return options;
+  }
+
+  /// Eight baseline snapshots of `gauge` with mild jitter around 100.
+  static void SampleBaseline(TelemetrySampler* sampler,
+                             const std::string& gauge) {
+    const double levels[] = {100, 102, 98, 101, 99, 103, 97, 100};
+    for (double level : levels) {
+      DDGMS_METRIC_GAUGE_SET(gauge, level);
+      ASSERT_TRUE(sampler->Sample().ok());
+    }
+  }
+};
+
+TEST_F(AnomalyTest, InjectedGaugeSpikeIsFlagged) {
+  TelemetrySampler sampler;
+  SampleBaseline(&sampler, "t.anomaly.signal");
+  AnomalyScanner scanner(&sampler, GaugeOptions("t.anomaly.signal"));
+
+  DDGMS_METRIC_GAUGE_SET("t.anomaly.signal", 1000.0);
+  auto found = scanner.ScanOnce();
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  const AnomalyFinding& f = (*found)[0];
+  EXPECT_EQ(f.target, "t_gauge_spike");
+  EXPECT_DOUBLE_EQ(f.value, 1000.0);
+  EXPECT_NEAR(f.median, 100.0, 5.0);
+  EXPECT_GT(f.mad, 0.0);
+  EXPECT_GE(f.robust_z, 3.5);
+  EXPECT_EQ(f.snapshot, sampler.num_samples());
+
+  // Surfaced everywhere: the recent list, /alertz JSON, the flight
+  // recorder and the detections counter.
+  EXPECT_EQ(scanner.findings().size(), 1u);
+  EXPECT_NE(scanner.ToJson().find("t_gauge_spike"), std::string::npos);
+  EXPECT_NE(EventLog::Global().ToJsonl().find("anomaly.detected"),
+            std::string::npos);
+  EXPECT_EQ(scanner.scans(), 1u);
+}
+
+TEST_F(AnomalyTest, RecoveredSignalStopsFlagging) {
+  TelemetrySampler sampler;
+  SampleBaseline(&sampler, "t.anomaly.recover");
+  AnomalyScanner scanner(&sampler, GaugeOptions("t.anomaly.recover"));
+
+  DDGMS_METRIC_GAUGE_SET("t.anomaly.recover", 1000.0);
+  auto spike = scanner.ScanOnce();
+  ASSERT_TRUE(spike.ok());
+  ASSERT_EQ(spike->size(), 1u);
+
+  DDGMS_METRIC_GAUGE_SET("t.anomaly.recover", 101.0);
+  auto calm = scanner.ScanOnce();
+  ASSERT_TRUE(calm.ok());
+  EXPECT_TRUE(calm->empty());
+  EXPECT_EQ(scanner.findings().size(), 1u);
+}
+
+TEST_F(AnomalyTest, FlatSeriesIsNeverAnOutlier) {
+  TelemetrySampler sampler;
+  for (int i = 0; i < 8; ++i) {
+    DDGMS_METRIC_GAUGE_SET("t.anomaly.flat", 42.0);
+    ASSERT_TRUE(sampler.Sample().ok());
+  }
+  AnomalyScanner scanner(&sampler, GaugeOptions("t.anomaly.flat"));
+  auto found = scanner.ScanOnce();
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+TEST_F(AnomalyTest, ShortSeriesIsNotScored) {
+  TelemetrySampler sampler;
+  DDGMS_METRIC_GAUGE_SET("t.anomaly.short", 100.0);
+  ASSERT_TRUE(sampler.Sample().ok());
+  AnomalyScanner scanner(&sampler, GaugeOptions("t.anomaly.short"));
+  DDGMS_METRIC_GAUGE_SET("t.anomaly.short", 1000.0);
+  auto found = scanner.ScanOnce();
+  ASSERT_TRUE(found.ok());
+  EXPECT_TRUE(found->empty());
+}
+
+TEST_F(AnomalyTest, DifferenceModeFlagsGrowthSpike) {
+  TelemetrySampler sampler;
+  Counter& c = MetricsRegistry::Global().GetCounter("t.anomaly.grow");
+  const uint64_t steps[] = {9, 11, 10, 12, 8, 10, 11, 9};
+  for (uint64_t step : steps) {
+    c.Increment(step);
+    ASSERT_TRUE(sampler.Sample().ok());
+  }
+  AnomalyScannerOptions options;
+  options.targets.push_back(
+      {"t_growth", "test counter growth jumped",
+       SeriesMdx("[Instrument].[Name].[t.anomaly.grow], "
+                 "[Kind].[Kind].[counter]"),
+       /*difference=*/true});
+  AnomalyScanner scanner(&sampler, options);
+
+  c.Increment(1000);
+  auto found = scanner.ScanOnce();
+  ASSERT_TRUE(found.ok());
+  ASSERT_EQ(found->size(), 1u);
+  EXPECT_EQ((*found)[0].target, "t_growth");
+  EXPECT_NEAR((*found)[0].value, 1000.0, 1.0);  // the delta, not the level
+  EXPECT_GE((*found)[0].robust_z, 3.5);
+}
+
+TEST_F(AnomalyTest, InjectedMdxLatencySpikeIsFlaggedViaDefaultTargets) {
+  discri::CohortOptions opt;
+  opt.num_patients = 40;
+  opt.seed = 20130408;
+  auto raw = discri::GenerateCohort(opt);
+  ASSERT_TRUE(raw.ok());
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+
+  const std::string query =
+      "SELECT { [Measures].[Count] } ON COLUMNS "
+      "FROM [MedicalMeasures]";
+  TelemetrySampler& sampler = dgms->telemetry();
+  // Pin the baseline at ~2ms per query so scheduler jitter on a loaded
+  // test machine cannot inflate the series MAD enough to mask the spike.
+  mdx::MdxExecutor::SetExecuteDelayMicrosForTesting(2000);
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE(dgms->QueryMdx(query).ok());
+    ASSERT_TRUE(sampler.Sample().ok());
+  }
+
+  // A 300ms injected execute delay dwarfs the ~2ms baseline spread of
+  // the avg mdx.execute span duration per snapshot.
+  mdx::MdxExecutor::SetExecuteDelayMicrosForTesting(300000);
+  ASSERT_TRUE(dgms->QueryMdx(query).ok());
+  mdx::MdxExecutor::SetExecuteDelayMicrosForTesting(0);
+
+  AnomalyScanner scanner(&sampler);  // stock targets
+  auto found = scanner.ScanOnce();
+  ASSERT_TRUE(found.ok());
+  bool latency_flagged = false;
+  for (const AnomalyFinding& f : *found) {
+    if (f.target == "mdx_latency_spike") {
+      latency_flagged = true;
+      EXPECT_GE(f.value, 300000.0);
+      EXPECT_GE(f.robust_z, 3.5);
+    }
+  }
+  EXPECT_TRUE(latency_flagged) << scanner.ToJson();
+}
+
+TEST_F(AnomalyTest, ScanThreadLifecycle) {
+  TelemetrySampler sampler;
+  AnomalyScannerOptions options = GaugeOptions("t.anomaly.thread");
+  options.period_ms = 5;
+  AnomalyScanner scanner(&sampler, options);
+  EXPECT_FALSE(scanner.running());
+  ASSERT_TRUE(scanner.Start().ok());
+  EXPECT_TRUE(scanner.running());
+  EXPECT_FALSE(scanner.Start().ok());  // already running
+  ASSERT_TRUE(scanner.Stop().ok());
+  EXPECT_FALSE(scanner.running());
+  EXPECT_FALSE(scanner.Stop().ok());  // not running
+}
+
+}  // namespace
+}  // namespace ddgms

@@ -223,6 +223,21 @@ TEST(InstrumentNameTest, AcceptsServerAndQueriesLayers) {
   for (const Finding& f : findings) ADD_FAILURE() << f.ToString();
 }
 
+TEST(InstrumentNameTest, AcceptsSloAndAnomalyLayers) {
+  SourceFile file{
+      "common/slo.cc",
+      "void F() {\n"
+      "  DDGMS_METRIC_INC(\"ddgms.slo.transitions\");\n"
+      "  DDGMS_METRIC_INC(\"ddgms.slo.firing_total\");\n"
+      "  DDGMS_METRIC_INC(\"ddgms.anomaly.detections\");\n"
+      "  DDGMS_METRIC_INC(\"ddgms.anomaly.scans\");\n"
+      "  DDGMS_LOG_WARN(\"slo.firing\");\n"
+      "  DDGMS_LOG_WARN(\"anomaly.detected\");\n"
+      "}\n"};
+  std::vector<Finding> findings = CheckInstrumentNames(file);
+  for (const Finding& f : findings) ADD_FAILURE() << f.ToString();
+}
+
 TEST(EndpointPathTest, AcceptsConformingRoutes) {
   SourceFile file{
       "server/observability.cc",

@@ -396,6 +396,47 @@ TEST_F(MetricsTest, PrometheusHistogramBucketsAreCumulative) {
             std::string::npos);
 }
 
+TEST_F(MetricsTest, PrometheusHelpTextEscapesBackslashAndNewline) {
+  // Instrument names are free-form registry keys; a hostile or buggy
+  // one must not be able to break the exposition format by smuggling a
+  // raw newline (which would start a bogus sample line) or a raw
+  // backslash into # HELP text.
+  MetricsRegistry::Global()
+      .GetCounter("t.evil\nname\\with\\slashes")
+      .Increment();
+  const std::string text =
+      MetricsRegistry::Global().Snapshot().ToPrometheusText();
+  // Escaped forms appear...
+  EXPECT_NE(text.find("t.evil\\nname\\\\with\\\\slashes"),
+            std::string::npos);
+  // ...and the raw (unescaped) fragment does not: a raw newline in
+  // HELP would have split the comment and emitted a bogus sample line
+  // starting with "name\with\slashes".
+  std::istringstream lines(text);
+  std::string line;
+  while (std::getline(lines, line)) {
+    EXPECT_NE(line.rfind("name\\with", 0), 0u) << line;
+  }
+}
+
+TEST_F(MetricsTest, PrometheusLabelValuesAreEscaped) {
+  // The le label values today are numeric bounds or +Inf, but the
+  // writer must escape per spec regardless: backslash, double quote
+  // and newline inside a label value.
+  using ::ddgms::MetricsSnapshot;
+  MetricsSnapshot snapshot;
+  HistogramSnapshot h;
+  h.name = "t.label.esc";
+  h.bounds = {10.0};
+  h.buckets = {1, 0};
+  h.count = 1;
+  h.sum = 5.0;
+  snapshot.histograms.push_back(h);
+  const std::string text = snapshot.ToPrometheusText();
+  EXPECT_NE(text.find("_bucket{le=\"10\"} 1"), std::string::npos);
+  EXPECT_NE(text.find("_bucket{le=\"+Inf\"} 1"), std::string::npos);
+}
+
 TEST_F(MetricsTest, ScopedLatencyTimerInertWhenDisabled) {
   MetricsRegistry::Disable();
   {

@@ -1,8 +1,9 @@
 // Observability server tests: HTTP parse/serialize round trips, the
 // listener's routing (404/405), fault-injected accept/read failures,
 // the live query registry + stall watchdog (fires exactly once per
-// query), and a concurrent scrape-while-query stress run under the
-// TSan lane.
+// query), the bounded completed-query history, /profilez input
+// validation, the /sloz + /alertz surface, and a concurrent
+// scrape-while-query stress run under the TSan lane.
 
 #include <gtest/gtest.h>
 
@@ -16,7 +17,9 @@
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/query_registry.h"
+#include "common/slo.h"
 #include "common/trace.h"
+#include "common/window.h"
 #include "core/dd_dgms.h"
 #include "discri/cohort.h"
 #include "discri/model.h"
@@ -208,6 +211,7 @@ class QueryRegistryTest : public ::testing::Test {
  protected:
   void SetUp() override {
     QueryRegistry::Global().ResetForTesting();
+    QueryRegistry::Global().set_history_capacity(128);
     QueryRegistry::Enable();
     MetricsRegistry::Global().ResetValues();
     MetricsRegistry::Enable();
@@ -215,6 +219,7 @@ class QueryRegistryTest : public ::testing::Test {
   void TearDown() override {
     QueryRegistry::Disable();
     QueryRegistry::Global().ResetForTesting();
+    QueryRegistry::Global().set_history_capacity(128);
     MetricsRegistry::Disable();
     MetricsRegistry::Global().ResetValues();
   }
@@ -354,6 +359,85 @@ TEST_F(QueryRegistryTest, ToJsonListsQueries) {
   EXPECT_NE(json.find("SELECT \\\"x\\\""), std::string::npos);
   EXPECT_NE(json.find("\"stalled\":false"), std::string::npos);
   registry.End(id);
+}
+
+TEST_F(QueryRegistryTest, CompletedQueriesMoveIntoBoundedHistory) {
+  QueryRegistry& registry = QueryRegistry::Global();
+  registry.set_history_capacity(4);
+  EXPECT_EQ(registry.history_capacity(), 4u);
+
+  std::vector<uint64_t> ids;
+  for (int i = 0; i < 10; ++i) {
+    const uint64_t id = registry.Begin("mdx", "q" + std::to_string(i));
+    registry.SetStage(id, "execute");
+    registry.End(id);
+    ids.push_back(id);
+  }
+  EXPECT_EQ(registry.active(), 0u);
+  // Only the newest `capacity` records survive, oldest first.
+  auto history = registry.History();
+  ASSERT_EQ(history.size(), 4u);
+  EXPECT_EQ(registry.history_size(), 4u);
+  for (size_t i = 0; i < history.size(); ++i) {
+    EXPECT_EQ(history[i].id, ids[ids.size() - 4 + i]);
+    EXPECT_EQ(history[i].stage, "execute");
+    EXPECT_GE(history[i].duration_ms, 0.0);
+    EXPECT_FALSE(history[i].stalled);
+  }
+  const std::string json = registry.HistoryToJson();
+  EXPECT_NE(json.find("\"duration_ms\""), std::string::npos);
+  EXPECT_NE(json.find("\"q9\""), std::string::npos);
+  EXPECT_EQ(json.find("\"q0\""), std::string::npos);  // evicted
+
+  // Shrinking evicts immediately; zero disables capture entirely.
+  registry.set_history_capacity(2);
+  EXPECT_EQ(registry.history_size(), 2u);
+  registry.set_history_capacity(0);
+  EXPECT_EQ(registry.history_size(), 0u);
+  registry.End(registry.Begin("mdx", "uncaptured"));
+  EXPECT_EQ(registry.history_size(), 0u);
+}
+
+TEST_F(QueryRegistryTest, HistoryRecordsStalledFlag) {
+  QueryRegistry& registry = QueryRegistry::Global();
+  const uint64_t id = registry.Begin("mdx", "was stalled");
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  registry.SweepForTesting(/*deadline_ms=*/1);
+  registry.End(id);
+  auto history = registry.History();
+  ASSERT_EQ(history.size(), 1u);
+  EXPECT_TRUE(history[0].stalled);
+}
+
+TEST_F(QueryRegistryTest, HistoryStaysBoundedUnderConcurrentLoad) {
+  // The TSan lane runs this: concurrent Begin/End churn against the
+  // bounded history plus snapshot readers must stay race-free, and
+  // /queryz-visible state must never grow without bound.
+  QueryRegistry& registry = QueryRegistry::Global();
+  registry.set_history_capacity(8);
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([t] {
+      for (int i = 0; i < 100; ++i) {
+        ScopedQueryRecord record("mdx",
+                                 "w" + std::to_string(t) + "-q" +
+                                     std::to_string(i));
+        QueryRegistry::SetCurrentStage("execute");
+      }
+    });
+  }
+  std::atomic<bool> stop{false};
+  std::thread reader([&registry, &stop] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      (void)registry.HistoryToJson();
+      EXPECT_LE(registry.history_size(), 8u);
+    }
+  });
+  for (std::thread& w : workers) w.join();
+  stop.store(true);
+  reader.join();
+  EXPECT_EQ(registry.active(), 0u);
+  EXPECT_EQ(registry.history_size(), 8u);
 }
 
 // ---------------------------------------------------------------- //
@@ -503,6 +587,143 @@ TEST_F(ObservabilityServerTest, StalledMdxQueryTripsTheWatchdog) {
 
   ASSERT_TRUE(obs.Stop().ok());
   EXPECT_FALSE(QueryRegistry::Global().watchdog_running());
+}
+
+TEST_F(ObservabilityServerTest, ProfilezValidatesSecondsParam) {
+  server::ObservabilityOptions options;
+  options.start_watchdog = false;
+  options.start_slo_evaluator = false;
+  options.start_anomaly_scanner = false;
+  server::ObservabilityServer obs(options, /*dgms=*/nullptr);
+  ASSERT_TRUE(obs.Start().ok());
+
+  // Non-numeric and non-positive values are client errors, not silent
+  // defaults.
+  EXPECT_EQ(std::get<0>(Get(obs.port(), "/profilez?seconds=abc")), 400);
+  EXPECT_EQ(std::get<0>(Get(obs.port(), "/profilez?seconds=-3")), 400);
+  EXPECT_EQ(std::get<0>(Get(obs.port(), "/profilez?seconds=0")), 400);
+  EXPECT_EQ(std::get<0>(Get(obs.port(), "/profilez?seconds=2x")), 400);
+  auto [status, body, raw] = Get(obs.port(), "/profilez?seconds=abc");
+  EXPECT_NE(body.find("seconds must be a positive integer"),
+            std::string::npos);
+
+  ASSERT_TRUE(obs.Stop().ok());
+}
+
+TEST_F(ObservabilityServerTest, QueryzIncludesBoundedHistory) {
+  server::ObservabilityOptions options;
+  options.start_watchdog = false;
+  options.start_slo_evaluator = false;
+  options.start_anomaly_scanner = false;
+  server::ObservabilityServer obs(options, /*dgms=*/nullptr);
+  ASSERT_TRUE(obs.Start().ok());
+
+  QueryRegistry& registry = QueryRegistry::Global();
+  registry.set_history_capacity(128);
+  registry.End(registry.Begin("mdx", "done already"));
+
+  auto [status, body, raw] = Get(obs.port(), "/queryz");
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"history_capacity\":128"), std::string::npos);
+  EXPECT_NE(body.find("\"recent_completed\":["), std::string::npos);
+  EXPECT_NE(body.find("done already"), std::string::npos);
+
+  ASSERT_TRUE(obs.Stop().ok());
+}
+
+TEST_F(ObservabilityServerTest, SlozAndAlertzSurfaceSloState) {
+  WindowRegistry::Global().ResetForTesting();
+  WindowRegistry::Enable();
+  SloEngine::Global().ResetForTesting();
+  SloEngine::Enable();
+
+  MetricsRegistry::Global().GetHistogram("t.server.slo_lat",
+                                         {100000.0, 250000.0, 1000000.0});
+  SloDef def;
+  def.name = "t_server_latency";
+  def.kind = SloKind::kLatency;
+  def.latency_histogram = "t.server.slo_lat";
+  def.latency_target_us = 250000;
+  def.objective = 0.99;
+  ASSERT_TRUE(SloEngine::Global().Register(def).ok());
+
+  server::ObservabilityOptions options;
+  options.start_watchdog = false;
+  options.start_slo_evaluator = false;  // driven explicitly below
+  options.start_anomaly_scanner = false;
+  server::ObservabilityServer obs(options, /*dgms=*/nullptr);
+  ASSERT_TRUE(obs.Start().ok());
+
+  SloEngine::Global().EvaluateAt(1000000000);
+  auto [sloz_status, sloz_body, sloz_raw] = Get(obs.port(), "/sloz");
+  EXPECT_EQ(sloz_status, 200);
+  EXPECT_NE(sloz_raw.find("Content-Type: application/json"),
+            std::string::npos);
+  EXPECT_NE(sloz_body.find("t_server_latency"), std::string::npos);
+  EXPECT_NE(sloz_body.find("\"windows\""), std::string::npos);
+
+  // Healthy: /alertz lists nothing.
+  auto [calm_status, calm_body, calm_raw] = Get(obs.port(), "/alertz");
+  EXPECT_EQ(calm_status, 200);
+  EXPECT_NE(calm_body.find("\"firing\":0"), std::string::npos);
+  EXPECT_EQ(calm_body.find("t_server_latency"), std::string::npos);
+  // No facade: the scanner section is a stub, not an error.
+  EXPECT_NE(calm_body.find("\"anomaly\":{\"running\":false"),
+            std::string::npos);
+
+  // Burn the budget: every observation beyond the target.
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("t.server.slo_lat");
+  for (int i = 0; i < 5; ++i) h.Observe(400000.0);
+  SloEngine::Global().EvaluateAt(1001000000);
+
+  auto [hot_status, hot_body, hot_raw] = Get(obs.port(), "/alertz");
+  EXPECT_EQ(hot_status, 200);
+  EXPECT_NE(hot_body.find("\"firing\":1"), std::string::npos);
+  EXPECT_NE(hot_body.find("\"state\":\"firing\""), std::string::npos);
+  EXPECT_NE(hot_body.find("t_server_latency"), std::string::npos);
+
+  // The HTML overview gains the SLO table and endpoint index rows.
+  auto [statusz_status, statusz_body, statusz_raw] =
+      Get(obs.port(), "/statusz");
+  EXPECT_EQ(statusz_status, 200);
+  EXPECT_NE(statusz_body.find("/sloz"), std::string::npos);
+  EXPECT_NE(statusz_body.find("/alertz"), std::string::npos);
+  EXPECT_NE(statusz_body.find("t_server_latency"), std::string::npos);
+
+  ASSERT_TRUE(obs.Stop().ok());
+  SloEngine::Disable();
+  SloEngine::Global().ResetForTesting();
+  WindowRegistry::Disable();
+  WindowRegistry::Global().ResetForTesting();
+}
+
+TEST_F(ObservabilityServerTest, StartStopOwnsEvaluatorAndScanner) {
+  discri::CohortOptions cohort;
+  cohort.num_patients = 30;
+  cohort.seed = 11;
+  auto raw = discri::GenerateCohort(cohort);
+  ASSERT_TRUE(raw.ok());
+  auto dgms = core::DdDgms::Build(std::move(raw).value(),
+                                  discri::MakeDiscriPipeline(),
+                                  discri::MakeDiscriSchemaDef());
+  ASSERT_TRUE(dgms.ok());
+
+  SloEngine::Global().ResetForTesting();
+  server::ObservabilityOptions options;
+  options.watchdog.poll_ms = 5;
+  server::ObservabilityServer obs(options, &*dgms);
+  ASSERT_TRUE(obs.Start().ok());
+  EXPECT_TRUE(SloEngine::Global().evaluator_running());
+
+  // /alertz reads the server-owned scanner over the facade's sampler.
+  auto [status, body, raw_response] = Get(obs.port(), "/alertz");
+  EXPECT_EQ(status, 200);
+  EXPECT_NE(body.find("\"anomaly\":{\"running\":true"),
+            std::string::npos);
+
+  ASSERT_TRUE(obs.Stop().ok());
+  EXPECT_FALSE(SloEngine::Global().evaluator_running());
 }
 
 TEST_F(ObservabilityServerTest, ConcurrentScrapeWhileQueryStress) {

@@ -1,0 +1,277 @@
+// SLO engine tests: definition validation, multi-window burn-rate
+// math for all three kinds, the ok → warning → firing → resolved → ok
+// state machine driven deterministically through EvaluateAt, transition
+// events in the flight recorder, ddgms.slo.* instrumentation, and the
+// evaluator thread lifecycle.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/log.h"
+#include "common/metrics.h"
+#include "common/slo.h"
+#include "common/window.h"
+
+namespace ddgms {
+namespace {
+
+constexpr int64_t kT0 = 1000000000;
+constexpr int64_t kSecond = 1000000;
+
+class SloTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetValues();
+    MetricsRegistry::Enable();
+    EventLog::Global().Clear();
+    EventLog::Enable();
+    WindowRegistry::Global().ResetForTesting();
+    WindowRegistry::Enable();
+    SloEngine::Global().ResetForTesting();
+    SloEngine::Enable();
+  }
+  void TearDown() override {
+    SloEngine::Disable();
+    SloEngine::Global().ResetForTesting();
+    WindowRegistry::Disable();
+    WindowRegistry::Global().ResetForTesting();
+    EventLog::Disable();
+    EventLog::Global().Clear();
+    MetricsRegistry::Disable();
+    MetricsRegistry::Global().ResetValues();
+  }
+
+  /// A latency SLO over a fresh histogram: 99% of observations at or
+  /// below 250ms, fast/slow windows 60s/300s, firing at burn 10.
+  static SloDef LatencyDef(const std::string& name,
+                           const std::string& histogram) {
+    MetricsRegistry::Global().GetHistogram(histogram,
+                                           {100000.0, 250000.0, 1000000.0});
+    SloDef def;
+    def.name = name;
+    def.kind = SloKind::kLatency;
+    def.latency_histogram = histogram;
+    def.latency_target_us = 250000;
+    def.objective = 0.99;
+    return def;
+  }
+
+  static SloStatus StatusOf(const std::string& name) {
+    for (const SloStatus& s : SloEngine::Global().Snapshot()) {
+      if (s.name == name) return s;
+    }
+    ADD_FAILURE() << "slo '" << name << "' not registered";
+    return SloStatus{};
+  }
+
+  static bool LogContains(const std::string& event) {
+    return EventLog::Global().ToJsonl().find("\"" + event + "\"") !=
+           std::string::npos;
+  }
+};
+
+TEST_F(SloTest, RegisterRejectsMalformedDefinitions) {
+  SloEngine& engine = SloEngine::Global();
+  SloDef def = LatencyDef("t_lat", "t.slo.validate");
+
+  SloDef unnamed = def;
+  unnamed.name.clear();
+  EXPECT_FALSE(engine.Register(unnamed).ok());
+
+  SloDef bad_windows = def;
+  bad_windows.fast_window_seconds = 300;
+  bad_windows.slow_window_seconds = 60;
+  EXPECT_FALSE(engine.Register(bad_windows).ok());
+
+  SloDef bad_burns = def;
+  bad_burns.warning_burn_rate = 20.0;  // above firing_burn_rate
+  EXPECT_FALSE(engine.Register(bad_burns).ok());
+
+  SloDef no_histogram = def;
+  no_histogram.latency_histogram.clear();
+  EXPECT_FALSE(engine.Register(no_histogram).ok());
+
+  SloDef bad_objective = def;
+  bad_objective.objective = 1.5;
+  EXPECT_FALSE(engine.Register(bad_objective).ok());
+
+  SloDef error_rate;
+  error_rate.name = "t_err";
+  error_rate.kind = SloKind::kErrorRate;
+  error_rate.error_counter = "t.slo.err";
+  EXPECT_FALSE(engine.Register(error_rate).ok());  // no total counter
+
+  ASSERT_TRUE(engine.Register(def).ok());
+  EXPECT_FALSE(engine.Register(def).ok());  // duplicate name
+  EXPECT_EQ(engine.slo_count(), 1u);
+}
+
+TEST_F(SloTest, LatencySloFiresAndResolvesEndToEnd) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.Register(LatencyDef("t_lat", "t.slo.e2e")).ok());
+  engine.EvaluateAt(kT0);
+  EXPECT_EQ(StatusOf("t_lat").state, SloState::kOk);
+
+  // Five observations, all beyond the 250ms target: the bad fraction
+  // is 1.0 against a 1% error budget, a burn of 100 in both windows.
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.slo.e2e");
+  for (int i = 0; i < 5; ++i) h.Observe(400000.0);
+  engine.EvaluateAt(kT0 + kSecond);
+
+  SloStatus firing = StatusOf("t_lat");
+  EXPECT_EQ(firing.state, SloState::kFiring);
+  EXPECT_GE(firing.fast_burn_rate, 10.0);
+  EXPECT_GE(firing.slow_burn_rate, 10.0);
+  EXPECT_EQ(firing.fast_window_count, 5u);
+  EXPECT_EQ(firing.transitions, 1u);
+  EXPECT_TRUE(LogContains("slo.firing"));
+
+  // Long after the bad minute left both windows: firing → resolved,
+  // then the next healthy evaluation decays resolved → ok.
+  engine.EvaluateAt(kT0 + 400 * kSecond);
+  EXPECT_EQ(StatusOf("t_lat").state, SloState::kResolved);
+  EXPECT_TRUE(LogContains("slo.resolved"));
+  engine.EvaluateAt(kT0 + 401 * kSecond);
+  EXPECT_EQ(StatusOf("t_lat").state, SloState::kOk);
+  EXPECT_EQ(StatusOf("t_lat").transitions, 3u);
+}
+
+TEST_F(SloTest, ModerateBurnOnlyWarns) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.Register(LatencyDef("t_warn", "t.slo.warn")).ok());
+  engine.EvaluateAt(kT0);
+
+  // 2% of observations bad: burn 2 — at/above the warning threshold
+  // (1) but below firing (10).
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.slo.warn");
+  for (int i = 0; i < 98; ++i) h.Observe(50000.0);
+  for (int i = 0; i < 2; ++i) h.Observe(500000.0);
+  engine.EvaluateAt(kT0 + kSecond);
+
+  SloStatus status = StatusOf("t_warn");
+  EXPECT_EQ(status.state, SloState::kWarning);
+  EXPECT_GE(status.fast_burn_rate, 1.0);
+  EXPECT_LT(status.fast_burn_rate, 10.0);
+  EXPECT_TRUE(LogContains("slo.warning"));
+
+  // Healthy again: warning drops straight back to ok (no resolved
+  // detour — nothing fired).
+  engine.EvaluateAt(kT0 + 400 * kSecond);
+  EXPECT_EQ(StatusOf("t_warn").state, SloState::kOk);
+}
+
+TEST_F(SloTest, ErrorRateSloFires) {
+  SloEngine& engine = SloEngine::Global();
+  SloDef def;
+  def.name = "t_err";
+  def.kind = SloKind::kErrorRate;
+  def.error_counter = "t.slo.failures";
+  def.total_counter = "t.slo.attempts";
+  def.objective = 0.99;
+  ASSERT_TRUE(engine.Register(def).ok());
+  engine.EvaluateAt(kT0);
+
+  MetricsRegistry::Global().GetCounter("t.slo.attempts").Increment(100);
+  MetricsRegistry::Global().GetCounter("t.slo.failures").Increment(50);
+  engine.EvaluateAt(kT0 + kSecond);
+
+  SloStatus status = StatusOf("t_err");
+  EXPECT_EQ(status.state, SloState::kFiring);
+  EXPECT_NEAR(status.fast_burn_rate, 50.0, 1.0);
+}
+
+TEST_F(SloTest, StallBudgetSloFires) {
+  SloEngine& engine = SloEngine::Global();
+  SloDef def;
+  def.name = "t_stall";
+  def.kind = SloKind::kStallBudget;
+  def.stall_counter = "t.slo.stalls";
+  def.allowed_per_hour = 6.0;
+  ASSERT_TRUE(engine.Register(def).ok());
+  engine.EvaluateAt(kT0);
+
+  // One stall within a 10s coverage extrapolates to 360/hour — sixty
+  // times the budget of 6/hour.
+  MetricsRegistry::Global().GetCounter("t.slo.stalls").Increment(1);
+  engine.EvaluateAt(kT0 + 10 * kSecond);
+  EXPECT_EQ(StatusOf("t_stall").state, SloState::kFiring);
+}
+
+TEST_F(SloTest, DisabledEngineDoesNotEvaluate) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.Register(LatencyDef("t_off", "t.slo.off")).ok());
+  SloEngine::Disable();
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.slo.off");
+  for (int i = 0; i < 5; ++i) h.Observe(400000.0);
+  engine.EvaluateAt(kT0);
+  engine.EvaluateAt(kT0 + kSecond);
+  SloEngine::Enable();
+  EXPECT_EQ(StatusOf("t_off").state, SloState::kOk);
+  EXPECT_EQ(StatusOf("t_off").transitions, 0u);
+}
+
+TEST_F(SloTest, TransitionsBumpCountersAndGauges) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.Register(LatencyDef("t_gauge", "t.slo.gauge")).ok());
+  engine.EvaluateAt(kT0);
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.slo.gauge");
+  for (int i = 0; i < 5; ++i) h.Observe(400000.0);
+  engine.EvaluateAt(kT0 + kSecond);
+
+  MetricsSnapshot snapshot = MetricsRegistry::Global().Snapshot();
+  bool saw_transitions = false;
+  bool saw_firing_total = false;
+  for (const MetricsSnapshot::CounterValue& c : snapshot.counters) {
+    if (c.name == "ddgms.slo.transitions" && c.value >= 1) {
+      saw_transitions = true;
+    }
+    if (c.name == "ddgms.slo.firing_total" && c.value >= 1) {
+      saw_firing_total = true;
+    }
+  }
+  EXPECT_TRUE(saw_transitions);
+  EXPECT_TRUE(saw_firing_total);
+
+  bool saw_state_gauge = false;
+  for (const MetricsSnapshot::GaugeValue& g : snapshot.gauges) {
+    if (g.name == "ddgms.slo.state:t_gauge") {
+      saw_state_gauge = true;
+      EXPECT_DOUBLE_EQ(g.value, 2.0);  // SloState::kFiring
+    }
+  }
+  EXPECT_TRUE(saw_state_gauge);
+}
+
+TEST_F(SloTest, RegisterDefaultSlosIsIdempotent) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.RegisterDefaultSlos().ok());
+  ASSERT_TRUE(engine.RegisterDefaultSlos().ok());
+  EXPECT_EQ(engine.slo_count(), 3u);
+  const std::string json = engine.ToJson();
+  EXPECT_NE(json.find("mdx_latency"), std::string::npos);
+  EXPECT_NE(json.find("server_availability"), std::string::npos);
+  EXPECT_NE(json.find("query_stalls"), std::string::npos);
+}
+
+TEST_F(SloTest, EvaluatorThreadLifecycle) {
+  SloEngine& engine = SloEngine::Global();
+  ASSERT_TRUE(engine.Register(LatencyDef("t_thread", "t.slo.thread")).ok());
+  SloEvaluatorOptions options;
+  options.period_ms = 5;
+  ASSERT_TRUE(engine.StartEvaluator(options).ok());
+  EXPECT_TRUE(engine.evaluator_running());
+  EXPECT_FALSE(engine.StartEvaluator(options).ok());  // already running
+  ASSERT_TRUE(engine.StopEvaluator().ok());
+  EXPECT_FALSE(engine.evaluator_running());
+  EXPECT_FALSE(engine.StopEvaluator().ok());  // not running
+
+  SloEvaluatorOptions bad;
+  bad.period_ms = 0;
+  EXPECT_FALSE(engine.StartEvaluator(bad).ok());
+}
+
+}  // namespace
+}  // namespace ddgms

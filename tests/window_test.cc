@@ -1,0 +1,203 @@
+// WindowRegistry tests: delta attribution from cumulative instruments,
+// ring slot aging, ramp-up coverage, counter-reset detection, windowed
+// percentiles over merged histogram buckets, and FractionAbove (the
+// burn-rate primitive).
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/window.h"
+
+namespace ddgms {
+namespace {
+
+/// An arbitrary but fixed test epoch (microseconds).
+constexpr int64_t kT0 = 1000000000;
+constexpr int64_t kSecond = 1000000;
+
+class WindowTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    MetricsRegistry::Global().ResetValues();
+    MetricsRegistry::Enable();
+    WindowRegistry::Global().ResetForTesting();
+    WindowRegistry::Enable();
+  }
+  void TearDown() override {
+    WindowRegistry::Disable();
+    WindowRegistry::Global().ResetForTesting();
+    MetricsRegistry::Disable();
+    MetricsRegistry::Global().ResetValues();
+  }
+};
+
+TEST_F(WindowTest, StatsNotFoundForUntrackedInstrument) {
+  auto stats = WindowRegistry::Global().Stats("t.win.ghost", 60);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(WindowTest, StatsNotFoundForUntrackedWindowLength) {
+  ASSERT_TRUE(
+      WindowRegistry::Global().TrackCounter("t.win.narrow", {60}).ok());
+  EXPECT_TRUE(WindowRegistry::Global().Stats("t.win.narrow", 60).ok());
+  EXPECT_FALSE(WindowRegistry::Global().Stats("t.win.narrow", 300).ok());
+}
+
+TEST_F(WindowTest, CounterDeltaAndRate) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.requests", {60}).ok());
+  windows.TickAt(kT0);
+  MetricsRegistry::Global().GetCounter("t.win.requests").Increment(30);
+  windows.TickAt(kT0 + 5 * kSecond);
+
+  auto stats = windows.Stats("t.win.requests", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 30u);
+  EXPECT_DOUBLE_EQ(stats->covered_seconds, 5.0);
+  EXPECT_DOUBLE_EQ(stats->rate_per_sec, 6.0);
+}
+
+TEST_F(WindowTest, PreTrackingHistoryIsNotAttributed) {
+  Counter& c = MetricsRegistry::Global().GetCounter("t.win.old");
+  c.Increment(1000);  // before tracking: must not appear in any window
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.old", {60}).ok());
+  windows.TickAt(kT0);
+  c.Increment(3);
+  windows.TickAt(kT0 + kSecond);
+
+  auto stats = windows.Stats("t.win.old", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 3u);
+}
+
+TEST_F(WindowTest, DeltasAgeOutOfTheWindow) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.aging", {60}).ok());
+  windows.TickAt(kT0);
+  MetricsRegistry::Global().GetCounter("t.win.aging").Increment(12);
+  windows.TickAt(kT0 + 5 * kSecond);
+  ASSERT_EQ(windows.Stats("t.win.aging", 60)->count, 12u);
+
+  // Advance past the whole window with no new increments: every slot
+  // that held the delta has been reused or zeroed.
+  windows.TickAt(kT0 + 70 * kSecond);
+  auto stats = windows.Stats("t.win.aging", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 0u);
+  EXPECT_DOUBLE_EQ(stats->rate_per_sec, 0.0);
+}
+
+TEST_F(WindowTest, CounterResetIsTreatedAsFreshStart) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.reset", {60}).ok());
+  windows.TickAt(kT0);
+  MetricsRegistry::Global().GetCounter("t.win.reset").Increment(5);
+  windows.TickAt(kT0 + kSecond);
+  MetricsRegistry::Global().ResetValues();  // cumulative drops to zero
+  MetricsRegistry::Global().GetCounter("t.win.reset").Increment(3);
+  windows.TickAt(kT0 + 2 * kSecond);
+
+  // No unsigned underflow: the post-reset value counts as the delta.
+  auto stats = windows.Stats("t.win.reset", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 8u);
+}
+
+TEST_F(WindowTest, DisabledTickAccumulatesNothing) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.gated", {60}).ok());
+  WindowRegistry::Disable();
+  MetricsRegistry::Global().GetCounter("t.win.gated").Increment(7);
+  windows.TickAt(kT0);
+  windows.TickAt(kT0 + kSecond);
+  WindowRegistry::Enable();
+
+  auto stats = windows.Stats("t.win.gated", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 0u);
+}
+
+TEST_F(WindowTest, HistogramPercentilesOverWindow) {
+  MetricsRegistry::Global().GetHistogram("t.win.lat",
+                                         {10.0, 100.0, 1000.0});
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackHistogram("t.win.lat", {60}).ok());
+  windows.TickAt(kT0);
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.win.lat");
+  for (int i = 0; i < 90; ++i) h.Observe(9.0);
+  for (int i = 0; i < 10; ++i) h.Observe(500.0);
+  windows.TickAt(kT0 + 5 * kSecond);
+
+  auto stats = windows.Stats("t.win.lat", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->count, 100u);
+  EXPECT_DOUBLE_EQ(stats->sum, 90 * 9.0 + 10 * 500.0);
+  EXPECT_LE(stats->p50, 10.0);
+  EXPECT_GT(stats->p99, 100.0);
+}
+
+TEST_F(WindowTest, FractionAboveInterpolates) {
+  MetricsRegistry::Global().GetHistogram("t.win.frac",
+                                         {100.0, 1000.0});
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackHistogram("t.win.frac", {60}).ok());
+  windows.TickAt(kT0);
+  Histogram& h = MetricsRegistry::Global().GetHistogram("t.win.frac");
+  for (int i = 0; i < 90; ++i) h.Observe(50.0);
+  for (int i = 0; i < 10; ++i) h.Observe(500.0);
+  windows.TickAt(kT0 + kSecond);
+
+  auto stats = windows.Stats("t.win.frac", 60);
+  ASSERT_TRUE(stats.ok());
+  // The threshold sits exactly on the first bucket's upper bound, so
+  // the fraction above is the second bucket's share.
+  EXPECT_NEAR(FractionAbove(stats->merged, 100.0), 0.10, 0.02);
+  EXPECT_DOUBLE_EQ(FractionAbove(stats->merged, 1e12), 0.0);
+
+  HistogramSnapshot empty;
+  EXPECT_DOUBLE_EQ(FractionAbove(empty, 100.0), 0.0);
+}
+
+TEST_F(WindowTest, TrackIsIdempotentAndAddsWindows) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.twice", {60}).ok());
+  ASSERT_TRUE(windows.TrackCounter("t.win.twice", {60, 300}).ok());
+  EXPECT_EQ(windows.tracked_count(), 1u);
+  EXPECT_TRUE(windows.Stats("t.win.twice", 60).ok());
+  EXPECT_TRUE(windows.Stats("t.win.twice", 300).ok());
+}
+
+TEST_F(WindowTest, CoverageIsCappedAtTheWindowLength) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.capped", {60}).ok());
+  windows.TickAt(kT0);
+  for (int s = 1; s <= 120; ++s) {
+    MetricsRegistry::Global().GetCounter("t.win.capped").Increment(1);
+    windows.TickAt(kT0 + s * kSecond);
+  }
+  auto stats = windows.Stats("t.win.capped", 60);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_DOUBLE_EQ(stats->covered_seconds, 60.0);
+  // One increment per second sustained: the windowed rate is ~1/s even
+  // though the cumulative counter is at 120.
+  EXPECT_NEAR(stats->rate_per_sec, 1.0, 0.25);
+}
+
+TEST_F(WindowTest, SnapshotAndJsonListTrackedInstruments) {
+  WindowRegistry& windows = WindowRegistry::Global();
+  ASSERT_TRUE(windows.TrackCounter("t.win.json", {60}).ok());
+  windows.TickAt(kT0);
+  EXPECT_FALSE(windows.Snapshot().empty());
+  const std::string json = windows.ToJson();
+  EXPECT_NE(json.find("t.win.json"), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\":true"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ddgms

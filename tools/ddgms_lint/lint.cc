@@ -323,11 +323,11 @@ namespace {
 /// registering its layer here (and the grammar keeps every dashboard
 /// group-by-layer query working).
 const char* const kInstrumentLayers[] = {
-    "core",    "csv",      "etl",      "faults",     "io",
-    "journal", "kb",       "mdx",      "olap",       "other",
-    "persist", "profiler", "quarantine", "queries",  "resource",
-    "retry",   "server",   "snapshot", "store",      "table",
-    "telemetry", "warehouse",
+    "anomaly", "core",     "csv",      "etl",        "faults",
+    "io",      "journal",  "kb",       "mdx",        "olap",
+    "other",   "persist",  "profiler", "quarantine", "queries",
+    "resource", "retry",   "server",   "slo",        "snapshot",
+    "store",   "table",    "telemetry", "warehouse",
 };
 
 bool IsRegisteredLayer(const std::string& s) {
