@@ -1,0 +1,28 @@
+#ifndef DDGMS_COMMON_ANNOTATIONS_H_
+#define DDGMS_COMMON_ANNOTATIONS_H_
+
+/// Source-level annotations consumed by ddgms_analyzer (and, where a
+/// compiler equivalent exists, by the optimizer too).
+///
+/// DDGMS_HOT marks a function as per-row/per-cell hot: it runs once
+/// per element of a scan, aggregation, or parse loop, so a single
+/// heap allocation inside it multiplies by the row count. The
+/// analyzer's hot-path hygiene pass flags, inside DDGMS_HOT bodies:
+///
+///   * operator new / std::make_unique / std::make_shared,
+///   * std::string construction (temporaries and locals),
+///   * push_back / emplace_back on a container with no reserve() in
+///     the same body,
+///   * Value temporaries (boxing a cell per element).
+///
+/// Deliberate exceptions carry `// NOLINT(ddgms-hot-path-alloc)` on
+/// the flagged line with a justification. On GNU-compatible compilers
+/// the macro also expands to __attribute__((hot)) so the annotation
+/// feeds block placement; elsewhere it is a pure marker.
+#if defined(__GNUC__) || defined(__clang__)
+#define DDGMS_HOT __attribute__((hot))
+#else
+#define DDGMS_HOT
+#endif
+
+#endif  // DDGMS_COMMON_ANNOTATIONS_H_

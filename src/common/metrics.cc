@@ -4,6 +4,7 @@
 #include <bit>
 #include <cmath>
 
+#include "common/annotations.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -142,17 +143,20 @@ std::string JsonNumber(double v) {
 
 }  // namespace
 
-void Counter::Increment(uint64_t delta) {
+// The DDGMS_METRIC_* record paths run inside scan/parse loops; they
+// must stay lock-free and allocation-free (the analyzer's hot-path
+// pass enforces the latter).
+DDGMS_HOT void Counter::Increment(uint64_t delta) {
   if (!MetricsRegistry::Enabled()) return;
   value_.fetch_add(delta, std::memory_order_relaxed);
 }
 
-void Gauge::Set(double value) {
+DDGMS_HOT void Gauge::Set(double value) {
   if (!MetricsRegistry::Enabled()) return;
   bits_.store(DoubleToBits(value), std::memory_order_relaxed);
 }
 
-void Gauge::Add(double delta) {
+DDGMS_HOT void Gauge::Add(double delta) {
   if (!MetricsRegistry::Enabled()) return;
   AtomicDoubleAdd(&bits_, delta);
 }
@@ -180,7 +184,7 @@ std::vector<double> Histogram::DefaultLatencyBounds() {
           250000, 500000, 1000000, 2500000, 5000000, 10000000};
 }
 
-void Histogram::Observe(double value) {
+DDGMS_HOT void Histogram::Observe(double value) {
   if (!MetricsRegistry::Enabled()) return;
   size_t idx = static_cast<size_t>(
       std::lower_bound(bounds_.begin(), bounds_.end(), value) -

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/annotations.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -96,9 +97,14 @@ size_t TraceCollector::capacity() const {
   return capacity_;
 }
 
-void TraceCollector::Record(SpanRecord record) {
+// Every span destructor lands here — per-query at the coarse spans,
+// per-operation at the fine ones.
+DDGMS_HOT void TraceCollector::Record(SpanRecord record) {
   MutexLock lock(mu_);
   if (ring_.size() < capacity_) {
+    // Reserving the full ring up front keeps the warm-up appends from
+    // reallocating under the collector lock.
+    ring_.reserve(capacity_);
     ring_.push_back(std::move(record));
     return;
   }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "common/annotations.h"
 #include "common/log.h"
 #include "common/metrics.h"
 #include "common/resource.h"
@@ -115,8 +116,9 @@ std::string CubeQuery::ToString() const {
   return out;
 }
 
-Value Cube::CellValue(const std::vector<Value>& coords,
-                      size_t measure_index) const {
+// Pivot and share tables call this once per output cell.
+DDGMS_HOT Value Cube::CellValue(const std::vector<Value>& coords,
+                                size_t measure_index) const {
   auto it = cells_.find(coords);
   if (it == cells_.end() || measure_index >= it->second.measure_values.size()) {
     return Value::Null();

@@ -2,6 +2,7 @@
 
 #include <cmath>
 
+#include "common/annotations.h"
 #include "common/strings.h"
 
 namespace ddgms {
@@ -51,7 +52,9 @@ std::string AggSpec::OutputName() const {
   return out;
 }
 
-void Accumulator::Add(const Value& v) {
+// Runs once per admitted fact row per measure — the innermost work of
+// both the group-by engine and the OLAP cube scan.
+DDGMS_HOT void Accumulator::Add(const Value& v) {
   ++rows_;
   if (v.is_null()) return;
   ++valid_;

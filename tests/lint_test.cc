@@ -8,6 +8,8 @@
 #include <string>
 #include <vector>
 
+#include "ddgms_lint/analyzer.h"
+#include "ddgms_lint/tokenizer.h"
 #include "gtest/gtest.h"
 
 namespace ddgms::lint {
@@ -337,6 +339,342 @@ TEST(SelfCheckTest, RunLintRejectsMissingRoot) {
   Result<std::vector<Finding>> result = RunLint(options);
   ASSERT_FALSE(result.ok());
   EXPECT_TRUE(result.status().IsNotFound());
+}
+
+// ---------------------------------------------------------------------
+// Tokenizer: the shared lexical layer every pass consumes.
+// ---------------------------------------------------------------------
+
+std::vector<std::string> TextsOf(const TokenFile& tf) {
+  std::vector<std::string> out;
+  out.reserve(tf.tokens.size());
+  for (const Token& t : tf.tokens) out.push_back(t.text);
+  return out;
+}
+
+TEST(TokenizerTest, RawStringsAreSingleStringTokens) {
+  // The close-paren inside the raw body must not terminate the
+  // literal: only the matching )delim" does.
+  TokenFile tf = Tokenize(
+      "const char* s = R\"x(a \"quote\" and )\" inside)x\"; int z;\n");
+  std::vector<std::string> texts = TextsOf(tf);
+  auto it = std::find(texts.begin(), texts.end(),
+                      "a \"quote\" and )\" inside");
+  ASSERT_NE(it, texts.end());
+  EXPECT_EQ(tf.tokens[static_cast<size_t>(it - texts.begin())].kind,
+            TokenKind::kString);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "z"), texts.end());
+}
+
+TEST(TokenizerTest, LineContinuationsSpliceButKeepStartLine) {
+  // `lock_\<newline>guard` is ONE identifier starting on line 2.
+  TokenFile tf = Tokenize(
+      "int a;\n"
+      "std::lock_\\\n"
+      "guard x;\n");
+  auto it = std::find_if(tf.tokens.begin(), tf.tokens.end(),
+                         [](const Token& t) {
+                           return t.text == "lock_guard";
+                         });
+  ASSERT_NE(it, tf.tokens.end());
+  EXPECT_EQ(it->kind, TokenKind::kIdentifier);
+  EXPECT_EQ(it->line, 2u);
+  // The token after the spliced identifier is back on line 3.
+  auto x = std::find_if(tf.tokens.begin(), tf.tokens.end(),
+                        [](const Token& t) { return t.text == "x"; });
+  ASSERT_NE(x, tf.tokens.end());
+  EXPECT_EQ(x->line, 3u);
+}
+
+TEST(TokenizerTest, BlockCommentsWithEmbeddedOpeners) {
+  // An embedded "/*" must not restart the comment (C++ block comments
+  // do not nest); the first "*/" closes it.
+  TokenFile tf = Tokenize("int a; /* one /* still one */ int b;\n");
+  std::vector<std::string> texts = TextsOf(tf);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "a"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "b"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "one"), texts.end());
+  EXPECT_EQ(std::find(texts.begin(), texts.end(), "still"), texts.end());
+}
+
+TEST(TokenizerTest, MultiCharPunctAndPreprocessorFlag) {
+  TokenFile tf = Tokenize(
+      "#include \"common/sync.h\"\n"
+      "a->b; std::mutex m;\n");
+  std::vector<std::string> texts = TextsOf(tf);
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "->"), texts.end());
+  EXPECT_NE(std::find(texts.begin(), texts.end(), "::"), texts.end());
+  // The include target is a string token carrying the pp flag; code
+  // tokens on line 2 are not pp.
+  bool saw_include_target = false;
+  for (const Token& t : tf.tokens) {
+    if (t.kind == TokenKind::kString && t.text == "common/sync.h") {
+      saw_include_target = true;
+      EXPECT_TRUE(t.pp);
+    }
+    if (t.text == "mutex") {
+      EXPECT_FALSE(t.pp);
+    }
+  }
+  EXPECT_TRUE(saw_include_target);
+}
+
+TEST(TokenizerTest, NolintMarkersPerLineAndPerRule) {
+  TokenFile tf = Tokenize(
+      "int a;  // NOLINT(ddgms-hot-path-alloc)\n"
+      "int b;  // NOLINT\n"
+      "int c;\n");
+  EXPECT_TRUE(tf.IsSuppressed(1, "hot-path-alloc"));
+  EXPECT_FALSE(tf.IsSuppressed(1, "naked-mutex"));
+  EXPECT_TRUE(tf.IsSuppressed(2, "hot-path-alloc"));  // bare NOLINT
+  EXPECT_TRUE(tf.IsSuppressed(2, "naked-mutex"));
+  EXPECT_FALSE(tf.IsSuppressed(3, "hot-path-alloc"));
+}
+
+// ---------------------------------------------------------------------
+// Pass 1: lock-order. The canonical inversion — A then B in one TU,
+// B then A through a same-TU helper in another — must surface exactly
+// one cycle carrying BOTH witness acquisition paths.
+// ---------------------------------------------------------------------
+
+TEST(LockOrderTest, TwoTuInversionReportsBothWitnessPaths) {
+  std::vector<FileFacts> facts = {
+      ExtractFileFacts({"alpha/a.cc",
+                        "class Pair {\n"
+                        " public:\n"
+                        "  void TakeBoth() {\n"
+                        "    MutexLock l1(a_mu_);\n"
+                        "    MutexLock l2(b_mu_);\n"
+                        "  }\n"
+                        "};\n"}),
+      ExtractFileFacts({"beta/b.cc",
+                        "class Pair {\n"
+                        " public:\n"
+                        "  void HelperTakesA() { MutexLock l(a_mu_); }\n"
+                        "  void TakeReversed() {\n"
+                        "    MutexLock l(b_mu_);\n"
+                        "    HelperTakesA();\n"
+                        "  }\n"
+                        "};\n"})};
+  std::vector<Finding> findings = CheckLockOrder(facts);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "lock-order");
+  const std::string& m = findings[0].message;
+  // Both edges of the cycle carry a witness path, and the witnesses
+  // name the class-qualified lock identities.
+  EXPECT_NE(m.find("path 1:"), std::string::npos) << m;
+  EXPECT_NE(m.find("path 2:"), std::string::npos) << m;
+  EXPECT_NE(m.find("Pair::a_mu_"), std::string::npos) << m;
+  EXPECT_NE(m.find("Pair::b_mu_"), std::string::npos) << m;
+  // The reversed path was reached through the helper call.
+  EXPECT_NE(m.find("TakeReversed"), std::string::npos) << m;
+}
+
+TEST(LockOrderTest, ConsistentOrderAndScopedReleaseAreQuiet) {
+  // Same order in both TUs, and a re-acquire after the first lock's
+  // scope closed — neither is an inversion.
+  std::vector<FileFacts> facts = {
+      ExtractFileFacts({"alpha/a.cc",
+                        "class Pair {\n"
+                        "  void F() {\n"
+                        "    MutexLock l1(a_mu_);\n"
+                        "    MutexLock l2(b_mu_);\n"
+                        "  }\n"
+                        "  void G() {\n"
+                        "    { MutexLock l(b_mu_); }\n"
+                        "    MutexLock l(a_mu_);\n"
+                        "  }\n"
+                        "};\n"})};
+  EXPECT_TRUE(CheckLockOrder(facts).empty());
+}
+
+TEST(LockOrderTest, FileScopedLocksDoNotUnifyAcrossTus) {
+  // Without a class, lock ids are file-scoped: a_mu_ in alpha/ and
+  // a_mu_ in beta/ are different locks, so no cycle exists.
+  std::vector<FileFacts> facts = {
+      ExtractFileFacts({"alpha/a.cc",
+                        "void TakeBoth() {\n"
+                        "  MutexLock l1(a_mu_);\n"
+                        "  MutexLock l2(b_mu_);\n"
+                        "}\n"}),
+      ExtractFileFacts({"beta/b.cc",
+                        "void TakeReversed() {\n"
+                        "  MutexLock l(b_mu_);\n"
+                        "  MutexLock l2(a_mu_);\n"
+                        "}\n"})};
+  EXPECT_TRUE(CheckLockOrder(facts).empty());
+}
+
+TEST(LockOrderTest, GraphExposesHeldAcquiredEdges) {
+  std::vector<FileFacts> facts = {
+      ExtractFileFacts({"alpha/a.cc",
+                        "class Pair {\n"
+                        "  void F() {\n"
+                        "    MutexLock l1(a_mu_);\n"
+                        "    MutexLock l2(b_mu_);\n"
+                        "  }\n"
+                        "};\n"})};
+  std::vector<LockEdge> edges = BuildLockOrderGraph(facts);
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].held, "Pair::a_mu_");
+  EXPECT_EQ(edges[0].acquired, "Pair::b_mu_");
+  EXPECT_NE(edges[0].witness.find("alpha/a.cc"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Pass 2: hot-path hygiene under DDGMS_HOT.
+// ---------------------------------------------------------------------
+
+size_t CountRuleIn(const std::vector<Finding>& findings,
+                   const std::string& rule) {
+  size_t n = 0;
+  for (const Finding& f : findings) {
+    if (f.rule == rule) ++n;
+  }
+  return n;
+}
+
+TEST(HotPathTest, FlagsAllocationsOnlyInHotFunctions) {
+  FileFacts facts = ExtractFileFacts(
+      {"olap/kernel.cc",
+       "DDGMS_HOT void Accumulate(Rows& rows) {\n"
+       "  auto p = std::make_unique<Row>();\n"
+       "  Row* q = new Row();\n"
+       "  std::string key;\n"
+       "  out.push_back(key);\n"
+       "}\n"
+       "void Cold(Rows& rows) {\n"
+       "  auto p = std::make_unique<Row>();\n"
+       "  std::string key;\n"
+       "}\n"});
+  EXPECT_EQ(CountRuleIn(facts.findings, "hot-path-alloc"), 4u);
+  for (const Finding& f : facts.findings) {
+    if (f.rule == "hot-path-alloc") {
+      EXPECT_LE(f.line, 6u);
+    }
+  }
+}
+
+TEST(HotPathTest, ReserveAndNolintSanctionAppends) {
+  FileFacts facts = ExtractFileFacts(
+      {"olap/kernel.cc",
+       "DDGMS_HOT void Accumulate(Rows& rows) {\n"
+       "  out.reserve(rows.size());\n"
+       "  for (auto& r : rows) {\n"
+       "    out.push_back(r);\n"
+       "    std::string k = r.key();  // NOLINT(ddgms-hot-path-alloc)\n"
+       "  }\n"
+       "}\n"});
+  EXPECT_EQ(CountRuleIn(facts.findings, "hot-path-alloc"), 0u);
+}
+
+// ---------------------------------------------------------------------
+// Pass 3: layer DAG from real include edges.
+// ---------------------------------------------------------------------
+
+TEST(LayerDagTest, FlagsUpwardEdgeAndUnregisteredModule) {
+  std::vector<FileFacts> facts = {
+      ExtractFileFacts({"table/value.cc", "#include \"olap/cube.h\"\n"}),
+      ExtractFileFacts(
+          {"newmod/thing.cc", "#include \"common/status.h\"\n"}),
+      ExtractFileFacts(
+          {"olap/cube.cc", "#include \"table/table.h\"\n"})};
+  std::vector<Finding> findings = CheckLayerDag(facts, RepoLayerGraph());
+  EXPECT_EQ(CountRuleIn(findings, "layer-dag"), 2u);
+  bool saw_upward = false;
+  bool saw_unregistered = false;
+  for (const Finding& f : findings) {
+    if (f.file == "table/value.cc") saw_upward = true;
+    if (f.file == "newmod/thing.cc") saw_unregistered = true;
+  }
+  EXPECT_TRUE(saw_upward);
+  EXPECT_TRUE(saw_unregistered);
+}
+
+// ---------------------------------------------------------------------
+// Suppression: baseline round trip and output formats.
+// ---------------------------------------------------------------------
+
+TEST(BaselineTest, KeyIsLineNumberIndependent) {
+  Finding at42{"mdx/executor.cc", 42, "hot-path-alloc", "boxed Value"};
+  Finding at99{"mdx/executor.cc", 99, "hot-path-alloc", "boxed Value"};
+  EXPECT_EQ(BaselineKey(at42), BaselineKey(at99));
+  std::set<std::string> baseline =
+      ParseBaseline("# justified: see DESIGN.md\n" + BaselineKey(at42) +
+                    "\n\n");
+  EXPECT_TRUE(ApplyBaseline({at99}, baseline).empty());
+  // A different rule at the same site survives.
+  Finding other{"mdx/executor.cc", 42, "naked-mutex", "boxed Value"};
+  EXPECT_EQ(ApplyBaseline({other}, baseline).size(), 1u);
+}
+
+TEST(FormatTest, JsonAndSarifCarryEveryFinding) {
+  std::vector<Finding> findings = {
+      {"olap/cube.cc", 7, "hot-path-alloc", "operator new in hot path"},
+      {"table/value.cc", 3, "layer-dag", "table may not include olap"}};
+  std::string json = FormatFindings(findings, OutputFormat::kJson);
+  EXPECT_NE(json.find("\"olap/cube.cc\""), std::string::npos);
+  EXPECT_NE(json.find("\"hot-path-alloc\""), std::string::npos);
+  EXPECT_NE(json.find("\"line\":7"), std::string::npos);
+  std::string sarif = FormatFindings(findings, OutputFormat::kSarif);
+  EXPECT_NE(sarif.find("\"version\": \"2.1.0\""), std::string::npos);
+  EXPECT_NE(sarif.find("\"ruleId\": \"ddgms-layer-dag\""),
+            std::string::npos);
+  EXPECT_NE(sarif.find("table/value.cc"), std::string::npos);
+}
+
+TEST(ParseCacheTest, FactsRoundTripThroughSerialization) {
+  SourceFile file{"alpha/a.cc",
+                  "#include \"common/sync.h\"\n"
+                  "class Pair {\n"
+                  "  void F() {\n"
+                  "    MutexLock l1(a_mu_);\n"
+                  "    MutexLock l2(b_mu_);\n"
+                  "  }\n"
+                  "};\n"};
+  std::vector<FileFacts> facts = {ExtractFileFacts(file)};
+  std::map<std::string, FileFacts> loaded =
+      DeserializeFacts(SerializeFacts(facts));
+  ASSERT_EQ(loaded.count("alpha/a.cc"), 1u);
+  const FileFacts& back = loaded["alpha/a.cc"];
+  EXPECT_EQ(back.content_hash, facts[0].content_hash);
+  ASSERT_EQ(back.includes.size(), 1u);
+  EXPECT_EQ(back.includes[0].first, "common/sync.h");
+  // The deserialized facts drive the same lock-order analysis.
+  std::vector<LockEdge> edges = BuildLockOrderGraph({back});
+  ASSERT_EQ(edges.size(), 1u);
+  EXPECT_EQ(edges[0].held, "Pair::a_mu_");
+}
+
+// ---------------------------------------------------------------------
+// Drivers: in-memory aggregation and the real-tree analyzer gate.
+// ---------------------------------------------------------------------
+
+TEST(AnalyzeSourcesTest, AggregatesWholeProgramPasses) {
+  std::vector<SourceFile> files = {
+      {"table/value.cc",
+       "#include \"olap/cube.h\"\n"
+       "DDGMS_HOT void F() { std::string s; }\n"}};
+  std::vector<Finding> findings =
+      AnalyzeSources(files, RepoLayerGraph());
+  EXPECT_EQ(CountRuleIn(findings, "layer-dag"), 1u);
+  EXPECT_EQ(CountRuleIn(findings, "hot-path-alloc"), 1u);
+}
+
+// The analyzer gate: every pass over the real src/ tree with the
+// checked-in baseline must be clean — the same invariant CI enforces
+// from the ddgms_analyzer CTest.
+TEST(SelfCheckTest, AnalyzerPassesOverRealTreeAreClean) {
+  AnalyzerOptions options;
+  options.src_root = std::string(DDGMS_SOURCE_ROOT) + "/src";
+  options.baseline_path = std::string(DDGMS_SOURCE_ROOT) +
+                          "/tools/ddgms_lint/baseline.txt";
+  Result<AnalyzerReport> report = RunAnalyzer(options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_GT(report->files_analyzed, 100u);
+  for (const Finding& f : report->findings) {
+    ADD_FAILURE() << f.ToString();
+  }
 }
 
 }  // namespace

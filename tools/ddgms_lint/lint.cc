@@ -12,6 +12,7 @@
 #include <utility>
 
 #include "common/strings.h"
+#include "ddgms_lint/tokenizer.h"
 
 namespace ddgms::lint {
 
@@ -49,29 +50,31 @@ bool PathEndsWith(const std::string& path, const std::string& suffix) {
          path[path.size() - suffix.size() - 1] == '/';
 }
 
-/// Splits stripped content into lines (newlines preserved by the
-/// stripper, so indices line up with the original file).
-std::vector<std::string> SplitLines(const std::string& text) {
-  std::vector<std::string> lines;
-  std::string current;
-  for (char c : text) {
-    if (c == '\n') {
-      lines.push_back(std::move(current));
-      current.clear();
-    } else {
-      current.push_back(c);
-    }
-  }
-  lines.push_back(std::move(current));
-  return lines;
-}
-
 /// First path component of a repo-relative path ("table/value.cc" ->
 /// "table"); empty when there is none.
 std::string ModuleOf(const std::string& rel_path) {
   const size_t slash = rel_path.find('/');
   return slash == std::string::npos ? std::string()
                                     : rel_path.substr(0, slash);
+}
+
+bool IsIdentTok(const TokenFile& tf, size_t i) {
+  return i < tf.tokens.size() &&
+         tf.tokens[i].kind == TokenKind::kIdentifier;
+}
+
+bool IsIdentTok(const TokenFile& tf, size_t i, const char* text) {
+  return IsIdentTok(tf, i) && tf.tokens[i].text == text;
+}
+
+bool IsPunctTok(const TokenFile& tf, size_t i, const char* text) {
+  return i < tf.tokens.size() &&
+         tf.tokens[i].kind == TokenKind::kPunct &&
+         tf.tokens[i].text == text;
+}
+
+bool IsStringTok(const TokenFile& tf, size_t i) {
+  return i < tf.tokens.size() && tf.tokens[i].kind == TokenKind::kString;
 }
 
 }  // namespace
@@ -142,61 +145,50 @@ std::string StripCommentsAndStrings(const std::string& src) {
   return out;
 }
 
-std::vector<Finding> CheckNakedMutex(const SourceFile& file) {
+std::vector<Finding> CheckNakedMutexTokens(const std::string& path,
+                                           const TokenFile& tf) {
   std::vector<Finding> findings;
   // The one place allowed to touch the raw primitives.
-  if (PathEndsWith(file.path, "common/sync.h")) return findings;
+  if (PathEndsWith(path, "common/sync.h")) return findings;
 
-  // Longest-first so condition_variable_any wins over
-  // condition_variable at the same position.
-  static const char* kBanned[] = {
-      "std::condition_variable_any",
-      "std::condition_variable",
-      "std::recursive_timed_mutex",
-      "std::recursive_mutex",
-      "std::timed_mutex",
-      "std::shared_mutex",
-      "std::mutex",
-      "std::lock_guard",
-      "std::unique_lock",
-      "std::scoped_lock",
+  static const char* const kBanned[] = {
+      "mutex",          "recursive_mutex",
+      "timed_mutex",    "recursive_timed_mutex",
+      "shared_mutex",   "lock_guard",
+      "unique_lock",    "scoped_lock",
+      "condition_variable", "condition_variable_any",
   };
 
-  const std::string stripped = StripCommentsAndStrings(file.content);
-  const std::vector<std::string> lines = SplitLines(stripped);
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    size_t pos = 0;
-    while ((pos = line.find("std::", pos)) != std::string::npos) {
-      if (pos > 0 && (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) {
-        pos += 5;
-        continue;
-      }
-      bool matched = false;
-      for (const char* name : kBanned) {
-        const size_t len = std::string(name).size();
-        if (line.compare(pos, len, name) != 0) continue;
-        if (pos + len < line.size() && IsIdentChar(line[pos + len])) {
-          continue;  // longer identifier, e.g. std::mutex_like
-        }
-        findings.push_back(
-            {file.path, ln + 1, "naked-mutex",
-             std::string(name) +
-                 " outside common/sync.h - use ddgms::Mutex / "
-                 "MutexLock / CondVar so thread-safety analysis sees "
-                 "the lock"});
-        pos += len;
-        matched = true;
-        break;
-      }
-      if (!matched) pos += 5;
+  const auto& toks = tf.tokens;
+  for (size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (!IsIdentTok(tf, i, "std") || !IsPunctTok(tf, i + 1, "::") ||
+        !IsIdentTok(tf, i + 2)) {
+      continue;
+    }
+    // foo::std::mutex is some other std.
+    if (i >= 1 && IsPunctTok(tf, i - 1, "::")) continue;
+    const std::string& name = toks[i + 2].text;
+    for (const char* banned : kBanned) {
+      if (name != banned) continue;
+      findings.push_back(
+          {path, toks[i].line, "naked-mutex",
+           "std::" + name +
+               " outside common/sync.h - use ddgms::Mutex / "
+               "MutexLock / CondVar so thread-safety analysis sees "
+               "the lock"});
+      break;
     }
   }
   return findings;
 }
 
-std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
-                                      const std::string& rel_path) {
+std::vector<Finding> CheckNakedMutex(const SourceFile& file) {
+  return CheckNakedMutexTokens(file.path, Tokenize(file.content));
+}
+
+std::vector<Finding> CheckHeaderGuardTokens(const std::string& path,
+                                            const TokenFile& tf,
+                                            const std::string& rel_path) {
   std::vector<Finding> findings;
   std::string expected = "DDGMS_";
   for (char c : rel_path) {
@@ -209,56 +201,61 @@ std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
   }
   expected.push_back('_');
 
-  const std::string stripped = StripCommentsAndStrings(file.content);
-  const std::vector<std::string> lines = SplitLines(stripped);
-
+  // Walk preprocessor directives: each starts at a line-opening '#'.
   std::string ifndef_name;
   size_t ifndef_line = 0;
   bool has_define = false;
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    std::istringstream is(lines[ln]);
-    std::string tok1, tok2;
-    is >> tok1 >> tok2;
-    if (tok1.empty()) continue;
-    if (tok1 == "#pragma" && tok2 == "once") {
-      findings.push_back({file.path, ln + 1, "header-guard",
+  const auto& toks = tf.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!toks[i].pp || !IsPunctTok(tf, i, "#")) continue;
+    if (IsIdentTok(tf, i + 1, "pragma") && IsIdentTok(tf, i + 2, "once")) {
+      findings.push_back({path, toks[i].line, "header-guard",
                           "#pragma once - this repo standardises on "
                           "include guards (" +
                               expected + ")"});
       continue;
     }
-    if (ifndef_name.empty() && tok1 == "#ifndef") {
-      ifndef_name = tok2;
-      ifndef_line = ln + 1;
+    if (ifndef_name.empty() && IsIdentTok(tf, i + 1, "ifndef") &&
+        IsIdentTok(tf, i + 2)) {
+      ifndef_name = toks[i + 2].text;
+      ifndef_line = toks[i].line;
       continue;
     }
-    if (!ifndef_name.empty() && !has_define && tok1 == "#define") {
-      if (tok2 != ifndef_name) {
+    if (!ifndef_name.empty() && !has_define &&
+        IsIdentTok(tf, i + 1, "define") && IsIdentTok(tf, i + 2)) {
+      if (toks[i + 2].text != ifndef_name) {
         findings.push_back(
-            {file.path, ln + 1, "header-guard",
-             "guard #define '" + tok2 + "' does not match #ifndef '" +
-                 ifndef_name + "'"});
+            {path, toks[i].line, "header-guard",
+             "guard #define '" + toks[i + 2].text +
+                 "' does not match #ifndef '" + ifndef_name + "'"});
       }
       has_define = true;
     }
   }
   if (ifndef_name.empty()) {
-    findings.push_back({file.path, 1, "header-guard",
+    findings.push_back({path, 1, "header-guard",
                         "missing include guard " + expected});
   } else if (ifndef_name != expected) {
-    findings.push_back({file.path, ifndef_line, "header-guard",
+    findings.push_back({path, ifndef_line, "header-guard",
                         "guard '" + ifndef_name +
                             "' does not match path-derived name '" +
                             expected + "'"});
   } else if (!has_define) {
-    findings.push_back({file.path, ifndef_line, "header-guard",
+    findings.push_back({path, ifndef_line, "header-guard",
                         "#ifndef " + ifndef_name +
                             " is never #defined (broken guard)"});
   }
   return findings;
 }
 
-std::vector<Finding> CheckBannedCalls(const SourceFile& file) {
+std::vector<Finding> CheckHeaderGuard(const SourceFile& file,
+                                      const std::string& rel_path) {
+  return CheckHeaderGuardTokens(file.path, Tokenize(file.content),
+                                rel_path);
+}
+
+std::vector<Finding> CheckBannedCallsTokens(const std::string& path,
+                                            const TokenFile& tf) {
   // name -> sanctioned alternative.
   static const std::pair<const char*, const char*> kBanned[] = {
       {"rand", "ddgms::Rng (deterministic, seedable)"},
@@ -269,52 +266,39 @@ std::vector<Finding> CheckBannedCalls(const SourceFile& file) {
   };
 
   std::vector<Finding> findings;
-  const std::string stripped = StripCommentsAndStrings(file.content);
-  const std::vector<std::string> lines = SplitLines(stripped);
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    for (const auto& [name, alt] : kBanned) {
-      const std::string ident(name);
-      size_t pos = 0;
-      while ((pos = line.find(ident, pos)) != std::string::npos) {
-        const size_t end = pos + ident.size();
-        // Whole-identifier match only.
-        if ((pos > 0 && IsIdentChar(line[pos - 1])) ||
-            (end < line.size() && IsIdentChar(line[end]))) {
-          pos = end;
-          continue;
-        }
-        // Must look like a call.
-        size_t after = end;
-        while (after < line.size() && line[after] == ' ') ++after;
-        if (after >= line.size() || line[after] != '(') {
-          pos = end;
-          continue;
-        }
-        // Member access (obj.rand(), p->rand()) is someone else's
-        // function; a non-std qualifier (mylib::rand) likewise.
-        if (pos >= 1 && (line[pos - 1] == '.' ||
-                         (pos >= 2 && line[pos - 2] == '-' &&
-                          line[pos - 1] == '>'))) {
-          pos = end;
-          continue;
-        }
-        if (pos >= 2 && line[pos - 1] == ':' && line[pos - 2] == ':') {
-          const bool std_qualified =
-              pos >= 5 && line.compare(pos - 5, 5, "std::") == 0 &&
-              (pos == 5 || !IsIdentChar(line[pos - 6]));
-          if (!std_qualified) {
-            pos = end;
-            continue;
-          }
-        }
-        findings.push_back({file.path, ln + 1, "banned-call",
-                            ident + "() is banned here - use " + alt});
-        pos = end;
+  const auto& toks = tf.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdentTok(tf, i)) continue;
+    const char* alt = nullptr;
+    for (const auto& [name, sanctioned] : kBanned) {
+      if (toks[i].text == name) {
+        alt = sanctioned;
+        break;
       }
     }
+    if (alt == nullptr) continue;
+    // Must look like a call.
+    if (!IsPunctTok(tf, i + 1, "(")) continue;
+    // Member access (obj.rand(), p->rand()) is someone else's
+    // function; a non-std qualifier (mylib::rand) likewise.
+    if (i >= 1 &&
+        (IsPunctTok(tf, i - 1, ".") || IsPunctTok(tf, i - 1, "->"))) {
+      continue;
+    }
+    if (i >= 1 && IsPunctTok(tf, i - 1, "::")) {
+      const bool std_qualified =
+          i >= 2 && IsIdentTok(tf, i - 2, "std") &&
+          !(i >= 3 && IsPunctTok(tf, i - 3, "::"));
+      if (!std_qualified) continue;
+    }
+    findings.push_back({path, toks[i].line, "banned-call",
+                        toks[i].text + "() is banned here - use " + alt});
   }
   return findings;
+}
+
+std::vector<Finding> CheckBannedCalls(const SourceFile& file) {
+  return CheckBannedCallsTokens(file.path, Tokenize(file.content));
 }
 
 namespace {
@@ -404,81 +388,10 @@ std::string ValidateInstrumentName(const std::string& name,
   return std::string();
 }
 
-/// Like StripCommentsAndStrings but KEEPS string literal bodies —
-/// instrument names live inside them.
-std::string StripCommentsOnly(const std::string& src) {
-  std::string out;
-  out.reserve(src.size());
-  size_t i = 0;
-  const size_t n = src.size();
-  while (i < n) {
-    const char c = src[i];
-    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
-      while (i < n && src[i] != '\n') ++i;
-      continue;
-    }
-    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      i += 2;
-      while (i < n && !(src[i] == '*' && i + 1 < n && src[i + 1] == '/')) {
-        if (src[i] == '\n') out.push_back('\n');
-        ++i;
-      }
-      i = std::min(n, i + 2);
-      continue;
-    }
-    if (c == '"' || c == '\'') {
-      out.push_back(c);
-      ++i;
-      while (i < n && src[i] != c) {
-        if (src[i] == '\\' && i + 1 < n) {
-          out.push_back(src[i]);
-          ++i;
-        } else if (src[i] == '\n') {
-          break;
-        }
-        out.push_back(src[i]);
-        ++i;
-      }
-      if (i < n && src[i] == c) {
-        out.push_back(c);
-        ++i;
-      }
-      continue;
-    }
-    out.push_back(c);
-    ++i;
-  }
-  return out;
-}
-
-/// Reads a string literal starting at `pos` (which must point at the
-/// opening '"'); returns false when there is none.
-bool ReadStringLiteral(const std::string& line, size_t pos,
-                       std::string* value) {
-  if (pos >= line.size() || line[pos] != '"') return false;
-  value->clear();
-  for (size_t i = pos + 1; i < line.size(); ++i) {
-    if (line[i] == '\\') {
-      ++i;
-      if (i < line.size()) value->push_back(line[i]);
-      continue;
-    }
-    if (line[i] == '"') return true;
-    value->push_back(line[i]);
-  }
-  return false;
-}
-
-size_t SkipSpaces(const std::string& line, size_t pos) {
-  while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
-    ++pos;
-  }
-  return pos;
-}
-
 }  // namespace
 
-std::vector<Finding> CheckInstrumentNames(const SourceFile& file) {
+std::vector<Finding> CheckInstrumentNamesTokens(const std::string& path,
+                                                const TokenFile& tf) {
   struct Trigger {
     const char* token;    // call site to look for
     bool is_metric;       // ddgms.-prefixed grammar
@@ -505,67 +418,57 @@ std::vector<Finding> CheckInstrumentNames(const SourceFile& file) {
   };
 
   std::vector<Finding> findings;
-  const std::string stripped = StripCommentsOnly(file.content);
-  const std::vector<std::string> lines = SplitLines(stripped);
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    for (const Trigger& trigger : kTriggers) {
-      const std::string token(trigger.token);
-      size_t pos = 0;
-      while ((pos = line.find(token, pos)) != std::string::npos) {
-        const size_t end = pos + token.size();
-        // Whole-identifier match (not DDGMS_METRIC_INCREMENTAL etc.).
-        if ((pos > 0 &&
-             (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) ||
-            (end < line.size() && IsIdentChar(line[end]))) {
-          pos = end;
-          continue;
-        }
-        size_t cursor = SkipSpaces(line, end);
-        if (trigger.declaration) {
-          // `TraceSpan span(` — step over the variable name. A plain
-          // `(` right after the type (constructor decls, casts) is not
-          // a named instrument; skip it.
-          const size_t ident_start = cursor;
-          while (cursor < line.size() && IsIdentChar(line[cursor])) {
-            ++cursor;
-          }
-          if (cursor == ident_start) {
-            pos = end;
-            continue;
-          }
-          cursor = SkipSpaces(line, cursor);
-        }
-        if (cursor >= line.size() || line[cursor] != '(') {
-          pos = end;
-          continue;
-        }
-        cursor = SkipSpaces(line, cursor + 1);
-        if (trigger.skip_first_arg) {
-          // LogEvent e(LogLevel::kWarn, "name").
-          const size_t comma = line.find(',', cursor);
-          if (comma == std::string::npos) {
-            pos = end;
-            continue;
-          }
-          cursor = SkipSpaces(line, comma + 1);
-        }
-        std::string name;
-        if (!ReadStringLiteral(line, cursor, &name)) {
-          pos = end;  // dynamic name — not this rule's business
-          continue;
-        }
-        const std::string why =
-            ValidateInstrumentName(name, trigger.is_metric);
-        if (!why.empty()) {
-          findings.push_back({file.path, ln + 1, "instrument-name",
-                              "'" + name + "' (" + token + "): " + why});
-        }
-        pos = end;
+  const auto& toks = tf.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (!IsIdentTok(tf, i)) continue;
+    const Trigger* trigger = nullptr;
+    for (const Trigger& t : kTriggers) {
+      if (toks[i].text == t.token) {
+        trigger = &t;
+        break;
       }
+    }
+    if (trigger == nullptr) continue;
+    // SomeScope::GetCounter is another registry's function.
+    if (i >= 1 && IsPunctTok(tf, i - 1, "::")) continue;
+    size_t cursor = i + 1;
+    if (trigger->declaration) {
+      // `TraceSpan span(` — step over the variable name. A '(' right
+      // after the type (constructor decls, casts) is not a named
+      // instrument.
+      if (!IsIdentTok(tf, cursor)) continue;
+      ++cursor;
+    }
+    if (!IsPunctTok(tf, cursor, "(")) continue;
+    ++cursor;
+    if (trigger->skip_first_arg) {
+      // LogEvent e(LogLevel::kWarn, "name") — skip to the ',' at the
+      // argument list's own depth.
+      int depth = 1;
+      while (cursor < toks.size() && depth > 0) {
+        if (IsPunctTok(tf, cursor, "(")) ++depth;
+        if (IsPunctTok(tf, cursor, ")")) --depth;
+        if (depth == 1 && IsPunctTok(tf, cursor, ",")) break;
+        ++cursor;
+      }
+      if (!IsPunctTok(tf, cursor, ",")) continue;
+      ++cursor;
+    }
+    if (!IsStringTok(tf, cursor)) continue;  // dynamic name
+    const std::string& name = toks[cursor].text;
+    const std::string why =
+        ValidateInstrumentName(name, trigger->is_metric);
+    if (!why.empty()) {
+      findings.push_back({path, toks[cursor].line, "instrument-name",
+                          "'" + name + "' (" + std::string(trigger->token) +
+                              "): " + why});
     }
   }
   return findings;
+}
+
+std::vector<Finding> CheckInstrumentNames(const SourceFile& file) {
+  return CheckInstrumentNamesTokens(file.path, Tokenize(file.content));
 }
 
 namespace {
@@ -608,60 +511,36 @@ std::string ValidateEndpointPath(const std::string& path) {
 
 }  // namespace
 
-std::vector<Finding> CheckEndpointPaths(const SourceFile& file) {
+std::vector<Finding> CheckEndpointPathsTokens(const std::string& path,
+                                              const TokenFile& tf) {
   std::vector<Finding> findings;
-  const std::string stripped = StripCommentsOnly(file.content);
-  const std::vector<std::string> lines = SplitLines(stripped);
-  for (size_t ln = 0; ln < lines.size(); ++ln) {
-    const std::string& line = lines[ln];
-    const std::string token = "Handle";
-    size_t pos = 0;
-    while ((pos = line.find(token, pos)) != std::string::npos) {
-      const size_t end = pos + token.size();
-      if ((pos > 0 &&
-           (IsIdentChar(line[pos - 1]) || line[pos - 1] == ':')) ||
-          (end < line.size() && IsIdentChar(line[end]))) {
-        pos = end;
-        continue;
-      }
-      size_t cursor = SkipSpaces(line, end);
-      if (cursor >= line.size() || line[cursor] != '(') {
-        pos = end;
-        continue;
-      }
-      // Handle("GET", "/path", ...): the path is the second argument;
-      // both must be literals for the rule to fire (dynamic routes are
-      // not this rule's business).
-      cursor = SkipSpaces(line, cursor + 1);
-      std::string method;
-      if (!ReadStringLiteral(line, cursor, &method)) {
-        pos = end;
-        continue;
-      }
-      const size_t comma = line.find(',', cursor);
-      if (comma == std::string::npos) {
-        pos = end;
-        continue;
-      }
-      cursor = SkipSpaces(line, comma + 1);
-      std::string path;
-      if (!ReadStringLiteral(line, cursor, &path)) {
-        pos = end;
-        continue;
-      }
-      if (method != ToUpper(method)) {
-        findings.push_back({file.path, ln + 1, "endpoint-path",
-                            "method '" + method + "' must be upper-case"});
-      }
-      const std::string why = ValidateEndpointPath(path);
-      if (!why.empty()) {
-        findings.push_back({file.path, ln + 1, "endpoint-path",
-                            "'" + path + "': " + why});
-      }
-      pos = end;
+  const auto& toks = tf.tokens;
+  for (size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (!IsIdentTok(tf, i, "Handle")) continue;
+    if (i >= 1 && IsPunctTok(tf, i - 1, "::")) continue;
+    // Handle("GET", "/path", ...): both must be literals for the rule
+    // to fire (dynamic routes are not this rule's business).
+    if (!IsPunctTok(tf, i + 1, "(") || !IsStringTok(tf, i + 2) ||
+        !IsPunctTok(tf, i + 3, ",") || !IsStringTok(tf, i + 4)) {
+      continue;
+    }
+    const std::string& method = toks[i + 2].text;
+    const std::string& route = toks[i + 4].text;
+    if (method != ToUpper(method)) {
+      findings.push_back({path, toks[i + 2].line, "endpoint-path",
+                          "method '" + method + "' must be upper-case"});
+    }
+    const std::string why = ValidateEndpointPath(route);
+    if (!why.empty()) {
+      findings.push_back({path, toks[i + 4].line, "endpoint-path",
+                          "'" + route + "': " + why});
     }
   }
   return findings;
+}
+
+std::vector<Finding> CheckEndpointPaths(const SourceFile& file) {
+  return CheckEndpointPathsTokens(file.path, Tokenize(file.content));
 }
 
 std::vector<Finding> CheckIncludeCycles(
@@ -733,17 +612,19 @@ std::vector<Finding> CheckIncludeCycles(
 std::vector<Finding> LintSources(const std::vector<SourceFile>& files) {
   std::vector<Finding> findings;
   for (const SourceFile& file : files) {
+    // One tokenization feeds every rule.
+    const TokenFile tf = Tokenize(file.content);
     auto merge = [&findings](std::vector<Finding> more) {
       findings.insert(findings.end(),
                       std::make_move_iterator(more.begin()),
                       std::make_move_iterator(more.end()));
     };
-    merge(CheckNakedMutex(file));
-    merge(CheckBannedCalls(file));
-    merge(CheckInstrumentNames(file));
-    merge(CheckEndpointPaths(file));
+    merge(CheckNakedMutexTokens(file.path, tf));
+    merge(CheckBannedCallsTokens(file.path, tf));
+    merge(CheckInstrumentNamesTokens(file.path, tf));
+    merge(CheckEndpointPathsTokens(file.path, tf));
     if (EndsWith(file.path, ".h")) {
-      merge(CheckHeaderGuard(file, file.path));
+      merge(CheckHeaderGuardTokens(file.path, tf, file.path));
     }
   }
   auto cycles = CheckIncludeCycles(files);
@@ -769,8 +650,8 @@ std::string Quote(const std::string& s) {
   return out;
 }
 
-/// Compiles `#include "rel_header"` as its own TU; returns a finding
-/// when the header does not stand alone.
+}  // namespace
+
 void CheckStandaloneHeader(const LintOptions& options,
                            const std::string& rel_header,
                            std::vector<Finding>* findings) {
@@ -802,8 +683,6 @@ void CheckStandaloneHeader(const LintOptions& options,
   std::remove(probe_cc.c_str());
   std::remove(probe_err.c_str());
 }
-
-}  // namespace
 
 Result<std::vector<Finding>> RunLint(const LintOptions& options) {
   std::error_code ec;

@@ -7,6 +7,7 @@
 
 #include "common/result.h"
 #include "common/status.h"
+#include "ddgms_lint/tokenizer.h"
 
 namespace ddgms::lint {
 
@@ -84,6 +85,24 @@ std::string StripCommentsAndStrings(const std::string& src);
 /// common/sync.h. `path` is matched on its trailing components.
 std::vector<Finding> CheckNakedMutex(const SourceFile& file);
 
+/// Token-stream variants of the textual rules. The SourceFile overloads
+/// above tokenize internally; these take a pre-built TokenFile so the
+/// analyzer can tokenize each file exactly once and fan it out to every
+/// rule. NOLINT suppression is NOT applied here — the analyzer applies
+/// it after merging (the legacy LintSources path stays unsuppressed so
+/// fixture counts are stable).
+std::vector<Finding> CheckNakedMutexTokens(const std::string& path,
+                                           const TokenFile& tf);
+std::vector<Finding> CheckHeaderGuardTokens(const std::string& path,
+                                            const TokenFile& tf,
+                                            const std::string& rel_path);
+std::vector<Finding> CheckBannedCallsTokens(const std::string& path,
+                                            const TokenFile& tf);
+std::vector<Finding> CheckInstrumentNamesTokens(const std::string& path,
+                                                const TokenFile& tf);
+std::vector<Finding> CheckEndpointPathsTokens(const std::string& path,
+                                              const TokenFile& tf);
+
 /// header-guard: .h files must open with #ifndef/#define of the guard
 /// derived from `rel_path` (path under src/, e.g. "common/metrics.h"
 /// -> DDGMS_COMMON_METRICS_H_) and must not use #pragma once.
@@ -137,6 +156,13 @@ struct LintOptions {
   /// Scratch directory for the standalone-header probe TU.
   std::string tmp_dir = ".";
 };
+
+/// standalone-header: compiles a one-line TU including `rel_header`
+/// with options.cxx; appends a finding when it fails. Exposed so the
+/// analyzer driver can reuse the probe.
+void CheckStandaloneHeader(const LintOptions& options,
+                           const std::string& rel_header,
+                           std::vector<Finding>* findings);
 
 /// Loads every .h/.cc under src_root and runs all rules (plus the
 /// standalone-header compile probes when a compiler is configured).

@@ -1,0 +1,76 @@
+#ifndef DDGMS_TOOLS_DDGMS_LINT_TOKENIZER_H_
+#define DDGMS_TOOLS_DDGMS_LINT_TOKENIZER_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace ddgms::lint {
+
+/// -------------------------------------------------------------------
+/// Shared C++ token stream for ddgms_analyzer
+///
+/// Every analyzer pass (and the rebuilt textual rules) consumes ONE
+/// tokenization of each file instead of per-rule regex/string scans.
+/// The tokenizer is deliberately lightweight — it is not a C++ parser —
+/// but it is exact about the lexical layer the old scanners got wrong
+/// piecemeal:
+///
+///   * line comments, block comments (with embedded '/''*' sequences),
+///   * string literals, char literals, raw strings R"delim(...)delim",
+///   * backslash-newline line continuations (spliced, with token line
+///     numbers tracking the physical line the token STARTS on),
+///   * multi-char punctuators the rules care about ("::", "->").
+///
+/// Comments are not discarded silently: `// NOLINT(ddgms-<rule>)`
+/// markers are collected per physical line so passes can suppress
+/// findings at the marked line (see TokenFile::IsSuppressed).
+/// -------------------------------------------------------------------
+
+enum class TokenKind {
+  kIdentifier,  // identifiers and keywords (text = spelling)
+  kNumber,      // numeric literal (text = spelling)
+  kString,      // string literal (text = decoded VALUE, not spelling)
+  kChar,        // character literal (text = decoded value)
+  kPunct,       // punctuation; "::" and "->" are single tokens
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  /// 1-based physical line the token starts on (after continuation
+  /// splicing the LOGICAL line may span several physical lines; we
+  /// report the physical start so findings stay clickable).
+  size_t line = 0;
+  /// True when the token belongs to a preprocessor directive (a '#'
+  /// opening a logical line, through its spliced continuation lines).
+  /// Code passes skip pp tokens; include/guard extraction keys on them.
+  bool pp = false;
+};
+
+/// One tokenized file: the stream plus per-line suppression markers.
+struct TokenFile {
+  std::vector<Token> tokens;
+  /// line -> set of suppressed rule names; the empty string means a
+  /// bare `// NOLINT` that suppresses every rule on that line.
+  std::map<size_t, std::set<std::string>> nolint;
+
+  /// True when a finding of `rule` at `line` carries a NOLINT marker
+  /// (`// NOLINT(ddgms-<rule>)` or a bare `// NOLINT`).
+  bool IsSuppressed(size_t line, const std::string& rule) const;
+};
+
+/// Tokenizes C++ source. Never fails: unterminated literals are
+/// closed at end of line (strings/chars) or end of file (comments,
+/// raw strings), matching how the old strippers degraded.
+TokenFile Tokenize(const std::string& src);
+
+/// FNV-1a 64-bit content hash — the parse-cache key.
+uint64_t HashContent(const std::string& content);
+
+}  // namespace ddgms::lint
+
+#endif  // DDGMS_TOOLS_DDGMS_LINT_TOKENIZER_H_
